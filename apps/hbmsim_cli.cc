@@ -1,0 +1,323 @@
+// hbmsim — the command-line driver for the HBM+DRAM model simulator.
+//
+// Subcommands:
+//   run      simulate one (workload, policy) configuration
+//   compare  run the paper's policy suite on one workload
+//   bounds   offline lower bounds and empirical competitive ratios
+//   analyze  stack-distance profile of workloads or trace files
+//
+// Workload selection (all subcommands):
+//   --workload sort|quicksort|spgemm|dense|cyclic|uniform|zipf|stream
+//              (or --trace FILE to replay a captured trace on every core)
+//   --threads P --elements N --n N --density D --pages N --length N
+//   --zipf-s S --reps R --seed S --distinct D
+//
+// Policy selection (run):
+//   --policy fifo|fr-fcfs|priority|dynamic|cycle|cycle-reverse|interleave|random
+//   --k SLOTS --q CHANNELS --t-mult M --replacement lru|fifo|clock
+//   --binding any|hashed --row-pages N --shared-pages
+//
+// Examples:
+//   hbmsim_cli run --workload sort --elements 100000 --threads 32
+//       --k 500 --policy dynamic --t-mult 10
+//   hbmsim_cli compare --workload cyclic --pages 256 --reps 100
+//       --threads 64 --k 4096
+//   hbmsim_cli bounds --workload spgemm --n 200 --threads 16 --k 660
+//   hbmsim_cli analyze --workload zipf --pages 4096 --length 200000
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/simulator.h"
+#include "exp/table.h"
+#include "opt/lower_bound.h"
+#include "trace/analysis.h"
+#include "trace/trace_io.h"
+#include "util/args.h"
+#include "util/error.h"
+#include "workloads/adversarial.h"
+#include "workloads/dense_mm.h"
+#include "workloads/sort_trace.h"
+#include "workloads/spgemm.h"
+#include "workloads/synthetic.h"
+
+namespace {
+
+using namespace hbmsim;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: hbmsim_cli <run|compare|bounds|analyze> [options]\n"
+      "       see the header of apps/hbmsim_cli.cc or README.md for the\n"
+      "       full option list\n");
+  return 2;
+}
+
+Workload build_workload(const ArgParser& args) {
+  const auto threads = static_cast<std::size_t>(args.get_int("threads", 16));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto distinct = static_cast<std::size_t>(args.get_int("distinct", 4));
+
+  if (args.has("trace")) {
+    auto trace = std::make_shared<Trace>(load_trace(args.get("trace", "")));
+    return Workload::replicate(std::move(trace), threads, "file");
+  }
+
+  const std::string kind = args.get("workload", "sort");
+  if (kind == "sort" || kind == "quicksort") {
+    workloads::SortTraceOptions opts;
+    opts.num_elements = static_cast<std::size_t>(args.get_int("elements", 20'000));
+    opts.algo = kind == "quicksort" ? workloads::SortAlgo::kQuickSort
+                                    : workloads::SortAlgo::kMergeSort;
+    opts.seed = seed;
+    return workloads::make_sort_workload(threads, opts, distinct);
+  }
+  if (kind == "spgemm") {
+    workloads::SpgemmOptions opts;
+    opts.rows = opts.cols = static_cast<std::uint32_t>(args.get_int("n", 200));
+    opts.density = args.get_double("density", 0.10);
+    opts.seed = seed;
+    return workloads::make_spgemm_workload(threads, opts, distinct);
+  }
+  if (kind == "dense") {
+    workloads::DenseMmOptions opts;
+    opts.n = static_cast<std::uint32_t>(args.get_int("n", 96));
+    opts.seed = seed;
+    return workloads::make_dense_mm_workload(threads, opts, distinct);
+  }
+  if (kind == "cyclic") {
+    return workloads::make_adversarial_workload(
+        threads,
+        {static_cast<std::uint32_t>(args.get_int("pages", 256)),
+         static_cast<std::uint32_t>(args.get_int("reps", 100))});
+  }
+  workloads::SyntheticOptions opts;
+  opts.num_pages = static_cast<std::uint32_t>(args.get_int("pages", 1024));
+  opts.length = static_cast<std::size_t>(args.get_int("length", 100'000));
+  opts.zipf_s = args.get_double("zipf-s", 0.99);
+  opts.seed = seed;
+  if (kind == "uniform") {
+    opts.kind = workloads::SyntheticKind::kUniform;
+  } else if (kind == "zipf") {
+    opts.kind = workloads::SyntheticKind::kZipf;
+  } else if (kind == "stream") {
+    opts.kind = workloads::SyntheticKind::kStream;
+    opts.stream_passes = static_cast<std::uint32_t>(args.get_int("reps", 4));
+  } else {
+    throw ConfigError("unknown workload '" + kind + "'");
+  }
+  return workloads::make_synthetic_workload(threads, opts);
+}
+
+SimConfig build_config(const ArgParser& args, const Workload& workload) {
+  SimConfig c;
+  const std::uint64_t default_k =
+      std::max<std::uint64_t>(8, workload.trace(0).unique_pages());
+  c.hbm_slots = static_cast<std::uint64_t>(args.get_int("k", static_cast<std::int64_t>(default_k)));
+  c.num_channels = static_cast<std::uint32_t>(args.get_int("q", 1));
+  c.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  c.row_pages = static_cast<std::uint32_t>(args.get_int("row-pages", 4));
+  c.shared_pages = args.get_flag("shared-pages");
+
+  const std::string policy = args.get("policy", "fifo");
+  const double t_mult = args.get_double("t-mult", 10.0);
+  if (policy == "fifo") {
+    c.arbitration = ArbitrationKind::kFifo;
+  } else if (policy == "fr-fcfs") {
+    c.arbitration = ArbitrationKind::kFrFcfs;
+  } else if (policy == "random") {
+    c.arbitration = ArbitrationKind::kRandom;
+  } else if (policy == "priority") {
+    c.arbitration = ArbitrationKind::kPriority;
+  } else if (policy == "dynamic" || policy == "cycle" ||
+             policy == "cycle-reverse" || policy == "interleave") {
+    c.arbitration = ArbitrationKind::kPriority;
+    c.remap_period = SimConfig::period_from_multiplier(c.hbm_slots, t_mult);
+    c.remap_scheme = policy == "dynamic"         ? RemapScheme::kDynamic
+                     : policy == "cycle"         ? RemapScheme::kCycle
+                     : policy == "cycle-reverse" ? RemapScheme::kCycleReverse
+                                                 : RemapScheme::kInterleave;
+  } else {
+    throw ConfigError("unknown policy '" + policy + "'");
+  }
+
+  const std::string repl = args.get("replacement", "lru");
+  c.replacement = repl == "lru"     ? ReplacementKind::kLru
+                  : repl == "fifo"  ? ReplacementKind::kFifo
+                  : repl == "clock" ? ReplacementKind::kClock
+                                    : throw ConfigError("unknown replacement '" +
+                                                        repl + "'");
+  const std::string binding = args.get("binding", "any");
+  c.channel_binding = binding == "any"      ? ChannelBinding::kAny
+                      : binding == "hashed" ? ChannelBinding::kHashed
+                                            : throw ConfigError(
+                                                  "unknown binding '" + binding +
+                                                  "'");
+  return c;
+}
+
+void print_workload_header(const Workload& w, const SimConfig& c) {
+  std::printf("workload: %s | threads %zu | refs %llu | k %llu | q %u\n",
+              w.name().empty() ? "(unnamed)" : w.name().c_str(),
+              w.num_threads(),
+              static_cast<unsigned long long>(w.total_refs()),
+              static_cast<unsigned long long>(c.hbm_slots), c.num_channels);
+}
+
+int cmd_run(const ArgParser& args) {
+  const Workload w = build_workload(args);
+  const SimConfig c = build_config(args, w);
+  const bool per_thread = args.get_flag("per-thread");
+  const bool csv = args.get_flag("csv");
+  args.reject_unknown();
+  print_workload_header(w, c);
+  std::printf("policy:   %s\n\n", c.policy_name().c_str());
+
+  const RunMetrics m = simulate(w, c);
+  std::printf("%s", m.summary().c_str());
+  std::printf("response p50/p99/p99.9: %.1f / %.1f / %.1f ticks\n",
+              m.response_quantile(0.50), m.response_quantile(0.99),
+              m.response_quantile(0.999));
+
+  if (per_thread) {
+    exp::Table t({"thread", "refs", "hits", "misses", "completion",
+                  "mean_response", "max_response"});
+    for (std::size_t i = 0; i < m.per_thread.size(); ++i) {
+      const ThreadMetrics& tm = m.per_thread[i];
+      t.row() << static_cast<std::uint64_t>(i) << tm.refs << tm.hits
+              << tm.misses << tm.completion_tick << tm.response.mean()
+              << tm.response.max();
+    }
+    std::printf("\n");
+    if (csv) {
+      t.print_csv(std::cout);
+    } else {
+      t.print_text(std::cout);
+    }
+  }
+  return 0;
+}
+
+int cmd_compare(const ArgParser& args) {
+  const Workload w = build_workload(args);
+  SimConfig base = build_config(args, w);
+  args.reject_unknown();
+  print_workload_header(w, base);
+  std::printf("\n");
+
+  std::vector<SimConfig> configs;
+  {
+    SimConfig c = base;
+    c.arbitration = ArbitrationKind::kFifo;
+    c.remap_scheme = RemapScheme::kNone;
+    c.remap_period = 0;
+    configs.push_back(c);
+    c.arbitration = ArbitrationKind::kFrFcfs;
+    configs.push_back(c);
+    c.arbitration = ArbitrationKind::kPriority;
+    configs.push_back(c);
+    c.remap_scheme = RemapScheme::kDynamic;
+    c.remap_period = SimConfig::period_from_multiplier(
+        base.hbm_slots, args.get_double("t-mult", 10.0));
+    configs.push_back(c);
+    c.remap_scheme = RemapScheme::kCycle;
+    configs.push_back(c);
+  }
+
+  exp::Table t({"policy", "makespan", "hit%", "mean_resp", "p99_resp",
+                "inconsistency", "max_resp"});
+  for (const SimConfig& c : configs) {
+    const RunMetrics m = simulate(w, c);
+    t.row() << c.policy_name() << m.makespan << m.hit_rate() * 100.0
+            << m.mean_response() << m.response_quantile(0.99)
+            << m.inconsistency() << m.max_response();
+  }
+  if (args.get_flag("csv")) {
+    t.print_csv(std::cout);
+  } else {
+    t.print_text(std::cout);
+  }
+  return 0;
+}
+
+int cmd_bounds(const ArgParser& args) {
+  const Workload w = build_workload(args);
+  const SimConfig base = build_config(args, w);
+  args.reject_unknown();
+  print_workload_header(w, base);
+
+  const opt::MakespanBounds lb =
+      opt::makespan_lower_bounds(w, base.hbm_slots, base.num_channels);
+  std::printf("\nlower bounds: critical path %llu | channel congestion %llu\n",
+              static_cast<unsigned long long>(lb.critical_path),
+              static_cast<unsigned long long>(lb.channel_congestion));
+
+  exp::Table t({"policy", "makespan", "ratio_to_bound"});
+  for (const ArbitrationKind arb :
+       {ArbitrationKind::kFifo, ArbitrationKind::kFrFcfs,
+        ArbitrationKind::kPriority}) {
+    SimConfig c = base;
+    c.arbitration = arb;
+    c.remap_scheme = RemapScheme::kNone;
+    c.remap_period = 0;
+    const RunMetrics m = simulate(w, c);
+    t.row() << c.policy_name() << m.makespan
+            << static_cast<double>(m.makespan) /
+                   static_cast<double>(lb.lower());
+  }
+  t.print_text(std::cout);
+  return 0;
+}
+
+int cmd_analyze(const ArgParser& args) {
+  const Workload w = build_workload(args);
+  args.reject_unknown();
+
+  exp::Table t({"thread", "refs", "pages", "mean_dist", "k_50%", "k_10%", "k_1%"});
+  // Distinct trace objects only (replicated workloads share them).
+  std::set<const Trace*> seen;
+  for (std::size_t i = 0; i < w.num_threads(); ++i) {
+    const Trace* trace = &w.trace(i);
+    if (!seen.insert(trace).second) {
+      continue;
+    }
+    const TraceProfile p = profile_trace(*trace);
+    t.row() << static_cast<std::uint64_t>(i) << p.refs << p.unique_pages
+            << p.mean_stack_distance << p.k_for_half << p.k_for_tenth
+            << p.k_for_hundredth;
+  }
+  t.print_text(std::cout);
+  std::printf(
+      "\n(distinct traces only; replicated threads share the same profile)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const ArgParser args(argc, argv);
+    if (args.positional().empty()) {
+      return usage();
+    }
+    const std::string& cmd = args.positional().front();
+    if (cmd == "run") {
+      return cmd_run(args);
+    }
+    if (cmd == "compare") {
+      return cmd_compare(args);
+    }
+    if (cmd == "bounds") {
+      return cmd_bounds(args);
+    }
+    if (cmd == "analyze") {
+      return cmd_analyze(args);
+    }
+    return usage();
+  } catch (const hbmsim::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

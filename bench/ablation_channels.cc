@@ -1,0 +1,53 @@
+// Ablation A1: number of far channels q between HBM and DRAM (1..10) —
+// the paper's multi-channel extension (§2, Theorem 3: Priority is
+// O(q)-competitive) and part of its parameter sweep ("the number of
+// channels to DRAM (1-10)").
+//
+// Expectation: more channels shrink every policy's makespan until the
+// workload stops being channel-bound; the FIFO-vs-Priority gap narrows as
+// q grows because queue order matters less when almost everything fits in
+// flight.
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "core/simulator.h"
+#include "exp/sweep.h"
+
+int main() {
+  using namespace hbmsim;
+  using namespace hbmsim::bench;
+
+  const Scales scales = current_scales();
+  banner("Ablation A1: channel count q = 1..10", scales);
+  Stopwatch watch;
+
+  const std::size_t p = scales.scale == BenchScale::kPaper ? 100 : 24;
+
+  for (const auto& [title, workload] :
+       {std::pair<const char*, Workload>{"SpGEMM", spgemm_workload(scales, p)},
+        std::pair<const char*, Workload>{"GNU sort", sort_workload(scales, p)}}) {
+    const std::uint64_t k = contended_k(scales, workload);
+    std::printf("\n--- %s (p=%zu, k=%llu) ---\n", title, p,
+                static_cast<unsigned long long>(k));
+    exp::Table table({"q", "fifo_makespan", "priority_makespan", "fifo/priority",
+                      "priority_speedup_vs_q1"});
+    Tick prio_q1 = 0;
+    for (std::uint32_t q = 1; q <= 10; ++q) {
+      const RunMetrics fifo = simulate(workload, SimConfig::fifo(k, q));
+      const RunMetrics prio = simulate(workload, SimConfig::priority(k, q));
+      if (q == 1) {
+        prio_q1 = prio.makespan;
+      }
+      table.row() << q << fifo.makespan << prio.makespan
+                  << static_cast<double>(fifo.makespan) /
+                         static_cast<double>(prio.makespan)
+                  << static_cast<double>(prio_q1) /
+                         static_cast<double>(prio.makespan);
+    }
+    table.print_text(std::cout);
+  }
+
+  std::printf("\ntotal wall time: %.1fs\n", watch.seconds());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation A4: the paper's trace-source sweep dimension — "we varied ...
+// the source of the access traces (GNU sort, quicksort, Sparse and Dense
+// Matrix Multiplication)" (§1.2). Figures 2-5 present sort and SpGEMM in
+// depth; this harness runs the same FIFO/Priority/Dynamic comparison on
+// all four sources plus the std::sort instrumentation variant.
+#include <cstdio>
+#include <functional>
+#include <iostream>
+
+#include "common.h"
+#include "core/simulator.h"
+#include "exp/sweep.h"
+#include "workloads/dense_mm.h"
+
+namespace {
+
+using namespace hbmsim;
+using namespace hbmsim::bench;
+
+Workload sort_variant(const Scales& s, std::size_t p, workloads::SortAlgo algo) {
+  workloads::SortTraceOptions opts;
+  opts.num_elements = s.sort_elements;
+  opts.algo = algo;
+  return workloads::make_sort_workload(p, opts, s.distinct_traces);
+}
+
+}  // namespace
+
+int main() {
+  const Scales scales = current_scales();
+  banner("Ablation A4: trace sources (sort variants, SpGEMM, dense MM)",
+         scales);
+  Stopwatch watch;
+
+  const std::size_t p = scales.scale == BenchScale::kPaper ? 100 : 24;
+
+  const std::vector<std::pair<const char*, std::function<Workload()>>> sources =
+      {
+          {"mergesort", [&] { return sort_variant(scales, p, workloads::SortAlgo::kMergeSort); }},
+          {"quicksort", [&] { return sort_variant(scales, p, workloads::SortAlgo::kQuickSort); }},
+          {"std::sort", [&] { return sort_variant(scales, p, workloads::SortAlgo::kStdSort); }},
+          {"spgemm", [&] { return spgemm_workload(scales, p); }},
+          {"dense-mm",
+           [&] {
+             workloads::DenseMmOptions opts;
+             opts.n = scales.scale == BenchScale::kPaper ? 256 : 64;
+             return workloads::make_dense_mm_workload(p, opts,
+                                                      scales.distinct_traces);
+           }},
+      };
+
+  exp::Table table({"source", "k", "fifo", "priority", "dynamic(T=10k)",
+                    "fifo/priority", "fifo/dynamic"});
+  for (const auto& [name, make] : sources) {
+    const Workload w = make();
+    const std::uint64_t k = contended_k(scales, w);
+    const Tick fifo = simulate(w, SimConfig::fifo(k)).makespan;
+    const Tick prio = simulate(w, SimConfig::priority(k)).makespan;
+    const Tick dyn = simulate(w, SimConfig::dynamic_priority(k, 10.0)).makespan;
+    table.row() << name << k << fifo << prio << dyn
+                << static_cast<double>(fifo) / static_cast<double>(prio)
+                << static_cast<double>(fifo) / static_cast<double>(dyn);
+  }
+  table.print_text(std::cout);
+
+  std::printf(
+      "\nreading guide: every bandwidth-bound source shows the same story "
+      "— Dynamic Priority at least matches FIFO, usually beats it; the "
+      "magnitude depends on each source's reuse profile (see "
+      "examples/miss_curve).\n");
+  std::printf("total wall time: %.1fs\n", watch.seconds());
+  return 0;
+}

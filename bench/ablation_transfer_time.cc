@@ -1,0 +1,74 @@
+// Extension ablation: non-unit block-transfer time. The model (§2) sets
+// all block-transfer times to 1; SimConfig::fetch_ticks makes DRAM
+// latency a parameter (channels stay pipelined, so bandwidth is
+// unchanged). The question: does the FIFO-vs-Priority verdict depend on
+// the unit-latency idealisation?
+//
+// Finding (see EXPERIMENTS.md): FIFO's makespan is pure bandwidth —
+// pipelining hides latency entirely, so it barely moves with L. Priority
+// wins by converting misses into hits, and every remaining miss sits on
+// its critical path, so its makespan grows with L and the FIFO/Priority
+// ratio *erodes* as transfers slow (on the cyclic workload, from ~5× at
+// L=1 to ~1.2× at L=8). The paper's conclusions hold at DRAM-like
+// latencies (a transfer is about one scheduling quantum) but the
+// unit-transfer idealisation is load-bearing for the magnitude.
+#include <cstdio>
+#include <iostream>
+
+#include "common.h"
+#include "core/simulator.h"
+#include "exp/sweep.h"
+#include "workloads/adversarial.h"
+
+int main() {
+  using namespace hbmsim;
+  using namespace hbmsim::bench;
+
+  const Scales scales = current_scales();
+  banner("Ablation: DRAM transfer latency L = 1..8 (model fixes L = 1)",
+         scales);
+  Stopwatch watch;
+
+  const bool paper = scales.scale == BenchScale::kPaper;
+  const std::size_t p = paper ? 64 : 24;
+
+  // The adversarial workload (channel-bound: latency should matter most).
+  const workloads::AdversarialOptions adv{.unique_pages = paper ? 256u : 64u,
+                                          .repetitions = paper ? 100u : 25u};
+  const Workload cyc = workloads::make_adversarial_workload(p, adv);
+  const std::uint64_t cyc_k = workloads::adversarial_hbm_slots(p, adv, 0.25);
+
+  // And the sort workload (mixed hits/misses).
+  const Workload sort = sort_workload(scales, p);
+  const std::uint64_t sort_k = contended_k(scales, sort);
+
+  for (const auto& [title, w, k] :
+       {std::tuple<const char*, const Workload&, std::uint64_t>{"adversarial cyclic", cyc, cyc_k},
+        std::tuple<const char*, const Workload&, std::uint64_t>{"GNU sort", sort, sort_k}}) {
+    std::printf("\n--- %s (p=%zu, k=%llu) ---\n", title, p,
+                static_cast<unsigned long long>(k));
+    exp::Table table({"L", "fifo_makespan", "priority_makespan", "fifo/priority",
+                      "fifo_mean_resp", "priority_mean_resp"});
+    for (const std::uint32_t latency : {1u, 2u, 4u, 8u}) {
+      SimConfig fifo = SimConfig::fifo(k);
+      fifo.fetch_ticks = latency;
+      SimConfig prio = SimConfig::priority(k);
+      prio.fetch_ticks = latency;
+      const RunMetrics mf = simulate(w, fifo);
+      const RunMetrics mp = simulate(w, prio);
+      table.row() << latency << mf.makespan << mp.makespan
+                  << static_cast<double>(mf.makespan) /
+                         static_cast<double>(mp.makespan)
+                  << mf.mean_response() << mp.mean_response();
+    }
+    table.print_text(std::cout);
+  }
+
+  std::printf(
+      "\nreading guide: FIFO's column is flat (bandwidth-bound, latency "
+      "pipelined away); Priority's grows with L because its residual "
+      "misses are on the critical path — slower transfers erode, but do "
+      "not invert, the Priority advantage.\n");
+  std::printf("total wall time: %.1fs\n", watch.seconds());
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Shared infrastructure for the experiment harnesses in bench/.
+//
+// Every binary reproduces one table or figure from the paper. Binaries
+// default to "quick" scale (seconds on one core, same qualitative
+// shapes); set HBMSIM_SCALE=paper to run the published parameters —
+// fig2/fig4 at paper scale simulate billions of page references and take
+// hours.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/table.h"
+#include "trace/trace.h"
+#include "util/env.h"
+#include "workloads/sort_trace.h"
+#include "workloads/spgemm.h"
+
+namespace hbmsim::bench {
+
+struct Scales {
+  BenchScale scale;
+  // Dataset 1 (sort) and Dataset 2 (SpGEMM) generation parameters.
+  std::size_t sort_elements;
+  std::uint32_t spgemm_n;
+  std::size_t distinct_traces;
+  // Sweep axes.
+  std::vector<std::size_t> thread_counts;
+  std::vector<std::uint64_t> hbm_sizes;
+  std::uint64_t ops;  // microbenchmark op counts (knl)
+};
+
+inline Scales current_scales() {
+  if (bench_scale() == BenchScale::kPaper) {
+    return Scales{
+        BenchScale::kPaper,
+        /*sort_elements=*/500'000,        // paper §3.2
+        /*spgemm_n=*/600,                 // paper §3.2
+        /*distinct_traces=*/8,
+        /*thread_counts=*/{1, 10, 25, 50, 100, 150, 200},
+        /*hbm_sizes=*/{1000, 2000, 3000, 4000, 5000},  // paper: 1000–5000
+        /*ops=*/std::uint64_t{1} << 24,
+    };
+  }
+  return Scales{
+      BenchScale::kQuick,
+      /*sort_elements=*/8'000,
+      /*spgemm_n=*/160,
+      /*distinct_traces=*/4,
+      /*thread_counts=*/{1, 2, 4, 8, 16, 24, 32},
+      /*hbm_sizes=*/{250, 500, 1000},
+      /*ops=*/300'000,
+  };
+}
+
+inline const char* scale_name(const Scales& s) {
+  return s.scale == BenchScale::kPaper ? "paper" : "quick";
+}
+
+/// Announce an experiment with its provenance line.
+inline void banner(const std::string& experiment, const Scales& s) {
+  std::printf("==========================================================\n");
+  std::printf("%s   [scale: %s]\n", experiment.c_str(), scale_name(s));
+  std::printf("  (HBMSIM_SCALE=paper reproduces the published parameters)\n");
+  std::printf("==========================================================\n");
+}
+
+/// HBM sizes for a sweep. The paper uses 1000–5000 slots against ~1000
+/// unique pages per thread — i.e. one to five per-thread working sets.
+/// At quick scale the working sets are smaller, so express k the same
+/// way: multiples of one thread's unique page count. This keeps the
+/// contention regime (p·W >> k) identical across scales.
+inline std::vector<std::uint64_t> hbm_sizes_for(const Scales& s,
+                                                const Workload& probe) {
+  if (s.scale == BenchScale::kPaper) {
+    return s.hbm_sizes;
+  }
+  const std::uint64_t w =
+      std::max<std::uint64_t>(4, probe.trace(0).unique_pages());
+  return {w, 2 * w, 3 * w, 5 * w};
+}
+
+/// A single contended operating point: one per-thread working set of HBM
+/// (the scarce end of the sweep, where the paper's fairness effects are
+/// visible).
+inline std::uint64_t contended_k(const Scales& s, const Workload& probe) {
+  return hbm_sizes_for(s, probe).front();
+}
+
+/// Dataset 1: the paper's GNU-sort workload at the current scale.
+inline Workload sort_workload(const Scales& s, std::size_t threads,
+                              std::uint64_t seed = 1) {
+  workloads::SortTraceOptions opts;
+  opts.num_elements = s.sort_elements;
+  opts.algo = workloads::SortAlgo::kMergeSort;
+  opts.seed = seed;
+  return workloads::make_sort_workload(threads, opts, s.distinct_traces);
+}
+
+/// Dataset 2: the paper's TACO SpGEMM workload at the current scale.
+inline Workload spgemm_workload(const Scales& s, std::size_t threads,
+                                std::uint64_t seed = 1) {
+  workloads::SpgemmOptions opts;
+  opts.rows = s.spgemm_n;
+  opts.cols = s.spgemm_n;
+  opts.density = 0.10;
+  opts.seed = seed;
+  return workloads::make_spgemm_workload(threads, opts, s.distinct_traces);
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace hbmsim::bench

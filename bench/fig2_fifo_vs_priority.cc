@@ -1,0 +1,62 @@
+// Figure 2 (a, b): FIFO vs (static) Priority makespan ratio as a function
+// of thread count, for HBM sizes in a sweep.
+//
+// Paper result: "FIFO can dominate at low processor counts but priority
+// always dominates at high processor counts" — Priority loses by up to
+// 1.33× (SpGEMM) / 1.37× (sort) when HBM is plentiful, and wins by up to
+// 3.3× (SpGEMM) / 1.2× (sort) when threads contend.
+//
+// The y-value printed is FIFO makespan / Priority makespan (> 1 means
+// Priority wins), exactly the paper's axis.
+#include <cstdio>
+#include <functional>
+#include <iostream>
+
+#include "common.h"
+#include "core/simulator.h"
+#include "exp/sweep.h"
+
+namespace {
+
+using namespace hbmsim;
+using namespace hbmsim::bench;
+
+void run_dataset(const char* title, const Scales& scales,
+                 const exp::WorkloadFactory& factory) {
+  std::printf("\n--- %s ---\n", title);
+  exp::Table table({"threads", "hbm_slots", "fifo_makespan", "priority_makespan",
+                    "fifo/priority"});
+  const auto points = exp::ratio_sweep(
+      factory, scales.thread_counts, hbm_sizes_for(scales, factory(1)),
+      [](std::uint64_t k) { return SimConfig::fifo(k); },
+      [](std::uint64_t k) { return SimConfig::priority(k); });
+  double min_ratio = 1e18;
+  double max_ratio = 0.0;
+  for (const auto& pt : points) {
+    table.row() << static_cast<std::uint64_t>(pt.num_threads) << pt.hbm_slots
+                << pt.makespan_a << pt.makespan_b << pt.ratio();
+    min_ratio = std::min(min_ratio, pt.ratio());
+    max_ratio = std::max(max_ratio, pt.ratio());
+  }
+  table.print_text(std::cout);
+  std::printf(
+      "summary: FIFO/Priority ratio spans %.3f .. %.3f "
+      "(paper: FIFO ahead at low p, Priority ahead by up to 3.3x at high p)\n",
+      min_ratio, max_ratio);
+}
+
+}  // namespace
+
+int main() {
+  const Scales scales = current_scales();
+  banner("Figure 2: FIFO vs Priority makespan ratio", scales);
+  Stopwatch watch;
+
+  run_dataset("Figure 2a: SpGEMM (TACO-style, 10% density)", scales,
+              [&](std::size_t p) { return spgemm_workload(scales, p); });
+  run_dataset("Figure 2b: GNU sort (mergesort over logging iterators)", scales,
+              [&](std::size_t p) { return sort_workload(scales, p); });
+
+  std::printf("\ntotal wall time: %.1fs\n", watch.seconds());
+  return 0;
+}

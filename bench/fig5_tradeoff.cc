@@ -1,0 +1,77 @@
+// Figure 5 (a, b): the inconsistency–makespan trade-off across permutation
+// intervals T for FIFO, Priority, Dynamic Priority and Cycle Priority.
+//
+// Paper result: FIFO has the highest makespan (at the plotted thread
+// count) and the lowest inconsistency; Priority has the best makespan and
+// by far the highest inconsistency; for T in roughly 10k..100k (Dynamic)
+// and 5k..100k (Cycle), "most of the inconsistency can be removed with
+// minimal loss in performance".
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common.h"
+#include "core/simulator.h"
+#include "exp/sweep.h"
+
+namespace {
+
+using namespace hbmsim;
+using namespace hbmsim::bench;
+
+void run_dataset(const char* title, const Workload& w, std::uint64_t k) {
+  std::printf("\n--- %s (p=%zu, k=%llu) ---\n", title, w.num_threads(),
+              static_cast<unsigned long long>(k));
+
+  std::vector<SimConfig> configs;
+  configs.push_back(SimConfig::fifo(k));
+  for (const double t_mult : {1.0, 5.0, 10.0, 100.0}) {
+    configs.push_back(SimConfig::dynamic_priority(k, t_mult));
+  }
+  for (const double t_mult : {1.0, 5.0, 10.0, 100.0}) {
+    configs.push_back(SimConfig::cycle_priority(k, t_mult));
+  }
+  configs.push_back(SimConfig::priority(k));
+
+  exp::Table table(
+      {"policy", "makespan", "inconsistency", "mean_response", "max_response"});
+  const auto results = exp::run_policies(w, configs);
+  for (const auto& r : results) {
+    table.row() << r.policy << r.metrics.makespan << r.metrics.inconsistency()
+                << r.metrics.mean_response()
+                << static_cast<std::uint64_t>(r.metrics.max_response());
+  }
+  table.print_text(std::cout);
+
+  const RunMetrics& fifo = results.front().metrics;
+  const RunMetrics& prio = results.back().metrics;
+  const RunMetrics& dyn10k = results[3].metrics;  // Dynamic T = 10k
+  std::printf(
+      "summary: Priority inconsistency %.3f vs FIFO %.3f; Dynamic(T=10k) "
+      "inconsistency %.3f at makespan %.2fx of Priority's\n",
+      prio.inconsistency(), fifo.inconsistency(), dyn10k.inconsistency(),
+      static_cast<double>(dyn10k.makespan) /
+          static_cast<double>(prio.makespan));
+}
+
+}  // namespace
+
+int main() {
+  const Scales scales = current_scales();
+  banner("Figure 5: inconsistency vs makespan across permutation intervals",
+         scales);
+  Stopwatch watch;
+
+  // One contended operating point per dataset (the paper plots a fixed
+  // configuration per subfigure).
+  const std::size_t p =
+      scales.scale == BenchScale::kPaper ? 50 : 24;
+  const Workload spgemm = spgemm_workload(scales, p);
+  const Workload sort = sort_workload(scales, p);
+
+  run_dataset("Figure 5a: SpGEMM", spgemm, contended_k(scales, spgemm));
+  run_dataset("Figure 5b: GNU sort", sort, contended_k(scales, sort));
+
+  std::printf("\ntotal wall time: %.1fs\n", watch.seconds());
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Google-benchmark microbenchmarks of the simulator core: end-to-end
+// simulation throughput per policy, cache-structure operation costs, and
+// trace generation. These guard the performance contract in DESIGN.md §3
+// (work ∝ refs + misses, not makespan·p).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "assoc/direct_mapped.h"
+#include "core/hbm_cache.h"
+#include "core/simulator.h"
+#include "workloads/adversarial.h"
+#include "workloads/sort_trace.h"
+#include "workloads/synthetic.h"
+
+namespace {
+
+using namespace hbmsim;
+
+Workload zipf_workload(std::size_t threads, std::size_t length) {
+  workloads::SyntheticOptions opts;
+  opts.kind = workloads::SyntheticKind::kZipf;
+  opts.num_pages = 2048;
+  opts.length = length;
+  opts.zipf_s = 0.9;
+  return workloads::make_synthetic_workload(threads, opts);
+}
+
+void BM_SimulateFifo(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const Workload w = zipf_workload(threads, 100'000);
+  SimConfig c = SimConfig::fifo(4096);
+  c.per_thread_metrics = false;
+  c.response_histogram = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(w, c));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.total_refs()));
+}
+BENCHMARK(BM_SimulateFifo)->Arg(4)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatePriority(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const Workload w = zipf_workload(threads, 100'000);
+  SimConfig c = SimConfig::priority(4096);
+  c.per_thread_metrics = false;
+  c.response_histogram = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(w, c));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.total_refs()));
+}
+BENCHMARK(BM_SimulatePriority)->Arg(4)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateDynamicPriority(benchmark::State& state) {
+  const Workload w = zipf_workload(16, 100'000);
+  SimConfig c = SimConfig::dynamic_priority(4096, 10.0);
+  c.per_thread_metrics = false;
+  c.response_histogram = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(w, c));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.total_refs()));
+}
+BENCHMARK(BM_SimulateDynamicPriority)->Unit(benchmark::kMillisecond);
+
+// Channel-bound case: most threads blocked; ticks must stay cheap.
+void BM_SimulateChannelBound(benchmark::State& state) {
+  const Workload w = workloads::make_adversarial_workload(
+      64, {.unique_pages = 256, .repetitions = 20});
+  SimConfig c = SimConfig::fifo(
+      workloads::adversarial_hbm_slots(64, {.unique_pages = 256, .repetitions = 20},
+                                       0.25));
+  c.per_thread_metrics = false;
+  c.response_histogram = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(w, c));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.total_refs()));
+}
+BENCHMARK(BM_SimulateChannelBound)->Unit(benchmark::kMillisecond);
+
+void BM_LruCacheChurn(benchmark::State& state) {
+  HbmCache cache(static_cast<std::uint64_t>(state.range(0)), ReplacementKind::kLru);
+  std::uint64_t page = 0;
+  for (auto _ : state) {
+    cache.insert(page++);
+    if (cache.contains(page / 2)) {
+      cache.touch(page / 2);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LruCacheChurn)->Arg(1024)->Arg(65536);
+
+void BM_DirectMappedChurn(benchmark::State& state) {
+  assoc::DirectMappedCache cache(65536);
+  std::uint64_t page = 0;
+  for (auto _ : state) {
+    if (!cache.contains(page)) {
+      cache.insert(page);
+    }
+    page += 7;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DirectMappedChurn);
+
+void BM_SortTraceGeneration(benchmark::State& state) {
+  workloads::SortTraceOptions opts;
+  opts.num_elements = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    opts.seed++;
+    benchmark::DoNotOptimize(workloads::make_sort_trace(opts));
+  }
+}
+BENCHMARK(BM_SortTraceGeneration)->Arg(10'000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Table 1 (a, b): inconsistency and average response time per queuing
+// policy, with permutation intervals T ∈ {k, 5k, 10k, 100k}.
+//
+// Paper result: "FIFO has lowest inconsistency and highest average
+// response time. Priority has highest inconsistency and lowest average
+// response time. More frequent permutation decreases Priority's
+// inconsistency and increases its average response time."
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common.h"
+#include "core/simulator.h"
+#include "exp/sweep.h"
+
+namespace {
+
+using namespace hbmsim;
+using namespace hbmsim::bench;
+
+void run_dataset(const char* title, const Workload& w, std::uint64_t k) {
+  std::printf("\n--- %s (p=%zu, k=%llu) ---\n", title, w.num_threads(),
+              static_cast<unsigned long long>(k));
+
+  std::vector<SimConfig> configs;
+  configs.push_back(SimConfig::fifo(k));
+  for (const double t_mult : {1.0, 5.0, 10.0, 100.0}) {
+    configs.push_back(SimConfig::dynamic_priority(k, t_mult));
+  }
+  for (const double t_mult : {1.0, 5.0, 10.0, 100.0}) {
+    configs.push_back(SimConfig::cycle_priority(k, t_mult));
+  }
+  configs.push_back(SimConfig::priority(k));
+
+  // The paper labels rows by T as a multiple of k.
+  const std::vector<std::string> labels = {
+      "FIFO",
+      "Dynamic Priority T=k",   "Dynamic Priority T=5k",
+      "Dynamic Priority T=10k", "Dynamic Priority T=100k",
+      "Cycle Priority T=k",     "Cycle Priority T=5k",
+      "Cycle Priority T=10k",   "Cycle Priority T=100k",
+      "Priority",
+  };
+
+  exp::Table table({"Queuing Policy", "Inconsistency", "Response Time"});
+  const auto results = exp::run_policies(w, configs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    table.row() << labels[i] << results[i].metrics.inconsistency()
+                << results[i].metrics.mean_response();
+  }
+  table.print_text(std::cout);
+
+  const auto& fifo = results.front().metrics;
+  const auto& prio = results.back().metrics;
+  std::printf(
+      "checks: FIFO lowest inconsistency %s | Priority lowest response %s\n",
+      fifo.inconsistency() <= prio.inconsistency() ? "yes" : "NO",
+      prio.mean_response() <= fifo.mean_response() ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+  const Scales scales = current_scales();
+  banner("Table 1: inconsistency and average response time per policy",
+         scales);
+  Stopwatch watch;
+
+  const std::size_t p = scales.scale == BenchScale::kPaper ? 50 : 24;
+  const Workload spgemm = spgemm_workload(scales, p);
+  const Workload sort = sort_workload(scales, p);
+
+  run_dataset("Table 1a: sparse matrix multiplication", spgemm,
+              contended_k(scales, spgemm));
+  run_dataset("Table 1b: GNU sort", sort, contended_k(scales, sort));
+
+  std::printf("\ntotal wall time: %.1fs\n", watch.seconds());
+  return 0;
+}

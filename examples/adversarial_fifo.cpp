@@ -1,0 +1,70 @@
+// Adversarial demo: why FIFO far-channel arbitration is Ω(p)-competitive.
+//
+// Walks through the paper's Dataset 3 story (§3.2, §4, Figure 3) with a
+// tick-by-tick peek at the simulator: all p cores cycle through U unique
+// pages while HBM holds only a quarter of the aggregate working set.
+// FIFO shares the channel fairly, so every core's page dies before reuse
+// and nobody ever hits; Priority starves the low cores so the top cores'
+// working sets survive.
+//
+// Usage: adversarial_fifo [threads] [unique_pages] [repetitions]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/simulator.h"
+#include "workloads/adversarial.h"
+
+int main(int argc, char** argv) {
+  using namespace hbmsim;
+
+  const std::size_t p = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 32;
+  workloads::AdversarialOptions opts;
+  opts.unique_pages = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 256;
+  opts.repetitions = argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 100;
+
+  const Workload w = workloads::make_adversarial_workload(p, opts);
+  const std::uint64_t k = workloads::adversarial_hbm_slots(p, opts, 0.25);
+  std::printf(
+      "adversarial cyclic workload: %zu cores x (1..%u repeated %u times), "
+      "HBM k=%llu slots (1/4 of the %llu unique pages)\n\n",
+      p, opts.unique_pages, opts.repetitions,
+      static_cast<unsigned long long>(k),
+      static_cast<unsigned long long>(w.total_unique_pages()));
+
+  // Step the FIFO simulation a little to show the thrash in motion.
+  Simulator sim(w, SimConfig::fifo(k));
+  for (int i = 0; i < 2000 && !sim.finished(); ++i) {
+    sim.step();
+  }
+  std::printf("FIFO after %llu ticks: %llu served, hit rate %.1f%% — the "
+              "cache is 'stretched, like butter scraped over too much "
+              "bread'\n",
+              static_cast<unsigned long long>(sim.now()),
+              static_cast<unsigned long long>(sim.metrics().response.count()),
+              sim.metrics().hit_rate() * 100.0);
+
+  const RunMetrics fifo = simulate(w, SimConfig::fifo(k));
+  const RunMetrics prio = simulate(w, SimConfig::priority(k));
+  const RunMetrics dyn = simulate(w, SimConfig::dynamic_priority(k, 10.0));
+
+  std::printf("\nfull runs:\n");
+  std::printf("  fifo:             makespan %12llu  hit rate %5.1f%%\n",
+              static_cast<unsigned long long>(fifo.makespan),
+              fifo.hit_rate() * 100.0);
+  std::printf("  priority:         makespan %12llu  hit rate %5.1f%%  (%.1fx faster)\n",
+              static_cast<unsigned long long>(prio.makespan),
+              prio.hit_rate() * 100.0,
+              static_cast<double>(fifo.makespan) /
+                  static_cast<double>(prio.makespan));
+  std::printf("  dynamic-priority: makespan %12llu  hit rate %5.1f%%  (%.1fx faster)\n",
+              static_cast<unsigned long long>(dyn.makespan),
+              dyn.hit_rate() * 100.0,
+              static_cast<double>(fifo.makespan) /
+                  static_cast<double>(dyn.makespan));
+
+  std::printf(
+      "\nat the paper's largest thread counts this gap reaches 40x; because "
+      "Priority is O(1)-competitive (Das et al., Theorem 1) no trace can "
+      "invert it asymptotically.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// miss_curve: stack-distance analysis of the paper's workloads — prints
+// each trace's miss-ratio curve and the cache sizes needed to reach 50%,
+// 10% and 1% miss ratios. This is the tool for siting the HBM sizes of a
+// Figure 2 style sweep: contention starts where k falls below
+// p × (the k_50 column).
+//
+// Usage: miss_curve [file.trace|file.btrace]
+//   With no argument, profiles the built-in generators (sort, SpGEMM,
+//   dense MM, cyclic adversary, Zipf).
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/table.h"
+#include "trace/analysis.h"
+#include "trace/trace_io.h"
+#include "workloads/adversarial.h"
+#include "workloads/dense_mm.h"
+#include "workloads/sort_trace.h"
+#include "workloads/spgemm.h"
+#include "workloads/synthetic.h"
+
+namespace {
+
+using namespace hbmsim;
+
+void profile(exp::Table& table, const std::string& name, const Trace& trace) {
+  const TraceProfile p = profile_trace(trace);
+  const MissCurve curve = compute_miss_curve(trace);
+  table.row() << name << p.refs << p.unique_pages
+              << p.mean_stack_distance << p.k_for_half << p.k_for_tenth
+              << p.k_for_hundredth
+              << curve.miss_ratio_at(p.unique_pages) * 100.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::Table table({"trace", "refs", "pages", "mean_dist", "k_50%", "k_10%",
+                    "k_1%", "full-cache miss%"});
+  table.set_precision(2);
+
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      profile(table, argv[i], load_trace(argv[i]));
+    }
+  } else {
+    workloads::SortTraceOptions sort_opts;
+    sort_opts.num_elements = 20'000;
+    profile(table, "mergesort-20k", workloads::make_sort_trace(sort_opts));
+    sort_opts.algo = workloads::SortAlgo::kQuickSort;
+    profile(table, "quicksort-20k", workloads::make_sort_trace(sort_opts));
+
+    workloads::SpgemmOptions spgemm_opts;
+    spgemm_opts.rows = spgemm_opts.cols = 200;
+    profile(table, "spgemm-200", workloads::make_spgemm_trace(spgemm_opts));
+
+    workloads::DenseMmOptions mm_opts;
+    mm_opts.n = 64;
+    profile(table, "dense-mm-64", workloads::make_dense_mm_trace(mm_opts));
+
+    profile(table, "cyclic-256x100",
+            workloads::make_cyclic_trace({.unique_pages = 256, .repetitions = 100}));
+    profile(table, "zipf-1.0",
+            workloads::make_zipf_trace(1024, 100'000, 1.0, 1));
+  }
+  table.print_text(std::cout);
+
+  std::printf(
+      "\nhow to read this: the cyclic adversary needs its *entire*\n"
+      "footprint cached before the miss ratio moves at all — the cliff\n"
+      "that makes FIFO Ω(p)-competitive. The instrumented kernels have\n"
+      "gentle curves, which is why Figure 2's crossover is soft.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: capture a memory trace from instrumented code, run it
+// through the HBM+DRAM simulator under three far-channel arbitration
+// policies, and compare the outcomes.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/simulator.h"
+#include "trace/logging_iterator.h"
+#include "trace/page_mapper.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace hbmsim;
+
+  // 1. Capture a trace the way the paper instruments GNU sort (§3.2):
+  //    wrap the data in logging iterators and hand them to std::sort.
+  //    Every dereference is recorded and mapped to a 4 KiB page.
+  PageMapper mapper(/*page_bytes=*/4096);
+  Xoshiro256StarStar rng(42);
+  std::vector<std::int32_t> data(20'000);
+  for (auto& x : data) {
+    x = static_cast<std::int32_t>(rng() >> 40);
+  }
+  TracedBuffer<std::int32_t> buffer(std::move(data), /*virtual_base=*/0x10000,
+                                    &mapper);
+  std::sort(buffer.begin(), buffer.end());
+
+  auto trace = std::make_shared<Trace>(mapper.take_trace());
+  std::printf("captured %zu page references over %u distinct pages\n\n",
+              trace->size(), trace->num_pages());
+
+  // 2. Replay the trace on 16 cores sharing one simulated HBM. Pages are
+  //    namespaced per core (the model's disjointness property), so one
+  //    trace object serves all cores.
+  const std::size_t cores = 16;
+  const Workload workload = Workload::replicate(trace, cores, "quickstart");
+
+  // A scarce HBM — about 2.5 page slots per core — so the far channel
+  // actually gets contended; one channel to DRAM.
+  const std::uint64_t k = cores * trace->unique_pages() / 16;
+
+  // 3. Compare the paper's three policies.
+  for (const SimConfig& config :
+       {SimConfig::fifo(k), SimConfig::priority(k),
+        SimConfig::dynamic_priority(k, /*t_mult=*/10.0)}) {
+    const RunMetrics m = simulate(workload, config);
+    std::printf("policy: %s\n%s\n", config.policy_name().c_str(),
+                m.summary().c_str());
+  }
+
+  std::printf(
+      "reading the numbers: FIFO spreads HBM thinly (low inconsistency, "
+      "poor makespan under contention); static Priority wins makespan but "
+      "starves low-priority cores (huge inconsistency); Dynamic Priority "
+      "keeps the makespan and removes most of the starvation.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Sort campaign: the paper's Dataset 1 — trace sorting kernels through
+// logging iterators and study how the remap period T trades makespan
+// against fairness (the Figure 5 / Table 1 story).
+//
+// Usage: sort_campaign [elements] [threads]
+//   elements  integers per sort   (default 20000)
+//   threads   core count          (default 16)
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/simulator.h"
+#include "exp/table.h"
+#include "workloads/sort_trace.h"
+
+int main(int argc, char** argv) {
+  using namespace hbmsim;
+
+  workloads::SortTraceOptions opts;
+  opts.num_elements = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20'000;
+  const std::size_t threads = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 16;
+
+  std::printf("Sort campaign: %zu integers per core, %zu cores\n\n",
+              opts.num_elements, threads);
+
+  // Compare the access patterns of the available sort kernels.
+  exp::Table algos({"algorithm", "trace_refs", "distinct_pages"});
+  for (const auto algo :
+       {workloads::SortAlgo::kMergeSort, workloads::SortAlgo::kQuickSort,
+        workloads::SortAlgo::kStdSort, workloads::SortAlgo::kStdStableSort}) {
+    workloads::SortTraceOptions o = opts;
+    o.algo = algo;
+    const Trace t = workloads::make_sort_trace(o);
+    algos.row() << to_string(algo) << static_cast<std::uint64_t>(t.size())
+                << static_cast<std::uint64_t>(t.num_pages());
+  }
+  algos.print_text(std::cout);
+
+  // Remap-period sweep on the mergesort workload (paper Figure 5b).
+  const Workload w = workloads::make_sort_workload(threads, opts, 4);
+  // About one per-thread working set shared by all cores: contended.
+  const std::uint64_t k = std::max<std::uint64_t>(8, w.trace(0).unique_pages());
+  std::printf("\nremap-period sweep (k=%llu slots):\n",
+              static_cast<unsigned long long>(k));
+
+  exp::Table sweep({"policy", "makespan", "inconsistency", "mean_response"});
+  const auto report = [&](const SimConfig& config) {
+    const RunMetrics m = simulate(w, config);
+    sweep.row() << config.policy_name() << m.makespan << m.inconsistency()
+                << m.mean_response();
+  };
+  report(SimConfig::fifo(k));
+  for (const double t_mult : {1.0, 5.0, 10.0, 50.0, 100.0}) {
+    report(SimConfig::dynamic_priority(k, t_mult));
+  }
+  report(SimConfig::priority(k));
+  sweep.print_text(std::cout);
+
+  std::printf(
+      "\nexpected shape (paper §4): inconsistency grows with T toward "
+      "static Priority's; makespan is flat for T ≳ 10k — that plateau is "
+      "the recommended operating range.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// SpGEMM campaign: the paper's Dataset 2 end to end — generate random
+// sparse matrices, run the instrumented TACO-style Gustavson kernel to
+// capture traces, and sweep policies across thread counts.
+//
+// Usage: spgemm_campaign [n] [density] [max_threads]
+//   n           matrix dimension        (default 200)
+//   density     fraction of nonzeros    (default 0.10)
+//   max_threads largest core count      (default 32)
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/simulator.h"
+#include "exp/table.h"
+#include "workloads/spgemm.h"
+
+int main(int argc, char** argv) {
+  using namespace hbmsim;
+
+  workloads::SpgemmOptions opts;
+  opts.rows = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 200;
+  opts.cols = opts.rows;
+  opts.density = argc > 2 ? std::atof(argv[2]) : 0.10;
+  const std::size_t max_threads = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 32;
+
+  std::printf("SpGEMM campaign: %u x %u at %.0f%% density, up to %zu cores\n",
+              opts.rows, opts.cols, opts.density * 100.0, max_threads);
+
+  // Show what one traced run looks like (and that the kernel is right).
+  const workloads::SpgemmRun one = workloads::run_traced_spgemm(opts);
+  std::printf("one traced multiply: %zu page references, %llu output nnz\n\n",
+              one.trace.size(),
+              static_cast<unsigned long long>(one.product.nnz()));
+
+  exp::Table table({"threads", "policy", "makespan", "hit%", "mean_response",
+                    "inconsistency"});
+  for (std::size_t p = 2; p <= max_threads; p *= 2) {
+    const Workload w = workloads::make_spgemm_workload(p, opts, 4);
+    // Contended HBM: one per-thread working set shared by p cores.
+    const std::uint64_t k =
+        std::max<std::uint64_t>(8, w.trace(0).unique_pages());
+    for (const SimConfig& config :
+         {SimConfig::fifo(k), SimConfig::priority(k),
+          SimConfig::dynamic_priority(k, 10.0), SimConfig::cycle_priority(k, 10.0)}) {
+      const RunMetrics m = simulate(w, config);
+      table.row() << static_cast<std::uint64_t>(p) << config.policy_name()
+                  << m.makespan << m.hit_rate() * 100.0 << m.mean_response()
+                  << m.inconsistency();
+    }
+  }
+  table.print_text(std::cout);
+
+  std::printf(
+      "\nexpected shape (paper Figures 2a/4a): FIFO competitive at low "
+      "thread counts, Priority ahead at high thread counts, Dynamic "
+      "Priority matching the winner everywhere with far lower "
+      "inconsistency than static Priority.\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// trace_tool: generate, inspect, convert, and simulate trace files — the
+// command-line face of the trace substrate.
+//
+// Usage:
+//   trace_tool gen <kind> <out.trace|out.btrace> [args...]
+//       kinds: sort <n>, spgemm <n> <density>, cyclic <unique> <reps>,
+//              uniform <pages> <len>, zipf <pages> <len> <s>
+//   trace_tool info <file>
+//   trace_tool convert <in> <out>        (text <-> binary by extension)
+//   trace_tool sim <file> <threads> <k> <policy>
+//       policies: fifo | priority | dynamic | cycle
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/simulator.h"
+#include "trace/trace_io.h"
+#include "util/error.h"
+#include "workloads/adversarial.h"
+#include "workloads/sort_trace.h"
+#include "workloads/spgemm.h"
+#include "workloads/synthetic.h"
+
+namespace {
+
+using namespace hbmsim;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  trace_tool gen sort <n> <out>\n"
+               "  trace_tool gen spgemm <n> <density> <out>\n"
+               "  trace_tool gen cyclic <unique> <reps> <out>\n"
+               "  trace_tool gen uniform <pages> <len> <out>\n"
+               "  trace_tool gen zipf <pages> <len> <s> <out>\n"
+               "  trace_tool info <file>\n"
+               "  trace_tool convert <in> <out>\n"
+               "  trace_tool sim <file> <threads> <k> "
+               "<fifo|priority|dynamic|cycle>\n");
+  return 2;
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string kind = argv[0];
+  Trace trace;
+  if (kind == "sort" && argc == 3) {
+    workloads::SortTraceOptions opts;
+    opts.num_elements = std::strtoull(argv[1], nullptr, 10);
+    trace = workloads::make_sort_trace(opts);
+  } else if (kind == "spgemm" && argc == 4) {
+    workloads::SpgemmOptions opts;
+    opts.rows = opts.cols = static_cast<std::uint32_t>(std::atoi(argv[1]));
+    opts.density = std::atof(argv[2]);
+    trace = workloads::make_spgemm_trace(opts);
+  } else if (kind == "cyclic" && argc == 4) {
+    trace = workloads::make_cyclic_trace(
+        {static_cast<std::uint32_t>(std::atoi(argv[1])),
+         static_cast<std::uint32_t>(std::atoi(argv[2]))});
+  } else if (kind == "uniform" && argc == 4) {
+    trace = workloads::make_uniform_trace(
+        static_cast<std::uint32_t>(std::atoi(argv[1])),
+        std::strtoull(argv[2], nullptr, 10), 1);
+  } else if (kind == "zipf" && argc == 5) {
+    trace = workloads::make_zipf_trace(
+        static_cast<std::uint32_t>(std::atoi(argv[1])),
+        std::strtoull(argv[2], nullptr, 10), std::atof(argv[3]), 1);
+  } else {
+    return usage();
+  }
+  const char* out = argv[argc - 1];
+  save_trace(trace, out);
+  std::printf("wrote %zu refs / %u pages to %s\n", trace.size(),
+              trace.num_pages(), out);
+  return 0;
+}
+
+int cmd_info(const char* path) {
+  const Trace t = load_trace(path);
+  std::printf("file:          %s\n", path);
+  std::printf("references:    %zu\n", t.size());
+  std::printf("page space:    %u\n", t.num_pages());
+  std::printf("unique pages:  %zu\n", t.unique_pages());
+  std::printf("coalesced len: %zu\n", t.coalesced().size());
+  return 0;
+}
+
+int cmd_convert(const char* in, const char* out) {
+  save_trace(load_trace(in), out);
+  std::printf("converted %s -> %s\n", in, out);
+  return 0;
+}
+
+int cmd_sim(const char* path, const char* threads_s, const char* k_s,
+            const char* policy) {
+  auto trace = std::make_shared<Trace>(load_trace(path));
+  const std::size_t threads = std::strtoull(threads_s, nullptr, 10);
+  const std::uint64_t k = std::strtoull(k_s, nullptr, 10);
+  const Workload w = Workload::replicate(std::move(trace), threads);
+
+  SimConfig config;
+  if (std::strcmp(policy, "fifo") == 0) {
+    config = SimConfig::fifo(k);
+  } else if (std::strcmp(policy, "priority") == 0) {
+    config = SimConfig::priority(k);
+  } else if (std::strcmp(policy, "dynamic") == 0) {
+    config = SimConfig::dynamic_priority(k, 10.0);
+  } else if (std::strcmp(policy, "cycle") == 0) {
+    config = SimConfig::cycle_priority(k, 10.0);
+  } else {
+    return usage();
+  }
+  const RunMetrics m = simulate(w, config);
+  std::printf("policy: %s\n%s", config.policy_name().c_str(),
+              m.summary().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) {
+      return usage();
+    }
+    const std::string cmd = argv[1];
+    if (cmd == "gen") {
+      return cmd_gen(argc - 2, argv + 2);
+    }
+    if (cmd == "info" && argc == 3) {
+      return cmd_info(argv[2]);
+    }
+    if (cmd == "convert" && argc == 4) {
+      return cmd_convert(argv[2], argv[3]);
+    }
+    if (cmd == "sim" && argc == 6) {
+      return cmd_sim(argv[2], argv[3], argv[4], argv[5]);
+    }
+    return usage();
+  } catch (const hbmsim::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,67 @@
+#include "assoc/direct_mapped.h"
+
+#include <bit>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace hbmsim::assoc {
+namespace {
+
+// GlobalPage values are (thread << 32 | page), never all-ones in practice;
+// reserve it as the vacant marker.
+constexpr GlobalPage kEmpty = ~GlobalPage{0};
+
+}  // namespace
+
+DirectMappedCache::DirectMappedCache(std::uint64_t num_slots, SlotHash hash,
+                                     std::uint64_t seed)
+    : hash_(hash) {
+  HBMSIM_CHECK(num_slots > 0, "direct-mapped cache needs at least one slot");
+  slots_.assign(num_slots, kEmpty);
+  SplitMix64 sm(seed);
+  mult_a_ = sm.next() | 1;  // multiply-shift needs an odd multiplier
+  // Use the top bits of the product, then reduce into [0, num_slots).
+  shift_ = 64 - std::bit_width(num_slots - 1 == 0 ? std::uint64_t{1} : num_slots - 1);
+}
+
+std::uint64_t DirectMappedCache::slot_of(GlobalPage page) const noexcept {
+  switch (hash_) {
+    case SlotHash::kUniversal: {
+      const std::uint64_t h = (page * mult_a_) >> shift_;
+      return h % slots_.size();
+    }
+    case SlotHash::kModulo:
+      return page % slots_.size();
+  }
+  return 0;
+}
+
+bool DirectMappedCache::contains(GlobalPage page) const {
+  return slots_[slot_of(page)] == page;
+}
+
+void DirectMappedCache::touch(GlobalPage page) {
+  HBMSIM_ASSERT(contains(page), "touch of non-resident page");
+  (void)page;  // direct mapping has no recency state
+}
+
+std::optional<GlobalPage> DirectMappedCache::insert(GlobalPage page) {
+  const std::uint64_t slot = slot_of(page);
+  GlobalPage& cell = slots_[slot];
+  HBMSIM_ASSERT(cell != page, "inserting already-resident page");
+  std::optional<GlobalPage> victim;
+  if (cell != kEmpty) {
+    victim = cell;
+    ++evictions_;
+    if (occupied_ < slots_.size()) {
+      ++conflict_evictions_;
+    }
+  } else {
+    ++occupied_;
+  }
+  cell = page;
+  return victim;
+}
+
+}  // namespace hbmsim::assoc

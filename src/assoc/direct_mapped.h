@@ -1,0 +1,64 @@
+// Direct-mapped HBM residency model (§2, "Generalizing fully-associative
+// HBM results to direct-mapped implementations").
+//
+// Practical HBM caches (KNL MCDRAM, Sapphire Rapids) are direct mapped:
+// page p can live only in slot h(p). We use a pseudo-random slot hash —
+// the "certain assumptions on the mapping from DRAM addresses to
+// locations in HBM" the paper requires; an identity (modulo) mapping is
+// also available for adversarial-conflict experiments.
+//
+// Plugs into Simulator via the CacheModel interface, which is what the
+// Corollary 1 experiment (bench/ablation_direct_mapped) uses to compare
+// makespans of fully-associative vs direct-mapped HBM.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/hbm_cache.h"
+#include "core/types.h"
+
+namespace hbmsim::assoc {
+
+/// How pages map to slots.
+enum class SlotHash {
+  kUniversal,  ///< multiply-shift universal hash (the lemma's assumption)
+  kModulo,     ///< page mod slots (adversarially conflict-prone)
+};
+
+class DirectMappedCache final : public CacheModel {
+ public:
+  DirectMappedCache(std::uint64_t num_slots, SlotHash hash = SlotHash::kUniversal,
+                    std::uint64_t seed = 1);
+
+  [[nodiscard]] bool contains(GlobalPage page) const override;
+  void touch(GlobalPage page) override;
+
+  /// Inserting into an occupied slot evicts the occupant even when other
+  /// slots are free — the defining property of direct mapping.
+  std::optional<GlobalPage> insert(GlobalPage page) override;
+
+  [[nodiscard]] std::size_t size() const override { return occupied_; }
+  [[nodiscard]] std::uint64_t capacity() const override { return slots_.size(); }
+  [[nodiscard]] std::uint64_t evictions() const override { return evictions_; }
+
+  /// Slot index a page maps to (exposed for tests).
+  [[nodiscard]] std::uint64_t slot_of(GlobalPage page) const noexcept;
+
+  /// Evictions caused by slot conflicts while free slots still existed.
+  [[nodiscard]] std::uint64_t conflict_evictions() const noexcept {
+    return conflict_evictions_;
+  }
+
+ private:
+  std::vector<GlobalPage> slots_;  // kEmpty when vacant
+  SlotHash hash_;
+  std::uint64_t mult_a_;  // odd multiplier for multiply-shift
+  int shift_;
+  std::size_t occupied_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t conflict_evictions_ = 0;
+};
+
+}  // namespace hbmsim::assoc

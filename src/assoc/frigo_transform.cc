@@ -1,0 +1,173 @@
+#include "assoc/frigo_transform.h"
+
+#include <bit>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace hbmsim::assoc {
+
+FrigoTransform::FrigoTransform(std::uint64_t k, ReplacementKind policy,
+                               std::uint64_t seed)
+    : k_(k), policy_(policy) {
+  HBMSIM_CHECK(k > 0, "transformation needs a positive HBM size");
+  HBMSIM_CHECK(policy == ReplacementKind::kLru || policy == ReplacementKind::kFifo,
+               "Lemma 1 covers LRU and FIFO replacement");
+  SplitMix64 sm(seed);
+  mult_a_ = sm.next() | 1;
+  mult_b_ = sm.next();
+  buckets_.assign(k_, kNil);
+  nodes_.reserve(k_);
+}
+
+std::uint64_t FrigoTransform::bucket_of(LocalPage page) const noexcept {
+  // 2-universal multiply-add-shift over the 32-bit page id.
+  const std::uint64_t h = (mult_a_ * page + mult_b_) >> 32;
+  return h % k_;
+}
+
+void FrigoTransform::list_push_back(std::uint32_t n) {
+  nodes_[n].list_prev = list_tail_;
+  nodes_[n].list_next = kNil;
+  if (list_tail_ != kNil) {
+    nodes_[list_tail_].list_next = n;
+  } else {
+    list_head_ = n;
+  }
+  list_tail_ = n;
+}
+
+void FrigoTransform::list_unlink(std::uint32_t n) {
+  const Node& node = nodes_[n];
+  if (node.list_prev != kNil) {
+    nodes_[node.list_prev].list_next = node.list_next;
+  } else {
+    list_head_ = node.list_next;
+  }
+  if (node.list_next != kNil) {
+    nodes_[node.list_next].list_prev = node.list_prev;
+  } else {
+    list_tail_ = node.list_prev;
+  }
+}
+
+void FrigoTransform::chain_remove(std::uint32_t n) {
+  const std::uint64_t b = bucket_of(nodes_[n].user_page);
+  std::uint32_t cur = buckets_[b];
+  std::uint32_t prev = kNil;
+  while (cur != n) {
+    HBMSIM_ASSERT(cur != kNil, "node missing from its hash chain");
+    prev = cur;
+    cur = nodes_[cur].chain_next;
+  }
+  if (prev == kNil) {
+    buckets_[b] = nodes_[n].chain_next;
+  } else {
+    nodes_[prev].chain_next = nodes_[n].chain_next;
+  }
+}
+
+bool FrigoTransform::access(LocalPage user_page) {
+  // 1. Hash-table lookup: each chain node inspected is one metadata
+  //    access — an HBM hit in the transformed program.
+  const std::uint64_t b = bucket_of(user_page);
+  std::uint32_t cur = buckets_[b];
+  std::uint64_t chain = 0;
+  std::uint32_t found = kNil;
+  while (cur != kNil) {
+    ++chain;
+    if (nodes_[cur].user_page == user_page) {
+      found = cur;
+      break;
+    }
+    cur = nodes_[cur].chain_next;
+  }
+  stats_.chain_length.add(static_cast<double>(chain));
+  stats_.transformed_hits += chain == 0 ? 1 : chain;  // bucket head read counts
+
+  if (found != kNil) {
+    // Original hit: access the cached data (1 hit); LRU additionally
+    // moves the node to the MRU end (O(1) metadata hits).
+    ++stats_.original_hits;
+    ++stats_.transformed_hits;  // data access through the Cache DRAM address
+    if (policy_ == ReplacementKind::kLru) {
+      list_unlink(found);
+      list_push_back(found);
+      stats_.transformed_hits += 2;  // unlink + relink metadata touches
+    }
+    return true;
+  }
+
+  // Original miss.
+  ++stats_.original_misses;
+  if (size_ == k_) {
+    // Evict the front-of-list page: copy its data from the Cache DRAM
+    // address back to the user DRAM address (a transformed miss), then
+    // drop its metadata.
+    const std::uint32_t victim = list_head_;
+    list_unlink(victim);
+    chain_remove(victim);
+    free_nodes_.push_back(victim);
+    --size_;
+    ++stats_.transformed_misses;
+    stats_.transformed_hits += 2;  // hash + list metadata updates
+  }
+
+  // Copy user data to the Cache DRAM address and bring it into HBM
+  // (a transformed miss), then insert metadata.
+  std::uint32_t n;
+  if (!free_nodes_.empty()) {
+    n = free_nodes_.back();
+    free_nodes_.pop_back();
+    nodes_[n] = Node{user_page, buckets_[b], kNil, kNil};
+  } else {
+    nodes_.push_back(Node{user_page, buckets_[b], kNil, kNil});
+    n = static_cast<std::uint32_t>(nodes_.size() - 1);
+  }
+  buckets_[b] = n;
+  list_push_back(n);
+  ++size_;
+  ++stats_.transformed_misses;
+  stats_.transformed_hits += 2;  // hash insert + list append metadata
+  return false;
+}
+
+std::uint32_t parallel_prefix_sum(std::vector<std::uint32_t>& values) {
+  // Hillis–Steele inclusive scan: ⌈log₂ n⌉ parallel steps.
+  const std::size_t n = values.size();
+  std::uint32_t steps = 0;
+  std::vector<std::uint32_t> next(n);
+  for (std::size_t offset = 1; offset < n; offset <<= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      next[i] = values[i] + (i >= offset ? values[i - offset] : 0);
+    }
+    values.swap(next);
+    ++steps;
+  }
+  return steps;
+}
+
+ConcurrentInsertResult simulate_concurrent_insert(std::uint32_t x) {
+  HBMSIM_CHECK(x > 0, "need at least one item to insert");
+  ConcurrentInsertResult result;
+
+  // Each of the x processors contributes a 1; the prefix sum hands every
+  // processor a unique slot in the auxiliary array (the "shared counter").
+  std::vector<std::uint32_t> ones(x, 1);
+  result.parallel_steps = parallel_prefix_sum(ones);
+
+  // Each item writes itself at slot prefix[i]-1 (one parallel step), then
+  // links to its neighbours (one parallel step), then the mini-list is
+  // attached to the master list (one parallel step).
+  std::vector<std::uint32_t> aux(x);
+  for (std::uint32_t i = 0; i < x; ++i) {
+    const std::uint32_t slot = ones[i] - 1;
+    HBMSIM_CHECK(slot < x, "prefix sum produced an out-of-range slot");
+    aux[slot] = i;
+  }
+  result.parallel_steps += 3;
+  result.order = std::move(aux);
+  return result;
+}
+
+}  // namespace hbmsim::assoc

@@ -1,0 +1,105 @@
+// The Lemma 1 transformation: simulate a fully-associative HBM with LRU
+// or FIFO replacement on a direct-mapped cache, using a size-k hash table
+// (chaining, universal hashing) paired with a doubly-linked eviction
+// list — the construction of Frigo et al. as restated in the paper.
+//
+// This module *executes* the transformation's bookkeeping and counts what
+// the transformed program would cost on the direct-mapped cache:
+//   * every metadata touch (hash-table chain node, linked-list node) is a
+//     transformed HBM hit (the Θ(k) metadata region is HBM-resident);
+//   * an original miss induces the data copies user-DRAM ↔ cache-DRAM,
+//     which are transformed misses.
+// Lemma 1 predicts: O(1) expected hits and no misses per original hit,
+// O(1) expected misses per original miss. tests/assoc_test.cc checks the
+// measured constants; bench/ablation_direct_mapped reports them.
+//
+// Theorem 4's concurrent list-insert (x items prepended in O(log x) steps
+// via prefix sums) is also implemented, as simulate_concurrent_insert.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.h"
+#include "stats/streaming.h"
+#include "trace/trace.h"
+
+namespace hbmsim::assoc {
+
+/// Costs attributed to the transformed (direct-mapped) program.
+struct TransformStats {
+  std::uint64_t original_hits = 0;
+  std::uint64_t original_misses = 0;
+  std::uint64_t transformed_hits = 0;    // metadata + resident-data touches
+  std::uint64_t transformed_misses = 0;  // user-DRAM ↔ cache-DRAM copies
+  StreamingStats chain_length;           // hash-chain nodes visited per lookup
+
+  [[nodiscard]] double hits_per_access() const noexcept {
+    const std::uint64_t n = original_hits + original_misses;
+    return n == 0 ? 0.0
+                  : static_cast<double>(transformed_hits) / static_cast<double>(n);
+  }
+  [[nodiscard]] double misses_per_original_miss() const noexcept {
+    return original_misses == 0 ? 0.0
+                                : static_cast<double>(transformed_misses) /
+                                      static_cast<double>(original_misses);
+  }
+};
+
+/// Executes the Lemma 1 construction for one core's reference stream.
+class FrigoTransform {
+ public:
+  /// `k` is the fully-associative HBM size being simulated; `policy` must
+  /// be kLru or kFifo (the two orders the lemma covers).
+  FrigoTransform(std::uint64_t k, ReplacementKind policy, std::uint64_t seed = 1);
+
+  /// Process one access to `user_page`; returns true on an original hit.
+  bool access(LocalPage user_page);
+
+  [[nodiscard]] const TransformStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t resident() const noexcept { return size_; }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  struct Node {
+    LocalPage user_page;
+    std::uint32_t chain_next;
+    std::uint32_t list_prev;
+    std::uint32_t list_next;
+  };
+
+  [[nodiscard]] std::uint64_t bucket_of(LocalPage page) const noexcept;
+  void list_push_back(std::uint32_t n);
+  void list_unlink(std::uint32_t n);
+  void chain_remove(std::uint32_t n);
+
+  std::uint64_t k_;
+  ReplacementKind policy_;
+  std::uint64_t mult_a_;
+  std::uint64_t mult_b_;
+  std::vector<std::uint32_t> buckets_;  // hash table heads
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_nodes_;
+  std::uint32_t list_head_ = kNil;  // front = next victim
+  std::uint32_t list_tail_ = kNil;
+  std::size_t size_ = 0;
+  TransformStats stats_;
+};
+
+/// Theorem 4: prepend `x` items concurrently to a linked list. Returns
+/// the resulting order of the mini-list (built via prefix-sum slot
+/// assignment) and the number of parallel steps consumed, which is
+/// Θ(log₂ x) + O(1).
+struct ConcurrentInsertResult {
+  std::vector<std::uint32_t> order;  // item indices front-to-back
+  std::uint32_t parallel_steps = 0;
+};
+
+[[nodiscard]] ConcurrentInsertResult simulate_concurrent_insert(std::uint32_t x);
+
+/// Inclusive parallel prefix sum (Hillis–Steele schedule); returns the
+/// number of parallel steps used (⌈log₂ n⌉). Exposed for tests.
+std::uint32_t parallel_prefix_sum(std::vector<std::uint32_t>& values);
+
+}  // namespace hbmsim::assoc

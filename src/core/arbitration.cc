@@ -1,0 +1,198 @@
+#include "core/arbitration.h"
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace hbmsim {
+namespace {
+
+/// First-Come-First-Served: the hardware status quo (FR-FCFS family).
+class FifoArbiter final : public ArbitrationPolicy {
+ public:
+  void enqueue(const QueuedRequest& request) override {
+    queue_.push_back(request);
+  }
+
+  std::optional<QueuedRequest> pop(std::uint32_t /*channel*/) override {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    QueuedRequest r = queue_.front();
+    queue_.pop_front();
+    return r;
+  }
+
+  [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+
+ private:
+  std::deque<QueuedRequest> queue_;
+};
+
+/// Priority arbitration: requests from the highest-priority thread
+/// (smallest π value) are always served first; ties cannot occur because
+/// π is a permutation and each thread queues at most one request.
+class PriorityArbiter final : public ArbitrationPolicy {
+ public:
+  explicit PriorityArbiter(const PriorityMap* priorities)
+      : priorities_(priorities) {
+    HBMSIM_CHECK(priorities_ != nullptr,
+                 "priority arbitration requires a PriorityMap");
+  }
+
+  void enqueue(const QueuedRequest& request) override {
+    // Key by (priority, arrival sequence): priorities are unique per
+    // thread, but under shared_pages a thread's stale entry can coexist
+    // with its live one, so the key must never collide.
+    queue_.emplace(Key{priorities_->priority_of(request.thread), seq_++},
+                   request);
+  }
+
+  std::optional<QueuedRequest> pop(std::uint32_t /*channel*/) override {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    const auto it = queue_.begin();
+    QueuedRequest r = it->second;
+    queue_.erase(it);
+    return r;
+  }
+
+  [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+
+  void on_priorities_changed() override {
+    // Re-rank all waiting requests under the new permutation, preserving
+    // arrival order among equal ranks.
+    std::vector<std::pair<std::uint64_t, QueuedRequest>> waiting;
+    waiting.reserve(queue_.size());
+    for (const auto& [key, request] : queue_) {
+      waiting.emplace_back(key.seq, request);
+    }
+    queue_.clear();
+    for (const auto& [seq, r] : waiting) {
+      queue_.emplace(Key{priorities_->priority_of(r.thread), seq}, r);
+    }
+  }
+
+ private:
+  struct Key {
+    std::uint32_t rank;
+    std::uint64_t seq;
+    friend bool operator<(const Key& a, const Key& b) noexcept {
+      return a.rank != b.rank ? a.rank < b.rank : a.seq < b.seq;
+    }
+  };
+
+  const PriorityMap* priorities_;
+  std::uint64_t seq_ = 0;
+  std::map<Key, QueuedRequest> queue_;
+};
+
+/// Uniformly random selection among waiting requests — the T → 1 limit of
+/// Dynamic Priority discussed in §4.
+class RandomArbiter final : public ArbitrationPolicy {
+ public:
+  explicit RandomArbiter(std::uint64_t seed) : rng_(seed) {}
+
+  void enqueue(const QueuedRequest& request) override {
+    pool_.push_back(request);
+  }
+
+  std::optional<QueuedRequest> pop(std::uint32_t /*channel*/) override {
+    if (pool_.empty()) {
+      return std::nullopt;
+    }
+    const std::uint64_t i = rng_.uniform(pool_.size());
+    QueuedRequest r = pool_[i];
+    pool_[i] = pool_.back();
+    pool_.pop_back();
+    return r;
+  }
+
+  [[nodiscard]] std::size_t size() const override { return pool_.size(); }
+
+ private:
+  Xoshiro256StarStar rng_;
+  std::vector<QueuedRequest> pool_;
+};
+
+/// First-ready FCFS (Rixner et al.; §1.3): each channel remembers the
+/// DRAM row it last fetched from; the oldest queued request in that row
+/// ("row hit") is preferred, otherwise the oldest request overall, which
+/// then opens a new row. Rows are `row_pages` consecutive pages — the
+/// thread tag in GlobalPage keeps rows per-thread, as in banked DRAM
+/// where distinct address streams rarely share rows.
+class FrFcfsArbiter final : public ArbitrationPolicy {
+ public:
+  FrFcfsArbiter(std::uint32_t num_channels, std::uint32_t row_pages)
+      : row_pages_(row_pages), open_rows_(num_channels, kNoRow) {
+    HBMSIM_CHECK(num_channels > 0, "FR-FCFS needs at least one channel");
+    HBMSIM_CHECK(row_pages > 0, "FR-FCFS needs a positive row size");
+  }
+
+  void enqueue(const QueuedRequest& request) override {
+    queue_.push_back(request);  // arrival order
+  }
+
+  std::optional<QueuedRequest> pop(std::uint32_t channel) override {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    HBMSIM_ASSERT(channel < open_rows_.size(), "channel out of range");
+    std::size_t pick = 0;
+    bool row_hit = false;
+    const std::uint64_t open = open_rows_[channel];
+    if (open != kNoRow) {
+      for (std::size_t i = 0; i < queue_.size(); ++i) {
+        if (row_of(queue_[i].page) == open) {
+          pick = i;
+          row_hit = true;
+          break;  // oldest row hit
+        }
+      }
+    }
+    if (!row_hit) {
+      pick = 0;  // oldest overall opens a new row
+    }
+    const QueuedRequest r = queue_[pick];
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+    open_rows_[channel] = row_of(r.page);
+    return r;
+  }
+
+  [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+
+ private:
+  static constexpr std::uint64_t kNoRow = ~std::uint64_t{0};
+
+  [[nodiscard]] std::uint64_t row_of(GlobalPage page) const noexcept {
+    return page / row_pages_;
+  }
+
+  std::uint32_t row_pages_;
+  std::vector<std::uint64_t> open_rows_;
+  std::vector<QueuedRequest> queue_;
+};
+
+}  // namespace
+
+std::unique_ptr<ArbitrationPolicy> ArbitrationPolicy::make(
+    ArbitrationKind kind, const PriorityMap* priorities, std::uint64_t seed,
+    std::uint32_t num_channels, std::uint32_t row_pages) {
+  switch (kind) {
+    case ArbitrationKind::kFifo:
+      return std::make_unique<FifoArbiter>();
+    case ArbitrationKind::kPriority:
+      return std::make_unique<PriorityArbiter>(priorities);
+    case ArbitrationKind::kRandom:
+      return std::make_unique<RandomArbiter>(seed);
+    case ArbitrationKind::kFrFcfs:
+      return std::make_unique<FrFcfsArbiter>(num_channels, row_pages);
+  }
+  throw ConfigError("unknown arbitration kind");
+}
+
+}  // namespace hbmsim

@@ -1,0 +1,63 @@
+// Far-channel arbitration: the DRAM request queue (§1.1, §2).
+//
+// When more than q cores have outstanding HBM misses, the arbitration
+// policy decides which requests get the q DRAM channels this tick. Because
+// a core blocks until its current request is served (§2), the queue never
+// holds more than one request per thread, so it has at most p entries.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/config.h"
+#include "core/priority_map.h"
+#include "core/types.h"
+
+namespace hbmsim {
+
+/// A waiting DRAM request.
+struct QueuedRequest {
+  GlobalPage page = 0;
+  ThreadId thread = 0;
+  Tick enqueue_tick = 0;
+
+  friend bool operator==(const QueuedRequest&, const QueuedRequest&) = default;
+};
+
+class ArbitrationPolicy {
+ public:
+  virtual ~ArbitrationPolicy() = default;
+
+  /// Add a request. At most one request per thread may be queued.
+  virtual void enqueue(const QueuedRequest& request) = 0;
+
+  /// Remove and return the next request to fetch; nullopt when empty.
+  /// `channel` identifies which far channel is asking — only FR-FCFS uses
+  /// it (per-channel open-row state); other policies ignore it.
+  virtual std::optional<QueuedRequest> pop(std::uint32_t channel = 0) = 0;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// The priority permutation changed (Dynamic/Cycle Priority remap);
+  /// re-rank queued requests. Default: nothing to do.
+  virtual void on_priorities_changed() {}
+
+  /// Factory. `priorities` must outlive the policy and is only required
+  /// for kPriority arbitration; `num_channels` and `row_pages` only
+  /// matter for kFrFcfs.
+  [[nodiscard]] static std::unique_ptr<ArbitrationPolicy> make(
+      ArbitrationKind kind, const PriorityMap* priorities, std::uint64_t seed,
+      std::uint32_t num_channels = 1, std::uint32_t row_pages = 4);
+};
+
+/// Channel a page is bound to under ChannelBinding::kHashed. Exposed so
+/// tests (and the brute-force reference simulator) share the exact hash.
+[[nodiscard]] constexpr std::uint32_t channel_of(GlobalPage page,
+                                                 std::uint32_t num_channels) noexcept {
+  const std::uint64_t h = page * 0x9E3779B97F4A7C15ULL;
+  return static_cast<std::uint32_t>((h >> 32) % num_channels);
+}
+
+}  // namespace hbmsim

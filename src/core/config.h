@@ -1,0 +1,214 @@
+// Simulation configuration: the model parameters (k, q) and the two
+// policies under study (§1.1): far-channel arbitration and HBM block
+// replacement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/priority_map.h"
+#include "util/error.h"
+
+namespace hbmsim {
+
+/// Far-channel arbitration family (§1.1, §4).
+enum class ArbitrationKind {
+  kFifo,      ///< First-In-First-Out (FCFS): the hardware status quo
+  kPriority,  ///< priority order π over threads (static or remapped)
+  kRandom,    ///< uniformly random waiting request (the T→1 limit)
+  kFrFcfs,    ///< first-ready FCFS: row hits first, then oldest (§1.3 —
+              ///< "first-ready first-come-first-served", the FCFS variant
+              ///< KNL's DRAM controller is believed to implement)
+};
+
+[[nodiscard]] constexpr const char* to_string(ArbitrationKind k) noexcept {
+  switch (k) {
+    case ArbitrationKind::kFifo: return "fifo";
+    case ArbitrationKind::kPriority: return "priority";
+    case ArbitrationKind::kRandom: return "random";
+    case ArbitrationKind::kFrFcfs: return "fr-fcfs";
+  }
+  return "?";
+}
+
+/// How DRAM requests map to the q far channels.
+enum class ChannelBinding {
+  kAny,     ///< any request may use any free channel (the model of §2)
+  kHashed,  ///< each page is bound to channel hash(page) mod q, as in
+            ///< address-interleaved hardware controllers
+};
+
+[[nodiscard]] constexpr const char* to_string(ChannelBinding b) noexcept {
+  switch (b) {
+    case ChannelBinding::kAny: return "any";
+    case ChannelBinding::kHashed: return "hashed";
+  }
+  return "?";
+}
+
+/// HBM block-replacement family (§2).
+enum class ReplacementKind {
+  kLru,    ///< least recently used (the paper's default)
+  kFifo,   ///< first-in (insertion order)
+  kClock,  ///< CLOCK second-chance approximation of LRU
+};
+
+[[nodiscard]] constexpr const char* to_string(ReplacementKind k) noexcept {
+  switch (k) {
+    case ReplacementKind::kLru: return "lru";
+    case ReplacementKind::kFifo: return "fifo";
+    case ReplacementKind::kClock: return "clock";
+  }
+  return "?";
+}
+
+/// Full simulation configuration.
+struct SimConfig {
+  /// HBM capacity k, in page slots.
+  std::uint64_t hbm_slots = 1024;
+
+  /// Number of far channels q between HBM and DRAM (1 in the original
+  /// Das et al. model; the paper's extension allows 1..10).
+  std::uint32_t num_channels = 1;
+
+  ArbitrationKind arbitration = ArbitrationKind::kFifo;
+  ReplacementKind replacement = ReplacementKind::kLru;
+  ChannelBinding channel_binding = ChannelBinding::kAny;
+
+  /// FR-FCFS only: pages per DRAM row — a queued request is "row ready"
+  /// when its page falls in the row a channel last fetched from.
+  std::uint32_t row_pages = 4;
+
+  /// Extension beyond the paper: DRAM block-transfer latency in ticks
+  /// (the model fixes it at 1). A fetch issued at tick t is servable at
+  /// tick t + fetch_ticks; channels stay pipelined (one new fetch per
+  /// channel per tick), so this raises latency without changing
+  /// bandwidth. A miss then costs ≥ fetch_ticks + 1 ticks.
+  std::uint32_t fetch_ticks = 1;
+
+  /// Priority remap rule; only meaningful for kPriority arbitration.
+  RemapScheme remap_scheme = RemapScheme::kNone;
+
+  /// Remap period T in ticks (the paper reports T as a multiple of k;
+  /// callers typically set remap_period = multiplier * hbm_slots).
+  /// 0 disables remapping.
+  std::uint64_t remap_period = 0;
+
+  /// Seed for Dynamic Priority's permutations and kRandom arbitration.
+  std::uint64_t seed = 1;
+
+  /// Extension beyond the paper (its §6.1 future work): non-disjoint
+  /// access sequences. When true, all cores share one page namespace —
+  /// the same local page id names the same HBM page everywhere, one
+  /// DRAM fetch satisfies every core waiting on that page, and a page is
+  /// effectively fetched at the priority of its best-ranked waiter.
+  /// When false (default), the model's Property 1 holds: per-core page
+  /// sets are disjoint.
+  bool shared_pages = false;
+
+  /// Collect the response-time histogram (cheap; on by default).
+  bool response_histogram = true;
+
+  /// Collect per-thread metrics (on by default).
+  bool per_thread_metrics = true;
+
+  /// Safety valve: abort if the simulation exceeds this many ticks.
+  std::uint64_t max_ticks = std::uint64_t{1} << 42;
+
+  /// Throws ConfigError when parameters are inconsistent.
+  void validate(std::uint32_t num_threads) const {
+    if (hbm_slots == 0) {
+      throw ConfigError("hbm_slots (k) must be positive");
+    }
+    if (num_channels == 0) {
+      throw ConfigError("num_channels (q) must be positive");
+    }
+    if (num_channels > hbm_slots) {
+      throw ConfigError("num_channels (q) must not exceed hbm_slots (k)");
+    }
+    if (num_threads == 0) {
+      throw ConfigError("workload must have at least one thread");
+    }
+    if (remap_scheme != RemapScheme::kNone && remap_period == 0) {
+      throw ConfigError("remap_scheme set but remap_period is 0");
+    }
+    if (arbitration != ArbitrationKind::kPriority &&
+        remap_scheme != RemapScheme::kNone) {
+      throw ConfigError("remap_scheme only applies to priority arbitration");
+    }
+    if (arbitration == ArbitrationKind::kFrFcfs && row_pages == 0) {
+      throw ConfigError("FR-FCFS requires a positive row size");
+    }
+    if (fetch_ticks == 0) {
+      throw ConfigError("fetch_ticks must be at least 1");
+    }
+  }
+
+  /// ---- Named policies from the paper ----
+
+  /// FIFO (FCFS) far-channel arbitration + LRU replacement.
+  static SimConfig fifo(std::uint64_t k, std::uint32_t q = 1) {
+    SimConfig c;
+    c.hbm_slots = k;
+    c.num_channels = q;
+    c.arbitration = ArbitrationKind::kFifo;
+    return c;
+  }
+
+  /// Static Priority + LRU (Das et al., O(1)-competitive for q=1).
+  static SimConfig priority(std::uint64_t k, std::uint32_t q = 1) {
+    SimConfig c;
+    c.hbm_slots = k;
+    c.num_channels = q;
+    c.arbitration = ArbitrationKind::kPriority;
+    return c;
+  }
+
+  /// Dynamic Priority: random re-permutation every `t_mult * k` ticks.
+  static SimConfig dynamic_priority(std::uint64_t k, double t_mult,
+                                    std::uint32_t q = 1, std::uint64_t seed = 1) {
+    SimConfig c = priority(k, q);
+    c.remap_scheme = RemapScheme::kDynamic;
+    c.remap_period = period_from_multiplier(k, t_mult);
+    c.seed = seed;
+    return c;
+  }
+
+  /// Cycle Priority: rotate priorities every `t_mult * k` ticks.
+  static SimConfig cycle_priority(std::uint64_t k, double t_mult,
+                                  std::uint32_t q = 1) {
+    SimConfig c = priority(k, q);
+    c.remap_scheme = RemapScheme::kCycle;
+    c.remap_period = period_from_multiplier(k, t_mult);
+    return c;
+  }
+
+  /// Convert the paper's "T as a multiple of k" convention to ticks.
+  static std::uint64_t period_from_multiplier(std::uint64_t k, double t_mult) {
+    HBMSIM_CHECK(t_mult > 0.0, "remap period multiplier must be positive");
+    const double ticks = t_mult * static_cast<double>(k);
+    return ticks < 1.0 ? 1 : static_cast<std::uint64_t>(ticks);
+  }
+
+  /// Human-readable policy name ("dynamic-priority(T=10k)" etc.).
+  [[nodiscard]] std::string policy_name() const {
+    switch (arbitration) {
+      case ArbitrationKind::kFifo:
+        return "fifo";
+      case ArbitrationKind::kRandom:
+        return "random";
+      case ArbitrationKind::kFrFcfs:
+        return "fr-fcfs(row=" + std::to_string(row_pages) + ")";
+      case ArbitrationKind::kPriority:
+        break;
+    }
+    if (remap_scheme == RemapScheme::kNone) {
+      return "priority";
+    }
+    std::string name = std::string(to_string(remap_scheme)) + "-priority";
+    name += "(T=" + std::to_string(remap_period) + ")";
+    return name;
+  }
+};
+
+}  // namespace hbmsim

@@ -1,0 +1,45 @@
+#include "core/hbm_cache.h"
+
+#include "util/error.h"
+
+namespace hbmsim {
+
+HbmCache::HbmCache(std::uint64_t capacity, ReplacementKind replacement)
+    : capacity_(capacity),
+      policy_(ReplacementPolicy::make(replacement, capacity)) {
+  if (capacity == 0) {
+    throw ConfigError("HBM capacity must be positive");
+  }
+}
+
+bool HbmCache::contains(GlobalPage page) const {
+  return policy_->contains(page);
+}
+
+void HbmCache::touch(GlobalPage page) { policy_->on_access(page); }
+
+std::optional<GlobalPage> HbmCache::insert(GlobalPage page) {
+  HBMSIM_ASSERT(!contains(page), "inserting already-resident page");
+  std::optional<GlobalPage> victim;
+  if (policy_->size() >= capacity_) {
+    victim = policy_->pop_victim();
+    ++evictions_;
+  }
+  policy_->on_insert(page);
+  return victim;
+}
+
+void HbmCache::erase(GlobalPage page) { policy_->erase(page); }
+
+std::size_t HbmCache::size() const { return policy_->size(); }
+
+std::uint64_t HbmCache::free_slots() const noexcept {
+  return capacity_ - policy_->size();
+}
+
+void HbmCache::clear() {
+  policy_->clear();
+  evictions_ = 0;
+}
+
+}  // namespace hbmsim

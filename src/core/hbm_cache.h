@@ -1,0 +1,63 @@
+// The HBM itself: k page slots holding pages fetched from DRAM.
+//
+// CacheModel is the residency abstraction the simulator drives; the
+// default HbmCache is fully associative with a pluggable replacement
+// policy (§3 Property 3). assoc/DirectMappedCache implements the same
+// interface for the Lemma 1 / Corollary 1 experiments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/replacement.h"
+#include "core/types.h"
+
+namespace hbmsim {
+
+/// Abstract page-residency model for an HBM of fixed slot capacity.
+class CacheModel {
+ public:
+  virtual ~CacheModel() = default;
+
+  /// Is `page` resident?
+  [[nodiscard]] virtual bool contains(GlobalPage page) const = 0;
+
+  /// Record a serve of a resident page (recency update where relevant).
+  virtual void touch(GlobalPage page) = 0;
+
+  /// Bring `page` in from DRAM; returns the evicted page, if any.
+  virtual std::optional<GlobalPage> insert(GlobalPage page) = 0;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual std::uint64_t capacity() const = 0;
+  [[nodiscard]] virtual std::uint64_t evictions() const = 0;
+};
+
+/// Fully-associative HBM with a replacement policy (the model default).
+class HbmCache final : public CacheModel {
+ public:
+  /// An HBM with `capacity` page slots (the model's k).
+  HbmCache(std::uint64_t capacity, ReplacementKind replacement);
+
+  [[nodiscard]] bool contains(GlobalPage page) const override;
+  void touch(GlobalPage page) override;
+  std::optional<GlobalPage> insert(GlobalPage page) override;
+
+  /// Explicitly remove a page (tests and the assoc layer).
+  void erase(GlobalPage page);
+
+  [[nodiscard]] std::uint64_t capacity() const override { return capacity_; }
+  [[nodiscard]] std::size_t size() const override;
+  [[nodiscard]] std::uint64_t free_slots() const noexcept;
+  [[nodiscard]] std::uint64_t evictions() const override { return evictions_; }
+
+  void clear();
+
+ private:
+  std::uint64_t capacity_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace hbmsim

@@ -1,0 +1,43 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/format.h"
+
+namespace hbmsim {
+
+Tick RunMetrics::completion_spread() const noexcept {
+  Tick lo = ~Tick{0};
+  Tick hi = 0;
+  bool any = false;
+  for (const ThreadMetrics& t : per_thread) {
+    if (t.refs == 0) {
+      continue;
+    }
+    lo = std::min(lo, t.completion_tick);
+    hi = std::max(hi, t.completion_tick);
+    any = true;
+  }
+  return any ? hi - lo : 0;
+}
+
+std::string RunMetrics::summary() const {
+  std::ostringstream os;
+  os << "makespan:        " << format_count(makespan) << " ticks\n"
+     << "references:      " << format_count(total_refs) << " (hits "
+     << format_count(hits) << ", misses " << format_count(misses) << ", hit rate "
+     << format_fixed(hit_rate() * 100.0, 2) << "%)\n"
+     << "evictions:       " << format_count(evictions) << "\n"
+     << "remaps:          " << format_count(remaps) << "\n"
+     << "response time:   mean " << format_fixed(mean_response()) << ", stddev "
+     << format_fixed(inconsistency()) << " (inconsistency), max "
+     << format_count(max_response()) << "\n";
+  if (!per_thread.empty()) {
+    os << "completion:      spread " << format_count(completion_spread())
+       << " ticks across " << per_thread.size() << " threads\n";
+  }
+  return os.str();
+}
+
+}  // namespace hbmsim

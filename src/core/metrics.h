@@ -1,0 +1,83 @@
+// Simulation outputs: makespan, response times, and the paper's derived
+// metrics — "inconsistency" (stddev of response time over all i, j) and
+// mean response time (§4, Table 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+#include "stats/histogram.h"
+#include "stats/streaming.h"
+
+namespace hbmsim {
+
+/// Per-thread outcomes.
+struct ThreadMetrics {
+  std::uint64_t refs = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  /// Tick at which this thread's last request was served (0 if no refs).
+  Tick completion_tick = 0;
+  /// Response-time stats for this thread only.
+  StreamingStats response;
+};
+
+/// Whole-run outcomes.
+struct RunMetrics {
+  /// Ticks until the last request of the last thread is served
+  /// (completion tick of the slowest thread + 1).
+  Tick makespan = 0;
+
+  std::uint64_t total_refs = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t remaps = 0;
+  /// DRAM fetches actually issued. Equals `misses` under the disjoint
+  /// model; under shared_pages it can be smaller — concurrent misses on
+  /// one page share a single fetch (misses - fetches = piggybacks).
+  std::uint64_t fetches = 0;
+  /// Fetched-then-evicted-before-serve re-queues (rare; see DESIGN.md §3).
+  std::uint64_t requeues = 0;
+
+  /// Response time w over all references of all threads (hits count as 1).
+  StreamingStats response;
+  /// Log₂-bucketed response-time distribution (tail behaviour).
+  LogHistogram response_hist;
+
+  /// Per-thread metrics; empty when SimConfig::per_thread_metrics is off.
+  std::vector<ThreadMetrics> per_thread;
+
+  /// The paper's "inconsistency": population stddev of response times.
+  [[nodiscard]] double inconsistency() const noexcept { return response.stddev(); }
+
+  /// Mean response time (Table 1's "Response Time" column).
+  [[nodiscard]] double mean_response() const noexcept { return response.mean(); }
+
+  [[nodiscard]] double hit_rate() const noexcept {
+    return total_refs == 0 ? 0.0
+                           : static_cast<double>(hits) / static_cast<double>(total_refs);
+  }
+
+  /// Worst single response time observed (starvation indicator).
+  [[nodiscard]] std::uint64_t max_response() const noexcept {
+    return response.count() == 0 ? 0 : static_cast<std::uint64_t>(response.max());
+  }
+
+  /// Approximate response-time quantile (log₂-bucket interpolation).
+  /// Requires SimConfig::response_histogram (the default).
+  [[nodiscard]] double response_quantile(double q) const {
+    return response_hist.quantile(q);
+  }
+
+  /// Spread of per-thread completion times (thread starvation at the
+  /// whole-run level): max completion minus min completion.
+  [[nodiscard]] Tick completion_spread() const noexcept;
+
+  /// Multi-line human-readable report.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace hbmsim

@@ -1,0 +1,106 @@
+// Priority permutations π: thread id → priority (Definition 1 of the
+// paper, plus the cycle-reverse and interleave variants from the
+// parameter sweep).
+//
+//   Priority          π is always the identity.
+//   Dynamic Priority  replace π with a fresh uniformly random permutation.
+//   Cycle Priority    π'(i) = (π(i) + 1) mod p.
+//   Cycle-Reverse     π'(i) = (π(i) - 1 + p) mod p.
+//   Interleave        riffle the priority order: old priority x becomes
+//                     2x for x < ⌈p/2⌉ and 2(x-⌈p/2⌉)+1 otherwise, so
+//                     front-half and back-half threads alternate.
+//
+// Lower π value = higher priority (π(i) == 0 is served first).
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace hbmsim {
+
+/// How priorities change at each remap boundary.
+enum class RemapScheme {
+  kNone,          ///< static Priority: identity forever
+  kDynamic,       ///< Dynamic Priority: fresh random permutation
+  kCycle,         ///< Cycle Priority: rotate by +1
+  kCycleReverse,  ///< rotate by -1
+  kInterleave,    ///< riffle-interleave the priority order
+};
+
+[[nodiscard]] constexpr const char* to_string(RemapScheme s) noexcept {
+  switch (s) {
+    case RemapScheme::kNone: return "none";
+    case RemapScheme::kDynamic: return "dynamic";
+    case RemapScheme::kCycle: return "cycle";
+    case RemapScheme::kCycleReverse: return "cycle-reverse";
+    case RemapScheme::kInterleave: return "interleave";
+  }
+  return "?";
+}
+
+/// The live permutation π with its remap rule.
+class PriorityMap {
+ public:
+  PriorityMap(std::uint32_t num_threads, RemapScheme scheme, std::uint64_t seed)
+      : scheme_(scheme), pi_(num_threads), rng_(seed) {
+    if (num_threads == 0) {
+      throw ConfigError("priority map needs at least one thread");
+    }
+    std::iota(pi_.begin(), pi_.end(), 0u);
+  }
+
+  /// Apply the remap rule once. Returns true if π actually changed.
+  bool remap() {
+    const std::uint32_t p = static_cast<std::uint32_t>(pi_.size());
+    switch (scheme_) {
+      case RemapScheme::kNone:
+        return false;
+      case RemapScheme::kDynamic:
+        hbmsim::shuffle(pi_.begin(), pi_.end(), rng_);
+        return p > 1;
+      case RemapScheme::kCycle:
+        for (auto& x : pi_) {
+          x = (x + 1) % p;
+        }
+        return p > 1;
+      case RemapScheme::kCycleReverse:
+        for (auto& x : pi_) {
+          x = (x + p - 1) % p;
+        }
+        return p > 1;
+      case RemapScheme::kInterleave: {
+        const std::uint32_t half = (p + 1) / 2;
+        for (auto& x : pi_) {
+          x = x < half ? 2 * x : 2 * (x - half) + 1;
+        }
+        return p > 1;
+      }
+    }
+    return false;
+  }
+
+  /// Priority of a thread; 0 is the highest priority.
+  [[nodiscard]] std::uint32_t priority_of(ThreadId thread) const noexcept {
+    HBMSIM_ASSERT(thread < pi_.size(), "thread out of range");
+    return pi_[thread];
+  }
+
+  [[nodiscard]] std::span<const std::uint32_t> pi() const noexcept { return pi_; }
+  [[nodiscard]] RemapScheme scheme() const noexcept { return scheme_; }
+  [[nodiscard]] std::uint32_t num_threads() const noexcept {
+    return static_cast<std::uint32_t>(pi_.size());
+  }
+
+ private:
+  RemapScheme scheme_;
+  std::vector<std::uint32_t> pi_;
+  Xoshiro256StarStar rng_;
+};
+
+}  // namespace hbmsim

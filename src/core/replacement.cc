@@ -1,0 +1,256 @@
+#include "core/replacement.h"
+
+#include <vector>
+
+#include "util/error.h"
+#include "util/flat_map.h"
+
+namespace hbmsim {
+namespace {
+
+constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+/// Shared machinery for list-ordered policies (LRU, FIFO): an intrusive
+/// doubly-linked list over a node pool, plus a page → node index map.
+/// The front of the list is the next victim; the back is the most
+/// recently inserted (FIFO) or most recently used (LRU) page.
+class ListPolicyBase : public ReplacementPolicy {
+ public:
+  explicit ListPolicyBase(std::uint64_t capacity_hint)
+      : index_(static_cast<std::size_t>(capacity_hint)) {
+    nodes_.reserve(capacity_hint);
+  }
+
+  void on_insert(GlobalPage page) final {
+    HBMSIM_ASSERT(!contains(page), "double insert into replacement policy");
+    const std::uint32_t n = alloc_node(page);
+    push_back(n);
+    index_.insert(page, n);
+  }
+
+  GlobalPage pop_victim() final {
+    HBMSIM_CHECK(head_ != kNil, "pop_victim on empty policy");
+    const std::uint32_t n = head_;
+    const GlobalPage page = nodes_[n].page;
+    unlink(n);
+    free_node(n);
+    index_.erase(page);
+    return page;
+  }
+
+  void erase(GlobalPage page) final {
+    const std::uint32_t* n = index_.find(page);
+    if (n == nullptr) {
+      return;
+    }
+    unlink(*n);
+    free_node(*n);
+    index_.erase(page);
+  }
+
+  [[nodiscard]] bool contains(GlobalPage page) const final {
+    return index_.contains(page);
+  }
+
+  [[nodiscard]] std::size_t size() const final { return index_.size(); }
+
+  void clear() final {
+    nodes_.clear();
+    index_.clear();
+    free_ = kNil;
+    head_ = kNil;
+    tail_ = kNil;
+  }
+
+ protected:
+  /// Move a node to the back (most-recent end) of the list.
+  void move_to_back(GlobalPage page) {
+    const std::uint32_t* slot = index_.find(page);
+    HBMSIM_ASSERT(slot != nullptr, "access to non-resident page");
+    const std::uint32_t n = *slot;
+    if (n == tail_) {
+      return;
+    }
+    unlink(n);
+    push_back(n);
+  }
+
+ private:
+  struct Node {
+    GlobalPage page;
+    std::uint32_t prev;
+    std::uint32_t next;
+  };
+
+  std::uint32_t alloc_node(GlobalPage page) {
+    if (free_ != kNil) {
+      const std::uint32_t n = free_;
+      free_ = nodes_[n].next;
+      nodes_[n] = Node{page, kNil, kNil};
+      return n;
+    }
+    nodes_.push_back(Node{page, kNil, kNil});
+    return static_cast<std::uint32_t>(nodes_.size() - 1);
+  }
+
+  void free_node(std::uint32_t n) {
+    nodes_[n].next = free_;
+    free_ = n;
+  }
+
+  void push_back(std::uint32_t n) {
+    nodes_[n].prev = tail_;
+    nodes_[n].next = kNil;
+    if (tail_ != kNil) {
+      nodes_[tail_].next = n;
+    } else {
+      head_ = n;
+    }
+    tail_ = n;
+  }
+
+  void unlink(std::uint32_t n) {
+    const Node& node = nodes_[n];
+    if (node.prev != kNil) {
+      nodes_[node.prev].next = node.next;
+    } else {
+      head_ = node.next;
+    }
+    if (node.next != kNil) {
+      nodes_[node.next].prev = node.prev;
+    } else {
+      tail_ = node.prev;
+    }
+  }
+
+  std::vector<Node> nodes_;
+  FlatMap<std::uint32_t> index_;
+  std::uint32_t free_ = kNil;
+  std::uint32_t head_ = kNil;
+  std::uint32_t tail_ = kNil;
+};
+
+class LruPolicy final : public ListPolicyBase {
+ public:
+  using ListPolicyBase::ListPolicyBase;
+  void on_access(GlobalPage page) override { move_to_back(page); }
+};
+
+class FifoPolicy final : public ListPolicyBase {
+ public:
+  using ListPolicyBase::ListPolicyBase;
+  void on_access(GlobalPage) override {
+    // Insertion order only; accesses do not refresh.
+  }
+};
+
+/// CLOCK (second chance): pages sit on a circular buffer with a reference
+/// bit; the hand clears bits until it finds an unreferenced page.
+class ClockPolicy final : public ReplacementPolicy {
+ public:
+  explicit ClockPolicy(std::uint64_t capacity_hint)
+      : index_(static_cast<std::size_t>(capacity_hint)) {
+    entries_.reserve(capacity_hint);
+  }
+
+  void on_insert(GlobalPage page) override {
+    HBMSIM_ASSERT(!contains(page), "double insert into CLOCK");
+    std::size_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      entries_[slot] = Entry{page, /*referenced=*/true, /*valid=*/true};
+    } else {
+      slot = entries_.size();
+      entries_.push_back(Entry{page, true, true});
+    }
+    index_.insert(page, static_cast<std::uint32_t>(slot));
+    ++size_;
+  }
+
+  void on_access(GlobalPage page) override {
+    const std::uint32_t* slot = index_.find(page);
+    HBMSIM_ASSERT(slot != nullptr, "access to non-resident page");
+    entries_[*slot].referenced = true;
+  }
+
+  GlobalPage pop_victim() override {
+    HBMSIM_CHECK(size_ > 0, "pop_victim on empty CLOCK");
+    for (;;) {
+      if (hand_ >= entries_.size()) {
+        hand_ = 0;
+      }
+      Entry& e = entries_[hand_];
+      if (e.valid) {
+        if (e.referenced) {
+          e.referenced = false;
+        } else {
+          const GlobalPage victim = e.page;
+          evict_slot(hand_);
+          ++hand_;
+          return victim;
+        }
+      }
+      ++hand_;
+    }
+  }
+
+  void erase(GlobalPage page) override {
+    const std::uint32_t* slot = index_.find(page);
+    if (slot == nullptr) {
+      return;
+    }
+    evict_slot(*slot);
+  }
+
+  [[nodiscard]] bool contains(GlobalPage page) const override {
+    return index_.contains(page);
+  }
+
+  [[nodiscard]] std::size_t size() const override { return size_; }
+
+  void clear() override {
+    entries_.clear();
+    index_.clear();
+    free_slots_.clear();
+    hand_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  struct Entry {
+    GlobalPage page;
+    bool referenced;
+    bool valid;
+  };
+
+  void evict_slot(std::size_t slot) {
+    index_.erase(entries_[slot].page);
+    entries_[slot].valid = false;
+    free_slots_.push_back(slot);
+    --size_;
+  }
+
+  std::vector<Entry> entries_;
+  FlatMap<std::uint32_t> index_;
+  std::vector<std::size_t> free_slots_;
+  std::size_t hand_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ReplacementPolicy> ReplacementPolicy::make(
+    ReplacementKind kind, std::uint64_t capacity_hint) {
+  switch (kind) {
+    case ReplacementKind::kLru:
+      return std::make_unique<LruPolicy>(capacity_hint);
+    case ReplacementKind::kFifo:
+      return std::make_unique<FifoPolicy>(capacity_hint);
+    case ReplacementKind::kClock:
+      return std::make_unique<ClockPolicy>(capacity_hint);
+  }
+  throw ConfigError("unknown replacement kind");
+}
+
+}  // namespace hbmsim

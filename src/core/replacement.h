@@ -1,0 +1,48 @@
+// HBM block-replacement policies (§1.1, §2).
+//
+// The policy tracks the set of resident pages and chooses eviction
+// victims. LRU is the paper's default (constant-competitive with constant
+// resource augmentation, Sleator–Tarjan); FIFO and CLOCK are provided for
+// the replacement-policy ablation (DESIGN.md A2).
+//
+// All operations are O(1) amortised except CLOCK's victim scan, which is
+// O(1) amortised over a full hand rotation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/config.h"
+#include "core/types.h"
+
+namespace hbmsim {
+
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  /// A page was brought into HBM. Must not already be tracked.
+  virtual void on_insert(GlobalPage page) = 0;
+
+  /// A resident page was served to its core.
+  virtual void on_access(GlobalPage page) = 0;
+
+  /// Choose and remove the eviction victim. Requires size() > 0.
+  virtual GlobalPage pop_victim() = 0;
+
+  /// Remove a specific page (flush); no-op if not tracked.
+  virtual void erase(GlobalPage page) = 0;
+
+  /// Is the page resident?
+  [[nodiscard]] virtual bool contains(GlobalPage page) const = 0;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  virtual void clear() = 0;
+
+  /// Factory. `capacity_hint` sizes internal tables.
+  [[nodiscard]] static std::unique_ptr<ReplacementPolicy> make(
+      ReplacementKind kind, std::uint64_t capacity_hint);
+};
+
+}  // namespace hbmsim

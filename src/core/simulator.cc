@@ -1,0 +1,331 @@
+#include "core/simulator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/error.h"
+
+namespace hbmsim {
+
+Simulator::Simulator(const Workload& workload, const SimConfig& config)
+    : Simulator(workload, config,
+                std::make_unique<HbmCache>(config.hbm_slots, config.replacement)) {}
+
+Simulator::Simulator(const Workload& workload, const SimConfig& config,
+                     std::unique_ptr<CacheModel> cache)
+    : config_(config),
+      priorities_(static_cast<std::uint32_t>(workload.num_threads()),
+                  config.arbitration == ArbitrationKind::kPriority
+                      ? config.remap_scheme
+                      : RemapScheme::kNone,
+                  config.seed),
+      cache_(std::move(cache)) {
+  HBMSIM_CHECK(cache_ != nullptr, "simulator requires a cache model");
+  config_.validate(static_cast<std::uint32_t>(workload.num_threads()));
+
+  // kAny: one queue shared by all channels (FR-FCFS keeps per-channel
+  // open-row state internally). kHashed: one single-channel queue per
+  // channel; pages route by channel_of().
+  const std::size_t num_queues =
+      config_.channel_binding == ChannelBinding::kHashed ? config_.num_channels
+                                                         : 1;
+  const std::uint32_t channels_per_queue =
+      config_.channel_binding == ChannelBinding::kHashed ? 1
+                                                         : config_.num_channels;
+  for (std::size_t i = 0; i < num_queues; ++i) {
+    queues_.push_back(ArbitrationPolicy::make(config_.arbitration, &priorities_,
+                                              config_.seed + i,
+                                              channels_per_queue,
+                                              config_.row_pages));
+  }
+
+  const std::size_t p = workload.num_threads();
+  threads_.resize(p);
+  if (config_.per_thread_metrics) {
+    metrics_.per_thread.resize(p);
+  }
+  active_now_.reserve(p);
+  active_next_.reserve(p);
+  for (std::size_t t = 0; t < p; ++t) {
+    threads_[t].trace = workload.share(t);
+    if (threads_[t].trace->empty()) {
+      threads_[t].state = ThreadState::kDone;
+      ++done_threads_;
+    } else {
+      active_now_.push_back(static_cast<ThreadId>(t));
+    }
+  }
+}
+
+Simulator::ThreadState Simulator::thread_state(ThreadId t) const {
+  HBMSIM_CHECK(t < threads_.size(), "thread id out of range");
+  return threads_[t].state;
+}
+
+GlobalPage Simulator::current_page(ThreadId t) const {
+  const ThreadContext& ctx = threads_[t];
+  const LocalPage local = (*ctx.trace)[ctx.next_ref];
+  // Disjoint model (Property 1): namespace pages by owning core.
+  // Shared extension: one global namespace for all cores.
+  return config_.shared_pages ? GlobalPage{local} : make_global_page(t, local);
+}
+
+void Simulator::enqueue_miss(ThreadId t, GlobalPage page, Tick request_tick) {
+  threads_[t].state = ThreadState::kWaiting;
+  if (config_.shared_pages) {
+    waiters_[page].push_back(t);
+    // A transfer already in flight will satisfy this core on arrival;
+    // don't spend another channel slot on the same page.
+    if (in_flight_pages_.contains(page)) {
+      return;
+    }
+  }
+  queue_for(page).enqueue(QueuedRequest{page, t, request_tick});
+}
+
+bool Simulator::is_stale(const QueuedRequest& request) const {
+  const ThreadContext& ctx = threads_[request.thread];
+  return ctx.state != ThreadState::kWaiting ||
+         current_page(request.thread) != request.page;
+}
+
+std::size_t Simulator::queue_size() const noexcept {
+  std::size_t total = 0;
+  for (const auto& q : queues_) {
+    total += q->size();
+  }
+  return total;
+}
+
+ArbitrationPolicy& Simulator::queue_for(GlobalPage page) {
+  if (queues_.size() == 1) {
+    return *queues_[0];
+  }
+  return *queues_[channel_of(page, config_.num_channels)];
+}
+
+void Simulator::do_remap() {
+  if (priorities_.remap()) {
+    for (auto& q : queues_) {
+      q->on_priorities_changed();
+    }
+  }
+  ++metrics_.remaps;
+}
+
+void Simulator::serve(ThreadId t, ThreadContext& ctx, GlobalPage page) {
+  cache_->touch(page);
+  const Tick w = tick_ - ctx.request_tick + 1;
+  metrics_.response.add(static_cast<double>(w));
+  if (config_.response_histogram) {
+    metrics_.response_hist.add(w);
+  }
+  if (config_.per_thread_metrics) {
+    metrics_.per_thread[t].response.add(static_cast<double>(w));
+  }
+
+  ++ctx.next_ref;
+  if (ctx.next_ref == ctx.trace->size()) {
+    ctx.state = ThreadState::kDone;
+    ++done_threads_;
+    if (config_.per_thread_metrics) {
+      metrics_.per_thread[t].completion_tick = tick_;
+    }
+    metrics_.makespan = std::max(metrics_.makespan, tick_ + 1);
+  } else {
+    ctx.state = ThreadState::kIssuing;
+    active_next_.push_back(t);
+  }
+}
+
+void Simulator::issue_and_serve() {
+  for (const ThreadId t : active_now_) {
+    ThreadContext& ctx = threads_[t];
+    const GlobalPage page = current_page(t);
+    switch (ctx.state) {
+      case ThreadState::kIssuing: {
+        // Step 2/4: a fresh request — an HBM hit is served this tick
+        // (w = 1); a miss joins the DRAM queue.
+        ctx.request_tick = tick_;
+        ++metrics_.total_refs;
+        if (config_.per_thread_metrics) {
+          ++metrics_.per_thread[t].refs;
+        }
+        if (cache_->contains(page)) {
+          ++metrics_.hits;
+          if (config_.per_thread_metrics) {
+            ++metrics_.per_thread[t].hits;
+          }
+          serve(t, ctx, page);
+        } else {
+          ++metrics_.misses;
+          if (config_.per_thread_metrics) {
+            ++metrics_.per_thread[t].misses;
+          }
+          enqueue_miss(t, page, tick_);
+        }
+        break;
+      }
+      case ThreadState::kFetched: {
+        // Step 4: the page arrived last tick. It is normally still
+        // resident; if a same-tick fetch batch evicted it first (only
+        // possible in tiny-k corner cases), re-queue at the original
+        // request time so response accounting stays truthful.
+        if (cache_->contains(page)) {
+          serve(t, ctx, page);
+        } else {
+          ++metrics_.requeues;
+          enqueue_miss(t, page, ctx.request_tick);
+        }
+        break;
+      }
+      case ThreadState::kWaiting:
+      case ThreadState::kDone:
+        HBMSIM_ASSERT(false, "waiting/done thread on active list");
+        break;
+    }
+  }
+}
+
+void Simulator::fetch_from_dram() {
+  const bool hashed = config_.channel_binding == ChannelBinding::kHashed;
+  for (std::uint32_t c = 0; c < config_.num_channels; ++c) {
+    ArbitrationPolicy& q = hashed ? *queues_[c] : *queues_[0];
+    std::optional<QueuedRequest> next;
+    bool channel_idle = false;
+    for (;;) {
+      next = q.pop(hashed ? 0 : c);
+      if (!next) {
+        channel_idle = true;
+        break;
+      }
+      // Shared mode leaves duplicate entries behind once a page's fetch
+      // satisfies all its waiters, and (with fetch_ticks > 1) entries for
+      // pages already in flight; skipping them costs no channel slot.
+      if (!config_.shared_pages ||
+          (!is_stale(*next) && !in_flight_pages_.contains(next->page))) {
+        break;
+      }
+    }
+    if (channel_idle) {
+      // A hashed channel with an empty queue sits idle even when other
+      // channels are backlogged; under kAny an empty queue ends the tick.
+      if (hashed) {
+        continue;
+      }
+      return;
+    }
+    HBMSIM_ASSERT(!cache_->contains(next->page), "queued page already resident");
+    ++metrics_.fetches;
+    if (config_.fetch_ticks > 1) {
+      // Non-unit transfer time: the page is in flight and becomes
+      // servable at tick_ + fetch_ticks; waiting threads are neither
+      // queued nor active until arrival.
+      in_flight_.push_back(
+          InFlight{tick_ + config_.fetch_ticks, next->page, next->thread});
+      if (config_.shared_pages) {
+        in_flight_pages_.insert(next->page);
+      }
+      continue;
+    }
+    cache_->insert(next->page);
+    if (config_.shared_pages) {
+      // The fetch satisfies every core waiting on this page.
+      resolve_waiters(next->page, active_next_);
+    } else {
+      ThreadContext& ctx = threads_[next->thread];
+      HBMSIM_ASSERT(ctx.state == ThreadState::kWaiting,
+                    "fetch for non-waiting thread");
+      ctx.state = ThreadState::kFetched;
+      active_next_.push_back(next->thread);
+    }
+  }
+}
+
+void Simulator::resolve_waiters(GlobalPage page, std::vector<ThreadId>& out) {
+  const auto it = waiters_.find(page);
+  HBMSIM_ASSERT(it != waiters_.end(), "fetched page with no waiter list");
+  if (it == waiters_.end()) {
+    return;
+  }
+  for (const ThreadId w : it->second) {
+    ThreadContext& ctx = threads_[w];
+    if (ctx.state == ThreadState::kWaiting && current_page(w) == page) {
+      ctx.state = ThreadState::kFetched;
+      out.push_back(w);
+    }
+  }
+  waiters_.erase(it);
+}
+
+void Simulator::complete_arrivals() {
+  bool any = false;
+  while (!in_flight_.empty() && in_flight_.front().serve_tick == tick_) {
+    const InFlight arrival = in_flight_.front();
+    in_flight_.pop_front();
+    cache_->insert(arrival.page);
+    any = true;
+    if (config_.shared_pages) {
+      in_flight_pages_.erase(arrival.page);
+      resolve_waiters(arrival.page, active_now_);
+      continue;
+    }
+    ThreadContext& ctx = threads_[arrival.thread];
+    HBMSIM_ASSERT(ctx.state == ThreadState::kWaiting,
+                  "arrival for non-waiting thread");
+    ctx.state = ThreadState::kFetched;
+    active_now_.push_back(arrival.thread);
+  }
+  if (any) {
+    std::sort(active_now_.begin(), active_now_.end());
+  }
+}
+
+bool Simulator::step() {
+  if (finished()) {
+    return false;
+  }
+  HBMSIM_CHECK(tick_ < config_.max_ticks, "simulation exceeded max_ticks");
+  if (!in_flight_.empty()) {
+    complete_arrivals();
+  }
+  // Liveness: some unfinished thread must be active, queued, or in
+  // flight; otherwise a request was lost and the run would spin to
+  // max_ticks.
+  HBMSIM_CHECK(!active_now_.empty() || queue_size() > 0 || !in_flight_.empty(),
+               "simulator deadlock: unfinished threads but no pending work");
+
+  // Step 1: priority remap.
+  if (config_.remap_period != 0 && tick_ % config_.remap_period == 0) {
+    do_remap();
+  }
+
+  // Steps 2–4: issue new requests, serve resident pages.
+  issue_and_serve();
+
+  // Step 5 (+3): fetch up to q queued pages, evicting as needed.
+  fetch_from_dram();
+
+  active_now_.clear();
+  std::swap(active_now_, active_next_);
+  // Canonical intra-tick order: cores are processed in id order, so
+  // same-tick requests enter the DRAM queue in core-id order. This makes
+  // runs bit-reproducible and exactly specifiable (see header).
+  std::sort(active_now_.begin(), active_now_.end());
+  ++tick_;
+  return true;
+}
+
+RunMetrics Simulator::run() {
+  while (step()) {
+  }
+  metrics_.evictions = cache_->evictions();
+  return metrics_;
+}
+
+RunMetrics simulate(const Workload& workload, const SimConfig& config) {
+  Simulator sim(workload, config);
+  return sim.run();
+}
+
+}  // namespace hbmsim

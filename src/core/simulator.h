@@ -1,0 +1,134 @@
+// The HBM+DRAM model simulator (§3.1).
+//
+// Tick semantics (paper's numbered steps, DESIGN.md §3):
+//   1. if t % T == 0, remap priorities
+//   2. cores whose current request misses in HBM join the DRAM queue
+//   3. evictions happen as part of fetches (equivalent; ≤ q per tick)
+//   4. cores whose current request is resident are served; a served core
+//      issues its next request at tick t+1
+//   5. up to q queued requests (arbitration order) are fetched into HBM;
+//      a fetched page is servable from tick t+1 (so a miss costs ≥ 2)
+//
+// The implementation is sparse: threads blocked on the far channel cost
+// nothing per tick, so total work is O(refs + misses·log p + idle_ticks)
+// rather than O(makespan · p).
+//
+// Intra-tick determinism: cores are processed in core-id order at steps
+// 2/4, so same-tick misses enter the DRAM queue in core-id order and any
+// two runs of the same (workload, config) are bit-identical.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/arbitration.h"
+#include "core/config.h"
+#include "core/hbm_cache.h"
+#include "core/metrics.h"
+#include "core/priority_map.h"
+#include "core/types.h"
+#include "trace/trace.h"
+
+namespace hbmsim {
+
+class Simulator {
+ public:
+  /// Thread states, exposed for tests and step-by-step inspection.
+  enum class ThreadState : std::uint8_t {
+    kIssuing,   ///< will issue its current request at the next step
+    kWaiting,   ///< request is in the DRAM queue
+    kFetched,   ///< page arrived; serve at step 4 of the next tick
+    kDone,      ///< trace fully served
+  };
+
+  Simulator(const Workload& workload, const SimConfig& config);
+
+  /// Run against a custom residency model (e.g. assoc::DirectMappedCache).
+  /// `cache` must be non-null; SimConfig::hbm_slots and ::replacement are
+  /// ignored in favour of the supplied model.
+  Simulator(const Workload& workload, const SimConfig& config,
+            std::unique_ptr<CacheModel> cache);
+
+  /// Advance one tick. Returns false when the simulation was already
+  /// complete (no tick consumed).
+  bool step();
+
+  /// Run to completion and return the collected metrics.
+  RunMetrics run();
+
+  [[nodiscard]] bool finished() const noexcept {
+    return done_threads_ == threads_.size();
+  }
+
+  /// ---- Introspection (tests, debugging) ----
+  [[nodiscard]] Tick now() const noexcept { return tick_; }
+  [[nodiscard]] ThreadState thread_state(ThreadId t) const;
+  [[nodiscard]] std::size_t queue_size() const noexcept;
+  [[nodiscard]] const CacheModel& cache() const noexcept { return *cache_; }
+  [[nodiscard]] const PriorityMap& priorities() const noexcept { return priorities_; }
+  [[nodiscard]] const RunMetrics& metrics() const noexcept { return metrics_; }
+
+ private:
+  struct ThreadContext {
+    std::shared_ptr<const Trace> trace;  // shared so a temporary Workload is safe
+    std::size_t next_ref = 0;       // index of the current request in trace
+    Tick request_tick = 0;          // when the current request was issued
+    ThreadState state = ThreadState::kIssuing;
+  };
+
+  void do_remap();
+  void issue_and_serve();
+  void fetch_from_dram();
+  void serve(ThreadId t, ThreadContext& ctx, GlobalPage page);
+  void enqueue_miss(ThreadId t, GlobalPage page, Tick request_tick);
+  /// Shared-pages mode: a queue entry is stale if its thread has already
+  /// been satisfied by another core's fetch of the same page.
+  [[nodiscard]] bool is_stale(const QueuedRequest& request) const;
+  [[nodiscard]] GlobalPage current_page(ThreadId t) const;
+
+  /// The arbitration queue a page's request joins: a single shared queue
+  /// under ChannelBinding::kAny, or the page's hashed channel queue.
+  [[nodiscard]] ArbitrationPolicy& queue_for(GlobalPage page);
+
+  SimConfig config_;
+  std::vector<ThreadContext> threads_;
+  PriorityMap priorities_;
+  /// One queue (kAny) or one per channel (kHashed).
+  std::vector<std::unique_ptr<ArbitrationPolicy>> queues_;
+  std::unique_ptr<CacheModel> cache_;
+  RunMetrics metrics_;
+
+  Tick tick_ = 0;
+  std::size_t done_threads_ = 0;
+
+  // Threads to consider at step 2/4 of the current tick.
+  std::vector<ThreadId> active_now_;
+  std::vector<ThreadId> active_next_;
+
+  // shared_pages only: cores waiting on each in-flight page.
+  std::unordered_map<GlobalPage, std::vector<ThreadId>> waiters_;
+
+  // fetch_ticks > 1 only: fetches in flight, FIFO by issue tick (all
+  // transfers take the same time, so arrival order == issue order).
+  struct InFlight {
+    Tick serve_tick;
+    GlobalPage page;
+    ThreadId thread;
+  };
+  std::deque<InFlight> in_flight_;
+  // shared_pages + fetch_ticks > 1: pages currently being transferred,
+  // so late co-requesters piggyback instead of double-fetching.
+  std::unordered_set<GlobalPage> in_flight_pages_;
+  void complete_arrivals();
+  /// shared_pages: flip every core waiting on `page` to kFetched,
+  /// appending them to `out` (the active list of the serving tick).
+  void resolve_waiters(GlobalPage page, std::vector<ThreadId>& out);
+};
+
+/// One-shot convenience: simulate `workload` under `config`.
+[[nodiscard]] RunMetrics simulate(const Workload& workload, const SimConfig& config);
+
+}  // namespace hbmsim

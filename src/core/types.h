@@ -1,0 +1,34 @@
+// Fundamental identifier types for the HBM+DRAM model.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.h"
+
+namespace hbmsim {
+
+/// Core / thread index in [0, p).
+using ThreadId = std::uint32_t;
+
+/// Simulation time step.
+using Tick = std::uint64_t;
+
+/// A page in the global (cross-thread) namespace. Per model Property 1,
+/// each core's page set is disjoint; we enforce this by tagging the local
+/// page id with the owning thread id.
+using GlobalPage = std::uint64_t;
+
+[[nodiscard]] constexpr GlobalPage make_global_page(ThreadId thread,
+                                                    LocalPage page) noexcept {
+  return (static_cast<GlobalPage>(thread) << 32) | page;
+}
+
+[[nodiscard]] constexpr ThreadId page_owner(GlobalPage page) noexcept {
+  return static_cast<ThreadId>(page >> 32);
+}
+
+[[nodiscard]] constexpr LocalPage page_local(GlobalPage page) noexcept {
+  return static_cast<LocalPage>(page & 0xFFFFFFFFull);
+}
+
+}  // namespace hbmsim

@@ -1,0 +1,53 @@
+#include "exp/sweep.h"
+
+namespace hbmsim::exp {
+
+std::vector<PolicyResult> run_policies(const Workload& workload,
+                                       const std::vector<SimConfig>& configs) {
+  std::vector<PolicyResult> results;
+  results.reserve(configs.size());
+  for (const SimConfig& config : configs) {
+    PolicyResult r;
+    r.policy = config.policy_name();
+    r.config = config;
+    r.metrics = simulate(workload, config);
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+double fifo_over_priority_makespan(const Workload& workload,
+                                   std::uint64_t hbm_slots,
+                                   std::uint32_t channels) {
+  const RunMetrics fifo =
+      simulate(workload, SimConfig::fifo(hbm_slots, channels));
+  const RunMetrics priority =
+      simulate(workload, SimConfig::priority(hbm_slots, channels));
+  return priority.makespan == 0
+             ? 0.0
+             : static_cast<double>(fifo.makespan) /
+                   static_cast<double>(priority.makespan);
+}
+
+std::vector<RatioPoint> ratio_sweep(
+    const WorkloadFactory& factory, const std::vector<std::size_t>& thread_counts,
+    const std::vector<std::uint64_t>& hbm_sizes,
+    const std::function<SimConfig(std::uint64_t)>& make_config_a,
+    const std::function<SimConfig(std::uint64_t)>& make_config_b) {
+  std::vector<RatioPoint> points;
+  points.reserve(thread_counts.size() * hbm_sizes.size());
+  for (const std::size_t p : thread_counts) {
+    const Workload workload = factory(p);
+    for (const std::uint64_t k : hbm_sizes) {
+      RatioPoint point;
+      point.num_threads = p;
+      point.hbm_slots = k;
+      point.makespan_a = simulate(workload, make_config_a(k)).makespan;
+      point.makespan_b = simulate(workload, make_config_b(k)).makespan;
+      points.push_back(point);
+    }
+  }
+  return points;
+}
+
+}  // namespace hbmsim::exp

@@ -1,0 +1,60 @@
+// Experiment-sweep helpers shared by the bench binaries: run a workload
+// under several policies, compute the paper's ratio metrics, and name
+// points consistently.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/metrics.h"
+#include "core/simulator.h"
+#include "trace/trace.h"
+
+namespace hbmsim::exp {
+
+/// One simulated configuration with its outcome.
+struct PolicyResult {
+  std::string policy;
+  SimConfig config;
+  RunMetrics metrics;
+};
+
+/// Run `workload` under each config; returns results in input order.
+[[nodiscard]] std::vector<PolicyResult> run_policies(
+    const Workload& workload, const std::vector<SimConfig>& configs);
+
+/// The paper's headline ratio: FIFO makespan / Priority makespan
+/// (> 1 means Priority wins).
+[[nodiscard]] double fifo_over_priority_makespan(const Workload& workload,
+                                                 std::uint64_t hbm_slots,
+                                                 std::uint32_t channels = 1);
+
+/// A (thread count → workload) factory, used by thread-count sweeps.
+using WorkloadFactory = std::function<Workload(std::size_t num_threads)>;
+
+/// One row of a thread-count sweep comparing two configs.
+struct RatioPoint {
+  std::size_t num_threads = 0;
+  std::uint64_t hbm_slots = 0;
+  Tick makespan_a = 0;
+  Tick makespan_b = 0;
+  [[nodiscard]] double ratio() const noexcept {
+    return makespan_b == 0 ? 0.0
+                           : static_cast<double>(makespan_a) /
+                                 static_cast<double>(makespan_b);
+  }
+};
+
+/// For each p in `thread_counts` and each k in `hbm_sizes`, simulate the
+/// factory's workload under config_a(k) and config_b(k) and record the
+/// makespans. `make_config_a/b` receive k and must set everything else.
+[[nodiscard]] std::vector<RatioPoint> ratio_sweep(
+    const WorkloadFactory& factory, const std::vector<std::size_t>& thread_counts,
+    const std::vector<std::uint64_t>& hbm_sizes,
+    const std::function<SimConfig(std::uint64_t)>& make_config_a,
+    const std::function<SimConfig(std::uint64_t)>& make_config_b);
+
+}  // namespace hbmsim::exp

@@ -1,0 +1,146 @@
+#include "exp/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace hbmsim::exp {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  HBMSIM_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  HBMSIM_CHECK(cells.size() == headers_.size(),
+               "row width does not match header count");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table::RowBuilder::~RowBuilder() {
+  if (!cells_.empty()) {
+    table_.add_row(std::move(cells_));
+  }
+}
+
+Table::RowBuilder& Table::RowBuilder::operator<<(const std::string& cell) {
+  cells_.push_back(cell);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::operator<<(const char* cell) {
+  cells_.emplace_back(cell);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::operator<<(std::uint64_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::operator<<(std::int64_t v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::operator<<(int v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::operator<<(unsigned v) {
+  cells_.push_back(std::to_string(v));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::operator<<(double v) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(table_.precision_) << v;
+  cells_.push_back(os.str());
+  return *this;
+}
+
+Table& Table::set_precision(int digits) {
+  precision_ = digits;
+  return *this;
+}
+
+void Table::print_text(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[c]))
+         << cells[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += std::string(widths[c], '-') + (c + 1 < widths.size() ? "  " : "");
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+void Table::print_markdown(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (const auto& cell : cells) {
+      os << ' ' << cell << " |";
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << "---|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) {
+      return s;
+    }
+    std::string out = "\"";
+    for (const char ch : s) {
+      if (ch == '"') {
+        out += "\"\"";
+      } else {
+        out += ch;
+      }
+    }
+    out += '"';
+    return out;
+  };
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : ",") << escape(cells[c]);
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+}
+
+std::string Table::to_text() const {
+  std::ostringstream os;
+  print_text(os);
+  return os.str();
+}
+
+}  // namespace hbmsim::exp

@@ -1,0 +1,62 @@
+// Minimal table builder for experiment output: aligned text for stdout,
+// plus CSV and Markdown emitters so bench results can be pasted straight
+// into EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hbmsim::exp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Row builder with streaming cells: tbl.row() << "a" << 1 << 2.5;
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& table) : table_(table) {}
+    ~RowBuilder();
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+    RowBuilder& operator<<(const std::string& cell);
+    RowBuilder& operator<<(const char* cell);
+    RowBuilder& operator<<(std::uint64_t v);
+    RowBuilder& operator<<(std::int64_t v);
+    RowBuilder& operator<<(int v);
+    RowBuilder& operator<<(unsigned v);
+    RowBuilder& operator<<(double v);
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+
+  [[nodiscard]] RowBuilder row() { return RowBuilder(*this); }
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const noexcept { return headers_.size(); }
+
+  /// Set fixed precision used by the double overload (default 3).
+  Table& set_precision(int digits);
+
+  void print_text(std::ostream& os) const;
+  void print_markdown(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  /// Convenience: text rendering as a string.
+  [[nodiscard]] std::string to_text() const;
+
+ private:
+  friend class RowBuilder;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int precision_ = 3;
+};
+
+}  // namespace hbmsim::exp

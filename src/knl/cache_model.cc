@@ -1,0 +1,150 @@
+#include "knl/cache_model.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/error.h"
+
+namespace hbmsim::knl {
+
+SetAssocCache::SetAssocCache(std::uint64_t sets, std::uint32_t ways)
+    : sets_(std::bit_ceil(std::max<std::uint64_t>(sets, 1))),
+      ways_(ways),
+      set_mask_(sets_ - 1),
+      entries_(sets_ * ways, 0),
+      valid_(sets_ * ways, 0) {
+  HBMSIM_CHECK(ways > 0, "cache needs at least one way");
+}
+
+SetAssocCache SetAssocCache::from_config(const CacheLevelConfig& cfg) {
+  HBMSIM_CHECK(cfg.line_bytes > 0 && cfg.ways > 0, "bad cache level config");
+  const std::uint64_t lines =
+      std::max<std::uint64_t>(cfg.capacity_bytes / cfg.line_bytes, cfg.ways);
+  return SetAssocCache(lines / cfg.ways, cfg.ways);
+}
+
+bool SetAssocCache::access(std::uint64_t key) {
+  const std::uint64_t set = (key ^ (key >> 17)) & set_mask_;
+  const std::size_t base = static_cast<std::size_t>(set) * ways_;
+  // Scan most- to least-recent; on hit rotate the entry to the front.
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    if (valid_[base + w] && entries_[base + w] == key) {
+      for (std::uint32_t m = w; m > 0; --m) {
+        entries_[base + m] = entries_[base + m - 1];
+        valid_[base + m] = valid_[base + m - 1];
+      }
+      entries_[base] = key;
+      valid_[base] = 1;
+      ++hits_;
+      return true;
+    }
+  }
+  // Miss: insert at the front, pushing the LRU way out.
+  for (std::uint32_t m = ways_ - 1; m > 0; --m) {
+    entries_[base + m] = entries_[base + m - 1];
+    valid_[base + m] = valid_[base + m - 1];
+  }
+  entries_[base] = key;
+  valid_[base] = 1;
+  ++misses_;
+  return false;
+}
+
+McdramCache::McdramCache(std::uint64_t capacity_bytes, std::uint32_t line_bytes)
+    : line_bytes_(line_bytes) {
+  HBMSIM_CHECK(line_bytes > 0 && std::has_single_bit(std::uint64_t{line_bytes}),
+               "MCDRAM line size must be a power of two");
+  HBMSIM_CHECK(capacity_bytes >= line_bytes, "MCDRAM smaller than one line");
+  line_shift_ = std::countr_zero(std::uint64_t{line_bytes});
+  tags_.assign(capacity_bytes / line_bytes, ~std::uint64_t{0});
+}
+
+bool McdramCache::access(std::uint64_t addr) {
+  const std::uint64_t line = addr >> line_shift_;
+  const std::uint64_t slot = line % tags_.size();
+  if (tags_[slot] == line) {
+    ++hits_;
+    return true;
+  }
+  tags_[slot] = line;
+  ++misses_;
+  return false;
+}
+
+MemoryHierarchy::MemoryHierarchy(const MachineConfig& config)
+    : config_(config),
+      tlb_(std::max<std::uint32_t>(config.tlb.entries / config.tlb.ways, 1),
+           config.tlb.ways),
+      mcdram_(config.mcdram_cache_bytes(), config.hbm_cache_line_bytes),
+      // Page tables live far above any data we simulate accessing.
+      page_table_base_(std::uint64_t{1} << 60) {
+  levels_.reserve(config.levels.size());
+  for (const auto& level : config.levels) {
+    levels_.push_back(SetAssocCache::from_config(level));
+  }
+}
+
+double MemoryHierarchy::memory_ns(std::uint64_t addr) {
+  switch (config_.mode) {
+    case MemoryMode::kFlatHbm:
+      return config_.hbm_access_ns;
+    case MemoryMode::kFlatDdr:
+      return config_.dram_access_ns;
+    case MemoryMode::kCacheMode:
+    case MemoryMode::kHybrid:
+      if (mcdram_.access(addr)) {
+        return config_.hbm_access_ns;
+      }
+      // MCDRAM miss: access MCDRAM tags, re-cross the mesh, hit DDR.
+      return config_.hbm_access_ns + config_.cache_miss_extra_ns;
+  }
+  return 0.0;
+}
+
+double MemoryHierarchy::cached_access_ns(std::uint64_t addr, bool is_pte) {
+  double ns = 0.0;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    ns += config_.levels[i].probe_ns;
+    if (levels_[i].access(addr / config_.levels[i].line_bytes)) {
+      return ns;
+    }
+  }
+  // Left the core: cross the mesh to the distributed directory, then to
+  // memory. Page tables are kernel allocations that sit in DDR regardless
+  // of the process's membind (and we keep them out of the MCDRAM tags so
+  // the reported MCDRAM hit rate is a data hit rate).
+  ns += config_.mesh_probe_ns;
+  ns += is_pte ? config_.dram_access_ns : memory_ns(addr);
+  return ns;
+}
+
+double MemoryHierarchy::page_walk_ns(std::uint64_t vpage) {
+  // One PTE load (8 bytes per page entry) through the data caches: small
+  // working sets keep their page table cache-resident (cheap walk); big
+  // arrays push PTE loads out to memory, which produces the measured
+  // latency climb between 16 MiB and 64 GiB arrays.
+  return cached_access_ns(page_table_base_ + vpage * 8, /*is_pte=*/true);
+}
+
+void MemoryHierarchy::warm(std::uint64_t array_bytes) {
+  if (config_.mode == MemoryMode::kCacheMode ||
+      config_.mode == MemoryMode::kHybrid) {
+    for (std::uint64_t addr = 0; addr < array_bytes;
+         addr += config_.hbm_cache_line_bytes) {
+      mcdram_.access(addr);
+    }
+  }
+  mcdram_.reset_stats();
+}
+
+double MemoryHierarchy::access_ns(std::uint64_t vaddr) {
+  double ns = 0.0;
+  const std::uint64_t vpage = vaddr / config_.tlb.page_bytes;
+  if (!tlb_.access(vpage)) {
+    ns += page_walk_ns(vpage);
+  }
+  ns += cached_access_ns(vaddr);
+  return ns;
+}
+
+}  // namespace hbmsim::knl

@@ -1,0 +1,115 @@
+// Byte-addressed cache machinery for the KNL machine model: an LRU
+// set-associative cache (L1/L2/TLB) and a direct-mapped memory-side
+// MCDRAM cache, composed into MemoryHierarchy, which charges nanoseconds
+// per access the way §5's model predicts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "knl/machine.h"
+
+namespace hbmsim::knl {
+
+/// LRU set-associative cache over 64-bit line/page numbers.
+class SetAssocCache {
+ public:
+  /// `sets * ways` entries; `sets` is rounded up to a power of two.
+  SetAssocCache(std::uint64_t sets, std::uint32_t ways);
+
+  /// Convenience: sized from capacity/line/ways.
+  [[nodiscard]] static SetAssocCache from_config(const CacheLevelConfig& cfg);
+
+  /// Probe for `key` (a line or page number); inserts on miss, evicting
+  /// the set's LRU entry. Returns true on hit.
+  bool access(std::uint64_t key);
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t sets() const noexcept { return sets_; }
+  [[nodiscard]] std::uint32_t ways() const noexcept { return ways_; }
+
+  void reset_stats() noexcept {
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+ private:
+  std::uint64_t sets_;
+  std::uint32_t ways_;
+  std::uint64_t set_mask_;
+  // entries_[set*ways .. set*ways+ways) ordered most- to least-recent.
+  std::vector<std::uint64_t> entries_;
+  std::vector<std::uint8_t> valid_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Direct-mapped, memory-side MCDRAM cache (tags only; 4 KiB granularity
+/// keeps the tag array small at the full 16 GiB capacity).
+class McdramCache {
+ public:
+  McdramCache(std::uint64_t capacity_bytes, std::uint32_t line_bytes);
+
+  bool access(std::uint64_t addr);
+
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] double hit_rate() const noexcept {
+    const std::uint64_t n = hits_ + misses_;
+    return n == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(n);
+  }
+
+  void reset_stats() noexcept {
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+ private:
+  std::uint32_t line_bytes_;
+  int line_shift_;
+  std::vector<std::uint64_t> tags_;  // ~0 = empty
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Per-access latency accounting for one hardware thread's view of the
+/// machine. Drives: TLB (+ page-table walk through the data caches),
+/// the on-core cache levels, the mesh, and MCDRAM/DDR per MemoryMode.
+class MemoryHierarchy {
+ public:
+  explicit MemoryHierarchy(const MachineConfig& config);
+
+  /// Charge one data access at virtual byte address `vaddr`; returns ns.
+  double access_ns(std::uint64_t vaddr);
+
+  /// Simulate the benchmark's untimed initialisation pass: touch every
+  /// MCDRAM-line of [0, array_bytes) sequentially, then reset the MCDRAM
+  /// hit/miss counters so subsequent measurements reflect steady state.
+  void warm(std::uint64_t array_bytes);
+
+  /// Aggregate fraction of accesses served by MCDRAM in cache mode
+  /// (meaningless in flat modes).
+  [[nodiscard]] double mcdram_hit_rate() const noexcept {
+    return mcdram_.hit_rate();
+  }
+
+  [[nodiscard]] const MachineConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Memory access past all on-core caches (data or PTE), per mode.
+  double memory_ns(std::uint64_t addr);
+  /// TLB miss: walk the page table; the PTE load goes through the cache
+  /// hierarchy itself, which is what makes big-array latency climb.
+  double page_walk_ns(std::uint64_t vpage);
+  double cached_access_ns(std::uint64_t addr, bool is_pte = false);
+
+  MachineConfig config_;
+  std::vector<SetAssocCache> levels_;
+  SetAssocCache tlb_;
+  McdramCache mcdram_;
+  std::uint64_t page_table_base_;
+};
+
+}  // namespace hbmsim::knl

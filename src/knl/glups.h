@@ -1,0 +1,46 @@
+// The §5.1 bandwidth microbenchmark: GLUPS ("Giga-Large Updates per
+// Second") — read, xor, and write randomly chosen 1024-byte blocks until
+// one array's worth of data has been updated, with all hardware threads
+// driving memory simultaneously.
+//
+// Bandwidth is a saturation phenomenon, so the model is throughput-based:
+// the MCDRAM hit fraction is *measured* by replaying the random block
+// sequence against the direct-mapped MCDRAM tag simulation, then the
+// achieved bandwidth follows from the harmonic mix of the HBM path and
+// the DDR fill path (each missed block must cross the DRAM channel).
+// Reproduces Table 2b.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "knl/machine.h"
+
+namespace hbmsim::knl {
+
+struct GlupsResult {
+  std::uint64_t array_bytes = 0;
+  MemoryMode mode = MemoryMode::kFlatHbm;
+  double bandwidth_mibs = 0.0;
+  double mcdram_hit_rate = 0.0;  // cache mode only
+};
+
+struct GlupsOptions {
+  std::uint32_t block_bytes = 1024;  ///< paper: 1024-byte blocks (128 doubles)
+  /// Cap on simulated block updates (full paper arrays would need
+  /// millions; the hit fraction converges long before that).
+  std::uint64_t max_blocks = 1 << 20;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] GlupsResult run_glups(const MachineConfig& machine,
+                                    std::uint64_t array_bytes,
+                                    const GlupsOptions& opts = {});
+
+/// Sweep array sizes across modes — the data behind Table 2b.
+[[nodiscard]] std::vector<GlupsResult> glups_sweep(
+    const std::vector<MemoryMode>& modes, std::uint64_t min_bytes,
+    std::uint64_t max_bytes, std::uint32_t capacity_shift = 0,
+    const GlupsOptions& opts = {});
+
+}  // namespace hbmsim::knl

@@ -1,0 +1,101 @@
+// A parameterised machine model of Knight's Landing's memory system,
+// used to re-run the paper's §5 validation experiments (pointer-chase
+// latency, GLUPS bandwidth) without KNL hardware.
+//
+// Substitution note (DESIGN.md §2): the paper measured a real Xeon Phi
+// 7250; we simulate a machine with KNL-like structure — L1 / L2 / mesh
+// probe / MCDRAM (16 GiB, direct-mapped, memory-side) / DDR4 — and
+// latencies and bandwidths calibrated to Table 2. The *shape* of Figure 6
+// and Table 2 (plateau per capacity boundary, ~24 ns HBM-vs-DDR latency
+// gap, ~4.8× bandwidth gap, cache-mode double-miss penalty and bandwidth
+// collapse) comes out of the simulation, not out of a lookup table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hbmsim::knl {
+
+/// KNL boot modes covered by the model (§1). HBM-only mode is flat-HBM
+/// with no DDR; hybrid mode splits MCDRAM into a flat piece and a cache
+/// piece (the benchmark's data lives in DDR behind the cache piece).
+enum class MemoryMode { kFlatHbm, kFlatDdr, kCacheMode, kHybrid };
+
+[[nodiscard]] constexpr const char* to_string(MemoryMode m) noexcept {
+  switch (m) {
+    case MemoryMode::kFlatHbm: return "flat-hbm";
+    case MemoryMode::kFlatDdr: return "flat-ddr";
+    case MemoryMode::kCacheMode: return "cache";
+    case MemoryMode::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+/// One on-core cache level (L1D, L2, ...).
+struct CacheLevelConfig {
+  std::string name;
+  std::uint64_t capacity_bytes = 0;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t ways = 8;
+  /// Added when this level is probed (hit or miss discovers here).
+  double probe_ns = 0.0;
+};
+
+struct TlbConfig {
+  std::uint32_t entries = 256;
+  std::uint32_t ways = 8;
+  std::uint64_t page_bytes = 4096;
+};
+
+/// Full machine description.
+struct MachineConfig {
+  std::vector<CacheLevelConfig> levels;  // ordered L1 outwards
+  TlbConfig tlb;
+  MemoryMode mode = MemoryMode::kCacheMode;
+
+  /// Mesh traversal to the distributed tag directory / other tiles' L2 —
+  /// paid by every access that leaves the local L2 (the paper's ~200 ns
+  /// "baseline latency that we subtract off").
+  double mesh_probe_ns = 0.0;
+
+  /// MCDRAM (HBM) as memory or memory-side cache.
+  std::uint64_t hbm_bytes = 0;
+  std::uint32_t hbm_cache_line_bytes = 4096;  // memory-side cache granularity
+  double hbm_access_ns = 0.0;   // chip access once the request reaches MCDRAM
+  double dram_access_ns = 0.0;  // chip access once the request reaches DDR
+  /// Cache mode only: extra mesh re-crossing on an MCDRAM miss (the
+  /// paper's "third mesh crossing adds a 50% overall latency penalty").
+  double cache_miss_extra_ns = 0.0;
+  /// Hybrid mode: fraction of MCDRAM booted as cache (rest is flat).
+  double hybrid_cache_fraction = 0.5;
+
+  /// Bandwidth model (GLUPS): sustained MiB/s of each path.
+  double hbm_bandwidth_mibs = 0.0;
+  double dram_bandwidth_mibs = 0.0;
+  /// DDR streaming bandwidth seen by the MCDRAM fill path in cache mode.
+  double dram_fill_bandwidth_mibs = 0.0;
+
+  std::uint32_t hardware_threads = 272;  // paper: 272 threads
+
+  /// Bytes of MCDRAM acting as a memory-side cache in the current mode.
+  [[nodiscard]] std::uint64_t mcdram_cache_bytes() const {
+    if (mode == MemoryMode::kHybrid) {
+      const auto bytes = static_cast<std::uint64_t>(
+          static_cast<double>(hbm_bytes) * hybrid_cache_fraction);
+      return bytes < hbm_cache_line_bytes ? hbm_cache_line_bytes : bytes;
+    }
+    return hbm_bytes;
+  }
+
+  /// KNL-calibrated preset at full hardware capacities.
+  [[nodiscard]] static MachineConfig knl(MemoryMode mode);
+
+  /// Capacity-scaled preset: all capacities (caches, TLB reach via page
+  /// count, MCDRAM) divided by 2^shift so quick benches stay small while
+  /// capacity *ratios* — which determine every crossover — are unchanged.
+  [[nodiscard]] static MachineConfig knl_scaled(MemoryMode mode,
+                                                std::uint32_t shift);
+};
+
+}  // namespace hbmsim::knl

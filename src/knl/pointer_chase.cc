@@ -1,0 +1,64 @@
+#include "knl/pointer_chase.h"
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace hbmsim::knl {
+
+PointerChaseResult run_pointer_chase(const MachineConfig& machine,
+                                     std::uint64_t array_bytes, std::uint64_t ops,
+                                     std::uint64_t seed) {
+  HBMSIM_CHECK(array_bytes >= 8, "array must hold at least one pointer");
+  HBMSIM_CHECK(ops > 0, "need at least one hop");
+  if (machine.mode == MemoryMode::kFlatHbm) {
+    HBMSIM_CHECK(array_bytes <= machine.hbm_bytes,
+                 "flat-HBM cannot allocate beyond HBM capacity");
+  }
+
+  MemoryHierarchy hierarchy(machine);
+  Xoshiro256StarStar rng(seed);
+  const std::uint64_t elements = array_bytes / 8;
+
+  // The paper's arrays are initialised (element i := random index) before
+  // timing, which pulls the array through MCDRAM; model that untimed pass.
+  hierarchy.warm(array_bytes);
+
+  // The paper re-injects randomness every 32 hops; statistically each hop
+  // is a uniformly random 8-byte load in the array, which is what we
+  // charge.
+  double total_ns = 0.0;
+  std::uint64_t x = rng.uniform(elements);
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    total_ns += hierarchy.access_ns(x * 8);
+    x = rng.uniform(elements);
+  }
+
+  PointerChaseResult result;
+  result.array_bytes = array_bytes;
+  result.mode = machine.mode;
+  result.avg_ns = total_ns / static_cast<double>(ops);
+  result.mcdram_hit_rate = hierarchy.mcdram_hit_rate();
+  return result;
+}
+
+std::vector<PointerChaseResult> pointer_chase_sweep(
+    const std::vector<MemoryMode>& modes, std::uint64_t min_bytes,
+    std::uint64_t max_bytes, std::uint64_t ops, std::uint32_t capacity_shift,
+    std::uint64_t seed) {
+  HBMSIM_CHECK(min_bytes <= max_bytes, "bad sweep range");
+  std::vector<PointerChaseResult> results;
+  for (const MemoryMode mode : modes) {
+    const MachineConfig machine = capacity_shift == 0
+                                      ? MachineConfig::knl(mode)
+                                      : MachineConfig::knl_scaled(mode, capacity_shift);
+    for (std::uint64_t bytes = min_bytes; bytes <= max_bytes; bytes *= 2) {
+      if (mode == MemoryMode::kFlatHbm && bytes > machine.hbm_bytes) {
+        continue;  // the paper stops the HBM series at 8 GiB for the same reason
+      }
+      results.push_back(run_pointer_chase(machine, bytes, ops, seed));
+    }
+  }
+  return results;
+}
+
+}  // namespace hbmsim::knl

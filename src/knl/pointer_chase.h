@@ -1,0 +1,39 @@
+// The §5.1 latency microbenchmark: "record the average time to chase a
+// pointer on an array of a fixed size" — x := a[x], with a dash of
+// randomness so the chain doesn't degenerate into a short loop.
+//
+// Run against the simulated machine: each hop is one 8-byte load at a
+// random offset within the array, charged through TLB + caches + memory
+// by MemoryHierarchy. Reproduces Figure 6 / Table 2a.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "knl/cache_model.h"
+#include "knl/machine.h"
+
+namespace hbmsim::knl {
+
+struct PointerChaseResult {
+  std::uint64_t array_bytes = 0;
+  MemoryMode mode = MemoryMode::kFlatHbm;
+  double avg_ns = 0.0;
+  double mcdram_hit_rate = 0.0;  // cache mode only
+};
+
+/// Average ns per pointer dereference on an `array_bytes` array, over
+/// `ops` hops (the paper uses 2^27; benches default lower).
+[[nodiscard]] PointerChaseResult run_pointer_chase(const MachineConfig& machine,
+                                                   std::uint64_t array_bytes,
+                                                   std::uint64_t ops,
+                                                   std::uint64_t seed = 1);
+
+/// Sweep array sizes (powers of two) across the given modes — the data
+/// behind Figure 6a/6b.
+[[nodiscard]] std::vector<PointerChaseResult> pointer_chase_sweep(
+    const std::vector<MemoryMode>& modes, std::uint64_t min_bytes,
+    std::uint64_t max_bytes, std::uint64_t ops, std::uint32_t capacity_shift = 0,
+    std::uint64_t seed = 1);
+
+}  // namespace hbmsim::knl

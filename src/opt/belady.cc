@@ -1,0 +1,52 @@
+#include "opt/belady.h"
+
+#include <set>
+#include <vector>
+
+#include "util/error.h"
+
+namespace hbmsim::opt {
+
+std::uint64_t belady_misses(const Trace& trace, std::uint64_t k) {
+  HBMSIM_CHECK(k > 0, "cache must have at least one slot");
+  const auto refs = trace.refs();
+  const std::size_t n = refs.size();
+
+  // next_use[i] = next position referencing refs[i], or n if none.
+  std::vector<std::size_t> next_use(n);
+  std::vector<std::size_t> last_seen(trace.num_pages(), n);
+  for (std::size_t i = n; i-- > 0;) {
+    next_use[i] = last_seen[refs[i]];
+    last_seen[refs[i]] = i;
+  }
+
+  // Resident set ordered by next use (descending order ⇒ begin() of the
+  // reverse view is the victim). in_cache[page] holds the page's current
+  // next-use key so entries can be located for update.
+  std::set<std::pair<std::size_t, LocalPage>, std::greater<>> by_next_use;
+  std::vector<std::size_t> in_cache(trace.num_pages(), 0);
+  std::vector<bool> resident(trace.num_pages(), false);
+
+  std::uint64_t misses = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const LocalPage page = refs[i];
+    if (resident[page]) {
+      // Refresh the page's key to its new next use.
+      by_next_use.erase({in_cache[page], page});
+    } else {
+      ++misses;
+      if (by_next_use.size() == k) {
+        // Evict the resident page used farthest in the future.
+        const auto victim = by_next_use.begin();
+        resident[victim->second] = false;
+        by_next_use.erase(victim);
+      }
+      resident[page] = true;
+    }
+    in_cache[page] = next_use[i];
+    by_next_use.emplace(next_use[i], page);
+  }
+  return misses;
+}
+
+}  // namespace hbmsim::opt

@@ -1,0 +1,17 @@
+// Belady's MIN: the offline-optimal replacement policy (evict the page
+// whose next use is farthest in the future). For a single reference
+// stream no replacement policy misses less, which makes it the anchor for
+// offline lower bounds on the model's makespan (lower_bound.h) and for
+// the empirical competitive ratios in bench/competitive_ratio.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.h"
+
+namespace hbmsim::opt {
+
+/// Misses of the offline-optimal policy on `trace` with `k` page slots.
+[[nodiscard]] std::uint64_t belady_misses(const Trace& trace, std::uint64_t k);
+
+}  // namespace hbmsim::opt

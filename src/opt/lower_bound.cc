@@ -1,0 +1,38 @@
+#include "opt/lower_bound.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "opt/belady.h"
+#include "util/error.h"
+
+namespace hbmsim::opt {
+
+MakespanBounds makespan_lower_bounds(const Workload& workload, std::uint64_t k,
+                                     std::uint32_t q) {
+  HBMSIM_CHECK(q > 0, "need at least one channel");
+  MakespanBounds bounds;
+  std::uint64_t total_min_misses = 0;
+
+  // Distinct traces are often shared across threads (Workload::replicate /
+  // round_robin); memoise the Belady pass per trace object.
+  std::unordered_map<const Trace*, std::uint64_t> memo;
+  for (std::size_t t = 0; t < workload.num_threads(); ++t) {
+    const Trace& trace = workload.trace(t);
+    if (trace.empty()) {
+      continue;
+    }
+    auto [it, inserted] = memo.try_emplace(&trace, 0);
+    if (inserted) {
+      it->second = belady_misses(trace, k);
+    }
+    const std::uint64_t min_misses = it->second;
+    total_min_misses += min_misses;
+    bounds.critical_path =
+        std::max(bounds.critical_path, trace.size() + min_misses);
+  }
+  bounds.channel_congestion = (total_min_misses + q - 1) / q;
+  return bounds;
+}
+
+}  // namespace hbmsim::opt

@@ -1,0 +1,44 @@
+// Offline makespan lower bounds for the HBM+DRAM model.
+//
+// Two bounds, both valid for *any* far-channel arbitration and *any*
+// replacement policy:
+//
+//   * critical path — a core serves at most one reference per tick, and
+//     each of its misses needs one extra tick; no policy can give core t
+//     fewer misses than Belady's MIN with the whole HBM to itself, so
+//       makespan ≥ max_t ( refs_t + belady_misses(trace_t, k) ).
+//
+//   * channel congestion — every miss crosses one of the q far channels,
+//     one page per channel per tick, and core t misses at least
+//     belady_misses(trace_t, k) times, so
+//       makespan ≥ ⌈ Σ_t belady_misses(trace_t, k) / q ⌉.
+//
+// The ratio policy-makespan / lower-bound is an (upper estimate of the)
+// empirical competitive ratio — the quantity Theorems 1-3 bound for
+// Priority and Theorem 2 blows up for FCFS. bench/competitive_ratio
+// charts it.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.h"
+
+namespace hbmsim::opt {
+
+struct MakespanBounds {
+  std::uint64_t critical_path = 0;
+  std::uint64_t channel_congestion = 0;
+
+  [[nodiscard]] std::uint64_t lower() const noexcept {
+    return critical_path > channel_congestion ? critical_path
+                                              : channel_congestion;
+  }
+};
+
+/// Compute both bounds for `workload` on an HBM of `k` slots with `q`
+/// far channels. O(total refs · log k).
+[[nodiscard]] MakespanBounds makespan_lower_bounds(const Workload& workload,
+                                                   std::uint64_t k,
+                                                   std::uint32_t q);
+
+}  // namespace hbmsim::opt

@@ -1,0 +1,88 @@
+// Log-bucketed histogram for response-time distributions.
+//
+// Buckets are powers of two (1, 2, 4, ...), matching the dynamic range of
+// response times: hits are exactly 1 tick, starved requests can wait
+// millions of ticks. Quantiles are estimated by linear interpolation
+// within the containing bucket.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.h"
+
+namespace hbmsim {
+
+/// Power-of-two bucketed histogram over positive integers.
+class LogHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void add(std::uint64_t value, std::uint64_t weight = 1) noexcept {
+    const int b = bucket_of(value);
+    counts_[b] += weight;
+    total_ += weight;
+  }
+
+  void merge(const LogHistogram& other) noexcept {
+    for (int i = 0; i < kBuckets; ++i) {
+      counts_[i] += other.counts_[i];
+    }
+    total_ += other.total_;
+  }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  [[nodiscard]] std::uint64_t bucket_count(int b) const {
+    HBMSIM_CHECK(b >= 0 && b < kBuckets, "bucket index out of range");
+    return counts_[b];
+  }
+
+  /// Lower edge of bucket b: values v with floor(log2(max(v,1))) == b.
+  [[nodiscard]] static constexpr std::uint64_t bucket_low(int b) noexcept {
+    return b == 0 ? 0 : (std::uint64_t{1} << b);
+  }
+
+  /// Estimate the q-quantile (q in [0,1]) by interpolating in the bucket.
+  [[nodiscard]] double quantile(double q) const {
+    HBMSIM_CHECK(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+    if (total_ == 0) {
+      return 0.0;
+    }
+    const double target = q * static_cast<double>(total_);
+    double cum = 0.0;
+    for (int b = 0; b < kBuckets; ++b) {
+      const double c = static_cast<double>(counts_[b]);
+      if (cum + c >= target && c > 0.0) {
+        const double frac = (target - cum) / c;
+        const double lo = static_cast<double>(bucket_low(b));
+        const double hi = static_cast<double>(bucket_low(b + 1));
+        return lo + frac * (hi - lo);
+      }
+      cum += c;
+    }
+    return static_cast<double>(bucket_low(kBuckets - 1));
+  }
+
+  /// Index of the highest non-empty bucket, or -1 when empty.
+  [[nodiscard]] int max_bucket() const noexcept {
+    for (int b = kBuckets - 1; b >= 0; --b) {
+      if (counts_[b] != 0) {
+        return b;
+      }
+    }
+    return -1;
+  }
+
+ private:
+  static constexpr int bucket_of(std::uint64_t v) noexcept {
+    return v == 0 ? 0 : 63 - std::countl_zero(v);
+  }
+
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hbmsim

@@ -1,0 +1,80 @@
+// Streaming (single-pass) statistics.
+//
+// Response times are produced once per page reference — potentially
+// hundreds of millions per run — so all aggregation is O(1) per sample
+// with no retained samples. Variance uses Welford's algorithm, which is
+// numerically stable for the very long, skewed streams Priority produces.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace hbmsim {
+
+/// Single-pass mean / variance / min / max accumulator (Welford).
+class StreamingStats {
+ public:
+  constexpr StreamingStats() noexcept = default;
+
+  constexpr void add(double x) noexcept {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  /// Merge another accumulator into this one (Chan et al. parallel merge).
+  constexpr void merge(const StreamingStats& other) noexcept {
+    if (other.count_ == 0) {
+      return;
+    }
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(count_ + other.count_);
+    const double delta = other.mean_ - mean_;
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  [[nodiscard]] constexpr std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] constexpr double mean() const noexcept { return mean_; }
+  [[nodiscard]] constexpr double min() const noexcept { return min_; }
+  [[nodiscard]] constexpr double max() const noexcept { return max_; }
+
+  /// Population variance (the paper's "inconsistency" is the stddev over
+  /// all response times, a population — not sample — statistic).
+  [[nodiscard]] constexpr double variance() const noexcept {
+    return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_);
+  }
+
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+  /// Unbiased sample variance (n-1 denominator), for completeness.
+  [[nodiscard]] constexpr double sample_variance() const noexcept {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+
+  [[nodiscard]] constexpr double sum() const noexcept {
+    return mean_ * static_cast<double>(count_);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace hbmsim

@@ -1,0 +1,144 @@
+#include "trace/analysis.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace hbmsim {
+namespace {
+
+/// Fenwick (binary indexed) tree over access positions; supports point
+/// update and prefix sum in O(log n).
+class Fenwick {
+ public:
+  explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
+
+  void add(std::size_t i, int delta) {
+    for (std::size_t x = i + 1; x < tree_.size(); x += x & (~x + 1)) {
+      tree_[x] += delta;
+    }
+  }
+
+  /// Sum of [0, i].
+  [[nodiscard]] std::int64_t prefix(std::size_t i) const {
+    std::int64_t s = 0;
+    for (std::size_t x = i + 1; x > 0; x -= x & (~x + 1)) {
+      s += tree_[x];
+    }
+    return s;
+  }
+
+  /// Sum of (lo, hi] with lo < hi (half-open from below).
+  [[nodiscard]] std::int64_t range(std::size_t lo, std::size_t hi) const {
+    return prefix(hi) - prefix(lo);
+  }
+
+ private:
+  std::vector<std::int64_t> tree_;
+};
+
+}  // namespace
+
+MissCurve::MissCurve(std::vector<std::uint64_t> hist, std::uint64_t cold)
+    : hist_(std::move(hist)), cold_(cold) {
+  cum_.resize(hist_.size());
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < hist_.size(); ++i) {
+    running += hist_[i];
+    cum_[i] = running;
+  }
+  total_ = running + cold_;
+}
+
+std::uint64_t MissCurve::misses_at(std::uint64_t k) const noexcept {
+  // Hits at size k = accesses with distance ≤ k.
+  const std::uint64_t hits =
+      k == 0 ? 0
+             : cum_.empty()
+                   ? 0
+                   : cum_[std::min<std::uint64_t>(k, cum_.size()) - 1];
+  return total_ - hits;
+}
+
+std::uint64_t MissCurve::min_k_for_miss_ratio(double target) const {
+  HBMSIM_CHECK(target >= 0.0 && target <= 1.0, "target ratio must be in [0,1]");
+  // miss_ratio_at is non-increasing in k: binary search.
+  std::uint64_t lo = 0;
+  std::uint64_t hi = max_distance() + 1;
+  if (miss_ratio_at(hi) > target) {
+    return hi;  // unreachable even with a full-footprint cache
+  }
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (miss_ratio_at(mid) <= target) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+MissCurve compute_miss_curve(const Trace& trace) {
+  const auto refs = trace.refs();
+  const std::size_t n = refs.size();
+  Fenwick marked(n);
+  // last_pos[page] = index of the page's most recent access, or -1.
+  std::vector<std::int64_t> last_pos(trace.num_pages(), -1);
+  std::vector<std::uint64_t> hist;
+  std::uint64_t cold = 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const LocalPage page = refs[i];
+    const std::int64_t prev = last_pos[page];
+    if (prev < 0) {
+      ++cold;
+    } else {
+      // Marks in (prev, i-1] are the most-recent positions of the
+      // distinct *other* pages touched since prev; the stack distance
+      // additionally counts this page itself.
+      const std::int64_t between =
+          i == 0 ? 0 : marked.range(static_cast<std::size_t>(prev), i - 1);
+      HBMSIM_ASSERT(between >= 0, "negative distinct count");
+      const auto distance = static_cast<std::uint64_t>(between) + 1;
+      if (distance > hist.size()) {
+        hist.resize(distance, 0);
+      }
+      ++hist[distance - 1];
+      marked.add(static_cast<std::size_t>(prev), -1);
+    }
+    marked.add(i, +1);
+    last_pos[page] = static_cast<std::int64_t>(i);
+  }
+  return MissCurve(std::move(hist), cold);
+}
+
+TraceProfile profile_trace(const Trace& trace) {
+  const MissCurve curve = compute_miss_curve(trace);
+  TraceProfile p;
+  p.refs = curve.total_refs();
+  p.unique_pages = trace.unique_pages();
+
+  const auto& hist = curve.histogram();
+  std::uint64_t finite = 0;
+  double weighted = 0.0;
+  for (std::size_t d = 0; d < hist.size(); ++d) {
+    finite += hist[d];
+    weighted += static_cast<double>(hist[d]) * static_cast<double>(d + 1);
+  }
+  p.mean_stack_distance = finite == 0 ? 0.0 : weighted / static_cast<double>(finite);
+  std::uint64_t seen = 0;
+  for (std::size_t d = 0; d < hist.size(); ++d) {
+    seen += hist[d];
+    if (2 * seen >= finite && finite > 0) {
+      p.median_stack_distance = d + 1;
+      break;
+    }
+  }
+  p.k_for_half = curve.min_k_for_miss_ratio(0.5);
+  p.k_for_tenth = curve.min_k_for_miss_ratio(0.1);
+  p.k_for_hundredth = curve.min_k_for_miss_ratio(0.01);
+  return p;
+}
+
+}  // namespace hbmsim

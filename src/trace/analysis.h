@@ -1,0 +1,77 @@
+// Trace analysis: LRU stack distances (Mattson et al.) and the miss-ratio
+// curve they induce.
+//
+// The stack distance of an access is the number of *distinct* pages
+// referenced since the previous access to the same page (∞ for first
+// touches). An LRU cache of k slots misses exactly the accesses with
+// stack distance > k, so one O(n log n) pass yields the miss count for
+// every cache size at once — the tool for choosing the paper's HBM sizes
+// and for explaining where the Figure 2 crossovers sit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace hbmsim {
+
+/// The distance histogram and derived miss-ratio curve of one trace.
+class MissCurve {
+ public:
+  /// hist[d-1] = number of accesses with stack distance exactly d;
+  /// `cold` = first touches (infinite distance).
+  MissCurve(std::vector<std::uint64_t> hist, std::uint64_t cold);
+
+  [[nodiscard]] std::uint64_t total_refs() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t cold_misses() const noexcept { return cold_; }
+
+  /// Largest finite stack distance observed (0 if none).
+  [[nodiscard]] std::uint64_t max_distance() const noexcept {
+    return hist_.size();
+  }
+
+  /// LRU misses with a k-slot cache: cold + #accesses with distance > k.
+  [[nodiscard]] std::uint64_t misses_at(std::uint64_t k) const noexcept;
+
+  [[nodiscard]] double miss_ratio_at(std::uint64_t k) const noexcept {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(misses_at(k)) /
+                             static_cast<double>(total_);
+  }
+
+  /// Smallest cache size whose miss ratio is ≤ `target`; returns
+  /// max_distance()+1 when even a full-footprint cache cannot reach it
+  /// (cold misses dominate).
+  [[nodiscard]] std::uint64_t min_k_for_miss_ratio(double target) const;
+
+  /// Raw histogram access (tests).
+  [[nodiscard]] const std::vector<std::uint64_t>& histogram() const noexcept {
+    return hist_;
+  }
+
+ private:
+  std::vector<std::uint64_t> hist_;    // finite distances, 1-based
+  std::vector<std::uint64_t> cum_;     // cum_[i] = # accesses with d <= i+1
+  std::uint64_t cold_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// One-pass Mattson analysis (Fenwick tree over access positions).
+[[nodiscard]] MissCurve compute_miss_curve(const Trace& trace);
+
+/// Summary statistics of a single trace, for workload characterisation.
+struct TraceProfile {
+  std::uint64_t refs = 0;
+  std::uint64_t unique_pages = 0;
+  double mean_stack_distance = 0.0;   // over finite distances
+  std::uint64_t median_stack_distance = 0;
+  /// k needed for 50% / 10% / 1% miss ratios.
+  std::uint64_t k_for_half = 0;
+  std::uint64_t k_for_tenth = 0;
+  std::uint64_t k_for_hundredth = 0;
+};
+
+[[nodiscard]] TraceProfile profile_trace(const Trace& trace);
+
+}  // namespace hbmsim

@@ -1,0 +1,99 @@
+// LoggingArray: the paper's TACO instrumentation technique (§3.2).
+//
+// "We replaced the arrays used in this code with our own array-like
+//  objects that log all accesses to a file."
+//
+// LoggingArray owns its storage and reports the virtual byte address of
+// every get/set to an access sink. Workload kernels (SpGEMM, dense MM)
+// are written against this explicit get/set interface so that *every*
+// array access — including temporaries and accumulators — is traced.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/page_mapper.h"
+#include "util/error.h"
+
+namespace hbmsim {
+
+template <typename T, AccessSink Sink = PageMapper>
+class LoggingArray {
+ public:
+  /// An array of `size` default-initialised elements whose element i lives
+  /// at simulated byte address `virtual_base + i * sizeof(T)`.
+  LoggingArray(std::size_t size, Address virtual_base, Sink* sink)
+      : data_(size), vbase_(virtual_base), sink_(sink) {}
+
+  /// Adopt existing contents.
+  LoggingArray(std::vector<T> data, Address virtual_base, Sink* sink)
+      : data_(std::move(data)), vbase_(virtual_base), sink_(sink) {}
+
+  [[nodiscard]] T get(std::size_t i) const {
+    HBMSIM_ASSERT(i < data_.size(), "logging array read out of range");
+    log(i);
+    return data_[i];
+  }
+
+  void set(std::size_t i, const T& value) {
+    HBMSIM_ASSERT(i < data_.size(), "logging array write out of range");
+    log(i);
+    data_[i] = value;
+  }
+
+  /// Read-modify-write (one access in the model: the paper counts page
+  /// references, and a += touches the page once per dereference site).
+  void add(std::size_t i, const T& delta) {
+    HBMSIM_ASSERT(i < data_.size(), "logging array update out of range");
+    log(i);
+    data_[i] += delta;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] Address virtual_base() const noexcept { return vbase_; }
+
+  /// Untraced access for verification of kernel results.
+  [[nodiscard]] const std::vector<T>& raw() const noexcept { return data_; }
+
+ private:
+  void log(std::size_t i) const {
+    if (sink_ != nullptr) {
+      sink_->access(vbase_ + static_cast<Address>(i) * sizeof(T));
+    }
+  }
+
+  std::vector<T> data_;
+  Address vbase_;
+  Sink* sink_;
+};
+
+/// Lays out consecutive virtual address ranges for a set of arrays,
+/// page-aligning each so distinct arrays never share a page.
+class VirtualLayout {
+ public:
+  explicit VirtualLayout(std::uint64_t page_bytes = 4096, Address start = 0x10000)
+      : page_bytes_(page_bytes), next_(align_up(start, page_bytes)) {}
+
+  /// Reserve space for `count` elements of `elem_bytes` each; returns the
+  /// assigned virtual base address.
+  Address reserve(std::size_t count, std::size_t elem_bytes) {
+    const Address base = next_;
+    next_ = align_up(next_ + static_cast<Address>(count) * elem_bytes + 1, page_bytes_);
+    return base;
+  }
+
+  template <typename T>
+  Address reserve_for(std::size_t count) {
+    return reserve(count, sizeof(T));
+  }
+
+ private:
+  static Address align_up(Address a, std::uint64_t align) noexcept {
+    return (a + align - 1) / align * align;
+  }
+
+  std::uint64_t page_bytes_;
+  Address next_;
+};
+
+}  // namespace hbmsim

@@ -1,0 +1,130 @@
+// LoggingIterator: the paper's GNU-sort instrumentation technique (§3.2).
+//
+// "Since GNU sort takes iterators as input, we created a logging iterator
+//  class that logs every dereference to a file, and passed these logging
+//  iterators to GNU sort."
+//
+// LoggingIterator wraps a raw pointer and reports the *virtual* byte
+// address of every dereference to an access sink (normally a PageMapper).
+// Virtual bases are caller-assigned so traces are deterministic and
+// independent of ASLR. It satisfies LegacyRandomAccessIterator, so it can
+// be handed directly to std::sort / std::stable_sort — the drop-in
+// replacement for the paper's GNU libstdc++ sort.
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+
+#include "trace/page_mapper.h"
+
+namespace hbmsim {
+
+template <typename T, AccessSink Sink = PageMapper>
+class LoggingIterator {
+ public:
+  using iterator_category = std::random_access_iterator_tag;
+  using value_type = T;
+  using difference_type = std::ptrdiff_t;
+  using pointer = T*;
+  using reference = T&;
+
+  LoggingIterator() = default;
+
+  /// `virtual_base` is the simulated byte address of `storage_base`.
+  LoggingIterator(T* ptr, T* storage_base, Address virtual_base, Sink* sink) noexcept
+      : ptr_(ptr), base_(storage_base), vbase_(virtual_base), sink_(sink) {}
+
+  reference operator*() const {
+    log();
+    return *ptr_;
+  }
+
+  pointer operator->() const {
+    log();
+    return ptr_;
+  }
+
+  reference operator[](difference_type n) const {
+    LoggingIterator tmp = *this + n;
+    return *tmp;
+  }
+
+  LoggingIterator& operator++() noexcept { ++ptr_; return *this; }
+  LoggingIterator operator++(int) noexcept { auto t = *this; ++ptr_; return t; }
+  LoggingIterator& operator--() noexcept { --ptr_; return *this; }
+  LoggingIterator operator--(int) noexcept { auto t = *this; --ptr_; return t; }
+  LoggingIterator& operator+=(difference_type n) noexcept { ptr_ += n; return *this; }
+  LoggingIterator& operator-=(difference_type n) noexcept { ptr_ -= n; return *this; }
+
+  friend LoggingIterator operator+(LoggingIterator it, difference_type n) noexcept {
+    it += n;
+    return it;
+  }
+  friend LoggingIterator operator+(difference_type n, LoggingIterator it) noexcept {
+    return it + n;
+  }
+  friend LoggingIterator operator-(LoggingIterator it, difference_type n) noexcept {
+    it -= n;
+    return it;
+  }
+  friend difference_type operator-(const LoggingIterator& a,
+                                   const LoggingIterator& b) noexcept {
+    return a.ptr_ - b.ptr_;
+  }
+
+  friend bool operator==(const LoggingIterator& a, const LoggingIterator& b) noexcept {
+    return a.ptr_ == b.ptr_;
+  }
+  friend auto operator<=>(const LoggingIterator& a, const LoggingIterator& b) noexcept {
+    return a.ptr_ <=> b.ptr_;
+  }
+
+  [[nodiscard]] Address virtual_address() const noexcept {
+    return vbase_ + static_cast<Address>(ptr_ - base_) * sizeof(T);
+  }
+
+ private:
+  void log() const {
+    if (sink_ != nullptr) {
+      sink_->access(virtual_address());
+    }
+  }
+
+  T* ptr_ = nullptr;
+  T* base_ = nullptr;
+  Address vbase_ = 0;
+  Sink* sink_ = nullptr;
+};
+
+/// A buffer whose begin()/end() iterators log every dereference.
+/// The storage itself is plain memory; only accesses through the logging
+/// iterators are traced (matching the paper's instrumentation).
+template <typename T, AccessSink Sink = PageMapper>
+class TracedBuffer {
+ public:
+  using iterator = LoggingIterator<T, Sink>;
+
+  TracedBuffer(std::vector<T> data, Address virtual_base, Sink* sink)
+      : data_(std::move(data)), vbase_(virtual_base), sink_(sink) {}
+
+  [[nodiscard]] iterator begin() noexcept {
+    return iterator(data_.data(), data_.data(), vbase_, sink_);
+  }
+  [[nodiscard]] iterator end() noexcept {
+    return iterator(data_.data() + data_.size(), data_.data(), vbase_, sink_);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] Address virtual_base() const noexcept { return vbase_; }
+
+  /// Untraced access, for test assertions on the final contents.
+  [[nodiscard]] const std::vector<T>& raw() const noexcept { return data_; }
+  [[nodiscard]] std::vector<T>& raw() noexcept { return data_; }
+
+ private:
+  std::vector<T> data_;
+  Address vbase_;
+  Sink* sink_;
+};
+
+}  // namespace hbmsim

@@ -1,0 +1,45 @@
+#include "trace/page_mapper.h"
+
+#include <bit>
+
+#include "util/error.h"
+
+namespace hbmsim {
+
+PageMapper::PageMapper(std::uint64_t page_bytes) : page_bytes_(page_bytes) {
+  HBMSIM_CHECK(page_bytes > 0 && std::has_single_bit(page_bytes),
+               "page size must be a power of two");
+  page_shift_ = std::countr_zero(page_bytes);
+}
+
+void PageMapper::access(Address addr) {
+  const std::uint64_t page = addr >> page_shift_;
+  auto [it, inserted] =
+      next_dense_.try_emplace(page, static_cast<LocalPage>(next_dense_.size()));
+  HBMSIM_CHECK(!inserted || next_dense_.size() <= 0xFFFFFFFFull,
+               "too many distinct pages for 32-bit local page ids");
+  refs_.push_back(it->second);
+}
+
+void PageMapper::access_range(Address addr, std::uint64_t bytes) {
+  if (bytes == 0) {
+    return;
+  }
+  const std::uint64_t first = addr >> page_shift_;
+  const std::uint64_t last = (addr + bytes - 1) >> page_shift_;
+  for (std::uint64_t page = first; page <= last; ++page) {
+    access(page << page_shift_);
+  }
+}
+
+Trace PageMapper::take_trace(bool coalesce_adjacent) {
+  Trace t(std::move(refs_), static_cast<LocalPage>(next_dense_.size()));
+  refs_.clear();
+  next_dense_.clear();
+  if (coalesce_adjacent) {
+    return t.coalesced();
+  }
+  return t;
+}
+
+}  // namespace hbmsim

@@ -1,0 +1,58 @@
+// Address-to-page mapping: the paper's preprocessing step (§3.1).
+//
+// "In a preprocessing step, each array dereference in the annotated code
+//  is mapped to its page reference."
+//
+// PageMapper consumes raw byte addresses (from LoggingIterator /
+// LoggingArray instrumentation), divides by the page size, and densifies
+// the resulting page numbers into [0, n) in first-touch order, producing a
+// Trace ready for simulation.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace hbmsim {
+
+/// Raw byte address recorded by instrumentation.
+using Address = std::uint64_t;
+
+/// Builds a Trace from a stream of byte addresses.
+class PageMapper {
+ public:
+  /// `page_bytes` must be a power of two (default 4 KiB, the paper's
+  /// natural unit for "page").
+  explicit PageMapper(std::uint64_t page_bytes = 4096);
+
+  /// Record one memory access at byte address `addr`.
+  void access(Address addr);
+
+  /// Record an access to `bytes` consecutive bytes starting at `addr`
+  /// (touches every covered page once, in ascending order).
+  void access_range(Address addr, std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t page_bytes() const noexcept { return page_bytes_; }
+  [[nodiscard]] std::size_t num_refs() const noexcept { return refs_.size(); }
+  [[nodiscard]] std::size_t num_pages() const noexcept { return next_dense_.size(); }
+
+  /// Finish and produce the trace. The mapper is reset afterwards.
+  [[nodiscard]] Trace take_trace(bool coalesce_adjacent = false);
+
+ private:
+  std::uint64_t page_bytes_;
+  int page_shift_;
+  std::vector<LocalPage> refs_;
+  std::unordered_map<std::uint64_t, LocalPage> next_dense_;
+};
+
+/// Convenience sink interface shared by instrumentation wrappers: anything
+/// with an `access(Address)` member works; PageMapper is the standard one.
+template <typename T>
+concept AccessSink = requires(T sink, Address a) {
+  sink.access(a);
+};
+
+}  // namespace hbmsim

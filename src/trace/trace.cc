@@ -1,0 +1,88 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace hbmsim {
+
+Trace::Trace(std::vector<LocalPage> refs, LocalPage num_pages)
+    : refs_(std::move(refs)), num_pages_(num_pages) {
+  LocalPage max_page = 0;
+  for (const LocalPage p : refs_) {
+    max_page = std::max(max_page, p);
+  }
+  if (num_pages_ == 0) {
+    num_pages_ = refs_.empty() ? 0 : max_page + 1;
+  } else {
+    HBMSIM_CHECK(refs_.empty() || max_page < num_pages_,
+                 "trace references a page >= num_pages");
+  }
+}
+
+std::size_t Trace::unique_pages() const {
+  std::vector<bool> seen(num_pages_, false);
+  std::size_t unique = 0;
+  for (const LocalPage p : refs_) {
+    if (!seen[p]) {
+      seen[p] = true;
+      ++unique;
+    }
+  }
+  return unique;
+}
+
+Trace Trace::coalesced() const {
+  std::vector<LocalPage> out;
+  out.reserve(refs_.size());
+  for (const LocalPage p : refs_) {
+    if (out.empty() || out.back() != p) {
+      out.push_back(p);
+    }
+  }
+  return Trace(std::move(out), num_pages_);
+}
+
+Workload::Workload(std::vector<std::shared_ptr<const Trace>> traces,
+                   std::string name)
+    : traces_(std::move(traces)), name_(std::move(name)) {
+  for (const auto& t : traces_) {
+    HBMSIM_CHECK(t != nullptr, "workload trace must not be null");
+  }
+}
+
+Workload Workload::replicate(std::shared_ptr<const Trace> trace,
+                             std::size_t num_threads, std::string name) {
+  HBMSIM_CHECK(trace != nullptr, "workload trace must not be null");
+  std::vector<std::shared_ptr<const Trace>> traces(num_threads, std::move(trace));
+  return Workload(std::move(traces), std::move(name));
+}
+
+Workload Workload::round_robin(std::vector<std::shared_ptr<const Trace>> pool,
+                               std::size_t num_threads, std::string name) {
+  HBMSIM_CHECK(!pool.empty(), "round_robin requires a non-empty trace pool");
+  std::vector<std::shared_ptr<const Trace>> traces;
+  traces.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    traces.push_back(pool[i % pool.size()]);
+  }
+  return Workload(std::move(traces), std::move(name));
+}
+
+std::uint64_t Workload::total_refs() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& t : traces_) {
+    total += t->size();
+  }
+  return total;
+}
+
+std::uint64_t Workload::total_unique_pages() const {
+  std::uint64_t total = 0;
+  for (const auto& t : traces_) {
+    total += t->unique_pages();
+  }
+  return total;
+}
+
+}  // namespace hbmsim

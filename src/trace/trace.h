@@ -1,0 +1,103 @@
+// Page-reference traces: the simulator's input format.
+//
+// A Trace is one core's sequence of page references, with pages given as
+// dense local ids [0, num_pages). A Workload bundles p traces, one per
+// core. Per the model (§3, Property 1), the page sets of distinct cores
+// are disjoint; the simulator enforces this by namespacing local page ids
+// with the owning thread id, so the same Trace object can be safely shared
+// by many threads (the paper's "same program, different randomness" setup
+// with memory use independent of p).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace hbmsim {
+
+/// Dense per-thread page id.
+using LocalPage = std::uint32_t;
+
+/// One core's page reference sequence.
+class Trace {
+ public:
+  Trace() = default;
+
+  /// Construct from a reference sequence. `num_pages` must exceed every
+  /// referenced page; pass 0 to have it derived from the data.
+  explicit Trace(std::vector<LocalPage> refs, LocalPage num_pages = 0);
+
+  [[nodiscard]] std::span<const LocalPage> refs() const noexcept { return refs_; }
+  [[nodiscard]] std::size_t size() const noexcept { return refs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return refs_.empty(); }
+  [[nodiscard]] LocalPage num_pages() const noexcept { return num_pages_; }
+  [[nodiscard]] LocalPage operator[](std::size_t i) const noexcept {
+    HBMSIM_ASSERT(i < refs_.size(), "trace index out of range");
+    return refs_[i];
+  }
+
+  /// Number of distinct pages actually referenced (exact, counted).
+  [[nodiscard]] std::size_t unique_pages() const;
+
+  /// Collapse runs of consecutive identical page references.
+  /// Off by default everywhere (it changes tick counts); provided for the
+  /// mapper ablation described in DESIGN.md §6.
+  [[nodiscard]] Trace coalesced() const;
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+
+ private:
+  std::vector<LocalPage> refs_;
+  LocalPage num_pages_ = 0;
+};
+
+/// A multi-core workload: one trace per core. Traces are shared_ptr so p
+/// cores replaying the same program do not multiply memory by p.
+class Workload {
+ public:
+  Workload() = default;
+
+  /// One distinct trace per thread.
+  explicit Workload(std::vector<std::shared_ptr<const Trace>> traces,
+                    std::string name = {});
+
+  /// All p threads replay the same trace (disjointness still holds because
+  /// the simulator namespaces pages by thread id).
+  static Workload replicate(std::shared_ptr<const Trace> trace,
+                            std::size_t num_threads, std::string name = {});
+
+  /// Threads round-robin over a pool of distinct traces — the paper's
+  /// "same program with different randomness" at bounded memory.
+  static Workload round_robin(std::vector<std::shared_ptr<const Trace>> pool,
+                              std::size_t num_threads, std::string name = {});
+
+  [[nodiscard]] std::size_t num_threads() const noexcept { return traces_.size(); }
+  [[nodiscard]] const Trace& trace(std::size_t thread) const {
+    HBMSIM_CHECK(thread < traces_.size(), "thread index out of range");
+    return *traces_[thread];
+  }
+  /// Shared ownership of a thread's trace (lets consumers outlive the
+  /// Workload object itself).
+  [[nodiscard]] std::shared_ptr<const Trace> share(std::size_t thread) const {
+    HBMSIM_CHECK(thread < traces_.size(), "thread index out of range");
+    return traces_[thread];
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Total references across all threads.
+  [[nodiscard]] std::uint64_t total_refs() const noexcept;
+
+  /// Total distinct (thread, page) pairs — the union of all cores' page
+  /// sets under model disjointness.
+  [[nodiscard]] std::uint64_t total_unique_pages() const;
+
+ private:
+  std::vector<std::shared_ptr<const Trace>> traces_;
+  std::string name_;
+};
+
+}  // namespace hbmsim

@@ -1,0 +1,162 @@
+#include "trace/trace_io.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace hbmsim {
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'H', 'B', 'M', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+void write_u32(std::ostream& os, std::uint32_t v) {
+  std::array<unsigned char, 4> b = {
+      static_cast<unsigned char>(v),
+      static_cast<unsigned char>(v >> 8),
+      static_cast<unsigned char>(v >> 16),
+      static_cast<unsigned char>(v >> 24),
+  };
+  os.write(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  write_u32(os, static_cast<std::uint32_t>(v));
+  write_u32(os, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t read_u32(std::istream& is) {
+  std::array<unsigned char, 4> b{};
+  is.read(reinterpret_cast<char*>(b.data()), b.size());
+  if (!is) {
+    throw ParseError("unexpected end of binary trace");
+  }
+  return static_cast<std::uint32_t>(b[0]) | (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  const std::uint64_t lo = read_u32(is);
+  const std::uint64_t hi = read_u32(is);
+  return lo | (hi << 32);
+}
+
+}  // namespace
+
+void write_trace_text(const Trace& trace, std::ostream& os) {
+  os << "# hbmsim trace v1\n";
+  os << "!pages " << trace.num_pages() << '\n';
+  for (const LocalPage p : trace.refs()) {
+    os << p << '\n';
+  }
+  if (!os) {
+    throw IoError("failed writing text trace");
+  }
+}
+
+Trace read_trace_text(std::istream& is) {
+  std::vector<LocalPage> refs;
+  LocalPage num_pages = 0;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Trim trailing CR for files written on Windows.
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    if (line[0] == '!') {
+      std::istringstream header(line.substr(1));
+      std::string key;
+      header >> key;
+      if (key == "pages") {
+        std::uint64_t n = 0;
+        header >> n;
+        if (!header || n > 0xFFFFFFFFull) {
+          throw ParseError("bad !pages header at line " + std::to_string(line_no));
+        }
+        num_pages = static_cast<LocalPage>(n);
+        continue;
+      }
+      throw ParseError("unknown header '" + line + "' at line " +
+                       std::to_string(line_no));
+    }
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(line.c_str(), &end, 10);
+    if (end == line.c_str() || *end != '\0' || v > 0xFFFFFFFFull) {
+      throw ParseError("bad page id '" + line + "' at line " +
+                       std::to_string(line_no));
+    }
+    refs.push_back(static_cast<LocalPage>(v));
+  }
+  return Trace(std::move(refs), num_pages);
+}
+
+void write_trace_binary(const Trace& trace, std::ostream& os) {
+  os.write(kMagic.data(), kMagic.size());
+  write_u32(os, kVersion);
+  write_u32(os, trace.num_pages());
+  write_u64(os, trace.size());
+  for (const LocalPage p : trace.refs()) {
+    write_u32(os, p);
+  }
+  if (!os) {
+    throw IoError("failed writing binary trace");
+  }
+}
+
+Trace read_trace_binary(std::istream& is) {
+  std::array<char, 4> magic{};
+  is.read(magic.data(), magic.size());
+  if (!is || std::memcmp(magic.data(), kMagic.data(), kMagic.size()) != 0) {
+    throw ParseError("missing HBMT magic in binary trace");
+  }
+  const std::uint32_t version = read_u32(is);
+  if (version != kVersion) {
+    throw ParseError("unsupported binary trace version " + std::to_string(version));
+  }
+  const LocalPage num_pages = read_u32(is);
+  const std::uint64_t count = read_u64(is);
+  std::vector<LocalPage> refs;
+  refs.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    refs.push_back(read_u32(is));
+  }
+  return Trace(std::move(refs), num_pages);
+}
+
+void save_trace(const Trace& trace, const std::filesystem::path& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw IoError("cannot open for writing: " + path.string());
+  }
+  if (path.extension() == ".btrace") {
+    write_trace_binary(trace, os);
+  } else {
+    write_trace_text(trace, os);
+  }
+}
+
+Trace load_trace(const std::filesystem::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw IoError("cannot open for reading: " + path.string());
+  }
+  if (path.extension() == ".btrace") {
+    return read_trace_binary(is);
+  }
+  return read_trace_text(is);
+}
+
+}  // namespace hbmsim

@@ -1,0 +1,29 @@
+// Trace serialization: a line-oriented text format (debuggable, the
+// paper's "log to a file" shape) and a compact binary format for large
+// captured traces.
+#pragma once
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.h"
+
+namespace hbmsim {
+
+/// Text format: optional `#` comment lines, then one decimal page id per
+/// line. An optional header line `!pages N` pins num_pages.
+void write_trace_text(const Trace& trace, std::ostream& os);
+[[nodiscard]] Trace read_trace_text(std::istream& is);
+
+/// Binary format: magic "HBMT", u32 version, u32 num_pages, u64 count,
+/// then `count` little-endian u32 page ids.
+void write_trace_binary(const Trace& trace, std::ostream& os);
+[[nodiscard]] Trace read_trace_binary(std::istream& is);
+
+/// File helpers; format chosen by extension (".trace" text, ".btrace"
+/// binary).
+void save_trace(const Trace& trace, const std::filesystem::path& path);
+[[nodiscard]] Trace load_trace(const std::filesystem::path& path);
+
+}  // namespace hbmsim

@@ -1,0 +1,123 @@
+// Minimal command-line option parsing for the hbmsim executables:
+// GNU-style `--key value`, `--key=value`, and boolean `--flag`, with
+// typed accessors, defaults, and an unknown-option check. No external
+// dependencies, deliberately tiny.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace hbmsim {
+
+class ArgParser {
+ public:
+  /// Parse argv. Options start with "--"; everything else is collected
+  /// as a positional argument. "--" ends option parsing.
+  ArgParser(int argc, const char* const* argv) {
+    bool options_done = false;
+    for (int i = 1; i < argc; ++i) {
+      std::string token = argv[i];
+      if (options_done || token.rfind("--", 0) != 0 || token == "-") {
+        positional_.push_back(std::move(token));
+        continue;
+      }
+      if (token == "--") {
+        options_done = true;
+        continue;
+      }
+      token.erase(0, 2);
+      const auto eq = token.find('=');
+      if (eq != std::string::npos) {
+        values_[token.substr(0, eq)] = token.substr(eq + 1);
+        continue;
+      }
+      // `--key value` unless the next token is another option or absent
+      // (then it is a boolean flag).
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[token] = argv[++i];
+      } else {
+        values_[token] = "";
+      }
+    }
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    used_.insert(key);
+    return values_.contains(key);
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    used_.insert(key);
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const {
+    used_.insert(key);
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    char* end = nullptr;
+    const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0') {
+      throw ConfigError("option --" + key + " expects an integer, got '" +
+                        it->second + "'");
+    }
+    return v;
+  }
+
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const {
+    used_.insert(key);
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0') {
+      throw ConfigError("option --" + key + " expects a number, got '" +
+                        it->second + "'");
+    }
+    return v;
+  }
+
+  /// Boolean flag: present without value (or "true"/"1") → true.
+  [[nodiscard]] bool get_flag(const std::string& key) const {
+    used_.insert(key);
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      return false;
+    }
+    return it->second.empty() || it->second == "true" || it->second == "1";
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Throw if any supplied option was never consumed by an accessor —
+  /// catches typos like --thread instead of --threads.
+  void reject_unknown() const {
+    for (const auto& [key, value] : values_) {
+      if (!used_.contains(key)) {
+        throw ConfigError("unknown option --" + key);
+      }
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::set<std::string> used_;
+};
+
+}  // namespace hbmsim

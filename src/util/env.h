@@ -1,0 +1,50 @@
+// Environment variable helpers used by the benchmark harnesses.
+//
+// Benches default to laptop-scale parameters; HBMSIM_SCALE=paper switches
+// every harness to the sizes reported in the paper.
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hbmsim {
+
+/// Read an environment variable; nullopt if unset or empty.
+inline std::optional<std::string> env_string(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') {
+    return std::nullopt;
+  }
+  return std::string(v);
+}
+
+/// Read an integral environment variable; `fallback` if unset/unparsable.
+inline long long env_int(const char* name, long long fallback) {
+  const auto s = env_string(name);
+  if (!s) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long long v = std::strtoll(s->c_str(), &end, 10);
+  if (end == s->c_str() || *end != '\0') {
+    return fallback;
+  }
+  return v;
+}
+
+/// Scale at which benches run. "paper" reproduces the exact published
+/// parameters; "quick" (default) shrinks inputs to finish in seconds on a
+/// single core while preserving every qualitative shape.
+enum class BenchScale { kQuick, kPaper };
+
+inline BenchScale bench_scale() {
+  const auto s = env_string("HBMSIM_SCALE");
+  if (s && (*s == "paper" || *s == "PAPER" || *s == "full")) {
+    return BenchScale::kPaper;
+  }
+  return BenchScale::kQuick;
+}
+
+}  // namespace hbmsim

@@ -1,0 +1,72 @@
+// Error handling primitives for hbmsim.
+//
+// Library code throws hbmsim::Error (or a subclass) on contract violations
+// and unrecoverable conditions; hot paths use HBMSIM_ASSERT, which compiles
+// out in release builds, for internal invariants.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace hbmsim {
+
+/// Base exception for all hbmsim errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when user-supplied configuration is invalid (e.g. q > p, k == 0).
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error("config error: " + what) {}
+};
+
+/// Thrown on malformed trace files or unparsable workload inputs.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// Thrown on I/O failures (unreadable/unwritable files).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error("io error: " + what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(std::string_view expr,
+                                             std::string_view message,
+                                             std::source_location loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << ": check failed: " << expr;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+/// Always-on runtime check. Throws hbmsim::Error when `cond` is false.
+/// Use for conditions that depend on user input or external data.
+#define HBMSIM_CHECK(cond, msg)                                       \
+  do {                                                                \
+    if (!(cond)) [[unlikely]] {                                       \
+      ::hbmsim::detail::throw_check_failure(#cond, (msg),             \
+                                            std::source_location::current()); \
+    }                                                                 \
+  } while (false)
+
+/// Debug-only internal invariant check; compiled out when NDEBUG is set.
+#ifdef NDEBUG
+#define HBMSIM_ASSERT(cond, msg) ((void)0)
+#else
+#define HBMSIM_ASSERT(cond, msg) HBMSIM_CHECK(cond, msg)
+#endif
+
+}  // namespace hbmsim

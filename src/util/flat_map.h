@@ -1,0 +1,157 @@
+// FlatMap: open-addressing hash map from 64-bit keys to 32-bit values,
+// tuned for the simulator's residency path (one lookup per page
+// reference — hundreds of millions per run). Linear probing with
+// power-of-two capacity and a strong multiplicative hash; tombstone-free
+// deletion via backward-shift, so probe sequences never degrade.
+//
+// Not a general container: keys are integers, values are trivially
+// copyable, and the reserved key ~0ULL must never be inserted (the
+// simulator's GlobalPage values cannot reach it).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace hbmsim {
+
+template <typename Value>
+class FlatMap {
+ public:
+  static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+  explicit FlatMap(std::size_t capacity_hint = 16) {
+    rehash(std::bit_ceil(std::max<std::size_t>(capacity_hint * 2, 16)));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Pointer to the value for `key`, or nullptr.
+  [[nodiscard]] const Value* find(std::uint64_t key) const noexcept {
+    std::size_t i = probe_start(key);
+    for (;;) {
+      if (keys_[i] == key) {
+        return &values_[i];
+      }
+      if (keys_[i] == kEmptyKey) {
+        return nullptr;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  [[nodiscard]] Value* find(std::uint64_t key) noexcept {
+    return const_cast<Value*>(std::as_const(*this).find(key));
+  }
+
+  [[nodiscard]] bool contains(std::uint64_t key) const noexcept {
+    return find(key) != nullptr;
+  }
+
+  /// Insert or overwrite.
+  void insert(std::uint64_t key, Value value) {
+    HBMSIM_ASSERT(key != kEmptyKey, "reserved key");
+    if ((size_ + 1) * 8 > capacity_ * 7) {  // load factor 7/8
+      rehash(capacity_ * 2);
+    }
+    std::size_t i = probe_start(key);
+    for (;;) {
+      if (keys_[i] == key) {
+        values_[i] = value;
+        return;
+      }
+      if (keys_[i] == kEmptyKey) {
+        keys_[i] = key;
+        values_[i] = value;
+        ++size_;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Remove `key`; returns true if it was present. Backward-shift
+  /// deletion keeps probe chains intact without tombstones.
+  bool erase(std::uint64_t key) noexcept {
+    std::size_t i = probe_start(key);
+    for (;;) {
+      if (keys_[i] == kEmptyKey) {
+        return false;
+      }
+      if (keys_[i] == key) {
+        break;
+      }
+      i = (i + 1) & mask_;
+    }
+    // Shift the following cluster back over the hole.
+    std::size_t hole = i;
+    std::size_t j = (i + 1) & mask_;
+    while (keys_[j] != kEmptyKey) {
+      const std::size_t home = probe_start(keys_[j]);
+      // Move j into the hole if its home position does not lie in the
+      // (cyclic) interval (hole, j].
+      const bool movable = ((j - home) & mask_) >= ((j - hole) & mask_);
+      if (movable) {
+        keys_[hole] = keys_[j];
+        values_[hole] = values_[j];
+        hole = j;
+      }
+      j = (j + 1) & mask_;
+    }
+    keys_[hole] = kEmptyKey;
+    --size_;
+    return true;
+  }
+
+  void clear() noexcept {
+    std::fill(keys_.begin(), keys_.end(), kEmptyKey);
+    size_ = 0;
+  }
+
+  /// Visit every (key, value) pair (unspecified order).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      if (keys_[i] != kEmptyKey) {
+        fn(keys_[i], values_[i]);
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] std::size_t probe_start(std::uint64_t key) const noexcept {
+    // Fibonacci-style multiplicative hash; high bits select the slot.
+    const std::uint64_t h = key * 0x9E3779B97F4A7C15ULL;
+    return static_cast<std::size_t>(h >> shift_) & mask_;
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<Value> old_values = std::move(values_);
+    capacity_ = new_capacity;
+    mask_ = capacity_ - 1;
+    shift_ = 64 - std::countr_zero(capacity_);
+    keys_.assign(capacity_, kEmptyKey);
+    values_.assign(capacity_, Value{});
+    size_ = 0;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] != kEmptyKey) {
+        insert(old_keys[i], old_values[i]);
+      }
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<Value> values_;
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  int shift_ = 64;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hbmsim

@@ -1,0 +1,52 @@
+// Small formatting helpers for tables and human-readable reports.
+#pragma once
+
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace hbmsim {
+
+/// Format a byte count as a human-readable string ("16MiB", "2GiB").
+inline std::string format_bytes(std::uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int unit = 0;
+  auto value = static_cast<double>(bytes);
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  std::ostringstream os;
+  if (value == static_cast<double>(static_cast<std::uint64_t>(value))) {
+    os << static_cast<std::uint64_t>(value) << kUnits[unit];
+  } else {
+    os << std::fixed << std::setprecision(1) << value << kUnits[unit];
+  }
+  return os.str();
+}
+
+/// Fixed-precision double formatting ("12.345").
+inline std::string format_fixed(double v, int precision = 3) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+/// Thousands-separated integer formatting ("1,234,567").
+inline std::string format_count(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int run = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (run != 0 && run % 3 == 0) {
+      out.push_back(',');
+    }
+    out.push_back(*it);
+    ++run;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+}  // namespace hbmsim

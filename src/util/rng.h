@@ -1,0 +1,178 @@
+// Deterministic, seedable random number generation.
+//
+// All randomness in hbmsim flows through Xoshiro256StarStar so that every
+// simulation, workload generation, and priority permutation is exactly
+// reproducible from a 64-bit seed. std::mt19937 is avoided because its
+// state is large and its distributions are not cross-platform stable.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/error.h"
+
+namespace hbmsim {
+
+/// SplitMix64: used to expand a 64-bit seed into generator state and to
+/// derive independent child seeds (seed sequences).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0x853C49E6748FEA9BULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) {
+      s = sm.next();
+    }
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Unbiased uniform integer in [0, bound) via Lemire's method.
+  std::uint64_t uniform(std::uint64_t bound) noexcept {
+    HBMSIM_ASSERT(bound > 0, "uniform bound must be positive");
+    // 128-bit multiply rejection sampling.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the closed range [lo, hi].
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) noexcept {
+    HBMSIM_ASSERT(lo <= hi, "uniform_range requires lo <= hi");
+    return lo + static_cast<std::int64_t>(
+                    uniform(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Derive an independent child generator (for per-thread streams).
+  Xoshiro256StarStar fork() noexcept {
+    return Xoshiro256StarStar((*this)());
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Fisher–Yates shuffle using our deterministic generator.
+template <typename RandomIt>
+void shuffle(RandomIt first, RandomIt last, Xoshiro256StarStar& rng) {
+  const auto n = static_cast<std::uint64_t>(last - first);
+  for (std::uint64_t i = n; i > 1; --i) {
+    const std::uint64_t j = rng.uniform(i);
+    using std::swap;
+    swap(first[i - 1], first[j]);
+  }
+}
+
+/// Bounded Zipf(s) sampler over {0, ..., n-1} using rejection-inversion
+/// (Hörmann & Derflinger). Used by synthetic workload generators.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+    HBMSIM_CHECK(n >= 1, "zipf support must be non-empty");
+    HBMSIM_CHECK(s >= 0.0, "zipf exponent must be non-negative");
+    h_x1_ = h(1.5) - 1.0;
+    h_n_ = h(static_cast<double>(n_) + 0.5);
+    dist_range_ = h_x1_ - h_n_;
+  }
+
+  /// Draw a sample in [0, n).
+  std::uint64_t operator()(Xoshiro256StarStar& rng) const {
+    // s == 0 degenerates to uniform.
+    if (s_ == 0.0) {
+      return rng.uniform(n_);
+    }
+    for (;;) {
+      const double u = h_n_ + rng.uniform_double() * dist_range_;
+      const double x = h_inv(u);
+      auto k = static_cast<std::uint64_t>(x + 0.5);
+      if (k < 1) {
+        k = 1;
+      } else if (k > n_) {
+        k = n_;
+      }
+      const double kd = static_cast<double>(k);
+      if (u >= h(kd + 0.5) - pow_approx(kd)) {
+        return k - 1;
+      }
+    }
+  }
+
+ private:
+  // H(x) = integral of x^-s; closed forms for s != 1 and s == 1.
+  double h(double x) const {
+    if (s_ == 1.0) {
+      return std::log(x);
+    }
+    return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+  }
+
+  double h_inv(double u) const {
+    if (s_ == 1.0) {
+      return std::exp(u);
+    }
+    return std::pow(1.0 + u * (1.0 - s_), 1.0 / (1.0 - s_));
+  }
+
+  double pow_approx(double x) const { return std::pow(x, -s_); }
+
+  std::uint64_t n_;
+  double s_;
+  double h_x1_ = 0.0;
+  double h_n_ = 0.0;
+  double dist_range_ = 0.0;
+};
+
+}  // namespace hbmsim

@@ -1,0 +1,39 @@
+#include "workloads/adversarial.h"
+
+#include <memory>
+#include <vector>
+
+#include "util/error.h"
+
+namespace hbmsim::workloads {
+
+Trace make_cyclic_trace(const AdversarialOptions& opts) {
+  HBMSIM_CHECK(opts.unique_pages > 0, "need at least one page");
+  HBMSIM_CHECK(opts.repetitions > 0, "need at least one repetition");
+  std::vector<LocalPage> refs;
+  refs.reserve(static_cast<std::size_t>(opts.unique_pages) * opts.repetitions);
+  for (std::uint32_t rep = 0; rep < opts.repetitions; ++rep) {
+    for (std::uint32_t page = 0; page < opts.unique_pages; ++page) {
+      refs.push_back(page);
+    }
+  }
+  return Trace(std::move(refs), opts.unique_pages);
+}
+
+Workload make_adversarial_workload(std::size_t num_threads,
+                                   const AdversarialOptions& opts) {
+  auto trace = std::make_shared<Trace>(make_cyclic_trace(opts));
+  return Workload::replicate(std::move(trace), num_threads, "adversarial-cyclic");
+}
+
+std::uint64_t adversarial_hbm_slots(std::size_t num_threads,
+                                    const AdversarialOptions& opts,
+                                    double fraction) {
+  HBMSIM_CHECK(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1]");
+  const double total =
+      static_cast<double>(num_threads) * static_cast<double>(opts.unique_pages);
+  const auto slots = static_cast<std::uint64_t>(total * fraction);
+  return slots == 0 ? 1 : slots;
+}
+
+}  // namespace hbmsim::workloads

@@ -1,0 +1,37 @@
+// Dataset 3: traces designed to be bad for FIFO (§3.2, Figure 3).
+//
+// "FIFO performs asymptotically poorly when run on a long sequence of
+//  unique pages, repeated many times. We generate the sequence
+//  1, 2, 3 ... 256 and repeat it 100 times."
+//
+// With HBM sized to hold only a fraction (the paper uses ¼) of all unique
+// pages across all threads, FIFO never hits — by the time a thread cycles
+// back to a page, it has long been evicted — while Priority lets the
+// high-priority threads keep their working sets resident and finish.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.h"
+
+namespace hbmsim::workloads {
+
+struct AdversarialOptions {
+  std::uint32_t unique_pages = 256;  ///< paper: 1..256
+  std::uint32_t repetitions = 100;   ///< paper: repeated 100 times
+};
+
+/// The cyclic scan trace: 0,1,...,U-1 repeated R times.
+[[nodiscard]] Trace make_cyclic_trace(const AdversarialOptions& opts);
+
+/// p threads all running the cyclic scan (disjoint page namespaces).
+[[nodiscard]] Workload make_adversarial_workload(std::size_t num_threads,
+                                                 const AdversarialOptions& opts = {});
+
+/// The paper's Figure 3 HBM size: enough memory for `fraction` of all the
+/// unique pages across all threads (¼ in the paper).
+[[nodiscard]] std::uint64_t adversarial_hbm_slots(std::size_t num_threads,
+                                                  const AdversarialOptions& opts,
+                                                  double fraction = 0.25);
+
+}  // namespace hbmsim::workloads

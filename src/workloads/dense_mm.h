@@ -1,0 +1,27 @@
+// Dense matrix–matrix multiplication traces — the paper's parameter sweep
+// also ran "Dense Matrix Multiplication" sources (§1.2).
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.h"
+
+namespace hbmsim::workloads {
+
+struct DenseMmOptions {
+  std::uint32_t n = 128;            ///< multiply two n×n matrices
+  bool blocked = false;             ///< tiled variant (better locality)
+  std::uint32_t block = 32;         ///< tile edge when blocked
+  std::uint64_t seed = 1;
+  std::uint64_t page_bytes = 4096;
+};
+
+/// Trace C = A·B on random dense matrices; verifies the product against
+/// an untraced reference before returning.
+[[nodiscard]] Trace make_dense_mm_trace(const DenseMmOptions& opts);
+
+[[nodiscard]] Workload make_dense_mm_workload(std::size_t num_threads,
+                                              const DenseMmOptions& opts,
+                                              std::size_t distinct = 4);
+
+}  // namespace hbmsim::workloads

@@ -1,0 +1,177 @@
+#include "workloads/sort_trace.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "trace/logging_array.h"
+#include "trace/logging_iterator.h"
+#include "trace/page_mapper.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace hbmsim::workloads {
+namespace {
+
+using It = LoggingIterator<std::int32_t>;
+
+/// Insertion sort for small ranges (quicksort base case).
+void insertion_sort(It first, It last) {
+  for (It i = first + 1; i < last; ++i) {
+    const std::int32_t key = *i;
+    It j = i;
+    while (j > first && *(j - 1) > key) {
+      *j = *(j - 1);
+      --j;
+    }
+    *j = key;
+  }
+}
+
+/// Median-of-three pivot selection; leaves the pivot value returned and
+/// the three probed elements in sorted order.
+std::int32_t median_of_three(It first, It last) {
+  It mid = first + (last - first) / 2;
+  It back = last - 1;
+  if (*mid < *first) {
+    std::iter_swap(first, mid);
+  }
+  if (*back < *first) {
+    std::iter_swap(first, back);
+  }
+  if (*back < *mid) {
+    std::iter_swap(mid, back);
+  }
+  return *mid;
+}
+
+void quick_sort(It first, It last) {
+  while (last - first > 16) {
+    const std::int32_t pivot = median_of_three(first, last);
+    It lo = first;
+    It hi = last - 1;
+    // Hoare partition.
+    for (;;) {
+      while (*lo < pivot) {
+        ++lo;
+      }
+      while (pivot < *hi) {
+        --hi;
+      }
+      if (lo >= hi) {
+        break;
+      }
+      std::iter_swap(lo, hi);
+      ++lo;
+      --hi;
+    }
+    // Recurse into the smaller side; loop on the larger (O(log n) stack).
+    if (hi - first < last - hi) {
+      quick_sort(first, hi + 1);
+      first = hi + 1;
+    } else {
+      quick_sort(hi + 1, last);
+      last = hi + 1;
+    }
+  }
+  insertion_sort(first, last);
+}
+
+/// Top-down mergesort with a traced auxiliary buffer: all reads/writes of
+/// both the data array and the scratch array appear in the trace.
+void merge_sort(It first, It last, It aux_first) {
+  const auto n = last - first;
+  if (n <= 16) {
+    insertion_sort(first, last);
+    return;
+  }
+  const auto half = n / 2;
+  merge_sort(first, first + half, aux_first);
+  merge_sort(first + half, last, aux_first + half);
+  // Merge into aux, then copy back (the classic two-array merge pass).
+  It a = first;
+  It a_end = first + half;
+  It b = first + half;
+  It b_end = last;
+  It out = aux_first;
+  while (a != a_end && b != b_end) {
+    if (*b < *a) {
+      *out = *b;
+      ++b;
+    } else {
+      *out = *a;
+      ++a;
+    }
+    ++out;
+  }
+  while (a != a_end) {
+    *out = *a;
+    ++a;
+    ++out;
+  }
+  while (b != b_end) {
+    *out = *b;
+    ++b;
+    ++out;
+  }
+  It src = aux_first;
+  for (It dst = first; dst != last; ++dst, ++src) {
+    *dst = *src;
+  }
+}
+
+}  // namespace
+
+Trace make_sort_trace(const SortTraceOptions& opts) {
+  HBMSIM_CHECK(opts.num_elements > 0, "cannot trace an empty sort");
+  Xoshiro256StarStar rng(opts.seed);
+  std::vector<std::int32_t> data(opts.num_elements);
+  for (auto& x : data) {
+    x = static_cast<std::int32_t>(rng() >> 33);
+  }
+
+  PageMapper mapper(opts.page_bytes);
+  VirtualLayout layout(opts.page_bytes);
+  const Address data_base = layout.reserve_for<std::int32_t>(opts.num_elements);
+  TracedBuffer<std::int32_t> buffer(std::move(data), data_base, &mapper);
+
+  switch (opts.algo) {
+    case SortAlgo::kMergeSort: {
+      const Address aux_base = layout.reserve_for<std::int32_t>(opts.num_elements);
+      TracedBuffer<std::int32_t> aux(std::vector<std::int32_t>(opts.num_elements),
+                                     aux_base, &mapper);
+      merge_sort(buffer.begin(), buffer.end(), aux.begin());
+      break;
+    }
+    case SortAlgo::kQuickSort:
+      quick_sort(buffer.begin(), buffer.end());
+      break;
+    case SortAlgo::kStdSort:
+      std::sort(buffer.begin(), buffer.end());
+      break;
+    case SortAlgo::kStdStableSort:
+      std::stable_sort(buffer.begin(), buffer.end());
+      break;
+  }
+
+  HBMSIM_CHECK(std::is_sorted(buffer.raw().begin(), buffer.raw().end()),
+               "instrumented sort produced unsorted output");
+  return mapper.take_trace();
+}
+
+Workload make_sort_workload(std::size_t num_threads, const SortTraceOptions& opts,
+                            std::size_t distinct) {
+  HBMSIM_CHECK(distinct > 0, "need at least one distinct trace");
+  std::vector<std::shared_ptr<const Trace>> pool;
+  const std::size_t n = std::min(distinct, num_threads);
+  pool.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SortTraceOptions o = opts;
+    o.seed = opts.seed + i * 0xD1B54A32D192ED03ULL;
+    pool.push_back(std::make_shared<Trace>(make_sort_trace(o)));
+  }
+  return Workload::round_robin(std::move(pool), num_threads,
+                               std::string("sort-") + to_string(opts.algo));
+}
+
+}  // namespace hbmsim::workloads

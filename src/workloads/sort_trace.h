@@ -1,0 +1,58 @@
+// Dataset 1: sorting traces (§3.2).
+//
+// "We generate GNU sort memory access traces by running GNU sort on
+//  randomly generated sequences of 500,000 integers. Since GNU sort takes
+//  iterators as input, we created a logging iterator class that logs every
+//  dereference to a file, and passed these logging iterators to GNU sort."
+//
+// The paper's "GNU sort" is the libstdc++ sort [Singler & Konsik 2008].
+// We provide:
+//   * kMergeSort   — our own top-down mergesort whose auxiliary buffer is
+//                    also traced (full memory-traffic coverage); this is
+//                    the default surrogate for libstdc++'s stable
+//                    mergesort,
+//   * kQuickSort   — in-place median-of-three quicksort (the paper's
+//                    parameter sweep also ran quicksort traces),
+//   * kStdSort / kStdStableSort — the paper's literal technique: hand the
+//                    logging iterators straight to the standard sort
+//                    (internal temporaries of std::stable_sort are
+//                    untraced, exactly as in the paper's instrumentation).
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.h"
+
+namespace hbmsim::workloads {
+
+enum class SortAlgo { kMergeSort, kQuickSort, kStdSort, kStdStableSort };
+
+[[nodiscard]] constexpr const char* to_string(SortAlgo a) noexcept {
+  switch (a) {
+    case SortAlgo::kMergeSort: return "mergesort";
+    case SortAlgo::kQuickSort: return "quicksort";
+    case SortAlgo::kStdSort: return "std::sort";
+    case SortAlgo::kStdStableSort: return "std::stable_sort";
+  }
+  return "?";
+}
+
+struct SortTraceOptions {
+  std::size_t num_elements = 500'000;  ///< paper: 500,000 integers
+  SortAlgo algo = SortAlgo::kMergeSort;
+  std::uint64_t seed = 1;
+  std::uint64_t page_bytes = 4096;
+};
+
+/// Trace one sort of `num_elements` random 32-bit integers. Throws
+/// hbmsim::Error if the sort (run through the instrumentation) failed to
+/// actually sort — a self-check on the instrumentation wrappers.
+[[nodiscard]] Trace make_sort_trace(const SortTraceOptions& opts);
+
+/// p threads, each replaying a sort trace generated with different
+/// randomness; at most `distinct` distinct traces are materialised.
+[[nodiscard]] Workload make_sort_workload(std::size_t num_threads,
+                                          const SortTraceOptions& opts,
+                                          std::size_t distinct = 8);
+
+}  // namespace hbmsim::workloads

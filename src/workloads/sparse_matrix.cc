@@ -1,0 +1,111 @@
+#include "workloads/sparse_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace hbmsim::workloads {
+
+void CsrMatrix::validate() const {
+  HBMSIM_CHECK(row_ptr.size() == static_cast<std::size_t>(rows) + 1,
+               "row_ptr must have rows+1 entries");
+  HBMSIM_CHECK(row_ptr.front() == 0, "row_ptr must start at 0");
+  HBMSIM_CHECK(row_ptr.back() == col_idx.size(), "row_ptr must end at nnz");
+  HBMSIM_CHECK(col_idx.size() == values.size(), "col_idx/values size mismatch");
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    HBMSIM_CHECK(row_ptr[r] <= row_ptr[r + 1], "row_ptr must be non-decreasing");
+    for (std::uint64_t i = row_ptr[r]; i + 1 < row_ptr[r + 1]; ++i) {
+      HBMSIM_CHECK(col_idx[i] < col_idx[i + 1], "columns must be sorted & unique");
+    }
+    for (std::uint64_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      HBMSIM_CHECK(col_idx[i] < cols, "column index out of range");
+    }
+  }
+}
+
+std::vector<double> CsrMatrix::to_dense() const {
+  std::vector<double> dense(static_cast<std::size_t>(rows) * cols, 0.0);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint64_t i = row_ptr[r]; i < row_ptr[r + 1]; ++i) {
+      dense[static_cast<std::size_t>(r) * cols + col_idx[i]] = values[i];
+    }
+  }
+  return dense;
+}
+
+CsrMatrix random_csr(std::uint32_t rows, std::uint32_t cols, double density,
+                     std::uint64_t seed) {
+  HBMSIM_CHECK(density >= 0.0 && density <= 1.0, "density must be in [0,1]");
+  Xoshiro256StarStar rng(seed);
+  CsrMatrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.row_ptr.reserve(rows + 1);
+  m.row_ptr.push_back(0);
+  const auto expected =
+      static_cast<std::size_t>(density * static_cast<double>(rows) * cols);
+  m.col_idx.reserve(expected);
+  m.values.reserve(expected);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      if (rng.uniform_double() < density) {
+        m.col_idx.push_back(c);
+        m.values.push_back(rng.uniform_double());
+      }
+    }
+    m.row_ptr.push_back(m.col_idx.size());
+  }
+  return m;
+}
+
+CsrMatrix multiply_reference(const CsrMatrix& a, const CsrMatrix& b) {
+  HBMSIM_CHECK(a.cols == b.rows, "dimension mismatch in SpGEMM");
+  CsrMatrix c;
+  c.rows = a.rows;
+  c.cols = b.cols;
+  c.row_ptr.reserve(a.rows + 1);
+  c.row_ptr.push_back(0);
+
+  std::vector<double> accum(b.cols, 0.0);
+  std::vector<bool> occupied(b.cols, false);
+  std::vector<std::uint32_t> touched;
+  for (std::uint32_t i = 0; i < a.rows; ++i) {
+    touched.clear();
+    for (std::uint64_t jp = a.row_ptr[i]; jp < a.row_ptr[i + 1]; ++jp) {
+      const std::uint32_t j = a.col_idx[jp];
+      const double av = a.values[jp];
+      for (std::uint64_t kp = b.row_ptr[j]; kp < b.row_ptr[j + 1]; ++kp) {
+        const std::uint32_t k = b.col_idx[kp];
+        if (!occupied[k]) {
+          occupied[k] = true;
+          accum[k] = 0.0;
+          touched.push_back(k);
+        }
+        accum[k] += av * b.values[kp];
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (const std::uint32_t k : touched) {
+      c.col_idx.push_back(k);
+      c.values.push_back(accum[k]);
+      occupied[k] = false;
+    }
+    c.row_ptr.push_back(c.col_idx.size());
+  }
+  return c;
+}
+
+double max_abs_diff(const CsrMatrix& a, const CsrMatrix& b) {
+  HBMSIM_CHECK(a.rows == b.rows && a.cols == b.cols,
+               "shape mismatch in max_abs_diff");
+  const std::vector<double> da = a.to_dense();
+  const std::vector<double> db = b.to_dense();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    worst = std::max(worst, std::abs(da[i] - db[i]));
+  }
+  return worst;
+}
+
+}  // namespace hbmsim::workloads

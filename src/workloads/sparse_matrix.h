@@ -1,0 +1,44 @@
+// CSR sparse matrices: the substrate for the SpGEMM workload (§3.2,
+// Dataset 2). Includes a deterministic random-matrix generator matching
+// the paper's setup (600×600, ~10% of elements present, random values)
+// and an untraced reference multiply used by tests to verify the
+// instrumented kernel computes the right product.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hbmsim::workloads {
+
+/// Compressed sparse row matrix of doubles.
+struct CsrMatrix {
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  std::vector<std::uint64_t> row_ptr;  // size rows + 1
+  std::vector<std::uint32_t> col_idx;  // size nnz, sorted within each row
+  std::vector<double> values;          // size nnz
+
+  [[nodiscard]] std::uint64_t nnz() const noexcept { return col_idx.size(); }
+
+  /// Throws hbmsim::Error if the CSR invariants are violated.
+  void validate() const;
+
+  /// Dense row-major expansion (tests only; O(rows·cols)).
+  [[nodiscard]] std::vector<double> to_dense() const;
+};
+
+/// Uniformly random sparse matrix: each entry present independently with
+/// probability `density`, values uniform in [0, 1).
+[[nodiscard]] CsrMatrix random_csr(std::uint32_t rows, std::uint32_t cols,
+                                   double density, std::uint64_t seed);
+
+/// Untraced reference SpGEMM (Gustavson); used to verify the traced
+/// kernel's output.
+[[nodiscard]] CsrMatrix multiply_reference(const CsrMatrix& a, const CsrMatrix& b);
+
+/// Max absolute elementwise difference between two same-shape matrices.
+[[nodiscard]] double max_abs_diff(const CsrMatrix& a, const CsrMatrix& b);
+
+}  // namespace hbmsim::workloads

@@ -1,0 +1,147 @@
+#include "workloads/spgemm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "trace/logging_array.h"
+#include "trace/page_mapper.h"
+#include "util/error.h"
+
+namespace hbmsim::workloads {
+namespace {
+
+/// Gustavson SpGEMM with every array wrapped in LoggingArray. The
+/// structure mirrors the loop nest TACO generates for
+///   C(i,k) = A(i,j) * B(j,k)
+/// with CSR operands and a dense workspace over k.
+CsrMatrix traced_gustavson(const CsrMatrix& a, const CsrMatrix& b,
+                           PageMapper& mapper) {
+  HBMSIM_CHECK(a.cols == b.rows, "dimension mismatch in SpGEMM");
+  VirtualLayout layout(mapper.page_bytes());
+
+  using U64Array = LoggingArray<std::uint64_t>;
+  using U32Array = LoggingArray<std::uint32_t>;
+  using F64Array = LoggingArray<double>;
+
+  U64Array a_pos(a.row_ptr, layout.reserve_for<std::uint64_t>(a.row_ptr.size()),
+                 &mapper);
+  U32Array a_crd(a.col_idx, layout.reserve_for<std::uint32_t>(a.col_idx.size()),
+                 &mapper);
+  F64Array a_val(a.values, layout.reserve_for<double>(a.values.size()), &mapper);
+  U64Array b_pos(b.row_ptr, layout.reserve_for<std::uint64_t>(b.row_ptr.size()),
+                 &mapper);
+  U32Array b_crd(b.col_idx, layout.reserve_for<std::uint32_t>(b.col_idx.size()),
+                 &mapper);
+  F64Array b_val(b.values, layout.reserve_for<double>(b.values.size()), &mapper);
+
+  // Dense workspace over the k dimension, plus occupancy tracking —
+  // TACO's `qw`/`w` workspace arrays.
+  F64Array workspace(b.cols, layout.reserve_for<double>(b.cols), &mapper);
+  LoggingArray<std::uint8_t> occupied(b.cols,
+                                      layout.reserve_for<std::uint8_t>(b.cols),
+                                      &mapper);
+  U32Array touched(b.cols, layout.reserve_for<std::uint32_t>(b.cols), &mapper);
+
+  // Output arrays, appended row by row. The capacity bound is exact:
+  // Gustavson's output nnz is at most the multiply's flop count
+  // Σ_{(i,j)∈A} nnz(B_j), and never exceeds the dense size.
+  std::uint64_t flops = 0;
+  for (std::uint64_t jp = 0; jp < a.nnz(); ++jp) {
+    const std::uint32_t j = a.col_idx[jp];
+    flops += b.row_ptr[j + 1] - b.row_ptr[j];
+  }
+  const std::size_t out_cap = std::max<std::uint64_t>(
+      16, std::min<std::uint64_t>(static_cast<std::uint64_t>(a.rows) * b.cols,
+                                  flops));
+  U32Array c_crd(out_cap, layout.reserve_for<std::uint32_t>(out_cap), &mapper);
+  F64Array c_val(out_cap, layout.reserve_for<double>(out_cap), &mapper);
+  U64Array c_pos(static_cast<std::size_t>(a.rows) + 1,
+                 layout.reserve_for<std::uint64_t>(a.rows + 1), &mapper);
+
+  CsrMatrix c;
+  c.rows = a.rows;
+  c.cols = b.cols;
+  c.row_ptr.reserve(a.rows + 1);
+  c.row_ptr.push_back(0);
+  c_pos.set(0, 0);
+
+  std::uint64_t out_n = 0;
+  for (std::uint32_t i = 0; i < a.rows; ++i) {
+    std::uint32_t num_touched = 0;
+    const std::uint64_t a_lo = a_pos.get(i);
+    const std::uint64_t a_hi = a_pos.get(i + 1);
+    for (std::uint64_t jp = a_lo; jp < a_hi; ++jp) {
+      const std::uint32_t j = a_crd.get(jp);
+      const double av = a_val.get(jp);
+      const std::uint64_t b_lo = b_pos.get(j);
+      const std::uint64_t b_hi = b_pos.get(j + 1);
+      for (std::uint64_t kp = b_lo; kp < b_hi; ++kp) {
+        const std::uint32_t k = b_crd.get(kp);
+        if (occupied.get(k) == 0) {
+          occupied.set(k, 1);
+          workspace.set(k, 0.0);
+          touched.set(num_touched, k);
+          ++num_touched;
+        }
+        workspace.add(k, av * b_val.get(kp));
+      }
+    }
+    // Gather the row: TACO sorts the workspace's touched coordinates to
+    // produce ordered CSR output.
+    std::vector<std::uint32_t> row_cols(num_touched);
+    for (std::uint32_t s = 0; s < num_touched; ++s) {
+      row_cols[s] = touched.get(s);
+    }
+    std::sort(row_cols.begin(), row_cols.end());
+    for (const std::uint32_t k : row_cols) {
+      HBMSIM_CHECK(out_n < out_cap, "SpGEMM output overflow");
+      c_crd.set(out_n, k);
+      c_val.set(out_n, workspace.get(k));
+      occupied.set(k, 0);
+      c.col_idx.push_back(k);
+      c.values.push_back(workspace.raw()[k]);
+      ++out_n;
+    }
+    c_pos.set(i + 1, out_n);
+    c.row_ptr.push_back(out_n);
+  }
+  return c;
+}
+
+}  // namespace
+
+SpgemmRun run_traced_spgemm(const CsrMatrix& a, const CsrMatrix& b,
+                            std::uint64_t page_bytes) {
+  PageMapper mapper(page_bytes);
+  SpgemmRun run;
+  run.product = traced_gustavson(a, b, mapper);
+  run.trace = mapper.take_trace();
+  return run;
+}
+
+SpgemmRun run_traced_spgemm(const SpgemmOptions& opts) {
+  const CsrMatrix a = random_csr(opts.rows, opts.cols, opts.density, opts.seed);
+  const CsrMatrix b =
+      random_csr(opts.cols, opts.rows, opts.density, opts.seed ^ 0x9E3779B97F4A7C15ULL);
+  return run_traced_spgemm(a, b, opts.page_bytes);
+}
+
+Trace make_spgemm_trace(const SpgemmOptions& opts) {
+  return run_traced_spgemm(opts).trace;
+}
+
+Workload make_spgemm_workload(std::size_t num_threads, const SpgemmOptions& opts,
+                              std::size_t distinct) {
+  HBMSIM_CHECK(distinct > 0, "need at least one distinct trace");
+  std::vector<std::shared_ptr<const Trace>> pool;
+  const std::size_t n = std::min(distinct, num_threads);
+  pool.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SpgemmOptions o = opts;
+    o.seed = opts.seed + i * 0x9E3779B97F4A7C15ULL;
+    pool.push_back(std::make_shared<Trace>(make_spgemm_trace(o)));
+  }
+  return Workload::round_robin(std::move(pool), num_threads, "spgemm");
+}
+
+}  // namespace hbmsim::workloads

@@ -1,0 +1,57 @@
+// Dataset 2: TACO-style sparse matrix–matrix multiplication traces
+// (§3.2).
+//
+// "We replaced the arrays used in this code with our own array-like
+//  objects that log all accesses to a file. We generate the access traces
+//  by running this modified version on two sparse matrices of size 600 by
+//  600 where approximately 10% of the elements exist."
+//
+// The kernel is the Gustavson row-by-row SpGEMM that TACO emits for
+// CSR×CSR with a dense workspace: every operand array (row_ptr / col_idx
+// / values of A and B), the workspace, its occupancy list, and the output
+// arrays are LoggingArrays, so the trace covers all memory traffic of the
+// kernel, temporaries included.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "trace/trace.h"
+#include "workloads/sparse_matrix.h"
+
+namespace hbmsim::workloads {
+
+struct SpgemmOptions {
+  std::uint32_t rows = 600;          ///< paper: 600×600
+  std::uint32_t cols = 600;
+  double density = 0.10;             ///< paper: ~10% of elements exist
+  std::uint64_t seed = 1;
+  std::uint64_t page_bytes = 4096;
+};
+
+/// Result of a traced SpGEMM run: the page trace plus the product (so
+/// callers can verify correctness against multiply_reference).
+struct SpgemmRun {
+  Trace trace;
+  CsrMatrix product;
+};
+
+/// Run C = A·B on fresh random matrices per `opts`, tracing all accesses.
+[[nodiscard]] SpgemmRun run_traced_spgemm(const SpgemmOptions& opts);
+
+/// Run C = A·B on caller-provided matrices, tracing all accesses.
+[[nodiscard]] SpgemmRun run_traced_spgemm(const CsrMatrix& a, const CsrMatrix& b,
+                                          std::uint64_t page_bytes = 4096);
+
+/// Trace-only convenience.
+[[nodiscard]] Trace make_spgemm_trace(const SpgemmOptions& opts);
+
+/// A p-thread workload: each thread replays an SpGEMM trace generated
+/// with different randomness ("same program, different randomness").
+/// `distinct` caps how many distinct traces are generated; threads
+/// round-robin over them (memory stays bounded as p grows).
+[[nodiscard]] Workload make_spgemm_workload(std::size_t num_threads,
+                                            const SpgemmOptions& opts,
+                                            std::size_t distinct = 8);
+
+}  // namespace hbmsim::workloads

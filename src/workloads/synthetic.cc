@@ -1,0 +1,108 @@
+#include "workloads/synthetic.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace hbmsim::workloads {
+namespace {
+
+Trace generate(const SyntheticOptions& opts, std::uint64_t seed) {
+  switch (opts.kind) {
+    case SyntheticKind::kUniform:
+      return make_uniform_trace(opts.num_pages, opts.length, seed);
+    case SyntheticKind::kZipf:
+      return make_zipf_trace(opts.num_pages, opts.length, opts.zipf_s, seed);
+    case SyntheticKind::kStream:
+      return make_stream_trace(opts.num_pages, opts.stream_passes);
+    case SyntheticKind::kStrided:
+      return make_strided_trace(opts.num_pages, opts.length, opts.stride);
+  }
+  throw ConfigError("unknown synthetic workload kind");
+}
+
+}  // namespace
+
+Trace make_uniform_trace(std::uint32_t num_pages, std::size_t length,
+                         std::uint64_t seed) {
+  HBMSIM_CHECK(num_pages > 0, "need at least one page");
+  Xoshiro256StarStar rng(seed);
+  std::vector<LocalPage> refs(length);
+  for (auto& r : refs) {
+    r = static_cast<LocalPage>(rng.uniform(num_pages));
+  }
+  return Trace(std::move(refs), num_pages);
+}
+
+Trace make_zipf_trace(std::uint32_t num_pages, std::size_t length, double s,
+                      std::uint64_t seed) {
+  HBMSIM_CHECK(num_pages > 0, "need at least one page");
+  Xoshiro256StarStar rng(seed);
+  const ZipfSampler zipf(num_pages, s);
+  std::vector<LocalPage> refs(length);
+  for (auto& r : refs) {
+    r = static_cast<LocalPage>(zipf(rng));
+  }
+  return Trace(std::move(refs), num_pages);
+}
+
+Trace make_stream_trace(std::uint32_t num_pages, std::uint32_t passes) {
+  HBMSIM_CHECK(num_pages > 0 && passes > 0, "empty stream trace");
+  std::vector<LocalPage> refs;
+  refs.reserve(static_cast<std::size_t>(num_pages) * passes);
+  for (std::uint32_t pass = 0; pass < passes; ++pass) {
+    for (std::uint32_t p = 0; p < num_pages; ++p) {
+      refs.push_back(p);
+    }
+  }
+  return Trace(std::move(refs), num_pages);
+}
+
+Trace make_strided_trace(std::uint32_t num_pages, std::size_t length,
+                         std::uint32_t stride) {
+  HBMSIM_CHECK(num_pages > 0, "need at least one page");
+  std::vector<LocalPage> refs(length);
+  std::uint64_t pos = 0;
+  for (auto& r : refs) {
+    r = static_cast<LocalPage>(pos % num_pages);
+    pos += stride;
+  }
+  return Trace(std::move(refs), num_pages);
+}
+
+Workload make_synthetic_workload(std::size_t num_threads,
+                                 const SyntheticOptions& opts) {
+  std::vector<std::shared_ptr<const Trace>> traces;
+  traces.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    traces.push_back(std::make_shared<Trace>(
+        generate(opts, opts.seed + t * 0x9E3779B97F4A7C15ULL)));
+  }
+  return Workload(std::move(traces), "synthetic");
+}
+
+Workload make_imbalanced_workload(std::size_t num_threads,
+                                  const SyntheticOptions& opts,
+                                  double min_fraction) {
+  HBMSIM_CHECK(min_fraction > 0.0 && min_fraction <= 1.0,
+               "min_fraction must be in (0,1]");
+  std::vector<std::shared_ptr<const Trace>> traces;
+  traces.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    const double ramp =
+        num_threads == 1
+            ? 1.0
+            : min_fraction + (1.0 - min_fraction) * static_cast<double>(t) /
+                                 static_cast<double>(num_threads - 1);
+    SyntheticOptions o = opts;
+    o.length = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(opts.length) * ramp));
+    traces.push_back(std::make_shared<Trace>(
+        generate(o, opts.seed + t * 0x9E3779B97F4A7C15ULL)));
+  }
+  return Workload(std::move(traces), "synthetic-imbalanced");
+}
+
+}  // namespace hbmsim::workloads

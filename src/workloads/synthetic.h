@@ -1,0 +1,54 @@
+// Synthetic reference streams for tests, ablations, and the paper's
+// "distribution of work across the cores" sweep: uniform random, Zipfian,
+// sequential streaming, and strided access, plus helpers for building
+// imbalanced multi-thread workloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace hbmsim::workloads {
+
+/// `length` uniform random references over `num_pages` pages.
+[[nodiscard]] Trace make_uniform_trace(std::uint32_t num_pages, std::size_t length,
+                                       std::uint64_t seed);
+
+/// Zipf(s)-distributed references (s ≈ 0.8–1.2 models hot/cold pages).
+[[nodiscard]] Trace make_zipf_trace(std::uint32_t num_pages, std::size_t length,
+                                    double s, std::uint64_t seed);
+
+/// STREAM-like sequential sweep over `num_pages`, repeated `passes` times.
+[[nodiscard]] Trace make_stream_trace(std::uint32_t num_pages, std::uint32_t passes);
+
+/// Strided sweep: page indices advance by `stride` mod num_pages.
+[[nodiscard]] Trace make_strided_trace(std::uint32_t num_pages, std::size_t length,
+                                       std::uint32_t stride);
+
+/// All p threads run the given generator with per-thread seeds.
+enum class SyntheticKind { kUniform, kZipf, kStream, kStrided };
+
+struct SyntheticOptions {
+  SyntheticKind kind = SyntheticKind::kUniform;
+  std::uint32_t num_pages = 1024;
+  std::size_t length = 100'000;
+  double zipf_s = 0.99;
+  std::uint32_t stream_passes = 4;
+  std::uint32_t stride = 17;
+  std::uint64_t seed = 1;
+};
+
+[[nodiscard]] Workload make_synthetic_workload(std::size_t num_threads,
+                                               const SyntheticOptions& opts);
+
+/// Imbalanced variant: thread i's trace is truncated to
+/// length · (min_fraction + (1 - min_fraction) · i / (p-1)), so the work
+/// ramps linearly from min_fraction to the full length across threads —
+/// the "asymmetric work" case where Cycle Priority is expected to suffer
+/// mild starvation (§4).
+[[nodiscard]] Workload make_imbalanced_workload(std::size_t num_threads,
+                                                const SyntheticOptions& opts,
+                                                double min_fraction = 0.1);
+
+}  // namespace hbmsim::workloads

@@ -1,0 +1,285 @@
+// Tests for trace analysis (stack distances / miss curves) and the
+// offline-optimal machinery (Belady MIN, makespan lower bounds).
+//
+// The load-bearing property tests check compute_miss_curve and
+// belady_misses against direct cache simulations across cache sizes.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <unordered_map>
+
+#include "core/simulator.h"
+#include "opt/belady.h"
+#include "opt/lower_bound.h"
+#include "trace/analysis.h"
+#include "workloads/adversarial.h"
+#include "workloads/synthetic.h"
+
+namespace hbmsim {
+namespace {
+
+/// Direct LRU miss counter (independent of the simulator and of the
+/// Mattson machinery).
+std::uint64_t lru_misses(const Trace& trace, std::uint64_t k) {
+  std::list<LocalPage> order;
+  std::unordered_map<LocalPage, std::list<LocalPage>::iterator> pos;
+  std::uint64_t misses = 0;
+  for (const LocalPage p : trace.refs()) {
+    const auto it = pos.find(p);
+    if (it != pos.end()) {
+      order.splice(order.end(), order, it->second);
+      continue;
+    }
+    ++misses;
+    if (pos.size() == k) {
+      pos.erase(order.front());
+      order.pop_front();
+    }
+    order.push_back(p);
+    pos[p] = std::prev(order.end());
+  }
+  return misses;
+}
+
+// --- MissCurve -------------------------------------------------------------
+
+TEST(MissCurve, HandComputedDistances) {
+  // Trace 0 1 0 0 2 1: distances — 0:∞, 1:∞, 0:2, 0:1, 2:∞, 1:3.
+  const MissCurve c = compute_miss_curve(Trace({0, 1, 0, 0, 2, 1}));
+  EXPECT_EQ(c.total_refs(), 6u);
+  EXPECT_EQ(c.cold_misses(), 3u);
+  ASSERT_EQ(c.histogram().size(), 3u);
+  EXPECT_EQ(c.histogram()[0], 1u);  // distance 1
+  EXPECT_EQ(c.histogram()[1], 1u);  // distance 2
+  EXPECT_EQ(c.histogram()[2], 1u);  // distance 3
+  EXPECT_EQ(c.misses_at(0), 6u);
+  EXPECT_EQ(c.misses_at(1), 5u);
+  EXPECT_EQ(c.misses_at(2), 4u);
+  EXPECT_EQ(c.misses_at(3), 3u);
+  EXPECT_EQ(c.misses_at(100), 3u);
+}
+
+TEST(MissCurve, EmptyAndSingletonTraces) {
+  const MissCurve empty = compute_miss_curve(Trace(std::vector<LocalPage>{}));
+  EXPECT_EQ(empty.total_refs(), 0u);
+  EXPECT_EQ(empty.misses_at(4), 0u);
+  const MissCurve one = compute_miss_curve(Trace({7}));
+  EXPECT_EQ(one.cold_misses(), 1u);
+  EXPECT_EQ(one.misses_at(1), 1u);
+}
+
+TEST(MissCurve, ImmediateReuseHasDistanceOne) {
+  const MissCurve c = compute_miss_curve(Trace({5, 5, 5, 5}));
+  EXPECT_EQ(c.cold_misses(), 1u);
+  EXPECT_EQ(c.misses_at(1), 1u);
+  ASSERT_GE(c.histogram().size(), 1u);
+  EXPECT_EQ(c.histogram()[0], 3u);
+}
+
+class MissCurveMatchesLru
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(MissCurveMatchesLru, AtEveryCacheSize) {
+  const auto [seed, zipf_s] = GetParam();
+  const Trace t = zipf_s == 0.0
+                      ? workloads::make_uniform_trace(96, 3000, seed)
+                      : workloads::make_zipf_trace(96, 3000, zipf_s, seed);
+  const MissCurve curve = compute_miss_curve(t);
+  for (const std::uint64_t k : {1ull, 2ull, 3ull, 7ull, 16ull, 50ull, 96ull, 200ull}) {
+    EXPECT_EQ(curve.misses_at(k), lru_misses(t, k)) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, MissCurveMatchesLru,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(0.0, 1.1)),
+                         [](const auto& inf) {
+                           return "seed" + std::to_string(std::get<0>(inf.param)) +
+                                  (std::get<1>(inf.param) == 0.0 ? "_uniform"
+                                                                 : "_zipf");
+                         });
+
+TEST(MissCurve, MonotoneNonIncreasingInK) {
+  const Trace t = workloads::make_zipf_trace(256, 5000, 0.9, 11);
+  const MissCurve c = compute_miss_curve(t);
+  std::uint64_t prev = ~0ull;
+  for (std::uint64_t k = 0; k <= c.max_distance() + 2; ++k) {
+    EXPECT_LE(c.misses_at(k), prev);
+    prev = c.misses_at(k);
+  }
+  EXPECT_EQ(prev, t.unique_pages()) << "full cache leaves only cold misses";
+}
+
+TEST(MissCurve, MinKOnCyclicTrace) {
+  // Cyclic 64-page scan ×10: LRU misses everything until k = 64.
+  const Trace t =
+      workloads::make_cyclic_trace({.unique_pages = 64, .repetitions = 10});
+  const MissCurve c = compute_miss_curve(t);
+  EXPECT_EQ(c.misses_at(63), c.total_refs()) << "LRU pathologically thrash";
+  EXPECT_EQ(c.misses_at(64), 64u);
+  EXPECT_EQ(c.min_k_for_miss_ratio(0.5), 64u);
+  // Cold misses are 10% of refs: a 10% target is reachable, 5% is not.
+  EXPECT_EQ(c.min_k_for_miss_ratio(0.1), 64u);
+  EXPECT_EQ(c.min_k_for_miss_ratio(0.05), c.max_distance() + 1);
+}
+
+TEST(TraceProfile, ReportsSaneNumbers) {
+  const Trace t = workloads::make_zipf_trace(128, 4000, 1.0, 3);
+  const TraceProfile p = profile_trace(t);
+  EXPECT_EQ(p.refs, 4000u);
+  EXPECT_EQ(p.unique_pages, t.unique_pages());
+  EXPECT_GT(p.mean_stack_distance, 1.0);
+  EXPECT_GE(p.k_for_half, 1u);
+  EXPECT_LE(p.k_for_half, p.k_for_tenth);
+  EXPECT_LE(p.k_for_tenth, p.k_for_hundredth);
+}
+
+TEST(MissCurve, AgreesWithTheSimulatorsLru) {
+  // Cross-module consistency: a single-core simulation under LRU must
+  // miss exactly where the Mattson curve says it will, for every k.
+  const Trace t = workloads::make_zipf_trace(80, 2500, 1.0, 21);
+  const MissCurve curve = compute_miss_curve(t);
+  const Workload w = Workload::replicate(std::make_shared<Trace>(t), 1);
+  for (const std::uint64_t k : {4ull, 12ull, 40ull, 80ull}) {
+    const RunMetrics m = simulate(w, SimConfig::fifo(k));
+    EXPECT_EQ(m.misses, curve.misses_at(k)) << "k=" << k;
+  }
+}
+
+TEST(Belady, LowerBoundsTheSimulatorAcrossPolicies) {
+  // No simulated configuration may miss less (per thread) than MIN.
+  const Trace t = workloads::make_zipf_trace(64, 1500, 0.9, 31);
+  const Workload w = Workload::replicate(std::make_shared<Trace>(t), 3);
+  const std::uint64_t k = 24;
+  const std::uint64_t floor_misses = opt::belady_misses(t, k);
+  for (const ArbitrationKind arb :
+       {ArbitrationKind::kFifo, ArbitrationKind::kPriority}) {
+    SimConfig c;
+    c.hbm_slots = k;
+    c.arbitration = arb;
+    const RunMetrics m = simulate(w, c);
+    for (const ThreadMetrics& tm : m.per_thread) {
+      EXPECT_GE(tm.misses, floor_misses);
+    }
+  }
+}
+
+// --- Belady ------------------------------------------------------------------
+
+TEST(Belady, HandComputedSequence) {
+  // Classic example: 0 1 2 0 1 3 0 1 2 3 with k=3 → MIN misses 6... verify
+  // by construction: cold 0,1,2; ref 3 evicts 2 (next use farthest);
+  // then 0,1 hit; 2 misses (evicts 3? next uses: 3 at 9, 0/1 none) —
+  // evict 0 or 1; 3 hits. Total misses: 3 cold + 3 + 2's miss... compute
+  // exactly: misses = 0,1,2 cold (3), 3 miss (4), 2 miss (5), 3 hit.
+  const Trace t({0, 1, 2, 0, 1, 3, 0, 1, 2, 3});
+  EXPECT_EQ(opt::belady_misses(t, 3), 5u);
+}
+
+TEST(Belady, NeverWorseThanLruAtAnySize) {
+  for (const int seed : {1, 2, 3, 4}) {
+    const Trace t = workloads::make_zipf_trace(64, 2000, 0.8, seed);
+    for (const std::uint64_t k : {1ull, 4ull, 16ull, 48ull, 64ull}) {
+      EXPECT_LE(opt::belady_misses(t, k), lru_misses(t, k))
+          << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
+TEST(Belady, ExactlyColdMissesWhenEverythingFits) {
+  const Trace t = workloads::make_uniform_trace(32, 1000, 9);
+  EXPECT_EQ(opt::belady_misses(t, 32), t.unique_pages());
+  EXPECT_EQ(opt::belady_misses(t, 1000), t.unique_pages());
+}
+
+TEST(Belady, MonotoneInK) {
+  const Trace t = workloads::make_zipf_trace(128, 3000, 1.0, 5);
+  std::uint64_t prev = ~0ull;
+  for (const std::uint64_t k : {1ull, 2ull, 4ull, 8ull, 32ull, 128ull}) {
+    const std::uint64_t m = opt::belady_misses(t, k);
+    EXPECT_LE(m, prev);
+    prev = m;
+  }
+}
+
+TEST(Belady, BeatsLruOnTheCyclicAdversary) {
+  // LRU misses every reference of the cyclic scan with k < U; MIN keeps
+  // k-1 pages pinned and misses far less.
+  const Trace t =
+      workloads::make_cyclic_trace({.unique_pages = 32, .repetitions = 10});
+  const std::uint64_t k = 16;
+  EXPECT_EQ(lru_misses(t, k), t.size());
+  EXPECT_LT(opt::belady_misses(t, k), t.size() / 2 + 32);
+}
+
+// --- Lower bounds --------------------------------------------------------------
+
+TEST(LowerBounds, EverySimulatedPolicyRespectsThem) {
+  workloads::SyntheticOptions opts;
+  opts.kind = workloads::SyntheticKind::kZipf;
+  opts.num_pages = 64;
+  opts.length = 800;
+  opts.zipf_s = 0.9;
+  const Workload w = workloads::make_synthetic_workload(6, opts);
+  for (const std::uint64_t k : {16ull, 48ull, 128ull}) {
+    for (const std::uint32_t q : {1u, 2u, 4u}) {
+      const opt::MakespanBounds lb = opt::makespan_lower_bounds(w, k, q);
+      for (const ArbitrationKind arb :
+           {ArbitrationKind::kFifo, ArbitrationKind::kPriority,
+            ArbitrationKind::kRandom, ArbitrationKind::kFrFcfs}) {
+        SimConfig c;
+        c.hbm_slots = k;
+        c.num_channels = q;
+        c.arbitration = arb;
+        const RunMetrics m = simulate(w, c);
+        EXPECT_GE(m.makespan, lb.lower())
+            << to_string(arb) << " k=" << k << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(LowerBounds, CriticalPathDominatesWhenChannelsAreAmple) {
+  const Workload w = workloads::make_synthetic_workload(
+      4, workloads::SyntheticOptions{.num_pages = 32, .length = 500});
+  const opt::MakespanBounds lb = opt::makespan_lower_bounds(w, 1000, 32);
+  EXPECT_GE(lb.critical_path, lb.channel_congestion);
+  EXPECT_EQ(lb.lower(), lb.critical_path);
+}
+
+TEST(LowerBounds, ChannelBoundScalesWithThreads) {
+  const workloads::AdversarialOptions opts{.unique_pages = 32, .repetitions = 5};
+  const std::uint64_t k = 16;  // forces misses
+  std::uint64_t prev = 0;
+  for (const std::size_t p : {2, 4, 8}) {
+    const Workload w = workloads::make_adversarial_workload(p, opts);
+    const opt::MakespanBounds lb = opt::makespan_lower_bounds(w, k, 1);
+    EXPECT_GT(lb.channel_congestion, prev);
+    prev = lb.channel_congestion;
+  }
+}
+
+TEST(LowerBounds, TightForTheTrivialSingleThreadCase) {
+  // One thread, ample HBM: makespan is exactly refs + misses, which is
+  // the critical-path bound with Belady == LRU == cold misses.
+  const Trace t = workloads::make_uniform_trace(16, 200, 3);
+  const Workload w =
+      Workload::replicate(std::make_shared<Trace>(t), 1);
+  const opt::MakespanBounds lb = opt::makespan_lower_bounds(w, 64, 1);
+  const RunMetrics m = simulate(w, SimConfig::fifo(64));
+  EXPECT_EQ(m.makespan, lb.lower());
+}
+
+TEST(LowerBounds, MemoisesSharedTraces) {
+  // 64 threads sharing one trace must not take 64 Belady passes — this
+  // is a smoke check that it completes instantly and gives the p-scaled
+  // channel bound.
+  auto t = std::make_shared<Trace>(workloads::make_zipf_trace(512, 20'000, 1.0, 8));
+  const Workload w = Workload::replicate(t, 64);
+  const opt::MakespanBounds lb = opt::makespan_lower_bounds(w, 128, 2);
+  const std::uint64_t per_thread = opt::belady_misses(*t, 128);
+  EXPECT_EQ(lb.channel_congestion, (64 * per_thread + 1) / 2);
+}
+
+}  // namespace
+}  // namespace hbmsim

@@ -1,0 +1,217 @@
+// Unit tests for far-channel arbitration policies: FIFO order, Priority
+// order with remaps, and Random selection.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/arbitration.h"
+
+namespace hbmsim {
+namespace {
+
+QueuedRequest req(ThreadId thread, Tick tick = 0) {
+  return QueuedRequest{make_global_page(thread, 0), thread, tick};
+}
+
+TEST(FifoArbiter, PopsInArrivalOrder) {
+  auto q = ArbitrationPolicy::make(ArbitrationKind::kFifo, nullptr, 1);
+  q->enqueue(req(3, 0));
+  q->enqueue(req(1, 0));
+  q->enqueue(req(2, 5));
+  EXPECT_EQ(q->pop()->thread, 3u);
+  EXPECT_EQ(q->pop()->thread, 1u);
+  EXPECT_EQ(q->pop()->thread, 2u);
+  EXPECT_FALSE(q->pop().has_value());
+}
+
+TEST(FifoArbiter, SizeTracksContents) {
+  auto q = ArbitrationPolicy::make(ArbitrationKind::kFifo, nullptr, 1);
+  EXPECT_TRUE(q->empty());
+  q->enqueue(req(0));
+  q->enqueue(req(1));
+  EXPECT_EQ(q->size(), 2u);
+  (void)q->pop();
+  EXPECT_EQ(q->size(), 1u);
+}
+
+TEST(PriorityArbiter, PopsHighestPriorityFirst) {
+  PriorityMap pm(4, RemapScheme::kNone, 1);  // identity: thread 0 first
+  auto q = ArbitrationPolicy::make(ArbitrationKind::kPriority, &pm, 1);
+  q->enqueue(req(2));
+  q->enqueue(req(0));
+  q->enqueue(req(3));
+  EXPECT_EQ(q->pop()->thread, 0u);
+  EXPECT_EQ(q->pop()->thread, 2u);
+  EXPECT_EQ(q->pop()->thread, 3u);
+}
+
+TEST(PriorityArbiter, IgnoresArrivalOrderEntirely) {
+  PriorityMap pm(4, RemapScheme::kNone, 1);
+  auto q = ArbitrationPolicy::make(ArbitrationKind::kPriority, &pm, 1);
+  q->enqueue(req(3, /*tick=*/0));  // arrived first
+  q->enqueue(req(1, /*tick=*/100));
+  EXPECT_EQ(q->pop()->thread, 1u) << "priority trumps arrival time";
+}
+
+TEST(PriorityArbiter, ReRanksAfterPermutationChange) {
+  PriorityMap pm(3, RemapScheme::kCycle, 1);
+  auto q = ArbitrationPolicy::make(ArbitrationKind::kPriority, &pm, 1);
+  q->enqueue(req(0));
+  q->enqueue(req(2));
+  // After one cycle remap, thread 2 has priority 0 and thread 0 has 1.
+  pm.remap();
+  q->on_priorities_changed();
+  EXPECT_EQ(q->pop()->thread, 2u);
+  EXPECT_EQ(q->pop()->thread, 0u);
+}
+
+TEST(PriorityArbiter, PermutationChangeOnEmptyQueueIsSafe) {
+  PriorityMap pm(3, RemapScheme::kDynamic, 1);
+  auto q = ArbitrationPolicy::make(ArbitrationKind::kPriority, &pm, 1);
+  pm.remap();
+  q->on_priorities_changed();
+  EXPECT_TRUE(q->empty());
+}
+
+TEST(PriorityArbiter, RequiresPriorityMap) {
+  EXPECT_THROW(ArbitrationPolicy::make(ArbitrationKind::kPriority, nullptr, 1),
+               Error);
+}
+
+TEST(RandomArbiter, DrainsEveryRequestExactlyOnce) {
+  auto q = ArbitrationPolicy::make(ArbitrationKind::kRandom, nullptr, 99);
+  for (ThreadId t = 0; t < 20; ++t) {
+    q->enqueue(req(t));
+  }
+  std::set<ThreadId> seen;
+  while (auto r = q->pop()) {
+    EXPECT_TRUE(seen.insert(r->thread).second) << "duplicate pop";
+  }
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(RandomArbiter, SeedDeterminism) {
+  auto a = ArbitrationPolicy::make(ArbitrationKind::kRandom, nullptr, 5);
+  auto b = ArbitrationPolicy::make(ArbitrationKind::kRandom, nullptr, 5);
+  for (ThreadId t = 0; t < 10; ++t) {
+    a->enqueue(req(t));
+    b->enqueue(req(t));
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a->pop()->thread, b->pop()->thread);
+  }
+}
+
+TEST(RandomArbiter, IsNotFifo) {
+  auto q = ArbitrationPolicy::make(ArbitrationKind::kRandom, nullptr, 12345);
+  for (ThreadId t = 0; t < 32; ++t) {
+    q->enqueue(req(t));
+  }
+  std::vector<ThreadId> order;
+  while (auto r = q->pop()) {
+    order.push_back(r->thread);
+  }
+  std::vector<ThreadId> fifo_order(32);
+  for (ThreadId t = 0; t < 32; ++t) {
+    fifo_order[t] = t;
+  }
+  EXPECT_NE(order, fifo_order);
+}
+
+TEST(FrFcfs, PrefersRowHitsOverOlderRequests) {
+  // row_pages = 4: thread 0's pages 0-3 share a row (rows are computed on
+  // the thread-tagged GlobalPage, so rows never span threads).
+  auto q = ArbitrationPolicy::make(ArbitrationKind::kFrFcfs, nullptr, 1,
+                                   /*num_channels=*/1, /*row_pages=*/4);
+  q->enqueue(QueuedRequest{make_global_page(0, 0), 0, 0});  // t0 row 0, oldest
+  q->enqueue(QueuedRequest{make_global_page(1, 5), 1, 1});  // t1's own row
+  q->enqueue(QueuedRequest{make_global_page(0, 2), 2, 2});  // t0 row 0 again
+  // First pop: no open row yet → oldest (opens t0's row 0).
+  EXPECT_EQ(page_local(q->pop(0)->page), 0u);
+  // Second pop: (t0, page 2) is a row hit and beats the older t1 request.
+  EXPECT_EQ(page_local(q->pop(0)->page), 2u);
+  EXPECT_EQ(page_local(q->pop(0)->page), 5u);
+}
+
+TEST(FrFcfs, RowHitsAreServedOldestFirst) {
+  auto q = ArbitrationPolicy::make(ArbitrationKind::kFrFcfs, nullptr, 1, 1, 4);
+  q->enqueue(QueuedRequest{make_global_page(0, 0), 0, 0});
+  q->enqueue(QueuedRequest{make_global_page(1, 1), 1, 1});  // different thread!
+  q->enqueue(QueuedRequest{make_global_page(2, 2), 2, 2});
+  EXPECT_EQ(q->pop(0)->thread, 0u);  // opens t0's row 0
+  // t1's and t2's pages are in *their own* threads' rows (GlobalPage is
+  // thread-tagged), so no row hit: plain FCFS order.
+  EXPECT_EQ(q->pop(0)->thread, 1u);
+  EXPECT_EQ(q->pop(0)->thread, 2u);
+}
+
+TEST(FrFcfs, SameThreadStreamGetsRowLocality) {
+  auto q = ArbitrationPolicy::make(ArbitrationKind::kFrFcfs, nullptr, 1, 1, 4);
+  // Thread 0 queues pages 0 and 1 (same row) around thread 1's page.
+  q->enqueue(QueuedRequest{make_global_page(0, 0), 0, 0});
+  q->enqueue(QueuedRequest{make_global_page(1, 9), 1, 0});
+  q->enqueue(QueuedRequest{make_global_page(0, 1), 2, 1});
+  EXPECT_EQ(page_local(q->pop(0)->page), 0u);
+  EXPECT_EQ(page_local(q->pop(0)->page), 1u) << "row hit jumps the queue";
+  EXPECT_EQ(page_local(q->pop(0)->page), 9u);
+}
+
+TEST(FrFcfs, ChannelsKeepIndependentOpenRows) {
+  auto q = ArbitrationPolicy::make(ArbitrationKind::kFrFcfs, nullptr, 1,
+                                   /*num_channels=*/2, /*row_pages=*/4);
+  q->enqueue(QueuedRequest{make_global_page(0, 0), 0, 0});   // row A
+  q->enqueue(QueuedRequest{make_global_page(1, 0), 1, 0});   // row B
+  q->enqueue(QueuedRequest{make_global_page(0, 1), 2, 1});   // row A
+  q->enqueue(QueuedRequest{make_global_page(1, 1), 3, 1});   // row B
+  EXPECT_EQ(q->pop(0)->thread, 0u);  // channel 0 opens row A
+  EXPECT_EQ(q->pop(1)->thread, 1u);  // channel 1 opens row B
+  EXPECT_EQ(q->pop(0)->thread, 2u);  // row-A hit on channel 0
+  EXPECT_EQ(q->pop(1)->thread, 3u);  // row-B hit on channel 1
+}
+
+TEST(ChannelOf, IsStableAndInRange) {
+  for (std::uint32_t q = 1; q <= 8; ++q) {
+    for (GlobalPage g = 0; g < 100; ++g) {
+      const std::uint32_t c = channel_of(g, q);
+      EXPECT_LT(c, q);
+      EXPECT_EQ(c, channel_of(g, q));
+    }
+  }
+}
+
+TEST(ChannelOf, SpreadsPagesAcrossChannels) {
+  std::vector<int> counts(4, 0);
+  for (GlobalPage g = 0; g < 4000; ++g) {
+    ++counts[channel_of(g, 4)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, 1000, 150);
+  }
+}
+
+TEST(Arbiter, PopOnEmptyReturnsNullopt) {
+  for (const auto kind :
+       {ArbitrationKind::kFifo, ArbitrationKind::kRandom}) {
+    auto q = ArbitrationPolicy::make(kind, nullptr, 1);
+    EXPECT_FALSE(q->pop().has_value());
+  }
+  PriorityMap pm(2, RemapScheme::kNone, 1);
+  auto q = ArbitrationPolicy::make(ArbitrationKind::kPriority, &pm, 1);
+  EXPECT_FALSE(q->pop().has_value());
+}
+
+TEST(Arbiter, RequestsCarryTheirPayload) {
+  auto q = ArbitrationPolicy::make(ArbitrationKind::kFifo, nullptr, 1);
+  const QueuedRequest in{make_global_page(7, 42), 7, 123};
+  q->enqueue(in);
+  const auto out = q->pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, in);
+  EXPECT_EQ(page_owner(out->page), 7u);
+  EXPECT_EQ(page_local(out->page), 42u);
+}
+
+}  // namespace
+}  // namespace hbmsim

@@ -1,0 +1,89 @@
+// Unit tests for the ArgParser used by the command-line drivers.
+#include <gtest/gtest.h>
+
+#include "util/args.h"
+#include "util/error.h"
+
+namespace hbmsim {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, KeyValueSpaceForm) {
+  const ArgParser a = parse({"--threads", "16", "--policy", "fifo"});
+  EXPECT_EQ(a.get_int("threads", 0), 16);
+  EXPECT_EQ(a.get("policy", ""), "fifo");
+}
+
+TEST(ArgParser, KeyValueEqualsForm) {
+  const ArgParser a = parse({"--threads=32", "--t-mult=2.5"});
+  EXPECT_EQ(a.get_int("threads", 0), 32);
+  EXPECT_DOUBLE_EQ(a.get_double("t-mult", 0.0), 2.5);
+}
+
+TEST(ArgParser, DefaultsWhenAbsent) {
+  const ArgParser a = parse({});
+  EXPECT_EQ(a.get_int("threads", 7), 7);
+  EXPECT_EQ(a.get("policy", "priority"), "priority");
+  EXPECT_DOUBLE_EQ(a.get_double("x", 1.5), 1.5);
+  EXPECT_FALSE(a.get_flag("verbose"));
+  EXPECT_FALSE(a.has("anything"));
+}
+
+TEST(ArgParser, BooleanFlags) {
+  const ArgParser a = parse({"--shared-pages", "--csv=true", "--quiet", "--k", "9"});
+  EXPECT_TRUE(a.get_flag("shared-pages"));
+  EXPECT_TRUE(a.get_flag("csv"));
+  EXPECT_TRUE(a.get_flag("quiet"));
+  EXPECT_EQ(a.get_int("k", 0), 9);
+}
+
+TEST(ArgParser, FlagFollowedByOptionIsBoolean) {
+  const ArgParser a = parse({"--verbose", "--threads", "4"});
+  EXPECT_TRUE(a.get_flag("verbose"));
+  EXPECT_EQ(a.get_int("threads", 0), 4);
+}
+
+TEST(ArgParser, PositionalArguments) {
+  const ArgParser a = parse({"run", "--k", "4", "input.trace"});
+  ASSERT_EQ(a.positional().size(), 2u);
+  EXPECT_EQ(a.positional()[0], "run");
+  EXPECT_EQ(a.positional()[1], "input.trace");
+}
+
+TEST(ArgParser, DoubleDashEndsOptions) {
+  const ArgParser a = parse({"--k", "4", "--", "--not-an-option"});
+  EXPECT_EQ(a.get_int("k", 0), 4);
+  ASSERT_EQ(a.positional().size(), 1u);
+  EXPECT_EQ(a.positional()[0], "--not-an-option");
+}
+
+TEST(ArgParser, BadIntegerThrows) {
+  const ArgParser a = parse({"--threads", "abc"});
+  EXPECT_THROW((void)a.get_int("threads", 0), ConfigError);
+}
+
+TEST(ArgParser, BadDoubleThrows) {
+  const ArgParser a = parse({"--t-mult", "1.5x"});
+  EXPECT_THROW((void)a.get_double("t-mult", 0.0), ConfigError);
+}
+
+TEST(ArgParser, RejectUnknownCatchesTypos) {
+  const ArgParser a = parse({"--thread", "4"});
+  (void)a.get_int("threads", 0);  // the real option name
+  EXPECT_THROW(a.reject_unknown(), ConfigError);
+}
+
+TEST(ArgParser, RejectUnknownPassesWhenAllUsed) {
+  const ArgParser a = parse({"--threads", "4", "--verbose"});
+  (void)a.get_int("threads", 0);
+  (void)a.get_flag("verbose");
+  EXPECT_NO_THROW(a.reject_unknown());
+}
+
+}  // namespace
+}  // namespace hbmsim

@@ -1,0 +1,173 @@
+// Tests for the Lemma 1 / Theorem 4 machinery: the Frigo-style
+// transformation must make exactly the same hit/miss decisions as a plain
+// fully-associative cache, with O(1) expected bookkeeping constants, and
+// the concurrent list insert must run in Θ(log x) parallel steps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <list>
+#include <unordered_map>
+
+#include "assoc/direct_mapped.h"
+#include "assoc/frigo_transform.h"
+#include "core/hbm_cache.h"
+#include "util/error.h"
+#include "workloads/synthetic.h"
+
+namespace hbmsim::assoc {
+namespace {
+
+/// Plain fully-associative cache with LRU or FIFO order — the "original
+/// program" the transformation simulates.
+class PlainCache {
+ public:
+  PlainCache(std::uint64_t k, ReplacementKind policy) : k_(k), policy_(policy) {}
+
+  bool access(LocalPage page) {
+    const auto it = pos_.find(page);
+    if (it != pos_.end()) {
+      if (policy_ == ReplacementKind::kLru) {
+        order_.splice(order_.end(), order_, it->second);
+      }
+      return true;
+    }
+    if (pos_.size() == k_) {
+      pos_.erase(order_.front());
+      order_.pop_front();
+    }
+    order_.push_back(page);
+    pos_[page] = std::prev(order_.end());
+    return false;
+  }
+
+ private:
+  std::uint64_t k_;
+  ReplacementKind policy_;
+  std::list<LocalPage> order_;
+  std::unordered_map<LocalPage, std::list<LocalPage>::iterator> pos_;
+};
+
+class FrigoVsPlain
+    : public ::testing::TestWithParam<std::tuple<ReplacementKind, double>> {};
+
+TEST_P(FrigoVsPlain, IdenticalHitMissDecisions) {
+  const auto [policy, zipf_s] = GetParam();
+  const std::uint64_t k = 64;
+  FrigoTransform transform(k, policy, /*seed=*/5);
+  PlainCache plain(k, policy);
+  const Trace t = workloads::make_zipf_trace(256, 20'000, zipf_s, 77);
+  for (const LocalPage page : t.refs()) {
+    ASSERT_EQ(transform.access(page), plain.access(page));
+  }
+  EXPECT_EQ(transform.stats().original_hits + transform.stats().original_misses,
+            t.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, FrigoVsPlain,
+    ::testing::Combine(::testing::Values(ReplacementKind::kLru,
+                                         ReplacementKind::kFifo),
+                       ::testing::Values(0.0, 0.9, 1.3)),
+    [](const auto& inf) {
+      return std::string(to_string(std::get<0>(inf.param))) + "_zipf" +
+             std::to_string(static_cast<int>(std::get<1>(inf.param) * 10));
+    });
+
+TEST(FrigoTransform, ExpectedChainLengthIsConstant) {
+  // Load factor ≤ 1 (k live keys in k buckets) ⇒ E[chain] = O(1). The
+  // lemma's universal-hash assumption shows up as a small constant here.
+  FrigoTransform transform(128, ReplacementKind::kLru, 3);
+  const Trace t = workloads::make_uniform_trace(512, 50'000, 9);
+  for (const LocalPage page : t.refs()) {
+    transform.access(page);
+  }
+  EXPECT_LT(transform.stats().chain_length.mean(), 3.0);
+  EXPECT_LT(transform.stats().chain_length.max(), 20.0)
+      << "worst chain should stay logarithmic-ish";
+}
+
+TEST(FrigoTransform, CostConstantsMatchLemma1) {
+  FrigoTransform transform(64, ReplacementKind::kLru, 1);
+  const Trace t = workloads::make_zipf_trace(256, 30'000, 1.0, 13);
+  for (const LocalPage page : t.refs()) {
+    transform.access(page);
+  }
+  const TransformStats& s = transform.stats();
+  ASSERT_GT(s.original_hits, 0u);
+  ASSERT_GT(s.original_misses, 0u);
+  // O(1) transformed hits per original access (metadata + data touches).
+  EXPECT_LT(s.hits_per_access(), 8.0);
+  // Exactly O(1) transformed misses per original miss (the two data
+  // copies; never more than 2 + eviction copy).
+  EXPECT_GE(s.misses_per_original_miss(), 1.0);
+  EXPECT_LE(s.misses_per_original_miss(), 2.0);
+  // And *no* transformed misses attributable to hits: total transformed
+  // misses is bounded by 2 per original miss.
+  EXPECT_LE(s.transformed_misses, 2 * s.original_misses);
+}
+
+TEST(FrigoTransform, ResidentNeverExceedsK) {
+  FrigoTransform transform(16, ReplacementKind::kFifo, 2);
+  const Trace t = workloads::make_uniform_trace(64, 5'000, 4);
+  for (const LocalPage page : t.refs()) {
+    transform.access(page);
+    ASSERT_LE(transform.resident(), 16u);
+  }
+  EXPECT_EQ(transform.resident(), 16u);
+}
+
+TEST(FrigoTransform, RejectsUnsupportedPolicies) {
+  EXPECT_THROW(FrigoTransform(16, ReplacementKind::kClock, 1), Error);
+  EXPECT_THROW(FrigoTransform(0, ReplacementKind::kLru, 1), Error);
+}
+
+TEST(FrigoTransform, WorksAtCapacityOne) {
+  FrigoTransform transform(1, ReplacementKind::kLru, 1);
+  EXPECT_FALSE(transform.access(1));
+  EXPECT_TRUE(transform.access(1));
+  EXPECT_FALSE(transform.access(2));
+  EXPECT_FALSE(transform.access(1));
+}
+
+// --- Theorem 4: concurrent list insertion --------------------------------
+
+TEST(ConcurrentInsert, ParallelPrefixSumIsCorrectAndLogDepth) {
+  std::vector<std::uint32_t> v{3, 1, 4, 1, 5, 9, 2, 6};
+  const std::uint32_t steps = parallel_prefix_sum(v);
+  const std::vector<std::uint32_t> expect{3, 4, 8, 9, 14, 23, 25, 31};
+  EXPECT_EQ(v, expect);
+  EXPECT_EQ(steps, 3u);  // ⌈log₂ 8⌉
+}
+
+TEST(ConcurrentInsert, PrefixSumHandlesDegenerateSizes) {
+  std::vector<std::uint32_t> one{7};
+  EXPECT_EQ(parallel_prefix_sum(one), 0u);
+  EXPECT_EQ(one[0], 7u);
+  std::vector<std::uint32_t> empty;
+  EXPECT_EQ(parallel_prefix_sum(empty), 0u);
+}
+
+TEST(ConcurrentInsert, EveryItemGetsAUniqueSlot) {
+  for (const std::uint32_t x : {1u, 2u, 3u, 7u, 64u, 100u}) {
+    const ConcurrentInsertResult r = simulate_concurrent_insert(x);
+    ASSERT_EQ(r.order.size(), x);
+    std::vector<bool> seen(x, false);
+    for (const std::uint32_t item : r.order) {
+      ASSERT_LT(item, x);
+      ASSERT_FALSE(seen[item]) << "item placed twice";
+      seen[item] = true;
+    }
+  }
+}
+
+TEST(ConcurrentInsert, StepCountIsLogarithmic) {
+  for (const std::uint32_t x : {2u, 8u, 64u, 500u}) {
+    const ConcurrentInsertResult r = simulate_concurrent_insert(x);
+    const auto log2x =
+        static_cast<std::uint32_t>(std::ceil(std::log2(static_cast<double>(x))));
+    EXPECT_EQ(r.parallel_steps, log2x + 3) << "x=" << x;
+  }
+}
+
+}  // namespace
+}  // namespace hbmsim::assoc

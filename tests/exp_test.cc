@@ -1,0 +1,113 @@
+// Tests for the experiment harness: table rendering and sweep helpers.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "exp/sweep.h"
+#include "exp/table.h"
+#include "util/error.h"
+#include "workloads/adversarial.h"
+#include "workloads/synthetic.h"
+
+namespace hbmsim::exp {
+namespace {
+
+TEST(Table, TextRenderingAlignsColumns) {
+  Table t({"name", "value"});
+  t.row() << "alpha" << std::uint64_t{42};
+  t.row() << "b" << 7;
+  const std::string out = t.to_text();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, DoublePrecisionIsConfigurable) {
+  Table t({"x"});
+  t.set_precision(1);
+  t.row() << 3.14159;
+  EXPECT_NE(t.to_text().find("3.1"), std::string::npos);
+  EXPECT_EQ(t.to_text().find("3.14"), std::string::npos);
+}
+
+TEST(Table, MarkdownHasHeaderSeparator) {
+  Table t({"a", "b"});
+  t.row() << 1 << 2;
+  std::ostringstream os;
+  t.print_markdown(os);
+  EXPECT_NE(os.str().find("|---|---|"), std::string::npos);
+  EXPECT_NE(os.str().find("| 1 | 2 |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"name"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, RejectsMisshapenRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+  EXPECT_THROW(Table empty({}), Error);
+}
+
+TEST(Table, RowBuilderCommitsOnDestruction) {
+  Table t({"a"});
+  { t.row() << "x"; }
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Sweep, RunPoliciesPreservesOrderAndNames) {
+  const Workload w = workloads::make_synthetic_workload(
+      2, workloads::SyntheticOptions{.num_pages = 8, .length = 50});
+  const auto results = run_policies(
+      w, {SimConfig::fifo(8), SimConfig::priority(8),
+          SimConfig::dynamic_priority(8, 2.0)});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].policy, "fifo");
+  EXPECT_EQ(results[1].policy, "priority");
+  EXPECT_EQ(results[2].policy, "dynamic-priority(T=16)");
+  for (const auto& r : results) {
+    EXPECT_EQ(r.metrics.total_refs, w.total_refs());
+  }
+}
+
+TEST(Sweep, FifoOverPriorityRatioOnAdversarialTraceExceedsOne) {
+  // The Figure 3 construction: FIFO must lose. The asymptotic ratio is
+  // ≈ p·R/(4R + p) (see bench/fig3_adversarial), so p=16, R=20 → ~3.3.
+  const std::size_t p = 16;
+  const workloads::AdversarialOptions opts{.unique_pages = 32, .repetitions = 20};
+  const Workload w = workloads::make_adversarial_workload(p, opts);
+  const std::uint64_t k = workloads::adversarial_hbm_slots(p, opts, 0.25);
+  EXPECT_GT(fifo_over_priority_makespan(w, k), 2.0);
+}
+
+TEST(Sweep, RatioSweepCoversTheGrid) {
+  const auto factory = [](std::size_t p) {
+    return workloads::make_adversarial_workload(
+        p, {.unique_pages = 16, .repetitions = 4});
+  };
+  const auto points = ratio_sweep(
+      factory, {2, 4}, {16, 32},
+      [](std::uint64_t k) { return SimConfig::fifo(k); },
+      [](std::uint64_t k) { return SimConfig::priority(k); });
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].num_threads, 2u);
+  EXPECT_EQ(points[0].hbm_slots, 16u);
+  EXPECT_EQ(points[3].num_threads, 4u);
+  EXPECT_EQ(points[3].hbm_slots, 32u);
+  for (const auto& pt : points) {
+    EXPECT_GT(pt.makespan_a, 0u);
+    EXPECT_GT(pt.makespan_b, 0u);
+    EXPECT_GT(pt.ratio(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace hbmsim::exp

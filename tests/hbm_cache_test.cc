@@ -1,0 +1,151 @@
+// Unit tests for the HBM residency models: fully-associative HbmCache and
+// the direct-mapped variant's shared CacheModel contract.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "assoc/direct_mapped.h"
+#include "core/hbm_cache.h"
+#include "util/error.h"
+
+namespace hbmsim {
+namespace {
+
+TEST(HbmCache, FillsFreeSlotsWithoutEvicting) {
+  HbmCache cache(3, ReplacementKind::kLru);
+  EXPECT_FALSE(cache.insert(1).has_value());
+  EXPECT_FALSE(cache.insert(2).has_value());
+  EXPECT_FALSE(cache.insert(3).has_value());
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.free_slots(), 0u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(HbmCache, EvictsLruVictimWhenFull) {
+  HbmCache cache(2, ReplacementKind::kLru);
+  cache.insert(1);
+  cache.insert(2);
+  cache.touch(1);  // 2 becomes LRU
+  const auto victim = cache.insert(3);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 2u);
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(HbmCache, FifoReplacementIgnoresTouches) {
+  HbmCache cache(2, ReplacementKind::kFifo);
+  cache.insert(1);
+  cache.insert(2);
+  cache.touch(1);
+  const auto victim = cache.insert(3);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 1u);
+}
+
+TEST(HbmCache, EraseFreesASlot) {
+  HbmCache cache(2, ReplacementKind::kLru);
+  cache.insert(1);
+  cache.insert(2);
+  cache.erase(1);
+  EXPECT_EQ(cache.free_slots(), 1u);
+  EXPECT_FALSE(cache.insert(3).has_value());
+}
+
+TEST(HbmCache, ClearResetsEverything) {
+  HbmCache cache(2, ReplacementKind::kLru);
+  cache.insert(1);
+  cache.insert(2);
+  cache.insert(3);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_FALSE(cache.contains(3));
+}
+
+TEST(HbmCache, ZeroCapacityRejected) {
+  EXPECT_THROW(HbmCache cache(0, ReplacementKind::kLru), Error);
+}
+
+TEST(HbmCache, CapacityOneWorks) {
+  HbmCache cache(1, ReplacementKind::kLru);
+  EXPECT_FALSE(cache.insert(1).has_value());
+  const auto victim = cache.insert(2);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 1u);
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(DirectMapped, ConflictEvictsEvenWithFreeSlots) {
+  // Modulo hash: pages 0 and 4 collide in a 4-slot cache.
+  assoc::DirectMappedCache cache(4, assoc::SlotHash::kModulo);
+  EXPECT_FALSE(cache.insert(0).has_value());
+  const auto victim = cache.insert(4);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.conflict_evictions(), 1u);
+}
+
+TEST(DirectMapped, NonConflictingPagesCoexist) {
+  assoc::DirectMappedCache cache(4, assoc::SlotHash::kModulo);
+  cache.insert(0);
+  cache.insert(1);
+  cache.insert(2);
+  cache.insert(3);
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  for (GlobalPage g = 0; g < 4; ++g) {
+    EXPECT_TRUE(cache.contains(g));
+  }
+}
+
+TEST(DirectMapped, SlotOfIsStable) {
+  assoc::DirectMappedCache cache(64, assoc::SlotHash::kUniversal, 7);
+  for (GlobalPage g = 0; g < 100; ++g) {
+    const auto s1 = cache.slot_of(g);
+    const auto s2 = cache.slot_of(g);
+    EXPECT_EQ(s1, s2);
+    EXPECT_LT(s1, 64u);
+  }
+}
+
+TEST(DirectMapped, UniversalHashSpreadsSequentialPages) {
+  // Sequential global pages must not all collide in one slot — that is
+  // the whole point of the lemma's hashed mapping.
+  assoc::DirectMappedCache cache(64, assoc::SlotHash::kUniversal, 3);
+  std::set<std::uint64_t> slots;
+  for (GlobalPage g = 0; g < 64; ++g) {
+    slots.insert(cache.slot_of(g));
+  }
+  EXPECT_GT(slots.size(), 32u) << "hash should use most slots";
+}
+
+TEST(DirectMapped, TouchIsANoop) {
+  assoc::DirectMappedCache cache(4, assoc::SlotHash::kModulo);
+  cache.insert(1);
+  cache.touch(1);
+  EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(CacheModelContract, PolymorphicUseThroughBase) {
+  std::unique_ptr<CacheModel> models[] = {
+      std::make_unique<HbmCache>(8, ReplacementKind::kLru),
+      std::make_unique<assoc::DirectMappedCache>(8),
+  };
+  for (auto& m : models) {
+    EXPECT_FALSE(m->contains(1));
+    m->insert(1);
+    EXPECT_TRUE(m->contains(1));
+    m->touch(1);
+    EXPECT_EQ(m->capacity(), 8u);
+    EXPECT_GE(m->size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace hbmsim

@@ -1,0 +1,205 @@
+// Unit tests for the trace-capture instrumentation: PageMapper,
+// LoggingIterator (the paper's GNU-sort technique), LoggingArray (the
+// TACO technique), and VirtualLayout.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "trace/logging_array.h"
+#include "trace/logging_iterator.h"
+#include "trace/page_mapper.h"
+#include "util/error.h"
+
+namespace hbmsim {
+namespace {
+
+TEST(PageMapper, MapsAddressesToDensePages) {
+  PageMapper m(4096);
+  m.access(0);        // page 0 → dense 0
+  m.access(4096);     // page 1 → dense 1
+  m.access(100);      // page 0 again
+  m.access(8192 * 4); // page 8 → dense 2 (first-touch order)
+  const Trace t = m.take_trace();
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0], 0u);
+  EXPECT_EQ(t[1], 1u);
+  EXPECT_EQ(t[2], 0u);
+  EXPECT_EQ(t[3], 2u);
+  EXPECT_EQ(t.num_pages(), 3u);
+}
+
+TEST(PageMapper, RejectsNonPowerOfTwoPageSize) {
+  EXPECT_THROW(PageMapper m(1000), Error);
+  EXPECT_THROW(PageMapper m(0), Error);
+}
+
+TEST(PageMapper, PageBoundaryIsExact) {
+  PageMapper m(64);
+  m.access(63);  // page 0
+  m.access(64);  // page 1
+  const Trace t = m.take_trace();
+  EXPECT_EQ(t[0], 0u);
+  EXPECT_EQ(t[1], 1u);
+}
+
+TEST(PageMapper, AccessRangeTouchesEveryCoveredPage) {
+  PageMapper m(64);
+  m.access_range(10, 200);  // bytes 10..209 → pages 0..3
+  const Trace t = m.take_trace();
+  ASSERT_EQ(t.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(t[i], i);
+  }
+}
+
+TEST(PageMapper, AccessRangeZeroBytesIsNoop) {
+  PageMapper m(64);
+  m.access_range(10, 0);
+  EXPECT_EQ(m.num_refs(), 0u);
+}
+
+TEST(PageMapper, TakeTraceResetsState) {
+  PageMapper m(4096);
+  m.access(0);
+  (void)m.take_trace();
+  EXPECT_EQ(m.num_refs(), 0u);
+  m.access(1 << 20);
+  const Trace t = m.take_trace();
+  EXPECT_EQ(t[0], 0u) << "dense ids restart after take_trace";
+}
+
+TEST(PageMapper, CoalesceOption) {
+  PageMapper m(4096);
+  m.access(0);
+  m.access(8);
+  m.access(4096);
+  const Trace t = m.take_trace(/*coalesce_adjacent=*/true);
+  ASSERT_EQ(t.size(), 2u);
+}
+
+TEST(LoggingIterator, LogsEveryDereferenceAtVirtualAddresses) {
+  PageMapper m(64);
+  std::vector<std::int32_t> data{10, 20, 30, 40};
+  TracedBuffer<std::int32_t> buf(std::move(data), /*virtual_base=*/1024, &m);
+  auto it = buf.begin();
+  EXPECT_EQ(*it, 10);
+  EXPECT_EQ(it[3], 40);
+  // Two accesses: addr 1024 (page 16→dense 0), addr 1036 (same page).
+  const Trace t = m.take_trace();
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], t[1]);
+}
+
+TEST(LoggingIterator, SatisfiesRandomAccessArithmetic) {
+  PageMapper m(64);
+  TracedBuffer<std::int32_t> buf({1, 2, 3, 4, 5}, 0, &m);
+  auto a = buf.begin();
+  auto b = buf.end();
+  EXPECT_EQ(b - a, 5);
+  EXPECT_EQ(*(a + 2), 3);
+  EXPECT_EQ(*(2 + a), 3);
+  EXPECT_EQ(*(b - 1), 5);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(a + 5 == b);
+  auto c = a;
+  ++c;
+  --c;
+  EXPECT_TRUE(c == a);
+  c += 3;
+  c -= 1;
+  EXPECT_EQ(*c, 3);
+}
+
+TEST(LoggingIterator, StdSortWorksThroughIt) {
+  PageMapper m(4096);
+  std::vector<std::int32_t> data{5, 3, 1, 4, 2};
+  TracedBuffer<std::int32_t> buf(std::move(data), 0, &m);
+  std::sort(buf.begin(), buf.end());
+  EXPECT_TRUE(std::is_sorted(buf.raw().begin(), buf.raw().end()));
+  EXPECT_GT(m.num_refs(), 0u) << "sorting must generate logged accesses";
+}
+
+TEST(LoggingIterator, VirtualAddressTracksPosition) {
+  PageMapper m(64);
+  TracedBuffer<std::int32_t> buf({1, 2, 3}, 4096, &m);
+  auto it = buf.begin();
+  EXPECT_EQ(it.virtual_address(), 4096u);
+  ++it;
+  EXPECT_EQ(it.virtual_address(), 4100u);
+}
+
+TEST(LoggingIterator, NullSinkIsSafe) {
+  std::vector<std::int32_t> data{2, 1};
+  std::int32_t* p = data.data();
+  LoggingIterator<std::int32_t> a(p, p, 0, nullptr);
+  LoggingIterator<std::int32_t> b(p + 2, p, 0, nullptr);
+  std::sort(a, b);
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+}
+
+TEST(LoggingArray, GetSetAddLogAccesses) {
+  PageMapper m(4096);
+  LoggingArray<double> arr(16, 0, &m);
+  arr.set(0, 1.5);
+  EXPECT_EQ(arr.get(0), 1.5);
+  arr.add(0, 2.5);
+  EXPECT_EQ(arr.raw()[0], 4.0);
+  EXPECT_EQ(m.num_refs(), 3u);
+}
+
+TEST(LoggingArray, AdoptExistingContents) {
+  PageMapper m(4096);
+  LoggingArray<int> arr(std::vector<int>{7, 8}, 0, &m);
+  EXPECT_EQ(arr.get(1), 8);
+  EXPECT_EQ(arr.size(), 2u);
+}
+
+TEST(LoggingArray, ElementsMapToCorrectPages) {
+  PageMapper m(64);  // 8 doubles per page
+  LoggingArray<double> arr(16, /*virtual_base=*/0, &m);
+  arr.set(0, 1.0);   // page 0
+  arr.set(7, 1.0);   // page 0
+  arr.set(8, 1.0);   // page 1
+  const Trace t = m.take_trace();
+  EXPECT_EQ(t[0], t[1]);
+  EXPECT_NE(t[0], t[2]);
+}
+
+TEST(PageMapper, HandlesHighAddresses) {
+  PageMapper m(4096);
+  m.access(~std::uint64_t{0} - 100);  // near the top of the address space
+  m.access(0);
+  const Trace t = m.take_trace();
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_NE(t[0], t[1]);
+}
+
+TEST(PageMapper, DensifiesInFirstTouchOrderAcrossGaps) {
+  PageMapper m(4096);
+  m.access(100ull << 30);  // dense id 0 despite the huge raw page number
+  m.access(0);             // dense id 1
+  const Trace t = m.take_trace();
+  EXPECT_EQ(t[0], 0u);
+  EXPECT_EQ(t[1], 1u);
+  EXPECT_EQ(t.num_pages(), 2u);
+}
+
+TEST(VirtualLayout, ReservationsArePageDisjoint) {
+  VirtualLayout layout(4096);
+  const Address a = layout.reserve_for<double>(100);   // 800 bytes
+  const Address b = layout.reserve_for<double>(1);     // next array
+  EXPECT_EQ(a % 4096, 0u);
+  EXPECT_EQ(b % 4096, 0u);
+  EXPECT_GE(b, a + 4096) << "arrays must never share a page";
+}
+
+TEST(VirtualLayout, HandlesExactPageMultiples) {
+  VirtualLayout layout(4096);
+  const Address a = layout.reserve(4096, 1);
+  const Address b = layout.reserve(1, 1);
+  EXPECT_GT(b, a + 4095);
+}
+
+}  // namespace
+}  // namespace hbmsim

@@ -1,0 +1,92 @@
+// Unit tests for RunMetrics: derived statistics, quantiles, and summary
+// formatting, exercised through real mini-simulations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/simulator.h"
+#include "workloads/synthetic.h"
+
+namespace hbmsim {
+namespace {
+
+RunMetrics contended_run() {
+  std::vector<std::shared_ptr<const Trace>> traces;
+  for (int t = 0; t < 8; ++t) {
+    traces.push_back(std::make_shared<Trace>(
+        workloads::make_uniform_trace(64, 400, 100 + t)));
+  }
+  return simulate(Workload(std::move(traces)), SimConfig::priority(32));
+}
+
+TEST(Metrics, QuantilesAreMonotone) {
+  const RunMetrics m = contended_run();
+  double prev = 0.0;
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double v = m.response_quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(Metrics, QuantileBracketsTheMean) {
+  const RunMetrics m = contended_run();
+  EXPECT_LE(m.response_quantile(0.01), m.mean_response());
+  EXPECT_GE(m.response_quantile(0.999) * 2.0, m.mean_response());
+}
+
+TEST(Metrics, TailQuantileSeesStarvation) {
+  // Static priority under contention: the p99.9 must dwarf the median.
+  const RunMetrics m = contended_run();
+  ASSERT_GT(m.misses, 0u);
+  EXPECT_GT(m.response_quantile(0.999), 4.0 * m.response_quantile(0.5));
+}
+
+TEST(Metrics, HitRateBounds) {
+  const RunMetrics m = contended_run();
+  EXPECT_GE(m.hit_rate(), 0.0);
+  EXPECT_LE(m.hit_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(m.hit_rate(), static_cast<double>(m.hits) /
+                                     static_cast<double>(m.total_refs));
+}
+
+TEST(Metrics, EmptyRunDefaults) {
+  RunMetrics m;
+  EXPECT_EQ(m.makespan, 0u);
+  EXPECT_EQ(m.max_response(), 0u);
+  EXPECT_DOUBLE_EQ(m.hit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(m.inconsistency(), 0.0);
+  EXPECT_EQ(m.completion_spread(), 0u);
+  EXPECT_EQ(m.response_quantile(0.5), 0.0);
+}
+
+TEST(Metrics, SummaryIsMultiLineAndComplete) {
+  const RunMetrics m = contended_run();
+  const std::string s = m.summary();
+  for (const char* needle :
+       {"makespan", "references", "evictions", "remaps", "response time",
+        "completion"}) {
+    EXPECT_NE(s.find(needle), std::string::npos) << needle;
+  }
+  EXPECT_GT(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(Metrics, PerThreadResponseMergesToGlobal) {
+  const RunMetrics m = contended_run();
+  StreamingStats merged;
+  for (const ThreadMetrics& t : m.per_thread) {
+    merged.merge(t.response);
+  }
+  EXPECT_EQ(merged.count(), m.response.count());
+  EXPECT_NEAR(merged.mean(), m.response.mean(), 1e-9);
+  EXPECT_NEAR(merged.stddev(), m.inconsistency(), 1e-6);
+}
+
+TEST(Metrics, FetchesMatchMissesWithoutSharing) {
+  const RunMetrics m = contended_run();
+  EXPECT_EQ(m.fetches, m.misses);
+}
+
+}  // namespace
+}  // namespace hbmsim

@@ -1,0 +1,202 @@
+// Unit tests for priority permutation schemes (Definition 1 + variants).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "core/priority_map.h"
+
+namespace hbmsim {
+namespace {
+
+std::vector<std::uint32_t> pi_vector(const PriorityMap& m) {
+  return {m.pi().begin(), m.pi().end()};
+}
+
+bool is_permutation_of_identity(const std::vector<std::uint32_t>& pi) {
+  std::vector<std::uint32_t> sorted = pi;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint32_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] != i) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(PriorityMap, StartsAsIdentity) {
+  const PriorityMap m(5, RemapScheme::kDynamic, 1);
+  for (ThreadId t = 0; t < 5; ++t) {
+    EXPECT_EQ(m.priority_of(t), t);
+  }
+}
+
+TEST(PriorityMap, NoneNeverChanges) {
+  PriorityMap m(8, RemapScheme::kNone, 1);
+  EXPECT_FALSE(m.remap());
+  EXPECT_FALSE(m.remap());
+  for (ThreadId t = 0; t < 8; ++t) {
+    EXPECT_EQ(m.priority_of(t), t);
+  }
+}
+
+TEST(PriorityMap, CycleRotatesByOne) {
+  PriorityMap m(4, RemapScheme::kCycle, 1);
+  EXPECT_TRUE(m.remap());
+  // π'(i) = (π(i)+1) mod p: thread 0 → priority 1, ..., thread 3 → 0.
+  EXPECT_EQ(m.priority_of(0), 1u);
+  EXPECT_EQ(m.priority_of(1), 2u);
+  EXPECT_EQ(m.priority_of(2), 3u);
+  EXPECT_EQ(m.priority_of(3), 0u);
+}
+
+TEST(PriorityMap, CycleReturnsToIdentityAfterPRemaps) {
+  PriorityMap m(6, RemapScheme::kCycle, 1);
+  for (int i = 0; i < 6; ++i) {
+    m.remap();
+  }
+  for (ThreadId t = 0; t < 6; ++t) {
+    EXPECT_EQ(m.priority_of(t), t);
+  }
+}
+
+TEST(PriorityMap, CycleGuaranteesEveryThreadTopsWithinPRemaps) {
+  // The paper's response-time bound (p·T) relies on every thread becoming
+  // highest priority within p permutations.
+  PriorityMap m(7, RemapScheme::kCycle, 1);
+  std::set<ThreadId> topped;
+  for (int r = 0; r < 7; ++r) {
+    for (ThreadId t = 0; t < 7; ++t) {
+      if (m.priority_of(t) == 0) {
+        topped.insert(t);
+      }
+    }
+    m.remap();
+  }
+  EXPECT_EQ(topped.size(), 7u);
+}
+
+TEST(PriorityMap, CycleReverseUndoesCycle) {
+  // cycle advances by +1 and cycle-reverse by -1, so applied to the same
+  // identity start their priorities always sum to 2t (mod p).
+  PriorityMap fwd(5, RemapScheme::kCycle, 1);
+  fwd.remap();
+  PriorityMap rev(5, RemapScheme::kCycleReverse, 1);
+  rev.remap();
+  for (ThreadId t = 0; t < 5; ++t) {
+    EXPECT_EQ((fwd.priority_of(t) + rev.priority_of(t)) % 5, (2 * t) % 5);
+  }
+}
+
+TEST(PriorityMap, DynamicProducesValidPermutations) {
+  PriorityMap m(50, RemapScheme::kDynamic, 42);
+  for (int r = 0; r < 20; ++r) {
+    EXPECT_TRUE(m.remap());
+    EXPECT_TRUE(is_permutation_of_identity(pi_vector(m)));
+  }
+}
+
+TEST(PriorityMap, DynamicIsSeedDeterministic) {
+  PriorityMap a(20, RemapScheme::kDynamic, 7);
+  PriorityMap b(20, RemapScheme::kDynamic, 7);
+  for (int r = 0; r < 5; ++r) {
+    a.remap();
+    b.remap();
+    EXPECT_EQ(pi_vector(a), pi_vector(b));
+  }
+}
+
+TEST(PriorityMap, DynamicDifferentSeedsDiffer) {
+  PriorityMap a(20, RemapScheme::kDynamic, 7);
+  PriorityMap b(20, RemapScheme::kDynamic, 8);
+  a.remap();
+  b.remap();
+  EXPECT_NE(pi_vector(a), pi_vector(b));
+}
+
+TEST(PriorityMap, DynamicActuallyShuffles) {
+  PriorityMap m(30, RemapScheme::kDynamic, 3);
+  m.remap();
+  std::vector<std::uint32_t> identity(30);
+  std::iota(identity.begin(), identity.end(), 0u);
+  EXPECT_NE(pi_vector(m), identity);
+}
+
+TEST(PriorityMap, InterleaveIsAPermutation) {
+  for (std::uint32_t p : {1u, 2u, 5u, 8u, 17u}) {
+    PriorityMap m(p, RemapScheme::kInterleave, 1);
+    m.remap();
+    EXPECT_TRUE(is_permutation_of_identity(pi_vector(m))) << "p=" << p;
+  }
+}
+
+TEST(PriorityMap, InterleaveRiffles) {
+  PriorityMap m(6, RemapScheme::kInterleave, 1);
+  m.remap();
+  // half = 3: priorities 0,1,2 → 0,2,4 and 3,4,5 → 1,3,5.
+  EXPECT_EQ(m.priority_of(0), 0u);
+  EXPECT_EQ(m.priority_of(1), 2u);
+  EXPECT_EQ(m.priority_of(2), 4u);
+  EXPECT_EQ(m.priority_of(3), 1u);
+  EXPECT_EQ(m.priority_of(4), 3u);
+  EXPECT_EQ(m.priority_of(5), 5u);
+}
+
+TEST(PriorityMap, SingleThreadRemapsAreNoops) {
+  for (const RemapScheme s :
+       {RemapScheme::kDynamic, RemapScheme::kCycle, RemapScheme::kInterleave}) {
+    PriorityMap m(1, s, 1);
+    EXPECT_FALSE(m.remap());
+    EXPECT_EQ(m.priority_of(0), 0u);
+  }
+}
+
+TEST(PriorityMap, DynamicIsStatisticallyFair) {
+  // Over many remaps, every thread should hold top priority about
+  // equally often — the property that turns Priority's starvation into
+  // Dynamic Priority's bounded unfairness.
+  constexpr std::uint32_t kThreads = 8;
+  constexpr int kRemaps = 8000;
+  PriorityMap m(kThreads, RemapScheme::kDynamic, 97);
+  std::vector<int> tops(kThreads, 0);
+  for (int r = 0; r < kRemaps; ++r) {
+    m.remap();
+    for (ThreadId t = 0; t < kThreads; ++t) {
+      if (m.priority_of(t) == 0) {
+        ++tops[t];
+      }
+    }
+  }
+  for (const int c : tops) {
+    EXPECT_NEAR(c, kRemaps / kThreads, kRemaps / kThreads * 0.15);
+  }
+}
+
+TEST(PriorityMap, InterleaveCyclesBackToIdentity) {
+  // The riffle is a permutation of the priority values, so iterating it
+  // must return to the identity within its order.
+  PriorityMap m(8, RemapScheme::kInterleave, 1);
+  std::vector<std::uint32_t> identity(m.pi().begin(), m.pi().end());
+  int period = 0;
+  for (int i = 1; i <= 64; ++i) {
+    m.remap();
+    if (std::equal(m.pi().begin(), m.pi().end(), identity.begin())) {
+      period = i;
+      break;
+    }
+  }
+  EXPECT_GT(period, 0) << "riffle of 8 elements must have finite order";
+}
+
+TEST(PriorityMap, ToStringCoversAllSchemes) {
+  EXPECT_STREQ(to_string(RemapScheme::kNone), "none");
+  EXPECT_STREQ(to_string(RemapScheme::kDynamic), "dynamic");
+  EXPECT_STREQ(to_string(RemapScheme::kCycle), "cycle");
+  EXPECT_STREQ(to_string(RemapScheme::kCycleReverse), "cycle-reverse");
+  EXPECT_STREQ(to_string(RemapScheme::kInterleave), "interleave");
+}
+
+}  // namespace
+}  // namespace hbmsim

@@ -1,0 +1,161 @@
+// Unit tests for HBM replacement policies: LRU exact semantics, FIFO
+// insertion order, CLOCK second-chance behaviour, and shared-interface
+// properties parameterized over all three kinds.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/replacement.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace hbmsim {
+namespace {
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  auto p = ReplacementPolicy::make(ReplacementKind::kLru, 8);
+  p->on_insert(1);
+  p->on_insert(2);
+  p->on_insert(3);
+  p->on_access(1);  // order now: 2, 3, 1
+  EXPECT_EQ(p->pop_victim(), 2u);
+  EXPECT_EQ(p->pop_victim(), 3u);
+  EXPECT_EQ(p->pop_victim(), 1u);
+}
+
+TEST(Lru, RepeatedAccessKeepsPageHot) {
+  auto p = ReplacementPolicy::make(ReplacementKind::kLru, 8);
+  p->on_insert(1);
+  p->on_insert(2);
+  for (int i = 0; i < 5; ++i) {
+    p->on_access(1);
+  }
+  EXPECT_EQ(p->pop_victim(), 2u);
+}
+
+TEST(Fifo, AccessDoesNotRefresh) {
+  auto p = ReplacementPolicy::make(ReplacementKind::kFifo, 8);
+  p->on_insert(1);
+  p->on_insert(2);
+  p->on_access(1);  // irrelevant for FIFO
+  EXPECT_EQ(p->pop_victim(), 1u);
+  EXPECT_EQ(p->pop_victim(), 2u);
+}
+
+TEST(Clock, UnreferencedPageIsEvictedFirst) {
+  auto p = ReplacementPolicy::make(ReplacementKind::kClock, 8);
+  p->on_insert(1);
+  p->on_insert(2);
+  p->on_insert(3);
+  // All inserted with ref=1; the hand clears 1 and 2, then wraps... give 2
+  // another reference so it survives the second pass too.
+  p->on_access(2);
+  const GlobalPage victim = p->pop_victim();
+  // First rotation clears all bits (2 gets re-set by access ordering);
+  // whichever falls out, it must NOT be the most recently re-referenced 2
+  // if 1 or 3 were available with a cleared bit.
+  EXPECT_NE(victim, 2u);
+}
+
+TEST(Clock, SecondChanceCycle) {
+  auto p = ReplacementPolicy::make(ReplacementKind::kClock, 4);
+  p->on_insert(10);
+  p->on_insert(20);
+  EXPECT_EQ(p->size(), 2u);
+  // Hand sweep: clears 10, clears 20, wraps, evicts 10.
+  EXPECT_EQ(p->pop_victim(), 10u);
+  EXPECT_EQ(p->pop_victim(), 20u);
+  EXPECT_EQ(p->size(), 0u);
+}
+
+class ReplacementAllKinds : public ::testing::TestWithParam<ReplacementKind> {};
+
+TEST_P(ReplacementAllKinds, ContainsTracksMembership) {
+  auto p = ReplacementPolicy::make(GetParam(), 16);
+  EXPECT_FALSE(p->contains(5));
+  p->on_insert(5);
+  EXPECT_TRUE(p->contains(5));
+  p->erase(5);
+  EXPECT_FALSE(p->contains(5));
+  EXPECT_EQ(p->size(), 0u);
+}
+
+TEST_P(ReplacementAllKinds, EraseOfAbsentPageIsNoop) {
+  auto p = ReplacementPolicy::make(GetParam(), 16);
+  p->on_insert(1);
+  p->erase(999);
+  EXPECT_EQ(p->size(), 1u);
+  EXPECT_TRUE(p->contains(1));
+}
+
+TEST_P(ReplacementAllKinds, PopVictimOnEmptyThrows) {
+  auto p = ReplacementPolicy::make(GetParam(), 16);
+  EXPECT_THROW(p->pop_victim(), Error);
+}
+
+TEST_P(ReplacementAllKinds, VictimIsAlwaysAResidentPage) {
+  auto p = ReplacementPolicy::make(GetParam(), 64);
+  Xoshiro256StarStar rng(GetParam() == ReplacementKind::kLru ? 1 : 2);
+  std::set<GlobalPage> resident;
+  for (int step = 0; step < 2000; ++step) {
+    const std::uint64_t op = rng.uniform(3);
+    if (op == 0 || resident.empty()) {
+      const GlobalPage page = rng.uniform(256);
+      if (!resident.contains(page)) {
+        p->on_insert(page);
+        resident.insert(page);
+      }
+    } else if (op == 1) {
+      // access a random resident page
+      auto it = resident.begin();
+      std::advance(it, rng.uniform(resident.size()));
+      p->on_access(*it);
+    } else {
+      const GlobalPage victim = p->pop_victim();
+      ASSERT_TRUE(resident.contains(victim))
+          << "policy evicted a page it was never given";
+      resident.erase(victim);
+      ASSERT_FALSE(p->contains(victim));
+    }
+    ASSERT_EQ(p->size(), resident.size());
+  }
+}
+
+TEST_P(ReplacementAllKinds, ClearEmptiesEverything) {
+  auto p = ReplacementPolicy::make(GetParam(), 16);
+  for (GlobalPage g = 0; g < 10; ++g) {
+    p->on_insert(g);
+  }
+  p->clear();
+  EXPECT_EQ(p->size(), 0u);
+  EXPECT_FALSE(p->contains(0));
+  p->on_insert(3);  // usable after clear
+  EXPECT_TRUE(p->contains(3));
+}
+
+TEST_P(ReplacementAllKinds, DrainInterleavedWithInserts) {
+  auto p = ReplacementPolicy::make(GetParam(), 8);
+  std::set<GlobalPage> resident;
+  for (GlobalPage g = 0; g < 100; ++g) {
+    p->on_insert(g);
+    resident.insert(g);
+    if (p->size() > 8) {
+      const GlobalPage v = p->pop_victim();
+      ASSERT_TRUE(resident.contains(v));
+      resident.erase(v);
+    }
+  }
+  EXPECT_LE(p->size(), 9u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ReplacementAllKinds,
+                         ::testing::Values(ReplacementKind::kLru,
+                                           ReplacementKind::kFifo,
+                                           ReplacementKind::kClock),
+                         [](const auto& inf) {
+                           return std::string(to_string(inf.param));
+                         });
+
+}  // namespace
+}  // namespace hbmsim

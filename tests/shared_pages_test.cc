@@ -1,0 +1,206 @@
+// Tests for the non-disjoint (shared page namespace) extension — the
+// paper's §6.1 future work, implemented behind SimConfig::shared_pages.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/simulator.h"
+#include "workloads/synthetic.h"
+
+namespace hbmsim {
+namespace {
+
+Workload threads_with(std::vector<std::vector<LocalPage>> traces) {
+  std::vector<std::shared_ptr<const Trace>> ts;
+  for (auto& refs : traces) {
+    ts.push_back(std::make_shared<Trace>(Trace(std::move(refs))));
+  }
+  return Workload(std::move(ts));
+}
+
+SimConfig shared_fifo(std::uint64_t k, std::uint32_t q = 1) {
+  SimConfig c = SimConfig::fifo(k, q);
+  c.shared_pages = true;
+  return c;
+}
+
+TEST(SharedPages, OneFetchServesAllConcurrentRequesters) {
+  // Four cores all request page 0 at tick 0: one DRAM fetch, everyone
+  // served at tick 1.
+  const Workload w = threads_with({{0}, {0}, {0}, {0}});
+  const RunMetrics m = simulate(w, shared_fifo(8));
+  EXPECT_EQ(m.misses, 4u);
+  EXPECT_EQ(m.fetches, 1u) << "one fetch must satisfy all four cores";
+  EXPECT_EQ(m.makespan, 2u);
+  EXPECT_DOUBLE_EQ(m.response.max(), 2.0);
+}
+
+TEST(SharedPages, DisjointModeFetchesOncePerCoreInstead) {
+  const Workload w = threads_with({{0}, {0}, {0}, {0}});
+  const RunMetrics m = simulate(w, SimConfig::fifo(8));
+  EXPECT_EQ(m.fetches, 4u);
+  EXPECT_EQ(m.makespan, 5u);  // q=1 serializes the four fetches
+}
+
+TEST(SharedPages, LateJoinerPiggybacksOnInFlightRequest) {
+  // t0 requests page 0 at tick 0; t1 warms up on its own page 1 first and
+  // requests page 0 at tick 2, after it became resident: a plain hit.
+  const Workload w = threads_with({{0, 0, 0}, {1, 0}});
+  const RunMetrics m = simulate(w, shared_fifo(8, 2));
+  EXPECT_EQ(m.fetches, 2u);  // pages 0 and 1 once each
+  EXPECT_EQ(m.misses, 2u);
+  EXPECT_EQ(m.hits, 3u);
+}
+
+TEST(SharedPages, SharedHotSetBeatsDisjointWorkingSets) {
+  // All cores stream the same pages: shared mode needs one working set
+  // of HBM, disjoint mode needs p of them.
+  auto trace = std::make_shared<Trace>(workloads::make_stream_trace(64, 5));
+  const Workload w = Workload::replicate(trace, 8);
+  const std::uint64_t k = 64;  // exactly one shared working set
+
+  const RunMetrics shared = simulate(w, shared_fifo(k));
+  const RunMetrics disjoint = simulate(w, SimConfig::fifo(k));
+  EXPECT_LT(shared.makespan, disjoint.makespan / 2);
+  // Lockstep streaming: pass 1 misses on all 8 cores (one fetch per page),
+  // passes 2..5 hit entirely.
+  EXPECT_EQ(shared.fetches, 64u);
+  EXPECT_EQ(shared.misses, 8u * 64);
+  EXPECT_GE(shared.hit_rate(), 0.8);
+  EXPECT_DOUBLE_EQ(disjoint.hit_rate(), 0.0) << "cyclic thrash when disjoint";
+}
+
+TEST(SharedPages, FetchCountNeverExceedsMisses) {
+  workloads::SyntheticOptions opts;
+  opts.num_pages = 32;
+  opts.length = 500;
+  opts.seed = 4;  // same seed → identical traces → heavy sharing
+  std::vector<std::shared_ptr<const Trace>> traces(
+      6, std::make_shared<Trace>(workloads::make_uniform_trace(32, 500, 4)));
+  const Workload w = Workload(std::move(traces));
+  for (const std::uint32_t q : {1u, 3u}) {
+    const RunMetrics m = simulate(w, shared_fifo(16, q));
+    EXPECT_LE(m.fetches, m.misses);
+    EXPECT_GT(m.fetches, 0u);
+    EXPECT_EQ(m.response.count(), w.total_refs());
+  }
+}
+
+TEST(SharedPages, PriorityArbitrationStillWorks) {
+  std::vector<std::shared_ptr<const Trace>> traces(
+      5, std::make_shared<Trace>(workloads::make_uniform_trace(64, 400, 9)));
+  const Workload w = Workload(std::move(traces));
+  SimConfig c = SimConfig::priority(16);
+  c.shared_pages = true;
+  const RunMetrics m = simulate(w, c);
+  EXPECT_EQ(m.response.count(), w.total_refs());
+  EXPECT_LE(m.fetches, m.misses);
+
+  SimConfig d = SimConfig::dynamic_priority(16, 5.0);
+  d.shared_pages = true;
+  const RunMetrics md = simulate(w, d);
+  EXPECT_EQ(md.response.count(), w.total_refs());
+}
+
+TEST(SharedPages, DistinctPagesStillDisjointAcrossValues) {
+  // Different local ids never alias.
+  const Workload w = threads_with({{0, 1}, {2, 3}});
+  const RunMetrics m = simulate(w, shared_fifo(8, 4));
+  EXPECT_EQ(m.fetches, 4u);
+  EXPECT_EQ(m.hits, 0u);
+}
+
+TEST(SharedPages, PriorityQueueSurvivesStaleEntryCollision) {
+  // Regression: two threads co-miss page 0 at tick 0 under Priority.
+  // Thread B's queue entry goes stale when A's fetch satisfies both; when
+  // B then misses page 5, its new entry used to collide with the stale
+  // one in the priority queue (same priority key) and be dropped — B
+  // waited forever. The run must terminate with every reference served.
+  const Workload w = threads_with({{0, 1, 2}, {0, 5, 6}});
+  SimConfig c = SimConfig::priority(64);
+  c.shared_pages = true;
+  const RunMetrics m = simulate(w, c);
+  EXPECT_EQ(m.response.count(), 6u);
+  EXPECT_EQ(m.per_thread[1].refs, 3u);
+}
+
+TEST(SharedPages, HighOverlapPriorityWorkloadTerminates) {
+  // Broader version of the regression above: heavy sharing, many stale
+  // entries, all priority-family policies.
+  std::vector<std::shared_ptr<const Trace>> traces(
+      8, std::make_shared<Trace>(workloads::make_uniform_trace(64, 2000, 5)));
+  const Workload w = Workload(std::move(traces));
+  for (const auto make : {&SimConfig::priority}) {
+    SimConfig c = make(32, 1);
+    c.shared_pages = true;
+    c.max_ticks = 1u << 22;  // a deadlock would hit this instead of hanging
+    const RunMetrics m = simulate(w, c);
+    EXPECT_EQ(m.response.count(), w.total_refs());
+  }
+  SimConfig dyn = SimConfig::dynamic_priority(32, 2.0);
+  dyn.shared_pages = true;
+  dyn.max_ticks = 1u << 22;
+  EXPECT_EQ(simulate(w, dyn).response.count(), w.total_refs());
+}
+
+TEST(SharedPages, PiggybacksOnInFlightTransfers) {
+  // fetch_ticks = 4: t0 misses page 0 at tick 0 (arrival tick 4); t1
+  // misses the same page at tick 2 (its private page 1 arrives... no —
+  // t1 starts on page 0 too). Both must be served by the single transfer.
+  const Workload w = threads_with({{0}, {0}, {0}});
+  SimConfig c = shared_fifo(8);
+  c.fetch_ticks = 4;
+  const RunMetrics m = simulate(w, c);
+  EXPECT_EQ(m.fetches, 1u);
+  EXPECT_EQ(m.misses, 3u);
+  // fetch at tick 0, arrival + serve at tick 4 for all three.
+  EXPECT_EQ(m.makespan, 5u);
+  EXPECT_DOUBLE_EQ(m.response.max(), 5.0);
+}
+
+TEST(SharedPages, LateMissJoinsInFlightTransfer) {
+  // t1 spends tick 0-? on its own page 5 and reaches page 0 while t0's
+  // transfer of page 0 is still in the air: it must not issue a second
+  // fetch.
+  const Workload w = threads_with({{0, 0}, {5, 0}});
+  SimConfig c = shared_fifo(8, /*q=*/2);
+  c.fetch_ticks = 6;
+  const RunMetrics m = simulate(w, c);
+  // Pages 0 and 5 fetched once each, despite t1's later miss on page 0.
+  EXPECT_EQ(m.fetches, 2u);
+  EXPECT_EQ(m.response.count(), 4u);
+}
+
+TEST(SharedPages, LatencyRunsTerminateUnderAllPolicies) {
+  std::vector<std::shared_ptr<const Trace>> traces(
+      6, std::make_shared<Trace>(workloads::make_uniform_trace(48, 1200, 17)));
+  const Workload w = Workload(std::move(traces));
+  for (const ArbitrationKind arb :
+       {ArbitrationKind::kFifo, ArbitrationKind::kPriority,
+        ArbitrationKind::kFrFcfs}) {
+    SimConfig c;
+    c.hbm_slots = 24;
+    c.arbitration = arb;
+    c.shared_pages = true;
+    c.fetch_ticks = 3;
+    c.max_ticks = 1u << 22;
+    const RunMetrics m = simulate(w, c);
+    EXPECT_EQ(m.response.count(), w.total_refs()) << to_string(arb);
+    EXPECT_LE(m.fetches, m.misses);
+  }
+}
+
+TEST(SharedPages, DeterministicAcrossRuns) {
+  std::vector<std::shared_ptr<const Trace>> traces(
+      4, std::make_shared<Trace>(workloads::make_zipf_trace(128, 800, 1.0, 2)));
+  const Workload w = Workload(std::move(traces));
+  SimConfig c = shared_fifo(32);
+  const RunMetrics a = simulate(w, c);
+  const RunMetrics b = simulate(w, c);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.fetches, b.fetches);
+  EXPECT_DOUBLE_EQ(a.response.mean(), b.response.mean());
+}
+
+}  // namespace
+}  // namespace hbmsim

@@ -1,0 +1,483 @@
+// Property-based tests for the simulator.
+//
+// The centrepiece is an independent brute-force reference implementation
+// of the §3.1 tick loop (O(p·makespan), plain containers, no sparse
+// bookkeeping) checked for *exact* equivalence — makespan, hit/miss
+// counts, response moments — against the optimized Simulator across a
+// parameter grid of policies, thread counts, channel counts and HBM
+// sizes. The remaining tests assert model invariants (conservation,
+// determinism, LRU inclusion, the p·T response bound for Cycle Priority).
+#include <gtest/gtest.h>
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/simulator.h"
+#include "stats/streaming.h"
+#include "workloads/synthetic.h"
+
+namespace hbmsim {
+namespace {
+
+// ---------------------------------------------------------------------
+// Brute-force reference simulator.
+// ---------------------------------------------------------------------
+
+struct BruteResult {
+  Tick makespan = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  StreamingStats response;
+};
+
+BruteResult brute_force(const Workload& w, const SimConfig& cfg) {
+  const std::size_t p = w.num_threads();
+  PriorityMap pm(static_cast<std::uint32_t>(p),
+                 cfg.arbitration == ArbitrationKind::kPriority ? cfg.remap_scheme
+                                                               : RemapScheme::kNone,
+                 cfg.seed);
+
+  enum State { kIssue, kWait, kFetched, kDone };
+  struct Th {
+    std::size_t next = 0;
+    Tick req = 0;
+    State state = kIssue;
+  };
+  std::vector<Th> th(p);
+  std::size_t done = 0;
+  for (std::size_t i = 0; i < p; ++i) {
+    if (w.trace(i).empty()) {
+      th[i].state = kDone;
+      ++done;
+    }
+  }
+
+  // Plain LRU: front = least recent.
+  std::list<GlobalPage> lru;
+  std::unordered_map<GlobalPage, std::list<GlobalPage>::iterator> pos;
+
+  struct QE {
+    GlobalPage page;
+    ThreadId thread;
+    std::uint64_t seq;
+  };
+  std::vector<QE> queue;
+  std::uint64_t seq = 0;
+  constexpr std::uint64_t kNoRow = ~std::uint64_t{0};
+  std::vector<std::uint64_t> open_row(cfg.num_channels, kNoRow);
+  struct Flight {
+    Tick at;
+    GlobalPage page;
+    ThreadId thread;
+  };
+  std::vector<Flight> in_flight;
+
+  BruteResult r;
+  const auto page_of = [&](std::size_t i) {
+    return make_global_page(static_cast<ThreadId>(i), w.trace(i)[th[i].next]);
+  };
+  const auto serve = [&](std::size_t i, Tick t) {
+    const GlobalPage g = page_of(i);
+    lru.splice(lru.end(), lru, pos.at(g));  // touch: move to MRU end
+    r.response.add(static_cast<double>(t - th[i].req + 1));
+    ++th[i].next;
+    if (th[i].next == w.trace(i).size()) {
+      th[i].state = kDone;
+      ++done;
+      r.makespan = std::max(r.makespan, t + 1);
+    } else {
+      th[i].state = kIssue;
+    }
+  };
+
+  const auto insert_page = [&](GlobalPage page) {
+    if (pos.size() == cfg.hbm_slots) {
+      pos.erase(lru.front());
+      lru.pop_front();
+    }
+    lru.push_back(page);
+    pos[page] = std::prev(lru.end());
+  };
+
+  for (Tick t = 0; done < p; ++t) {
+    // Arrivals of non-unit transfers land before anything else this tick.
+    for (std::size_t i = 0; i < in_flight.size();) {
+      if (in_flight[i].at == t) {
+        insert_page(in_flight[i].page);
+        th[in_flight[i].thread].state = kFetched;
+        in_flight.erase(in_flight.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    if (cfg.remap_period != 0 && t % cfg.remap_period == 0) {
+      pm.remap();
+    }
+    for (std::size_t i = 0; i < p; ++i) {
+      Th& c = th[i];
+      if (c.state == kIssue) {
+        const GlobalPage g = page_of(i);
+        c.req = t;
+        if (pos.contains(g)) {
+          ++r.hits;
+          serve(i, t);
+        } else {
+          ++r.misses;
+          c.state = kWait;
+          queue.push_back(QE{g, static_cast<ThreadId>(i), seq++});
+        }
+      } else if (c.state == kFetched) {
+        const GlobalPage g = page_of(i);
+        if (pos.contains(g)) {
+          serve(i, t);
+        } else {
+          c.state = kWait;
+          queue.push_back(QE{g, static_cast<ThreadId>(i), seq++});
+        }
+      }
+    }
+    for (std::uint32_t ch = 0; ch < cfg.num_channels && !queue.empty(); ++ch) {
+      // Eligibility: under hashed binding channel ch only serves pages
+      // bound to it.
+      const auto eligible = [&](const QE& e) {
+        return cfg.channel_binding == ChannelBinding::kAny ||
+               channel_of(e.page, cfg.num_channels) == ch;
+      };
+      std::size_t best = queue.size();
+      for (std::size_t j = 0; j < queue.size(); ++j) {
+        if (!eligible(queue[j])) {
+          continue;
+        }
+        if (best == queue.size()) {
+          best = j;
+          continue;
+        }
+        bool better = false;
+        switch (cfg.arbitration) {
+          case ArbitrationKind::kFifo:
+            better = queue[j].seq < queue[best].seq;
+            break;
+          case ArbitrationKind::kPriority:
+            better = pm.priority_of(queue[j].thread) <
+                     pm.priority_of(queue[best].thread);
+            break;
+          case ArbitrationKind::kFrFcfs: {
+            const auto row = [&](const QE& e) { return e.page / cfg.row_pages; };
+            const bool j_hit = row(queue[j]) == open_row[ch];
+            const bool b_hit = row(queue[best]) == open_row[ch];
+            better = j_hit != b_hit ? j_hit : queue[j].seq < queue[best].seq;
+            break;
+          }
+          case ArbitrationKind::kRandom:
+            break;  // not modelled by the reference
+        }
+        if (better) {
+          best = j;
+        }
+      }
+      if (best == queue.size()) {
+        continue;  // this hashed channel has no eligible request
+      }
+      const QE e = queue[best];
+      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(best));
+      open_row[ch] = e.page / cfg.row_pages;
+      if (cfg.fetch_ticks > 1) {
+        in_flight.push_back(Flight{t + cfg.fetch_ticks, e.page, e.thread});
+      } else {
+        insert_page(e.page);
+        th[e.thread].state = kFetched;
+      }
+    }
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------
+// Equivalence grid.
+// ---------------------------------------------------------------------
+
+struct GridCase {
+  std::string name;
+  std::size_t threads;
+  std::uint32_t channels;
+  std::uint64_t k;
+  ArbitrationKind arbitration;
+  RemapScheme scheme;
+  std::uint64_t period;
+  ChannelBinding binding = ChannelBinding::kAny;
+  std::uint32_t fetch_ticks = 1;
+};
+
+class BruteEquivalence : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(BruteEquivalence, OptimizedMatchesReference) {
+  const GridCase& g = GetParam();
+  // Mixed-locality workload: uniform over 24 pages → real hit/miss mix.
+  workloads::SyntheticOptions opts;
+  opts.num_pages = 24;
+  opts.length = 400;
+  opts.seed = 1234;
+  const Workload w = workloads::make_synthetic_workload(g.threads, opts);
+
+  SimConfig cfg;
+  cfg.hbm_slots = g.k;
+  cfg.num_channels = g.channels;
+  cfg.arbitration = g.arbitration;
+  cfg.remap_scheme = g.scheme;
+  cfg.remap_period = g.period;
+  cfg.channel_binding = g.binding;
+  cfg.fetch_ticks = g.fetch_ticks;
+  cfg.seed = 99;
+
+  const RunMetrics fast = simulate(w, cfg);
+  const BruteResult slow = brute_force(w, cfg);
+
+  EXPECT_EQ(fast.makespan, slow.makespan);
+  EXPECT_EQ(fast.hits, slow.hits);
+  EXPECT_EQ(fast.misses, slow.misses);
+  ASSERT_EQ(fast.response.count(), slow.response.count());
+  EXPECT_NEAR(fast.response.mean(), slow.response.mean(), 1e-9);
+  EXPECT_NEAR(fast.inconsistency(), slow.response.stddev(), 1e-6);
+  EXPECT_DOUBLE_EQ(fast.response.max(), slow.response.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BruteEquivalence,
+    ::testing::Values(
+        GridCase{"fifo_1t", 1, 1, 8, ArbitrationKind::kFifo, RemapScheme::kNone, 0},
+        GridCase{"fifo_3t", 3, 1, 16, ArbitrationKind::kFifo, RemapScheme::kNone, 0},
+        GridCase{"fifo_8t_q3", 8, 3, 32, ArbitrationKind::kFifo, RemapScheme::kNone, 0},
+        GridCase{"fifo_tight", 5, 1, 6, ArbitrationKind::kFifo, RemapScheme::kNone, 0},
+        GridCase{"prio_1t", 1, 1, 8, ArbitrationKind::kPriority, RemapScheme::kNone, 0},
+        GridCase{"prio_4t", 4, 1, 16, ArbitrationKind::kPriority, RemapScheme::kNone, 0},
+        GridCase{"prio_8t_q2", 8, 2, 24, ArbitrationKind::kPriority, RemapScheme::kNone, 0},
+        GridCase{"prio_tight", 6, 1, 8, ArbitrationKind::kPriority, RemapScheme::kNone, 0},
+        GridCase{"dyn_5t", 5, 1, 16, ArbitrationKind::kPriority, RemapScheme::kDynamic, 13},
+        GridCase{"dyn_8t_q2", 8, 2, 16, ArbitrationKind::kPriority, RemapScheme::kDynamic, 7},
+        GridCase{"cycle_5t", 5, 1, 16, ArbitrationKind::kPriority, RemapScheme::kCycle, 11},
+        GridCase{"cyclerev_4t", 4, 1, 12, ArbitrationKind::kPriority, RemapScheme::kCycleReverse, 9},
+        GridCase{"interleave_6t", 6, 2, 16, ArbitrationKind::kPriority, RemapScheme::kInterleave, 17},
+        GridCase{"frfcfs_4t", 4, 1, 16, ArbitrationKind::kFrFcfs, RemapScheme::kNone, 0},
+        GridCase{"frfcfs_8t_q3", 8, 3, 24, ArbitrationKind::kFrFcfs, RemapScheme::kNone, 0},
+        GridCase{"fifo_hashed_q3", 8, 3, 32, ArbitrationKind::kFifo, RemapScheme::kNone, 0, ChannelBinding::kHashed},
+        GridCase{"prio_hashed_q2", 6, 2, 24, ArbitrationKind::kPriority, RemapScheme::kNone, 0, ChannelBinding::kHashed},
+        GridCase{"frfcfs_hashed_q2", 6, 2, 24, ArbitrationKind::kFrFcfs, RemapScheme::kNone, 0, ChannelBinding::kHashed},
+        GridCase{"dyn_hashed_q2", 6, 2, 24, ArbitrationKind::kPriority, RemapScheme::kDynamic, 11, ChannelBinding::kHashed},
+        GridCase{"fifo_latency4", 5, 1, 16, ArbitrationKind::kFifo, RemapScheme::kNone, 0, ChannelBinding::kAny, 4},
+        GridCase{"prio_latency3_q2", 6, 2, 24, ArbitrationKind::kPriority, RemapScheme::kNone, 0, ChannelBinding::kAny, 3},
+        GridCase{"dyn_latency2", 5, 1, 16, ArbitrationKind::kPriority, RemapScheme::kDynamic, 13, ChannelBinding::kAny, 2},
+        GridCase{"fifo_hashed_latency3_q2", 6, 2, 24, ArbitrationKind::kFifo, RemapScheme::kNone, 0, ChannelBinding::kHashed, 3},
+        GridCase{"frfcfs_latency2_q2", 6, 2, 24, ArbitrationKind::kFrFcfs, RemapScheme::kNone, 0, ChannelBinding::kAny, 2}),
+    [](const auto& inf) { return inf.param.name; });
+
+// ---------------------------------------------------------------------
+// Conservation and bound invariants across a policy grid.
+// ---------------------------------------------------------------------
+
+struct PolicyCase {
+  std::string name;
+  SimConfig config;
+};
+
+SimConfig with(ArbitrationKind a, RemapScheme s, std::uint64_t period,
+               std::uint64_t k = 32, std::uint32_t q = 1) {
+  SimConfig c;
+  c.hbm_slots = k;
+  c.num_channels = q;
+  c.arbitration = a;
+  c.remap_scheme = s;
+  c.remap_period = period;
+  return c;
+}
+
+class PolicyInvariants : public ::testing::TestWithParam<PolicyCase> {
+ protected:
+  Workload make_workload(std::size_t threads) const {
+    workloads::SyntheticOptions opts;
+    opts.kind = workloads::SyntheticKind::kZipf;
+    opts.num_pages = 64;
+    opts.length = 500;
+    opts.zipf_s = 0.9;
+    opts.seed = 7;
+    return workloads::make_synthetic_workload(threads, opts);
+  }
+};
+
+TEST_P(PolicyInvariants, ConservationLaws) {
+  const Workload w = make_workload(6);
+  const RunMetrics m = simulate(w, GetParam().config);
+  EXPECT_EQ(m.total_refs, w.total_refs());
+  EXPECT_EQ(m.hits + m.misses, m.total_refs);
+  EXPECT_EQ(m.response.count(), m.total_refs);
+  EXPECT_EQ(m.requeues, 0u) << "requeues need tiny-k corner cases";
+  // Disjoint model: every miss issues exactly one fetch, and evictions
+  // cannot exceed fetches.
+  EXPECT_EQ(m.fetches, m.misses);
+  EXPECT_LE(m.evictions, m.fetches);
+}
+
+TEST_P(PolicyInvariants, MakespanBounds) {
+  const Workload w = make_workload(6);
+  const SimConfig& cfg = GetParam().config;
+  const RunMetrics m = simulate(w, cfg);
+  // Lower bounds: channel capacity and critical path.
+  EXPECT_GE(m.makespan * cfg.num_channels, m.misses);
+  std::uint64_t critical = 0;
+  for (const auto& t : m.per_thread) {
+    critical = std::max(critical, t.hits + 2 * t.misses);
+  }
+  EXPECT_GE(m.makespan, critical);
+  // Upper bound: every tick at least one issue, serve, or fetch happens.
+  EXPECT_LE(m.makespan, 2 * m.total_refs + m.misses + 1);
+}
+
+TEST_P(PolicyInvariants, ResponseTimesRespectModel) {
+  const Workload w = make_workload(4);
+  const RunMetrics m = simulate(w, GetParam().config);
+  EXPECT_GE(m.response.min(), 1.0);       // hits take exactly one tick
+  EXPECT_LE(m.response.min(), 2.0);
+  EXPECT_GE(m.mean_response(), 1.0);
+  if (m.misses > 0) {
+    EXPECT_GE(m.response.max(), 2.0);     // a miss takes at least two
+  }
+}
+
+TEST_P(PolicyInvariants, DeterministicAcrossRuns) {
+  const Workload w = make_workload(5);
+  const RunMetrics a = simulate(w, GetParam().config);
+  const RunMetrics b = simulate(w, GetParam().config);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_DOUBLE_EQ(a.response.mean(), b.response.mean());
+  EXPECT_DOUBLE_EQ(a.inconsistency(), b.inconsistency());
+}
+
+TEST_P(PolicyInvariants, SingleThreadMakespanIsPolicyIndependent) {
+  // With p = 1 the DRAM queue holds at most one request, so arbitration
+  // cannot matter: every policy must produce the FIFO result exactly.
+  const Workload w = make_workload(1);
+  const RunMetrics m = simulate(w, GetParam().config);
+  SimConfig fifo = GetParam().config;
+  fifo.arbitration = ArbitrationKind::kFifo;
+  fifo.remap_scheme = RemapScheme::kNone;
+  fifo.remap_period = 0;
+  const RunMetrics reference = simulate(w, fifo);
+  EXPECT_EQ(m.makespan, reference.makespan);
+  EXPECT_EQ(m.hits, reference.hits);
+  EXPECT_DOUBLE_EQ(m.response.mean(), reference.response.mean());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, PolicyInvariants,
+    ::testing::Values(
+        PolicyCase{"fifo", with(ArbitrationKind::kFifo, RemapScheme::kNone, 0)},
+        PolicyCase{"fifo_q4", with(ArbitrationKind::kFifo, RemapScheme::kNone, 0, 32, 4)},
+        PolicyCase{"priority", with(ArbitrationKind::kPriority, RemapScheme::kNone, 0)},
+        PolicyCase{"dynamic", with(ArbitrationKind::kPriority, RemapScheme::kDynamic, 64)},
+        PolicyCase{"cycle", with(ArbitrationKind::kPriority, RemapScheme::kCycle, 64)},
+        PolicyCase{"cycle_reverse", with(ArbitrationKind::kPriority, RemapScheme::kCycleReverse, 64)},
+        PolicyCase{"interleave", with(ArbitrationKind::kPriority, RemapScheme::kInterleave, 64)},
+        PolicyCase{"random", with(ArbitrationKind::kRandom, RemapScheme::kNone, 0)}),
+    [](const auto& inf) { return inf.param.name; });
+
+// ---------------------------------------------------------------------
+// Structural properties.
+// ---------------------------------------------------------------------
+
+TEST(SimulatorProperties, LruInclusionSingleThread) {
+  // LRU is a stack algorithm: for one thread, a larger HBM never misses
+  // more.
+  const Trace t = workloads::make_zipf_trace(128, 2000, 1.0, 5);
+  auto tp = std::make_shared<Trace>(t);
+  std::uint64_t prev_misses = ~0ull;
+  for (const std::uint64_t k : {8ull, 16ull, 32ull, 64ull, 128ull}) {
+    const RunMetrics m =
+        simulate(Workload::replicate(tp, 1), SimConfig::fifo(k));
+    EXPECT_LE(m.misses, prev_misses) << "k=" << k;
+    prev_misses = m.misses;
+  }
+}
+
+TEST(SimulatorProperties, AmpleHbmAndChannelsGiveIdealMakespan) {
+  // k and q so large nothing ever contends: every thread runs at one
+  // ref per tick plus one extra tick per miss.
+  workloads::SyntheticOptions opts;
+  opts.num_pages = 32;
+  opts.length = 300;
+  const Workload w = workloads::make_synthetic_workload(4, opts);
+  SimConfig c = SimConfig::fifo(100'000, 64);
+  const RunMetrics m = simulate(w, c);
+  std::uint64_t expected = 0;
+  for (const auto& t : m.per_thread) {
+    expected = std::max(expected, t.hits + 2 * t.misses);
+  }
+  EXPECT_EQ(m.makespan, expected);
+}
+
+TEST(SimulatorProperties, CyclePriorityResponseBoundedByPT) {
+  // The paper: a thread becomes highest priority within p permutations,
+  // so no request waits beyond p·T (+ service slack).
+  workloads::SyntheticOptions opts;
+  opts.num_pages = 64;
+  opts.length = 600;
+  opts.seed = 3;
+  const std::size_t p = 8;
+  const Workload w = workloads::make_synthetic_workload(p, opts);
+  const std::uint64_t period = 16;
+  SimConfig c = with(ArbitrationKind::kPriority, RemapScheme::kCycle, period,
+                     /*k=*/16, /*q=*/1);
+  const RunMetrics m = simulate(w, c);
+  EXPECT_LE(m.max_response(), (p + 2) * period + 8);
+}
+
+TEST(SimulatorProperties, DynamicSeedsChangeScheduleNotTotals) {
+  workloads::SyntheticOptions opts;
+  opts.num_pages = 48;
+  opts.length = 400;
+  const Workload w = workloads::make_synthetic_workload(6, opts);
+  SimConfig c1 = SimConfig::dynamic_priority(16, 2.0, 1, /*seed=*/1);
+  SimConfig c2 = SimConfig::dynamic_priority(16, 2.0, 1, /*seed=*/2);
+  const RunMetrics a = simulate(w, c1);
+  const RunMetrics b = simulate(w, c2);
+  EXPECT_EQ(a.total_refs, b.total_refs);
+  // Schedules generally differ; makespans stay in the same ballpark.
+  EXPECT_LT(static_cast<double>(a.makespan) / static_cast<double>(b.makespan), 2.0);
+  EXPECT_GT(static_cast<double>(a.makespan) / static_cast<double>(b.makespan), 0.5);
+}
+
+TEST(SimulatorProperties, ReplicatedTraceSharingMatchesDeepCopies) {
+  // DESIGN.md §6: sharing one Trace across threads (with page-id
+  // namespacing) must behave exactly like p physically distinct copies.
+  const Trace t = workloads::make_uniform_trace(32, 300, 11);
+  auto shared = std::make_shared<Trace>(t);
+  const Workload shared_w = Workload::replicate(shared, 4);
+  std::vector<std::shared_ptr<const Trace>> copies;
+  for (int i = 0; i < 4; ++i) {
+    copies.push_back(std::make_shared<Trace>(t));
+  }
+  const Workload copied_w = Workload(std::move(copies));
+  for (const auto kind : {ArbitrationKind::kFifo, ArbitrationKind::kPriority}) {
+    SimConfig c = with(kind, RemapScheme::kNone, 0, 24, 1);
+    const RunMetrics a = simulate(shared_w, c);
+    const RunMetrics b = simulate(copied_w, c);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.hits, b.hits);
+    EXPECT_DOUBLE_EQ(a.response.mean(), b.response.mean());
+  }
+}
+
+TEST(SimulatorProperties, TinyCacheStillTerminates) {
+  // k == q == 1 with heavy contention: every fetch evicts. The run must
+  // still terminate and serve every reference exactly once.
+  const Workload w = workloads::make_synthetic_workload(
+      3, workloads::SyntheticOptions{.num_pages = 4, .length = 50, .seed = 2});
+  SimConfig c = SimConfig::fifo(1, 1);
+  const RunMetrics m = simulate(w, c);
+  EXPECT_EQ(m.total_refs, w.total_refs());
+  EXPECT_EQ(m.response.count(), m.total_refs);
+}
+
+}  // namespace
+}  // namespace hbmsim

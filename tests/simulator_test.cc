@@ -1,0 +1,438 @@
+// Unit tests for the HBM+DRAM simulator: hand-computed tick-by-tick
+// scenarios pinning the model semantics of §3.1 (hit w=1, miss w≥2,
+// q-limited fetches, FIFO vs Priority ordering, remap timing), plus
+// configuration validation and metrics bookkeeping.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/simulator.h"
+#include "util/error.h"
+
+namespace hbmsim {
+namespace {
+
+Workload single_thread(std::vector<LocalPage> refs) {
+  return Workload::replicate(std::make_shared<Trace>(Trace(std::move(refs))), 1);
+}
+
+Workload threads_with(std::vector<std::vector<LocalPage>> traces) {
+  std::vector<std::shared_ptr<const Trace>> ts;
+  for (auto& refs : traces) {
+    ts.push_back(std::make_shared<Trace>(Trace(std::move(refs))));
+  }
+  return Workload(std::move(ts));
+}
+
+// --- Single-thread semantics -------------------------------------------
+
+TEST(Simulator, AllMissesTakeTwoTicksEach) {
+  // 3 distinct pages, ample HBM: miss → fetch same tick → serve next tick.
+  const RunMetrics m = simulate(single_thread({0, 1, 2}), SimConfig::fifo(10));
+  EXPECT_EQ(m.makespan, 6u);
+  EXPECT_EQ(m.total_refs, 3u);
+  EXPECT_EQ(m.misses, 3u);
+  EXPECT_EQ(m.hits, 0u);
+  EXPECT_DOUBLE_EQ(m.response.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(m.response.max(), 2.0);
+}
+
+TEST(Simulator, HitsTakeOneTick) {
+  // Page 0 misses once then hits twice: ticks 0(miss) 1(serve) 2(hit) 3(hit).
+  const RunMetrics m = simulate(single_thread({0, 0, 0}), SimConfig::fifo(10));
+  EXPECT_EQ(m.makespan, 4u);
+  EXPECT_EQ(m.misses, 1u);
+  EXPECT_EQ(m.hits, 2u);
+  EXPECT_DOUBLE_EQ(m.response.min(), 1.0);
+  EXPECT_DOUBLE_EQ(m.response.max(), 2.0);
+  EXPECT_NEAR(m.response.mean(), (2.0 + 1.0 + 1.0) / 3.0, 1e-12);
+}
+
+TEST(Simulator, LruEvictionCausesRepeatMisses) {
+  // k=2, cyclic over 3 pages: classic LRU worst case — every ref misses.
+  const RunMetrics m =
+      simulate(single_thread({0, 1, 2, 0, 1, 2}), SimConfig::fifo(2));
+  EXPECT_EQ(m.misses, 6u);
+  EXPECT_EQ(m.hits, 0u);
+  EXPECT_EQ(m.evictions, 4u);
+  EXPECT_EQ(m.makespan, 12u);
+}
+
+TEST(Simulator, WorkingSetWithinHbmHitsAfterWarmup) {
+  std::vector<LocalPage> refs;
+  for (int pass = 0; pass < 10; ++pass) {
+    for (LocalPage p = 0; p < 3; ++p) {
+      refs.push_back(p);
+    }
+  }
+  const RunMetrics m = simulate(single_thread(refs), SimConfig::fifo(3));
+  EXPECT_EQ(m.misses, 3u);
+  EXPECT_EQ(m.hits, 27u);
+  // 3 misses cost 2 ticks each, 27 hits cost 1: makespan = 33.
+  EXPECT_EQ(m.makespan, 33u);
+}
+
+// --- Multi-thread FIFO vs Priority --------------------------------------
+
+TEST(Simulator, FifoServesChannelInArrivalThenIdOrder) {
+  // Two threads, one page each, q=1: t0's request is fetched first (id
+  // order within the tick), so t0 finishes at tick 1, t1 at tick 2.
+  const RunMetrics m =
+      simulate(threads_with({{0}, {0}}), SimConfig::fifo(10, 1));
+  EXPECT_EQ(m.makespan, 3u);
+  ASSERT_EQ(m.per_thread.size(), 2u);
+  EXPECT_EQ(m.per_thread[0].completion_tick, 1u);
+  EXPECT_EQ(m.per_thread[1].completion_tick, 2u);
+  EXPECT_DOUBLE_EQ(m.per_thread[0].response.max(), 2.0);
+  EXPECT_DOUBLE_EQ(m.per_thread[1].response.max(), 3.0);
+}
+
+TEST(Simulator, TwoChannelsServeBothAtOnce) {
+  const RunMetrics m =
+      simulate(threads_with({{0}, {0}}), SimConfig::fifo(10, 2));
+  EXPECT_EQ(m.makespan, 2u);
+  EXPECT_DOUBLE_EQ(m.response.max(), 2.0);
+}
+
+TEST(Simulator, PriorityPreemptsOlderLowPriorityRequest) {
+  // t2 requests at tick 0; t0 requests at tick 2 — under Priority, t0's
+  // later request is fetched before t2's older one.
+  // t0: hit-burst then miss; build: t0 = [0,0,1] (page 0 missed once).
+  // Simpler: t0 = [0,1], t1 = [0], t2 = [0]; q=1, static priority.
+  const RunMetrics m = simulate(threads_with({{0, 1}, {0}, {0}}),
+                                SimConfig::priority(10, 1));
+  // tick0: all miss; queue {t0,t1,t2}; fetch t0.p0.
+  // tick1: serve t0 (w2); fetch t1.p0.
+  // tick2: t0 issues p1 (miss, queued); serve t1 (w3, done); fetch t0.p1
+  //        (priority 0 beats t2's older request).
+  // tick3: serve t0 (w2, done); fetch t2.p0.
+  // tick4: serve t2 (w5, done). makespan 5.
+  EXPECT_EQ(m.makespan, 5u);
+  EXPECT_EQ(m.per_thread[0].completion_tick, 3u);
+  EXPECT_EQ(m.per_thread[1].completion_tick, 2u);
+  EXPECT_EQ(m.per_thread[2].completion_tick, 4u);
+  EXPECT_DOUBLE_EQ(m.per_thread[2].response.max(), 5.0);
+}
+
+TEST(Simulator, FifoSameScenarioServesOldestFirst) {
+  const RunMetrics m =
+      simulate(threads_with({{0, 1}, {0}, {0}}), SimConfig::fifo(10, 1));
+  // tick0: queue {t0,t1,t2}; fetch t0.p0.
+  // tick1: serve t0; fetch t1.p0.
+  // tick2: t0 issues p1 → queued behind t2; serve t1; fetch t2.p0.
+  // tick3: serve t2 (w4); fetch t0.p1.
+  // tick4: serve t0 (w=4-2+1=3). makespan 5.
+  EXPECT_EQ(m.makespan, 5u);
+  EXPECT_EQ(m.per_thread[2].completion_tick, 3u);
+  EXPECT_EQ(m.per_thread[0].completion_tick, 4u);
+}
+
+TEST(Simulator, StarvationUnderStaticPriority) {
+  // Two high-priority threads stream unique pages, saturating the q=1
+  // channel between them (the paper: "one thread cannot saturate the
+  // channel"); the low-priority thread's single request starves until
+  // both streams end.
+  std::vector<LocalPage> stream(50);
+  for (LocalPage i = 0; i < 50; ++i) {
+    stream[i] = i;
+  }
+  const RunMetrics m = simulate(threads_with({stream, stream, {0}}),
+                                SimConfig::priority(1000, 1));
+  EXPECT_EQ(m.per_thread[2].completion_tick + 1, m.makespan);
+  EXPECT_GT(m.per_thread[2].response.max(), 100.0);
+}
+
+TEST(Simulator, NoStarvationWhenChannelHasSlack) {
+  // A single high-priority streaming thread leaves the channel idle every
+  // other tick, so the low-priority request is served almost immediately.
+  std::vector<LocalPage> stream(50);
+  for (LocalPage i = 0; i < 50; ++i) {
+    stream[i] = i;
+  }
+  const RunMetrics m =
+      simulate(threads_with({stream, {0}}), SimConfig::priority(1000, 1));
+  EXPECT_LT(m.per_thread[1].response.max(), 10.0);
+}
+
+// --- Remapping ----------------------------------------------------------
+
+TEST(Simulator, RemapCountMatchesPeriod) {
+  std::vector<LocalPage> refs(20);
+  for (int i = 0; i < 20; ++i) {
+    refs[i] = static_cast<LocalPage>(i);
+  }
+  SimConfig c = SimConfig::dynamic_priority(4, /*t_mult=*/1.0);  // T = 4 ticks
+  const RunMetrics m = simulate(single_thread(refs), c);
+  EXPECT_EQ(m.makespan, 40u);
+  EXPECT_EQ(m.remaps, 10u);  // ticks 0, 4, 8, ..., 36
+}
+
+TEST(Simulator, DynamicPriorityWithHugePeriodEqualsStaticPriority) {
+  const Workload w = threads_with({{0, 1, 2, 0}, {0, 1, 2}, {0, 2, 1}});
+  SimConfig dynamic = SimConfig::dynamic_priority(4, /*t_mult=*/1e6);
+  const RunMetrics a = simulate(w, dynamic);
+  const RunMetrics b = simulate(w, SimConfig::priority(4));
+  // Only the tick-0 remap differs; with the period past the makespan the
+  // permutation applied at tick 0 persists. Compare against priority with
+  // the same initial shuffle is not possible, so instead check the
+  // *static* invariants: same refs, and makespan within the p factor.
+  EXPECT_EQ(a.total_refs, b.total_refs);
+  EXPECT_LE(a.makespan, 3 * b.makespan);
+  EXPECT_LE(b.makespan, 3 * a.makespan);
+}
+
+TEST(Simulator, CyclePriorityIsDeterministic) {
+  const Workload w = threads_with({{0, 1, 2}, {2, 1, 0}, {1, 1, 1}});
+  SimConfig c = SimConfig::cycle_priority(8, 1.0);
+  const RunMetrics a = simulate(w, c);
+  const RunMetrics b = simulate(w, c);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.response.mean(), b.response.mean());
+  EXPECT_DOUBLE_EQ(a.inconsistency(), b.inconsistency());
+}
+
+// --- Stepping / introspection -------------------------------------------
+
+TEST(Simulator, StepReportsStatesTickByTick) {
+  Simulator sim(single_thread({0, 0}), SimConfig::fifo(4));
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_EQ(sim.thread_state(0), Simulator::ThreadState::kIssuing);
+  ASSERT_TRUE(sim.step());  // tick 0: miss, queued, fetched
+  EXPECT_EQ(sim.thread_state(0), Simulator::ThreadState::kFetched);
+  EXPECT_EQ(sim.cache().size(), 1u);
+  ASSERT_TRUE(sim.step());  // tick 1: served, re-issues next tick
+  EXPECT_EQ(sim.thread_state(0), Simulator::ThreadState::kIssuing);
+  ASSERT_TRUE(sim.step());  // tick 2: hit, served, done
+  EXPECT_EQ(sim.thread_state(0), Simulator::ThreadState::kDone);
+  EXPECT_TRUE(sim.finished());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, EmptyTracesFinishImmediately) {
+  const Workload w = threads_with({{}, {0}});
+  const RunMetrics m = simulate(w, SimConfig::fifo(4));
+  EXPECT_EQ(m.total_refs, 1u);
+  EXPECT_EQ(m.makespan, 2u);
+  EXPECT_EQ(m.per_thread[0].refs, 0u);
+}
+
+TEST(Simulator, AllEmptyWorkloadHasZeroMakespan) {
+  const RunMetrics m = simulate(threads_with({{}, {}}), SimConfig::fifo(4));
+  EXPECT_EQ(m.makespan, 0u);
+  EXPECT_EQ(m.total_refs, 0u);
+}
+
+// --- Channel binding and FR-FCFS ------------------------------------------
+
+TEST(Simulator, HashedBindingCanIdleChannels) {
+  // All four requested pages bind to specific channels; under kAny four
+  // channels finish the batch in one tick, under kHashed pages colliding
+  // on a channel serialize.
+  const Workload w = threads_with({{0}, {1}, {2}, {3}});
+  SimConfig any = SimConfig::fifo(16, 4);
+  const RunMetrics m_any = simulate(w, any);
+  EXPECT_EQ(m_any.makespan, 2u);
+
+  SimConfig hashed = any;
+  hashed.channel_binding = ChannelBinding::kHashed;
+  const RunMetrics m_hashed = simulate(w, hashed);
+  // Never faster than the unconstrained model; possibly slower.
+  EXPECT_GE(m_hashed.makespan, m_any.makespan);
+  EXPECT_EQ(m_hashed.total_refs, m_any.total_refs);
+}
+
+TEST(Simulator, HashedBindingConservesWork) {
+  const Workload w = threads_with(
+      {{0, 1, 2, 3, 0, 1}, {2, 0, 3, 1}, {1, 1, 2, 2}, {3, 2, 1, 0}});
+  SimConfig cfg = SimConfig::fifo(6, 3);
+  cfg.channel_binding = ChannelBinding::kHashed;
+  const RunMetrics m = simulate(w, cfg);
+  EXPECT_EQ(m.total_refs, w.total_refs());
+  EXPECT_EQ(m.fetches, m.misses);
+}
+
+TEST(Simulator, FrFcfsBatchesSameRowFetches) {
+  // One thread misses a long run of consecutive pages while another
+  // thread's isolated requests arrive between them: FR-FCFS serves the
+  // streaming thread's row hits back-to-back.
+  std::vector<LocalPage> stream(32);
+  for (LocalPage i = 0; i < 32; ++i) {
+    stream[i] = i;
+  }
+  std::vector<LocalPage> pokes = {100, 101, 102, 103};
+  const Workload w = threads_with({stream, pokes});
+  SimConfig frfcfs = SimConfig::fifo(1000, 1);
+  frfcfs.arbitration = ArbitrationKind::kFrFcfs;
+  frfcfs.row_pages = 8;
+  const RunMetrics m = simulate(w, frfcfs);
+  EXPECT_EQ(m.total_refs, w.total_refs());
+  // Sanity: completes, and the streaming thread is not delayed behind
+  // the pokes any worse than plain FCFS.
+  const RunMetrics fifo = simulate(w, SimConfig::fifo(1000, 1));
+  EXPECT_LE(m.per_thread[0].completion_tick,
+            fifo.per_thread[0].completion_tick + 8);
+}
+
+// --- Non-unit transfer time (fetch_ticks extension) -------------------------
+
+TEST(Simulator, FetchLatencyStretchesMisses) {
+  // L = 3: miss at tick t is servable at t+3, so each cold miss costs
+  // exactly L+1 ticks end to end and w = L+1.
+  SimConfig c = SimConfig::fifo(10);
+  c.fetch_ticks = 3;
+  const RunMetrics m = simulate(single_thread({0, 1}), c);
+  // tick0 miss/fetch; arrival tick3; serve tick3; issue p1 tick4; fetch
+  // tick4; arrival+serve tick7. makespan 8.
+  EXPECT_EQ(m.makespan, 8u);
+  EXPECT_DOUBLE_EQ(m.response.mean(), 4.0);
+}
+
+TEST(Simulator, FetchLatencyLeavesHitsAlone) {
+  SimConfig c = SimConfig::fifo(10);
+  c.fetch_ticks = 5;
+  const RunMetrics m = simulate(single_thread({0, 0, 0}), c);
+  EXPECT_EQ(m.misses, 1u);
+  EXPECT_EQ(m.hits, 2u);
+  // miss: served tick 5 (w=6); hits tick 6 and 7 (w=1 each). makespan 8.
+  EXPECT_EQ(m.makespan, 8u);
+  EXPECT_DOUBLE_EQ(m.response.min(), 1.0);
+  EXPECT_DOUBLE_EQ(m.response.max(), 6.0);
+}
+
+TEST(Simulator, FetchLatencyIsPipelined) {
+  // Two threads missing distinct pages at tick 0, q=1, L=4: the channel
+  // issues one fetch per tick, so arrivals land at ticks 4 and 5 —
+  // latency overlaps rather than serializing end to end.
+  SimConfig c = SimConfig::fifo(10);
+  c.fetch_ticks = 4;
+  const RunMetrics m = simulate(threads_with({{0}, {0}}), c);
+  EXPECT_EQ(m.per_thread[0].completion_tick, 4u);
+  EXPECT_EQ(m.per_thread[1].completion_tick, 5u);
+  EXPECT_EQ(m.makespan, 6u);
+}
+
+TEST(Simulator, FetchLatencyOneMatchesDefaultEngineExactly) {
+  const Workload w = threads_with({{0, 1, 0, 2}, {2, 1, 0}, {1, 1, 1}});
+  SimConfig a = SimConfig::priority(4);
+  SimConfig b = a;
+  b.fetch_ticks = 1;  // explicit, should be the identical code path
+  const RunMetrics ma = simulate(w, a);
+  const RunMetrics mb = simulate(w, b);
+  EXPECT_EQ(ma.makespan, mb.makespan);
+  EXPECT_DOUBLE_EQ(ma.response.mean(), mb.response.mean());
+}
+
+TEST(Simulator, FetchLatencyValidation) {
+  const Workload w = single_thread({0});
+  SimConfig zero = SimConfig::fifo(4);
+  zero.fetch_ticks = 0;
+  EXPECT_THROW(simulate(w, zero), ConfigError);
+}
+
+// --- Config validation ---------------------------------------------------
+
+TEST(SimConfig, RejectsBadParameters) {
+  const Workload w = single_thread({0});
+  SimConfig zero_k = SimConfig::fifo(0);
+  EXPECT_THROW(simulate(w, zero_k), ConfigError);
+
+  SimConfig zero_q = SimConfig::fifo(4, 0);
+  EXPECT_THROW(simulate(w, zero_q), ConfigError);
+
+  SimConfig q_gt_k = SimConfig::fifo(2, 4);
+  EXPECT_THROW(simulate(w, q_gt_k), ConfigError);
+
+  SimConfig remap_no_period = SimConfig::priority(4);
+  remap_no_period.remap_scheme = RemapScheme::kDynamic;
+  EXPECT_THROW(simulate(w, remap_no_period), ConfigError);
+
+  SimConfig remap_on_fifo = SimConfig::fifo(4);
+  remap_on_fifo.remap_scheme = RemapScheme::kDynamic;
+  remap_on_fifo.remap_period = 10;
+  EXPECT_THROW(simulate(w, remap_on_fifo), ConfigError);
+
+  SimConfig zero_row = SimConfig::fifo(4);
+  zero_row.arbitration = ArbitrationKind::kFrFcfs;
+  zero_row.row_pages = 0;
+  EXPECT_THROW(simulate(w, zero_row), ConfigError);
+
+  EXPECT_THROW(simulate(Workload{}, SimConfig::fifo(4)), ConfigError);
+}
+
+TEST(SimConfig, MaxTicksGuardFires) {
+  SimConfig c = SimConfig::fifo(4);
+  c.max_ticks = 3;
+  EXPECT_THROW(simulate(single_thread({0, 1, 2, 3, 4}), c), Error);
+}
+
+TEST(SimConfig, PolicyNames) {
+  EXPECT_EQ(SimConfig::fifo(10).policy_name(), "fifo");
+  EXPECT_EQ(SimConfig::priority(10).policy_name(), "priority");
+  EXPECT_EQ(SimConfig::dynamic_priority(10, 10.0).policy_name(),
+            "dynamic-priority(T=100)");
+  EXPECT_EQ(SimConfig::cycle_priority(10, 5.0).policy_name(),
+            "cycle-priority(T=50)");
+}
+
+TEST(SimConfig, PeriodFromMultiplierRoundsAndClamps) {
+  EXPECT_EQ(SimConfig::period_from_multiplier(100, 10.0), 1000u);
+  EXPECT_EQ(SimConfig::period_from_multiplier(100, 0.001), 1u);
+  EXPECT_THROW(SimConfig::period_from_multiplier(100, 0.0), Error);
+}
+
+// --- Metrics bookkeeping -------------------------------------------------
+
+TEST(Metrics, PerThreadTotalsSumToGlobal) {
+  const Workload w = threads_with({{0, 1, 0}, {0, 0}, {3, 2, 1, 0}});
+  const RunMetrics m = simulate(w, SimConfig::fifo(3));
+  std::uint64_t refs = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (const auto& t : m.per_thread) {
+    refs += t.refs;
+    hits += t.hits;
+    misses += t.misses;
+  }
+  EXPECT_EQ(refs, m.total_refs);
+  EXPECT_EQ(hits, m.hits);
+  EXPECT_EQ(misses, m.misses);
+  EXPECT_EQ(m.total_refs, w.total_refs());
+  EXPECT_EQ(m.response.count(), m.total_refs);
+}
+
+TEST(Metrics, PerThreadDisabledLeavesVectorEmpty) {
+  SimConfig c = SimConfig::fifo(4);
+  c.per_thread_metrics = false;
+  c.response_histogram = false;
+  const RunMetrics m = simulate(single_thread({0, 1}), c);
+  EXPECT_TRUE(m.per_thread.empty());
+  EXPECT_EQ(m.response_hist.total(), 0u);
+  EXPECT_EQ(m.total_refs, 2u);
+}
+
+TEST(Metrics, HistogramCountsEveryResponse) {
+  const RunMetrics m = simulate(single_thread({0, 0, 1}), SimConfig::fifo(4));
+  EXPECT_EQ(m.response_hist.total(), 3u);
+  // w=1 hits land in bucket 0; w=2 misses in bucket 1.
+  EXPECT_EQ(m.response_hist.bucket_count(0), 1u);
+  EXPECT_EQ(m.response_hist.bucket_count(1), 2u);
+}
+
+TEST(Metrics, SummaryMentionsKeyNumbers) {
+  const RunMetrics m = simulate(single_thread({0, 0}), SimConfig::fifo(4));
+  const std::string s = m.summary();
+  EXPECT_NE(s.find("makespan"), std::string::npos);
+  EXPECT_NE(s.find("hit rate"), std::string::npos);
+  EXPECT_NE(s.find("inconsistency"), std::string::npos);
+}
+
+TEST(Metrics, CompletionSpreadMeasuresStraggle) {
+  const Workload w = threads_with({{0}, {0, 1, 2, 3}});
+  const RunMetrics m = simulate(w, SimConfig::fifo(8, 2));
+  EXPECT_GT(m.completion_spread(), 0u);
+  EXPECT_EQ(m.completion_spread(),
+            m.per_thread[1].completion_tick - m.per_thread[0].completion_tick);
+}
+
+}  // namespace
+}  // namespace hbmsim

@@ -1,0 +1,176 @@
+// Unit tests for stats/: streaming statistics and the log histogram.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "stats/streaming.h"
+#include "util/rng.h"
+
+namespace hbmsim {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(StreamingStats, SingleValue) {
+  StreamingStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(StreamingStats, KnownMoments) {
+  StreamingStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  // Classic example: mean 5, population variance 4.
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.sample_variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(StreamingStats, MatchesTwoPassComputation) {
+  Xoshiro256StarStar rng(17);
+  std::vector<double> xs(10000);
+  StreamingStats s;
+  for (auto& x : xs) {
+    x = rng.uniform_double() * 1000.0;
+    s.add(x);
+  }
+  double mean = 0.0;
+  for (const double x : xs) {
+    mean += x;
+  }
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (const double x : xs) {
+    var += (x - mean) * (x - mean);
+  }
+  var /= static_cast<double>(xs.size());
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(StreamingStats, MergeEqualsSequential) {
+  Xoshiro256StarStar rng(18);
+  StreamingStats all;
+  StreamingStats a;
+  StreamingStats b;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform_double() * 100.0 - 50.0;
+    all.add(x);
+    (i % 3 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty) {
+  StreamingStats a;
+  a.add(1.0);
+  a.add(3.0);
+  StreamingStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  StreamingStats target;
+  target.merge(a);
+  EXPECT_EQ(target.count(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+}
+
+TEST(StreamingStats, StableOnLongSkewedStream) {
+  // Welford must not lose precision on the kind of stream Priority
+  // produces: millions of 1s with occasional huge outliers.
+  StreamingStats s;
+  for (int i = 0; i < 1'000'000; ++i) {
+    s.add(1.0);
+  }
+  s.add(1e9);
+  EXPECT_GT(s.stddev(), 0.0);
+  EXPECT_NEAR(s.mean(), (1e6 + 1e9) / 1000001.0, 1.0);
+}
+
+TEST(LogHistogram, BucketsArePowersOfTwo) {
+  LogHistogram h;
+  h.add(1);    // bucket 0
+  h.add(2);    // bucket 1
+  h.add(3);    // bucket 1
+  h.add(4);    // bucket 2
+  h.add(1023); // bucket 9
+  h.add(1024); // bucket 10
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(9), 1u);
+  EXPECT_EQ(h.bucket_count(10), 1u);
+  EXPECT_EQ(h.max_bucket(), 10);
+}
+
+TEST(LogHistogram, ZeroGoesToBucketZero) {
+  LogHistogram h;
+  h.add(0);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+}
+
+TEST(LogHistogram, QuantileOnUniformStream) {
+  LogHistogram h;
+  for (std::uint64_t v = 1; v <= 1024; ++v) {
+    h.add(v);
+  }
+  // Median of 1..1024 is ~512; log buckets give a coarse estimate.
+  const double median = h.quantile(0.5);
+  EXPECT_GT(median, 256.0);
+  EXPECT_LT(median, 1024.0);
+  // The 0-quantile resolves to the low edge of the first non-empty
+  // bucket (bucket 0 spans [0, 2)).
+  EXPECT_GE(h.quantile(0.0), 0.0);
+  EXPECT_LE(h.quantile(0.0), 2.0);
+}
+
+TEST(LogHistogram, QuantileEmptyIsZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_EQ(h.max_bucket(), -1);
+}
+
+TEST(LogHistogram, MergeAddsCounts) {
+  LogHistogram a;
+  LogHistogram b;
+  a.add(1);
+  b.add(1);
+  b.add(100);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.bucket_count(0), 2u);
+}
+
+TEST(LogHistogram, WeightedAdd) {
+  LogHistogram h;
+  h.add(7, 10);
+  EXPECT_EQ(h.total(), 10u);
+  EXPECT_EQ(h.bucket_count(2), 10u);
+}
+
+}  // namespace
+}  // namespace hbmsim

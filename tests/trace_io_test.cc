@@ -1,0 +1,138 @@
+// Unit tests for trace serialization: text and binary roundtrips, error
+// paths, file helpers.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "trace/trace_io.h"
+#include "util/error.h"
+#include "util/rng.h"
+#include "workloads/synthetic.h"
+
+namespace hbmsim {
+namespace {
+
+Trace sample_trace() { return Trace({0, 5, 2, 5, 1}, 8); }
+
+TEST(TraceIoText, Roundtrip) {
+  std::stringstream ss;
+  write_trace_text(sample_trace(), ss);
+  EXPECT_EQ(read_trace_text(ss), sample_trace());
+}
+
+TEST(TraceIoText, PreservesExplicitNumPages) {
+  std::stringstream ss;
+  write_trace_text(Trace({0, 1}, 100), ss);
+  const Trace t = read_trace_text(ss);
+  EXPECT_EQ(t.num_pages(), 100u);
+}
+
+TEST(TraceIoText, SkipsCommentsAndBlankLines) {
+  std::stringstream ss("# comment\n\n3\n# more\n1\n");
+  const Trace t = read_trace_text(ss);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], 3u);
+  EXPECT_EQ(t[1], 1u);
+}
+
+TEST(TraceIoText, HandlesWindowsLineEndings) {
+  std::stringstream ss("!pages 4\r\n3\r\n1\r\n");
+  const Trace t = read_trace_text(ss);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.num_pages(), 4u);
+}
+
+TEST(TraceIoText, RejectsGarbage) {
+  std::stringstream ss("3\nnotanumber\n");
+  EXPECT_THROW(read_trace_text(ss), ParseError);
+}
+
+TEST(TraceIoText, RejectsUnknownHeader) {
+  std::stringstream ss("!bogus 1\n");
+  EXPECT_THROW(read_trace_text(ss), ParseError);
+}
+
+TEST(TraceIoText, RejectsTrailingJunkOnNumber) {
+  std::stringstream ss("12abc\n");
+  EXPECT_THROW(read_trace_text(ss), ParseError);
+}
+
+TEST(TraceIoText, EmptyStreamGivesEmptyTrace) {
+  std::stringstream ss;
+  EXPECT_TRUE(read_trace_text(ss).empty());
+}
+
+TEST(TraceIoBinary, Roundtrip) {
+  std::stringstream ss;
+  write_trace_binary(sample_trace(), ss);
+  EXPECT_EQ(read_trace_binary(ss), sample_trace());
+}
+
+TEST(TraceIoBinary, RoundtripLargeRandom) {
+  const Trace t = workloads::make_uniform_trace(1 << 16, 50'000, 9);
+  std::stringstream ss;
+  write_trace_binary(t, ss);
+  EXPECT_EQ(read_trace_binary(ss), t);
+}
+
+TEST(TraceIoBinary, RejectsBadMagic) {
+  std::stringstream ss("NOPE....");
+  EXPECT_THROW(read_trace_binary(ss), ParseError);
+}
+
+TEST(TraceIoBinary, RejectsTruncatedStream) {
+  std::stringstream ss;
+  write_trace_binary(sample_trace(), ss);
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() - 3));
+  EXPECT_THROW(read_trace_binary(truncated), ParseError);
+}
+
+TEST(TraceIoBinary, RejectsWrongVersion) {
+  std::stringstream ss;
+  write_trace_binary(sample_trace(), ss);
+  std::string bytes = ss.str();
+  bytes[4] = 99;  // version field
+  std::stringstream bad(bytes);
+  EXPECT_THROW(read_trace_binary(bad), ParseError);
+}
+
+class TraceIoFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "hbmsim_trace_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(TraceIoFileTest, SaveLoadTextByExtension) {
+  const auto path = dir_ / "t.trace";
+  save_trace(sample_trace(), path);
+  EXPECT_EQ(load_trace(path), sample_trace());
+  // Text format is human-readable: starts with a comment.
+  std::ifstream is(path);
+  std::string first;
+  std::getline(is, first);
+  EXPECT_EQ(first[0], '#');
+}
+
+TEST_F(TraceIoFileTest, SaveLoadBinaryByExtension) {
+  const auto path = dir_ / "t.btrace";
+  save_trace(sample_trace(), path);
+  EXPECT_EQ(load_trace(path), sample_trace());
+}
+
+TEST_F(TraceIoFileTest, LoadMissingFileThrowsIoError) {
+  EXPECT_THROW(load_trace(dir_ / "absent.trace"), IoError);
+}
+
+TEST_F(TraceIoFileTest, SaveToUnwritablePathThrows) {
+  EXPECT_THROW(save_trace(sample_trace(), dir_ / "no_dir" / "t.trace"), IoError);
+}
+
+}  // namespace
+}  // namespace hbmsim

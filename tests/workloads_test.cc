@@ -1,0 +1,293 @@
+// Unit tests for the workload generators: instrumented sorts (Dataset 1),
+// SpGEMM (Dataset 2), the adversarial FIFO-killer (Dataset 3), dense MM,
+// and the synthetic families.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "workloads/adversarial.h"
+#include "workloads/dense_mm.h"
+#include "workloads/sort_trace.h"
+#include "workloads/sparse_matrix.h"
+#include "workloads/spgemm.h"
+#include "workloads/synthetic.h"
+
+namespace hbmsim::workloads {
+namespace {
+
+// --- Dataset 1: sorting --------------------------------------------------
+
+class SortAlgoTest : public ::testing::TestWithParam<SortAlgo> {};
+
+TEST_P(SortAlgoTest, ProducesNonTrivialTrace) {
+  SortTraceOptions opts;
+  opts.num_elements = 4096;
+  opts.algo = GetParam();
+  opts.seed = 5;
+  const Trace t = make_sort_trace(opts);
+  // 4096 int32 = 4 data pages (+4 aux for mergesort); n log n accesses.
+  EXPECT_GE(t.num_pages(), 4u);
+  EXPECT_LE(t.num_pages(), 16u);
+  EXPECT_GT(t.size(), opts.num_elements) << "sorting touches each element repeatedly";
+}
+
+TEST_P(SortAlgoTest, DeterministicPerSeed) {
+  SortTraceOptions opts;
+  opts.num_elements = 1024;
+  opts.algo = GetParam();
+  opts.seed = 9;
+  EXPECT_EQ(make_sort_trace(opts), make_sort_trace(opts));
+  opts.seed = 10;
+  // Different input permutation → (almost surely) different access trace,
+  // except for mergesort whose merge pattern is data-dependent too.
+  const Trace other = make_sort_trace(opts);
+  EXPECT_GT(other.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, SortAlgoTest,
+                         ::testing::Values(SortAlgo::kMergeSort,
+                                           SortAlgo::kQuickSort,
+                                           SortAlgo::kStdSort,
+                                           SortAlgo::kStdStableSort),
+                         [](const auto& inf) {
+                           switch (inf.param) {
+                             case SortAlgo::kMergeSort: return "mergesort";
+                             case SortAlgo::kQuickSort: return "quicksort";
+                             case SortAlgo::kStdSort: return "std_sort";
+                             case SortAlgo::kStdStableSort: return "std_stable_sort";
+                           }
+                           return "unknown";
+                         });
+
+TEST(SortTrace, MergesortTouchesAuxiliaryPages) {
+  SortTraceOptions merge;
+  merge.num_elements = 8192;
+  merge.algo = SortAlgo::kMergeSort;
+  SortTraceOptions quick = merge;
+  quick.algo = SortAlgo::kQuickSort;
+  // Mergesort uses a second, page-disjoint buffer: about twice the pages.
+  EXPECT_GT(make_sort_trace(merge).num_pages(),
+            make_sort_trace(quick).num_pages());
+}
+
+TEST(SortTrace, TinyInputsWork) {
+  for (const auto algo : {SortAlgo::kMergeSort, SortAlgo::kQuickSort}) {
+    SortTraceOptions opts;
+    opts.num_elements = 2;
+    opts.algo = algo;
+    EXPECT_GT(make_sort_trace(opts).size(), 0u);
+    opts.num_elements = 17;  // around the insertion-sort cutoff
+    EXPECT_GT(make_sort_trace(opts).size(), 0u);
+  }
+}
+
+TEST(SortTrace, WorkloadPoolsDistinctSeeds) {
+  SortTraceOptions opts;
+  opts.num_elements = 512;
+  const Workload w = make_sort_workload(6, opts, /*distinct=*/3);
+  EXPECT_EQ(w.num_threads(), 6u);
+  EXPECT_EQ(&w.trace(0), &w.trace(3)) << "round-robin reuses the pool";
+  EXPECT_NE(w.trace(0), w.trace(1)) << "different seeds → different traces";
+}
+
+// --- Dataset 2: SpGEMM ---------------------------------------------------
+
+TEST(SparseMatrix, RandomCsrIsValidAndHitsDensity) {
+  const CsrMatrix m = random_csr(200, 200, 0.1, 42);
+  m.validate();
+  const double density =
+      static_cast<double>(m.nnz()) / (200.0 * 200.0);
+  EXPECT_NEAR(density, 0.1, 0.02);
+}
+
+TEST(SparseMatrix, ZeroDensityGivesEmptyMatrix) {
+  const CsrMatrix m = random_csr(10, 10, 0.0, 1);
+  m.validate();
+  EXPECT_EQ(m.nnz(), 0u);
+}
+
+TEST(SparseMatrix, FullDensityGivesDenseMatrix) {
+  const CsrMatrix m = random_csr(8, 8, 1.0, 1);
+  m.validate();
+  EXPECT_EQ(m.nnz(), 64u);
+}
+
+TEST(SparseMatrix, ReferenceMultiplyMatchesDenseComputation) {
+  const CsrMatrix a = random_csr(30, 40, 0.2, 7);
+  const CsrMatrix b = random_csr(40, 25, 0.2, 8);
+  const CsrMatrix c = multiply_reference(a, b);
+  c.validate();
+  const auto da = a.to_dense();
+  const auto db = b.to_dense();
+  const auto dc = c.to_dense();
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    for (std::uint32_t j = 0; j < 25; ++j) {
+      double expect = 0.0;
+      for (std::uint32_t k = 0; k < 40; ++k) {
+        expect += da[i * 40 + k] * db[k * 25 + j];
+      }
+      ASSERT_NEAR(dc[i * 25 + j], expect, 1e-9);
+    }
+  }
+}
+
+TEST(Spgemm, TracedKernelComputesTheRightProduct) {
+  const CsrMatrix a = random_csr(50, 50, 0.15, 3);
+  const CsrMatrix b = random_csr(50, 50, 0.15, 4);
+  const SpgemmRun run = run_traced_spgemm(a, b);
+  run.product.validate();
+  EXPECT_LT(max_abs_diff(run.product, multiply_reference(a, b)), 1e-9);
+  EXPECT_GT(run.trace.size(), a.nnz() + b.nnz()) << "trace covers all operands";
+}
+
+TEST(Spgemm, TraceIsDeterministic) {
+  SpgemmOptions opts;
+  opts.rows = 40;
+  opts.cols = 40;
+  opts.seed = 11;
+  EXPECT_EQ(make_spgemm_trace(opts), make_spgemm_trace(opts));
+}
+
+TEST(Spgemm, RectangularShapesWork) {
+  const CsrMatrix a = random_csr(20, 60, 0.1, 1);
+  const CsrMatrix b = random_csr(60, 15, 0.1, 2);
+  const SpgemmRun run = run_traced_spgemm(a, b);
+  EXPECT_EQ(run.product.rows, 20u);
+  EXPECT_EQ(run.product.cols, 15u);
+  EXPECT_LT(max_abs_diff(run.product, multiply_reference(a, b)), 1e-9);
+}
+
+TEST(Spgemm, WorkloadBuildsRequestedThreads) {
+  SpgemmOptions opts;
+  opts.rows = 30;
+  opts.cols = 30;
+  const Workload w = make_spgemm_workload(5, opts, 2);
+  EXPECT_EQ(w.num_threads(), 5u);
+  EXPECT_EQ(w.name(), "spgemm");
+  EXPECT_NE(w.trace(0), w.trace(1));
+  EXPECT_EQ(&w.trace(0), &w.trace(2));
+}
+
+// --- Dense MM -------------------------------------------------------------
+
+TEST(DenseMm, TraceCoversThreeMatrices) {
+  DenseMmOptions opts;
+  opts.n = 32;  // 32×32 doubles = 8 KiB per matrix = 2 pages each
+  const Trace t = make_dense_mm_trace(opts);
+  EXPECT_GE(t.num_pages(), 6u);
+  EXPECT_EQ(t.size(),
+            // i-k-j loop: per (i,k): 1 read of A + n (B read + C update)·2
+            static_cast<std::size_t>(32) * 32 * (1 + 2 * 32));
+}
+
+TEST(DenseMm, BlockedVariantTouchesSamePagesDifferentOrder) {
+  DenseMmOptions naive;
+  naive.n = 24;
+  DenseMmOptions blocked = naive;
+  blocked.blocked = true;
+  blocked.block = 8;
+  const Trace a = make_dense_mm_trace(naive);
+  const Trace b = make_dense_mm_trace(blocked);
+  EXPECT_EQ(a.num_pages(), b.num_pages());
+  // Tiling re-reads A once per j-tile, so the blocked trace is slightly
+  // longer, and the access order is different.
+  EXPECT_GT(b.size(), a.size());
+  EXPECT_LT(b.size(), a.size() + a.size() / 8);
+}
+
+TEST(DenseMm, WorkloadFactory) {
+  DenseMmOptions opts;
+  opts.n = 16;
+  const Workload w = make_dense_mm_workload(3, opts, 2);
+  EXPECT_EQ(w.num_threads(), 3u);
+}
+
+// --- Dataset 3: adversarial ------------------------------------------------
+
+TEST(Adversarial, CyclicTraceHasExactStructure) {
+  const Trace t = make_cyclic_trace({.unique_pages = 256, .repetitions = 100});
+  EXPECT_EQ(t.size(), 25'600u);
+  EXPECT_EQ(t.num_pages(), 256u);
+  EXPECT_EQ(t.unique_pages(), 256u);
+  // Every window of 256 refs enumerates 0..255 in order.
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    ASSERT_EQ(t[i], i % 256);
+  }
+}
+
+TEST(Adversarial, HbmSizingMatchesPaperFraction) {
+  const AdversarialOptions opts{.unique_pages = 256, .repetitions = 100};
+  // ¼ of all unique pages across 8 threads: 8·256/4 = 512.
+  EXPECT_EQ(adversarial_hbm_slots(8, opts, 0.25), 512u);
+  EXPECT_EQ(adversarial_hbm_slots(1, opts, 1.0), 256u);
+  EXPECT_GE(adversarial_hbm_slots(1, opts, 1e-9), 1u) << "clamped to 1";
+}
+
+TEST(Adversarial, WorkloadSharesTheTrace) {
+  const Workload w = make_adversarial_workload(16, {.unique_pages = 8, .repetitions = 2});
+  EXPECT_EQ(w.num_threads(), 16u);
+  EXPECT_EQ(&w.trace(0), &w.trace(15));
+}
+
+// --- Synthetic --------------------------------------------------------------
+
+TEST(Synthetic, UniformCoversSupport) {
+  const Trace t = make_uniform_trace(16, 5000, 1);
+  EXPECT_EQ(t.num_pages(), 16u);
+  EXPECT_EQ(t.unique_pages(), 16u);
+}
+
+TEST(Synthetic, ZipfIsSkewed) {
+  const Trace t = make_zipf_trace(1000, 20'000, 1.1, 2);
+  std::size_t low = 0;
+  for (const LocalPage p : t.refs()) {
+    low += p < 10 ? 1 : 0;
+  }
+  EXPECT_GT(low, t.size() / 5);
+}
+
+TEST(Synthetic, StreamIsSequential) {
+  const Trace t = make_stream_trace(5, 3);
+  ASSERT_EQ(t.size(), 15u);
+  for (std::size_t i = 0; i < 15; ++i) {
+    EXPECT_EQ(t[i], i % 5);
+  }
+}
+
+TEST(Synthetic, StridedWrapsModulo) {
+  const Trace t = make_strided_trace(10, 7, 3);
+  const LocalPage expect[] = {0, 3, 6, 9, 2, 5, 8};
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(t[i], expect[i]);
+  }
+}
+
+TEST(Synthetic, WorkloadThreadsGetDistinctSeeds) {
+  SyntheticOptions opts;
+  opts.num_pages = 64;
+  opts.length = 200;
+  const Workload w = make_synthetic_workload(3, opts);
+  EXPECT_NE(w.trace(0), w.trace(1));
+  EXPECT_NE(w.trace(1), w.trace(2));
+}
+
+TEST(Synthetic, ImbalancedRampsLinearly) {
+  SyntheticOptions opts;
+  opts.num_pages = 8;
+  opts.length = 1000;
+  const Workload w = make_imbalanced_workload(5, opts, 0.2);
+  EXPECT_EQ(w.trace(0).size(), 200u);
+  EXPECT_EQ(w.trace(4).size(), 1000u);
+  EXPECT_LT(w.trace(1).size(), w.trace(3).size());
+}
+
+TEST(Synthetic, ImbalancedSingleThreadGetsFullLength) {
+  SyntheticOptions opts;
+  opts.length = 500;
+  const Workload w = make_imbalanced_workload(1, opts, 0.1);
+  EXPECT_EQ(w.trace(0).size(), 500u);
+}
+
+}  // namespace
+}  // namespace hbmsim::workloads
