@@ -17,6 +17,13 @@
 //   --k SLOTS --q CHANNELS --t-mult M --replacement lru|fifo|clock
 //   --binding any|hashed --row-pages N --shared-pages
 //
+// Output / execution (run, compare):
+//   --format text|csv|json   json streams one PointResult JSONL line per
+//                            simulation (headers move to stderr)
+//   --jobs N                 worker threads for compare (0 = all cores;
+//                            default $HBMSIM_JOBS or 1)
+//   --progress               live progress line on stderr
+//
 // Examples:
 //   hbmsim_cli run --workload sort --elements 100000 --threads 32
 //       --k 500 --policy dynamic --t-mult 10
@@ -24,17 +31,22 @@
 //       --threads 64 --k 4096
 //   hbmsim_cli bounds --workload spgemm --n 200 --threads 16 --k 660
 //   hbmsim_cli analyze --workload zipf --pages 4096 --length 200000
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <memory>
 #include <string>
 
 #include "core/simulator.h"
+#include "exp/json.h"
+#include "exp/runner.h"
+#include "exp/sweep.h"
 #include "exp/table.h"
 #include "opt/lower_bound.h"
 #include "trace/analysis.h"
 #include "trace/trace_io.h"
 #include "util/args.h"
+#include "util/env.h"
 #include "util/error.h"
 #include "workloads/adversarial.h"
 #include "workloads/dense_mm.h"
@@ -45,6 +57,53 @@
 namespace {
 
 using namespace hbmsim;
+
+enum class Format { kText, kCsv, kJson };
+
+/// Shared --format/--jobs/--progress surface of run and compare.
+struct OutputOptions {
+  Format format = Format::kText;
+  std::size_t jobs = 1;
+  bool progress = false;
+
+  [[nodiscard]] exp::RunnerOptions runner() {
+    exp::RunnerOptions opts;
+    opts.jobs = jobs;
+    opts.progress = progress;
+    opts.jsonl = format == Format::kJson ? &std::cout : nullptr;
+    return opts;
+  }
+
+  void print(const exp::Table& t) const {
+    if (format == Format::kCsv) {
+      t.print_csv(std::cout);
+    } else if (format == Format::kText) {
+      t.print_text(std::cout);
+    }
+  }
+};
+
+OutputOptions parse_output_options(const ArgParser& args) {
+  OutputOptions opts;
+  const std::int64_t jobs = args.get_int("jobs", env_int("HBMSIM_JOBS", 1));
+  if (jobs < 0) {
+    throw ConfigError("--jobs must be >= 0 (0 = all cores), got " +
+                      std::to_string(jobs));
+  }
+  opts.jobs = static_cast<std::size_t>(jobs);
+  opts.progress = args.get_flag("progress");
+  const std::string format = args.get("format", "text");
+  if (format == "text") {
+    opts.format = Format::kText;
+  } else if (format == "csv") {
+    opts.format = Format::kCsv;
+  } else if (format == "json" || format == "jsonl") {
+    opts.format = Format::kJson;
+  } else {
+    throw ConfigError("unknown --format '" + format + "' (text|csv|json)");
+  }
+  return opts;
+}
 
 int usage() {
   std::fprintf(
@@ -155,15 +214,20 @@ SimConfig build_config(const ArgParser& args, const Workload& workload) {
                                             : throw ConfigError(
                                                   "unknown binding '" + binding +
                                                   "'");
+  // Reject inconsistent configurations here, with the CLI's own error
+  // reporting, instead of deep inside the simulator.
+  c.validate(static_cast<std::uint32_t>(workload.num_threads()));
   return c;
 }
 
-void print_workload_header(const Workload& w, const SimConfig& c) {
-  std::printf("workload: %s | threads %zu | refs %llu | k %llu | q %u\n",
-              w.name().empty() ? "(unnamed)" : w.name().c_str(),
-              w.num_threads(),
-              static_cast<unsigned long long>(w.total_refs()),
-              static_cast<unsigned long long>(c.hbm_slots), c.num_channels);
+void print_workload_header(const Workload& w, const SimConfig& c,
+                           const OutputOptions& out = {}) {
+  std::FILE* dst = out.format == Format::kJson ? stderr : stdout;
+  std::fprintf(dst, "workload: %s | threads %zu | refs %llu | k %llu | q %u\n",
+               w.name().empty() ? "(unnamed)" : w.name().c_str(),
+               w.num_threads(),
+               static_cast<unsigned long long>(w.total_refs()),
+               static_cast<unsigned long long>(c.hbm_slots), c.num_channels);
 }
 
 int cmd_run(const ArgParser& args) {
@@ -171,7 +235,18 @@ int cmd_run(const ArgParser& args) {
   const SimConfig c = build_config(args, w);
   const bool per_thread = args.get_flag("per-thread");
   const bool csv = args.get_flag("csv");
+  OutputOptions out = parse_output_options(args);
   args.reject_unknown();
+
+  if (out.format == Format::kJson) {
+    // One point, one JSONL line: the same PointResult record the
+    // experiment runner streams, so downstream tooling needs one schema.
+    print_workload_header(w, c, out);
+    const auto results =
+        exp::run_points({exp::ExpPoint(c.policy_name(), w, c)}, out.runner());
+    return results.front().ok ? 0 : 1;
+  }
+
   print_workload_header(w, c);
   std::printf("policy:   %s\n\n", c.policy_name().c_str());
 
@@ -203,9 +278,16 @@ int cmd_run(const ArgParser& args) {
 int cmd_compare(const ArgParser& args) {
   const Workload w = build_workload(args);
   SimConfig base = build_config(args, w);
+  const bool legacy_csv = args.get_flag("csv");
+  OutputOptions out = parse_output_options(args);
+  if (legacy_csv && out.format == Format::kText) {
+    out.format = Format::kCsv;  // back-compat alias for --format csv
+  }
   args.reject_unknown();
-  print_workload_header(w, base);
-  std::printf("\n");
+  print_workload_header(w, base, out);
+  if (out.format == Format::kText) {
+    std::printf("\n");
+  }
 
   std::vector<SimConfig> configs;
   {
@@ -226,19 +308,16 @@ int cmd_compare(const ArgParser& args) {
     configs.push_back(c);
   }
 
+  const auto results = exp::run_policies(w, configs, out.runner());
   exp::Table t({"policy", "makespan", "hit%", "mean_resp", "p99_resp",
                 "inconsistency", "max_resp"});
-  for (const SimConfig& c : configs) {
-    const RunMetrics m = simulate(w, c);
-    t.row() << c.policy_name() << m.makespan << m.hit_rate() * 100.0
+  for (const auto& r : results) {
+    const RunMetrics& m = r.metrics;
+    t.row() << r.policy << m.makespan << m.hit_rate() * 100.0
             << m.mean_response() << m.response_quantile(0.99)
             << m.inconsistency() << m.max_response();
   }
-  if (args.get_flag("csv")) {
-    t.print_csv(std::cout);
-  } else {
-    t.print_text(std::cout);
-  }
+  out.print(t);
   return 0;
 }
 

@@ -14,12 +14,13 @@
 #include "core/simulator.h"
 #include "exp/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hbmsim;
   using namespace hbmsim::bench;
 
+  const BenchOptions bo = parse_bench_options(argc, argv);
   const Scales scales = current_scales();
-  banner("Ablation A1: channel count q = 1..10", scales);
+  banner("Ablation A1: channel count q = 1..10", scales, bo);
   Stopwatch watch;
 
   const std::size_t p = scales.scale == BenchScale::kPaper ? 100 : 24;
@@ -28,14 +29,25 @@ int main() {
        {std::pair<const char*, Workload>{"SpGEMM", spgemm_workload(scales, p)},
         std::pair<const char*, Workload>{"GNU sort", sort_workload(scales, p)}}) {
     const std::uint64_t k = contended_k(scales, workload);
-    std::printf("\n--- %s (p=%zu, k=%llu) ---\n", title, p,
-                static_cast<unsigned long long>(k));
+    note(bo, "\n--- %s (p=%zu, k=%llu) ---\n", title, p,
+         static_cast<unsigned long long>(k));
+
+    std::vector<exp::ExpPoint> points;
+    for (std::uint32_t q = 1; q <= 10; ++q) {
+      const std::string tag = std::string("a1_") + title + " q=" +
+                              std::to_string(q) + " ";
+      points.emplace_back(tag + "fifo", workload, SimConfig::fifo(k, q));
+      points.emplace_back(tag + "priority", workload, SimConfig::priority(k, q));
+    }
+    const auto results = exp::run_points(points, bo.runner());
+
     exp::Table table({"q", "fifo_makespan", "priority_makespan", "fifo/priority",
                       "priority_speedup_vs_q1"});
     Tick prio_q1 = 0;
-    for (std::uint32_t q = 1; q <= 10; ++q) {
-      const RunMetrics fifo = simulate(workload, SimConfig::fifo(k, q));
-      const RunMetrics prio = simulate(workload, SimConfig::priority(k, q));
+    for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+      const RunMetrics& fifo = results[i].metrics;
+      const RunMetrics& prio = results[i + 1].metrics;
+      const std::uint32_t q = static_cast<std::uint32_t>(i / 2 + 1);
       if (q == 1) {
         prio_q1 = prio.makespan;
       }
@@ -45,9 +57,9 @@ int main() {
                   << static_cast<double>(prio_q1) /
                          static_cast<double>(prio.makespan);
     }
-    table.print_text(std::cout);
+    bo.print(table);
   }
 
-  std::printf("\ntotal wall time: %.1fs\n", watch.seconds());
+  note(bo, "\ntotal wall time: %.1fs\n", watch.seconds());
   return 0;
 }

@@ -20,38 +20,53 @@
 #include "core/simulator.h"
 #include "exp/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hbmsim;
   using namespace hbmsim::bench;
 
+  const BenchOptions bo = parse_bench_options(argc, argv);
   const Scales scales = current_scales();
-  banner("Ablation: direct-mapped HBM (Lemma 1 / Corollary 1)", scales);
+  banner("Ablation: direct-mapped HBM (Lemma 1 / Corollary 1)", scales, bo);
   Stopwatch watch;
 
   const std::size_t p = scales.scale == BenchScale::kPaper ? 64 : 12;
   const Workload w = sort_workload(scales, p);
   const std::uint64_t k = contended_k(scales, w);
 
-  std::printf("\n--- makespan: fully-associative vs direct-mapped (p=%zu, k=%llu) ---\n",
-              p, static_cast<unsigned long long>(k));
+  note(bo,
+       "\n--- makespan: fully-associative vs direct-mapped (p=%zu, k=%llu) ---\n",
+       p, static_cast<unsigned long long>(k));
+
+  // The direct-mapped points supply a custom cache model through the
+  // ExpPoint factory (invoked in the worker, one cache per point).
+  std::vector<exp::ExpPoint> points;
+  points.emplace_back("dm assoc 1x", w, SimConfig::priority(k));
+  for (const std::uint64_t mult : {1ull, 2ull, 4ull}) {
+    exp::ExpPoint pt("dm direct " + std::to_string(mult) + "x", w,
+                     SimConfig::priority(mult * k));
+    pt.make_cache = [mult, k] {
+      return std::make_unique<assoc::DirectMappedCache>(
+          mult * k, assoc::SlotHash::kUniversal, 7);
+    };
+    points.push_back(std::move(pt));
+  }
+  const auto results = exp::run_points(points, bo.runner());
+
   exp::Table table({"cache", "slots", "makespan", "hit%", "vs_assoc"});
-  const RunMetrics assoc_run = simulate(w, SimConfig::priority(k));
+  const RunMetrics& assoc_run = results[0].metrics;
   table.row() << "fully-associative LRU" << k << assoc_run.makespan
               << assoc_run.hit_rate() * 100.0 << 1.0;
-  for (const std::uint64_t mult : {1ull, 2ull, 4ull}) {
-    SimConfig cfg = SimConfig::priority(mult * k);
-    Simulator sim(w, cfg,
-                  std::make_unique<assoc::DirectMappedCache>(
-                      mult * k, assoc::SlotHash::kUniversal, 7));
-    const RunMetrics m = sim.run();
-    table.row() << ("direct-mapped " + std::to_string(mult) + "x") << mult * k
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const RunMetrics& m = results[i].metrics;
+    const std::uint64_t slots = results[i].config.hbm_slots;
+    table.row() << ("direct-mapped " + std::to_string(slots / k) + "x") << slots
                 << m.makespan << m.hit_rate() * 100.0
                 << static_cast<double>(m.makespan) /
                        static_cast<double>(assoc_run.makespan);
   }
-  table.print_text(std::cout);
+  bo.print(table);
 
-  std::printf("\n--- Lemma 1 transformation constants (per reference stream) ---\n");
+  note(bo, "\n--- Lemma 1 transformation constants (per reference stream) ---\n");
   exp::Table costs({"policy", "chain_mean", "chain_max", "transformed_hits/access",
                     "transformed_misses/original_miss"});
   for (const ReplacementKind policy :
@@ -67,11 +82,11 @@ int main() {
                 << s.chain_length.max() << s.hits_per_access()
                 << s.misses_per_original_miss();
   }
-  costs.print_text(std::cout);
+  bo.print(costs);
 
-  std::printf(
-      "\nchecks: all transformation constants are O(1) — chain mean < 3, "
-      "misses/original miss <= 2 (Lemma 1).\n");
-  std::printf("total wall time: %.1fs\n", watch.seconds());
+  note(bo,
+       "\nchecks: all transformation constants are O(1) — chain mean < 3, "
+       "misses/original miss <= 2 (Lemma 1).\n");
+  note(bo, "total wall time: %.1fs\n", watch.seconds());
   return 0;
 }

@@ -45,41 +45,43 @@ Workload mixed_workload(const Scales& scales, std::size_t p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions bo = parse_bench_options(argc, argv);
   const Scales scales = current_scales();
-  banner("Ablation: heterogeneous per-core workloads", scales);
+  banner("Ablation: heterogeneous per-core workloads", scales, bo);
   Stopwatch watch;
 
   const std::size_t p = scales.scale == BenchScale::kPaper ? 64 : 16;
   const Workload w = mixed_workload(scales, p);
   const std::uint64_t k = contended_k(scales, w);
-  std::printf("mix: 1/2 sort, 1/4 SpGEMM, 1/4 stream; p=%zu, k=%llu\n\n", p,
-              static_cast<unsigned long long>(k));
+  note(bo, "mix: 1/2 sort, 1/4 SpGEMM, 1/4 stream; p=%zu, k=%llu\n\n", p,
+       static_cast<unsigned long long>(k));
 
-  exp::Table table({"policy", "makespan", "inconsistency", "max_response",
-                    "completion_spread"});
-  const auto report = [&](const SimConfig& config) {
-    const RunMetrics m = simulate(w, config);
-    table.row() << config.policy_name() << m.makespan << m.inconsistency()
-                << static_cast<std::uint64_t>(m.max_response())
-                << m.completion_spread();
-  };
-  report(SimConfig::fifo(k));
-  report(SimConfig::priority(k));
-  report(SimConfig::dynamic_priority(k, 10.0));
-  report(SimConfig::cycle_priority(k, 10.0));
+  std::vector<SimConfig> configs;
+  configs.push_back(SimConfig::fifo(k));
+  configs.push_back(SimConfig::priority(k));
+  configs.push_back(SimConfig::dynamic_priority(k, 10.0));
+  configs.push_back(SimConfig::cycle_priority(k, 10.0));
   {
     SimConfig c = SimConfig::priority(k);
     c.remap_scheme = RemapScheme::kCycleReverse;
     c.remap_period = SimConfig::period_from_multiplier(k, 10.0);
-    report(c);
+    configs.push_back(c);
   }
-  table.print_text(std::cout);
 
-  std::printf(
-      "\nreading guide: with unequal work, compare cycle vs dynamic "
-      "max_response — the paper predicts mild starvation for the "
-      "deterministic rotation and robustness for the random one.\n");
-  std::printf("total wall time: %.1fs\n", watch.seconds());
+  exp::Table table({"policy", "makespan", "inconsistency", "max_response",
+                    "completion_spread"});
+  for (const auto& r : exp::run_policies(w, configs, bo.runner())) {
+    table.row() << r.policy << r.metrics.makespan << r.metrics.inconsistency()
+                << static_cast<std::uint64_t>(r.metrics.max_response())
+                << r.metrics.completion_spread();
+  }
+  bo.print(table);
+
+  note(bo,
+       "\nreading guide: with unequal work, compare cycle vs dynamic "
+       "max_response — the paper predicts mild starvation for the "
+       "deterministic rotation and robustness for the random one.\n");
+  note(bo, "total wall time: %.1fs\n", watch.seconds());
   return 0;
 }

@@ -14,12 +14,13 @@
 #include "core/simulator.h"
 #include "exp/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hbmsim;
   using namespace hbmsim::bench;
 
+  const BenchOptions bo = parse_bench_options(argc, argv);
   const Scales scales = current_scales();
-  banner("Ablation A2: replacement policy (LRU / FIFO / CLOCK)", scales);
+  banner("Ablation A2: replacement policy (LRU / FIFO / CLOCK)", scales, bo);
   Stopwatch watch;
 
   const std::size_t p = scales.scale == BenchScale::kPaper ? 100 : 16;
@@ -28,10 +29,10 @@ int main() {
        {std::pair<const char*, Workload>{"SpGEMM", spgemm_workload(scales, p)},
         std::pair<const char*, Workload>{"GNU sort", sort_workload(scales, p)}}) {
     const std::uint64_t k = contended_k(scales, workload);
-    std::printf("\n--- %s (p=%zu, k=%llu) ---\n", title, p,
-                static_cast<unsigned long long>(k));
-    exp::Table table({"replacement", "arbitration", "makespan", "hit%",
-                      "inconsistency"});
+    note(bo, "\n--- %s (p=%zu, k=%llu) ---\n", title, p,
+         static_cast<unsigned long long>(k));
+
+    std::vector<exp::ExpPoint> points;
     for (const ReplacementKind repl :
          {ReplacementKind::kLru, ReplacementKind::kClock, ReplacementKind::kFifo}) {
       for (const ArbitrationKind arb :
@@ -40,14 +41,23 @@ int main() {
         c.hbm_slots = k;
         c.arbitration = arb;
         c.replacement = repl;
-        const RunMetrics m = simulate(workload, c);
-        table.row() << to_string(repl) << to_string(arb) << m.makespan
-                    << m.hit_rate() * 100.0 << m.inconsistency();
+        points.emplace_back(std::string("a2_") + title + " " + to_string(repl) +
+                                "/" + to_string(arb),
+                            workload, c);
       }
     }
-    table.print_text(std::cout);
+    const auto results = exp::run_points(points, bo.runner());
+
+    exp::Table table({"replacement", "arbitration", "makespan", "hit%",
+                      "inconsistency"});
+    for (const auto& r : results) {
+      table.row() << to_string(r.config.replacement)
+                  << to_string(r.config.arbitration) << r.metrics.makespan
+                  << r.metrics.hit_rate() * 100.0 << r.metrics.inconsistency();
+    }
+    bo.print(table);
   }
 
-  std::printf("\ntotal wall time: %.1fs\n", watch.seconds());
+  note(bo, "\ntotal wall time: %.1fs\n", watch.seconds());
   return 0;
 }

@@ -21,21 +21,19 @@ namespace {
 using namespace hbmsim;
 using namespace hbmsim::bench;
 
-void run_workload(const char* title, const Workload& w, std::uint64_t k) {
-  std::printf("\n--- %s (p=%zu, k=%llu) ---\n", title, w.num_threads(),
-              static_cast<unsigned long long>(k));
-  exp::Table table({"scheme", "T", "makespan", "inconsistency", "max_response",
-                    "completion_spread"});
+void run_workload(const char* title, const Workload& w, std::uint64_t k,
+                  const BenchOptions& bo) {
+  note(bo, "\n--- %s (p=%zu, k=%llu) ---\n", title, w.num_threads(),
+       static_cast<unsigned long long>(k));
 
-  const auto run_one = [&](const char* label, SimConfig c) {
-    const RunMetrics m = simulate(w, c);
-    table.row() << label << c.remap_period << m.makespan << m.inconsistency()
-                << static_cast<std::uint64_t>(m.max_response())
-                << m.completion_spread();
+  std::vector<exp::ExpPoint> points;
+  const auto add = [&](const std::string& label, SimConfig c) {
+    points.emplace_back("a3 " + std::string(title) + " " + label, w,
+                        std::move(c));
   };
-
-  run_one("fifo", SimConfig::fifo(k));
-  run_one("priority(static)", SimConfig::priority(k));
+  add("fifo", SimConfig::fifo(k));
+  add("priority(static)", SimConfig::priority(k));
+  std::vector<std::string> labels = {"fifo", "priority(static)"};
   for (const double t_mult : {1.0, 10.0}) {
     for (const RemapScheme scheme :
          {RemapScheme::kDynamic, RemapScheme::kCycle, RemapScheme::kCycleReverse,
@@ -43,18 +41,31 @@ void run_workload(const char* title, const Workload& w, std::uint64_t k) {
       SimConfig c = SimConfig::priority(k);
       c.remap_scheme = scheme;
       c.remap_period = SimConfig::period_from_multiplier(k, t_mult);
-      run_one(to_string(scheme), c);
+      labels.emplace_back(to_string(scheme));
+      add(to_string(scheme), c);
     }
   }
-  table.print_text(std::cout);
+  const auto results = exp::run_points(points, bo.runner());
+
+  exp::Table table({"scheme", "T", "makespan", "inconsistency", "max_response",
+                    "completion_spread"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunMetrics& m = results[i].metrics;
+    table.row() << labels[i] << results[i].config.remap_period << m.makespan
+                << m.inconsistency()
+                << static_cast<std::uint64_t>(m.max_response())
+                << m.completion_spread();
+  }
+  bo.print(table);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions bo = parse_bench_options(argc, argv);
   const Scales scales = current_scales();
   banner("Ablation A3: permutation schemes on balanced vs imbalanced work",
-         scales);
+         scales, bo);
   Stopwatch watch;
 
   const std::size_t p = scales.scale == BenchScale::kPaper ? 64 : 16;
@@ -68,14 +79,14 @@ int main() {
   const std::uint64_t k = opts.num_pages * p / 8;  // contended
 
   run_workload("balanced (equal-length Zipf streams)",
-               workloads::make_synthetic_workload(p, opts), k);
+               workloads::make_synthetic_workload(p, opts), k, bo);
   run_workload("imbalanced (lengths ramp 10%..100% across threads)",
-               workloads::make_imbalanced_workload(p, opts, 0.1), k);
+               workloads::make_imbalanced_workload(p, opts, 0.1), k, bo);
 
-  std::printf(
-      "\nreading guide: compare cycle vs dynamic max_response on the "
-      "imbalanced workload — cycle pins the same victim behind the heavy "
-      "threads.\n");
-  std::printf("total wall time: %.1fs\n", watch.seconds());
+  note(bo,
+       "\nreading guide: compare cycle vs dynamic max_response on the "
+       "imbalanced workload — cycle pins the same victim behind the heavy "
+       "threads.\n");
+  note(bo, "total wall time: %.1fs\n", watch.seconds());
   return 0;
 }

@@ -53,9 +53,10 @@ Workload overlap_workload(std::size_t p, std::uint32_t pages_per_core,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions bo = parse_bench_options(argc, argv);
   const Scales scales = current_scales();
-  banner("Ablation: shared (non-disjoint) page namespaces", scales);
+  banner("Ablation: shared (non-disjoint) page namespaces", scales, bo);
   Stopwatch watch;
 
   const bool paper = scales.scale == BenchScale::kPaper;
@@ -64,31 +65,45 @@ int main() {
   const std::size_t length = paper ? 500'000 : 40'000;
   const std::uint64_t k = pages_per_core * 2;  // two working sets of HBM
 
-  exp::Table table({"overlap", "policy", "makespan", "misses", "fetches",
-                    "piggyback%", "hit%"});
-  for (const double overlap : {0.0, 0.25, 0.5, 0.75, 1.0}) {
-    const Workload w = overlap_workload(p, pages_per_core, overlap, length, 7);
+  std::vector<exp::ExpPoint> points;
+  const std::vector<double> overlaps = {0.0, 0.25, 0.5, 0.75, 1.0};
+  for (const double overlap : overlaps) {
+    // Generation is deterministic in (p, pages, overlap, length, seed), so
+    // each worker can regenerate its own copy via the factory.
+    const auto factory = [p, pages_per_core, overlap, length] {
+      return overlap_workload(p, pages_per_core, overlap, length, 7);
+    };
     for (const ArbitrationKind arb :
          {ArbitrationKind::kFifo, ArbitrationKind::kPriority}) {
       SimConfig c;
       c.hbm_slots = k;
       c.arbitration = arb;
       c.shared_pages = true;
-      const RunMetrics m = simulate(w, c);
-      const double piggyback =
-          m.misses == 0 ? 0.0
-                        : 100.0 * static_cast<double>(m.misses - m.fetches) /
-                              static_cast<double>(m.misses);
-      table.row() << format_fixed(overlap, 2) << to_string(arb) << m.makespan
-                  << m.misses << m.fetches << piggyback << m.hit_rate() * 100.0;
+      points.emplace_back("shared overlap=" + format_fixed(overlap, 2) + " " +
+                              to_string(arb),
+                          factory, c);
     }
   }
-  table.print_text(std::cout);
+  const auto results = exp::run_points(points, bo.runner());
 
-  std::printf(
-      "\nreading guide: at overlap 0 the run degenerates to the disjoint "
-      "model (fetches == misses); growing overlap turns misses into "
-      "piggybacks and shrinks every makespan.\n");
-  std::printf("total wall time: %.1fs\n", watch.seconds());
+  exp::Table table({"overlap", "policy", "makespan", "misses", "fetches",
+                    "piggyback%", "hit%"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunMetrics& m = results[i].metrics;
+    const double piggyback =
+        m.misses == 0 ? 0.0
+                      : 100.0 * static_cast<double>(m.misses - m.fetches) /
+                            static_cast<double>(m.misses);
+    table.row() << format_fixed(overlaps[i / 2], 2)
+                << to_string(results[i].config.arbitration) << m.makespan
+                << m.misses << m.fetches << piggyback << m.hit_rate() * 100.0;
+  }
+  bo.print(table);
+
+  note(bo,
+       "\nreading guide: at overlap 0 the run degenerates to the disjoint "
+       "model (fetches == misses); growing overlap turns misses into "
+       "piggybacks and shrinks every makespan.\n");
+  note(bo, "total wall time: %.1fs\n", watch.seconds());
   return 0;
 }

@@ -26,10 +26,11 @@ Workload sort_variant(const Scales& s, std::size_t p, workloads::SortAlgo algo) 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions bo = parse_bench_options(argc, argv);
   const Scales scales = current_scales();
   banner("Ablation A4: trace sources (sort variants, SpGEMM, dense MM)",
-         scales);
+         scales, bo);
   Stopwatch watch;
 
   const std::size_t p = scales.scale == BenchScale::kPaper ? 100 : 24;
@@ -49,25 +50,38 @@ int main() {
            }},
       };
 
-  exp::Table table({"source", "k", "fifo", "priority", "dynamic(T=10k)",
-                    "fifo/priority", "fifo/dynamic"});
+  // Trace generation stays serial (k depends on each source's working
+  // set); the 3 policies per source simulate on the runner.
+  std::vector<exp::ExpPoint> points;
+  std::vector<std::uint64_t> ks;
   for (const auto& [name, make] : sources) {
     const Workload w = make();
     const std::uint64_t k = contended_k(scales, w);
-    const Tick fifo = simulate(w, SimConfig::fifo(k)).makespan;
-    const Tick prio = simulate(w, SimConfig::priority(k)).makespan;
-    const Tick dyn = simulate(w, SimConfig::dynamic_priority(k, 10.0)).makespan;
-    table.row() << name << k << fifo << prio << dyn
+    ks.push_back(k);
+    const std::string tag = std::string("a4 ") + name + " ";
+    points.emplace_back(tag + "fifo", w, SimConfig::fifo(k));
+    points.emplace_back(tag + "priority", w, SimConfig::priority(k));
+    points.emplace_back(tag + "dynamic", w, SimConfig::dynamic_priority(k, 10.0));
+  }
+  const auto results = exp::run_points(points, bo.runner());
+
+  exp::Table table({"source", "k", "fifo", "priority", "dynamic(T=10k)",
+                    "fifo/priority", "fifo/dynamic"});
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    const Tick fifo = results[3 * s].metrics.makespan;
+    const Tick prio = results[3 * s + 1].metrics.makespan;
+    const Tick dyn = results[3 * s + 2].metrics.makespan;
+    table.row() << sources[s].first << ks[s] << fifo << prio << dyn
                 << static_cast<double>(fifo) / static_cast<double>(prio)
                 << static_cast<double>(fifo) / static_cast<double>(dyn);
   }
-  table.print_text(std::cout);
+  bo.print(table);
 
-  std::printf(
-      "\nreading guide: every bandwidth-bound source shows the same story "
-      "— Dynamic Priority at least matches FIFO, usually beats it; the "
-      "magnitude depends on each source's reuse profile (see "
-      "examples/miss_curve).\n");
-  std::printf("total wall time: %.1fs\n", watch.seconds());
+  note(bo,
+       "\nreading guide: every bandwidth-bound source shows the same story "
+       "— Dynamic Priority at least matches FIFO, usually beats it; the "
+       "magnitude depends on each source's reuse profile (see "
+       "examples/miss_curve).\n");
+  note(bo, "total wall time: %.1fs\n", watch.seconds());
   return 0;
 }

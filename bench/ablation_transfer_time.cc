@@ -20,13 +20,14 @@
 #include "exp/sweep.h"
 #include "workloads/adversarial.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hbmsim;
   using namespace hbmsim::bench;
 
+  const BenchOptions bo = parse_bench_options(argc, argv);
   const Scales scales = current_scales();
   banner("Ablation: DRAM transfer latency L = 1..8 (model fixes L = 1)",
-         scales);
+         scales, bo);
   Stopwatch watch;
 
   const bool paper = scales.scale == BenchScale::kPaper;
@@ -45,30 +46,40 @@ int main() {
   for (const auto& [title, w, k] :
        {std::tuple<const char*, const Workload&, std::uint64_t>{"adversarial cyclic", cyc, cyc_k},
         std::tuple<const char*, const Workload&, std::uint64_t>{"GNU sort", sort, sort_k}}) {
-    std::printf("\n--- %s (p=%zu, k=%llu) ---\n", title, p,
-                static_cast<unsigned long long>(k));
-    exp::Table table({"L", "fifo_makespan", "priority_makespan", "fifo/priority",
-                      "fifo_mean_resp", "priority_mean_resp"});
+    note(bo, "\n--- %s (p=%zu, k=%llu) ---\n", title, p,
+         static_cast<unsigned long long>(k));
+
+    std::vector<exp::ExpPoint> points;
     for (const std::uint32_t latency : {1u, 2u, 4u, 8u}) {
+      const std::string tag =
+          std::string("L ") + title + " L=" + std::to_string(latency) + " ";
       SimConfig fifo = SimConfig::fifo(k);
       fifo.fetch_ticks = latency;
       SimConfig prio = SimConfig::priority(k);
       prio.fetch_ticks = latency;
-      const RunMetrics mf = simulate(w, fifo);
-      const RunMetrics mp = simulate(w, prio);
-      table.row() << latency << mf.makespan << mp.makespan
+      points.emplace_back(tag + "fifo", w, fifo);
+      points.emplace_back(tag + "priority", w, prio);
+    }
+    const auto results = exp::run_points(points, bo.runner());
+
+    exp::Table table({"L", "fifo_makespan", "priority_makespan", "fifo/priority",
+                      "fifo_mean_resp", "priority_mean_resp"});
+    for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+      const RunMetrics& mf = results[i].metrics;
+      const RunMetrics& mp = results[i + 1].metrics;
+      table.row() << results[i].config.fetch_ticks << mf.makespan << mp.makespan
                   << static_cast<double>(mf.makespan) /
                          static_cast<double>(mp.makespan)
                   << mf.mean_response() << mp.mean_response();
     }
-    table.print_text(std::cout);
+    bo.print(table);
   }
 
-  std::printf(
-      "\nreading guide: FIFO's column is flat (bandwidth-bound, latency "
-      "pipelined away); Priority's grows with L because its residual "
-      "misses are on the critical path — slower transfers erode, but do "
-      "not invert, the Priority advantage.\n");
-  std::printf("total wall time: %.1fs\n", watch.seconds());
+  note(bo,
+       "\nreading guide: FIFO's column is flat (bandwidth-bound, latency "
+       "pipelined away); Priority's grows with L because its residual "
+       "misses are on the critical path — slower transfers erode, but do "
+       "not invert, the Priority advantage.\n");
+  note(bo, "total wall time: %.1fs\n", watch.seconds());
   return 0;
 }

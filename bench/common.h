@@ -9,17 +9,91 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <iostream>
 #include <string>
 #include <vector>
 
+#include "exp/json.h"
+#include "exp/runner.h"
 #include "exp/table.h"
 #include "trace/trace.h"
+#include "util/args.h"
 #include "util/env.h"
 #include "workloads/sort_trace.h"
 #include "workloads/spgemm.h"
 
 namespace hbmsim::bench {
+
+/// Output format of a bench binary. Text keeps the bespoke per-figure
+/// tables; csv renders those same tables as CSV; json switches the binary
+/// to a machine-readable JSONL stream of raw PointResults on stdout (one
+/// line per experiment point, banners and progress diverted to stderr).
+enum class Format { kText, kCsv, kJson };
+
+/// Shared command-line surface of every bench binary:
+///   --jobs N      worker threads (default $HBMSIM_JOBS or 1; 0 = all cores)
+///   --format F    text | csv | json   (default text)
+///   --progress    live [i/n] progress line on stderr
+struct BenchOptions {
+  std::size_t jobs = 1;
+  Format format = Format::kText;
+  bool progress = false;
+
+  /// RunnerOptions wired to this binary's output contract: in json mode
+  /// the runner streams JSONL to stdout as points finish (input order).
+  [[nodiscard]] exp::RunnerOptions runner() const {
+    exp::RunnerOptions opts;
+    opts.jobs = jobs;
+    opts.progress = progress;
+    opts.jsonl = format == Format::kJson ? &std::cout : nullptr;
+    return opts;
+  }
+
+  /// Render a bespoke table in text or CSV; no-op in json mode (the
+  /// JSONL stream already carried the raw results).
+  void print(const exp::Table& table) const {
+    if (format == Format::kCsv) {
+      table.print_csv(std::cout);
+    } else if (format == Format::kText) {
+      table.print_text(std::cout);
+    }
+  }
+
+  [[nodiscard]] bool text() const { return format == Format::kText; }
+};
+
+// Parses the shared bench flags. Flag errors print a one-line
+// diagnostic and exit(1) here so the sixteen bench mains don't each
+// need a try/catch.
+inline BenchOptions parse_bench_options(int argc, char** argv) try {
+  const ArgParser args(argc, argv);
+  BenchOptions opts;
+  const std::int64_t jobs = args.get_int("jobs", env_int("HBMSIM_JOBS", 1));
+  if (jobs < 0) {
+    throw ConfigError("--jobs must be >= 0 (0 = all cores), got " +
+                      std::to_string(jobs));
+  }
+  opts.jobs = static_cast<std::size_t>(jobs);
+  opts.progress = args.get_flag("progress");
+  const std::string format = args.get("format", "text");
+  if (format == "text") {
+    opts.format = Format::kText;
+  } else if (format == "csv") {
+    opts.format = Format::kCsv;
+  } else if (format == "json" || format == "jsonl") {
+    opts.format = Format::kJson;
+  } else {
+    throw ConfigError("unknown --format '" + format + "' (text|csv|json)");
+  }
+  args.reject_unknown();
+  return opts;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  std::exit(1);
+}
 
 struct Scales {
   BenchScale scale;
@@ -60,12 +134,22 @@ inline const char* scale_name(const Scales& s) {
   return s.scale == BenchScale::kPaper ? "paper" : "quick";
 }
 
-/// Announce an experiment with its provenance line.
-inline void banner(const std::string& experiment, const Scales& s) {
-  std::printf("==========================================================\n");
-  std::printf("%s   [scale: %s]\n", experiment.c_str(), scale_name(s));
-  std::printf("  (HBMSIM_SCALE=paper reproduces the published parameters)\n");
-  std::printf("==========================================================\n");
+/// Announce an experiment with its provenance line. In json mode stdout
+/// carries pure JSONL, so the banner moves to stderr.
+inline void banner(const std::string& experiment, const Scales& s,
+                   const BenchOptions& opts = {}) {
+  std::FILE* out = opts.format == Format::kJson ? stderr : stdout;
+  std::fprintf(out, "==========================================================\n");
+  std::fprintf(out, "%s   [scale: %s]\n", experiment.c_str(), scale_name(s));
+  std::fprintf(out, "  (HBMSIM_SCALE=paper reproduces the published parameters)\n");
+  std::fprintf(out, "==========================================================\n");
+}
+
+/// printf-style narration that respects the output contract: stdout in
+/// text/csv mode, stderr in json mode (stdout must stay pure JSONL).
+template <typename... Args>
+inline void note(const BenchOptions& opts, const char* fmt, Args... args) {
+  std::fprintf(opts.format == Format::kJson ? stderr : stdout, fmt, args...);
 }
 
 /// HBM sizes for a sweep. The paper uses 1000–5000 slots against ~1000

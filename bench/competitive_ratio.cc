@@ -24,37 +24,53 @@ using namespace hbmsim::bench;
 
 void run_dataset(const char* title, const exp::WorkloadFactory& factory,
                  const std::vector<std::size_t>& thread_counts,
-                 const std::function<std::uint64_t(const Workload&)>& pick_k) {
-  std::printf("\n--- %s ---\n", title);
-  exp::Table table({"threads", "k", "lower_bound", "fifo", "fr-fcfs", "priority",
-                    "dynamic(T=10k)"});
-  table.set_precision(2);
+                 const std::function<std::uint64_t(const Workload&)>& pick_k,
+                 const BenchOptions& bo) {
+  note(bo, "\n--- %s ---\n", title);
+
+  // Lower bounds are computed serially per thread count (Belady MIN over
+  // the whole workload); the 4 policy simulations per p go on the runner.
+  std::vector<exp::ExpPoint> points;
+  std::vector<opt::MakespanBounds> bounds;
+  std::vector<std::uint64_t> ks;
   for (const std::size_t p : thread_counts) {
     const Workload w = factory(p);
     const std::uint64_t k = pick_k(w);
-    const opt::MakespanBounds lb = opt::makespan_lower_bounds(w, k, 1);
+    ks.push_back(k);
+    bounds.push_back(opt::makespan_lower_bounds(w, k, 1));
 
-    const auto ratio = [&](const SimConfig& cfg) {
-      const RunMetrics m = simulate(w, cfg);
-      return static_cast<double>(m.makespan) /
-             static_cast<double>(lb.lower());
-    };
     SimConfig frfcfs = SimConfig::fifo(k);
     frfcfs.arbitration = ArbitrationKind::kFrFcfs;
-
-    table.row() << static_cast<std::uint64_t>(p) << k << lb.lower()
-                << ratio(SimConfig::fifo(k)) << ratio(frfcfs)
-                << ratio(SimConfig::priority(k))
-                << ratio(SimConfig::dynamic_priority(k, 10.0));
+    const std::string tag = "cr p=" + std::to_string(p) + " ";
+    points.emplace_back(tag + "fifo", w, SimConfig::fifo(k));
+    points.emplace_back(tag + "fr-fcfs", w, frfcfs);
+    points.emplace_back(tag + "priority", w, SimConfig::priority(k));
+    points.emplace_back(tag + "dynamic", w, SimConfig::dynamic_priority(k, 10.0));
   }
-  table.print_text(std::cout);
+  const auto results = exp::run_points(points, bo.runner());
+
+  exp::Table table({"threads", "k", "lower_bound", "fifo", "fr-fcfs", "priority",
+                    "dynamic(T=10k)"});
+  table.set_precision(2);
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    const auto ratio = [&](std::size_t j) {
+      return static_cast<double>(results[4 * i + j].metrics.makespan) /
+             static_cast<double>(bounds[i].lower());
+    };
+    table.row() << static_cast<std::uint64_t>(thread_counts[i]) << ks[i]
+                << bounds[i].lower() << ratio(0) << ratio(1) << ratio(2)
+                << ratio(3);
+  }
+  bo.print(table);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions bo = parse_bench_options(argc, argv);
   const Scales scales = current_scales();
-  banner("Competitive ratios vs offline lower bound (Theorems 1-3)", scales);
+  banner("Competitive ratios vs offline lower bound (Theorems 1-3)", scales,
+         bo);
   Stopwatch watch;
 
   const bool paper = scales.scale == BenchScale::kPaper;
@@ -67,19 +83,20 @@ int main() {
             : std::vector<std::size_t>{8, 16, 32, 64},
       [&](const Workload& w) {
         return workloads::adversarial_hbm_slots(w.num_threads(), adv, 0.25);
-      });
+      },
+      bo);
 
   run_dataset(
       "GNU sort (a benign workload: all ratios stay small)",
       [&](std::size_t p) { return sort_workload(scales, p); },
       paper ? std::vector<std::size_t>{8, 32, 100}
             : std::vector<std::size_t>{4, 8, 16},
-      [&](const Workload& w) { return contended_k(scales, w); });
+      [&](const Workload& w) { return contended_k(scales, w); }, bo);
 
-  std::printf(
-      "\nreading guide: Priority's column stays O(1) as p grows; FIFO and "
-      "FR-FCFS climb ~linearly on the adversarial trace — Theorem 2 in "
-      "action.\n");
-  std::printf("total wall time: %.1fs\n", watch.seconds());
+  note(bo,
+       "\nreading guide: Priority's column stays O(1) as p grows; FIFO and "
+       "FR-FCFS climb ~linearly on the adversarial trace — Theorem 2 in "
+       "action.\n");
+  note(bo, "total wall time: %.1fs\n", watch.seconds());
   return 0;
 }

@@ -8,8 +8,12 @@
 //
 // The y-value printed is FIFO makespan / Priority makespan (> 1 means
 // Priority wins), exactly the paper's axis.
+//
+// Runs on the parallel experiment engine: --jobs N distributes the sweep
+// points across worker threads (results are bit-identical to --jobs 1);
+// --format json streams one JSONL PointResult per simulation point.
+#include <cmath>
 #include <cstdio>
-#include <functional>
 #include <iostream>
 
 #include "common.h"
@@ -21,42 +25,62 @@ namespace {
 using namespace hbmsim;
 using namespace hbmsim::bench;
 
-void run_dataset(const char* title, const Scales& scales,
-                 const exp::WorkloadFactory& factory) {
-  std::printf("\n--- %s ---\n", title);
+void run_dataset(const char* title, const char* tag, const Scales& scales,
+                 const exp::WorkloadFactory& factory, const BenchOptions& bo) {
+  note(bo, "\n--- %s ---\n", title);
+  const auto results =
+      exp::SweepSpec(tag)
+          .workload(factory)
+          .threads(scales.thread_counts)
+          .hbm_sizes(hbm_sizes_for(scales, factory(1)))
+          .config("fifo", [](std::uint64_t k) { return SimConfig::fifo(k); })
+          .config("priority",
+                  [](std::uint64_t k) { return SimConfig::priority(k); })
+          .run(bo.runner());
+
   exp::Table table({"threads", "hbm_slots", "fifo_makespan", "priority_makespan",
                     "fifo/priority"});
-  const auto points = exp::ratio_sweep(
-      factory, scales.thread_counts, hbm_sizes_for(scales, factory(1)),
-      [](std::uint64_t k) { return SimConfig::fifo(k); },
-      [](std::uint64_t k) { return SimConfig::priority(k); });
   double min_ratio = 1e18;
   double max_ratio = 0.0;
-  for (const auto& pt : points) {
-    table.row() << static_cast<std::uint64_t>(pt.num_threads) << pt.hbm_slots
-                << pt.makespan_a << pt.makespan_b << pt.ratio();
-    min_ratio = std::min(min_ratio, pt.ratio());
-    max_ratio = std::max(max_ratio, pt.ratio());
+  // build() nests configs innermost: results pair up as (fifo, priority).
+  for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+    const exp::PointResult& fifo = results[i];
+    const exp::PointResult& prio = results[i + 1];
+    exp::RatioPoint pt;
+    pt.makespan_a = fifo.metrics.makespan;
+    pt.makespan_b = prio.metrics.makespan;
+    const std::size_t grid = i / 2;
+    const std::size_t num_k = hbm_sizes_for(scales, factory(1)).size();
+    table.row() << static_cast<std::uint64_t>(
+                       scales.thread_counts[grid / num_k])
+                << fifo.config.hbm_slots << pt.makespan_a << pt.makespan_b
+                << pt.ratio();
+    if (!std::isnan(pt.ratio())) {
+      min_ratio = std::min(min_ratio, pt.ratio());
+      max_ratio = std::max(max_ratio, pt.ratio());
+    }
   }
-  table.print_text(std::cout);
-  std::printf(
-      "summary: FIFO/Priority ratio spans %.3f .. %.3f "
-      "(paper: FIFO ahead at low p, Priority ahead by up to 3.3x at high p)\n",
-      min_ratio, max_ratio);
+  bo.print(table);
+  note(bo,
+       "summary: FIFO/Priority ratio spans %.3f .. %.3f "
+       "(paper: FIFO ahead at low p, Priority ahead by up to 3.3x at high p)\n",
+       min_ratio, max_ratio);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions bo = parse_bench_options(argc, argv);
   const Scales scales = current_scales();
-  banner("Figure 2: FIFO vs Priority makespan ratio", scales);
+  banner("Figure 2: FIFO vs Priority makespan ratio", scales, bo);
   Stopwatch watch;
 
-  run_dataset("Figure 2a: SpGEMM (TACO-style, 10% density)", scales,
-              [&](std::size_t p) { return spgemm_workload(scales, p); });
-  run_dataset("Figure 2b: GNU sort (mergesort over logging iterators)", scales,
-              [&](std::size_t p) { return sort_workload(scales, p); });
+  run_dataset("Figure 2a: SpGEMM (TACO-style, 10% density)", "fig2a", scales,
+              [&](std::size_t p) { return spgemm_workload(scales, p); }, bo);
+  run_dataset("Figure 2b: GNU sort (mergesort over logging iterators)", "fig2b",
+              scales, [&](std::size_t p) { return sort_workload(scales, p); },
+              bo);
 
-  std::printf("\ntotal wall time: %.1fs\n", watch.seconds());
+  note(bo, "\ntotal wall time: %.1fs\n", watch.seconds());
   return 0;
 }

@@ -12,14 +12,16 @@
 
 #include "common.h"
 #include "core/simulator.h"
+#include "exp/sweep.h"
 #include "workloads/adversarial.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hbmsim;
   using namespace hbmsim::bench;
 
+  const BenchOptions bo = parse_bench_options(argc, argv);
   const Scales scales = current_scales();
-  banner("Figure 3: adversarial cyclic trace (FIFO-killer)", scales);
+  banner("Figure 3: adversarial cyclic trace (FIFO-killer)", scales, bo);
   Stopwatch watch;
 
   // The paper's exact trace: 256 unique pages, repeated 100 times.
@@ -30,27 +32,39 @@ int main() {
           ? std::vector<std::size_t>{4, 8, 16, 32, 64, 128, 192, 256}
           : std::vector<std::size_t>{4, 8, 16, 32, 64};
 
+  // "only 1/4 of the memory required to fit every page in HBM": k depends
+  // on p, so the k axis is folded into the per-p config factories.
+  std::vector<exp::ExpPoint> points;
+  for (const std::size_t p : threads) {
+    const std::uint64_t k = workloads::adversarial_hbm_slots(p, opts, 0.25);
+    const std::string tag = "fig3 p=" + std::to_string(p) +
+                            " k=" + std::to_string(k) + " ";
+    const auto factory = [p, opts] {
+      return workloads::make_adversarial_workload(p, opts);
+    };
+    points.emplace_back(tag + "fifo", factory, SimConfig::fifo(k));
+    points.emplace_back(tag + "priority", factory, SimConfig::priority(k));
+  }
+  const auto results = exp::run_points(points, bo.runner());
+
   exp::Table table({"threads", "hbm_slots", "fifo_makespan", "priority_makespan",
                     "fifo/priority", "fifo_hit%", "priority_hit%"});
   double worst = 0.0;
-  for (const std::size_t p : threads) {
-    const Workload w = workloads::make_adversarial_workload(p, opts);
-    // "only 1/4 of the memory required to fit every page in HBM"
-    const std::uint64_t k = workloads::adversarial_hbm_slots(p, opts, 0.25);
-    const RunMetrics fifo = simulate(w, SimConfig::fifo(k));
-    const RunMetrics prio = simulate(w, SimConfig::priority(k));
+  for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+    const RunMetrics& fifo = results[i].metrics;
+    const RunMetrics& prio = results[i + 1].metrics;
     const double ratio = static_cast<double>(fifo.makespan) /
                          static_cast<double>(prio.makespan);
     worst = std::max(worst, ratio);
-    table.row() << static_cast<std::uint64_t>(p) << k << fifo.makespan
-                << prio.makespan << ratio << fifo.hit_rate() * 100.0
-                << prio.hit_rate() * 100.0;
+    table.row() << static_cast<std::uint64_t>(threads[i / 2])
+                << results[i].config.hbm_slots << fifo.makespan << prio.makespan
+                << ratio << fifo.hit_rate() * 100.0 << prio.hit_rate() * 100.0;
   }
-  table.print_text(std::cout);
-  std::printf(
-      "\nsummary: worst FIFO/Priority ratio %.1fx; the gap grows ~linearly in p"
-      " (paper: up to 40x at its largest thread counts)\n",
-      worst);
-  std::printf("total wall time: %.1fs\n", watch.seconds());
+  bo.print(table);
+  note(bo,
+       "\nsummary: worst FIFO/Priority ratio %.1fx; the gap grows ~linearly in p"
+       " (paper: up to 40x at its largest thread counts)\n",
+       worst);
+  note(bo, "total wall time: %.1fs\n", watch.seconds());
   return 0;
 }

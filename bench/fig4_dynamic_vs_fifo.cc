@@ -5,6 +5,7 @@
 // FIFO held in Figure 2" — at low thread counts Dynamic Priority performs
 // as well as FIFO or better, and at high thread counts as well as or
 // better than both FIFO and Priority.
+#include <cmath>
 #include <cstdio>
 #include <iostream>
 
@@ -18,8 +19,8 @@ using namespace hbmsim;
 using namespace hbmsim::bench;
 
 void run_dataset(const char* title, const Scales& scales,
-                 const exp::WorkloadFactory& factory) {
-  std::printf("\n--- %s ---\n", title);
+                 const exp::WorkloadFactory& factory, const BenchOptions& bo) {
+  note(bo, "\n--- %s ---\n", title);
   exp::Table table({"threads", "hbm_slots", "fifo_makespan", "dynamic_makespan",
                     "fifo/dynamic"});
   const auto points = exp::ratio_sweep(
@@ -27,35 +28,39 @@ void run_dataset(const char* title, const Scales& scales,
       [](std::uint64_t k) { return SimConfig::fifo(k); },
       [](std::uint64_t k) {
         return SimConfig::dynamic_priority(k, /*t_mult=*/10.0);  // T = 10k
-      });
+      },
+      bo.runner());
   double min_ratio = 1e18;
   std::size_t fifo_wins = 0;
   for (const auto& pt : points) {
     table.row() << static_cast<std::uint64_t>(pt.num_threads) << pt.hbm_slots
                 << pt.makespan_a << pt.makespan_b << pt.ratio();
-    min_ratio = std::min(min_ratio, pt.ratio());
-    // A "FIFO win" only counts when it is more than noise (> 5%).
-    fifo_wins += pt.ratio() < 0.95 ? 1 : 0;
+    if (!std::isnan(pt.ratio())) {
+      min_ratio = std::min(min_ratio, pt.ratio());
+      // A "FIFO win" only counts when it is more than noise (> 5%).
+      fifo_wins += pt.ratio() < 0.95 ? 1 : 0;
+    }
   }
-  table.print_text(std::cout);
-  std::printf(
-      "summary: min FIFO/Dynamic ratio %.3f; FIFO wins >5%% at %zu of %zu "
-      "points (paper: none)\n",
-      min_ratio, fifo_wins, points.size());
+  bo.print(table);
+  note(bo,
+       "summary: min FIFO/Dynamic ratio %.3f; FIFO wins >5%% at %zu of %zu "
+       "points (paper: none)\n",
+       min_ratio, fifo_wins, points.size());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions bo = parse_bench_options(argc, argv);
   const Scales scales = current_scales();
-  banner("Figure 4: Dynamic Priority (T = 10k) vs FIFO", scales);
+  banner("Figure 4: Dynamic Priority (T = 10k) vs FIFO", scales, bo);
   Stopwatch watch;
 
   run_dataset("Figure 4a: SpGEMM", scales,
-              [&](std::size_t p) { return spgemm_workload(scales, p); });
+              [&](std::size_t p) { return spgemm_workload(scales, p); }, bo);
   run_dataset("Figure 4b: GNU sort", scales,
-              [&](std::size_t p) { return sort_workload(scales, p); });
+              [&](std::size_t p) { return sort_workload(scales, p); }, bo);
 
-  std::printf("\ntotal wall time: %.1fs\n", watch.seconds());
+  note(bo, "\ntotal wall time: %.1fs\n", watch.seconds());
   return 0;
 }

@@ -19,9 +19,10 @@ namespace {
 using namespace hbmsim;
 using namespace hbmsim::bench;
 
-void run_dataset(const char* title, const Workload& w, std::uint64_t k) {
-  std::printf("\n--- %s (p=%zu, k=%llu) ---\n", title, w.num_threads(),
-              static_cast<unsigned long long>(k));
+void run_dataset(const char* title, const Workload& w, std::uint64_t k,
+                 const BenchOptions& bo) {
+  note(bo, "\n--- %s (p=%zu, k=%llu) ---\n", title, w.num_threads(),
+       static_cast<unsigned long long>(k));
 
   std::vector<SimConfig> configs;
   configs.push_back(SimConfig::fifo(k));
@@ -35,31 +36,32 @@ void run_dataset(const char* title, const Workload& w, std::uint64_t k) {
 
   exp::Table table(
       {"policy", "makespan", "inconsistency", "mean_response", "max_response"});
-  const auto results = exp::run_policies(w, configs);
+  const auto results = exp::run_policies(w, configs, bo.runner());
   for (const auto& r : results) {
     table.row() << r.policy << r.metrics.makespan << r.metrics.inconsistency()
                 << r.metrics.mean_response()
                 << static_cast<std::uint64_t>(r.metrics.max_response());
   }
-  table.print_text(std::cout);
+  bo.print(table);
 
   const RunMetrics& fifo = results.front().metrics;
   const RunMetrics& prio = results.back().metrics;
   const RunMetrics& dyn10k = results[3].metrics;  // Dynamic T = 10k
-  std::printf(
-      "summary: Priority inconsistency %.3f vs FIFO %.3f; Dynamic(T=10k) "
-      "inconsistency %.3f at makespan %.2fx of Priority's\n",
-      prio.inconsistency(), fifo.inconsistency(), dyn10k.inconsistency(),
-      static_cast<double>(dyn10k.makespan) /
-          static_cast<double>(prio.makespan));
+  note(bo,
+       "summary: Priority inconsistency %.3f vs FIFO %.3f; Dynamic(T=10k) "
+       "inconsistency %.3f at makespan %.2fx of Priority's\n",
+       prio.inconsistency(), fifo.inconsistency(), dyn10k.inconsistency(),
+       static_cast<double>(dyn10k.makespan) /
+           static_cast<double>(prio.makespan));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions bo = parse_bench_options(argc, argv);
   const Scales scales = current_scales();
   banner("Figure 5: inconsistency vs makespan across permutation intervals",
-         scales);
+         scales, bo);
   Stopwatch watch;
 
   // One contended operating point per dataset (the paper plots a fixed
@@ -69,9 +71,9 @@ int main() {
   const Workload spgemm = spgemm_workload(scales, p);
   const Workload sort = sort_workload(scales, p);
 
-  run_dataset("Figure 5a: SpGEMM", spgemm, contended_k(scales, spgemm));
-  run_dataset("Figure 5b: GNU sort", sort, contended_k(scales, sort));
+  run_dataset("Figure 5a: SpGEMM", spgemm, contended_k(scales, spgemm), bo);
+  run_dataset("Figure 5b: GNU sort", sort, contended_k(scales, sort), bo);
 
-  std::printf("\ntotal wall time: %.1fs\n", watch.seconds());
+  note(bo, "\ntotal wall time: %.1fs\n", watch.seconds());
   return 0;
 }

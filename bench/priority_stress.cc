@@ -131,38 +131,57 @@ std::vector<Family> make_families(std::size_t p, BenchScale scale) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions bo = parse_bench_options(argc, argv);
   const Scales scales = current_scales();
-  banner("Priority stress search: can any family blow Priority up?", scales);
+  banner("Priority stress search: can any family blow Priority up?", scales,
+         bo);
   Stopwatch watch;
 
   const std::size_t p = scales.scale == BenchScale::kPaper ? 64 : 24;
+
+  // Lower bounds stay serial per family; the 3 policies per family run on
+  // the parallel engine.
+  const std::vector<Family> families = make_families(p, scales.scale);
+  std::vector<opt::MakespanBounds> bounds;
+  std::vector<exp::ExpPoint> points;
+  for (const Family& fam : families) {
+    bounds.push_back(opt::makespan_lower_bounds(fam.workload, fam.k, 1));
+    const std::string tag = std::string("stress ") + fam.name + " ";
+    points.emplace_back(tag + "fifo", fam.workload, SimConfig::fifo(fam.k));
+    points.emplace_back(tag + "priority", fam.workload,
+                        SimConfig::priority(fam.k));
+    points.emplace_back(tag + "dynamic", fam.workload,
+                        SimConfig::dynamic_priority(fam.k, 10.0));
+  }
+  const auto results = exp::run_points(points, bo.runner());
+
   exp::Table table({"family", "k", "lower_bound", "fifo_ratio", "priority_ratio",
                     "dynamic_ratio"});
   table.set_precision(2);
 
   double worst_priority = 0.0;
   double worst_fifo = 0.0;
-  for (Family& fam : make_families(p, scales.scale)) {
-    const opt::MakespanBounds lb = opt::makespan_lower_bounds(fam.workload, fam.k, 1);
-    const auto ratio = [&](const SimConfig& cfg) {
-      return static_cast<double>(simulate(fam.workload, cfg).makespan) /
-             static_cast<double>(lb.lower());
+  for (std::size_t i = 0; i < families.size(); ++i) {
+    const auto ratio = [&](std::size_t j) {
+      return static_cast<double>(results[3 * i + j].metrics.makespan) /
+             static_cast<double>(bounds[i].lower());
     };
-    const double fifo = ratio(SimConfig::fifo(fam.k));
-    const double prio = ratio(SimConfig::priority(fam.k));
-    const double dyn = ratio(SimConfig::dynamic_priority(fam.k, 10.0));
+    const double fifo = ratio(0);
+    const double prio = ratio(1);
+    const double dyn = ratio(2);
     worst_priority = std::max(worst_priority, prio);
     worst_fifo = std::max(worst_fifo, fifo);
-    table.row() << fam.name << fam.k << lb.lower() << fifo << prio << dyn;
+    table.row() << families[i].name << families[i].k << bounds[i].lower()
+                << fifo << prio << dyn;
   }
-  table.print_text(std::cout);
+  bo.print(table);
 
-  std::printf(
-      "\nsummary: worst Priority ratio %.2f vs worst FIFO ratio %.2f — no "
-      "family manufactured a bad ratio for Priority (Theorem 1), matching "
-      "the paper's negative result.\n",
-      worst_priority, worst_fifo);
-  std::printf("total wall time: %.1fs\n", watch.seconds());
+  note(bo,
+       "\nsummary: worst Priority ratio %.2f vs worst FIFO ratio %.2f — no "
+       "family manufactured a bad ratio for Priority (Theorem 1), matching "
+       "the paper's negative result.\n",
+       worst_priority, worst_fifo);
+  note(bo, "total wall time: %.1fs\n", watch.seconds());
   return 0;
 }

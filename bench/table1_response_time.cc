@@ -18,9 +18,10 @@ namespace {
 using namespace hbmsim;
 using namespace hbmsim::bench;
 
-void run_dataset(const char* title, const Workload& w, std::uint64_t k) {
-  std::printf("\n--- %s (p=%zu, k=%llu) ---\n", title, w.num_threads(),
-              static_cast<unsigned long long>(k));
+void run_dataset(const char* title, const Workload& w, std::uint64_t k,
+                 const BenchOptions& bo) {
+  note(bo, "\n--- %s (p=%zu, k=%llu) ---\n", title, w.num_threads(),
+       static_cast<unsigned long long>(k));
 
   std::vector<SimConfig> configs;
   configs.push_back(SimConfig::fifo(k));
@@ -43,27 +44,28 @@ void run_dataset(const char* title, const Workload& w, std::uint64_t k) {
   };
 
   exp::Table table({"Queuing Policy", "Inconsistency", "Response Time"});
-  const auto results = exp::run_policies(w, configs);
+  const auto results = exp::run_policies(w, configs, bo.runner());
   for (std::size_t i = 0; i < results.size(); ++i) {
     table.row() << labels[i] << results[i].metrics.inconsistency()
                 << results[i].metrics.mean_response();
   }
-  table.print_text(std::cout);
+  bo.print(table);
 
   const auto& fifo = results.front().metrics;
   const auto& prio = results.back().metrics;
-  std::printf(
-      "checks: FIFO lowest inconsistency %s | Priority lowest response %s\n",
-      fifo.inconsistency() <= prio.inconsistency() ? "yes" : "NO",
-      prio.mean_response() <= fifo.mean_response() ? "yes" : "NO");
+  note(bo,
+       "checks: FIFO lowest inconsistency %s | Priority lowest response %s\n",
+       fifo.inconsistency() <= prio.inconsistency() ? "yes" : "NO",
+       prio.mean_response() <= fifo.mean_response() ? "yes" : "NO");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions bo = parse_bench_options(argc, argv);
   const Scales scales = current_scales();
-  banner("Table 1: inconsistency and average response time per policy",
-         scales);
+  banner("Table 1: inconsistency and average response time per policy", scales,
+         bo);
   Stopwatch watch;
 
   const std::size_t p = scales.scale == BenchScale::kPaper ? 50 : 24;
@@ -71,9 +73,9 @@ int main() {
   const Workload sort = sort_workload(scales, p);
 
   run_dataset("Table 1a: sparse matrix multiplication", spgemm,
-              contended_k(scales, spgemm));
-  run_dataset("Table 1b: GNU sort", sort, contended_k(scales, sort));
+              contended_k(scales, spgemm), bo);
+  run_dataset("Table 1b: GNU sort", sort, contended_k(scales, sort), bo);
 
-  std::printf("\ntotal wall time: %.1fs\n", watch.seconds());
+  note(bo, "\ntotal wall time: %.1fs\n", watch.seconds());
   return 0;
 }

@@ -21,12 +21,14 @@
 #include "knl/pointer_chase.h"
 #include "util/format.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hbmsim;
   using namespace hbmsim::bench;
 
+  const BenchOptions bo = parse_bench_options(argc, argv);
   const Scales scales = current_scales();
-  banner("Table 2a / Figure 6: pointer-chase latency on simulated KNL", scales);
+  banner("Table 2a / Figure 6: pointer-chase latency on simulated KNL", scales,
+         bo);
   Stopwatch watch;
 
   const bool paper = scales.scale == BenchScale::kPaper;
@@ -34,10 +36,45 @@ int main() {
   const std::uint64_t min_bytes = paper ? (16ull << 20) : (16ull << 20) >> 6;
   const std::uint64_t max_bytes = paper ? (64ull << 30) : (64ull << 30) >> 6;
 
-  const auto results = knl::pointer_chase_sweep(
-      {knl::MemoryMode::kFlatDdr, knl::MemoryMode::kFlatHbm,
-       knl::MemoryMode::kCacheMode},
-      min_bytes, max_bytes, scales.ops, shift);
+  // Same enumeration as knl::pointer_chase_sweep, but as an explicit work
+  // list so the points run on the parallel engine (each point is a pure
+  // function of (machine, bytes, ops, seed)).
+  struct Item {
+    knl::MachineConfig machine;
+    std::uint64_t bytes;
+  };
+  std::vector<Item> items;
+  for (const knl::MemoryMode mode :
+       {knl::MemoryMode::kFlatDdr, knl::MemoryMode::kFlatHbm,
+        knl::MemoryMode::kCacheMode}) {
+    const knl::MachineConfig machine =
+        shift == 0 ? knl::MachineConfig::knl(mode)
+                   : knl::MachineConfig::knl_scaled(mode, shift);
+    for (std::uint64_t bytes = min_bytes; bytes <= max_bytes; bytes *= 2) {
+      if (mode == knl::MemoryMode::kFlatHbm && bytes > machine.hbm_bytes) {
+        continue;  // the paper stops the HBM series at 8 GiB for the same reason
+      }
+      items.push_back({machine, bytes});
+    }
+  }
+
+  std::vector<knl::PointerChaseResult> results(items.size());
+  exp::parallel_for(items.size(), bo.jobs, [&](std::size_t i) {
+    results[i] = knl::run_pointer_chase(items[i].machine, items[i].bytes,
+                                        scales.ops);
+  });
+
+  if (bo.format == Format::kJson) {
+    for (const auto& r : results) {
+      exp::JsonObject obj;
+      obj.field("bench", "pointer_chase");
+      obj.field("mode", knl::to_string(r.mode));
+      obj.field("array_bytes", r.array_bytes);
+      obj.field("avg_ns", r.avg_ns);
+      obj.field("mcdram_hit_rate", r.mcdram_hit_rate);
+      std::cout << obj.str() << '\n';
+    }
+  }
 
   // Pivot into the paper's table layout: one row per array size.
   std::map<std::uint64_t, std::array<double, 3>> rows;
@@ -52,20 +89,20 @@ int main() {
                 << (hbm == 0.0 ? std::string("-") : format_fixed(hbm, 1))
                 << format_fixed(ns[static_cast<int>(knl::MemoryMode::kCacheMode)], 1);
   }
-  table.print_text(std::cout);
+  bo.print(table);
 
   // Headline checks against the paper's properties.
   constexpr int kDdr = static_cast<int>(knl::MemoryMode::kFlatDdr);
   constexpr int kCache = static_cast<int>(knl::MemoryMode::kCacheMode);
   const auto& largest = rows.rbegin()->second;
   const auto& smallest = rows.begin()->second;
-  std::printf(
-      "\nchecks: cache-mode beyond-HBM latency exceeds flat DRAM at the "
-      "largest array: %s (%.1f vs %.1f ns)\n",
-      largest[kCache] > largest[kDdr] ? "yes" : "NO", largest[kCache],
-      largest[kDdr]);
-  std::printf("        latency climbs from smallest to largest array: %s\n",
-              largest[kDdr] > smallest[kDdr] ? "yes" : "NO");
-  std::printf("total wall time: %.1fs\n", watch.seconds());
+  note(bo,
+       "\nchecks: cache-mode beyond-HBM latency exceeds flat DRAM at the "
+       "largest array: %s (%.1f vs %.1f ns)\n",
+       largest[kCache] > largest[kDdr] ? "yes" : "NO", largest[kCache],
+       largest[kDdr]);
+  note(bo, "        latency climbs from smallest to largest array: %s\n",
+       largest[kDdr] > smallest[kDdr] ? "yes" : "NO");
+  note(bo, "total wall time: %.1fs\n", watch.seconds());
   return 0;
 }

@@ -15,20 +15,52 @@
 #include "knl/glups.h"
 #include "util/format.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hbmsim;
   using namespace hbmsim::bench;
 
+  const BenchOptions bo = parse_bench_options(argc, argv);
   const Scales scales = current_scales();
-  banner("Table 2b: GLUPS bandwidth on simulated KNL (272 threads)", scales);
+  banner("Table 2b: GLUPS bandwidth on simulated KNL (272 threads)", scales,
+         bo);
   Stopwatch watch;
 
   // The bandwidth model is cheap even at the full 16 GiB MCDRAM, so both
-  // scales run the paper's true sizes: 512 MiB .. 64 GiB.
-  const auto results = knl::glups_sweep(
-      {knl::MemoryMode::kFlatDdr, knl::MemoryMode::kFlatHbm,
-       knl::MemoryMode::kCacheMode},
-      512ull << 20, 64ull << 30);
+  // scales run the paper's true sizes: 512 MiB .. 64 GiB. Same enumeration
+  // as knl::glups_sweep, parallelized over (mode, size) points.
+  struct Item {
+    knl::MachineConfig machine;
+    std::uint64_t bytes;
+  };
+  std::vector<Item> items;
+  for (const knl::MemoryMode mode :
+       {knl::MemoryMode::kFlatDdr, knl::MemoryMode::kFlatHbm,
+        knl::MemoryMode::kCacheMode}) {
+    const knl::MachineConfig machine = knl::MachineConfig::knl(mode);
+    for (std::uint64_t bytes = 512ull << 20; bytes <= 64ull << 30; bytes *= 2) {
+      if (mode == knl::MemoryMode::kFlatHbm && bytes > machine.hbm_bytes) {
+        continue;
+      }
+      items.push_back({machine, bytes});
+    }
+  }
+
+  std::vector<knl::GlupsResult> results(items.size());
+  exp::parallel_for(items.size(), bo.jobs, [&](std::size_t i) {
+    results[i] = knl::run_glups(items[i].machine, items[i].bytes);
+  });
+
+  if (bo.format == Format::kJson) {
+    for (const auto& r : results) {
+      exp::JsonObject obj;
+      obj.field("bench", "glups");
+      obj.field("mode", knl::to_string(r.mode));
+      obj.field("array_bytes", r.array_bytes);
+      obj.field("bandwidth_mibs", r.bandwidth_mibs);
+      obj.field("mcdram_hit_rate", r.mcdram_hit_rate);
+      std::cout << obj.str() << '\n';
+    }
+  }
 
   std::map<std::uint64_t, std::array<double, 3>> rows;
   std::map<std::uint64_t, double> hit_rates;
@@ -52,17 +84,17 @@ int main() {
                        bw[static_cast<int>(knl::MemoryMode::kCacheMode)]))
                 << format_fixed(hit_rates[bytes] * 100.0, 1);
   }
-  table.print_text(std::cout);
+  bo.print(table);
 
   constexpr int kHbm = static_cast<int>(knl::MemoryMode::kFlatHbm);
   constexpr int kDdr = static_cast<int>(knl::MemoryMode::kFlatDdr);
   constexpr int kCache = static_cast<int>(knl::MemoryMode::kCacheMode);
   const auto& at8g = rows[8ull << 30];
   const auto& at32g = rows[32ull << 30];
-  std::printf("\nchecks: HBM/DRAM bandwidth ratio at 8GiB: %.1fx (paper 4.8x)\n",
-              at8g[kHbm] / at8g[kDdr]);
-  std::printf("        cache-mode drop 8GiB->32GiB: %.2fx (paper ~0.48x)\n",
-              at32g[kCache] / at8g[kCache]);
-  std::printf("total wall time: %.1fs\n", watch.seconds());
+  note(bo, "\nchecks: HBM/DRAM bandwidth ratio at 8GiB: %.1fx (paper 4.8x)\n",
+       at8g[kHbm] / at8g[kDdr]);
+  note(bo, "        cache-mode drop 8GiB->32GiB: %.2fx (paper ~0.48x)\n",
+       at32g[kCache] / at8g[kCache]);
+  note(bo, "total wall time: %.1fs\n", watch.seconds());
   return 0;
 }

@@ -115,32 +115,56 @@ struct SimConfig {
   /// Safety valve: abort if the simulation exceeds this many ticks.
   std::uint64_t max_ticks = std::uint64_t{1} << 42;
 
-  /// Throws ConfigError when parameters are inconsistent.
-  void validate(std::uint32_t num_threads) const {
+  /// Describe the first inconsistency in this configuration for a
+  /// workload of `num_threads` cores; empty string when valid. The single
+  /// source of truth for config checking — the Simulator constructor, the
+  /// CLI, and the experiment runner all call it (directly or via
+  /// validate()), so an invalid point reports one descriptive message
+  /// instead of failing on scattered ad-hoc checks.
+  [[nodiscard]] std::string validation_error(std::uint32_t num_threads) const {
     if (hbm_slots == 0) {
-      throw ConfigError("hbm_slots (k) must be positive");
+      return "hbm_slots (k) must be positive";
     }
     if (num_channels == 0) {
-      throw ConfigError("num_channels (q) must be positive");
+      return "num_channels (q) must be positive";
     }
     if (num_channels > hbm_slots) {
-      throw ConfigError("num_channels (q) must not exceed hbm_slots (k)");
+      return "num_channels (q=" + std::to_string(num_channels) +
+             ") must not exceed hbm_slots (k=" + std::to_string(hbm_slots) + ")";
     }
     if (num_threads == 0) {
-      throw ConfigError("workload must have at least one thread");
+      return "workload must have at least one thread";
     }
     if (remap_scheme != RemapScheme::kNone && remap_period == 0) {
-      throw ConfigError("remap_scheme set but remap_period is 0");
+      return std::string("remap_scheme '") + to_string(remap_scheme) +
+             "' set but remap_period (T) is 0";
     }
     if (arbitration != ArbitrationKind::kPriority &&
         remap_scheme != RemapScheme::kNone) {
-      throw ConfigError("remap_scheme only applies to priority arbitration");
+      return std::string("remap_scheme only applies to priority arbitration "
+                         "(arbitration is '") +
+             to_string(arbitration) + "')";
     }
     if (arbitration == ArbitrationKind::kFrFcfs && row_pages == 0) {
-      throw ConfigError("FR-FCFS requires a positive row size");
+      return "FR-FCFS requires a positive row size (row_pages)";
     }
     if (fetch_ticks == 0) {
-      throw ConfigError("fetch_ticks must be at least 1");
+      return "fetch_ticks must be at least 1";
+    }
+    if (channel_binding == ChannelBinding::kHashed && num_channels < 2) {
+      return "hashed channel binding needs at least 2 channels (q=" +
+             std::to_string(num_channels) + " is equivalent to binding 'any')";
+    }
+    if (max_ticks == 0) {
+      return "max_ticks must be positive";
+    }
+    return {};
+  }
+
+  /// Throws ConfigError when parameters are inconsistent.
+  void validate(std::uint32_t num_threads) const {
+    if (std::string message = validation_error(num_threads); !message.empty()) {
+      throw ConfigError(std::move(message));
     }
   }
 

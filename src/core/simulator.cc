@@ -7,9 +7,22 @@
 
 namespace hbmsim {
 
+namespace {
+
+// Validate before the delegated-to constructor builds anything (notably
+// the HbmCache, whose own capacity check would otherwise fire first with
+// a less descriptive message).
+const SimConfig& validated(const SimConfig& config, const Workload& workload) {
+  config.validate(static_cast<std::uint32_t>(workload.num_threads()));
+  return config;
+}
+
+}  // namespace
+
 Simulator::Simulator(const Workload& workload, const SimConfig& config)
     : Simulator(workload, config,
-                std::make_unique<HbmCache>(config.hbm_slots, config.replacement)) {}
+                std::make_unique<HbmCache>(validated(config, workload).hbm_slots,
+                                           config.replacement)) {}
 
 Simulator::Simulator(const Workload& workload, const SimConfig& config,
                      std::unique_ptr<CacheModel> cache)

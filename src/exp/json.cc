@@ -1,0 +1,143 @@
+#include "exp/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace hbmsim::exp {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Trim to the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
+    double parsed = 0.0;
+    std::sscanf(shorter, "%lf", &parsed);
+    if (parsed == v) {
+      return shorter;
+    }
+  }
+  return buf;
+}
+
+void JsonObject::key(std::string_view k) {
+  if (body_.size() > 1) {
+    body_ += ',';
+  }
+  body_ += '"';
+  body_ += json_escape(k);
+  body_ += "\":";
+}
+
+JsonObject& JsonObject::field(std::string_view k, std::string_view value) {
+  key(k);
+  body_ += '"';
+  body_ += json_escape(value);
+  body_ += '"';
+  return *this;
+}
+JsonObject& JsonObject::field(std::string_view k, const char* value) {
+  return field(k, std::string_view(value));
+}
+JsonObject& JsonObject::field(std::string_view k, std::uint64_t value) {
+  key(k);
+  body_ += std::to_string(value);
+  return *this;
+}
+JsonObject& JsonObject::field(std::string_view k, std::int64_t value) {
+  key(k);
+  body_ += std::to_string(value);
+  return *this;
+}
+JsonObject& JsonObject::field(std::string_view k, int value) {
+  return field(k, static_cast<std::int64_t>(value));
+}
+JsonObject& JsonObject::field(std::string_view k, unsigned value) {
+  return field(k, static_cast<std::uint64_t>(value));
+}
+JsonObject& JsonObject::field(std::string_view k, double value) {
+  key(k);
+  body_ += json_double(value);
+  return *this;
+}
+JsonObject& JsonObject::field(std::string_view k, bool value) {
+  key(k);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+JsonObject& JsonObject::raw_field(std::string_view k, std::string_view json) {
+  key(k);
+  body_ += json;
+  return *this;
+}
+
+std::string to_json(const SimConfig& config) {
+  JsonObject o;
+  o.field("policy", config.policy_name())
+      .field("hbm_slots", config.hbm_slots)
+      .field("num_channels", config.num_channels)
+      .field("arbitration", to_string(config.arbitration))
+      .field("replacement", to_string(config.replacement))
+      .field("channel_binding", to_string(config.channel_binding))
+      .field("remap_scheme", to_string(config.remap_scheme))
+      .field("remap_period", config.remap_period)
+      .field("fetch_ticks", config.fetch_ticks)
+      .field("seed", config.seed)
+      .field("shared_pages", config.shared_pages);
+  if (config.arbitration == ArbitrationKind::kFrFcfs) {
+    o.field("row_pages", config.row_pages);
+  }
+  return o.str();
+}
+
+std::string to_json(const RunMetrics& m) {
+  JsonObject o;
+  o.field("makespan", m.makespan)
+      .field("total_refs", m.total_refs)
+      .field("hits", m.hits)
+      .field("misses", m.misses)
+      .field("evictions", m.evictions)
+      .field("fetches", m.fetches)
+      .field("remaps", m.remaps)
+      .field("requeues", m.requeues)
+      .field("hit_rate", m.hit_rate())
+      .field("mean_response", m.mean_response())
+      .field("inconsistency", m.inconsistency())
+      .field("max_response", m.max_response())
+      .field("completion_spread", m.completion_spread());
+  if (m.response_hist.total() > 0) {
+    o.field("response_p50", m.response_quantile(0.50))
+        .field("response_p99", m.response_quantile(0.99))
+        .field("response_p999", m.response_quantile(0.999));
+  }
+  return o.str();
+}
+
+}  // namespace hbmsim::exp

@@ -1,0 +1,61 @@
+// Structured (machine-readable) experiment output: a tiny dependency-free
+// JSON object builder plus to_json() serializers for the simulation types.
+//
+// The emitters are deliberately flat — one JSON object per experiment
+// point, one line per object (JSONL) — so campaign outputs stream straight
+// into jq / pandas / DuckDB without a schema registry. Non-finite doubles
+// (the NaN ratio of a zero-makespan run, an empty stat's ±inf) serialize
+// as `null`, never as bare `nan`, so every emitted line stays valid JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/config.h"
+#include "core/metrics.h"
+
+namespace hbmsim::exp {
+
+/// Escape a string for inclusion inside JSON double quotes.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Render a double as a JSON value: shortest round-trip form, or `null`
+/// for NaN / ±inf.
+[[nodiscard]] std::string json_double(double v);
+
+/// Minimal append-only JSON object builder.
+///
+///   JsonObject o;
+///   o.field("label", point.label).field("makespan", m.makespan);
+///   line = o.str();   // {"label":"fig2b p=100","makespan":123}
+class JsonObject {
+ public:
+  JsonObject& field(std::string_view key, std::string_view value);
+  JsonObject& field(std::string_view key, const char* value);
+  JsonObject& field(std::string_view key, std::uint64_t value);
+  JsonObject& field(std::string_view key, std::int64_t value);
+  JsonObject& field(std::string_view key, int value);
+  JsonObject& field(std::string_view key, unsigned value);
+  JsonObject& field(std::string_view key, double value);
+  JsonObject& field(std::string_view key, bool value);
+  /// Splice a pre-rendered JSON value (object, array, null) verbatim.
+  JsonObject& raw_field(std::string_view key, std::string_view json);
+
+  [[nodiscard]] std::string str() const { return body_ + "}"; }
+
+ private:
+  void key(std::string_view k);
+  std::string body_ = "{";
+};
+
+/// Serialize the full simulation configuration (every knob that affects
+/// the run, plus the derived human-readable policy name).
+[[nodiscard]] std::string to_json(const SimConfig& config);
+
+/// Serialize whole-run metrics. Response-time quantiles are included when
+/// the histogram was collected; per-thread metrics are summarized by the
+/// completion spread (the full vector would dwarf the line at p=200).
+[[nodiscard]] std::string to_json(const RunMetrics& metrics);
+
+}  // namespace hbmsim::exp

@@ -1,0 +1,248 @@
+#include "exp/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+#include "core/simulator.h"
+#include "exp/json.h"
+#include "util/error.h"
+
+namespace hbmsim::exp {
+
+namespace {
+
+PointResult execute_point(const ExpPoint& point) {
+  PointResult r;
+  r.label = point.label;
+  r.config = point.config;
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    HBMSIM_CHECK(point.make_workload != nullptr,
+                 "experiment point '" + point.label + "' has no workload");
+    const Workload workload = point.make_workload();
+    if (point.make_cache) {
+      Simulator sim(workload, point.config, point.make_cache());
+      r.metrics = sim.run();
+    } else {
+      Simulator sim(workload, point.config);
+      r.metrics = sim.run();
+    }
+    r.ok = true;
+  } catch (const std::exception& e) {
+    r.ok = false;
+    r.error = e.what();
+  }
+  r.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return r;
+}
+
+void print_progress(std::size_t completed, std::size_t total,
+                    const PointResult& r) {
+  std::string label = r.label;
+  if (label.size() > 48) {
+    label.resize(48);
+  }
+  if (r.ok) {
+    std::fprintf(stderr, "\r[%zu/%zu] %-48s %6.1f Mticks/s   ", completed,
+                 total, label.c_str(), r.ticks_per_second() / 1e6);
+  } else {
+    std::fprintf(stderr, "\r[%zu/%zu] %-48s FAILED         ", completed, total,
+                 label.c_str());
+  }
+  std::fflush(stderr);
+}
+
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) {
+    return s;
+  }
+  std::string out = "\"";
+  for (const char ch : s) {
+    out += ch == '"' ? std::string("\"\"") : std::string(1, ch);
+  }
+  out += '"';
+  return out;
+}
+
+std::string csv_double(double v) {
+  return std::isfinite(v) ? json_double(v) : std::string("n/a");
+}
+
+}  // namespace
+
+ExpPoint::ExpPoint(std::string label_, Workload workload, SimConfig config_)
+    : label(std::move(label_)),
+      make_workload([w = std::move(workload)] { return w; }),
+      config(config_) {}
+
+ExpPoint::ExpPoint(std::string label_, std::function<Workload()> factory,
+                   SimConfig config_)
+    : label(std::move(label_)),
+      make_workload(std::move(factory)),
+      config(config_) {}
+
+std::string to_json(const PointResult& r) {
+  JsonObject o;
+  o.field("label", r.label).field("ok", r.ok);
+  if (!r.ok) {
+    o.field("error", r.error);
+  }
+  o.raw_field("config", to_json(r.config));
+  if (r.ok) {
+    o.raw_field("metrics", to_json(r.metrics));
+    o.field("wall_seconds", r.wall_seconds)
+        .field("ticks_per_sec", r.ticks_per_second());
+  }
+  return o.str();
+}
+
+std::string csv_header() {
+  return "label,ok,error,policy,hbm_slots,num_channels,arbitration,"
+         "replacement,channel_binding,remap_scheme,remap_period,fetch_ticks,"
+         "seed,shared_pages,makespan,total_refs,hits,misses,evictions,fetches,"
+         "remaps,requeues,hit_rate,mean_response,inconsistency,max_response,"
+         "completion_spread,response_p50,response_p99,response_p999,"
+         "wall_seconds,ticks_per_sec";
+}
+
+std::string to_csv_row(const PointResult& r) {
+  const SimConfig& c = r.config;
+  const RunMetrics& m = r.metrics;
+  const bool hist = r.ok && m.response_hist.total() > 0;
+  std::string row;
+  row += csv_escape(r.label);
+  row += r.ok ? ",1," : ",0,";
+  row += csv_escape(r.error);
+  row += ',' + csv_escape(c.policy_name());
+  row += ',' + std::to_string(c.hbm_slots);
+  row += ',' + std::to_string(c.num_channels);
+  row += ',' + std::string(to_string(c.arbitration));
+  row += ',' + std::string(to_string(c.replacement));
+  row += ',' + std::string(to_string(c.channel_binding));
+  row += ',' + std::string(to_string(c.remap_scheme));
+  row += ',' + std::to_string(c.remap_period);
+  row += ',' + std::to_string(c.fetch_ticks);
+  row += ',' + std::to_string(c.seed);
+  row += c.shared_pages ? ",1" : ",0";
+  row += ',' + std::to_string(m.makespan);
+  row += ',' + std::to_string(m.total_refs);
+  row += ',' + std::to_string(m.hits);
+  row += ',' + std::to_string(m.misses);
+  row += ',' + std::to_string(m.evictions);
+  row += ',' + std::to_string(m.fetches);
+  row += ',' + std::to_string(m.remaps);
+  row += ',' + std::to_string(m.requeues);
+  row += ',' + csv_double(m.hit_rate());
+  row += ',' + csv_double(m.mean_response());
+  row += ',' + csv_double(m.inconsistency());
+  row += ',' + std::to_string(m.max_response());
+  row += ',' + std::to_string(m.completion_spread());
+  row += ',' + (hist ? csv_double(m.response_quantile(0.50)) : std::string("n/a"));
+  row += ',' + (hist ? csv_double(m.response_quantile(0.99)) : std::string("n/a"));
+  row += ',' + (hist ? csv_double(m.response_quantile(0.999)) : std::string("n/a"));
+  row += ',' + csv_double(r.wall_seconds);
+  row += ',' + csv_double(r.ticks_per_second());
+  return row;
+}
+
+std::size_t resolve_jobs(std::size_t jobs) {
+  if (jobs != 0) {
+    return jobs;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallel_for(std::size_t n, std::size_t jobs,
+                  const std::function<void(std::size_t)>& fn) {
+  jobs = std::min(resolve_jobs(jobs), n);
+  if (n == 0) {
+    return;
+  }
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) {
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(jobs - 1);
+  for (std::size_t j = 0; j + 1 < jobs; ++j) {
+    pool.emplace_back(worker);
+  }
+  worker();  // the calling thread participates
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+std::vector<PointResult> run_points(const std::vector<ExpPoint>& points,
+                                    const RunnerOptions& opts) {
+  std::vector<PointResult> results(points.size());
+  std::vector<char> finished(points.size(), 0);
+  std::size_t next_emit = 0;
+  std::size_t completed = 0;
+  std::mutex mu;
+
+  parallel_for(points.size(), opts.jobs, [&](std::size_t i) {
+    PointResult r = execute_point(points[i]);
+    const std::lock_guard<std::mutex> lock(mu);
+    ++completed;
+    if (opts.progress) {
+      print_progress(completed, points.size(), r);
+    }
+    results[i] = std::move(r);
+    finished[i] = 1;
+    // Stream in input order: emit the longest finished prefix.
+    while (next_emit < results.size() && finished[next_emit] != 0) {
+      if (opts.jsonl != nullptr) {
+        *opts.jsonl << to_json(results[next_emit]) << '\n';
+      }
+      ++next_emit;
+    }
+  });
+
+  if (opts.progress && !points.empty()) {
+    std::fputc('\n', stderr);
+  }
+  if (opts.jsonl != nullptr) {
+    opts.jsonl->flush();
+  }
+  return results;
+}
+
+}  // namespace hbmsim::exp

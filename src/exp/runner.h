@@ -1,0 +1,109 @@
+// The parallel experiment runner: executes a campaign of independent,
+// named simulation points across N worker threads.
+//
+// Design contract (tested by tests/runner_test.cc):
+//   * Determinism — each point owns its Workload (materialized inside the
+//     worker via the point's factory) and its RNG seeds live in SimConfig,
+//     so the RunMetrics of every point are bit-identical whether the
+//     campaign runs with jobs=1 or jobs=N, in any completion order.
+//   * Input order — results[i] always corresponds to points[i], and the
+//     optional JSONL stream emits lines in input order (a finished point
+//     is held back until every earlier point has been emitted).
+//   * Fault isolation — a point whose workload factory or simulation
+//     throws reports {label, error} in its result instead of aborting the
+//     rest of the campaign.
+//
+// The engine is deliberately simple: one atomic next-point cursor, no
+// task graph. Experiment points are coarse (milliseconds to minutes), so
+// self-scheduling on an atomic counter load-balances as well as work
+// stealing would, with none of the machinery.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/hbm_cache.h"
+#include "core/metrics.h"
+#include "trace/trace.h"
+
+namespace hbmsim::exp {
+
+/// One named simulation point: a label for humans and logs, a workload
+/// (by value or by factory), and the full configuration.
+struct ExpPoint {
+  std::string label;
+  /// Invoked inside the worker thread; must be safe to call concurrently
+  /// with other points' factories (generator functions that only read
+  /// their captures qualify).
+  std::function<Workload()> make_workload;
+  SimConfig config;
+  /// Optional custom residency model (e.g. assoc::DirectMappedCache);
+  /// when set, SimConfig::hbm_slots / ::replacement are ignored in favour
+  /// of the supplied model, mirroring the Simulator constructor overload.
+  std::function<std::unique_ptr<CacheModel>()> make_cache;
+
+  ExpPoint() = default;
+  /// Share an already-materialized workload (cheap: traces are shared_ptr).
+  ExpPoint(std::string label_, Workload workload, SimConfig config_);
+  /// Materialize the workload lazily inside the worker.
+  ExpPoint(std::string label_, std::function<Workload()> factory,
+           SimConfig config_);
+};
+
+/// Outcome of one point. When `ok` is false the simulation never ran to
+/// completion and `error` holds the reason; `metrics` is default-zero.
+struct PointResult {
+  std::string label;
+  SimConfig config;
+  RunMetrics metrics;
+  double wall_seconds = 0.0;
+  bool ok = false;
+  std::string error;
+
+  /// Simulated-ticks-per-wall-second throughput (0 when unknown).
+  [[nodiscard]] double ticks_per_second() const noexcept {
+    return wall_seconds <= 0.0 ? 0.0
+                               : static_cast<double>(metrics.makespan) /
+                                     wall_seconds;
+  }
+};
+
+/// Serialize one result as a single JSON object (one JSONL line).
+[[nodiscard]] std::string to_json(const PointResult& result);
+
+/// CSV header + row matching to_csv_row's flat column set. Non-finite
+/// doubles render as "n/a".
+[[nodiscard]] std::string csv_header();
+[[nodiscard]] std::string to_csv_row(const PointResult& result);
+
+struct RunnerOptions {
+  /// Worker threads. 1 = run serially on the calling thread (the
+  /// reference path); 0 = one per hardware thread.
+  std::size_t jobs = 1;
+  /// Live progress line on stderr: `[12/35] fig2b p=100 k=2000  3.1 Mticks/s`.
+  bool progress = false;
+  /// When set, every finished point is appended here in input order, one
+  /// JSON object per line (JSONL).
+  std::ostream* jsonl = nullptr;
+};
+
+/// Execute all points and return their results in input order.
+[[nodiscard]] std::vector<PointResult> run_points(
+    const std::vector<ExpPoint>& points, const RunnerOptions& opts = {});
+
+/// Lower-level building block: invoke fn(0..n-1) across `jobs` threads
+/// (jobs<=1 runs inline). The first exception thrown by any invocation is
+/// rethrown on the calling thread after all workers join. Used by
+/// run_points and by harnesses whose unit of work is not a Simulator run
+/// (e.g. the KNL microbenchmark sweeps).
+void parallel_for(std::size_t n, std::size_t jobs,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Resolve a jobs request: 0 → hardware_concurrency (min 1).
+[[nodiscard]] std::size_t resolve_jobs(std::size_t jobs);
+
+}  // namespace hbmsim::exp

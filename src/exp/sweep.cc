@@ -1,17 +1,97 @@
 #include "exp/sweep.h"
 
+#include <utility>
+
+#include "util/error.h"
+
 namespace hbmsim::exp {
 
+SweepSpec& SweepSpec::workload(Workload w) {
+  factory_ = [w = std::move(w)](std::size_t) { return w; };
+  return *this;
+}
+
+SweepSpec& SweepSpec::workload(WorkloadFactory factory) {
+  factory_ = std::move(factory);
+  return *this;
+}
+
+SweepSpec& SweepSpec::threads(std::vector<std::size_t> thread_counts) {
+  thread_counts_ = std::move(thread_counts);
+  return *this;
+}
+
+SweepSpec& SweepSpec::hbm_sizes(std::vector<std::uint64_t> sizes) {
+  hbm_sizes_ = std::move(sizes);
+  return *this;
+}
+
+SweepSpec& SweepSpec::config(std::string name, ConfigFactory factory) {
+  configs_.push_back({std::move(name), std::move(factory)});
+  return *this;
+}
+
+SweepSpec& SweepSpec::config(std::string name, SimConfig fixed) {
+  configs_.push_back({std::move(name), [fixed](std::uint64_t) { return fixed; }});
+  return *this;
+}
+
+std::vector<ExpPoint> SweepSpec::build() const {
+  HBMSIM_CHECK(static_cast<bool>(factory_), "SweepSpec needs a workload");
+  HBMSIM_CHECK(!configs_.empty(), "SweepSpec needs at least one config");
+
+  // Absent axes collapse to one unlabeled value. k=0 means "the config
+  // factory ignores its argument" (fixed configs).
+  const std::vector<std::size_t> threads =
+      thread_counts_.empty() ? std::vector<std::size_t>{0} : thread_counts_;
+  const std::vector<std::uint64_t> sizes =
+      hbm_sizes_.empty() ? std::vector<std::uint64_t>{0} : hbm_sizes_;
+
+  std::vector<ExpPoint> points;
+  points.reserve(threads.size() * sizes.size() * configs_.size());
+  for (const std::size_t p : threads) {
+    // Materialize once per thread count; every (k, config) point of this
+    // p shares the workload read-only (traces are shared_ptr, so this
+    // costs nothing and keeps generation identical to the serial path).
+    const Workload workload = factory_(p);
+    for (const std::uint64_t k : sizes) {
+      for (const NamedConfig& config : configs_) {
+        std::string label = name_;
+        if (!thread_counts_.empty()) {
+          label += (label.empty() ? "p=" : " p=") + std::to_string(p);
+        }
+        if (!hbm_sizes_.empty()) {
+          label += (label.empty() ? "k=" : " k=") + std::to_string(k);
+        }
+        label += (label.empty() ? "" : " ") + config.name;
+        points.emplace_back(std::move(label), workload, config.make(k));
+      }
+    }
+  }
+  return points;
+}
+
+std::vector<PointResult> SweepSpec::run(const RunnerOptions& opts) const {
+  return run_points(build(), opts);
+}
+
 std::vector<PolicyResult> run_policies(const Workload& workload,
-                                       const std::vector<SimConfig>& configs) {
-  std::vector<PolicyResult> results;
-  results.reserve(configs.size());
+                                       const std::vector<SimConfig>& configs,
+                                       const RunnerOptions& opts) {
+  std::vector<ExpPoint> points;
+  points.reserve(configs.size());
   for (const SimConfig& config : configs) {
-    PolicyResult r;
-    r.policy = config.policy_name();
-    r.config = config;
-    r.metrics = simulate(workload, config);
-    results.push_back(std::move(r));
+    points.emplace_back(config.policy_name(), workload, config);
+  }
+  const std::vector<PointResult> raw = run_points(points, opts);
+
+  std::vector<PolicyResult> results;
+  results.reserve(raw.size());
+  for (const PointResult& r : raw) {
+    if (!r.ok) {
+      throw Error("policy '" + r.label + "' failed: " + r.error);
+    }
+    results.push_back({r.label, r.config, r.metrics, r.wall_seconds});
   }
   return results;
 }
@@ -32,20 +112,36 @@ double fifo_over_priority_makespan(const Workload& workload,
 std::vector<RatioPoint> ratio_sweep(
     const WorkloadFactory& factory, const std::vector<std::size_t>& thread_counts,
     const std::vector<std::uint64_t>& hbm_sizes,
-    const std::function<SimConfig(std::uint64_t)>& make_config_a,
-    const std::function<SimConfig(std::uint64_t)>& make_config_b) {
+    const ConfigFactory& make_config_a, const ConfigFactory& make_config_b,
+    const RunnerOptions& opts) {
+  const std::vector<PointResult> results =
+      SweepSpec()
+          .workload(factory)
+          .threads(thread_counts)
+          .hbm_sizes(hbm_sizes)
+          .config("a", make_config_a)
+          .config("b", make_config_b)
+          .run(opts);
+
   std::vector<RatioPoint> points;
-  points.reserve(thread_counts.size() * hbm_sizes.size());
-  for (const std::size_t p : thread_counts) {
-    const Workload workload = factory(p);
-    for (const std::uint64_t k : hbm_sizes) {
-      RatioPoint point;
-      point.num_threads = p;
-      point.hbm_slots = k;
-      point.makespan_a = simulate(workload, make_config_a(k)).makespan;
-      point.makespan_b = simulate(workload, make_config_b(k)).makespan;
-      points.push_back(point);
+  points.reserve(results.size() / 2);
+  // build() nests configs innermost, so results pair up as (a, b).
+  for (std::size_t i = 0; i + 1 < results.size(); i += 2) {
+    const PointResult& a = results[i];
+    const PointResult& b = results[i + 1];
+    if (!a.ok) {
+      throw Error("sweep point '" + a.label + "' failed: " + a.error);
     }
+    if (!b.ok) {
+      throw Error("sweep point '" + b.label + "' failed: " + b.error);
+    }
+    const std::size_t grid = i / 2;
+    RatioPoint point;
+    point.num_threads = thread_counts[grid / hbm_sizes.size()];
+    point.hbm_slots = hbm_sizes[grid % hbm_sizes.size()];
+    point.makespan_a = a.metrics.makespan;
+    point.makespan_b = b.metrics.makespan;
+    points.push_back(point);
   }
   return points;
 }

@@ -1,30 +1,103 @@
-// Experiment-sweep helpers shared by the bench binaries: run a workload
-// under several policies, compute the paper's ratio metrics, and name
-// points consistently.
+// The experiment-sweep API shared by the bench binaries and the CLI.
+//
+// Everything funnels through one engine (exp/runner.h): a SweepSpec
+// describes a campaign as named axes (thread counts × HBM sizes ×
+// configs), builds the cross product of ExpPoints, and runs them through
+// the parallel runner. The historical helpers run_policies() and
+// ratio_sweep() are thin wrappers over the same path, so a sweep behaves
+// identically — bit-for-bit — whether it runs serially or on N worker
+// threads.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "core/config.h"
 #include "core/metrics.h"
 #include "core/simulator.h"
+#include "exp/runner.h"
 #include "trace/trace.h"
 
 namespace hbmsim::exp {
+
+/// A (thread count → workload) factory, used by thread-count sweeps.
+using WorkloadFactory = std::function<Workload(std::size_t num_threads)>;
+
+/// A (k → config) factory: receives the HBM size axis value and must set
+/// everything else.
+using ConfigFactory = std::function<SimConfig(std::uint64_t hbm_slots)>;
+
+/// Declarative sweep builder. Axes:
+///   threads    thread counts p (needs a WorkloadFactory), or absent when
+///              a fixed workload is supplied;
+///   hbm_sizes  HBM capacities k handed to each config factory, or absent
+///              when configs carry their own k;
+///   configs    named (k → SimConfig) factories.
+/// build() emits the cross product threads × hbm_sizes × configs in that
+/// nesting order, labeled "name p=<p> k=<k> <config>"; run() executes it
+/// on the shared engine.
+///
+///   auto results = SweepSpec("fig2b")
+///                      .workload(sort_factory)
+///                      .threads({1, 10, 25})
+///                      .hbm_sizes({1000, 2000})
+///                      .config("fifo", [](std::uint64_t k) { return SimConfig::fifo(k); })
+///                      .config("priority", [](std::uint64_t k) { return SimConfig::priority(k); })
+///                      .run({.jobs = 8});
+class SweepSpec {
+ public:
+  SweepSpec() = default;
+  explicit SweepSpec(std::string name) : name_(std::move(name)) {}
+
+  /// Fixed workload for every point (threads axis unused).
+  SweepSpec& workload(Workload w);
+  /// Per-thread-count workload factory; each p's workload is materialized
+  /// once and shared (read-only) by all of that p's points.
+  SweepSpec& workload(WorkloadFactory factory);
+  SweepSpec& threads(std::vector<std::size_t> thread_counts);
+  SweepSpec& hbm_sizes(std::vector<std::uint64_t> sizes);
+  SweepSpec& config(std::string name, ConfigFactory factory);
+  /// Fixed config (ignores the k axis).
+  SweepSpec& config(std::string name, SimConfig fixed);
+
+  /// Materialize the cross product. Workload factories run here (serially,
+  /// once per thread count); simulation happens later, in run_points.
+  [[nodiscard]] std::vector<ExpPoint> build() const;
+
+  /// build() + run_points() in one step.
+  [[nodiscard]] std::vector<PointResult> run(const RunnerOptions& opts = {}) const;
+
+ private:
+  struct NamedConfig {
+    std::string name;
+    ConfigFactory make;
+  };
+  std::string name_;
+  WorkloadFactory factory_;
+  std::vector<std::size_t> thread_counts_;
+  std::vector<std::uint64_t> hbm_sizes_;
+  std::vector<NamedConfig> configs_;
+};
 
 /// One simulated configuration with its outcome.
 struct PolicyResult {
   std::string policy;
   SimConfig config;
   RunMetrics metrics;
+  double wall_seconds = 0.0;
 };
 
 /// Run `workload` under each config; returns results in input order.
+/// A failed point rethrows its error (the historical contract); pass the
+/// configs through SweepSpec/run_points directly to capture errors
+/// per-point instead.
 [[nodiscard]] std::vector<PolicyResult> run_policies(
-    const Workload& workload, const std::vector<SimConfig>& configs);
+    const Workload& workload, const std::vector<SimConfig>& configs,
+    const RunnerOptions& opts = {});
 
 /// The paper's headline ratio: FIFO makespan / Priority makespan
 /// (> 1 means Priority wins).
@@ -32,17 +105,17 @@ struct PolicyResult {
                                                  std::uint64_t hbm_slots,
                                                  std::uint32_t channels = 1);
 
-/// A (thread count → workload) factory, used by thread-count sweeps.
-using WorkloadFactory = std::function<Workload(std::size_t num_threads)>;
-
 /// One row of a thread-count sweep comparing two configs.
 struct RatioPoint {
   std::size_t num_threads = 0;
   std::uint64_t hbm_slots = 0;
   Tick makespan_a = 0;
   Tick makespan_b = 0;
+  /// makespan_a / makespan_b; NaN when makespan_b == 0 (an empty or
+  /// failed run) — table and JSON writers render NaN as "n/a"/null, so
+  /// the sentinel can never be mistaken for a real ratio.
   [[nodiscard]] double ratio() const noexcept {
-    return makespan_b == 0 ? 0.0
+    return makespan_b == 0 ? std::numeric_limits<double>::quiet_NaN()
                            : static_cast<double>(makespan_a) /
                                  static_cast<double>(makespan_b);
   }
@@ -54,7 +127,7 @@ struct RatioPoint {
 [[nodiscard]] std::vector<RatioPoint> ratio_sweep(
     const WorkloadFactory& factory, const std::vector<std::size_t>& thread_counts,
     const std::vector<std::uint64_t>& hbm_sizes,
-    const std::function<SimConfig(std::uint64_t)>& make_config_a,
-    const std::function<SimConfig(std::uint64_t)>& make_config_b);
+    const ConfigFactory& make_config_a, const ConfigFactory& make_config_b,
+    const RunnerOptions& opts = {});
 
 }  // namespace hbmsim::exp

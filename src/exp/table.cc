@@ -1,6 +1,7 @@
 #include "exp/table.h"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -51,6 +52,12 @@ Table::RowBuilder& Table::RowBuilder::operator<<(unsigned v) {
   return *this;
 }
 Table::RowBuilder& Table::RowBuilder::operator<<(double v) {
+  // NaN (e.g. a ratio over a zero makespan) must not render as "nan" or
+  // "-nan" — a silently-wrong-looking number; "n/a" says what it means.
+  if (std::isnan(v)) {
+    cells_.emplace_back("n/a");
+    return *this;
+  }
   std::ostringstream os;
   os << std::fixed << std::setprecision(table_.precision_) << v;
   cells_.push_back(os.str());

@@ -1,0 +1,381 @@
+// Tests for the parallel experiment runner (exp/runner.h) and the
+// SweepSpec campaign builder (exp/sweep.h).
+//
+// The load-bearing guarantee is determinism: a campaign run with jobs=N
+// must produce results bit-identical to the serial jobs=1 reference path,
+// in input order, regardless of completion order.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "core/simulator.h"
+#include "exp/json.h"
+#include "exp/runner.h"
+#include "exp/sweep.h"
+#include "exp/table.h"
+#include "util/error.h"
+#include "workloads/synthetic.h"
+
+namespace hbmsim {
+namespace {
+
+Workload small_workload(std::size_t threads, std::uint64_t seed = 3) {
+  workloads::SyntheticOptions opts;
+  opts.kind = workloads::SyntheticKind::kZipf;
+  opts.num_pages = 128;
+  opts.length = 4'000;
+  opts.zipf_s = 0.9;
+  opts.seed = seed;
+  return workloads::make_synthetic_workload(threads, opts);
+}
+
+/// Every metric the simulator reports, as a comparable tuple-ish string.
+std::string fingerprint(const RunMetrics& m) {
+  std::ostringstream os;
+  os << m.makespan << '|' << m.total_refs << '|' << m.hits << '|' << m.misses
+     << '|' << m.evictions << '|' << m.fetches << '|' << m.remaps << '|'
+     << m.requeues << '|' << m.mean_response() << '|' << m.inconsistency()
+     << '|' << m.max_response() << '|' << m.completion_spread();
+  for (const ThreadMetrics& t : m.per_thread) {
+    os << '#' << t.refs << ',' << t.hits << ',' << t.misses << ','
+       << t.completion_tick << ',' << t.response.mean() << ','
+       << t.response.max();
+  }
+  return os.str();
+}
+
+/// The full policy family × two HBM sizes on one workload — the campaign
+/// used by the determinism tests.
+std::vector<exp::ExpPoint> determinism_campaign() {
+  std::vector<exp::ExpPoint> points;
+  const Workload w = small_workload(8);
+  for (const std::uint64_t k : {64ull, 256ull}) {
+    std::vector<SimConfig> configs = {
+        SimConfig::fifo(k),          SimConfig::priority(k),
+        SimConfig::dynamic_priority(k, 5.0), SimConfig::cycle_priority(k, 5.0),
+    };
+    SimConfig frfcfs = SimConfig::fifo(k);
+    frfcfs.arbitration = ArbitrationKind::kFrFcfs;
+    configs.push_back(frfcfs);
+    SimConfig random = SimConfig::fifo(k);
+    random.arbitration = ArbitrationKind::kRandom;
+    configs.push_back(random);
+    for (const SimConfig& c : configs) {
+      points.emplace_back(c.policy_name() + " k=" + std::to_string(k), w, c);
+    }
+  }
+  return points;
+}
+
+TEST(RunnerTest, ParallelBitIdenticalToSerial) {
+  const std::vector<exp::ExpPoint> points = determinism_campaign();
+  const auto serial = exp::run_points(points, {.jobs = 1});
+  const auto parallel = exp::run_points(points, {.jobs = 4});
+  ASSERT_EQ(serial.size(), points.size());
+  ASSERT_EQ(parallel.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_TRUE(serial[i].ok) << serial[i].label << ": " << serial[i].error;
+    EXPECT_TRUE(parallel[i].ok);
+    EXPECT_EQ(serial[i].label, parallel[i].label);
+    EXPECT_EQ(fingerprint(serial[i].metrics), fingerprint(parallel[i].metrics))
+        << "point " << serial[i].label;
+  }
+}
+
+TEST(RunnerTest, ResultsStayInInputOrder) {
+  // Labels record the input index; results[i].label must match i even
+  // when later points finish long before earlier ones (the first point
+  // has 8x the work of the last).
+  std::vector<exp::ExpPoint> points;
+  for (std::size_t i = 0; i < 12; ++i) {
+    const std::size_t threads = i < 2 ? 8 : 1;
+    points.emplace_back("idx=" + std::to_string(i), small_workload(threads),
+                        SimConfig::priority(64));
+  }
+  const auto results = exp::run_points(points, {.jobs = 4});
+  ASSERT_EQ(results.size(), points.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].label, "idx=" + std::to_string(i));
+  }
+}
+
+TEST(RunnerTest, FailedPointReportsErrorWithoutAborting) {
+  std::vector<exp::ExpPoint> points;
+  points.emplace_back("good-before", small_workload(2), SimConfig::fifo(64));
+  points.emplace_back("bad-config", small_workload(2),
+                      SimConfig::fifo(0));  // k = 0: invalid
+  exp::ExpPoint throwing("bad-factory",
+                         std::function<Workload()>([]() -> Workload {
+                           throw Error("factory exploded");
+                         }),
+                         SimConfig::fifo(64));
+  points.push_back(std::move(throwing));
+  points.emplace_back("good-after", small_workload(2), SimConfig::fifo(64));
+
+  const auto results = exp::run_points(points, {.jobs = 2});
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_NE(results[1].error.find("hbm_slots"), std::string::npos)
+      << results[1].error;
+  EXPECT_FALSE(results[2].ok);
+  EXPECT_NE(results[2].error.find("factory exploded"), std::string::npos);
+  EXPECT_TRUE(results[3].ok);
+  EXPECT_EQ(results[3].metrics.makespan, results[0].metrics.makespan);
+}
+
+TEST(RunnerTest, JsonlStreamIsValidAndInInputOrder) {
+  std::vector<exp::ExpPoint> points;
+  for (std::size_t i = 0; i < 6; ++i) {
+    points.emplace_back("jsonl idx=" + std::to_string(i), small_workload(2),
+                        i == 3 ? SimConfig::fifo(0) : SimConfig::fifo(64));
+  }
+  std::ostringstream stream;
+  exp::RunnerOptions opts;
+  opts.jobs = 3;
+  opts.jsonl = &stream;
+  const auto results = exp::run_points(points, opts);
+
+  std::istringstream lines(stream.str());
+  std::string line;
+  std::size_t i = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_LT(i, results.size());
+    // One object per line, in input order, labels embedded.
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"label\":\"jsonl idx=" + std::to_string(i) + "\""),
+              std::string::npos)
+        << line;
+    if (i == 3) {
+      EXPECT_NE(line.find("\"ok\":false"), std::string::npos) << line;
+      EXPECT_NE(line.find("\"error\":"), std::string::npos) << line;
+    } else {
+      EXPECT_NE(line.find("\"ok\":true"), std::string::npos) << line;
+      EXPECT_NE(line.find("\"makespan\":"), std::string::npos) << line;
+    }
+    ++i;
+  }
+  EXPECT_EQ(i, points.size());
+}
+
+TEST(RunnerTest, ToJsonEscapesAndRendersNonFiniteAsNull) {
+  exp::PointResult r;
+  r.label = "quote\" backslash\\ tab\t";
+  r.config = SimConfig::fifo(8);
+  r.ok = false;
+  r.error = "line\nbreak";
+  const std::string json = exp::to_json(r);
+  EXPECT_NE(json.find("quote\\\" backslash\\\\ tab\\t"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("line\\nbreak"), std::string::npos) << json;
+  // A zero-duration result has no meaningful throughput; ok=false points
+  // carry no metrics block but always parse as one object.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(exp::json_double(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(exp::json_double(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(RunnerTest, CsvRowMatchesHeaderArity) {
+  exp::PointResult r;
+  r.label = "has,comma \"and quote\"";
+  r.config = SimConfig::priority(16);
+  r.ok = true;
+  r.wall_seconds = 0.5;
+  const std::string header = exp::csv_header();
+  const std::string row = exp::to_csv_row(r);
+  // Count unquoted commas in both.
+  const auto arity = [](const std::string& s) {
+    std::size_t n = 1;
+    bool quoted = false;
+    for (const char c : s) {
+      if (c == '"') {
+        quoted = !quoted;
+      } else if (c == ',' && !quoted) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  EXPECT_EQ(arity(header), arity(row));
+  EXPECT_NE(row.find("\"has,comma \"\"and quote\"\"\""), std::string::npos)
+      << row;
+}
+
+TEST(RunnerTest, ParallelForCoversAllIndicesOnce) {
+  constexpr std::size_t kN = 101;
+  std::vector<std::atomic<int>> counts(kN);
+  exp::parallel_for(kN, 4, [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << i;
+  }
+  // jobs=0 resolves to hardware concurrency; must still work.
+  std::atomic<std::size_t> total{0};
+  exp::parallel_for(7, 0, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 7u);
+}
+
+TEST(RunnerTest, ParallelForRethrowsFirstException) {
+  EXPECT_THROW(
+      exp::parallel_for(8, 3,
+                        [](std::size_t i) {
+                          if (i == 5) {
+                            throw Error("boom");
+                          }
+                        }),
+      Error);
+}
+
+TEST(SweepSpecTest, BuildsCrossProductWithConfigsInnermost) {
+  const auto points =
+      exp::SweepSpec("demo")
+          .workload([](std::size_t p) { return small_workload(p); })
+          .threads({2, 4})
+          .hbm_sizes({32, 64})
+          .config("fifo", [](std::uint64_t k) { return SimConfig::fifo(k); })
+          .config("priority",
+                  [](std::uint64_t k) { return SimConfig::priority(k); })
+          .build();
+  ASSERT_EQ(points.size(), 2u * 2u * 2u);
+  // Nesting order: threads, then k, then configs (the pairing every
+  // ratio-style consumer relies on).
+  EXPECT_EQ(points[0].label, "demo p=2 k=32 fifo");
+  EXPECT_EQ(points[1].label, "demo p=2 k=32 priority");
+  EXPECT_EQ(points[2].label, "demo p=2 k=64 fifo");
+  EXPECT_EQ(points[5].label, "demo p=4 k=32 priority");
+  EXPECT_EQ(points[0].config.hbm_slots, 32u);
+  EXPECT_EQ(points[3].config.arbitration, ArbitrationKind::kPriority);
+  // Workloads materialize once per thread count and are shared.
+  EXPECT_EQ(points[0].make_workload().num_threads(), 2u);
+  EXPECT_EQ(points[5].make_workload().num_threads(), 4u);
+}
+
+TEST(SweepSpecTest, RunMatchesDirectSimulation) {
+  const Workload w = small_workload(4);
+  const auto results = exp::SweepSpec("direct")
+                           .workload(w)
+                           .config("priority", SimConfig::priority(64))
+                           .run({.jobs = 2});
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok);
+  EXPECT_EQ(results[0].metrics.makespan,
+            simulate(w, SimConfig::priority(64)).makespan);
+}
+
+TEST(SweepSpecTest, RunPoliciesThrowsOnInvalidConfig) {
+  const Workload w = small_workload(2);
+  EXPECT_THROW(
+      (void)exp::run_policies(w, {SimConfig::fifo(0)}, {.jobs = 1}),
+      Error);
+}
+
+TEST(SweepSpecTest, RatioSweepParallelMatchesSerial) {
+  const auto factory = [](std::size_t p) { return small_workload(p); };
+  const std::vector<std::size_t> threads = {2, 4};
+  const std::vector<std::uint64_t> sizes = {48, 96};
+  const auto make_a = [](std::uint64_t k) { return SimConfig::fifo(k); };
+  const auto make_b = [](std::uint64_t k) { return SimConfig::priority(k); };
+  const auto serial =
+      exp::ratio_sweep(factory, threads, sizes, make_a, make_b, {.jobs = 1});
+  const auto parallel =
+      exp::ratio_sweep(factory, threads, sizes, make_a, make_b, {.jobs = 4});
+  ASSERT_EQ(serial.size(), threads.size() * sizes.size());
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].num_threads, parallel[i].num_threads);
+    EXPECT_EQ(serial[i].hbm_slots, parallel[i].hbm_slots);
+    EXPECT_EQ(serial[i].makespan_a, parallel[i].makespan_a);
+    EXPECT_EQ(serial[i].makespan_b, parallel[i].makespan_b);
+    EXPECT_GT(serial[i].ratio(), 0.0);
+  }
+}
+
+TEST(SweepSpecTest, RatioPointNanWhenDenominatorZero) {
+  exp::RatioPoint pt;
+  pt.makespan_a = 100;
+  pt.makespan_b = 0;
+  EXPECT_TRUE(std::isnan(pt.ratio()));
+  // The table writer renders NaN as "n/a" so it cannot read as a ratio.
+  exp::Table t({"ratio"});
+  t.row() << pt.ratio();
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("n/a"), std::string::npos) << os.str();
+}
+
+TEST(ValidationTest, DescriptiveMessagesForEachDefect) {
+  const auto message = [](SimConfig c, std::uint32_t threads = 4) {
+    return c.validation_error(threads);
+  };
+  EXPECT_NE(message(SimConfig::fifo(0)).find("hbm_slots"), std::string::npos);
+  {
+    SimConfig c = SimConfig::fifo(8);
+    c.num_channels = 0;
+    EXPECT_NE(message(c).find("num_channels"), std::string::npos);
+  }
+  {
+    SimConfig c = SimConfig::fifo(4);
+    c.num_channels = 8;
+    EXPECT_NE(message(c).find("must not exceed"), std::string::npos);
+  }
+  EXPECT_NE(message(SimConfig::fifo(8), 0).find("at least one thread"),
+            std::string::npos);
+  {
+    SimConfig c = SimConfig::priority(8);
+    c.remap_scheme = RemapScheme::kDynamic;
+    c.remap_period = 0;
+    EXPECT_NE(message(c).find("remap_period"), std::string::npos);
+  }
+  {
+    SimConfig c = SimConfig::fifo(8);
+    c.remap_scheme = RemapScheme::kCycle;
+    c.remap_period = 10;
+    EXPECT_NE(message(c).find("priority arbitration"), std::string::npos);
+  }
+  {
+    SimConfig c = SimConfig::fifo(8);
+    c.arbitration = ArbitrationKind::kFrFcfs;
+    c.row_pages = 0;
+    EXPECT_NE(message(c).find("row"), std::string::npos);
+  }
+  {
+    SimConfig c = SimConfig::fifo(8);
+    c.fetch_ticks = 0;
+    EXPECT_NE(message(c).find("fetch_ticks"), std::string::npos);
+  }
+  {
+    SimConfig c = SimConfig::fifo(8);
+    c.channel_binding = ChannelBinding::kHashed;  // q=1
+    EXPECT_NE(message(c).find("hashed"), std::string::npos);
+  }
+  {
+    SimConfig c = SimConfig::fifo(8);
+    c.max_ticks = 0;
+    EXPECT_NE(message(c).find("max_ticks"), std::string::npos);
+  }
+  // A valid config produces no message, and validate() does not throw.
+  EXPECT_TRUE(message(SimConfig::dynamic_priority(64, 10.0)).empty());
+  EXPECT_NO_THROW(SimConfig::priority(8).validate(4));
+  EXPECT_THROW(SimConfig::fifo(0).validate(4), ConfigError);
+}
+
+TEST(ValidationTest, SimulatorRejectsInvalidConfigWithMessage) {
+  const Workload w = small_workload(2);
+  SimConfig c = SimConfig::fifo(16);
+  c.fetch_ticks = 0;
+  try {
+    (void)simulate(w, c);
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("fetch_ticks"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hbmsim
