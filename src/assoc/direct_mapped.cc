@@ -46,6 +46,17 @@ void DirectMappedCache::touch(GlobalPage page) {
   (void)page;  // direct mapping has no recency state
 }
 
+std::vector<GlobalPage> DirectMappedCache::resident_pages() const {
+  std::vector<GlobalPage> pages;
+  pages.reserve(occupied_);
+  for (const GlobalPage page : slots_) {
+    if (page != kEmpty) {
+      pages.push_back(page);
+    }
+  }
+  return pages;
+}
+
 std::optional<GlobalPage> DirectMappedCache::insert(GlobalPage page) {
   const std::uint64_t slot = slot_of(page);
   GlobalPage& cell = slots_[slot];

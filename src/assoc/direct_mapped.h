@@ -42,6 +42,10 @@ class DirectMappedCache final : public CacheModel {
   [[nodiscard]] std::size_t size() const override { return occupied_; }
   [[nodiscard]] std::uint64_t capacity() const override { return slots_.size(); }
   [[nodiscard]] std::uint64_t evictions() const override { return evictions_; }
+  /// Residents in slot order; each returned page satisfies
+  /// slot_of(page) == its slot, which is what the invariant checker uses
+  /// to verify residency respects the set mapping.
+  [[nodiscard]] std::vector<GlobalPage> resident_pages() const override;
 
   /// Slot index a page maps to (exposed for tests).
   [[nodiscard]] std::uint64_t slot_of(GlobalPage page) const noexcept;

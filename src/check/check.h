@@ -1,0 +1,97 @@
+// Invariant-checking primitives for hbmsim's correctness-tooling layer.
+//
+// Three tiers of runtime checking (see DESIGN.md §7):
+//
+//   HBMSIM_CHECK      always on; user input / external data (util/error.h).
+//   HBMSIM_DCHECK     model invariants on hot paths; active in debug and
+//                     checked builds (HBMSIM_CHECKS_ENABLED), compiles to
+//                     nothing otherwise. Throws InvariantError.
+//   HBMSIM_INVARIANT  always compiled; used inside the audit machinery
+//                     (ShadowedCache, InvariantChecker), whose
+//                     *instantiation* is what checked builds gate. This
+//                     keeps every invariant directly testable from gtest
+//                     regardless of build type.
+//
+// A "checked build" is either a Debug build or any build configured with
+// -DHBMSIM_CHECKED=ON, which defines HBMSIM_CHECKED for the whole project.
+// SimConfig::paranoid then hooks the InvariantChecker into every
+// Simulator::step(); in non-checked builds the hook does not exist and
+// paranoid configs are rejected with ConfigError, so Release binaries pay
+// nothing (see tests/check_test.cc for the compile-out proof).
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "util/error.h"
+
+namespace hbmsim {
+
+/// Thrown when a model invariant does not hold: the simulator's internal
+/// state (or a cache/queue structure under audit) contradicts §3.1's tick
+/// semantics. Always indicates a bug in hbmsim, never bad user input.
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what)
+      : Error("invariant violation: " + what) {}
+};
+
+namespace check {
+
+/// True when HBMSIM_DCHECK is active and SimConfig::paranoid is honoured.
+[[nodiscard]] constexpr bool checks_enabled() noexcept {
+  return HBMSIM_CHECKS_ENABLED != 0;
+}
+
+namespace detail {
+
+[[noreturn]] inline void fail_invariant(std::string_view expr,
+                                        std::string_view context,
+                                        std::source_location loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << ": " << expr;
+  if (!context.empty()) {
+    os << " — " << context;
+  }
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+}  // namespace check
+
+/// Always-compiled invariant check used by the audit machinery itself.
+/// `msg` may be any expression convertible to std::string_view or
+/// streamable via make_context(); it is evaluated only on failure.
+#define HBMSIM_INVARIANT(cond, msg)                                   \
+  do {                                                                \
+    if (!(cond)) [[unlikely]] {                                       \
+      ::hbmsim::check::detail::fail_invariant(                        \
+          #cond, (msg), std::source_location::current());             \
+    }                                                                 \
+  } while (false)
+
+/// Hot-path model-invariant check: active in debug/checked builds, a
+/// no-op otherwise. Unlike HBMSIM_ASSERT it throws InvariantError, which
+/// the checked-build tooling (and tests) distinguish from config errors.
+#if HBMSIM_CHECKS_ENABLED
+#define HBMSIM_DCHECK(cond, msg) HBMSIM_INVARIANT(cond, msg)
+#else
+#define HBMSIM_DCHECK(cond, msg) ((void)0)
+#endif
+
+namespace check {
+
+/// Build a failure-context string from heterogeneous parts:
+///   make_context("occupancy ", size, " exceeds k=", k)
+/// Only called on the failure path, so the stream cost never matters.
+template <typename... Parts>
+[[nodiscard]] std::string make_context(const Parts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+
+}  // namespace check
+}  // namespace hbmsim

@@ -1,0 +1,346 @@
+#include "check/invariant_checker.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "assoc/direct_mapped.h"
+#include "check/check.h"
+#include "core/hbm_cache.h"
+#include "core/simulator.h"
+#include "opt/lower_bound.h"
+#include "trace/trace.h"
+
+namespace hbmsim::check {
+
+void audit_cache_structure(const CacheModel& cache) {
+  HBMSIM_INVARIANT(cache.size() <= cache.capacity(),
+                   make_context("cache occupancy ", cache.size(),
+                                " exceeds capacity k=", cache.capacity()));
+
+  const std::vector<GlobalPage> residents = cache.resident_pages();
+  HBMSIM_INVARIANT(residents.size() == cache.size(),
+                   make_context("cache reports size ", cache.size(), " but ",
+                                residents.size(), " resident pages"));
+  for (const GlobalPage page : residents) {
+    HBMSIM_INVARIANT(cache.contains(page),
+                     make_context("resident page ", page,
+                                  " fails its own contains() lookup"));
+  }
+
+  std::vector<GlobalPage> sorted = residents;
+  std::sort(sorted.begin(), sorted.end());
+  HBMSIM_INVARIANT(
+      std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+      "a page is resident in two cache slots at once");
+
+  // Direct-mapped model: residency must respect the set mapping — two
+  // resident pages may never share a slot (each page can only live in
+  // slot_of(page), and contains() above already pinned each to its own).
+  if (const auto* dm = dynamic_cast<const assoc::DirectMappedCache*>(&cache)) {
+    std::vector<std::uint64_t> slots;
+    slots.reserve(residents.size());
+    for (const GlobalPage page : residents) {
+      slots.push_back(dm->slot_of(page));
+    }
+    std::sort(slots.begin(), slots.end());
+    HBMSIM_INVARIANT(
+        std::adjacent_find(slots.begin(), slots.end()) == slots.end(),
+        "two resident pages map to the same direct-mapped slot");
+  }
+}
+
+void audit_queue_order(std::span<const QueuedRequest> entries) {
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    const QueuedRequest& prev = entries[i - 1];
+    const QueuedRequest& cur = entries[i];
+    HBMSIM_INVARIANT(
+        prev.enqueue_tick <= cur.enqueue_tick,
+        make_context("queue arrival order not tick-monotone: tick ",
+                     prev.enqueue_tick, " entry precedes tick ",
+                     cur.enqueue_tick, " entry"));
+    if (prev.enqueue_tick == cur.enqueue_tick) {
+      HBMSIM_INVARIANT(
+          prev.thread < cur.thread,
+          make_context("same-tick misses out of core-id order: core ",
+                       prev.thread, " queued before core ", cur.thread,
+                       " at tick ", cur.enqueue_tick));
+    }
+  }
+}
+
+InvariantChecker::InvariantChecker(const Simulator& sim) : sim_(sim) {}
+
+void InvariantChecker::audit_thread_states() {
+  const std::size_t p = sim_.threads_.size();
+  std::size_t issuing = 0;
+  std::size_t waiting = 0;
+  std::size_t fetched = 0;
+  std::size_t done = 0;
+  std::uint64_t served_refs = 0;
+  for (std::size_t t = 0; t < p; ++t) {
+    const Simulator::ThreadContext& ctx = sim_.threads_[t];
+    HBMSIM_INVARIANT(ctx.next_ref <= ctx.trace->size(),
+                     make_context("core ", t, " served ", ctx.next_ref,
+                                  " refs of a trace of length ",
+                                  ctx.trace->size()));
+    const bool trace_exhausted = ctx.next_ref == ctx.trace->size();
+    HBMSIM_INVARIANT(
+        (ctx.state == Simulator::ThreadState::kDone) == trace_exhausted,
+        make_context("core ", t, " state/trace mismatch: served ",
+                     ctx.next_ref, "/", ctx.trace->size(), " refs but is ",
+                     trace_exhausted ? "not " : "", "done"));
+    served_refs += ctx.next_ref;
+    switch (ctx.state) {
+      case Simulator::ThreadState::kIssuing: ++issuing; break;
+      case Simulator::ThreadState::kWaiting: ++waiting; break;
+      case Simulator::ThreadState::kFetched: ++fetched; break;
+      case Simulator::ThreadState::kDone: ++done; break;
+    }
+  }
+  HBMSIM_INVARIANT(issuing + waiting + fetched + done == p,
+                   make_context("thread-state conservation broken: ", issuing,
+                                " issuing + ", waiting, " waiting + ", fetched,
+                                " fetched + ", done, " done != p=", p));
+  HBMSIM_INVARIANT(done == sim_.done_threads_,
+                   make_context("done-thread counter ", sim_.done_threads_,
+                                " disagrees with ", done, " kDone states"));
+  HBMSIM_INVARIANT(
+      served_refs == sim_.metrics_.response.count(),
+      make_context("reference conservation broken: ", served_refs,
+                   " refs served by threads but ",
+                   sim_.metrics_.response.count(), " response samples"));
+
+  // The active list holds exactly the issuing and fetched threads, in
+  // canonical (sorted, duplicate-free) core-id order.
+  const std::vector<ThreadId>& active = sim_.active_now_;
+  HBMSIM_INVARIANT(active.size() == issuing + fetched,
+                   make_context("active list has ", active.size(),
+                                " cores but ", issuing + fetched,
+                                " are issuing/fetched"));
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    HBMSIM_INVARIANT(active[i] < p, "active-list core id out of range");
+    const auto state = sim_.threads_[active[i]].state;
+    HBMSIM_INVARIANT(state == Simulator::ThreadState::kIssuing ||
+                         state == Simulator::ThreadState::kFetched,
+                     make_context("core ", active[i],
+                                  " on the active list is neither issuing "
+                                  "nor fetched"));
+    if (i > 0) {
+      HBMSIM_INVARIANT(active[i - 1] < active[i],
+                       "active list not in strict core-id order");
+    }
+  }
+}
+
+void InvariantChecker::audit_metrics() {
+  const RunMetrics& m = sim_.metrics_;
+  HBMSIM_INVARIANT(m.hits + m.misses == m.total_refs,
+                   make_context("hits ", m.hits, " + misses ", m.misses,
+                                " != total refs ", m.total_refs));
+  HBMSIM_INVARIANT(m.fetches <= m.misses + m.requeues,
+                   make_context("fetches ", m.fetches, " exceed misses ",
+                                m.misses, " + requeues ", m.requeues));
+  HBMSIM_INVARIANT(m.fetches >= last_fetches_,
+                   "fetch counter went backwards");
+  const std::uint64_t fetched_this_tick = m.fetches - last_fetches_;
+  HBMSIM_INVARIANT(
+      fetched_this_tick <= sim_.config_.num_channels,
+      make_context(fetched_this_tick, " fetches in one tick exceed the q=",
+                   sim_.config_.num_channels, " far channels"));
+  last_fetches_ = m.fetches;
+  HBMSIM_INVARIANT(sim_.tick_ <= sim_.config_.max_ticks,
+                   "tick counter exceeded max_ticks");
+}
+
+void InvariantChecker::audit_queues() {
+  const std::size_t p = sim_.threads_.size();
+  const bool shared = sim_.config_.shared_pages;
+  std::vector<std::uint8_t> queued(p, 0);
+  std::size_t queued_waiting = 0;
+
+  for (const auto& queue : sim_.queues_) {
+    const std::vector<QueuedRequest> entries = queue->snapshot();
+    for (const QueuedRequest& entry : entries) {
+      HBMSIM_INVARIANT(entry.thread < p,
+                       make_context("queued core id ", entry.thread,
+                                    " out of range (p=", p, ")"));
+      if (shared) {
+        // Shared mode leaves stale duplicates behind by design; only the
+        // waiters_ audit below is exact.
+        continue;
+      }
+      HBMSIM_INVARIANT(
+          sim_.threads_[entry.thread].state ==
+              Simulator::ThreadState::kWaiting,
+          make_context("core ", entry.thread,
+                       " is queued for DRAM but not in the waiting state"));
+      HBMSIM_INVARIANT(
+          entry.page == sim_.current_page(entry.thread),
+          make_context("core ", entry.thread,
+                       "'s queue entry names a page that is not its "
+                       "current request"));
+      HBMSIM_INVARIANT(queued[entry.thread] == 0,
+                       make_context("core ", entry.thread,
+                                    " appears twice in the DRAM queue"));
+      queued[entry.thread] = 1;
+      ++queued_waiting;
+    }
+    // Canonical intra-tick order (tick step 2). A re-queued request
+    // legally re-enters carrying its original request tick, so the order
+    // law only binds while no re-queues have happened.
+    if (queue->snapshot_in_arrival_order() && sim_.metrics_.requeues == 0) {
+      audit_queue_order(entries);
+    }
+  }
+
+  std::size_t waiting_total = 0;
+  for (std::size_t t = 0; t < p; ++t) {
+    if (sim_.threads_[t].state == Simulator::ThreadState::kWaiting) {
+      ++waiting_total;
+    }
+  }
+
+  if (!shared) {
+    // Disjoint model: every waiting core is either queued or blocked on an
+    // in-flight transfer — exactly once across both.
+    std::vector<std::uint8_t> in_flight_seen(p, 0);
+    std::size_t in_flight_waiting = 0;
+    for (const Simulator::InFlight& flight : sim_.in_flight_) {
+      HBMSIM_INVARIANT(flight.thread < p, "in-flight core id out of range");
+      HBMSIM_INVARIANT(
+          sim_.threads_[flight.thread].state ==
+              Simulator::ThreadState::kWaiting,
+          make_context("core ", flight.thread,
+                       " has an in-flight fetch but is not waiting"));
+      HBMSIM_INVARIANT(in_flight_seen[flight.thread] == 0,
+                       make_context("core ", flight.thread,
+                                    " has two fetches in flight"));
+      HBMSIM_INVARIANT(queued[flight.thread] == 0,
+                       make_context("core ", flight.thread,
+                                    " is both queued and in flight"));
+      in_flight_seen[flight.thread] = 1;
+      ++in_flight_waiting;
+    }
+    HBMSIM_INVARIANT(
+        waiting_total == queued_waiting + in_flight_waiting,
+        make_context(waiting_total, " cores wait on DRAM but the queues hold ",
+                     queued_waiting, " and ", in_flight_waiting,
+                     " are in flight — a request was lost or duplicated"));
+  } else {
+    // Shared extension: every waiting core is registered as a waiter on
+    // its current page, exactly once.
+    for (std::size_t t = 0; t < p; ++t) {
+      if (sim_.threads_[t].state != Simulator::ThreadState::kWaiting) {
+        continue;
+      }
+      const GlobalPage page = sim_.current_page(static_cast<ThreadId>(t));
+      const auto it = sim_.waiters_.find(page);
+      HBMSIM_INVARIANT(it != sim_.waiters_.end(),
+                       make_context("waiting core ", t,
+                                    " has no waiter entry for its page"));
+      const auto count = std::count(it->second.begin(), it->second.end(),
+                                    static_cast<ThreadId>(t));
+      HBMSIM_INVARIANT(count == 1,
+                       make_context("core ", t, " appears ", count,
+                                    " times in its page's waiter list"));
+    }
+  }
+}
+
+void InvariantChecker::audit_in_flight() {
+  Tick prev = 0;
+  for (const Simulator::InFlight& flight : sim_.in_flight_) {
+    HBMSIM_INVARIANT(flight.serve_tick >= prev,
+                     "in-flight transfers out of arrival order");
+    prev = flight.serve_tick;
+    HBMSIM_INVARIANT(!sim_.cache_->contains(flight.page),
+                     make_context("in-flight page ", flight.page,
+                                  " is already resident"));
+    if (sim_.config_.shared_pages) {
+      HBMSIM_INVARIANT(sim_.in_flight_pages_.contains(flight.page),
+                       "in-flight page missing from the in-flight set");
+    }
+  }
+  if (sim_.config_.shared_pages) {
+    HBMSIM_INVARIANT(
+        sim_.in_flight_pages_.size() == sim_.in_flight_.size(),
+        make_context("in-flight page set tracks ",
+                     sim_.in_flight_pages_.size(), " pages but ",
+                     sim_.in_flight_.size(), " transfers are in flight"));
+  }
+}
+
+void InvariantChecker::after_tick() {
+  audit_thread_states();
+  audit_metrics();
+  audit_queues();
+  audit_in_flight();
+  audit_cache_structure(*sim_.cache_);
+  ++ticks_audited_;
+}
+
+void InvariantChecker::after_run() {
+  const std::size_t p = sim_.threads_.size();
+  HBMSIM_INVARIANT(sim_.finished(), "after_run on an unfinished simulation");
+  HBMSIM_INVARIANT(sim_.in_flight_.empty(),
+                   "transfers still in flight after completion");
+
+  std::uint64_t total_trace_refs = 0;
+  Tick longest_trace = 0;
+  for (std::size_t t = 0; t < p; ++t) {
+    HBMSIM_INVARIANT(
+        sim_.threads_[t].state == Simulator::ThreadState::kDone,
+        make_context("core ", t, " not done after completion"));
+    total_trace_refs += sim_.threads_[t].trace->size();
+    longest_trace = std::max(longest_trace,
+                             static_cast<Tick>(sim_.threads_[t].trace->size()));
+  }
+
+  const RunMetrics& m = sim_.metrics_;
+  HBMSIM_INVARIANT(m.total_refs == total_trace_refs,
+                   make_context("issued refs ", m.total_refs,
+                                " != total trace refs ", total_trace_refs));
+  HBMSIM_INVARIANT(m.response.count() == total_trace_refs,
+                   make_context("served refs ", m.response.count(),
+                                " != total trace refs ", total_trace_refs));
+  HBMSIM_INVARIANT(m.makespan <= sim_.tick_,
+                   "makespan exceeds the ticks actually simulated");
+  HBMSIM_INVARIANT(total_trace_refs == 0 || m.makespan >= longest_trace,
+                   make_context("makespan ", m.makespan,
+                                " below the longest trace length ",
+                                longest_trace));
+
+  if (!sim_.config_.shared_pages) {
+    // Disjoint model: each miss is fetched exactly once, plus one extra
+    // fetch per re-queue.
+    HBMSIM_INVARIANT(m.fetches == m.misses + m.requeues,
+                     make_context("fetches ", m.fetches, " != misses ",
+                                  m.misses, " + requeues ", m.requeues));
+    // All queues drained (shared mode may leave stale entries behind).
+    HBMSIM_INVARIANT(sim_.queue_size() == 0,
+                     "DRAM queue not empty after completion");
+
+    // Offline lower bounds (Belady's MIN per core; §2): no run may beat
+    // the critical path or the channel-congestion bound.
+    std::vector<std::shared_ptr<const Trace>> traces;
+    traces.reserve(p);
+    for (std::size_t t = 0; t < p; ++t) {
+      traces.push_back(sim_.threads_[t].trace);
+    }
+    const opt::MakespanBounds bounds = opt::makespan_lower_bounds(
+        Workload(std::move(traces)), sim_.cache_->capacity(),
+        sim_.config_.num_channels);
+    HBMSIM_INVARIANT(
+        bounds.critical_path <= m.makespan,
+        make_context("Belady critical-path lower bound ", bounds.critical_path,
+                     " exceeds the achieved makespan ", m.makespan));
+    HBMSIM_INVARIANT(
+        bounds.channel_congestion <= m.makespan,
+        make_context("channel-congestion lower bound ",
+                     bounds.channel_congestion,
+                     " exceeds the achieved makespan ", m.makespan));
+  }
+}
+
+}  // namespace hbmsim::check

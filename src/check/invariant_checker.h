@@ -1,0 +1,83 @@
+// Tick-level audit of the simulator's model invariants (§3.1 semantics).
+//
+// The InvariantChecker re-verifies, after every tick, everything the
+// model promises (DESIGN.md §7 maps each item to the paper's numbered
+// tick steps):
+//
+//   step 2    every waiting core appears exactly once in the DRAM queue
+//             (disjoint model), and same-tick misses entered in core-id
+//             order (the canonical intra-tick order).
+//   step 3/5  at most q fetches were issued this tick; occupancy never
+//             exceeds k; direct-mapped residency respects the set
+//             mapping.
+//   step 4    serves only touch resident pages (enforced by
+//             ShadowedCache).
+//   global    thread-state conservation (issuing + waiting + fetched +
+//             done == p), reference conservation (served + remaining ==
+//             trace length), metric consistency (hits + misses == refs),
+//             and — at end of run — the offline Belady lower bounds
+//             never exceed the achieved makespan.
+//
+// Wired into Simulator::step()/run() by SimConfig::paranoid in checked
+// builds (HBMSIM_CHECKS_ENABLED). The free audit functions are pure and
+// always compiled, so tests can drive each invariant — positively and
+// negatively — in any build type.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/arbitration.h"
+#include "core/types.h"
+
+namespace hbmsim {
+
+class CacheModel;
+class Simulator;
+
+namespace check {
+
+/// Structural audit of any residency model: occupancy within capacity,
+/// resident set consistent with contains(), duplicate-free, and (for
+/// DirectMappedCache) every page in the slot its hash maps it to.
+/// Throws InvariantError on violation.
+void audit_cache_structure(const CacheModel& cache);
+
+/// Audit one queue snapshot for the canonical intra-tick order: arrival
+/// order must be non-decreasing in enqueue tick, and same-tick entries
+/// must be in strictly increasing core-id order. Only meaningful when the
+/// snapshot preserves arrival order and no re-queues occurred (a re-queue
+/// legally re-enters with its original request tick, out of order).
+/// Throws InvariantError on violation.
+void audit_queue_order(std::span<const QueuedRequest> entries);
+
+/// Whole-state audit hooks bound to a live Simulator (friend access).
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(const Simulator& sim);
+
+  /// Full audit at the end of Simulator::step() — O(p + k + queue).
+  void after_tick();
+
+  /// End-of-run audit: completion, conservation totals, and the Belady
+  /// makespan lower bounds (critical path and channel congestion).
+  void after_run();
+
+  /// Ticks audited so far (tests).
+  [[nodiscard]] std::uint64_t ticks_audited() const noexcept {
+    return ticks_audited_;
+  }
+
+ private:
+  void audit_thread_states();
+  void audit_metrics();
+  void audit_queues();
+  void audit_in_flight();
+
+  const Simulator& sim_;
+  std::uint64_t last_fetches_ = 0;
+  std::uint64_t ticks_audited_ = 0;
+};
+
+}  // namespace check
+}  // namespace hbmsim

@@ -1,0 +1,139 @@
+#include "check/shadow_cache.h"
+
+#include <utility>
+
+#include "assoc/direct_mapped.h"
+#include "check/check.h"
+
+namespace hbmsim::check {
+
+ShadowPolicy shadow_policy_for(const CacheModel& cache) noexcept {
+  if (dynamic_cast<const assoc::DirectMappedCache*>(&cache) != nullptr) {
+    return ShadowPolicy::kDirectMapped;
+  }
+  if (const auto* hbm = dynamic_cast<const HbmCache*>(&cache)) {
+    return ShadowedCache::policy_for(hbm->replacement());
+  }
+  return ShadowPolicy::kMembershipOnly;
+}
+
+ShadowedCache::ShadowedCache(std::unique_ptr<CacheModel> inner,
+                             ShadowPolicy policy)
+    : inner_(std::move(inner)), policy_(policy) {
+  HBMSIM_CHECK(inner_ != nullptr, "shadowed cache requires an inner model");
+  // Adopt any pages already resident (a freshly built model is empty, but
+  // tests may wrap a warmed-up cache).
+  for (const GlobalPage page : inner_->resident_pages()) {
+    position_.emplace(page, order_.insert(order_.end(), page));
+  }
+  audit_occupancy();
+}
+
+ShadowPolicy ShadowedCache::policy_for(ReplacementKind kind) noexcept {
+  switch (kind) {
+    case ReplacementKind::kLru:
+      return ShadowPolicy::kLru;
+    case ReplacementKind::kFifo:
+      return ShadowPolicy::kFifo;
+    case ReplacementKind::kClock:
+      return ShadowPolicy::kMembershipOnly;
+  }
+  return ShadowPolicy::kMembershipOnly;
+}
+
+void ShadowedCache::audit_occupancy() const {
+  HBMSIM_INVARIANT(
+      inner_->size() <= inner_->capacity(),
+      make_context("cache occupancy ", inner_->size(),
+                   " exceeds capacity k=", inner_->capacity()));
+  HBMSIM_INVARIANT(
+      inner_->size() == position_.size(),
+      make_context("cache reports ", inner_->size(), " resident pages, shadow has ",
+                   position_.size()));
+}
+
+bool ShadowedCache::contains(GlobalPage page) const {
+  const bool result = inner_->contains(page);
+  const bool expected = position_.contains(page);
+  HBMSIM_INVARIANT(
+      result == expected,
+      make_context("contains(", page, ") returned ", result,
+                   " but the page is ", expected ? "" : "not ",
+                   "resident in the shadow"));
+  return result;
+}
+
+void ShadowedCache::touch(GlobalPage page) {
+  const auto it = position_.find(page);
+  HBMSIM_INVARIANT(it != position_.end(),
+                   make_context("touch (serve) of non-resident page ", page,
+                                " — tick step 4 serves resident pages only"));
+  if (policy_ == ShadowPolicy::kLru) {
+    order_.splice(order_.end(), order_, it->second);  // most recent to back
+  }
+  inner_->touch(page);
+  audit_occupancy();
+}
+
+std::optional<GlobalPage> ShadowedCache::insert(GlobalPage page) {
+  HBMSIM_INVARIANT(!position_.contains(page),
+                   make_context("double fetch: page ", page,
+                                " inserted while already resident"));
+  const bool was_full = position_.size() >= inner_->capacity();
+  const std::optional<GlobalPage> victim = inner_->insert(page);
+
+  if (victim.has_value()) {
+    const auto it = position_.find(*victim);
+    HBMSIM_INVARIANT(it != position_.end(),
+                     make_context("evicted page ", *victim,
+                                  " was not resident"));
+    if (policy_ == ShadowPolicy::kLru || policy_ == ShadowPolicy::kFifo) {
+      // Fully-associative laws only: a direct-mapped (or unknown custom)
+      // model may legally conflict-evict below capacity.
+      HBMSIM_INVARIANT(
+          was_full,
+          make_context("eviction of page ", *victim, " at occupancy ",
+                       position_.size(), "/", inner_->capacity(),
+                       " — a fully-associative cache must not evict below "
+                       "capacity"));
+      HBMSIM_INVARIANT(
+          *victim == order_.front(),
+          make_context("victim ", *victim, " is not the ",
+                       policy_ == ShadowPolicy::kLru ? "least-recently-used"
+                                                     : "first-inserted",
+                       " page ", order_.front(),
+                       " — the eviction-order law (LRU stack property) "
+                       "does not hold"));
+    }
+    order_.erase(it->second);
+    position_.erase(it);
+    HBMSIM_INVARIANT(!inner_->contains(*victim),
+                     make_context("evicted page ", *victim,
+                                  " still reports resident"));
+  } else {
+    HBMSIM_INVARIANT(
+        !was_full,
+        make_context("insert of page ", page, " at full occupancy ",
+                     position_.size(), "/", inner_->capacity(),
+                     " evicted nothing"));
+  }
+
+  position_.emplace(page, order_.insert(order_.end(), page));
+  HBMSIM_INVARIANT(inner_->contains(page),
+                   make_context("page ", page,
+                                " not resident immediately after insert"));
+  audit_occupancy();
+  return victim;
+}
+
+std::size_t ShadowedCache::size() const { return inner_->size(); }
+
+std::uint64_t ShadowedCache::capacity() const { return inner_->capacity(); }
+
+std::uint64_t ShadowedCache::evictions() const { return inner_->evictions(); }
+
+std::vector<GlobalPage> ShadowedCache::resident_pages() const {
+  return inner_->resident_pages();
+}
+
+}  // namespace hbmsim::check

@@ -1,0 +1,80 @@
+// ShadowedCache: a CacheModel decorator that re-derives what a correct
+// residency model must do and throws InvariantError on any divergence.
+//
+// The shadow is deliberately naive (std::map + std::list) so that it is
+// obviously correct; the real models are the optimised structures under
+// audit. Checked invariants, per operation:
+//
+//   contains  result agrees with shadow membership.
+//   touch     page must be resident (serving a non-resident page would
+//             violate tick step 4).
+//   insert    page must not already be resident (double fetch);
+//             an eviction happens iff the model is full — except under
+//             ShadowPolicy::kDirectMapped, where a conflict eviction may
+//             happen below capacity;
+//             the reported victim was resident and is resident no more;
+//             under kLru/kFifo the victim is exactly the shadow's
+//             least-recent / first-in page (the LRU stack property);
+//             occupancy never exceeds capacity.
+//
+// The Simulator wraps its cache in a ShadowedCache when
+// SimConfig::paranoid is set in a checked build (see check.h). Tests
+// construct it directly, which works in every build type.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/hbm_cache.h"
+#include "core/types.h"
+
+namespace hbmsim::check {
+
+/// Which eviction law the shadow enforces on top of the structural checks.
+enum class ShadowPolicy {
+  kMembershipOnly,  ///< membership + occupancy only (CLOCK, custom models)
+  kLru,             ///< victim must be the least recently used page
+  kFifo,            ///< victim must be the first inserted page
+  kDirectMapped,    ///< conflict evictions below capacity are legal
+};
+
+/// The strongest ShadowPolicy that is sound for `cache`: the eviction law
+/// of an HbmCache's replacement kind, conflict-tolerant checking for a
+/// DirectMappedCache, membership-only for unknown custom models.
+[[nodiscard]] ShadowPolicy shadow_policy_for(const CacheModel& cache) noexcept;
+
+class ShadowedCache final : public CacheModel {
+ public:
+  ShadowedCache(std::unique_ptr<CacheModel> inner, ShadowPolicy policy);
+
+  [[nodiscard]] bool contains(GlobalPage page) const override;
+  void touch(GlobalPage page) override;
+  std::optional<GlobalPage> insert(GlobalPage page) override;
+
+  [[nodiscard]] std::size_t size() const override;
+  [[nodiscard]] std::uint64_t capacity() const override;
+  [[nodiscard]] std::uint64_t evictions() const override;
+  [[nodiscard]] std::vector<GlobalPage> resident_pages() const override;
+
+  [[nodiscard]] const CacheModel& inner() const noexcept { return *inner_; }
+
+  /// The ShadowPolicy matching a ReplacementKind (CLOCK's second-chance
+  /// scan is an approximation, so it gets membership checks only).
+  [[nodiscard]] static ShadowPolicy policy_for(ReplacementKind kind) noexcept;
+
+ private:
+  /// Cross-check shadow membership and occupancy against the inner model.
+  void audit_occupancy() const;
+
+  std::unique_ptr<CacheModel> inner_;
+  ShadowPolicy policy_;
+  /// Recency/insertion order, front = next victim under kLru/kFifo.
+  std::list<GlobalPage> order_;
+  std::map<GlobalPage, std::list<GlobalPage>::iterator> position_;
+};
+
+}  // namespace hbmsim::check

@@ -1,7 +1,9 @@
 #include "core/arbitration.h"
 
+#include <algorithm>
 #include <deque>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "util/error.h"
@@ -27,6 +29,10 @@ class FifoArbiter final : public ArbitrationPolicy {
   }
 
   [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+
+  [[nodiscard]] std::vector<QueuedRequest> snapshot() const override {
+    return {queue_.begin(), queue_.end()};
+  }
 
  private:
   std::deque<QueuedRequest> queue_;
@@ -62,6 +68,23 @@ class PriorityArbiter final : public ArbitrationPolicy {
   }
 
   [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+
+  [[nodiscard]] std::vector<QueuedRequest> snapshot() const override {
+    // The map is keyed by (rank, seq); arrival order is seq order.
+    std::vector<std::pair<std::uint64_t, QueuedRequest>> by_seq;
+    by_seq.reserve(queue_.size());
+    for (const auto& [key, request] : queue_) {
+      by_seq.emplace_back(key.seq, request);
+    }
+    std::sort(by_seq.begin(), by_seq.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<QueuedRequest> out;
+    out.reserve(by_seq.size());
+    for (const auto& [seq, request] : by_seq) {
+      out.push_back(request);
+    }
+    return out;
+  }
 
   void on_priorities_changed() override {
     // Re-rank all waiting requests under the new permutation, preserving
@@ -114,6 +137,14 @@ class RandomArbiter final : public ArbitrationPolicy {
 
   [[nodiscard]] std::size_t size() const override { return pool_.size(); }
 
+  [[nodiscard]] std::vector<QueuedRequest> snapshot() const override {
+    return pool_;
+  }
+
+  [[nodiscard]] bool snapshot_in_arrival_order() const override {
+    return false;  // swap-remove pops permute the pool
+  }
+
  private:
   Xoshiro256StarStar rng_;
   std::vector<QueuedRequest> pool_;
@@ -164,6 +195,10 @@ class FrFcfsArbiter final : public ArbitrationPolicy {
   }
 
   [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+
+  [[nodiscard]] std::vector<QueuedRequest> snapshot() const override {
+    return queue_;
+  }
 
  private:
   static constexpr std::uint64_t kNoRow = ~std::uint64_t{0};

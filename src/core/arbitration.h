@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "core/config.h"
 #include "core/priority_map.h"
@@ -43,6 +44,17 @@ class ArbitrationPolicy {
   /// The priority permutation changed (Dynamic/Cycle Priority remap);
   /// re-rank queued requests. Default: nothing to do.
   virtual void on_priorities_changed() {}
+
+  /// All waiting requests, in arrival (enqueue) order where the policy
+  /// preserves it — see snapshot_in_arrival_order(). Introspection for
+  /// the invariant checker and tests — O(size log size) worst case, not
+  /// for hot paths.
+  [[nodiscard]] virtual std::vector<QueuedRequest> snapshot() const = 0;
+
+  /// Whether snapshot() order is arrival order. RandomArbiter's swap-
+  /// remove pool forgets arrivals, so it returns false; every other
+  /// policy preserves the sequence.
+  [[nodiscard]] virtual bool snapshot_in_arrival_order() const { return true; }
 
   /// Factory. `priorities` must outlive the policy and is only required
   /// for kPriority arbitration; `num_channels` and `row_pages` only

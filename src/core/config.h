@@ -4,7 +4,9 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <string>
+#include <string_view>
 
 #include "core/priority_map.h"
 #include "util/error.h"
@@ -105,6 +107,25 @@ struct SimConfig {
   /// When false (default), the model's Property 1 holds: per-core page
   /// sets are disjoint.
   bool shared_pages = false;
+
+  /// Audit every tick with the invariant checker (src/check/): the cache
+  /// is wrapped in a ShadowedCache and InvariantChecker::after_tick()
+  /// runs at each step. Only honoured in checked builds
+  /// (-DHBMSIM_CHECKED=ON or Debug; see check/check.h) — elsewhere the
+  /// Simulator rejects paranoid configs with ConfigError, so Release
+  /// binaries provably compile the hooks out. Defaults to the
+  /// HBMSIM_PARANOID environment variable, which lets whole bench and
+  /// test suites run under audit without code changes.
+  bool paranoid = default_paranoid();
+
+  /// True when HBMSIM_PARANOID is set to a non-empty value other than "0".
+  [[nodiscard]] static bool default_paranoid() {
+    static const bool enabled = [] {
+      const char* v = std::getenv("HBMSIM_PARANOID");
+      return v != nullptr && *v != '\0' && std::string_view(v) != "0";
+    }();
+    return enabled;
+  }
 
   /// Collect the response-time histogram (cheap; on by default).
   bool response_histogram = true;

@@ -6,6 +6,7 @@ namespace hbmsim {
 
 HbmCache::HbmCache(std::uint64_t capacity, ReplacementKind replacement)
     : capacity_(capacity),
+      replacement_(replacement),
       policy_(ReplacementPolicy::make(replacement, capacity)) {
   if (capacity == 0) {
     throw ConfigError("HBM capacity must be positive");
@@ -35,6 +36,10 @@ std::size_t HbmCache::size() const { return policy_->size(); }
 
 std::uint64_t HbmCache::free_slots() const noexcept {
   return capacity_ - policy_->size();
+}
+
+std::vector<GlobalPage> HbmCache::resident_pages() const {
+  return policy_->victim_order();
 }
 
 void HbmCache::clear() {

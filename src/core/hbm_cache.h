@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "core/replacement.h"
 #include "core/types.h"
@@ -32,6 +33,11 @@ class CacheModel {
   [[nodiscard]] virtual std::size_t size() const = 0;
   [[nodiscard]] virtual std::uint64_t capacity() const = 0;
   [[nodiscard]] virtual std::uint64_t evictions() const = 0;
+
+  /// Every resident page, in the model's natural order (eviction order
+  /// for HbmCache, slot order for DirectMappedCache). Introspection for
+  /// the invariant checker and tests — O(size), not for hot paths.
+  [[nodiscard]] virtual std::vector<GlobalPage> resident_pages() const = 0;
 };
 
 /// Fully-associative HBM with a replacement policy (the model default).
@@ -48,14 +54,21 @@ class HbmCache final : public CacheModel {
   void erase(GlobalPage page);
 
   [[nodiscard]] std::uint64_t capacity() const override { return capacity_; }
+  /// The replacement policy this cache was built with (introspection for
+  /// the checked-build ShadowedCache wrapper).
+  [[nodiscard]] ReplacementKind replacement() const noexcept {
+    return replacement_;
+  }
   [[nodiscard]] std::size_t size() const override;
   [[nodiscard]] std::uint64_t free_slots() const noexcept;
   [[nodiscard]] std::uint64_t evictions() const override { return evictions_; }
+  [[nodiscard]] std::vector<GlobalPage> resident_pages() const override;
 
   void clear();
 
  private:
   std::uint64_t capacity_;
+  ReplacementKind replacement_;
   std::unique_ptr<ReplacementPolicy> policy_;
   std::uint64_t evictions_ = 0;
 };

@@ -54,6 +54,15 @@ class ListPolicyBase : public ReplacementPolicy {
 
   [[nodiscard]] std::size_t size() const final { return index_.size(); }
 
+  [[nodiscard]] std::vector<GlobalPage> victim_order() const final {
+    std::vector<GlobalPage> order;
+    order.reserve(size());
+    for (std::uint32_t n = head_; n != kNil; n = nodes_[n].next) {
+      order.push_back(nodes_[n].page);
+    }
+    return order;
+  }
+
   void clear() final {
     nodes_.clear();
     index_.clear();
@@ -208,6 +217,21 @@ class ClockPolicy final : public ReplacementPolicy {
   }
 
   [[nodiscard]] std::size_t size() const override { return size_; }
+
+  [[nodiscard]] std::vector<GlobalPage> victim_order() const override {
+    // Hand-scan order starting at the current hand position; pages with a
+    // set reference bit would actually survive one rotation, so this is
+    // the structural (not exact) eviction order.
+    std::vector<GlobalPage> order;
+    order.reserve(size_);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const std::size_t slot = (hand_ + i) % entries_.size();
+      if (entries_[slot].valid) {
+        order.push_back(entries_[slot].page);
+      }
+    }
+    return order;
+  }
 
   void clear() override {
     entries_.clear();

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/config.h"
 #include "core/types.h"
@@ -37,6 +38,13 @@ class ReplacementPolicy {
   [[nodiscard]] virtual bool contains(GlobalPage page) const = 0;
 
   [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// All tracked pages in eviction order: element 0 is the page
+  /// pop_victim() would remove next. For CLOCK the order is the hand's
+  /// scan order, which only approximates the true eviction sequence
+  /// (reference bits may grant second chances). Introspection for the
+  /// invariant checker and tests — O(size), not for hot paths.
+  [[nodiscard]] virtual std::vector<GlobalPage> victim_order() const = 0;
 
   virtual void clear() = 0;
 

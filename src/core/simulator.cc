@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "check/invariant_checker.h"
+#include "check/shadow_cache.h"
 #include "util/error.h"
 
 namespace hbmsim {
@@ -68,7 +70,26 @@ Simulator::Simulator(const Workload& workload, const SimConfig& config,
       active_now_.push_back(static_cast<ThreadId>(t));
     }
   }
+
+  if (config_.paranoid) {
+#if HBMSIM_CHECKS_ENABLED
+    // Shadow the residency model (per-operation laws) and audit global
+    // tick invariants after every step. Both are pure observers: a
+    // paranoid run produces bit-identical metrics to a plain one.
+    const check::ShadowPolicy policy = check::shadow_policy_for(*cache_);
+    cache_ = std::make_unique<check::ShadowedCache>(std::move(cache_), policy);
+    checker_ = std::make_unique<check::InvariantChecker>(*this);
+#else
+    // Proof that checks compile out: a Release binary cannot honour the
+    // request, and silently ignoring it would be worse.
+    throw ConfigError(
+        "SimConfig::paranoid requires a checked build (configure with "
+        "-DHBMSIM_CHECKED=ON or CMAKE_BUILD_TYPE=Debug)");
+#endif
+  }
 }
+
+Simulator::~Simulator() = default;
 
 Simulator::ThreadState Simulator::thread_state(ThreadId t) const {
   HBMSIM_CHECK(t < threads_.size(), "thread id out of range");
@@ -326,6 +347,9 @@ bool Simulator::step() {
   // runs bit-reproducible and exactly specifiable (see header).
   std::sort(active_now_.begin(), active_now_.end());
   ++tick_;
+  if (checker_) {
+    checker_->after_tick();
+  }
   return true;
 }
 
@@ -333,6 +357,9 @@ RunMetrics Simulator::run() {
   while (step()) {
   }
   metrics_.evictions = cache_->evictions();
+  if (checker_) {
+    checker_->after_run();
+  }
   return metrics_;
 }
 

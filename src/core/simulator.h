@@ -21,7 +21,6 @@
 #include <deque>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/arbitration.h"
@@ -31,8 +30,13 @@
 #include "core/priority_map.h"
 #include "core/types.h"
 #include "trace/trace.h"
+#include "util/flat_map.h"
 
 namespace hbmsim {
+
+namespace check {
+class InvariantChecker;
+}  // namespace check
 
 class Simulator {
  public:
@@ -51,6 +55,12 @@ class Simulator {
   /// ignored in favour of the supplied model.
   Simulator(const Workload& workload, const SimConfig& config,
             std::unique_ptr<CacheModel> cache);
+
+  // Out of line: the checked-build InvariantChecker is only forward-
+  // declared here. Non-movable: the checker holds a back-reference.
+  ~Simulator();
+  Simulator(Simulator&&) = delete;
+  Simulator& operator=(Simulator&&) = delete;
 
   /// Advance one tick. Returns false when the simulation was already
   /// complete (no tick consumed).
@@ -108,7 +118,11 @@ class Simulator {
   std::vector<ThreadId> active_now_;
   std::vector<ThreadId> active_next_;
 
-  // shared_pages only: cores waiting on each in-flight page.
+  // shared_pages only: cores waiting on each in-flight page. Accessed by
+  // point lookup only — never iterated — so its unordered bucket order
+  // cannot reach simulation state or output (tools/lint_determinism.py
+  // keeps it that way; tests/determinism_test.cc fingerprints the
+  // shared-pages configs that exercise it).
   std::unordered_map<GlobalPage, std::vector<ThreadId>> waiters_;
 
   // fetch_ticks > 1 only: fetches in flight, FIFO by issue tick (all
@@ -121,11 +135,18 @@ class Simulator {
   std::deque<InFlight> in_flight_;
   // shared_pages + fetch_ticks > 1: pages currently being transferred,
   // so late co-requesters piggyback instead of double-fetching.
-  std::unordered_set<GlobalPage> in_flight_pages_;
+  // Deterministic FlatSet rather than std::unordered_set: membership
+  // structures on simulation-ordering-sensitive paths must not even
+  // offer a hash-dependent iteration order.
+  FlatSet in_flight_pages_;
   void complete_arrivals();
   /// shared_pages: flip every core waiting on `page` to kFetched,
   /// appending them to `out` (the active list of the serving tick).
   void resolve_waiters(GlobalPage page, std::vector<ThreadId>& out);
+
+  /// Checked builds only (SimConfig::paranoid): audits every tick.
+  std::unique_ptr<check::InvariantChecker> checker_;
+  friend class check::InvariantChecker;
 };
 
 /// One-shot convenience: simulate `workload` under `config`.

@@ -15,7 +15,10 @@ MakespanBounds makespan_lower_bounds(const Workload& workload, std::uint64_t k,
   std::uint64_t total_min_misses = 0;
 
   // Distinct traces are often shared across threads (Workload::replicate /
-  // round_robin); memoise the Belady pass per trace object.
+  // round_robin); memoise the Belady pass per trace object. Point lookup
+  // only — never iterated, so the pointer-keyed bucket order (which would
+  // vary run to run with ASLR) cannot affect the bounds: they accumulate
+  // in thread order (tools/lint_determinism.py keeps it that way).
   std::unordered_map<const Trace*, std::uint64_t> memo;
   for (std::size_t t = 0; t < workload.num_threads(); ++t) {
     const Trace& trace = workload.trace(t);

@@ -5,10 +5,11 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <map>
-#include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/error.h"
@@ -39,7 +40,7 @@ class ArgParser {
       }
       // `--key value` unless the next token is another option or absent
       // (then it is a boolean flag).
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      if (i + 1 < argc && !std::string_view(argv[i + 1]).starts_with("--")) {
         values_[token] = argv[++i];
       } else {
         values_[token] = "";
@@ -107,9 +108,9 @@ class ArgParser {
   /// Throw if any supplied option was never consumed by an accessor —
   /// catches typos like --thread instead of --threads.
   void reject_unknown() const {
-    for (const auto& [key, value] : values_) {
-      if (!used_.contains(key)) {
-        throw ConfigError("unknown option --" + key);
+    for (const auto& entry : values_) {
+      if (!used_.contains(entry.first)) {
+        throw ConfigError("unknown option --" + entry.first);
       }
     }
   }

@@ -12,7 +12,7 @@
 namespace hbmsim {
 
 /// Read an environment variable; nullopt if unset or empty.
-inline std::optional<std::string> env_string(const char* name) {
+[[nodiscard]] inline std::optional<std::string> env_string(const char* name) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') {
     return std::nullopt;
@@ -21,7 +21,7 @@ inline std::optional<std::string> env_string(const char* name) {
 }
 
 /// Read an integral environment variable; `fallback` if unset/unparsable.
-inline long long env_int(const char* name, long long fallback) {
+[[nodiscard]] inline long long env_int(const char* name, long long fallback) {
   const auto s = env_string(name);
   if (!s) {
     return fallback;
@@ -39,7 +39,7 @@ inline long long env_int(const char* name, long long fallback) {
 /// single core while preserving every qualitative shape.
 enum class BenchScale { kQuick, kPaper };
 
-inline BenchScale bench_scale() {
+[[nodiscard]] inline BenchScale bench_scale() {
   const auto s = env_string("HBMSIM_SCALE");
   if (s && (*s == "paper" || *s == "PAPER" || *s == "full")) {
     return BenchScale::kPaper;

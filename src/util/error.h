@@ -62,11 +62,21 @@ namespace detail {
     }                                                                 \
   } while (false)
 
-/// Debug-only internal invariant check; compiled out when NDEBUG is set.
-#ifdef NDEBUG
-#define HBMSIM_ASSERT(cond, msg) ((void)0)
+/// Are internal invariant checks compiled in? True in debug builds and in
+/// checked builds (-DHBMSIM_CHECKED=ON); false in plain Release /
+/// RelWithDebInfo, where HBMSIM_ASSERT and HBMSIM_DCHECK (check/check.h)
+/// compile to nothing and SimConfig::paranoid is rejected.
+#if defined(HBMSIM_CHECKED) || !defined(NDEBUG)
+#define HBMSIM_CHECKS_ENABLED 1
 #else
+#define HBMSIM_CHECKS_ENABLED 0
+#endif
+
+/// Internal invariant check; active in debug and checked builds only.
+#if HBMSIM_CHECKS_ENABLED
 #define HBMSIM_ASSERT(cond, msg) HBMSIM_CHECK(cond, msg)
+#else
+#define HBMSIM_ASSERT(cond, msg) ((void)0)
 #endif
 
 }  // namespace hbmsim

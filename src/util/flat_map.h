@@ -154,4 +154,33 @@ class FlatMap {
   std::size_t size_ = 0;
 };
 
+/// FlatSet: a set of 64-bit keys with FlatMap's deterministic layout and
+/// probing. Used where std::unordered_set would otherwise appear on
+/// simulation paths (e.g. the in-flight page set), so membership
+/// structures on ordering-sensitive code carry no hash-iteration-order
+/// hazard by construction (tools/lint_determinism.py enforces the rest).
+class FlatSet {
+ public:
+  explicit FlatSet(std::size_t capacity_hint = 16) : map_(capacity_hint) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return map_.empty(); }
+  [[nodiscard]] bool contains(std::uint64_t key) const noexcept {
+    return map_.contains(key);
+  }
+
+  void insert(std::uint64_t key) { map_.insert(key, std::uint8_t{1}); }
+  bool erase(std::uint64_t key) noexcept { return map_.erase(key); }
+  void clear() noexcept { map_.clear(); }
+
+  /// Visit every key (unspecified order).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    map_.for_each([&fn](std::uint64_t key, std::uint8_t) { fn(key); });
+  }
+
+ private:
+  FlatMap<std::uint8_t> map_;
+};
+
 }  // namespace hbmsim

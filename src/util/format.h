@@ -9,7 +9,7 @@
 namespace hbmsim {
 
 /// Format a byte count as a human-readable string ("16MiB", "2GiB").
-inline std::string format_bytes(std::uint64_t bytes) {
+[[nodiscard]] inline std::string format_bytes(std::uint64_t bytes) {
   static constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
   int unit = 0;
   auto value = static_cast<double>(bytes);
@@ -27,14 +27,14 @@ inline std::string format_bytes(std::uint64_t bytes) {
 }
 
 /// Fixed-precision double formatting ("12.345").
-inline std::string format_fixed(double v, int precision = 3) {
+[[nodiscard]] inline std::string format_fixed(double v, int precision = 3) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(precision) << v;
   return os.str();
 }
 
 /// Thousands-separated integer formatting ("1,234,567").
-inline std::string format_count(std::uint64_t v) {
+[[nodiscard]] inline std::string format_count(std::uint64_t v) {
   std::string digits = std::to_string(v);
   std::string out;
   out.reserve(digits.size() + digits.size() / 3);

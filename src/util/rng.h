@@ -63,7 +63,7 @@ class Xoshiro256StarStar {
   }
 
   /// Unbiased uniform integer in [0, bound) via Lemire's method.
-  std::uint64_t uniform(std::uint64_t bound) noexcept {
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t bound) noexcept {
     HBMSIM_ASSERT(bound > 0, "uniform bound must be positive");
     // 128-bit multiply rejection sampling.
     std::uint64_t x = (*this)();
@@ -81,19 +81,19 @@ class Xoshiro256StarStar {
   }
 
   /// Uniform integer in the closed range [lo, hi].
-  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) noexcept {
+  [[nodiscard]] std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) noexcept {
     HBMSIM_ASSERT(lo <= hi, "uniform_range requires lo <= hi");
     return lo + static_cast<std::int64_t>(
                     uniform(static_cast<std::uint64_t>(hi - lo) + 1));
   }
 
   /// Uniform double in [0, 1).
-  double uniform_double() noexcept {
+  [[nodiscard]] double uniform_double() noexcept {
     return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
   }
 
   /// Derive an independent child generator (for per-thread streams).
-  Xoshiro256StarStar fork() noexcept {
+  [[nodiscard]] Xoshiro256StarStar fork() noexcept {
     return Xoshiro256StarStar((*this)());
   }
 
@@ -129,7 +129,7 @@ class ZipfSampler {
   }
 
   /// Draw a sample in [0, n).
-  std::uint64_t operator()(Xoshiro256StarStar& rng) const {
+  [[nodiscard]] std::uint64_t operator()(Xoshiro256StarStar& rng) const {
     // s == 0 degenerates to uniform.
     if (s_ == 0.0) {
       return rng.uniform(n_);

@@ -202,6 +202,56 @@ TEST(Arbiter, PopOnEmptyReturnsNullopt) {
   EXPECT_FALSE(q->pop().has_value());
 }
 
+// --- snapshot(): the invariant checker's queue introspection ----------
+
+TEST(Arbiter, FifoSnapshotPreservesArrivalOrderWithoutDraining) {
+  auto q = ArbitrationPolicy::make(ArbitrationKind::kFifo, nullptr, 1);
+  q->enqueue({10, 2, 0});
+  q->enqueue({11, 0, 1});
+  q->enqueue({12, 1, 1});
+  EXPECT_TRUE(q->snapshot_in_arrival_order());
+  const auto snap = q->snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0], (QueuedRequest{10, 2, 0}));
+  EXPECT_EQ(snap[1], (QueuedRequest{11, 0, 1}));
+  EXPECT_EQ(snap[2], (QueuedRequest{12, 1, 1}));
+  EXPECT_EQ(q->size(), 3u);  // snapshot is non-destructive
+}
+
+TEST(Arbiter, PrioritySnapshotIsArrivalOrderNotPriorityOrder) {
+  PriorityMap pm(4, RemapScheme::kNone, 1);
+  auto q = ArbitrationPolicy::make(ArbitrationKind::kPriority, &pm, 1);
+  q->enqueue({10, 3, 0});  // lowest priority arrives first
+  q->enqueue({11, 0, 1});  // highest priority arrives second
+  EXPECT_TRUE(q->snapshot_in_arrival_order());
+  const auto snap = q->snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].thread, 3u);
+  EXPECT_EQ(snap[1].thread, 0u);
+  EXPECT_EQ(q->size(), 2u);
+}
+
+TEST(Arbiter, RandomSnapshotDisclaimsArrivalOrder) {
+  auto q = ArbitrationPolicy::make(ArbitrationKind::kRandom, nullptr, 7);
+  q->enqueue({10, 0, 0});
+  q->enqueue({11, 1, 0});
+  // The swap-remove pool forgets arrival order; the checker must not
+  // apply the queue-order audit here.
+  EXPECT_FALSE(q->snapshot_in_arrival_order());
+  EXPECT_EQ(q->snapshot().size(), 2u);
+}
+
+TEST(Arbiter, FrFcfsSnapshotPreservesArrivalOrder) {
+  auto q = ArbitrationPolicy::make(ArbitrationKind::kFrFcfs, nullptr, 1, 1, 4);
+  q->enqueue({0, 0, 0});
+  q->enqueue({9, 1, 0});
+  EXPECT_TRUE(q->snapshot_in_arrival_order());
+  const auto snap = q->snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].thread, 0u);
+  EXPECT_EQ(snap[1].thread, 1u);
+}
+
 TEST(Arbiter, RequestsCarryTheirPayload) {
   auto q = ArbitrationPolicy::make(ArbitrationKind::kFifo, nullptr, 1);
   const QueuedRequest in{make_global_page(7, 42), 7, 123};

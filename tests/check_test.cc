@@ -1,0 +1,313 @@
+// Tests for the invariant-checking layer (src/check/): the ShadowedCache
+// decorator, the free audit functions, and the SimConfig::paranoid hook.
+//
+// The audit machinery is always compiled (check/check.h), so the positive
+// and negative cases below run in every build type; only the tests that
+// need a live paranoid Simulator branch on check::checks_enabled().
+// Each negative test corrupts a model deliberately and asserts that the
+// exact invariant fires as InvariantError.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "assoc/direct_mapped.h"
+#include "check/check.h"
+#include "check/invariant_checker.h"
+#include "check/shadow_cache.h"
+#include "core/hbm_cache.h"
+#include "core/simulator.h"
+#include "util/error.h"
+#include "workloads/synthetic.h"
+
+namespace hbmsim {
+namespace {
+
+using check::InvariantChecker;
+using check::ShadowedCache;
+using check::ShadowPolicy;
+
+std::unique_ptr<ShadowedCache> shadowed_lru(std::uint64_t k) {
+  return std::make_unique<ShadowedCache>(
+      std::make_unique<HbmCache>(k, ReplacementKind::kLru), ShadowPolicy::kLru);
+}
+
+// --- ShadowedCache: correct models pass --------------------------------
+
+TEST(ShadowedCache, LruWorkloadPassesAllChecks) {
+  const auto cache = shadowed_lru(3);
+  EXPECT_EQ(cache->insert(10), std::nullopt);
+  EXPECT_EQ(cache->insert(11), std::nullopt);
+  EXPECT_EQ(cache->insert(12), std::nullopt);
+  cache->touch(10);  // 10 is now most recent; LRU victim is 11
+  EXPECT_EQ(cache->insert(13), std::optional<GlobalPage>{11});
+  EXPECT_TRUE(cache->contains(10));
+  EXPECT_FALSE(cache->contains(11));
+  EXPECT_EQ(cache->size(), 3u);
+  EXPECT_EQ(cache->evictions(), 1u);
+}
+
+TEST(ShadowedCache, FifoWorkloadPassesAllChecks) {
+  ShadowedCache cache(std::make_unique<HbmCache>(2, ReplacementKind::kFifo),
+                      ShadowPolicy::kFifo);
+  EXPECT_EQ(cache.insert(1), std::nullopt);
+  EXPECT_EQ(cache.insert(2), std::nullopt);
+  cache.touch(1);  // FIFO ignores recency: victim stays 1
+  EXPECT_EQ(cache.insert(3), std::optional<GlobalPage>{1});
+}
+
+TEST(ShadowedCache, DirectMappedConflictEvictionBelowCapacityIsLegal) {
+  // kModulo: pages 0 and 8 collide in slot 0 of an 8-slot cache.
+  auto inner = std::make_unique<assoc::DirectMappedCache>(
+      8, assoc::SlotHash::kModulo);
+  ShadowedCache cache(std::move(inner), ShadowPolicy::kDirectMapped);
+  EXPECT_EQ(cache.insert(0), std::nullopt);
+  EXPECT_EQ(cache.insert(8), std::optional<GlobalPage>{0});  // size 1 < 8
+  EXPECT_NO_THROW(check::audit_cache_structure(cache.inner()));
+}
+
+TEST(ShadowedCache, AdoptsAWarmedUpInnerModel) {
+  auto inner = std::make_unique<HbmCache>(4, ReplacementKind::kLru);
+  inner->insert(7);
+  inner->insert(8);
+  ShadowedCache cache(std::move(inner), ShadowPolicy::kLru);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.contains(7));
+  EXPECT_EQ(cache.insert(9), std::nullopt);
+}
+
+// --- ShadowedCache: deliberately corrupted models are caught -----------
+
+TEST(ShadowedCacheNegative, DoubleFetchIsCaught) {
+  const auto cache = shadowed_lru(4);
+  cache->insert(5);
+  EXPECT_THROW(cache->insert(5), InvariantError);  // step-5 double fetch
+}
+
+TEST(ShadowedCacheNegative, ServingANonResidentPageIsCaught) {
+  const auto cache = shadowed_lru(4);
+  cache->insert(1);
+  EXPECT_THROW(cache->touch(2), InvariantError);  // step-4 violation
+}
+
+TEST(ShadowedCacheNegative, WrongVictimViolatesTheLruStackProperty) {
+  // A FIFO cache audited under the LRU law: after touch(0) the LRU shadow
+  // expects victim 1, but FIFO still evicts 0.
+  ShadowedCache cache(std::make_unique<HbmCache>(3, ReplacementKind::kFifo),
+                      ShadowPolicy::kLru);
+  cache.insert(0);
+  cache.insert(1);
+  cache.insert(2);
+  cache.touch(0);
+  EXPECT_THROW(cache.insert(3), InvariantError);
+}
+
+/// A residency model with switchable bugs, for negative tests.
+class BrokenCache final : public CacheModel {
+ public:
+  explicit BrokenCache(std::uint64_t capacity) : capacity_(capacity) {}
+
+  bool lie_in_contains = false;     ///< deny residency of resident pages
+  bool swallow_evictions = false;   ///< grow past capacity, report no victim
+  bool duplicate_residents = false; ///< report a page in two slots
+
+  [[nodiscard]] bool contains(GlobalPage page) const override {
+    if (lie_in_contains) {
+      return false;
+    }
+    for (const GlobalPage p : pages_) {
+      if (p == page) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void touch(GlobalPage) override {}
+
+  std::optional<GlobalPage> insert(GlobalPage page) override {
+    if (!swallow_evictions && pages_.size() >= capacity_) {
+      const GlobalPage victim = pages_.front();
+      pages_.erase(pages_.begin());
+      pages_.push_back(page);
+      return victim;
+    }
+    pages_.push_back(page);
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::size_t size() const override { return pages_.size(); }
+  [[nodiscard]] std::uint64_t capacity() const override { return capacity_; }
+  [[nodiscard]] std::uint64_t evictions() const override { return 0; }
+  [[nodiscard]] std::vector<GlobalPage> resident_pages() const override {
+    std::vector<GlobalPage> out = pages_;
+    if (duplicate_residents && !out.empty()) {
+      out.back() = out.front();
+    }
+    return out;
+  }
+
+ private:
+  std::uint64_t capacity_;
+  std::vector<GlobalPage> pages_;
+};
+
+TEST(ShadowedCacheNegative, OverOccupancyIsCaught) {
+  auto broken = std::make_unique<BrokenCache>(2);
+  broken->swallow_evictions = true;
+  ShadowedCache cache(std::move(broken), ShadowPolicy::kMembershipOnly);
+  cache.insert(1);
+  cache.insert(2);
+  // Third insert at full capacity evicts nothing: occupancy passes k.
+  EXPECT_THROW(cache.insert(3), InvariantError);
+}
+
+TEST(ShadowedCacheNegative, LyingContainsIsCaught) {
+  auto broken = std::make_unique<BrokenCache>(4);
+  BrokenCache* handle = broken.get();
+  ShadowedCache cache(std::move(broken), ShadowPolicy::kMembershipOnly);
+  cache.insert(1);
+  handle->lie_in_contains = true;
+  EXPECT_THROW((void)cache.contains(1), InvariantError);
+}
+
+// --- Free audit functions ----------------------------------------------
+
+TEST(AuditCacheStructure, AcceptsHealthyModels) {
+  HbmCache healthy(4, ReplacementKind::kLru);
+  healthy.insert(1);
+  healthy.insert(2);
+  EXPECT_NO_THROW(check::audit_cache_structure(healthy));
+
+  assoc::DirectMappedCache dm(8);
+  dm.insert(3);
+  dm.insert(4);
+  EXPECT_NO_THROW(check::audit_cache_structure(dm));
+}
+
+TEST(AuditCacheStructure, DoubleResidencyIsCaught) {
+  BrokenCache broken(4);
+  broken.insert(1);
+  broken.insert(2);
+  broken.duplicate_residents = true;  // page 1 now reported in two slots
+  EXPECT_THROW(check::audit_cache_structure(broken), InvariantError);
+}
+
+TEST(AuditCacheStructure, ResidentPageFailingContainsIsCaught) {
+  BrokenCache broken(4);
+  broken.insert(1);
+  broken.lie_in_contains = true;
+  EXPECT_THROW(check::audit_cache_structure(broken), InvariantError);
+}
+
+TEST(AuditQueueOrder, AcceptsCanonicalOrder) {
+  const std::vector<QueuedRequest> entries = {
+      {10, 0, 0}, {11, 2, 0}, {12, 1, 3}, {13, 4, 3}};
+  EXPECT_NO_THROW(check::audit_queue_order(entries));
+  EXPECT_NO_THROW(check::audit_queue_order({}));
+}
+
+TEST(AuditQueueOrder, SameTickMissesOutOfCoreIdOrderAreCaught) {
+  // Tick step 2: same-tick misses must enter in core-id order.
+  const std::vector<QueuedRequest> entries = {{10, 2, 5}, {11, 1, 5}};
+  EXPECT_THROW(check::audit_queue_order(entries), InvariantError);
+}
+
+TEST(AuditQueueOrder, NonMonotoneArrivalTicksAreCaught) {
+  const std::vector<QueuedRequest> entries = {{10, 0, 7}, {11, 1, 4}};
+  EXPECT_THROW(check::audit_queue_order(entries), InvariantError);
+}
+
+// --- shadow_policy_for dispatch ----------------------------------------
+
+TEST(ShadowPolicyFor, MatchesTheModelUnderAudit) {
+  const HbmCache lru(4, ReplacementKind::kLru);
+  const HbmCache fifo(4, ReplacementKind::kFifo);
+  const HbmCache clock(4, ReplacementKind::kClock);
+  const assoc::DirectMappedCache dm(4);
+  const BrokenCache custom(4);
+  EXPECT_EQ(check::shadow_policy_for(lru), ShadowPolicy::kLru);
+  EXPECT_EQ(check::shadow_policy_for(fifo), ShadowPolicy::kFifo);
+  EXPECT_EQ(check::shadow_policy_for(clock), ShadowPolicy::kMembershipOnly);
+  EXPECT_EQ(check::shadow_policy_for(dm), ShadowPolicy::kDirectMapped);
+  EXPECT_EQ(check::shadow_policy_for(custom), ShadowPolicy::kMembershipOnly);
+}
+
+// --- SimConfig::paranoid wiring ----------------------------------------
+
+Workload small_workload() {
+  workloads::SyntheticOptions opts;
+  opts.kind = workloads::SyntheticKind::kZipf;
+  opts.num_pages = 64;
+  opts.length = 400;
+  opts.seed = 42;
+  return workloads::make_synthetic_workload(4, opts);
+}
+
+TEST(Paranoid, HonouredInCheckedBuildsRejectedElsewhere) {
+  SimConfig config = SimConfig::fifo(/*k=*/32, /*q=*/2);
+  config.paranoid = true;
+  if (check::checks_enabled()) {
+    // The audit is a pure observer: metrics are bit-identical to a
+    // plain run, and the whole run passes under audit.
+    SimConfig plain = config;
+    plain.paranoid = false;
+    const RunMetrics audited = simulate(small_workload(), config);
+    const RunMetrics bare = simulate(small_workload(), plain);
+    EXPECT_EQ(audited.makespan, bare.makespan);
+    EXPECT_EQ(audited.hits, bare.hits);
+    EXPECT_EQ(audited.misses, bare.misses);
+    EXPECT_EQ(audited.fetches, bare.fetches);
+    EXPECT_EQ(audited.evictions, bare.evictions);
+    EXPECT_EQ(audited.response.count(), bare.response.count());
+    EXPECT_DOUBLE_EQ(audited.response.mean(), bare.response.mean());
+  } else {
+    // Compile-out proof: a non-checked build cannot honour paranoid and
+    // must say so instead of silently skipping the audit.
+    EXPECT_THROW(Simulator(small_workload(), config), ConfigError);
+  }
+}
+
+TEST(Paranoid, AuditedConfigurationsCoverTheExtensions) {
+  if (!check::checks_enabled()) {
+    GTEST_SKIP() << "paranoid runs need a checked build";
+  }
+  // Shared pages + multi-tick transfers + priority remapping: the
+  // configurations with the trickiest bookkeeping all pass under audit.
+  SimConfig config = SimConfig::dynamic_priority(/*k=*/32, /*t_mult=*/2.0,
+                                                 /*q=*/2, /*seed=*/7);
+  config.shared_pages = true;
+  config.fetch_ticks = 3;
+  config.paranoid = true;
+  const RunMetrics m = simulate(small_workload(), config);
+  EXPECT_GT(m.makespan, 0u);
+}
+
+TEST(Paranoid, DchecksMatchChecksEnabled) {
+  if (check::checks_enabled()) {
+    EXPECT_THROW(HBMSIM_DCHECK(false, "must fire in checked builds"),
+                 InvariantError);
+  } else {
+    EXPECT_NO_THROW(HBMSIM_DCHECK(false, "must be compiled out"));
+  }
+  // HBMSIM_INVARIANT is always live — it is the audit machinery itself.
+  EXPECT_THROW(HBMSIM_INVARIANT(false, "always fires"), InvariantError);
+  EXPECT_NO_THROW(HBMSIM_INVARIANT(true, "never fires"));
+}
+
+TEST(Paranoid, InvariantErrorMessagesCarryContext) {
+  try {
+    HBMSIM_INVARIANT(1 == 2, check::make_context("k=", 16, " q=", 2));
+    FAIL() << "HBMSIM_INVARIANT(false) must throw";
+  } catch (const InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("invariant violation"), std::string::npos);
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("k=16 q=2"), std::string::npos);
+    EXPECT_NE(what.find("check_test.cc"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hbmsim

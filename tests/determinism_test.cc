@@ -1,0 +1,148 @@
+// Determinism regression tests: golden fingerprints of full simulation
+// runs, pinned per configuration.
+//
+// The simulator's contract (DESIGN.md, simulator.h) is that a run is a
+// pure function of (workload, config): bit-identical across repeats,
+// --jobs settings, and standard-library versions. The golden values
+// below were produced by the reference implementation; any change —
+// including an "innocent" refactor that lets unordered-container bucket
+// order leak into simulation state, which tools/lint_determinism.py
+// exists to prevent — shows up as a fingerprint mismatch. If a change
+// *intentionally* alters simulation behaviour, re-pin the goldens and
+// say so in the commit message.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "core/simulator.h"
+#include "workloads/synthetic.h"
+
+namespace hbmsim {
+namespace {
+
+/// SplitMix64 finalizer: well-mixed 64-bit hash combining.
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  std::uint64_t z = h;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Order- and value-sensitive fingerprint of everything a run reports.
+std::uint64_t fingerprint(const RunMetrics& m) {
+  std::uint64_t h = 0;
+  h = mix64(h, m.makespan);
+  h = mix64(h, m.total_refs);
+  h = mix64(h, m.hits);
+  h = mix64(h, m.misses);
+  h = mix64(h, m.fetches);
+  h = mix64(h, m.requeues);
+  h = mix64(h, m.evictions);
+  h = mix64(h, m.remaps);
+  h = mix64(h, m.response.count());
+  h = mix64(h, std::bit_cast<std::uint64_t>(m.response.mean()));
+  h = mix64(h, std::bit_cast<std::uint64_t>(m.response.max()));
+  for (const auto& pt : m.per_thread) {
+    h = mix64(h, pt.refs);
+    h = mix64(h, pt.hits);
+    h = mix64(h, pt.misses);
+    h = mix64(h, pt.completion_tick);
+    h = mix64(h, pt.response.count());
+    h = mix64(h, std::bit_cast<std::uint64_t>(pt.response.mean()));
+  }
+  return h;
+}
+
+Workload workload(workloads::SyntheticKind kind, std::size_t threads) {
+  workloads::SyntheticOptions opts;
+  opts.kind = kind;
+  opts.num_pages = 128;
+  opts.length = 2000;
+  opts.zipf_s = 0.9;
+  opts.seed = 7;
+  return workloads::make_synthetic_workload(threads, opts);
+}
+
+// --- Repeat-run identity (no goldens needed) ---------------------------
+
+TEST(Determinism, RepeatRunsAreBitIdentical) {
+  SimConfig config = SimConfig::dynamic_priority(/*k=*/64, /*t_mult=*/4.0,
+                                                 /*q=*/2, /*seed=*/3);
+  config.shared_pages = true;
+  config.fetch_ticks = 2;
+  const auto a =
+      fingerprint(simulate(workload(workloads::SyntheticKind::kZipf, 6), config));
+  const auto b =
+      fingerprint(simulate(workload(workloads::SyntheticKind::kZipf, 6), config));
+  EXPECT_EQ(a, b);
+}
+
+// --- Golden fingerprints, one per configuration family -----------------
+//
+// Each case exercises a different part of the state machine, including
+// every unordered container on a simulation path: waiters_ (shared
+// pages), in_flight_pages_ (shared pages + fetch_ticks > 1), and the
+// PageMapper/lower-bound maps via the synthetic workloads.
+
+struct GoldenCase {
+  const char* name;
+  std::uint64_t expected;
+};
+
+std::uint64_t run_fifo_baseline() {
+  return fingerprint(
+      simulate(workload(workloads::SyntheticKind::kZipf, 4), SimConfig::fifo(64, 2)));
+}
+
+std::uint64_t run_dynamic_priority_remap() {
+  const SimConfig config =
+      SimConfig::dynamic_priority(/*k=*/64, /*t_mult=*/2.0, /*q=*/2, /*seed=*/5);
+  return fingerprint(simulate(workload(workloads::SyntheticKind::kUniform, 6), config));
+}
+
+std::uint64_t run_shared_pages_piggyback() {
+  SimConfig config = SimConfig::priority(/*k=*/48, /*q=*/3);
+  config.shared_pages = true;
+  config.fetch_ticks = 3;
+  return fingerprint(simulate(workload(workloads::SyntheticKind::kZipf, 8), config));
+}
+
+std::uint64_t run_frfcfs_hashed_channels() {
+  SimConfig config = SimConfig::fifo(/*k=*/64, /*q=*/4);
+  config.arbitration = ArbitrationKind::kFrFcfs;
+  config.channel_binding = ChannelBinding::kHashed;
+  config.row_pages = 8;
+  return fingerprint(simulate(workload(workloads::SyntheticKind::kStrided, 4), config));
+}
+
+std::uint64_t run_random_arbitration_seeded() {
+  SimConfig config = SimConfig::fifo(/*k=*/32, /*q=*/2);
+  config.arbitration = ArbitrationKind::kRandom;
+  config.seed = 11;
+  return fingerprint(simulate(workload(workloads::SyntheticKind::kUniform, 4), config));
+}
+
+TEST(Determinism, FifoBaselineMatchesGolden) {
+  EXPECT_EQ(run_fifo_baseline(), 5478838069903108940ULL);
+}
+
+TEST(Determinism, DynamicPriorityRemapMatchesGolden) {
+  EXPECT_EQ(run_dynamic_priority_remap(), 11901694040812187088ULL);
+}
+
+TEST(Determinism, SharedPagesPiggybackMatchesGolden) {
+  EXPECT_EQ(run_shared_pages_piggyback(), 16191620588421519683ULL);
+}
+
+TEST(Determinism, FrFcfsHashedChannelsMatchesGolden) {
+  EXPECT_EQ(run_frfcfs_hashed_channels(), 3295483707807617535ULL);
+}
+
+TEST(Determinism, RandomArbitrationSeededMatchesGolden) {
+  EXPECT_EQ(run_random_arbitration_seeded(), 7184237674189686650ULL);
+}
+
+}  // namespace
+}  // namespace hbmsim

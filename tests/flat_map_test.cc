@@ -127,5 +127,39 @@ TEST(FlatMap, RandomOpsMatchUnorderedMap) {
   }
 }
 
+// --- FlatSet (membership-only wrapper; simulator's in-flight page set) --
+
+TEST(FlatSet, InsertContainsErase) {
+  FlatSet set;
+  EXPECT_TRUE(set.empty());
+  set.insert(42);
+  set.insert(7);
+  set.insert(42);  // duplicate insert is a no-op
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(42));
+  EXPECT_TRUE(set.contains(7));
+  EXPECT_FALSE(set.contains(0));
+  EXPECT_TRUE(set.erase(42));
+  EXPECT_FALSE(set.erase(42));
+  EXPECT_FALSE(set.contains(42));
+  EXPECT_EQ(set.size(), 1u);
+  set.clear();
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(FlatSet, GrowsPastInitialCapacity) {
+  FlatSet set(/*capacity_hint=*/2);
+  for (std::uint64_t k = 1; k <= 1000; ++k) {
+    set.insert(k * 977);
+  }
+  EXPECT_EQ(set.size(), 1000u);
+  for (std::uint64_t k = 1; k <= 1000; ++k) {
+    EXPECT_TRUE(set.contains(k * 977));
+  }
+  std::size_t visited = 0;
+  set.for_each([&](std::uint64_t) { ++visited; });
+  EXPECT_EQ(visited, 1000u);
+}
+
 }  // namespace
 }  // namespace hbmsim

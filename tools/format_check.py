@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Version-independent formatting gate for the hbmsim sources.
+
+clang-format output drifts across versions, so CI runs it advisory-only
+(.clang-format documents the house style). This script enforces the
+basics every clang-format version agrees on, and therefore *does* gate:
+
+  - no tab characters in C++ sources (2-space indent)
+  - no trailing whitespace
+  - LF line endings (no CRLF)
+  - every file ends with exactly one newline
+
+Usage: tools/format_check.py [--root DIR]
+Exits non-zero and prints findings if any rule fires.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+GLOBS = (
+    "src/**/*.h", "src/**/*.cc",
+    "apps/**/*.h", "apps/**/*.cc",
+    "bench/**/*.h", "bench/**/*.cc",
+    "tests/**/*.h", "tests/**/*.cc",
+    "examples/**/*.h", "examples/**/*.cpp",
+)
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    data = path.read_bytes()
+    problems = []
+    if b"\r" in data:
+        problems.append("CRLF line endings (use LF)")
+    if not data:
+        problems.append("empty file")
+        return problems
+    if not data.endswith(b"\n"):
+        problems.append("missing final newline")
+    elif data.endswith(b"\n\n"):
+        problems.append("multiple trailing newlines")
+    for i, line in enumerate(data.split(b"\n"), 1):
+        if b"\t" in line:
+            problems.append(f"line {i}: tab character (indent with spaces)")
+        if line != line.rstrip():
+            problems.append(f"line {i}: trailing whitespace")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    args = parser.parse_args()
+    root = pathlib.Path(args.root).resolve()
+
+    files: list[pathlib.Path] = []
+    for glob in GLOBS:
+        files.extend(sorted(root.glob(glob)))
+
+    failures = 0
+    for path in files:
+        for problem in check_file(path):
+            print(f"{path.relative_to(root)}: {problem}")
+            failures += 1
+    if failures:
+        print(f"\nformat_check: {failures} finding(s)", file=sys.stderr)
+        return 1
+    print(f"format_check: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

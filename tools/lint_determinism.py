@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""Determinism lint for the hbmsim sources.
+
+The simulator's contract is that two runs of the same (workload, config)
+are bit-identical, regardless of --jobs, build host, or standard-library
+version (DESIGN.md; tests/determinism_test.cc pins fingerprints). This
+lint flags source patterns that historically break that contract:
+
+  1. Iteration over std::unordered_map / std::unordered_set. Bucket
+     order is hash- and libstdc++-version-dependent, so any iteration
+     whose effects reach simulation state or output is a nondeterminism
+     bug. Point lookups (find/contains/at/[] / insert/erase) are fine.
+
+  2. Nondeterministic seed sources — rand(), srand(), std::random_device,
+     std::mt19937 (engine state differs across library versions),
+     time(...), and std::chrono::system_clock — anywhere outside
+     src/util/rng.h (the one blessed RNG: SplitMix64, fully specified by
+     its seed). std::chrono::steady_clock is allowed: it only feeds
+     wall-time metrics, never simulation state.
+
+  3. SimConfig fields without an initializer. A default-constructed
+     config must be fully specified; an uninitialized field means two
+     "identical" runs can differ by stack garbage.
+
+Suppress a deliberate exception with a trailing comment:
+    for (auto& kv : stats_) {  // lint:allow-unordered-iteration
+    auto seed = std::random_device{}();  // lint:allow-nondeterminism
+
+Usage: tools/lint_determinism.py [--root DIR]
+Exits non-zero and prints findings if any rule fires.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+SOURCE_GLOBS = ("src/**/*.h", "src/**/*.cc", "apps/**/*.cc", "apps/**/*.h")
+
+ALLOW_ITER = "lint:allow-unordered-iteration"
+ALLOW_RAND = "lint:allow-nondeterminism"
+
+# Rule 2 patterns -> human-readable reason.
+NONDETERMINISM = [
+    (re.compile(r"\bstd::random_device\b"),
+     "std::random_device is nondeterministic; seed SplitMix64 (util/rng.h)"),
+    (re.compile(r"\bstd::mt19937(_64)?\b"),
+     "std::mt19937 state is stdlib-version-dependent; use util/rng.h"),
+    (re.compile(r"(?<![\w:])rand\s*\(\s*\)"),
+     "rand() is stateful and platform-dependent; use util/rng.h"),
+    (re.compile(r"(?<![\w:])srand\s*\("),
+     "srand() seeds hidden global state; use util/rng.h"),
+    (re.compile(r"(?<![\w:])time\s*\(\s*(NULL|nullptr|0)\s*\)"),
+     "time(...) as a seed makes runs unreproducible; take seeds from config"),
+    (re.compile(r"\bstd::chrono::system_clock\b"),
+     "system_clock is wall-clock; use steady_clock for timing, config seeds "
+     "for randomness"),
+]
+
+COMMENT_RE = re.compile(r"//.*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+# Rule 1: declarations of unordered containers, to learn variable names.
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s*&?\s*"
+    r"(?P<name>[A-Za-z_]\w*)\s*[;{=(,)]")
+# Direct iteration without a named variable.
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(.*:\s*(?P<expr>[^)]+)\)")
+
+
+def strip_noise(line: str) -> str:
+    """Remove string literals and // comments so patterns don't match prose."""
+    return COMMENT_RE.sub("", STRING_RE.sub('""', line))
+
+
+class Finding:
+    def __init__(self, path: pathlib.Path, line_no: int, message: str):
+        self.path = path
+        self.line_no = line_no
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line_no}: {self.message}"
+
+
+def lint_nondeterminism(path: pathlib.Path, lines: list[str]) -> list[Finding]:
+    if path.as_posix().endswith("util/rng.h"):
+        return []  # the blessed RNG implementation
+    findings = []
+    for i, raw in enumerate(lines, 1):
+        if ALLOW_RAND in raw:
+            continue
+        line = strip_noise(raw)
+        for pattern, reason in NONDETERMINISM:
+            if pattern.search(line):
+                findings.append(Finding(path, i, reason))
+    return findings
+
+
+def lint_unordered_iteration(path: pathlib.Path,
+                             lines: list[str]) -> list[Finding]:
+    # Pass 1: learn the names of unordered containers declared in this file.
+    unordered_names: set[str] = set()
+    for raw in lines:
+        line = strip_noise(raw)
+        for m in UNORDERED_DECL_RE.finditer(line):
+            unordered_names.add(m.group("name"))
+
+    findings = []
+    for i, raw in enumerate(lines, 1):
+        if ALLOW_ITER in raw:
+            continue
+        line = strip_noise(raw)
+        # Range-for over a known unordered container.
+        m = RANGE_FOR_RE.search(line)
+        if m:
+            expr = m.group("expr").strip()
+            base = re.sub(r"[.*&()]|->.*$", "", expr.split(".")[0]).strip()
+            if base in unordered_names or "unordered_" in expr:
+                findings.append(Finding(
+                    path, i,
+                    f"iteration over unordered container '{expr}': bucket "
+                    "order is hash-dependent (copy to a sorted vector, or "
+                    "use FlatMap/FlatSet and document why order is benign)"))
+        # Explicit iterator walks: name.begin() on a known unordered name.
+        for name in unordered_names:
+            if re.search(rf"\b{re.escape(name)}\s*\.\s*(c?begin|c?end)\s*\(",
+                         line):
+                findings.append(Finding(
+                    path, i,
+                    f"iterator over unordered container '{name}': bucket "
+                    "order is hash-dependent"))
+    return findings
+
+
+def lint_simconfig_initializers(root: pathlib.Path) -> list[Finding]:
+    config = root / "src" / "core" / "config.h"
+    if not config.exists():
+        return [Finding(config, 0, "src/core/config.h not found")]
+    lines = config.read_text().splitlines()
+
+    findings = []
+    in_struct = False
+    depth = 0
+    member_re = re.compile(
+        r"^\s*(?!static|using|enum|struct|class|//|/\*|\[\[)"
+        r"(?P<decl>[A-Za-z_][\w:<>,\s*&]*?\s+[A-Za-z_]\w*)\s*"
+        r"(?P<init>=[^;]+|\{[^;]*\})?\s*;")
+    for i, raw in enumerate(lines, 1):
+        stripped = strip_noise(raw)
+        if not in_struct:
+            if re.search(r"\bstruct\s+SimConfig\b", stripped):
+                in_struct = True
+                depth = stripped.count("{") - stripped.count("}")
+            continue
+        depth += stripped.count("{") - stripped.count("}")
+        if depth < 0 or (depth == 0 and "};" in stripped):
+            break
+        if depth > 1:
+            continue  # nested scope (method body)
+        m = member_re.match(stripped)
+        if not m:
+            continue
+        decl = m.group("decl")
+        if "(" in decl:  # function declaration
+            continue
+        if not m.group("init"):
+            findings.append(Finding(
+                config, i,
+                f"SimConfig field '{decl.split()[-1]}' has no initializer: "
+                "a default-constructed config must be fully specified"))
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    args = parser.parse_args()
+    root = pathlib.Path(args.root).resolve()
+
+    files: list[pathlib.Path] = []
+    for glob in SOURCE_GLOBS:
+        files.extend(sorted(root.glob(glob)))
+
+    findings: list[Finding] = []
+    for path in files:
+        lines = path.read_text().splitlines()
+        findings.extend(lint_nondeterminism(path, lines))
+        findings.extend(lint_unordered_iteration(path, lines))
+    findings.extend(lint_simconfig_initializers(root))
+
+    for f in findings:
+        try:
+            f.path = f.path.relative_to(root)
+        except ValueError:
+            pass
+        print(f)
+    if findings:
+        print(f"\nlint_determinism: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print(f"lint_determinism: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
