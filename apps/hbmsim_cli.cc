@@ -15,7 +15,10 @@
 // Policy selection (run):
 //   --policy fifo|fr-fcfs|priority|dynamic|cycle|cycle-reverse|interleave|random
 //   --k SLOTS --q CHANNELS --t-mult M --replacement lru|fifo|clock
-//   --binding any|hashed --row-pages N --shared-pages
+//   --binding any|hashed --row-pages N --shared-pages --fetch-ticks N
+//   --engine tick|fast|auto   execution engine (default $HBMSIM_ENGINE or
+//                             auto; engines are bit-identical — see
+//                             DESIGN.md §3c)
 //
 // Output / execution (run, compare):
 //   --format text|csv|json   json streams one PointResult JSONL line per
@@ -179,6 +182,11 @@ SimConfig build_config(const ArgParser& args, const Workload& workload) {
   c.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   c.row_pages = static_cast<std::uint32_t>(args.get_int("row-pages", 4));
   c.shared_pages = args.get_flag("shared-pages");
+  c.fetch_ticks = static_cast<std::uint32_t>(
+      args.get_int("fetch-ticks", static_cast<std::int64_t>(c.fetch_ticks)));
+  // Default: HBMSIM_ENGINE, else auto (the engines are bit-identical, so
+  // the choice only affects wall-clock; see DESIGN.md §3c).
+  c.engine = parse_engine(args.get("engine", to_string(c.engine)));
 
   const std::string policy = args.get("policy", "fifo");
   const double t_mult = args.get_double("t-mult", 10.0);

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/config.h"
 #include "exp/json.h"
 #include "exp/runner.h"
 #include "exp/table.h"
@@ -37,6 +38,10 @@ enum class Format { kText, kCsv, kJson };
 ///   --jobs N      worker threads (default $HBMSIM_JOBS or 1; 0 = all cores)
 ///   --format F    text | csv | json   (default text)
 ///   --progress    live [i/n] progress line on stderr
+///   --engine E    tick | fast | auto — execution engine for every
+///                 simulation this binary runs (exported as HBMSIM_ENGINE,
+///                 the SimConfig default; engines are bit-identical, see
+///                 DESIGN.md §3c)
 struct BenchOptions {
   std::size_t jobs = 1;
   Format format = Format::kText;
@@ -87,6 +92,17 @@ inline BenchOptions parse_bench_options(int argc, char** argv) try {
     opts.format = Format::kJson;
   } else {
     throw ConfigError("unknown --format '" + format + "' (text|csv|json)");
+  }
+  if (args.has("engine")) {
+    const std::string engine = args.get("engine", "auto");
+    (void)parse_engine(engine);  // reject typos before exporting
+    // Export rather than plumb: every SimConfig built after this point
+    // (all of them — benches parse flags first) defaults its engine from
+    // HBMSIM_ENGINE, which reaches the sixteen bench mains without
+    // threading a parameter through each experiment definition. Safe:
+    // bench processes are single-threaded until the runner spawns its
+    // pool, long after flag parsing.
+    setenv("HBMSIM_ENGINE", engine.c_str(), /*overwrite=*/1);
   }
   args.reject_unknown();
   return opts;

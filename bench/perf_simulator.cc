@@ -2,13 +2,31 @@
 // simulation throughput per policy, cache-structure operation costs, and
 // trace generation. These guard the performance contract in DESIGN.md §3
 // (work ∝ refs + misses, not makespan·p).
+//
+// Engine differential mode (no google-benchmark involved):
+//   perf_simulator --engine-compare [--smoke] [--out=PATH]
+// times the reference tick engine against the event-driven fast engine
+// (DESIGN.md §3c) on configurations where the idle_ticks term dominates,
+// verifies their RunMetrics are bit-identical (everything except the
+// fast-engine-only skipped_ticks diagnostic), and writes a JSON report —
+// BENCH_perf.json at the repo root by default, the repo's perf
+// trajectory. --smoke shrinks the inputs for a seconds-long CI check.
 #include <benchmark/benchmark.h>
 
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <limits>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "assoc/direct_mapped.h"
 #include "core/hbm_cache.h"
 #include "core/simulator.h"
+#include "exp/json.h"
 #include "workloads/adversarial.h"
 #include "workloads/sort_trace.h"
 #include "workloads/synthetic.h"
@@ -120,6 +138,244 @@ void BM_SortTraceGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_SortTraceGeneration)->Arg(10'000)->Unit(benchmark::kMillisecond);
 
+// ---- Engine differential comparison (--engine-compare) -------------------
+
+// SplitMix64 finaliser — the same mixing tests/determinism_test.cc uses
+// for its pinned goldens, so "identical" here means identical there too.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Order-sensitive fingerprint of every RunMetrics field that
+/// participates in cross-engine equivalence — i.e. everything except
+/// skipped_ticks (0 under the reference engine by definition).
+std::uint64_t metrics_fingerprint(const RunMetrics& m) {
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+  const auto add = [&h](std::uint64_t v) { h = mix64(h ^ v); };
+  add(m.makespan);
+  add(m.total_refs);
+  add(m.hits);
+  add(m.misses);
+  add(m.evictions);
+  add(m.remaps);
+  add(m.fetches);
+  add(m.requeues);
+  add(m.idle_ticks);
+  add(m.response.count());
+  add(std::bit_cast<std::uint64_t>(m.response.mean()));
+  add(std::bit_cast<std::uint64_t>(m.response.stddev()));
+  add(std::bit_cast<std::uint64_t>(m.response.max()));
+  for (const ThreadMetrics& t : m.per_thread) {
+    add(t.refs);
+    add(t.hits);
+    add(t.misses);
+    add(t.completion_tick);
+    add(std::bit_cast<std::uint64_t>(t.response.mean()));
+  }
+  return h;
+}
+
+struct EngineRun {
+  double wall_seconds = 0.0;
+  RunMetrics metrics;
+};
+
+/// Run (workload, config) under `engine` `repeats` times; keep the
+/// fastest wall time (noise floor) and the metrics (identical each time —
+/// the simulator is deterministic).
+EngineRun time_engine(const Workload& w, SimConfig config, EngineKind engine,
+                      int repeats) {
+  config.engine = engine;
+  EngineRun result;
+  result.wall_seconds = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < repeats; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    Simulator sim(w, config);
+    RunMetrics m = sim.run();
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    result.wall_seconds = std::min(result.wall_seconds, s);
+    result.metrics = std::move(m);
+  }
+  return result;
+}
+
+struct CompareCase {
+  std::string name;
+  std::string note;
+  Workload workload;
+  SimConfig config;
+};
+
+/// The acceptance configuration: p = 64 cores, q = 2 channels, long
+/// transfers (fetch_ticks >> 1). 63 cores run short mostly-resident
+/// traces and finish in the opening ticks; core 0 then chases a cyclic
+/// all-miss sequence alone, so each of its references costs 2 executed
+/// ticks plus fetch_ticks - 1 provably idle ones — the regime where the
+/// reference engine burns almost all of its time spinning idle ticks.
+CompareCase idle_heavy_case(bool smoke) {
+  CompareCase c;
+  c.name = "idle_heavy";
+  c.note = "p=64 q=2: one long all-miss chase behind a long far channel; "
+           "idle ticks dominate";
+  std::vector<std::shared_ptr<const Trace>> traces;
+  traces.push_back(std::make_shared<Trace>(workloads::make_cyclic_trace(
+      {.unique_pages = 512, .repetitions = smoke ? 2U : 32U})));
+  for (std::size_t t = 1; t < 64; ++t) {
+    traces.push_back(std::make_shared<Trace>(workloads::make_uniform_trace(
+        /*num_pages=*/16, /*length=*/32, /*seed=*/1000 + t)));
+  }
+  c.workload = Workload(std::move(traces), "idle-heavy");
+  c.config = SimConfig::fifo(/*k=*/256, /*q=*/2);
+  c.config.fetch_ticks = smoke ? 8 : 256;
+  return c;
+}
+
+/// Honest counterpoint: a backlogged queue (q << p, every core missing)
+/// has no idle ticks to skip, so the fast engine must simply not regress.
+CompareCase backlog_case(bool smoke) {
+  CompareCase c;
+  c.name = "channel_backlog";
+  c.note = "p=64 q=2 all-miss backlog: queue never drains, nothing to skip";
+  c.workload = workloads::make_adversarial_workload(
+      64, {.unique_pages = 128, .repetitions = smoke ? 2U : 8U});
+  c.config = SimConfig::fifo(/*k=*/64, /*q=*/2);
+  c.config.fetch_ticks = 4;
+  return c;
+}
+
+/// Hit-run batching: a single core whose working set is resident serves
+/// one hit per tick; the fast engine replays the run without the
+/// per-tick step machinery.
+CompareCase hit_run_case(bool smoke) {
+  CompareCase c;
+  c.name = "single_thread_hits";
+  c.note = "p=1 resident working set: batched hit runs";
+  workloads::SyntheticOptions opts;
+  opts.kind = workloads::SyntheticKind::kZipf;
+  opts.num_pages = 2048;
+  opts.length = smoke ? 50'000 : 2'000'000;
+  opts.zipf_s = 0.9;
+  c.workload = workloads::make_synthetic_workload(1, opts);
+  c.config = SimConfig::fifo(/*k=*/4096, /*q=*/1);
+  return c;
+}
+
+int run_engine_compare(bool smoke, const std::string& out_path) {
+  const int repeats = smoke ? 1 : 5;
+  std::vector<CompareCase> cases;
+  cases.push_back(idle_heavy_case(smoke));
+  cases.push_back(backlog_case(smoke));
+  cases.push_back(hit_run_case(smoke));
+
+  bool all_identical = true;
+  std::string rows;
+  for (const CompareCase& cc : cases) {
+    const EngineRun ref =
+        time_engine(cc.workload, cc.config, EngineKind::kTick, repeats);
+    const EngineRun fast =
+        time_engine(cc.workload, cc.config, EngineKind::kFast, repeats);
+    const bool identical = metrics_fingerprint(ref.metrics) ==
+                           metrics_fingerprint(fast.metrics);
+    all_identical = all_identical && identical;
+
+    const auto ticks = static_cast<double>(ref.metrics.makespan);
+    const auto refs = static_cast<double>(ref.metrics.total_refs);
+    const auto engine_json = [&](const EngineRun& run) {
+      exp::JsonObject e;
+      e.field("wall_seconds", run.wall_seconds)
+          .field("ticks_per_sec", ticks / run.wall_seconds)
+          .field("refs_per_sec", refs / run.wall_seconds)
+          .field("idle_ticks", run.metrics.idle_ticks)
+          .field("skipped_ticks", run.metrics.skipped_ticks);
+      return e.str();
+    };
+    const double speedup = ref.wall_seconds / fast.wall_seconds;
+
+    exp::JsonObject row;
+    row.field("name", cc.name)
+        .field("note", cc.note)
+        .raw_field("config", exp::to_json(cc.config))
+        .field("threads", static_cast<std::uint64_t>(cc.workload.num_threads()))
+        .field("total_refs", ref.metrics.total_refs)
+        .field("makespan_ticks", ref.metrics.makespan)
+        .raw_field("reference", engine_json(ref))
+        .raw_field("fast", engine_json(fast))
+        .field("speedup_ticks_per_sec", speedup)
+        .field("metrics_identical", identical);
+    if (!rows.empty()) {
+      rows += ',';
+    }
+    rows += row.str();
+
+    std::fprintf(stderr,
+                 "%-20s ref %8.4fs  fast %8.4fs  speedup %6.2fx  "
+                 "skipped %llu/%llu idle  metrics %s\n",
+                 cc.name.c_str(), ref.wall_seconds, fast.wall_seconds, speedup,
+                 static_cast<unsigned long long>(fast.metrics.skipped_ticks),
+                 static_cast<unsigned long long>(fast.metrics.idle_ticks),
+                 identical ? "identical" : "DIFFER");
+  }
+
+  exp::JsonObject report;
+  report.field("bench", "engine_compare")
+      .field("scale", smoke ? "smoke" : "full")
+      .field("repeats_per_engine", repeats)
+      .raw_field("cases", "[" + rows + "]")
+      .field("all_metrics_identical", all_identical);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << report.str() << '\n';
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "error: engines disagree on RunMetrics — the fast engine "
+                 "broke the equivalence contract\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool compare = false;
+  bool smoke = false;
+  std::string out_path = "BENCH_perf.json";
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--engine-compare") {
+      compare = true;
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = std::string(arg.substr(6));
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (compare) {
+    return run_engine_compare(smoke, out_path);
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

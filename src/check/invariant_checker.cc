@@ -69,7 +69,51 @@ void audit_queue_order(std::span<const QueuedRequest> entries) {
   }
 }
 
+void audit_fast_forward(Tick from, Tick to, std::optional<Tick> next_serve_tick,
+                        std::uint64_t remap_period, std::size_t runnable_cores,
+                        std::size_t queued_requests) {
+  HBMSIM_INVARIANT(to > from, make_context("fast-forward does not advance: ",
+                                           from, " -> ", to));
+  HBMSIM_INVARIANT(runnable_cores == 0,
+                   make_context("fast-forward from tick ", from, " with ",
+                                runnable_cores, " runnable cores"));
+  HBMSIM_INVARIANT(queued_requests == 0,
+                   make_context("fast-forward from tick ", from, " with ",
+                                queued_requests,
+                                " DRAM requests queued (a queued request "
+                                "fetches every tick)"));
+  HBMSIM_INVARIANT(next_serve_tick.has_value(),
+                   make_context("fast-forward from tick ", from,
+                                " with no transfer in flight — the span is a "
+                                "deadlock, not idle time"));
+  HBMSIM_INVARIANT(to <= *next_serve_tick,
+                   make_context("fast-forward to tick ", to,
+                                " jumps past the next arrival at tick ",
+                                *next_serve_tick));
+  if (remap_period != 0) {
+    HBMSIM_INVARIANT(from % remap_period != 0,
+                     make_context("fast-forward skips the remap boundary at "
+                                  "its own origin tick ",
+                                  from));
+    const Tick boundary = (from / remap_period + 1) * remap_period;
+    HBMSIM_INVARIANT(to <= boundary,
+                     make_context("fast-forward to tick ", to,
+                                  " jumps past the remap boundary at tick ",
+                                  boundary));
+  }
+}
+
 InvariantChecker::InvariantChecker(const Simulator& sim) : sim_(sim) {}
+
+void InvariantChecker::on_fast_forward(Tick from, Tick to) {
+  audit_fast_forward(
+      from, to,
+      sim_.in_flight_.empty()
+          ? std::optional<Tick>{}
+          : std::optional<Tick>{sim_.in_flight_.front().serve_tick},
+      sim_.config_.remap_period, sim_.active_now_.size(), sim_.queue_size());
+  ++fast_forwards_audited_;
+}
 
 void InvariantChecker::audit_thread_states() {
   const std::size_t p = sim_.threads_.size();
@@ -149,6 +193,10 @@ void InvariantChecker::audit_metrics() {
       make_context(fetched_this_tick, " fetches in one tick exceed the q=",
                    sim_.config_.num_channels, " far channels"));
   last_fetches_ = m.fetches;
+  HBMSIM_INVARIANT(m.skipped_ticks <= m.idle_ticks,
+                   make_context("fast-forwarded ", m.skipped_ticks,
+                                " ticks but only ", m.idle_ticks,
+                                " ticks were idle"));
   HBMSIM_INVARIANT(sim_.tick_ <= sim_.config_.max_ticks,
                    "tick counter exceeded max_ticks");
 }

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 
 #include "core/arbitration.h"
@@ -51,6 +52,17 @@ void audit_cache_structure(const CacheModel& cache);
 /// Throws InvariantError on violation.
 void audit_queue_order(std::span<const QueuedRequest> entries);
 
+/// Audit one fast-engine jump over [from, to): the span is legal only if
+/// it provably contains no event — it must advance (to > from), no core
+/// may be runnable and no request queued at the origin, a transfer must
+/// be in flight (otherwise the span is a deadlock, not idle time) and
+/// must not arrive before `to`, and (remap_period != 0) the span must
+/// neither start on a remap boundary nor jump past the next one.
+/// Throws InvariantError on violation.
+void audit_fast_forward(Tick from, Tick to, std::optional<Tick> next_serve_tick,
+                        std::uint64_t remap_period, std::size_t runnable_cores,
+                        std::size_t queued_requests);
+
 /// Whole-state audit hooks bound to a live Simulator (friend access).
 class InvariantChecker {
  public:
@@ -63,9 +75,19 @@ class InvariantChecker {
   /// makespan lower bounds (critical path and channel congestion).
   void after_run();
 
+  /// Fast-engine hook: called by Simulator::fast_forward_idle() with the
+  /// span about to be skipped, before tick_ jumps. Re-derives the span's
+  /// idleness from the simulator state via audit_fast_forward().
+  void on_fast_forward(Tick from, Tick to);
+
   /// Ticks audited so far (tests).
   [[nodiscard]] std::uint64_t ticks_audited() const noexcept {
     return ticks_audited_;
+  }
+
+  /// Fast-forward jumps audited so far (tests).
+  [[nodiscard]] std::uint64_t fast_forwards_audited() const noexcept {
+    return fast_forwards_audited_;
   }
 
  private:
@@ -77,6 +99,7 @@ class InvariantChecker {
   const Simulator& sim_;
   std::uint64_t last_fetches_ = 0;
   std::uint64_t ticks_audited_ = 0;
+  std::uint64_t fast_forwards_audited_ = 0;
 };
 
 }  // namespace check

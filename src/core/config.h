@@ -64,6 +64,42 @@ enum class ReplacementKind {
   return "?";
 }
 
+/// Execution engine (DESIGN.md §3c). Both engines compute the same
+/// function of (workload, config) — the fast engine is required to be
+/// bit-identical to the reference tick loop (the differential suite in
+/// tests/simulator_property_test.cc enforces it); the only field allowed
+/// to differ is the RunMetrics::skipped_ticks diagnostic.
+enum class EngineKind {
+  kTick,  ///< reference: execute every tick of the §3.1 loop
+  kFast,  ///< event-driven: jump over provably idle spans, batch hit runs
+  kAuto,  ///< resolve at construction: kFast where it can help, else kTick
+};
+
+[[nodiscard]] constexpr const char* to_string(EngineKind e) noexcept {
+  switch (e) {
+    case EngineKind::kTick: return "tick";
+    case EngineKind::kFast: return "fast";
+    case EngineKind::kAuto: return "auto";
+  }
+  return "?";
+}
+
+/// Parse an engine name; shared by the CLI (--engine), the bench
+/// harnesses, and the HBMSIM_ENGINE environment default.
+[[nodiscard]] inline EngineKind parse_engine(std::string_view name) {
+  if (name == "tick") {
+    return EngineKind::kTick;
+  }
+  if (name == "fast") {
+    return EngineKind::kFast;
+  }
+  if (name == "auto") {
+    return EngineKind::kAuto;
+  }
+  throw ConfigError("unknown engine '" + std::string(name) +
+                    "' (tick|fast|auto)");
+}
+
 /// Full simulation configuration.
 struct SimConfig {
   /// HBM capacity k, in page slots.
@@ -117,6 +153,26 @@ struct SimConfig {
   /// HBMSIM_PARANOID environment variable, which lets whole bench and
   /// test suites run under audit without code changes.
   bool paranoid = default_paranoid();
+
+  /// Execution engine (DESIGN.md §3c). kAuto resolves at Simulator
+  /// construction: the fast engine is selected where it can actually help
+  /// (fetch_ticks > 1, which makes idle spans possible, or a
+  /// single-thread workload, which makes hit-run batching possible); the
+  /// reference tick engine runs otherwise. Defaults to the HBMSIM_ENGINE
+  /// environment variable (tick|fast|auto), so whole bench and test
+  /// suites can switch engines without code changes.
+  EngineKind engine = default_engine();
+
+  /// Parse HBMSIM_ENGINE; kAuto when unset or empty. Unlike
+  /// default_paranoid() the parse is not cached: the bench harnesses set
+  /// the variable from their own --engine flag before building configs.
+  [[nodiscard]] static EngineKind default_engine() {
+    const char* v = std::getenv("HBMSIM_ENGINE");
+    if (v == nullptr || *v == '\0') {
+      return EngineKind::kAuto;
+    }
+    return parse_engine(v);
+  }
 
   /// True when HBMSIM_PARANOID is set to a non-empty value other than "0".
   [[nodiscard]] static bool default_paranoid() {

@@ -29,7 +29,12 @@ std::string RunMetrics::summary() const {
      << format_count(hits) << ", misses " << format_count(misses) << ", hit rate "
      << format_fixed(hit_rate() * 100.0, 2) << "%)\n"
      << "evictions:       " << format_count(evictions) << "\n"
-     << "remaps:          " << format_count(remaps) << "\n"
+     << "remaps:          " << format_count(remaps) << "\n";
+  os << "idle ticks:      " << format_count(idle_ticks);
+  if (skipped_ticks > 0) {
+    os << " (" << format_count(skipped_ticks) << " fast-forwarded)";
+  }
+  os << "\n"
      << "response time:   mean " << format_fixed(mean_response()) << ", stddev "
      << format_fixed(inconsistency()) << " (inconsistency), max "
      << format_count(max_response()) << "\n";

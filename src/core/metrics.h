@@ -42,6 +42,19 @@ struct RunMetrics {
   /// Fetched-then-evicted-before-serve re-queues (rare; see DESIGN.md §3).
   std::uint64_t requeues = 0;
 
+  /// Ticks in which the machine did no work at all: no transfer arrived,
+  /// no remap fired, no core was runnable, and the DRAM queue was empty.
+  /// Both engines account these identically (DESIGN.md §3c) — the tick
+  /// engine counts them one by one, the fast engine in jumped spans — so
+  /// the field participates in cross-engine equivalence.
+  std::uint64_t idle_ticks = 0;
+
+  /// Of idle_ticks, how many the fast engine jumped over without
+  /// executing (0 under the reference tick engine). A diagnostic of
+  /// engine behaviour, not of the simulated machine: it is the one
+  /// RunMetrics field excluded from cross-engine equivalence.
+  std::uint64_t skipped_ticks = 0;
+
   /// Response time w over all references of all threads (hits count as 1).
   StreamingStats response;
   /// Log₂-bucketed response-time distribution (tail behaviour).

@@ -71,6 +71,15 @@ Simulator::Simulator(const Workload& workload, const SimConfig& config,
     }
   }
 
+  // Resolve the engine once. kAuto prefers the fast engine only where it
+  // can pay: fetch_ticks > 1 creates skippable idle spans, and a
+  // single-thread workload creates batchable hit runs; in every other
+  // regime the fast paths' guards never fire, so the reference engine is
+  // chosen to keep step() branch-free.
+  fast_engine_ = config_.engine == EngineKind::kFast ||
+                 (config_.engine == EngineKind::kAuto &&
+                  (config_.fetch_ticks > 1 || p == 1));
+
   if (config_.paranoid) {
 #if HBMSIM_CHECKS_ENABLED
     // Shadow the residency model (per-operation laws) and audit global
@@ -319,8 +328,23 @@ bool Simulator::step() {
   if (finished()) {
     return false;
   }
+  if (fast_engine_) {
+    if (serve_hit_run()) {
+      if (finished()) {
+        return true;
+      }
+    } else {
+      fast_forward_idle();
+    }
+  }
+  return step_tick();
+}
+
+bool Simulator::step_tick() {
   HBMSIM_CHECK(tick_ < config_.max_ticks, "simulation exceeded max_ticks");
-  if (!in_flight_.empty()) {
+  const bool arrivals_due =
+      !in_flight_.empty() && in_flight_.front().serve_tick == tick_;
+  if (arrivals_due) {
     complete_arrivals();
   }
   // Liveness: some unfinished thread must be active, queued, or in
@@ -330,8 +354,19 @@ bool Simulator::step() {
                "simulator deadlock: unfinished threads but no pending work");
 
   // Step 1: priority remap.
-  if (config_.remap_period != 0 && tick_ % config_.remap_period == 0) {
+  const bool remap_due =
+      config_.remap_period != 0 && tick_ % config_.remap_period == 0;
+  if (remap_due) {
     do_remap();
+  }
+
+  // Idle accounting — identical under both engines by construction: the
+  // tick engine counts these ticks here one by one; the fast engine jumps
+  // spans satisfying exactly this predicate (fast_forward_idle), so an
+  // executed tick of the fast engine never matches it.
+  if (!arrivals_due && !remap_due && active_now_.empty() &&
+      queue_size() == 0) {
+    ++metrics_.idle_ticks;
   }
 
   // Steps 2–4: issue new requests, serve resident pages.
@@ -351,6 +386,89 @@ bool Simulator::step() {
     checker_->after_tick();
   }
   return true;
+}
+
+bool Simulator::fast_forward_idle() {
+  // A span starting at tick_ is provably idle only when nothing can
+  // happen until the next in-flight arrival: no runnable core, an empty
+  // DRAM queue (a queued request would issue a fetch every tick), and no
+  // remap boundary at tick_ itself (the boundary tick must execute —
+  // do_remap mutates priority/RNG state and metrics_.remaps).
+  if (!active_now_.empty() || in_flight_.empty() || queue_size() != 0) {
+    return false;
+  }
+  if (config_.remap_period != 0 && tick_ % config_.remap_period == 0) {
+    return false;
+  }
+  Tick horizon = in_flight_.front().serve_tick;
+  if (config_.remap_period != 0) {
+    const Tick boundary =
+        (tick_ / config_.remap_period + 1) * config_.remap_period;
+    horizon = std::min(horizon, boundary);
+  }
+  horizon = std::min(horizon, config_.max_ticks);
+  if (horizon <= tick_) {
+    return false;  // the next event lands on this very tick
+  }
+  if (checker_) {
+    checker_->on_fast_forward(tick_, horizon);
+  }
+  const Tick span = horizon - tick_;
+  metrics_.idle_ticks += span;
+  metrics_.skipped_ticks += span;
+  tick_ = horizon;
+  return true;
+}
+
+bool Simulator::serve_hit_run() {
+  // Batched hits are only safe with exactly one runnable core and nothing
+  // queued or in flight: another core's touch, arrival, or fetch would
+  // interleave with the replacement order. Under those guards a tick can
+  // only serve this core's next reference, so as long as the references
+  // hit we replay the reference engine's exact per-tick effects (request
+  // accounting, serve(), tick advance) without the step machinery.
+  if (active_now_.size() != 1 || !in_flight_.empty() || queue_size() != 0) {
+    return false;
+  }
+  const ThreadId t = active_now_.front();
+  ThreadContext& ctx = threads_[t];
+  if (ctx.state != ThreadState::kIssuing) {
+    return false;
+  }
+  bool served_any = false;
+  while (tick_ < config_.max_ticks) {
+    if (config_.remap_period != 0 && tick_ % config_.remap_period == 0) {
+      break;  // the boundary tick must remap; run it through step_tick
+    }
+    const GlobalPage page = current_page(t);
+    if (!cache_->contains(page)) {
+      break;  // the miss tick enqueues and fetches; run it through step_tick
+    }
+    ctx.request_tick = tick_;
+    ++metrics_.total_refs;
+    ++metrics_.hits;
+    if (config_.per_thread_metrics) {
+      ++metrics_.per_thread[t].refs;
+      ++metrics_.per_thread[t].hits;
+    }
+    serve(t, ctx, page);
+    served_any = true;
+    if (ctx.state == ThreadState::kDone) {
+      active_now_.clear();
+    } else {
+      // serve() re-listed t on active_next_; it simply stays the sole
+      // entry of active_now_ for the next iteration.
+      active_next_.clear();
+    }
+    ++tick_;
+    if (checker_) {
+      checker_->after_tick();
+    }
+    if (ctx.state == ThreadState::kDone) {
+      break;
+    }
+  }
+  return served_any;
 }
 
 RunMetrics Simulator::run() {

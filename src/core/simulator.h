@@ -10,8 +10,18 @@
 //      a fetched page is servable from tick t+1 (so a miss costs ≥ 2)
 //
 // The implementation is sparse: threads blocked on the far channel cost
-// nothing per tick, so total work is O(refs + misses·log p + idle_ticks)
-// rather than O(makespan · p).
+// nothing per tick. The reference tick engine (EngineKind::kTick) still
+// costs O(refs + misses·log p + idle_ticks) rather than O(makespan · p),
+// where idle_ticks counts ticks in which no transfer arrives, no remap
+// fires, no core is runnable, and the DRAM queue is empty — the term that
+// dominates when q << p or fetch_ticks >> 1. The event-driven fast engine
+// (EngineKind::kFast, DESIGN.md §3c) removes it: provably idle spans are
+// jumped in one step to the next event horizon — min(next in-flight
+// serve_tick, next remap boundary t % T == 0, max_ticks) — and
+// single-runnable-thread runs of consecutive HBM hits are batched without
+// the per-tick machinery. Both engines are bit-identical by contract
+// (tests/simulator_property_test.cc differential suite); only
+// RunMetrics::skipped_ticks may differ.
 //
 // Intra-tick determinism: cores are processed in core-id order at steps
 // 2/4, so same-tick misses enter the DRAM queue in core-id order and any
@@ -62,8 +72,11 @@ class Simulator {
   Simulator(Simulator&&) = delete;
   Simulator& operator=(Simulator&&) = delete;
 
-  /// Advance one tick. Returns false when the simulation was already
-  /// complete (no tick consumed).
+  /// Advance the simulation. Under the tick engine this is exactly one
+  /// tick; under the fast engine one call may cover a whole batched hit
+  /// run or a fast-forwarded idle span plus the event tick that ends it
+  /// (now() always lands on an executed-tick boundary). Returns false
+  /// when the simulation was already complete (no tick consumed).
   bool step();
 
   /// Run to completion and return the collected metrics.
@@ -80,6 +93,13 @@ class Simulator {
   [[nodiscard]] const CacheModel& cache() const noexcept { return *cache_; }
   [[nodiscard]] const PriorityMap& priorities() const noexcept { return priorities_; }
   [[nodiscard]] const RunMetrics& metrics() const noexcept { return metrics_; }
+  /// The engine this run resolved to (never kAuto): kAuto picks kFast
+  /// when the config can actually benefit — fetch_ticks > 1 makes idle
+  /// spans possible, a single-thread workload makes hit-run batching
+  /// possible — and the reference tick engine otherwise.
+  [[nodiscard]] EngineKind engine() const noexcept {
+    return fast_engine_ ? EngineKind::kFast : EngineKind::kTick;
+  }
 
  private:
   struct ThreadContext {
@@ -89,6 +109,20 @@ class Simulator {
     ThreadState state = ThreadState::kIssuing;
   };
 
+  /// The reference §3.1 tick body (both engines execute event ticks
+  /// through it). Precondition: !finished().
+  bool step_tick();
+  /// Fast engine: jump tick_ over a provably idle span to the next event
+  /// horizon. Returns false (and skips nothing) unless the span is
+  /// provably idle: no runnable core, empty DRAM queue, a transfer in
+  /// flight that arrives strictly later, and no remap boundary at tick_.
+  bool fast_forward_idle();
+  /// Fast engine: with exactly one runnable core and nothing queued or in
+  /// flight, replay its run of consecutive HBM hits in a tight loop (one
+  /// tick each, preserving the exact per-tick metric-update order, so the
+  /// Welford response stats stay bit-identical). Returns whether any
+  /// reference was served.
+  bool serve_hit_run();
   void do_remap();
   void issue_and_serve();
   void fetch_from_dram();
@@ -113,6 +147,8 @@ class Simulator {
 
   Tick tick_ = 0;
   std::size_t done_threads_ = 0;
+  /// Resolved engine choice (see engine()); fixed at construction.
+  bool fast_engine_ = false;
 
   // Threads to consider at step 2/4 of the current tick.
   std::vector<ThreadId> active_now_;

@@ -110,7 +110,8 @@ std::string to_json(const SimConfig& config) {
       .field("remap_period", config.remap_period)
       .field("fetch_ticks", config.fetch_ticks)
       .field("seed", config.seed)
-      .field("shared_pages", config.shared_pages);
+      .field("shared_pages", config.shared_pages)
+      .field("engine", to_string(config.engine));
   if (config.arbitration == ArbitrationKind::kFrFcfs) {
     o.field("row_pages", config.row_pages);
   }
@@ -127,6 +128,8 @@ std::string to_json(const RunMetrics& m) {
       .field("fetches", m.fetches)
       .field("remaps", m.remaps)
       .field("requeues", m.requeues)
+      .field("idle_ticks", m.idle_ticks)
+      .field("skipped_ticks", m.skipped_ticks)
       .field("hit_rate", m.hit_rate())
       .field("mean_response", m.mean_response())
       .field("inconsistency", m.inconsistency())

@@ -19,6 +19,7 @@
 #include "core/hbm_cache.h"
 #include "core/simulator.h"
 #include "util/error.h"
+#include "workloads/adversarial.h"
 #include "workloads/synthetic.h"
 
 namespace hbmsim {
@@ -234,6 +235,65 @@ TEST(ShadowPolicyFor, MatchesTheModelUnderAudit) {
   EXPECT_EQ(check::shadow_policy_for(custom), ShadowPolicy::kMembershipOnly);
 }
 
+// --- audit_fast_forward: legality of fast-engine jumps -----------------
+//
+// The fast engine may jump tick_ over a span only when the span provably
+// contains no event (DESIGN.md §3c). audit_fast_forward is the free,
+// always-compiled form of the check the paranoid InvariantChecker runs on
+// every jump; the negative cases below model exactly the bugs a broken
+// fast path would introduce.
+
+TEST(AuditFastForward, AcceptsProvablyIdleSpans) {
+  // Plain span up to the next arrival.
+  EXPECT_NO_THROW(check::audit_fast_forward(/*from=*/5, /*to=*/9,
+                                            /*next_serve_tick=*/9,
+                                            /*remap_period=*/0,
+                                            /*runnable_cores=*/0,
+                                            /*queued_requests=*/0));
+  // Stopping short of the arrival is legal too (e.g. at a remap boundary).
+  EXPECT_NO_THROW(check::audit_fast_forward(5, 8, 20, /*remap_period=*/8, 0, 0));
+  // Landing exactly on the boundary is the required behaviour.
+  EXPECT_NO_THROW(check::audit_fast_forward(9, 16, 100, /*remap_period=*/8, 0, 0));
+}
+
+TEST(AuditFastForward, JumpPastTheNextArrivalIsCaught) {
+  // A broken fast path that overshoots serve_tick would silently delay a
+  // transfer's arrival — the checker must fire.
+  EXPECT_THROW(check::audit_fast_forward(5, 12, /*next_serve_tick=*/9, 0, 0, 0),
+               InvariantError);
+}
+
+TEST(AuditFastForward, JumpOverARemapBoundaryIsCaught) {
+  // Next boundary after tick 5 with T=8 is tick 8; jumping to 17 would
+  // skip the remap (and its RNG draw) entirely.
+  EXPECT_THROW(check::audit_fast_forward(5, 17, 30, /*remap_period=*/8, 0, 0),
+               InvariantError);
+}
+
+TEST(AuditFastForward, JumpFromARemapBoundaryIsCaught) {
+  // tick 16 with T=8 must execute the remap, not be skipped over.
+  EXPECT_THROW(check::audit_fast_forward(16, 20, 30, /*remap_period=*/8, 0, 0),
+               InvariantError);
+}
+
+TEST(AuditFastForward, RunnableWorkForbidsSkipping) {
+  EXPECT_THROW(check::audit_fast_forward(5, 9, 9, 0, /*runnable_cores=*/1, 0),
+               InvariantError);
+  EXPECT_THROW(check::audit_fast_forward(5, 9, 9, 0, 0, /*queued_requests=*/2),
+               InvariantError);
+}
+
+TEST(AuditFastForward, NoTransferInFlightIsCaught) {
+  // With nothing in flight the span is a deadlock, not idle time.
+  EXPECT_THROW(check::audit_fast_forward(5, 9, std::nullopt, 0, 0, 0),
+               InvariantError);
+}
+
+TEST(AuditFastForward, NonAdvancingJumpIsCaught) {
+  EXPECT_THROW(check::audit_fast_forward(5, 5, 9, 0, 0, 0), InvariantError);
+  EXPECT_THROW(check::audit_fast_forward(5, 3, 9, 0, 0, 0), InvariantError);
+}
+
 // --- SimConfig::paranoid wiring ----------------------------------------
 
 Workload small_workload() {
@@ -282,6 +342,61 @@ TEST(Paranoid, AuditedConfigurationsCoverTheExtensions) {
   config.paranoid = true;
   const RunMetrics m = simulate(small_workload(), config);
   EXPECT_GT(m.makespan, 0u);
+}
+
+TEST(Paranoid, FastEngineFig2StyleRunsCleanUnderAudit) {
+  if (!check::checks_enabled()) {
+    GTEST_SKIP() << "paranoid runs need a checked build";
+  }
+  // Fig-2 regime (priority arbitration over a contended working set) with
+  // long transfers so the fast engine genuinely fast-forwards; every
+  // jump passes through InvariantChecker::on_fast_forward, every batched
+  // hit tick through after_tick. The audited fast run must be
+  // bit-identical to a plain reference tick run.
+  workloads::SyntheticOptions opts;
+  opts.kind = workloads::SyntheticKind::kUniform;
+  opts.num_pages = 96;
+  opts.length = 500;
+  opts.seed = 13;
+  const Workload w = workloads::make_synthetic_workload(2, opts);
+
+  SimConfig fast = SimConfig::priority(/*k=*/32, /*q=*/2);
+  fast.fetch_ticks = 4;
+  fast.engine = EngineKind::kFast;
+  fast.paranoid = true;
+  SimConfig reference = fast;
+  reference.engine = EngineKind::kTick;
+  reference.paranoid = false;
+
+  const RunMetrics audited = simulate(w, fast);
+  const RunMetrics bare = simulate(w, reference);
+  EXPECT_GT(audited.skipped_ticks, 0u);
+  EXPECT_EQ(audited.makespan, bare.makespan);
+  EXPECT_EQ(audited.hits, bare.hits);
+  EXPECT_EQ(audited.misses, bare.misses);
+  EXPECT_EQ(audited.idle_ticks, bare.idle_ticks);
+  EXPECT_EQ(audited.response.count(), bare.response.count());
+  EXPECT_DOUBLE_EQ(audited.response.mean(), bare.response.mean());
+}
+
+TEST(Paranoid, FastEngineFig3StyleRunsCleanUnderAudit) {
+  if (!check::checks_enabled()) {
+    GTEST_SKIP() << "paranoid runs need a checked build";
+  }
+  // Fig-3 regime: the adversarial cyclic workload (every reference a
+  // miss) behind a long far channel, under dynamic priority remapping —
+  // fast-forward must stop at every remap boundary, on time, every time.
+  const Workload w = workloads::make_adversarial_workload(
+      4, {.unique_pages = 64, .repetitions = 5});
+  SimConfig config = SimConfig::dynamic_priority(/*k=*/32, /*t_mult=*/2.0,
+                                                 /*q=*/2, /*seed=*/3);
+  config.fetch_ticks = 6;
+  config.engine = EngineKind::kFast;
+  config.paranoid = true;
+  const RunMetrics m = simulate(w, config);
+  EXPECT_EQ(m.total_refs, w.total_refs());
+  EXPECT_EQ(m.response.count(), m.total_refs);
+  EXPECT_GT(m.remaps, 0u);
 }
 
 TEST(Paranoid, DchecksMatchChecksEnabled) {

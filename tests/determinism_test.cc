@@ -85,63 +85,110 @@ TEST(Determinism, RepeatRunsAreBitIdentical) {
 // every unordered container on a simulation path: waiters_ (shared
 // pages), in_flight_pages_ (shared pages + fetch_ticks > 1), and the
 // PageMapper/lower-bound maps via the synthetic workloads.
+//
+// Every golden runs under BOTH execution engines (DESIGN.md §3c): the
+// engines are bit-identical by contract, so one pinned value serves both
+// — a fast-engine change that drifts from the reference tick loop fails
+// here exactly like any other determinism break. Note the fingerprint
+// deliberately excludes skipped_ticks, the one engine-dependent field.
 
-struct GoldenCase {
-  const char* name;
-  std::uint64_t expected;
-};
-
-std::uint64_t run_fifo_baseline() {
+std::uint64_t run_fifo_baseline(EngineKind engine) {
+  SimConfig config = SimConfig::fifo(64, 2);
+  config.engine = engine;
   return fingerprint(
-      simulate(workload(workloads::SyntheticKind::kZipf, 4), SimConfig::fifo(64, 2)));
+      simulate(workload(workloads::SyntheticKind::kZipf, 4), config));
 }
 
-std::uint64_t run_dynamic_priority_remap() {
-  const SimConfig config =
+std::uint64_t run_dynamic_priority_remap(EngineKind engine) {
+  SimConfig config =
       SimConfig::dynamic_priority(/*k=*/64, /*t_mult=*/2.0, /*q=*/2, /*seed=*/5);
+  config.engine = engine;
   return fingerprint(simulate(workload(workloads::SyntheticKind::kUniform, 6), config));
 }
 
-std::uint64_t run_shared_pages_piggyback() {
+std::uint64_t run_shared_pages_piggyback(EngineKind engine) {
   SimConfig config = SimConfig::priority(/*k=*/48, /*q=*/3);
   config.shared_pages = true;
   config.fetch_ticks = 3;
+  config.engine = engine;
   return fingerprint(simulate(workload(workloads::SyntheticKind::kZipf, 8), config));
 }
 
-std::uint64_t run_frfcfs_hashed_channels() {
+std::uint64_t run_frfcfs_hashed_channels(EngineKind engine) {
   SimConfig config = SimConfig::fifo(/*k=*/64, /*q=*/4);
   config.arbitration = ArbitrationKind::kFrFcfs;
   config.channel_binding = ChannelBinding::kHashed;
   config.row_pages = 8;
+  config.engine = engine;
   return fingerprint(simulate(workload(workloads::SyntheticKind::kStrided, 4), config));
 }
 
-std::uint64_t run_random_arbitration_seeded() {
+std::uint64_t run_random_arbitration_seeded(EngineKind engine) {
   SimConfig config = SimConfig::fifo(/*k=*/32, /*q=*/2);
   config.arbitration = ArbitrationKind::kRandom;
   config.seed = 11;
+  config.engine = engine;
   return fingerprint(simulate(workload(workloads::SyntheticKind::kUniform, 4), config));
 }
 
 TEST(Determinism, FifoBaselineMatchesGolden) {
-  EXPECT_EQ(run_fifo_baseline(), 5478838069903108940ULL);
+  EXPECT_EQ(run_fifo_baseline(EngineKind::kTick), 5478838069903108940ULL);
+  EXPECT_EQ(run_fifo_baseline(EngineKind::kFast), 5478838069903108940ULL);
 }
 
 TEST(Determinism, DynamicPriorityRemapMatchesGolden) {
-  EXPECT_EQ(run_dynamic_priority_remap(), 11901694040812187088ULL);
+  EXPECT_EQ(run_dynamic_priority_remap(EngineKind::kTick),
+            11901694040812187088ULL);
+  EXPECT_EQ(run_dynamic_priority_remap(EngineKind::kFast),
+            11901694040812187088ULL);
 }
 
 TEST(Determinism, SharedPagesPiggybackMatchesGolden) {
-  EXPECT_EQ(run_shared_pages_piggyback(), 16191620588421519683ULL);
+  EXPECT_EQ(run_shared_pages_piggyback(EngineKind::kTick),
+            16191620588421519683ULL);
+  EXPECT_EQ(run_shared_pages_piggyback(EngineKind::kFast),
+            16191620588421519683ULL);
 }
 
 TEST(Determinism, FrFcfsHashedChannelsMatchesGolden) {
-  EXPECT_EQ(run_frfcfs_hashed_channels(), 3295483707807617535ULL);
+  EXPECT_EQ(run_frfcfs_hashed_channels(EngineKind::kTick),
+            3295483707807617535ULL);
+  EXPECT_EQ(run_frfcfs_hashed_channels(EngineKind::kFast),
+            3295483707807617535ULL);
 }
 
 TEST(Determinism, RandomArbitrationSeededMatchesGolden) {
-  EXPECT_EQ(run_random_arbitration_seeded(), 7184237674189686650ULL);
+  EXPECT_EQ(run_random_arbitration_seeded(EngineKind::kTick),
+            7184237674189686650ULL);
+  EXPECT_EQ(run_random_arbitration_seeded(EngineKind::kFast),
+            7184237674189686650ULL);
+}
+
+// --- Fast-forward golden: long transfers over hashed channels ----------
+//
+// fetch_ticks = 4 with only two cores drains the DRAM queue while
+// transfers are in flight, so the fast engine has real spans to skip
+// (skipped_ticks > 0) — this golden pins the regime where fast-forward
+// actually fires, under both engines.
+
+RunMetrics run_hashed_latency(EngineKind engine) {
+  SimConfig config = SimConfig::fifo(/*k=*/32, /*q=*/2);
+  config.channel_binding = ChannelBinding::kHashed;
+  config.fetch_ticks = 4;
+  config.engine = engine;
+  return simulate(workload(workloads::SyntheticKind::kUniform, 2), config);
+}
+
+TEST(Determinism, HashedLatencyGoldenHoldsUnderBothEngines) {
+  const RunMetrics tick = run_hashed_latency(EngineKind::kTick);
+  const RunMetrics fast = run_hashed_latency(EngineKind::kFast);
+  EXPECT_EQ(fingerprint(tick), 12909710635077109274ULL);
+  EXPECT_EQ(fingerprint(fast), 12909710635077109274ULL);
+  // The engines agree on idle time; only the fast engine skips any of it.
+  EXPECT_EQ(tick.idle_ticks, fast.idle_ticks);
+  EXPECT_EQ(tick.skipped_ticks, 0u);
+  EXPECT_GT(fast.skipped_ticks, 0u);
+  EXPECT_LE(fast.skipped_ticks, fast.idle_ticks);
 }
 
 }  // namespace

@@ -7,15 +7,25 @@
 // parameter grid of policies, thread counts, channel counts and HBM
 // sizes. The remaining tests assert model invariants (conservation,
 // determinism, LRU inclusion, the p·T response bound for Cycle Priority).
+// A second harness proves the event-driven fast engine (DESIGN.md §3c)
+// bit-identical to the reference tick engine: a randomized grid over
+// (workload family, arbitration, replacement, q, fetch_ticks,
+// remap_period, shared pages, direct-mapped cache) fingerprints both
+// engines' RunMetrics, and step()-interleaving tests pin thread_state()
+// agreement at every event boundary.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <list>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "assoc/direct_mapped.h"
 #include "core/simulator.h"
 #include "stats/streaming.h"
+#include "util/rng.h"
 #include "workloads/synthetic.h"
 
 namespace hbmsim {
@@ -477,6 +487,259 @@ TEST(SimulatorProperties, TinyCacheStillTerminates) {
   const RunMetrics m = simulate(w, c);
   EXPECT_EQ(m.total_refs, w.total_refs());
   EXPECT_EQ(m.response.count(), m.total_refs);
+}
+
+// ---------------------------------------------------------------------
+// Differential equivalence: fast engine vs reference tick engine.
+// ---------------------------------------------------------------------
+
+// Order-sensitive fingerprint of every RunMetrics field that takes part
+// in cross-engine equivalence — i.e. everything except skipped_ticks,
+// which is 0 under the reference engine by definition. Floating-point
+// fields enter via bit_cast: the contract is bit-identity, not epsilon
+// closeness.
+std::uint64_t engine_fingerprint(const RunMetrics& m) {
+  SplitMix64 mixer(0x5D1FF);
+  std::uint64_t h = mixer.next();
+  const auto add = [&h](std::uint64_t v) {
+    SplitMix64 sm(h ^ v);
+    h = sm.next();
+  };
+  add(m.makespan);
+  add(m.total_refs);
+  add(m.hits);
+  add(m.misses);
+  add(m.evictions);
+  add(m.remaps);
+  add(m.fetches);
+  add(m.requeues);
+  add(m.idle_ticks);
+  add(m.response.count());
+  add(std::bit_cast<std::uint64_t>(m.response.mean()));
+  add(std::bit_cast<std::uint64_t>(m.response.stddev()));
+  add(std::bit_cast<std::uint64_t>(m.response.max()));
+  add(std::bit_cast<std::uint64_t>(m.response_hist.quantile(0.99)));
+  for (const ThreadMetrics& t : m.per_thread) {
+    add(t.refs);
+    add(t.hits);
+    add(t.misses);
+    add(t.completion_tick);
+    add(t.response.count());
+    add(std::bit_cast<std::uint64_t>(t.response.mean()));
+  }
+  return h;
+}
+
+RunMetrics run_with_engine(const Workload& w, SimConfig cfg, EngineKind engine,
+                           bool direct_mapped) {
+  cfg.engine = engine;
+  if (!direct_mapped) {
+    return simulate(w, cfg);
+  }
+  Simulator sim(w, cfg,
+                std::make_unique<assoc::DirectMappedCache>(cfg.hbm_slots));
+  return sim.run();
+}
+
+TEST(EngineDifferential, RandomizedGridBitIdentical) {
+  // 64 configurations drawn from a fixed seed, spanning every axis the
+  // fast paths interact with. Each runs under both engines; the
+  // fingerprints must match exactly and the idle accounting must agree.
+  SplitMix64 rng(0xD1FFE4E17);
+  std::uint64_t total_skipped = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::size_t threads = 1 + rng.next() % 8;
+    workloads::SyntheticOptions wopts;
+    const std::uint64_t family = rng.next() % 4;
+    wopts.kind = family == 0   ? workloads::SyntheticKind::kUniform
+                 : family == 1 ? workloads::SyntheticKind::kZipf
+                 : family == 2 ? workloads::SyntheticKind::kStream
+                               : workloads::SyntheticKind::kStrided;
+    wopts.num_pages = static_cast<std::uint32_t>(16 + 8 * (rng.next() % 11));
+    wopts.length = 300;
+    wopts.stream_passes = 3;
+    wopts.zipf_s = 0.9;
+    wopts.seed = rng.next();
+    const Workload w = workloads::make_synthetic_workload(threads, wopts);
+
+    SimConfig cfg;
+    cfg.hbm_slots = std::uint64_t{8} << (rng.next() % 3);  // 8, 16, 32
+    cfg.num_channels = static_cast<std::uint32_t>(1 + rng.next() % 3);
+    const std::uint64_t arb = rng.next() % 4;
+    cfg.arbitration = arb == 0   ? ArbitrationKind::kFifo
+                      : arb == 1 ? ArbitrationKind::kPriority
+                      : arb == 2 ? ArbitrationKind::kRandom
+                                 : ArbitrationKind::kFrFcfs;
+    if (cfg.arbitration == ArbitrationKind::kPriority && rng.next() % 2 == 0) {
+      cfg.remap_scheme =
+          rng.next() % 2 == 0 ? RemapScheme::kDynamic : RemapScheme::kCycle;
+      cfg.remap_period = 5 + rng.next() % 40;
+    }
+    const std::uint64_t repl = rng.next() % 3;
+    cfg.replacement = repl == 0   ? ReplacementKind::kLru
+                      : repl == 1 ? ReplacementKind::kFifo
+                                  : ReplacementKind::kClock;
+    cfg.channel_binding = cfg.num_channels >= 2 && rng.next() % 2 == 0
+                              ? ChannelBinding::kHashed
+                              : ChannelBinding::kAny;
+    cfg.fetch_ticks = static_cast<std::uint32_t>(1 + rng.next() % 7);
+    cfg.shared_pages = rng.next() % 2 == 0;
+    cfg.seed = rng.next();
+    // Direct-mapped residency replaces the replacement policy entirely
+    // (and is where requeue corner cases live).
+    const bool direct_mapped = rng.next() % 4 == 0;
+
+    SCOPED_TRACE("case " + std::to_string(i) + ": p=" +
+                 std::to_string(threads) + " q=" +
+                 std::to_string(cfg.num_channels) + " k=" +
+                 std::to_string(cfg.hbm_slots) + " arb=" +
+                 to_string(cfg.arbitration) + " repl=" +
+                 to_string(cfg.replacement) + " bind=" +
+                 to_string(cfg.channel_binding) + " ft=" +
+                 std::to_string(cfg.fetch_ticks) + " T=" +
+                 std::to_string(cfg.remap_period) +
+                 (cfg.shared_pages ? " shared" : "") +
+                 (direct_mapped ? " direct-mapped" : ""));
+
+    const RunMetrics ref =
+        run_with_engine(w, cfg, EngineKind::kTick, direct_mapped);
+    const RunMetrics fast =
+        run_with_engine(w, cfg, EngineKind::kFast, direct_mapped);
+
+    EXPECT_EQ(engine_fingerprint(ref), engine_fingerprint(fast));
+    EXPECT_EQ(ref.skipped_ticks, 0u);
+    EXPECT_EQ(ref.idle_ticks, fast.idle_ticks);
+    EXPECT_LE(fast.skipped_ticks, fast.idle_ticks);
+    total_skipped += fast.skipped_ticks;
+  }
+  // The grid must actually exercise the fast path, not vacuously agree.
+  EXPECT_GT(total_skipped, 0u);
+}
+
+TEST(EngineDifferential, StepInterleavingAgreesAtEventBoundaries) {
+  // Drive the fast engine step by step; after each step, march the
+  // reference engine to the same tick and compare the externally visible
+  // state: thread_state() for every core, queue depth, and the running
+  // metric counters. This pins not just end-of-run totals but the entire
+  // trajectory at event boundaries.
+  workloads::SyntheticOptions wopts;
+  wopts.kind = workloads::SyntheticKind::kZipf;
+  wopts.num_pages = 48;
+  wopts.length = 250;
+  wopts.zipf_s = 0.9;
+  wopts.seed = 21;
+  const std::size_t threads = 4;
+  const Workload w = workloads::make_synthetic_workload(threads, wopts);
+
+  SimConfig cfg = SimConfig::dynamic_priority(/*k=*/16, /*t_mult=*/2.0,
+                                              /*q=*/2, /*seed=*/5);
+  cfg.fetch_ticks = 3;
+
+  SimConfig tick_cfg = cfg;
+  tick_cfg.engine = EngineKind::kTick;
+  SimConfig fast_cfg = cfg;
+  fast_cfg.engine = EngineKind::kFast;
+  Simulator ref(w, tick_cfg);
+  Simulator fast(w, fast_cfg);
+
+  while (!fast.finished()) {
+    ASSERT_TRUE(fast.step());
+    while (ref.now() < fast.now()) {
+      ASSERT_TRUE(ref.step());
+    }
+    ASSERT_EQ(ref.now(), fast.now());
+    for (ThreadId t = 0; t < threads; ++t) {
+      EXPECT_EQ(ref.thread_state(t), fast.thread_state(t))
+          << "thread " << t << " diverged at tick " << ref.now();
+    }
+    EXPECT_EQ(ref.queue_size(), fast.queue_size());
+    EXPECT_EQ(ref.metrics().total_refs, fast.metrics().total_refs);
+    EXPECT_EQ(ref.metrics().hits, fast.metrics().hits);
+    EXPECT_EQ(ref.metrics().misses, fast.metrics().misses);
+    EXPECT_EQ(ref.metrics().fetches, fast.metrics().fetches);
+    EXPECT_EQ(ref.metrics().idle_ticks, fast.metrics().idle_ticks);
+  }
+  EXPECT_TRUE(ref.finished());
+  EXPECT_EQ(ref.metrics().makespan, fast.metrics().makespan);
+  EXPECT_EQ(ref.metrics().response.count(), fast.metrics().response.count());
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(ref.metrics().response.mean()),
+            std::bit_cast<std::uint64_t>(fast.metrics().response.mean()));
+  EXPECT_GT(fast.metrics().skipped_ticks, 0u);
+}
+
+TEST(EngineDifferential, MidRunStepsThenRunMatchesFullRun) {
+  // step()-ing a fast-engine simulator a few times and then finishing
+  // with run() must land on exactly the full-run fingerprint.
+  workloads::SyntheticOptions wopts;
+  wopts.num_pages = 64;
+  wopts.length = 300;
+  wopts.seed = 3;
+  const Workload w = workloads::make_synthetic_workload(3, wopts);
+  SimConfig cfg = SimConfig::fifo(/*k=*/16, /*q=*/2);
+  cfg.fetch_ticks = 5;
+  cfg.engine = EngineKind::kFast;
+
+  const RunMetrics whole = simulate(w, cfg);
+  Simulator stepped(w, cfg);
+  for (int i = 0; i < 10 && !stepped.finished(); ++i) {
+    stepped.step();
+  }
+  const RunMetrics resumed = stepped.run();
+  EXPECT_EQ(engine_fingerprint(whole), engine_fingerprint(resumed));
+  EXPECT_EQ(whole.skipped_ticks, resumed.skipped_ticks);
+  EXPECT_GT(whole.skipped_ticks, 0u);
+}
+
+TEST(EngineDifferential, AutoResolvesWhereTheFastEngineCanHelp) {
+  workloads::SyntheticOptions wopts;
+  wopts.num_pages = 16;
+  wopts.length = 50;
+  wopts.seed = 1;
+
+  // fetch_ticks > 1 → idle spans are possible → fast.
+  SimConfig latent = SimConfig::fifo(8, 1);
+  latent.fetch_ticks = 4;
+  latent.engine = EngineKind::kAuto;
+  EXPECT_EQ(Simulator(workloads::make_synthetic_workload(4, wopts), latent)
+                .engine(),
+            EngineKind::kFast);
+
+  // Single thread → hit runs are batchable → fast.
+  SimConfig single = SimConfig::fifo(8, 1);
+  single.engine = EngineKind::kAuto;
+  EXPECT_EQ(Simulator(workloads::make_synthetic_workload(1, wopts), single)
+                .engine(),
+            EngineKind::kFast);
+
+  // Unit latency, multiple threads: no skippable tick can exist (a
+  // non-empty queue fetches every tick and arrivals land the next),
+  // so auto keeps the reference engine.
+  SimConfig plain = SimConfig::fifo(8, 1);
+  plain.engine = EngineKind::kAuto;
+  EXPECT_EQ(Simulator(workloads::make_synthetic_workload(4, wopts), plain)
+                .engine(),
+            EngineKind::kTick);
+
+  // Explicit requests always win over the heuristic.
+  SimConfig forced = SimConfig::fifo(8, 1);
+  forced.engine = EngineKind::kFast;
+  EXPECT_EQ(Simulator(workloads::make_synthetic_workload(4, wopts), forced)
+                .engine(),
+            EngineKind::kFast);
+}
+
+TEST(EngineDifferential, TickEngineNeverSkips) {
+  workloads::SyntheticOptions wopts;
+  wopts.num_pages = 64;
+  wopts.length = 200;
+  wopts.seed = 9;
+  const Workload w = workloads::make_synthetic_workload(2, wopts);
+  SimConfig cfg = SimConfig::fifo(8, 2);
+  cfg.fetch_ticks = 6;
+  cfg.engine = EngineKind::kTick;
+  const RunMetrics m = simulate(w, cfg);
+  EXPECT_EQ(m.skipped_ticks, 0u);
+  EXPECT_GT(m.idle_ticks, 0u);  // the regime has idle time; tick counts it
 }
 
 }  // namespace

@@ -22,6 +22,11 @@ lint flags source patterns that historically break that contract:
      config must be fully specified; an uninitialized field means two
      "identical" runs can differ by stack garbage.
 
+Covers src/, apps/, and bench/: the bench harnesses build workloads and
+configs (including the engine-compare equivalence driver, whose whole
+point is bit-identical metrics), so a nondeterministic seed there breaks
+reproducibility just as surely as one in the simulator core.
+
 Suppress a deliberate exception with a trailing comment:
     for (auto& kv : stats_) {  // lint:allow-unordered-iteration
     auto seed = std::random_device{}();  // lint:allow-nondeterminism
@@ -37,7 +42,8 @@ import pathlib
 import re
 import sys
 
-SOURCE_GLOBS = ("src/**/*.h", "src/**/*.cc", "apps/**/*.cc", "apps/**/*.h")
+SOURCE_GLOBS = ("src/**/*.h", "src/**/*.cc", "apps/**/*.cc", "apps/**/*.h",
+                "bench/**/*.cc", "bench/**/*.h")
 
 ALLOW_ITER = "lint:allow-unordered-iteration"
 ALLOW_RAND = "lint:allow-nondeterminism"
