@@ -11,6 +11,19 @@
 // fast-engine-only skipped_ticks diagnostic), and writes a JSON report —
 // BENCH_perf.json at the repo root by default, the repo's perf
 // trajectory. --smoke shrinks the inputs for a seconds-long CI check.
+//
+// Arbiter differential mode (DESIGN.md §3d):
+//   perf_simulator --arbiter-compare [--smoke] [--out=PATH]
+// times the bucketed/pooled arbitration structures against the
+// map/scan reference implementations (src/check/shadow_arbiter.cc) on
+// backlog-heavy configurations, verifies bit-identical RunMetrics, and
+// additionally proves the tick loop steady-state allocation-free: the
+// binary replaces global operator new with a counting shim
+// (bench/common.h, HBMSIM_BENCH_COUNT_ALLOCS) and requires the count
+// delta after warm-up to be exactly zero. Results are *appended* to the
+// --out file, so BENCH_perf.json accumulates one JSONL row per bench
+// family.
+#define HBMSIM_BENCH_COUNT_ALLOCS
 #include <benchmark/benchmark.h>
 
 #include <bit>
@@ -24,6 +37,7 @@
 #include <vector>
 
 #include "assoc/direct_mapped.h"
+#include "common.h"
 #include "core/hbm_cache.h"
 #include "core/simulator.h"
 #include "exp/json.h"
@@ -347,10 +361,213 @@ int run_engine_compare(bool smoke, const std::string& out_path) {
   return 0;
 }
 
+// ---- Arbiter differential comparison (--arbiter-compare) -----------------
+
+/// Run (workload, config) under `impl` `repeats` times on the reference
+/// tick engine; keep the fastest wall time and the (deterministic)
+/// metrics.
+EngineRun time_arbiter(const Workload& w, SimConfig config, ArbiterImpl impl,
+                       int repeats) {
+  config.engine = EngineKind::kTick;  // measure the tick loop itself
+  config.arbiter_impl = impl;
+  EngineRun result;
+  result.wall_seconds = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < repeats; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    Simulator sim(w, config);
+    RunMetrics m = sim.run();
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    result.wall_seconds = std::min(result.wall_seconds, s);
+    result.metrics = std::move(m);
+  }
+  return result;
+}
+
+/// Steady-state allocation probe: step the simulator through `warmup`
+/// ticks (pool growth to the high-water mark is legal there), snapshot
+/// the process-wide allocation counter, then run to completion. The
+/// delta is the number of heap allocations the steady-state tick loop
+/// performed — the contract is exactly zero.
+std::uint64_t steady_state_allocs(const Workload& w, SimConfig config,
+                                  Tick warmup) {
+  config.engine = EngineKind::kTick;
+  config.arbiter_impl = ArbiterImpl::kFast;
+  Simulator sim(w, config);
+  for (Tick t = 0; t < warmup && sim.step(); ++t) {
+  }
+  const std::uint64_t before = hbmsim::bench::allocation_count();
+  while (sim.step()) {
+  }
+  return hbmsim::bench::allocation_count() - before;
+}
+
+/// Deep-backlog static Priority: q << p and every reference missing, so
+/// the DRAM queue sits ~p deep for the whole run. Every tick performs q
+/// pops + q enqueues against the full queue — the regime where the old
+/// std::map paid an allocation plus O(log p) per operation.
+CompareCase priority_backlog_case(bool smoke) {
+  CompareCase c;
+  c.name = "deep_backlog_priority";
+  c.note = "p=65536 q=2 one-shot misses: the whole population blocks at "
+           "tick 0 and the static Priority queue drains from depth p";
+  const std::size_t p = smoke ? 64 : 65536;
+  c.workload = workloads::make_adversarial_workload(
+      p, {.unique_pages = smoke ? 64U : 1U, .repetitions = smoke ? 2U : 1U});
+  c.config = SimConfig::priority(/*k=*/smoke ? p : 256, /*q=*/2);
+  c.config.per_thread_metrics = false;
+  c.config.response_histogram = false;
+  return c;
+}
+
+/// Dynamic Priority with an aggressive remap period: every T = 4 ticks
+/// the permutation changes and the whole ~p-deep queue re-ranks. The old
+/// arbiter drained and rebuilt its tree — O(p log p) with p allocations
+/// per remap; the bucket queue relinks in one arrival-order walk.
+CompareCase dynamic_remap_case(bool smoke) {
+  CompareCase c;
+  c.name = "dynamic_remap";
+  c.note = "p=512 q=2 backlog, Dynamic Priority remapping every 4 ticks";
+  const std::size_t p = smoke ? 64 : 512;
+  c.workload = workloads::make_adversarial_workload(
+      p, {.unique_pages = 64, .repetitions = smoke ? 2U : 16U});
+  c.config = SimConfig::priority(/*k=*/p, /*q=*/2);
+  c.config.remap_scheme = RemapScheme::kDynamic;
+  c.config.remap_period = 4;
+  c.config.per_thread_metrics = false;
+  c.config.response_histogram = false;
+  return c;
+}
+
+/// FR-FCFS under per-thread streaming: each core walks its own
+/// sequential region, so the channel's open row almost never has a
+/// queued request left in it and the old row-hit scan walks the whole
+/// ~p-deep queue before falling back to the oldest. The row index makes
+/// both the hit probe and the fallback O(1).
+CompareCase frfcfs_rows_case(bool smoke) {
+  CompareCase c;
+  c.name = "frfcfs_row_heavy";
+  c.note = "p=256 q=2 streaming: open-row probes miss, scan was O(p) per pop";
+  const std::size_t p = smoke ? 64 : 256;
+  std::vector<std::shared_ptr<const Trace>> traces;
+  traces.reserve(p);
+  for (std::size_t t = 0; t < p; ++t) {
+    traces.push_back(std::make_shared<Trace>(workloads::make_cyclic_trace(
+        {.unique_pages = 256, .repetitions = smoke ? 2U : 8U})));
+  }
+  c.workload = Workload(std::move(traces), "frfcfs-streams");
+  c.config = SimConfig::fifo(/*k=*/p, /*q=*/2);
+  c.config.arbitration = ArbitrationKind::kFrFcfs;
+  c.config.row_pages = 8;
+  c.config.per_thread_metrics = false;
+  c.config.response_histogram = false;
+  return c;
+}
+
+int run_arbiter_compare(bool smoke, const std::string& out_path) {
+  const int repeats = smoke ? 1 : 5;
+  std::vector<CompareCase> cases;
+  cases.push_back(priority_backlog_case(smoke));
+  cases.push_back(dynamic_remap_case(smoke));
+  cases.push_back(frfcfs_rows_case(smoke));
+
+  bool all_identical = true;
+  bool all_alloc_free = true;
+  std::string rows;
+  for (const CompareCase& cc : cases) {
+    const EngineRun ref =
+        time_arbiter(cc.workload, cc.config, ArbiterImpl::kReference, repeats);
+    const EngineRun fast =
+        time_arbiter(cc.workload, cc.config, ArbiterImpl::kFast, repeats);
+    const bool identical = metrics_fingerprint(ref.metrics) ==
+                           metrics_fingerprint(fast.metrics);
+    all_identical = all_identical && identical;
+
+    // Warm-up: the backlog reaches its high-water mark within the first
+    // few ticks; 64 gives the pools generous room to finish growing.
+    const Tick warmup = 64;
+    const std::uint64_t allocs = steady_state_allocs(cc.workload, cc.config,
+                                                     warmup);
+    all_alloc_free = all_alloc_free && allocs == 0;
+
+    const auto ticks = static_cast<double>(ref.metrics.makespan);
+    const auto refs = static_cast<double>(ref.metrics.total_refs);
+    const double speedup = ref.wall_seconds / fast.wall_seconds;
+
+    exp::JsonObject ref_json;
+    ref_json.field("wall_seconds", ref.wall_seconds)
+        .field("ticks_per_sec", ticks / ref.wall_seconds)
+        .field("refs_per_sec", refs / ref.wall_seconds);
+    exp::JsonObject fast_json;
+    fast_json.field("wall_seconds", fast.wall_seconds)
+        .field("ticks_per_sec", ticks / fast.wall_seconds)
+        .field("refs_per_sec", refs / fast.wall_seconds)
+        .field("warmup_ticks", warmup)
+        .field("steady_state_allocs", allocs);
+
+    exp::JsonObject row;
+    row.field("name", cc.name)
+        .field("note", cc.note)
+        .raw_field("config", exp::to_json(cc.config))
+        .field("threads", static_cast<std::uint64_t>(cc.workload.num_threads()))
+        .field("total_refs", ref.metrics.total_refs)
+        .field("makespan_ticks", ref.metrics.makespan)
+        .raw_field("reference", ref_json.str())
+        .raw_field("bucketed", fast_json.str())
+        .field("speedup_ticks_per_sec", speedup)
+        .field("metrics_identical", identical);
+    if (!rows.empty()) {
+      rows += ',';
+    }
+    rows += row.str();
+
+    std::fprintf(stderr,
+                 "%-22s ref %8.4fs  bucketed %8.4fs  speedup %6.2fx  "
+                 "steady allocs %llu  metrics %s\n",
+                 cc.name.c_str(), ref.wall_seconds, fast.wall_seconds, speedup,
+                 static_cast<unsigned long long>(allocs),
+                 identical ? "identical" : "DIFFER");
+  }
+
+  exp::JsonObject report;
+  report.field("bench", "arbiter_compare")
+      .field("scale", smoke ? "smoke" : "full")
+      .field("repeats_per_impl", repeats)
+      .raw_field("cases", "[" + rows + "]")
+      .field("all_metrics_identical", all_identical)
+      .field("all_steady_state_allocation_free", all_alloc_free);
+
+  // Append: BENCH_perf.json is a JSONL perf trajectory; the
+  // engine_compare row written by --engine-compare must survive.
+  std::ofstream out(out_path, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << report.str() << '\n';
+  std::fprintf(stderr, "appended to %s\n", out_path.c_str());
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "error: arbiters disagree on RunMetrics — the bucketed "
+                 "structures broke the equivalence contract\n");
+    return 1;
+  }
+  if (!all_alloc_free) {
+    std::fprintf(stderr,
+                 "error: the tick loop allocated after warm-up — the "
+                 "steady-state allocation-free contract is broken\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool compare = false;
+  bool engine_compare = false;
+  bool arbiter_compare = false;
   bool smoke = false;
   std::string out_path = "BENCH_perf.json";
   std::vector<char*> passthrough;
@@ -358,7 +575,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--engine-compare") {
-      compare = true;
+      engine_compare = true;
+    } else if (arg == "--arbiter-compare") {
+      arbiter_compare = true;
     } else if (arg == "--smoke") {
       smoke = true;
     } else if (arg.rfind("--out=", 0) == 0) {
@@ -367,8 +586,11 @@ int main(int argc, char** argv) {
       passthrough.push_back(argv[i]);
     }
   }
-  if (compare) {
+  if (engine_compare) {
     return run_engine_compare(smoke, out_path);
+  }
+  if (arbiter_compare) {
+    return run_arbiter_compare(smoke, out_path);
   }
   int bench_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&bench_argc, passthrough.data());

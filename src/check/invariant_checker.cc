@@ -254,7 +254,8 @@ void InvariantChecker::audit_queues() {
     // in-flight transfer — exactly once across both.
     std::vector<std::uint8_t> in_flight_seen(p, 0);
     std::size_t in_flight_waiting = 0;
-    for (const Simulator::InFlight& flight : sim_.in_flight_) {
+    for (std::size_t i = 0; i < sim_.in_flight_.size(); ++i) {
+      const Simulator::InFlight& flight = sim_.in_flight_[i];
       HBMSIM_INVARIANT(flight.thread < p, "in-flight core id out of range");
       HBMSIM_INVARIANT(
           sim_.threads_[flight.thread].state ==
@@ -283,12 +284,15 @@ void InvariantChecker::audit_queues() {
         continue;
       }
       const GlobalPage page = sim_.current_page(static_cast<ThreadId>(t));
-      const auto it = sim_.waiters_.find(page);
-      HBMSIM_INVARIANT(it != sim_.waiters_.end(),
+      HBMSIM_INVARIANT(sim_.waiters_.contains(page),
                        make_context("waiting core ", t,
                                     " has no waiter entry for its page"));
-      const auto count = std::count(it->second.begin(), it->second.end(),
-                                    static_cast<ThreadId>(t));
+      std::size_t count = 0;
+      sim_.waiters_.for_each(page, [&](ThreadId w) {
+        if (w == static_cast<ThreadId>(t)) {
+          ++count;
+        }
+      });
       HBMSIM_INVARIANT(count == 1,
                        make_context("core ", t, " appears ", count,
                                     " times in its page's waiter list"));
@@ -298,7 +302,8 @@ void InvariantChecker::audit_queues() {
 
 void InvariantChecker::audit_in_flight() {
   Tick prev = 0;
-  for (const Simulator::InFlight& flight : sim_.in_flight_) {
+  for (std::size_t i = 0; i < sim_.in_flight_.size(); ++i) {
+    const Simulator::InFlight& flight = sim_.in_flight_[i];
     HBMSIM_INVARIANT(flight.serve_tick >= prev,
                      "in-flight transfers out of arrival order");
     prev = flight.serve_tick;

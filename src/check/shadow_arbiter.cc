@@ -1,0 +1,327 @@
+#include "check/shadow_arbiter.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "check/check.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace hbmsim::check {
+namespace {
+
+// ---- Reference implementations ------------------------------------------
+//
+// These are the arbiters as originally written (core/arbitration.cc before
+// the bucketed/pooled rewrite), moved here unchanged. Do not optimise
+// them: their value is being obviously equivalent to the paper's policy
+// definitions, so any divergence observed by ShadowedArbiter indicts the
+// fast structures.
+
+/// FIFO on std::deque.
+class ReferenceFifoArbiter final : public ArbitrationPolicy {
+ public:
+  void enqueue(const QueuedRequest& request) override {
+    queue_.push_back(request);
+  }
+
+  std::optional<QueuedRequest> pop(std::uint32_t /*channel*/) override {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    QueuedRequest r = queue_.front();
+    queue_.pop_front();
+    return r;
+  }
+
+  [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+
+  [[nodiscard]] std::vector<QueuedRequest> snapshot() const override {
+    return {queue_.begin(), queue_.end()};
+  }
+
+ private:
+  std::deque<QueuedRequest> queue_;
+};
+
+/// Priority on std::map keyed by (rank, arrival seq).
+class ReferencePriorityArbiter final : public ArbitrationPolicy {
+ public:
+  explicit ReferencePriorityArbiter(const PriorityMap* priorities)
+      : priorities_(priorities) {
+    HBMSIM_CHECK(priorities_ != nullptr,
+                 "priority arbitration requires a PriorityMap");
+  }
+
+  void enqueue(const QueuedRequest& request) override {
+    // Key by (priority, arrival sequence): priorities are unique per
+    // thread, but under shared_pages a thread's stale entry can coexist
+    // with its live one, so the key must never collide.
+    queue_.emplace(Key{priorities_->priority_of(request.thread), seq_++},
+                   request);
+  }
+
+  std::optional<QueuedRequest> pop(std::uint32_t /*channel*/) override {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    const auto it = queue_.begin();
+    QueuedRequest r = it->second;
+    queue_.erase(it);
+    return r;
+  }
+
+  [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+
+  [[nodiscard]] std::vector<QueuedRequest> snapshot() const override {
+    // The map is keyed by (rank, seq); arrival order is seq order.
+    std::vector<std::pair<std::uint64_t, QueuedRequest>> by_seq;
+    by_seq.reserve(queue_.size());
+    for (const auto& [key, request] : queue_) {
+      by_seq.emplace_back(key.seq, request);
+    }
+    std::sort(by_seq.begin(), by_seq.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::vector<QueuedRequest> out;
+    out.reserve(by_seq.size());
+    for (const auto& [seq, request] : by_seq) {
+      out.push_back(request);
+    }
+    return out;
+  }
+
+  void on_priorities_changed() override {
+    // Re-rank all waiting requests under the new permutation, preserving
+    // arrival order among equal ranks.
+    std::vector<std::pair<std::uint64_t, QueuedRequest>> waiting;
+    waiting.reserve(queue_.size());
+    for (const auto& [key, request] : queue_) {
+      waiting.emplace_back(key.seq, request);
+    }
+    queue_.clear();
+    for (const auto& [seq, r] : waiting) {
+      queue_.emplace(Key{priorities_->priority_of(r.thread), seq}, r);
+    }
+  }
+
+ private:
+  struct Key {
+    std::uint32_t rank;
+    std::uint64_t seq;
+    friend bool operator<(const Key& a, const Key& b) noexcept {
+      return a.rank != b.rank ? a.rank < b.rank : a.seq < b.seq;
+    }
+  };
+
+  const PriorityMap* priorities_;
+  std::uint64_t seq_ = 0;
+  std::map<Key, QueuedRequest> queue_;
+};
+
+/// Random on a swap-remove vector pool; identical seeded RNG stream to
+/// the production arbiter, so the pick sequences must coincide exactly.
+class ReferenceRandomArbiter final : public ArbitrationPolicy {
+ public:
+  explicit ReferenceRandomArbiter(std::uint64_t seed) : rng_(seed) {}
+
+  void enqueue(const QueuedRequest& request) override {
+    pool_.push_back(request);
+  }
+
+  std::optional<QueuedRequest> pop(std::uint32_t /*channel*/) override {
+    if (pool_.empty()) {
+      return std::nullopt;
+    }
+    const std::uint64_t i = rng_.uniform(pool_.size());
+    QueuedRequest r = pool_[i];
+    pool_[i] = pool_.back();
+    pool_.pop_back();
+    return r;
+  }
+
+  [[nodiscard]] std::size_t size() const override { return pool_.size(); }
+
+  [[nodiscard]] std::vector<QueuedRequest> snapshot() const override {
+    return pool_;
+  }
+
+  [[nodiscard]] bool snapshot_in_arrival_order() const override {
+    return false;  // swap-remove pops permute the pool
+  }
+
+ private:
+  Xoshiro256StarStar rng_;
+  std::vector<QueuedRequest> pool_;
+};
+
+/// FR-FCFS with the O(queue) row-hit scan over an arrival-order vector.
+class ReferenceFrFcfsArbiter final : public ArbitrationPolicy {
+ public:
+  ReferenceFrFcfsArbiter(std::uint32_t num_channels, std::uint32_t row_pages)
+      : row_pages_(row_pages), open_rows_(num_channels, kNoRow) {
+    HBMSIM_CHECK(num_channels > 0, "FR-FCFS needs at least one channel");
+    HBMSIM_CHECK(row_pages > 0, "FR-FCFS needs a positive row size");
+  }
+
+  void enqueue(const QueuedRequest& request) override {
+    queue_.push_back(request);  // arrival order
+  }
+
+  std::optional<QueuedRequest> pop(std::uint32_t channel) override {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    HBMSIM_ASSERT(channel < open_rows_.size(), "channel out of range");
+    std::size_t pick = 0;
+    bool row_hit = false;
+    const std::uint64_t open = open_rows_[channel];
+    if (open != kNoRow) {
+      for (std::size_t i = 0; i < queue_.size(); ++i) {
+        if (row_of(queue_[i].page) == open) {
+          pick = i;
+          row_hit = true;
+          break;  // oldest row hit
+        }
+      }
+    }
+    if (!row_hit) {
+      pick = 0;  // oldest overall opens a new row
+    }
+    const QueuedRequest r = queue_[pick];
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+    open_rows_[channel] = row_of(r.page);
+    return r;
+  }
+
+  [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+
+  [[nodiscard]] std::vector<QueuedRequest> snapshot() const override {
+    return queue_;
+  }
+
+ private:
+  static constexpr std::uint64_t kNoRow = ~std::uint64_t{0};
+
+  [[nodiscard]] std::uint64_t row_of(GlobalPage page) const noexcept {
+    return page / row_pages_;
+  }
+
+  std::uint32_t row_pages_;
+  std::vector<std::uint64_t> open_rows_;
+  std::vector<QueuedRequest> queue_;
+};
+
+[[nodiscard]] std::vector<QueuedRequest> sorted(
+    std::vector<QueuedRequest> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const QueuedRequest& a, const QueuedRequest& b) {
+              if (a.page != b.page) {
+                return a.page < b.page;
+              }
+              if (a.thread != b.thread) {
+                return a.thread < b.thread;
+              }
+              return a.enqueue_tick < b.enqueue_tick;
+            });
+  return entries;
+}
+
+}  // namespace
+
+std::unique_ptr<ArbitrationPolicy> make_reference_arbiter(
+    ArbitrationKind kind, const PriorityMap* priorities, std::uint64_t seed,
+    std::uint32_t num_channels, std::uint32_t row_pages) {
+  switch (kind) {
+    case ArbitrationKind::kFifo:
+      return std::make_unique<ReferenceFifoArbiter>();
+    case ArbitrationKind::kPriority:
+      return std::make_unique<ReferencePriorityArbiter>(priorities);
+    case ArbitrationKind::kRandom:
+      return std::make_unique<ReferenceRandomArbiter>(seed);
+    case ArbitrationKind::kFrFcfs:
+      return std::make_unique<ReferenceFrFcfsArbiter>(num_channels, row_pages);
+  }
+  throw ConfigError("unknown arbitration kind");
+}
+
+ShadowedArbiter::ShadowedArbiter(std::unique_ptr<ArbitrationPolicy> inner,
+                                 std::unique_ptr<ArbitrationPolicy> reference)
+    : inner_(std::move(inner)), reference_(std::move(reference)) {
+  HBMSIM_CHECK(inner_ != nullptr && reference_ != nullptr,
+               "ShadowedArbiter needs both queues");
+  HBMSIM_INVARIANT(inner_->empty() && reference_->empty(),
+                   "shadowed queues must start empty");
+}
+
+void ShadowedArbiter::check_sizes() const {
+  HBMSIM_INVARIANT(inner_->size() == reference_->size(),
+                   make_context("arbiter divergence: implementation holds ",
+                                inner_->size(), " requests, reference holds ",
+                                reference_->size()));
+}
+
+void ShadowedArbiter::enqueue(const QueuedRequest& request) {
+  inner_->enqueue(request);
+  reference_->enqueue(request);
+  check_sizes();
+}
+
+std::optional<QueuedRequest> ShadowedArbiter::pop(std::uint32_t channel) {
+  const std::optional<QueuedRequest> got = inner_->pop(channel);
+  const std::optional<QueuedRequest> want = reference_->pop(channel);
+  HBMSIM_INVARIANT(
+      got.has_value() == want.has_value(),
+      make_context("arbiter divergence on pop(channel=", channel,
+                   "): implementation ", got ? "returned a request" : "ran dry",
+                   " while the reference ",
+                   want ? "returned a request" : "ran dry"));
+  if (got.has_value()) {
+    HBMSIM_INVARIANT(
+        *got == *want,
+        make_context("arbiter divergence on pop(channel=", channel,
+                     "): implementation chose page ", got->page, " (core ",
+                     got->thread, ", tick ", got->enqueue_tick,
+                     ") but the reference chose page ", want->page, " (core ",
+                     want->thread, ", tick ", want->enqueue_tick, ")"));
+  }
+  check_sizes();
+  return got;
+}
+
+std::size_t ShadowedArbiter::size() const {
+  check_sizes();
+  return inner_->size();
+}
+
+void ShadowedArbiter::on_priorities_changed() {
+  inner_->on_priorities_changed();
+  reference_->on_priorities_changed();
+  // A remap must neither lose nor reorder requests: arrival order is
+  // rank-independent, so the snapshots must agree exactly.
+  HBMSIM_INVARIANT(inner_->snapshot() == reference_->snapshot(),
+                   "arbiter divergence: snapshots differ after a remap");
+}
+
+std::vector<QueuedRequest> ShadowedArbiter::snapshot() const {
+  std::vector<QueuedRequest> got = inner_->snapshot();
+  const std::vector<QueuedRequest> want = reference_->snapshot();
+  if (inner_->snapshot_in_arrival_order() &&
+      reference_->snapshot_in_arrival_order()) {
+    HBMSIM_INVARIANT(got == want,
+                     "arbiter divergence: arrival-order snapshots differ");
+  } else {
+    HBMSIM_INVARIANT(
+        sorted(got) == sorted(want),
+        "arbiter divergence: queues hold different request multisets");
+  }
+  return got;
+}
+
+bool ShadowedArbiter::snapshot_in_arrival_order() const {
+  return inner_->snapshot_in_arrival_order();
+}
+
+}  // namespace hbmsim::check

@@ -1,0 +1,60 @@
+// ShadowedArbiter: an ArbitrationPolicy decorator that drives the
+// pre-optimisation reference arbiter lock-step with the production one
+// and throws InvariantError on the first divergence.
+//
+// The reference implementations (make_reference_arbiter) are the exact
+// structures the bucketed/pooled arbiters replaced — std::map keyed by
+// (rank, seq) for Priority, std::deque for FIFO, a linear row-hit scan
+// for FR-FCFS, the seeded swap-remove pool for Random. They are kept
+// here as an executable specification: obviously correct, allocation-
+// heavy, and never on the hot path.
+//
+// Checked per operation:
+//   pop       both sides return the same request (or both run dry).
+//   size      both sides agree after every mutation.
+//   snapshot  identical sequences when both sides preserve arrival
+//             order; identical multisets otherwise (Random).
+//
+// The Simulator builds this wrapper for SimConfig::arbiter_impl ==
+// kShadow, and upgrades kFast to kShadow under paranoid. Unlike the
+// tick-level checker, the wrapper works in every build type — the
+// comparisons use HBMSIM_INVARIANT, which is always compiled.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/arbitration.h"
+
+namespace hbmsim::check {
+
+/// The original tree/scan arbitration structures, preserved verbatim as
+/// the executable spec for the optimised implementations. Same factory
+/// contract as ArbitrationPolicy::make.
+[[nodiscard]] std::unique_ptr<ArbitrationPolicy> make_reference_arbiter(
+    ArbitrationKind kind, const PriorityMap* priorities, std::uint64_t seed,
+    std::uint32_t num_channels = 1, std::uint32_t row_pages = 4);
+
+class ShadowedArbiter final : public ArbitrationPolicy {
+ public:
+  /// Both queues must start empty and see every call through this
+  /// wrapper. `inner` is the implementation under test; `reference` the
+  /// spec whose answers are authoritative.
+  ShadowedArbiter(std::unique_ptr<ArbitrationPolicy> inner,
+                  std::unique_ptr<ArbitrationPolicy> reference);
+
+  void enqueue(const QueuedRequest& request) override;
+  std::optional<QueuedRequest> pop(std::uint32_t channel) override;
+  [[nodiscard]] std::size_t size() const override;
+  void on_priorities_changed() override;
+  [[nodiscard]] std::vector<QueuedRequest> snapshot() const override;
+  [[nodiscard]] bool snapshot_in_arrival_order() const override;
+
+ private:
+  void check_sizes() const;
+
+  std::unique_ptr<ArbitrationPolicy> inner_;
+  std::unique_ptr<ArbitrationPolicy> reference_;
+};
+
+}  // namespace hbmsim::check

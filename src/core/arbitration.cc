@@ -1,21 +1,39 @@
+// Allocation-free arbitration structures (DESIGN.md §3d).
+//
+// Every policy here is built from pooled nodes addressed by 32-bit
+// handles (util/flat_map.h IndexPool) threaded onto intrusive lists, so
+// the steady-state enqueue/pop/remap cycle never touches the allocator:
+// the pools grow geometrically to the queue's high-water mark (at most
+// one live request per thread, so ~p) and then recycle. The original
+// tree/scan implementations live on in src/check/shadow_arbiter.cc as an
+// executable specification; SimConfig::arbiter_impl and the paranoid
+// mode drive both lock-step.
 #include "core/arbitration.h"
 
 #include <algorithm>
-#include <deque>
-#include <map>
 #include <utility>
 #include <vector>
 
 #include "util/error.h"
+#include "util/flat_map.h"
+#include "util/ring_buffer.h"
 #include "util/rng.h"
 
 namespace hbmsim {
 namespace {
 
+constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
 /// First-Come-First-Served: the hardware status quo (FR-FCFS family).
+/// A ring buffer sized to the expected depth: push/pop are two index
+/// updates, with no per-block allocation as in std::deque.
 class FifoArbiter final : public ArbitrationPolicy {
  public:
+  explicit FifoArbiter(std::size_t expected_requests)
+      : queue_(expected_requests) {}
+
   void enqueue(const QueuedRequest& request) override {
+    // lint:allow-hot-path-alloc — ring sized to expected_requests (= p)
     queue_.push_back(request);
   }
 
@@ -31,97 +49,171 @@ class FifoArbiter final : public ArbitrationPolicy {
   [[nodiscard]] std::size_t size() const override { return queue_.size(); }
 
   [[nodiscard]] std::vector<QueuedRequest> snapshot() const override {
-    return {queue_.begin(), queue_.end()};
+    std::vector<QueuedRequest> out;
+    out.reserve(queue_.size());  // lint:allow-hot-path-alloc — cold introspection
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      out.push_back(queue_[i]);  // lint:allow-hot-path-alloc — cold introspection
+    }
+    return out;
   }
 
  private:
-  std::deque<QueuedRequest> queue_;
+  RingBuffer<QueuedRequest> queue_;
 };
 
 /// Priority arbitration: requests from the highest-priority thread
 /// (smallest π value) are always served first; ties cannot occur because
 /// π is a permutation and each thread queues at most one request.
+///
+/// Bucketed priority queue: one intrusive FIFO per rank (exactly p
+/// buckets, since ranks are thread priorities) plus one intrusive
+/// arrival-order list threading all live nodes. The arrival list *is*
+/// the (rank, seq) tree's seq dimension — a bucket holds its entries in
+/// arrival order because enqueue appends at the tail, so the head of the
+/// lowest non-empty rank (one Bitmap scan) is exactly the std::map's
+/// begin(). A remap relinks every node bucket-side in one arrival-order
+/// walk: O(n) with zero allocations, where the tree rebuild was
+/// O(n log n) with n node allocations — and Dynamic/Cycle Priority
+/// performs that remap every T ticks.
 class PriorityArbiter final : public ArbitrationPolicy {
  public:
-  explicit PriorityArbiter(const PriorityMap* priorities)
+  PriorityArbiter(const PriorityMap* priorities, std::size_t expected_requests)
       : priorities_(priorities) {
     HBMSIM_CHECK(priorities_ != nullptr,
                  "priority arbitration requires a PriorityMap");
+    const std::uint32_t p = priorities_->num_threads();
+    buckets_.assign(p, Chain{kNil, kNil});
+    nonempty_.resize(p);
+    pool_.reserve(std::max<std::size_t>(expected_requests, p));
   }
 
   void enqueue(const QueuedRequest& request) override {
-    // Key by (priority, arrival sequence): priorities are unique per
-    // thread, but under shared_pages a thread's stale entry can coexist
-    // with its live one, so the key must never collide.
-    queue_.emplace(Key{priorities_->priority_of(request.thread), seq_++},
-                   request);
+    const std::uint32_t id = pool_.acquire();
+    Node& n = pool_[id];
+    n.req = request;
+    n.arr_prev = arr_tail_;
+    n.arr_next = kNil;
+    if (arr_tail_ != kNil) {
+      pool_[arr_tail_].arr_next = id;
+    } else {
+      arr_head_ = id;
+    }
+    arr_tail_ = id;
+    link_bucket(id, priorities_->priority_of(request.thread));
+    ++size_;
   }
 
   std::optional<QueuedRequest> pop(std::uint32_t /*channel*/) override {
-    if (queue_.empty()) {
+    // `min_rank_hint_` invariant: every rank below it has an empty
+    // bucket, so the scan may start there. Without it, a backlog whose
+    // low ranks have drained pays O(p/64) words per pop — the one regime
+    // where the old tree was fast (its begin() stayed cache-hot on the
+    // leftmost spine).
+    const std::size_t rank = nonempty_.find_first(min_rank_hint_);
+    if (rank == Bitmap::npos) {
       return std::nullopt;
     }
-    const auto it = queue_.begin();
-    QueuedRequest r = it->second;
-    queue_.erase(it);
+    min_rank_hint_ = rank;
+    const std::uint32_t id = buckets_[rank].head;
+    const QueuedRequest r = pool_[id].req;
+    Chain& bucket = buckets_[rank];
+    bucket.head = pool_[id].bucket_next;
+    if (bucket.head == kNil) {
+      bucket.tail = kNil;
+      nonempty_.clear(rank);
+    }
+    unlink_arrival(id);
+    pool_.release(id);
+    --size_;
     return r;
   }
 
-  [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+  [[nodiscard]] std::size_t size() const override { return size_; }
+
+  void on_priorities_changed() override {
+    // Re-rank all waiting requests under the new permutation, preserving
+    // arrival order among equal ranks: reset the buckets and re-append
+    // every node in one walk of the arrival list.
+    std::fill(buckets_.begin(), buckets_.end(), Chain{kNil, kNil});
+    nonempty_.clear_all();
+    min_rank_hint_ = nonempty_.bits();  // every link below lowers it
+    for (std::uint32_t id = arr_head_; id != kNil; id = pool_[id].arr_next) {
+      link_bucket(id, priorities_->priority_of(pool_[id].req.thread));
+    }
+  }
 
   [[nodiscard]] std::vector<QueuedRequest> snapshot() const override {
-    // The map is keyed by (rank, seq); arrival order is seq order.
-    std::vector<std::pair<std::uint64_t, QueuedRequest>> by_seq;
-    by_seq.reserve(queue_.size());
-    for (const auto& [key, request] : queue_) {
-      by_seq.emplace_back(key.seq, request);
-    }
-    std::sort(by_seq.begin(), by_seq.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
     std::vector<QueuedRequest> out;
-    out.reserve(by_seq.size());
-    for (const auto& [seq, request] : by_seq) {
-      out.push_back(request);
+    out.reserve(size_);  // lint:allow-hot-path-alloc — cold introspection
+    for (std::uint32_t id = arr_head_; id != kNil; id = pool_[id].arr_next) {
+      out.push_back(pool_[id].req);  // lint:allow-hot-path-alloc — cold introspection
     }
     return out;
   }
 
-  void on_priorities_changed() override {
-    // Re-rank all waiting requests under the new permutation, preserving
-    // arrival order among equal ranks.
-    std::vector<std::pair<std::uint64_t, QueuedRequest>> waiting;
-    waiting.reserve(queue_.size());
-    for (const auto& [key, request] : queue_) {
-      waiting.emplace_back(key.seq, request);
+ private:
+  struct Node {
+    QueuedRequest req;
+    std::uint32_t bucket_next;
+    std::uint32_t arr_prev;
+    std::uint32_t arr_next;
+  };
+  struct Chain {
+    std::uint32_t head;
+    std::uint32_t tail;
+  };
+
+  void link_bucket(std::uint32_t id, std::uint32_t rank) {
+    if (rank < min_rank_hint_) {
+      min_rank_hint_ = rank;
     }
-    queue_.clear();
-    for (const auto& [seq, r] : waiting) {
-      queue_.emplace(Key{priorities_->priority_of(r.thread), seq}, r);
+    Chain& bucket = buckets_[rank];
+    pool_[id].bucket_next = kNil;
+    if (bucket.tail != kNil) {
+      pool_[bucket.tail].bucket_next = id;
+    } else {
+      bucket.head = id;
+      nonempty_.set(rank);
+    }
+    bucket.tail = id;
+  }
+
+  void unlink_arrival(std::uint32_t id) {
+    const Node& n = pool_[id];
+    if (n.arr_prev != kNil) {
+      pool_[n.arr_prev].arr_next = n.arr_next;
+    } else {
+      arr_head_ = n.arr_next;
+    }
+    if (n.arr_next != kNil) {
+      pool_[n.arr_next].arr_prev = n.arr_prev;
+    } else {
+      arr_tail_ = n.arr_prev;
     }
   }
 
- private:
-  struct Key {
-    std::uint32_t rank;
-    std::uint64_t seq;
-    friend bool operator<(const Key& a, const Key& b) noexcept {
-      return a.rank != b.rank ? a.rank < b.rank : a.seq < b.seq;
-    }
-  };
-
   const PriorityMap* priorities_;
-  std::uint64_t seq_ = 0;
-  std::map<Key, QueuedRequest> queue_;
+  IndexPool<Node> pool_;
+  std::vector<Chain> buckets_;  // one FIFO per rank
+  Bitmap nonempty_;             // ranks with a non-empty bucket
+  std::size_t min_rank_hint_ = 0;  // no rank below this has a set bit
+  std::uint32_t arr_head_ = kNil;
+  std::uint32_t arr_tail_ = kNil;
+  std::size_t size_ = 0;
 };
 
 /// Uniformly random selection among waiting requests — the T → 1 limit of
-/// Dynamic Priority discussed in §4.
+/// Dynamic Priority discussed in §4. The swap-remove pool was already
+/// O(1) per operation; pre-sizing it removes the growth reallocations.
 class RandomArbiter final : public ArbitrationPolicy {
  public:
-  explicit RandomArbiter(std::uint64_t seed) : rng_(seed) {}
+  RandomArbiter(std::uint64_t seed, std::size_t expected_requests)
+      : rng_(seed) {
+    pool_.reserve(expected_requests);
+  }
 
   void enqueue(const QueuedRequest& request) override {
-    pool_.push_back(request);
+    pool_.push_back(request);  // lint:allow-hot-path-alloc — reserved to p at construction
   }
 
   std::optional<QueuedRequest> pop(std::uint32_t /*channel*/) override {
@@ -156,76 +248,150 @@ class RandomArbiter final : public ArbitrationPolicy {
 /// then opens a new row. Rows are `row_pages` consecutive pages — the
 /// thread tag in GlobalPage keeps rows per-thread, as in banked DRAM
 /// where distinct address streams rarely share rows.
+///
+/// Pooled nodes on an intrusive arrival list, plus a FlatMap row index
+/// (row id → FIFO chain of that row's requests, in arrival order). Row-
+/// hit selection is one hash lookup instead of a scan of the whole
+/// queue; the oldest-overall fallback is the arrival-list head, which is
+/// arrival-order exact by construction. Either pick is the head of its
+/// own row chain (the globally oldest request is the oldest in its row),
+/// so removal is O(1) everywhere.
 class FrFcfsArbiter final : public ArbitrationPolicy {
  public:
-  FrFcfsArbiter(std::uint32_t num_channels, std::uint32_t row_pages)
+  FrFcfsArbiter(std::uint32_t num_channels, std::uint32_t row_pages,
+                std::size_t expected_requests)
       : row_pages_(row_pages), open_rows_(num_channels, kNoRow) {
     HBMSIM_CHECK(num_channels > 0, "FR-FCFS needs at least one channel");
     HBMSIM_CHECK(row_pages > 0, "FR-FCFS needs a positive row size");
+    pool_.reserve(expected_requests);
+    rows_.reserve(std::max<std::size_t>(expected_requests, 16));
   }
 
   void enqueue(const QueuedRequest& request) override {
-    queue_.push_back(request);  // arrival order
+    const std::uint32_t id = pool_.acquire();
+    Node& n = pool_[id];
+    n.req = request;
+    n.row_next = kNil;
+    n.arr_prev = arr_tail_;
+    n.arr_next = kNil;
+    if (arr_tail_ != kNil) {
+      pool_[arr_tail_].arr_next = id;
+    } else {
+      arr_head_ = id;
+    }
+    arr_tail_ = id;
+    const std::uint64_t row = row_of(request.page);
+    if (RowChain* chain = rows_.find(row)) {
+      pool_[chain->tail].row_next = id;
+      chain->tail = id;
+    } else {
+      rows_.insert(row, RowChain{id, id});
+    }
+    ++size_;
   }
 
   std::optional<QueuedRequest> pop(std::uint32_t channel) override {
-    if (queue_.empty()) {
+    if (size_ == 0) {
       return std::nullopt;
     }
     HBMSIM_ASSERT(channel < open_rows_.size(), "channel out of range");
-    std::size_t pick = 0;
-    bool row_hit = false;
+    std::uint32_t id = kNil;
     const std::uint64_t open = open_rows_[channel];
     if (open != kNoRow) {
-      for (std::size_t i = 0; i < queue_.size(); ++i) {
-        if (row_of(queue_[i].page) == open) {
-          pick = i;
-          row_hit = true;
-          break;  // oldest row hit
-        }
+      if (const RowChain* chain = rows_.find(open)) {
+        id = chain->head;  // oldest row hit
       }
     }
-    if (!row_hit) {
-      pick = 0;  // oldest overall opens a new row
+    if (id == kNil) {
+      id = arr_head_;  // oldest overall opens a new row
     }
-    const QueuedRequest r = queue_[pick];
-    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+    const QueuedRequest r = pool_[id].req;
+    remove(id);
     open_rows_[channel] = row_of(r.page);
     return r;
   }
 
-  [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+  [[nodiscard]] std::size_t size() const override { return size_; }
 
   [[nodiscard]] std::vector<QueuedRequest> snapshot() const override {
-    return queue_;
+    std::vector<QueuedRequest> out;
+    out.reserve(size_);  // lint:allow-hot-path-alloc — cold introspection
+    for (std::uint32_t id = arr_head_; id != kNil; id = pool_[id].arr_next) {
+      out.push_back(pool_[id].req);  // lint:allow-hot-path-alloc — cold introspection
+    }
+    return out;
   }
 
  private:
   static constexpr std::uint64_t kNoRow = ~std::uint64_t{0};
 
+  struct Node {
+    QueuedRequest req;
+    std::uint32_t row_next;
+    std::uint32_t arr_prev;
+    std::uint32_t arr_next;
+  };
+  struct RowChain {
+    std::uint32_t head;
+    std::uint32_t tail;
+  };
+
   [[nodiscard]] std::uint64_t row_of(GlobalPage page) const noexcept {
     return page / row_pages_;
   }
 
+  void remove(std::uint32_t id) {
+    const Node& n = pool_[id];
+    // Any popped node heads its row chain: a row hit pops the chain head
+    // directly, and the oldest-overall pick is the oldest in its own row
+    // too (chains are in arrival order).
+    const std::uint64_t row = row_of(n.req.page);
+    RowChain* chain = rows_.find(row);
+    HBMSIM_ASSERT(chain != nullptr && chain->head == id,
+                  "popped request does not head its row chain");
+    chain->head = n.row_next;
+    if (chain->head == kNil) {
+      rows_.erase(row);
+    }
+    if (n.arr_prev != kNil) {
+      pool_[n.arr_prev].arr_next = n.arr_next;
+    } else {
+      arr_head_ = n.arr_next;
+    }
+    if (n.arr_next != kNil) {
+      pool_[n.arr_next].arr_prev = n.arr_prev;
+    } else {
+      arr_tail_ = n.arr_prev;
+    }
+    pool_.release(id);
+    --size_;
+  }
+
   std::uint32_t row_pages_;
+  IndexPool<Node> pool_;
+  FlatMap<RowChain> rows_;  // row id → that row's requests, arrival order
   std::vector<std::uint64_t> open_rows_;
-  std::vector<QueuedRequest> queue_;
+  std::uint32_t arr_head_ = kNil;
+  std::uint32_t arr_tail_ = kNil;
+  std::size_t size_ = 0;
 };
 
 }  // namespace
 
 std::unique_ptr<ArbitrationPolicy> ArbitrationPolicy::make(
     ArbitrationKind kind, const PriorityMap* priorities, std::uint64_t seed,
-    std::uint32_t num_channels, std::uint32_t row_pages) {
+    std::uint32_t num_channels, std::uint32_t row_pages,
+    std::size_t expected_requests) {
   switch (kind) {
     case ArbitrationKind::kFifo:
-      return std::make_unique<FifoArbiter>();
+      return std::make_unique<FifoArbiter>(expected_requests);
     case ArbitrationKind::kPriority:
-      return std::make_unique<PriorityArbiter>(priorities);
+      return std::make_unique<PriorityArbiter>(priorities, expected_requests);
     case ArbitrationKind::kRandom:
-      return std::make_unique<RandomArbiter>(seed);
+      return std::make_unique<RandomArbiter>(seed, expected_requests);
     case ArbitrationKind::kFrFcfs:
-      return std::make_unique<FrFcfsArbiter>(num_channels, row_pages);
+      return std::make_unique<FrFcfsArbiter>(num_channels, row_pages,
+                                             expected_requests);
   }
   throw ConfigError("unknown arbitration kind");
 }

@@ -58,10 +58,14 @@ class ArbitrationPolicy {
 
   /// Factory. `priorities` must outlive the policy and is only required
   /// for kPriority arbitration; `num_channels` and `row_pages` only
-  /// matter for kFrFcfs.
+  /// matter for kFrFcfs. `expected_requests` pre-sizes the policy's node
+  /// pool / index so a queue that never exceeds it allocates nothing
+  /// after construction (the Simulator passes p — the queue holds at
+  /// most one live request per thread).
   [[nodiscard]] static std::unique_ptr<ArbitrationPolicy> make(
       ArbitrationKind kind, const PriorityMap* priorities, std::uint64_t seed,
-      std::uint32_t num_channels = 1, std::uint32_t row_pages = 4);
+      std::uint32_t num_channels = 1, std::uint32_t row_pages = 4,
+      std::size_t expected_requests = 0);
 };
 
 /// Channel a page is bound to under ChannelBinding::kHashed. Exposed so

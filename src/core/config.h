@@ -100,6 +100,28 @@ enum class EngineKind {
                     "' (tick|fast|auto)");
 }
 
+/// Which arbitration-queue implementation the Simulator builds. The model
+/// semantics are identical by contract — kReference keeps the original
+/// tree/scan structures alive in src/check/ as an executable spec, and
+/// kShadow runs both lock-step, throwing check::InvariantError on the
+/// first divergent pop/size/snapshot. A perf-equivalence harness knob
+/// (bench --arbiter-compare, the differential grid), not a model
+/// parameter: it is deliberately absent from the JSON config echo.
+enum class ArbiterImpl {
+  kFast,       ///< bucketed/pooled production structures (default)
+  kReference,  ///< the pre-optimisation map/deque/scan implementations
+  kShadow,     ///< kFast cross-checked against kReference on every call
+};
+
+[[nodiscard]] constexpr const char* to_string(ArbiterImpl a) noexcept {
+  switch (a) {
+    case ArbiterImpl::kFast: return "fast";
+    case ArbiterImpl::kReference: return "reference";
+    case ArbiterImpl::kShadow: return "shadow";
+  }
+  return "?";
+}
+
 /// Full simulation configuration.
 struct SimConfig {
   /// HBM capacity k, in page slots.
@@ -162,6 +184,12 @@ struct SimConfig {
   /// environment variable (tick|fast|auto), so whole bench and test
   /// suites can switch engines without code changes.
   EngineKind engine = default_engine();
+
+  /// Arbitration-queue implementation (see ArbiterImpl). Paranoid runs
+  /// upgrade kFast to kShadow so the reference arbiter audits every pop;
+  /// unlike paranoid, kShadow itself works in every build type (the
+  /// comparison uses HBMSIM_INVARIANT, which is always compiled).
+  ArbiterImpl arbiter_impl = ArbiterImpl::kFast;
 
   /// Parse HBMSIM_ENGINE; kAuto when unset or empty. Unlike
   /// default_paranoid() the parse is not cached: the bench harnesses set

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "check/invariant_checker.h"
+#include "check/shadow_arbiter.h"
 #include "check/shadow_cache.h"
 #include "util/error.h"
 
@@ -47,20 +48,56 @@ Simulator::Simulator(const Workload& workload, const SimConfig& config,
   const std::uint32_t channels_per_queue =
       config_.channel_binding == ChannelBinding::kHashed ? 1
                                                          : config_.num_channels;
-  for (std::size_t i = 0; i < num_queues; ++i) {
-    queues_.push_back(ArbitrationPolicy::make(config_.arbitration, &priorities_,
-                                              config_.seed + i,
-                                              channels_per_queue,
-                                              config_.row_pages));
-  }
-
   const std::size_t p = workload.num_threads();
+  // Paranoid runs upgrade the default arbiter to the shadowed pair, so
+  // the reference structures audit every pop (an explicit kReference
+  // request is honoured as-is — the differential tests need it bare).
+  const ArbiterImpl arbiter_impl =
+      config_.paranoid && config_.arbiter_impl == ArbiterImpl::kFast
+          ? ArbiterImpl::kShadow
+          : config_.arbiter_impl;
+  for (std::size_t i = 0; i < num_queues; ++i) {
+    auto fast = [&] {
+      return ArbitrationPolicy::make(config_.arbitration, &priorities_,
+                                     config_.seed + i, channels_per_queue,
+                                     config_.row_pages, p);
+    };
+    auto reference = [&] {
+      return check::make_reference_arbiter(config_.arbitration, &priorities_,
+                                           config_.seed + i,
+                                           channels_per_queue,
+                                           config_.row_pages);
+    };
+    switch (arbiter_impl) {
+      case ArbiterImpl::kFast:
+        queues_.push_back(fast());
+        break;
+      case ArbiterImpl::kReference:
+        queues_.push_back(reference());
+        break;
+      case ArbiterImpl::kShadow:
+        queues_.push_back(
+            std::make_unique<check::ShadowedArbiter>(fast(), reference()));
+        break;
+    }
+  }
   threads_.resize(p);
   if (config_.per_thread_metrics) {
     metrics_.per_thread.resize(p);
   }
   active_now_.reserve(p);
   active_next_.reserve(p);
+  // Size the remaining tick-path structures once: a core waits on at
+  // most one page and has at most one transfer in flight, so p bounds
+  // the waiter table and the in-flight ring alike.
+  if (config_.shared_pages) {
+    waiters_.reserve(p);
+    in_flight_pages_.reserve(p);
+  }
+  if (config_.fetch_ticks > 1) {
+    in_flight_.reserve(std::min<std::size_t>(
+        p, std::size_t{config_.num_channels} * config_.fetch_ticks));
+  }
   for (std::size_t t = 0; t < p; ++t) {
     threads_[t].trace = workload.share(t);
     if (threads_[t].trace->empty()) {
@@ -116,7 +153,7 @@ GlobalPage Simulator::current_page(ThreadId t) const {
 void Simulator::enqueue_miss(ThreadId t, GlobalPage page, Tick request_tick) {
   threads_[t].state = ThreadState::kWaiting;
   if (config_.shared_pages) {
-    waiters_[page].push_back(t);
+    waiters_.add(page, t);
     // A transfer already in flight will satisfy this core on arrival;
     // don't spend another channel slot on the same page.
     if (in_flight_pages_.contains(page)) {
@@ -177,7 +214,7 @@ void Simulator::serve(ThreadId t, ThreadContext& ctx, GlobalPage page) {
     metrics_.makespan = std::max(metrics_.makespan, tick_ + 1);
   } else {
     ctx.state = ThreadState::kIssuing;
-    active_next_.push_back(t);
+    active_next_.push_back(t);  // lint:allow-hot-path-alloc — reserved to p
   }
 }
 
@@ -264,6 +301,7 @@ void Simulator::fetch_from_dram() {
       // Non-unit transfer time: the page is in flight and becomes
       // servable at tick_ + fetch_ticks; waiting threads are neither
       // queued nor active until arrival.
+      // lint:allow-hot-path-alloc — ring reserved to min(p, q·fetch_ticks)
       in_flight_.push_back(
           InFlight{tick_ + config_.fetch_ticks, next->page, next->thread});
       if (config_.shared_pages) {
@@ -280,25 +318,22 @@ void Simulator::fetch_from_dram() {
       HBMSIM_ASSERT(ctx.state == ThreadState::kWaiting,
                     "fetch for non-waiting thread");
       ctx.state = ThreadState::kFetched;
+      // lint:allow-hot-path-alloc — reserved to p
       active_next_.push_back(next->thread);
     }
   }
 }
 
 void Simulator::resolve_waiters(GlobalPage page, std::vector<ThreadId>& out) {
-  const auto it = waiters_.find(page);
-  HBMSIM_ASSERT(it != waiters_.end(), "fetched page with no waiter list");
-  if (it == waiters_.end()) {
-    return;
-  }
-  for (const ThreadId w : it->second) {
+  const bool had_waiters = waiters_.take(page, [&](ThreadId w) {
     ThreadContext& ctx = threads_[w];
     if (ctx.state == ThreadState::kWaiting && current_page(w) == page) {
       ctx.state = ThreadState::kFetched;
-      out.push_back(w);
+      out.push_back(w);  // lint:allow-hot-path-alloc — reserved to p
     }
-  }
-  waiters_.erase(it);
+  });
+  HBMSIM_ASSERT(had_waiters, "fetched page with no waiter list");
+  (void)had_waiters;
 }
 
 void Simulator::complete_arrivals() {
@@ -317,6 +352,7 @@ void Simulator::complete_arrivals() {
     HBMSIM_ASSERT(ctx.state == ThreadState::kWaiting,
                   "arrival for non-waiting thread");
     ctx.state = ThreadState::kFetched;
+    // lint:allow-hot-path-alloc — reserved to p
     active_now_.push_back(arrival.thread);
   }
   if (any) {

@@ -10,8 +10,12 @@
 //      a fetched page is servable from tick t+1 (so a miss costs ≥ 2)
 //
 // The implementation is sparse: threads blocked on the far channel cost
-// nothing per tick. The reference tick engine (EngineKind::kTick) still
-// costs O(refs + misses·log p + idle_ticks) rather than O(makespan · p),
+// nothing per tick, and every queue on the tick path (arbitration
+// buckets, waiter chains, the in-flight ring) runs on pooled storage
+// sized at construction, so the steady-state loop performs no heap
+// allocations (DESIGN.md §3d). The reference tick engine
+// (EngineKind::kTick) still costs O(refs + misses + idle_ticks) rather
+// than O(makespan · p),
 // where idle_ticks counts ticks in which no transfer arrives, no remap
 // fires, no core is runnable, and the DRAM queue is empty — the term that
 // dominates when q << p or fetch_ticks >> 1. The event-driven fast engine
@@ -28,9 +32,7 @@
 // two runs of the same (workload, config) are bit-identical.
 #pragma once
 
-#include <deque>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/arbitration.h"
@@ -39,8 +41,10 @@
 #include "core/metrics.h"
 #include "core/priority_map.h"
 #include "core/types.h"
+#include "core/waiter_table.h"
 #include "trace/trace.h"
 #include "util/flat_map.h"
+#include "util/ring_buffer.h"
 
 namespace hbmsim {
 
@@ -154,21 +158,23 @@ class Simulator {
   std::vector<ThreadId> active_now_;
   std::vector<ThreadId> active_next_;
 
-  // shared_pages only: cores waiting on each in-flight page. Accessed by
-  // point lookup only — never iterated — so its unordered bucket order
-  // cannot reach simulation state or output (tools/lint_determinism.py
-  // keeps it that way; tests/determinism_test.cc fingerprints the
+  // shared_pages only: cores waiting on each in-flight page. Pooled
+  // chains over a FlatMap, sized to p at construction — point lookups
+  // with deterministic layout, and the steady-state add/resolve cycle
+  // allocates nothing (tests/determinism_test.cc fingerprints the
   // shared-pages configs that exercise it).
-  std::unordered_map<GlobalPage, std::vector<ThreadId>> waiters_;
+  WaiterTable waiters_;
 
   // fetch_ticks > 1 only: fetches in flight, FIFO by issue tick (all
   // transfers take the same time, so arrival order == issue order).
+  // Ring buffer sized once at construction (at most one transfer per
+  // waiting core, so ≤ p entries).
   struct InFlight {
     Tick serve_tick;
     GlobalPage page;
     ThreadId thread;
   };
-  std::deque<InFlight> in_flight_;
+  RingBuffer<InFlight> in_flight_;
   // shared_pages + fetch_ticks > 1: pages currently being transferred,
   // so late co-requesters piggyback instead of double-fetching.
   // Deterministic FlatSet rather than std::unordered_set: membership

@@ -1,0 +1,99 @@
+// WaiterTable: shared-pages bookkeeping of which cores wait on each
+// in-flight page (Simulator::waiters_).
+//
+// Replaces std::unordered_map<GlobalPage, std::vector<ThreadId>> on the
+// tick hot path: an open-addressed FlatMap from page to an intrusive
+// chain of pooled waiter nodes. Chains append at the tail, so waiters
+// come back in registration order — the same order the vector gave —
+// and resolving a page releases its nodes to the pool instead of
+// destroying a vector. Sized once from SimConfig (at most p cores can
+// wait), the steady-state add/resolve cycle performs no allocations.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.h"
+#include "util/flat_map.h"
+
+namespace hbmsim {
+
+class WaiterTable {
+ public:
+  explicit WaiterTable(std::size_t capacity_hint = 0) {
+    reserve(capacity_hint);
+  }
+
+  /// Pre-size for `n` concurrently waiting cores (and thus at most `n`
+  /// pages with waiters).
+  void reserve(std::size_t n) {
+    chains_.reserve(n);
+    pool_.reserve(n);
+  }
+
+  /// Register `thread` as waiting on `page` (appended in call order).
+  void add(GlobalPage page, ThreadId thread) {
+    const std::uint32_t id = pool_.acquire();
+    pool_[id] = Node{thread, kNil};
+    if (Chain* chain = chains_.find(page)) {
+      pool_[chain->tail].next = id;
+      chain->tail = id;
+    } else {
+      chains_.insert(page, Chain{id, id});
+    }
+  }
+
+  [[nodiscard]] bool contains(GlobalPage page) const noexcept {
+    return chains_.contains(page);
+  }
+
+  /// Pages that currently have at least one registered waiter.
+  [[nodiscard]] std::size_t pages() const noexcept { return chains_.size(); }
+
+  /// Visit `page`'s waiters in registration order.
+  template <typename Fn>
+  void for_each(GlobalPage page, Fn&& fn) const {
+    const Chain* chain = chains_.find(page);
+    if (chain == nullptr) {
+      return;
+    }
+    for (std::uint32_t id = chain->head; id != kNil; id = pool_[id].next) {
+      fn(pool_[id].thread);
+    }
+  }
+
+  /// Visit `page`'s waiters in registration order, then drop the entry
+  /// (nodes return to the pool). Returns whether the page had waiters.
+  template <typename Fn>
+  bool take(GlobalPage page, Fn&& fn) {
+    const Chain* chain = chains_.find(page);
+    if (chain == nullptr) {
+      return false;
+    }
+    std::uint32_t id = chain->head;
+    chains_.erase(page);
+    while (id != kNil) {
+      const Node node = pool_[id];
+      pool_.release(id);
+      fn(node.thread);
+      id = node.next;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  struct Node {
+    ThreadId thread;
+    std::uint32_t next;
+  };
+  struct Chain {
+    std::uint32_t head;
+    std::uint32_t tail;
+  };
+
+  FlatMap<Chain> chains_;
+  IndexPool<Node> pool_;
+};
+
+}  // namespace hbmsim

@@ -31,6 +31,18 @@ class FlatMap {
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 
+  /// Slots in the backing array (tests; growth/reuse assertions).
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Ensure `n` entries fit without a rehash. clear() keeps the backing
+  /// array, so reserve-once tables never allocate again in steady state.
+  void reserve(std::size_t n) {
+    const std::size_t needed = std::bit_ceil(std::max<std::size_t>(n * 2, 16));
+    if (needed > capacity_) {
+      rehash(needed);
+    }
+  }
+
   /// Pointer to the value for `key`, or nullptr.
   [[nodiscard]] const Value* find(std::uint64_t key) const noexcept {
     std::size_t i = probe_start(key);
@@ -165,6 +177,10 @@ class FlatSet {
 
   [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
   [[nodiscard]] bool empty() const noexcept { return map_.empty(); }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return map_.capacity();
+  }
+  void reserve(std::size_t n) { map_.reserve(n); }
   [[nodiscard]] bool contains(std::uint64_t key) const noexcept {
     return map_.contains(key);
   }
@@ -181,6 +197,140 @@ class FlatSet {
 
  private:
   FlatMap<std::uint8_t> map_;
+};
+
+/// Bitmap: a fixed-width bit set with O(words) lowest-set-bit scan.
+/// The bucketed priority queue keeps one bit per rank, so pop() finds the
+/// best non-empty rank with a single countr_zero for p <= 64 threads.
+class Bitmap {
+ public:
+  static constexpr std::size_t npos = ~std::size_t{0};
+
+  explicit Bitmap(std::size_t bits = 0) { resize(bits); }
+
+  /// Resize to `bits` bits, all cleared.
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+  }
+
+  [[nodiscard]] std::size_t bits() const noexcept { return bits_; }
+
+  void set(std::size_t i) noexcept {
+    HBMSIM_ASSERT(i < bits_, "bitmap index out of range");
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  void clear(std::size_t i) noexcept {
+    HBMSIM_ASSERT(i < bits_, "bitmap index out of range");
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  void clear_all() noexcept {
+    std::fill(words_.begin(), words_.end(), std::uint64_t{0});
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    HBMSIM_ASSERT(i < bits_, "bitmap index out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  [[nodiscard]] bool any() const noexcept {
+    for (const std::uint64_t w : words_) {
+      if (w != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Index of the lowest set bit at or after `from`, or npos when none
+  /// is set there. Callers that know a lower bound (e.g. a monotone
+  /// min-rank hint) pass it to skip the guaranteed-empty prefix words.
+  [[nodiscard]] std::size_t find_first(std::size_t from = 0) const noexcept {
+    std::size_t w = from >> 6;
+    if (w >= words_.size()) {
+      return npos;
+    }
+    std::uint64_t word = words_[w] & (~std::uint64_t{0} << (from & 63));
+    while (true) {
+      if (word != 0) {
+        return w * 64 + static_cast<std::size_t>(std::countr_zero(word));
+      }
+      if (++w == words_.size()) {
+        return npos;
+      }
+      word = words_[w];
+    }
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// IndexPool: a slab of T addressed by 32-bit handles with a LIFO
+/// freelist. Intrusive linked structures (the arbitration queues, the
+/// waiter chains) store handles instead of pointers: half the size, no
+/// per-node allocation, and release/acquire never touch the allocator
+/// once the slab has grown to the high-water mark.
+template <typename T>
+class IndexPool {
+ public:
+  /// Null handle, shared by every intrusive structure built on a pool.
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  explicit IndexPool(std::size_t capacity_hint = 0) { reserve(capacity_hint); }
+
+  void reserve(std::size_t n) {
+    slots_.reserve(n);
+    free_.reserve(n);
+  }
+
+  /// Handle to a slot whose contents are unspecified (reused or fresh).
+  [[nodiscard]] std::uint32_t acquire() {
+    if (!free_.empty()) {
+      const std::uint32_t id = free_.back();
+      free_.pop_back();
+      return id;
+    }
+    slots_.emplace_back();
+    // Keep the freelist's capacity >= the slab's so release() can never
+    // allocate, even after geometric growth.
+    if (free_.capacity() < slots_.size()) {
+      free_.reserve(slots_.capacity());
+    }
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  void release(std::uint32_t id) noexcept {
+    HBMSIM_ASSERT(id < slots_.size(), "pool handle out of range");
+    free_.push_back(id);
+  }
+
+  [[nodiscard]] T& operator[](std::uint32_t id) noexcept {
+    HBMSIM_ASSERT(id < slots_.size(), "pool handle out of range");
+    return slots_[id];
+  }
+
+  [[nodiscard]] const T& operator[](std::uint32_t id) const noexcept {
+    HBMSIM_ASSERT(id < slots_.size(), "pool handle out of range");
+    return slots_[id];
+  }
+
+  /// Slots ever allocated (the high-water mark of live handles).
+  [[nodiscard]] std::size_t allocated() const noexcept {
+    return slots_.size();
+  }
+
+  /// Handles currently acquired.
+  [[nodiscard]] std::size_t live() const noexcept {
+    return slots_.size() - free_.size();
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::vector<std::uint32_t> free_;
 };
 
 }  // namespace hbmsim

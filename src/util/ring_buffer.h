@@ -1,0 +1,95 @@
+// RingBuffer: a power-of-two circular FIFO over contiguous storage.
+//
+// Replaces std::deque on the simulator's tick hot path (the in-flight
+// transfer queue, the FIFO arbiter): std::deque allocates a new block
+// every few hundred entries forever, while a ring sized once from
+// SimConfig never allocates again in steady state. Indexed access from
+// the front is provided for the invariant checker's ordered walks.
+//
+// Not a general container: elements are trivially copyable; growth
+// copies the live range out in FIFO order (amortised O(1) push_back).
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <vector>
+
+#include "util/error.h"
+
+namespace hbmsim {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity_hint = 0) {
+    if (capacity_hint > 0) {
+      grow(std::bit_ceil(capacity_hint));
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+
+  /// Ensure room for `n` elements without further allocation.
+  void reserve(std::size_t n) {
+    if (n > buf_.size()) {
+      grow(std::bit_ceil(n));
+    }
+  }
+
+  void push_back(const T& value) {
+    if (size_ == buf_.size()) {
+      grow(buf_.empty() ? kMinCapacity : buf_.size() * 2);
+    }
+    buf_[(head_ + size_) & mask_] = value;
+    ++size_;
+  }
+
+  [[nodiscard]] const T& front() const noexcept {
+    HBMSIM_ASSERT(size_ > 0, "front() on empty ring");
+    return buf_[head_];
+  }
+
+  [[nodiscard]] const T& back() const noexcept {
+    HBMSIM_ASSERT(size_ > 0, "back() on empty ring");
+    return buf_[(head_ + size_ - 1) & mask_];
+  }
+
+  void pop_front() noexcept {
+    HBMSIM_ASSERT(size_ > 0, "pop_front() on empty ring");
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  /// i-th element from the front (0 == front()).
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    HBMSIM_ASSERT(i < size_, "ring index out of range");
+    return buf_[(head_ + i) & mask_];
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+
+  void grow(std::size_t new_capacity) {
+    std::vector<T> next(new_capacity);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = buf_[(head_ + i) & mask_];
+    }
+    buf_ = std::move(next);
+    mask_ = buf_.size() - 1;
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace hbmsim

@@ -1,12 +1,17 @@
 // Unit tests for far-channel arbitration policies: FIFO order, Priority
-// order with remaps, and Random selection.
+// order with remaps, and Random selection — plus differential fuzzing of
+// the bucketed/pooled structures against the reference implementations
+// they replaced (check/shadow_arbiter.h).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <optional>
 #include <set>
 #include <vector>
 
+#include "check/shadow_arbiter.h"
 #include "core/arbitration.h"
+#include "util/rng.h"
 
 namespace hbmsim {
 namespace {
@@ -251,6 +256,121 @@ TEST(Arbiter, FrFcfsSnapshotPreservesArrivalOrder) {
   EXPECT_EQ(snap[0].thread, 0u);
   EXPECT_EQ(snap[1].thread, 1u);
 }
+
+// --- FR-FCFS fallback order: the row miss must serve the oldest overall
+
+TEST(FrFcfs, FallbackIsOldestOverallWithInterleavedRows) {
+  // Three threads interleave enqueues, so every thread's row chain is
+  // scattered through the arrival order. Whenever the open row has no
+  // queued request left, the pop must fall back to the globally oldest
+  // request — exact arrival order, not per-row or per-thread order.
+  auto q = ArbitrationPolicy::make(ArbitrationKind::kFrFcfs, nullptr, 1, 1, 4);
+  // Arrival order: t0p0, t1p0, t2p0, t0p4, t1p4, t2p4 — each thread's
+  // second page is in a *different* row than its first (4 pages/row), so
+  // no pop after the first ever finds a row hit.
+  for (LocalPage p : {LocalPage{0}, LocalPage{4}}) {
+    for (ThreadId t = 0; t < 3; ++t) {
+      q->enqueue(QueuedRequest{make_global_page(t, p), t, p});
+    }
+  }
+  // Every pop is a fallback (the open row's only request was just
+  // served), so the full drain replays arrival order exactly.
+  std::vector<std::pair<ThreadId, LocalPage>> order;
+  while (auto r = q->pop(0)) {
+    order.emplace_back(r->thread, page_local(r->page));
+  }
+  const std::vector<std::pair<ThreadId, LocalPage>> expected = {
+      {0, 0}, {1, 0}, {2, 0}, {0, 4}, {1, 4}, {2, 4}};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(PriorityArbiter, SnapshotStaysArrivalOrderedAcrossRemap) {
+  PriorityMap pm(4, RemapScheme::kCycle, 1);
+  auto q = ArbitrationPolicy::make(ArbitrationKind::kPriority, &pm, 1);
+  q->enqueue(req(2, 0));
+  q->enqueue(req(0, 1));
+  q->enqueue(req(3, 2));
+  pm.remap();
+  q->on_priorities_changed();
+  // The remap rebuilds the rank buckets but must not disturb the
+  // arrival list the checker snapshots.
+  const auto snap = q->snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].thread, 2u);
+  EXPECT_EQ(snap[1].thread, 0u);
+  EXPECT_EQ(snap[2].thread, 3u);
+}
+
+// --- Differential fuzz: production structures vs reference spec -------
+
+struct FuzzCase {
+  ArbitrationKind kind;
+  bool remaps;  // drive PriorityMap remaps through the run
+};
+
+class ArbiterFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(ArbiterFuzz, MatchesReferenceUnderRandomOps) {
+  const FuzzCase fc = GetParam();
+  constexpr std::uint32_t kThreads = 24;
+  constexpr std::uint32_t kChannels = 2;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    PriorityMap pm(kThreads, fc.remaps ? RemapScheme::kDynamic
+                                       : RemapScheme::kNone, seed);
+    const PriorityMap* priorities =
+        fc.kind == ArbitrationKind::kPriority ? &pm : nullptr;
+    auto fast = ArbitrationPolicy::make(fc.kind, priorities, seed, kChannels,
+                                        /*row_pages=*/4,
+                                        /*expected_requests=*/kThreads);
+    auto ref = check::make_reference_arbiter(fc.kind, priorities, seed,
+                                             kChannels, /*row_pages=*/4);
+    Xoshiro256StarStar rng(seed * 977);
+    Tick tick = 0;
+    for (int op = 0; op < 2000; ++op) {
+      const std::uint64_t r = rng();
+      if (r % 100 < 55) {
+        const auto t = static_cast<ThreadId>(r / 100 % kThreads);
+        const auto page = static_cast<LocalPage>(r / 10'000 % 64);
+        const QueuedRequest request{make_global_page(t, page), t, tick++};
+        fast->enqueue(request);
+        ref->enqueue(request);
+      } else if (fc.remaps && r % 100 >= 95) {
+        pm.remap();
+        fast->on_priorities_changed();
+        ref->on_priorities_changed();
+      } else {
+        const auto channel = static_cast<std::uint32_t>(r / 100 % kChannels);
+        const auto got = fast->pop(channel);
+        const auto want = ref->pop(channel);
+        ASSERT_EQ(got.has_value(), want.has_value()) << "op " << op;
+        if (got) {
+          ASSERT_EQ(*got, *want) << "op " << op << " seed " << seed;
+        }
+      }
+      ASSERT_EQ(fast->size(), ref->size()) << "op " << op;
+    }
+    // Drain: the remaining contents must agree to the last request.
+    while (auto want = ref->pop(0)) {
+      const auto got = fast->pop(0);
+      ASSERT_TRUE(got.has_value());
+      EXPECT_EQ(*got, *want);
+    }
+    EXPECT_TRUE(fast->empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ArbiterFuzz,
+    ::testing::Values(FuzzCase{ArbitrationKind::kFifo, false},
+                      FuzzCase{ArbitrationKind::kPriority, false},
+                      FuzzCase{ArbitrationKind::kPriority, true},
+                      FuzzCase{ArbitrationKind::kRandom, false},
+                      FuzzCase{ArbitrationKind::kFrFcfs, false}),
+    [](const ::testing::TestParamInfo<FuzzCase>& fuzz_info) {
+      std::string name = to_string(fuzz_info.param.kind);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name + (fuzz_info.param.remaps ? "_remapping" : "");
+    });
 
 TEST(Arbiter, RequestsCarryTheirPayload) {
   auto q = ArbitrationPolicy::make(ArbitrationKind::kFifo, nullptr, 1);

@@ -15,6 +15,7 @@
 #include "assoc/direct_mapped.h"
 #include "check/check.h"
 #include "check/invariant_checker.h"
+#include "check/shadow_arbiter.h"
 #include "check/shadow_cache.h"
 #include "core/hbm_cache.h"
 #include "core/simulator.h"
@@ -421,6 +422,134 @@ TEST(Paranoid, InvariantErrorMessagesCarryContext) {
     EXPECT_NE(what.find("1 == 2"), std::string::npos);
     EXPECT_NE(what.find("k=16 q=2"), std::string::npos);
     EXPECT_NE(what.find("check_test.cc"), std::string::npos);
+  }
+}
+
+// --- ShadowedArbiter: the bucketed queues against their reference spec --
+
+TEST(ShadowedArbiter, AgreeingImplementationsPassEveryCheck) {
+  PriorityMap pm(8, RemapScheme::kDynamic, 3);
+  check::ShadowedArbiter shadowed(
+      ArbitrationPolicy::make(ArbitrationKind::kPriority, &pm, 3, 1, 4, 8),
+      check::make_reference_arbiter(ArbitrationKind::kPriority, &pm, 3));
+  for (ThreadId t = 0; t < 8; ++t) {
+    shadowed.enqueue(QueuedRequest{make_global_page(t, 0), t, t});
+  }
+  pm.remap();
+  shadowed.on_priorities_changed();
+  std::size_t popped = 0;
+  while (shadowed.pop(0)) {
+    ++popped;  // every pop cross-checked against the reference
+  }
+  EXPECT_EQ(popped, 8u);
+}
+
+namespace {
+/// Deliberately wrong "FIFO": pops newest-first. Sizes and snapshots
+/// agree with the reference, so only the pop cross-check can see it.
+class LifoImpostor final : public ArbitrationPolicy {
+ public:
+  void enqueue(const QueuedRequest& request) override {
+    stack_.push_back(request);
+  }
+  std::optional<QueuedRequest> pop(std::uint32_t) override {
+    if (stack_.empty()) {
+      return std::nullopt;
+    }
+    const QueuedRequest r = stack_.back();
+    stack_.pop_back();
+    return r;
+  }
+  [[nodiscard]] std::size_t size() const override { return stack_.size(); }
+  [[nodiscard]] std::vector<QueuedRequest> snapshot() const override {
+    return stack_;
+  }
+
+ private:
+  std::vector<QueuedRequest> stack_;
+};
+
+/// Drops every other request: the size cross-check must fire on enqueue.
+class LossyArbiter final : public ArbitrationPolicy {
+ public:
+  void enqueue(const QueuedRequest& request) override {
+    if (keep_ = !keep_; keep_) {
+      queue_.push_back(request);
+    }
+  }
+  std::optional<QueuedRequest> pop(std::uint32_t) override {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    const QueuedRequest r = queue_.front();
+    queue_.erase(queue_.begin());
+    return r;
+  }
+  [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+  [[nodiscard]] std::vector<QueuedRequest> snapshot() const override {
+    return queue_;
+  }
+
+ private:
+  std::vector<QueuedRequest> queue_;
+  bool keep_ = true;  // flipped before use: the FIRST request is dropped
+};
+}  // namespace
+
+TEST(ShadowedArbiterNegative, WrongPopOrderIsCaught) {
+  check::ShadowedArbiter shadowed(
+      std::make_unique<LifoImpostor>(),
+      check::make_reference_arbiter(ArbitrationKind::kFifo, nullptr, 1));
+  shadowed.enqueue(QueuedRequest{make_global_page(0, 0), 0, 0});
+  shadowed.enqueue(QueuedRequest{make_global_page(1, 0), 1, 1});
+  EXPECT_THROW((void)shadowed.pop(0), InvariantError)
+      << "LIFO pop against the FIFO spec must diverge on the first pop";
+}
+
+TEST(ShadowedArbiterNegative, DroppedRequestIsCaughtAtEnqueue) {
+  check::ShadowedArbiter shadowed(
+      std::make_unique<LossyArbiter>(),
+      check::make_reference_arbiter(ArbitrationKind::kFifo, nullptr, 1));
+  EXPECT_THROW(
+      shadowed.enqueue(QueuedRequest{make_global_page(0, 0), 0, 0}),
+      InvariantError)
+      << "a dropped request shows up as a size mismatch immediately";
+}
+
+TEST(ShadowedArbiter, SimulatorShadowModeMatchesFastInAnyBuild) {
+  // arbiter_impl = kShadow works in Release too (HBMSIM_INVARIANT is
+  // always compiled) — unlike paranoid, which needs a checked build.
+  const Workload w = small_workload();
+  SimConfig fast = SimConfig::priority(/*k=*/24, /*q=*/2);
+  SimConfig shadowed = fast;
+  shadowed.arbiter_impl = ArbiterImpl::kShadow;
+  const RunMetrics a = simulate(w, fast);
+  const RunMetrics b = simulate(w, shadowed);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.misses, b.misses);
+  EXPECT_EQ(a.fetches, b.fetches);
+  EXPECT_EQ(a.evictions, b.evictions);
+  EXPECT_DOUBLE_EQ(a.response.mean(), b.response.mean());
+}
+
+TEST(ShadowedArbiter, ReferenceImplMatchesFastEndToEnd) {
+  // Running the whole simulation on the reference structures must be
+  // bit-identical to the production structures.
+  const Workload w = small_workload();
+  for (const ArbitrationKind kind :
+       {ArbitrationKind::kFifo, ArbitrationKind::kPriority,
+        ArbitrationKind::kRandom, ArbitrationKind::kFrFcfs}) {
+    SimConfig fast = SimConfig::fifo(/*k=*/24, /*q=*/2);
+    fast.arbitration = kind;
+    SimConfig reference = fast;
+    reference.arbiter_impl = ArbiterImpl::kReference;
+    const RunMetrics a = simulate(w, fast);
+    const RunMetrics b = simulate(w, reference);
+    EXPECT_EQ(a.makespan, b.makespan) << to_string(kind);
+    EXPECT_EQ(a.hits, b.hits) << to_string(kind);
+    EXPECT_EQ(a.misses, b.misses) << to_string(kind);
+    EXPECT_DOUBLE_EQ(a.response.mean(), b.response.mean()) << to_string(kind);
   }
 }
 

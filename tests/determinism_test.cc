@@ -92,42 +92,52 @@ TEST(Determinism, RepeatRunsAreBitIdentical) {
 // here exactly like any other determinism break. Note the fingerprint
 // deliberately excludes skipped_ticks, the one engine-dependent field.
 
-std::uint64_t run_fifo_baseline(EngineKind engine) {
+std::uint64_t run_fifo_baseline(EngineKind engine,
+                               ArbiterImpl impl = ArbiterImpl::kFast) {
   SimConfig config = SimConfig::fifo(64, 2);
   config.engine = engine;
+  config.arbiter_impl = impl;
   return fingerprint(
       simulate(workload(workloads::SyntheticKind::kZipf, 4), config));
 }
 
-std::uint64_t run_dynamic_priority_remap(EngineKind engine) {
+std::uint64_t run_dynamic_priority_remap(EngineKind engine,
+                                        ArbiterImpl impl = ArbiterImpl::kFast) {
   SimConfig config =
       SimConfig::dynamic_priority(/*k=*/64, /*t_mult=*/2.0, /*q=*/2, /*seed=*/5);
   config.engine = engine;
+  config.arbiter_impl = impl;
   return fingerprint(simulate(workload(workloads::SyntheticKind::kUniform, 6), config));
 }
 
-std::uint64_t run_shared_pages_piggyback(EngineKind engine) {
+std::uint64_t run_shared_pages_piggyback(EngineKind engine,
+                                        ArbiterImpl impl = ArbiterImpl::kFast) {
   SimConfig config = SimConfig::priority(/*k=*/48, /*q=*/3);
   config.shared_pages = true;
   config.fetch_ticks = 3;
   config.engine = engine;
+  config.arbiter_impl = impl;
   return fingerprint(simulate(workload(workloads::SyntheticKind::kZipf, 8), config));
 }
 
-std::uint64_t run_frfcfs_hashed_channels(EngineKind engine) {
+std::uint64_t run_frfcfs_hashed_channels(EngineKind engine,
+                                        ArbiterImpl impl = ArbiterImpl::kFast) {
   SimConfig config = SimConfig::fifo(/*k=*/64, /*q=*/4);
   config.arbitration = ArbitrationKind::kFrFcfs;
   config.channel_binding = ChannelBinding::kHashed;
   config.row_pages = 8;
   config.engine = engine;
+  config.arbiter_impl = impl;
   return fingerprint(simulate(workload(workloads::SyntheticKind::kStrided, 4), config));
 }
 
-std::uint64_t run_random_arbitration_seeded(EngineKind engine) {
+std::uint64_t run_random_arbitration_seeded(EngineKind engine,
+                                           ArbiterImpl impl = ArbiterImpl::kFast) {
   SimConfig config = SimConfig::fifo(/*k=*/32, /*q=*/2);
   config.arbitration = ArbitrationKind::kRandom;
   config.seed = 11;
   config.engine = engine;
+  config.arbiter_impl = impl;
   return fingerprint(simulate(workload(workloads::SyntheticKind::kUniform, 4), config));
 }
 
@@ -162,6 +172,27 @@ TEST(Determinism, RandomArbitrationSeededMatchesGolden) {
             7184237674189686650ULL);
   EXPECT_EQ(run_random_arbitration_seeded(EngineKind::kFast),
             7184237674189686650ULL);
+}
+
+TEST(Determinism, GoldensHoldUnderReferenceAndShadowArbiters) {
+  // The arbitration rewrite (bucketed queues, pooled nodes — DESIGN.md
+  // §3d) must be observationally invisible: the reference structures it
+  // replaced and the lock-step shadow wrapper land on the very same
+  // pinned fingerprints.
+  for (const ArbiterImpl impl : {ArbiterImpl::kReference,
+                                 ArbiterImpl::kShadow}) {
+    SCOPED_TRACE(to_string(impl));
+    EXPECT_EQ(run_fifo_baseline(EngineKind::kTick, impl),
+              5478838069903108940ULL);
+    EXPECT_EQ(run_dynamic_priority_remap(EngineKind::kTick, impl),
+              11901694040812187088ULL);
+    EXPECT_EQ(run_shared_pages_piggyback(EngineKind::kFast, impl),
+              16191620588421519683ULL);
+    EXPECT_EQ(run_frfcfs_hashed_channels(EngineKind::kFast, impl),
+              3295483707807617535ULL);
+    EXPECT_EQ(run_random_arbitration_seeded(EngineKind::kTick, impl),
+              7184237674189686650ULL);
+  }
 }
 
 // --- Fast-forward golden: long transfers over hashed channels ----------

@@ -161,5 +161,151 @@ TEST(FlatSet, GrowsPastInitialCapacity) {
   EXPECT_EQ(visited, 1000u);
 }
 
+// --- Steady-state storage contracts (the hot path relies on these) ------
+
+TEST(FlatMap, EraseHeavyChurnMatchesUnorderedMapThroughGrowth) {
+  // Interleave erases with the inserts that force rehashes, so deletions
+  // land both before and after each growth step (backward-shift deletion
+  // must survive table migration).
+  FlatMap<std::uint64_t> flat(2);
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Xoshiro256StarStar rng(77);
+  for (std::uint64_t wave = 0; wave < 50; ++wave) {
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      const std::uint64_t key = wave * 64 + i;
+      flat.insert(key, key * 3);
+      ref[key] = key * 3;
+      if (i % 2 == 0) {  // erase half of each wave as it grows
+        const std::uint64_t victim = rng.uniform(key + 1);
+        ASSERT_EQ(flat.erase(victim), ref.erase(victim) > 0);
+      }
+    }
+    ASSERT_EQ(flat.size(), ref.size()) << "wave " << wave;
+  }
+  for (const auto& [key, value] : ref) {
+    const std::uint64_t* v = flat.find(key);
+    ASSERT_NE(v, nullptr) << "key " << key;
+    EXPECT_EQ(*v, value);
+  }
+}
+
+TEST(FlatMap, ReserveThenClearReusesCapacity) {
+  FlatMap<std::uint64_t> map;
+  map.reserve(1000);
+  const std::size_t reserved = map.capacity();
+  EXPECT_GE(reserved, 2000u) << "reserve must keep the load factor sane";
+  for (int round = 0; round < 10; ++round) {
+    for (std::uint64_t k = 0; k < 1000; ++k) {
+      map.insert(k, k);
+    }
+    EXPECT_EQ(map.capacity(), reserved)
+        << "inserting within the reservation must not rehash";
+    map.clear();
+    EXPECT_EQ(map.capacity(), reserved) << "clear() must keep the storage";
+  }
+}
+
+TEST(FlatMap, ChurnWithinReservationKeepsCapacityBounded) {
+  // Backward-shift deletion leaves no tombstones, so erase/insert cycles
+  // over a bounded key population must never grow the table.
+  FlatMap<std::uint64_t> map;
+  map.reserve(256);
+  const std::size_t reserved = map.capacity();
+  Xoshiro256StarStar rng(1234);
+  for (int op = 0; op < 100'000; ++op) {
+    const std::uint64_t key = rng.uniform(256);
+    if (rng.uniform(2) == 0) {
+      map.insert(key, key);
+    } else {
+      map.erase(key);
+    }
+  }
+  EXPECT_EQ(map.capacity(), reserved)
+      << "churn over <= 256 live keys must not rehash a 256-reserved table";
+}
+
+// --- Bitmap (rank occupancy for the bucketed priority queue) ------------
+
+TEST(Bitmap, SetClearTestFindFirst) {
+  Bitmap b(130);  // spans three 64-bit words
+  EXPECT_FALSE(b.any());
+  EXPECT_EQ(b.find_first(), Bitmap::npos);
+  b.set(129);
+  b.set(64);
+  b.set(3);
+  EXPECT_TRUE(b.any());
+  EXPECT_EQ(b.find_first(), 3u);
+  b.clear(3);
+  EXPECT_EQ(b.find_first(), 64u) << "find_first must cross word boundaries";
+  b.clear(64);
+  EXPECT_EQ(b.find_first(), 129u);
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(0));
+  b.clear_all();
+  EXPECT_FALSE(b.any());
+  EXPECT_EQ(b.find_first(), Bitmap::npos);
+}
+
+TEST(Bitmap, FindFirstFromSkipsTheExcludedPrefix) {
+  Bitmap b(200);
+  b.set(5);
+  b.set(70);
+  b.set(131);
+  EXPECT_EQ(b.find_first(0), 5u);
+  EXPECT_EQ(b.find_first(5), 5u) << "`from` is inclusive";
+  EXPECT_EQ(b.find_first(6), 70u) << "skips a set bit below `from`";
+  EXPECT_EQ(b.find_first(64), 70u) << "exact word boundary";
+  EXPECT_EQ(b.find_first(71), 131u);
+  EXPECT_EQ(b.find_first(131), 131u);
+  EXPECT_EQ(b.find_first(132), Bitmap::npos);
+  EXPECT_EQ(b.find_first(199), Bitmap::npos);
+  EXPECT_EQ(b.find_first(5000), Bitmap::npos) << "past-the-end is not an error";
+}
+
+TEST(Bitmap, ResizeClearsAllBits) {
+  Bitmap b(10);
+  b.set(9);
+  b.resize(100);
+  EXPECT_FALSE(b.any());
+  b.set(99);
+  EXPECT_EQ(b.find_first(), 99u);
+}
+
+// --- IndexPool (pooled nodes for the intrusive queues) -------------------
+
+TEST(IndexPool, AcquireReleaseRecyclesSlots) {
+  IndexPool<int> pool;
+  const std::uint32_t a = pool.acquire();
+  const std::uint32_t b = pool.acquire();
+  EXPECT_NE(a, b);
+  pool[a] = 10;
+  pool[b] = 20;
+  EXPECT_EQ(pool.live(), 2u);
+  pool.release(a);
+  EXPECT_EQ(pool.live(), 1u);
+  const std::uint32_t c = pool.acquire();
+  EXPECT_EQ(c, a) << "LIFO freelist reuses the hottest slot";
+  EXPECT_EQ(pool.allocated(), 2u) << "no new slot while the freelist holds one";
+  EXPECT_EQ(pool[b], 20);
+}
+
+TEST(IndexPool, ReservationBoundsTheSlabUnderChurn) {
+  IndexPool<std::uint64_t> pool(64);
+  std::vector<std::uint32_t> held;
+  Xoshiro256StarStar rng(5);
+  for (int op = 0; op < 50'000; ++op) {
+    if (held.size() < 64 && (held.empty() || rng.uniform(2) == 0)) {
+      held.push_back(pool.acquire());
+    } else {
+      const std::size_t pick = rng.uniform(held.size());
+      pool.release(held[pick]);
+      held[pick] = held.back();
+      held.pop_back();
+    }
+  }
+  EXPECT_LE(pool.allocated(), 64u)
+      << "<= 64 concurrent handles must never outgrow the 64-slot reserve";
+}
+
 }  // namespace
 }  // namespace hbmsim

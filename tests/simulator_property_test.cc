@@ -611,6 +611,20 @@ TEST(EngineDifferential, RandomizedGridBitIdentical) {
     EXPECT_EQ(ref.idle_ticks, fast.idle_ticks);
     EXPECT_LE(fast.skipped_ticks, fast.idle_ticks);
     total_skipped += fast.skipped_ticks;
+
+    // The arbiter axis: the map/scan reference structures and the
+    // cross-checked shadow wrapper must land on the same fingerprint as
+    // the production bucketed structures (DESIGN.md §3d).
+    SimConfig ref_arb_cfg = cfg;
+    ref_arb_cfg.arbiter_impl = ArbiterImpl::kReference;
+    const RunMetrics ref_arb =
+        run_with_engine(w, ref_arb_cfg, EngineKind::kTick, direct_mapped);
+    EXPECT_EQ(engine_fingerprint(ref), engine_fingerprint(ref_arb));
+    SimConfig shadow_cfg = cfg;
+    shadow_cfg.arbiter_impl = ArbiterImpl::kShadow;
+    const RunMetrics shadow =
+        run_with_engine(w, shadow_cfg, EngineKind::kFast, direct_mapped);
+    EXPECT_EQ(engine_fingerprint(ref), engine_fingerprint(shadow));
   }
   // The grid must actually exercise the fast path, not vacuously agree.
   EXPECT_GT(total_skipped, 0u);

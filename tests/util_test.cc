@@ -10,6 +10,7 @@
 #include "util/env.h"
 #include "util/error.h"
 #include "util/format.h"
+#include "util/ring_buffer.h"
 #include "util/rng.h"
 
 namespace hbmsim {
@@ -220,6 +221,72 @@ TEST(Env, ScaleDefaultsToQuick) {
   ::setenv("HBMSIM_SCALE", "paper", 1);
   EXPECT_EQ(bench_scale(), BenchScale::kPaper);
   ::unsetenv("HBMSIM_SCALE");
+}
+
+// --- RingBuffer (the in-flight queue / FIFO arbiter backing store) ------
+
+TEST(RingBuffer, FifoOrderAcrossWraparound) {
+  RingBuffer<int> ring(4);  // tiny capacity forces head_ to wrap
+  int next_in = 0;
+  int next_out = 0;
+  for (int round = 0; round < 100; ++round) {
+    while (ring.size() < 3) {
+      ring.push_back(next_in++);
+    }
+    EXPECT_EQ(ring.front(), next_out);
+    EXPECT_EQ(ring.back(), next_in - 1);
+    ring.pop_front();
+    ++next_out;
+  }
+  EXPECT_EQ(ring.capacity(), 4u) << "bounded occupancy must never grow";
+}
+
+TEST(RingBuffer, GrowthPreservesOrderAndIndexing) {
+  RingBuffer<int> ring;  // no reservation: exercise geometric growth
+  // Stagger pushes and pops so the live range straddles the wrap point
+  // when growth strikes.
+  for (int i = 0; i < 10; ++i) {
+    ring.push_back(i);
+  }
+  for (int i = 0; i < 5; ++i) {
+    ring.pop_front();
+  }
+  for (int i = 10; i < 200; ++i) {
+    ring.push_back(i);
+  }
+  ASSERT_EQ(ring.size(), 195u);
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    EXPECT_EQ(ring[i], static_cast<int>(i) + 5) << "indexed from front";
+  }
+}
+
+TEST(RingBuffer, ReserveIsExactUpperBoundForSteadyState) {
+  RingBuffer<int> ring;
+  ring.reserve(100);
+  const std::size_t reserved = ring.capacity();
+  EXPECT_GE(reserved, 100u);
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      ring.push_back(i);
+    }
+    while (!ring.empty()) {
+      ring.pop_front();
+    }
+  }
+  EXPECT_EQ(ring.capacity(), reserved) << "within-reserve churn must not grow";
+}
+
+TEST(RingBuffer, ClearResetsButKeepsStorage) {
+  RingBuffer<int> ring(8);
+  for (int i = 0; i < 6; ++i) {
+    ring.push_back(i);
+  }
+  const std::size_t cap = ring.capacity();
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.capacity(), cap);
+  ring.push_back(42);
+  EXPECT_EQ(ring.front(), 42);
 }
 
 }  // namespace

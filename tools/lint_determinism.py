@@ -22,6 +22,18 @@ lint flags source patterns that historically break that contract:
      config must be fully specified; an uninitialized field means two
      "identical" runs can differ by stack garbage.
 
+  4. Heap allocation on the tick hot path. The arbitration structures
+     and the simulator tick loop run on pooled storage sized at
+     construction (DESIGN.md §3d); perf_simulator --arbiter-compare
+     proves the steady state performs zero allocations. This rule keeps
+     that property from regressing by textual review: inside
+     src/core/arbitration.cc (the whole file) and the tick functions of
+     src/core/simulator.cc it flags `new`, node-based container types
+     (std::map/set/list/deque/unordered_*), and container growth calls
+     (push_back/emplace_back/emplace). Growth into capacity reserved at
+     construction is fine — annotate the line (or the line above) with
+     the allowance comment stating the reservation that makes it safe.
+
 Covers src/, apps/, and bench/: the bench harnesses build workloads and
 configs (including the engine-compare equivalence driver, whose whole
 point is bit-identical metrics), so a nondeterministic seed there breaks
@@ -30,6 +42,7 @@ reproducibility just as surely as one in the simulator core.
 Suppress a deliberate exception with a trailing comment:
     for (auto& kv : stats_) {  // lint:allow-unordered-iteration
     auto seed = std::random_device{}();  // lint:allow-nondeterminism
+    out.push_back(t);  // lint:allow-hot-path-alloc — reserved to p
 
 Usage: tools/lint_determinism.py [--root DIR]
 Exits non-zero and prints findings if any rule fires.
@@ -47,6 +60,38 @@ SOURCE_GLOBS = ("src/**/*.h", "src/**/*.cc", "apps/**/*.cc", "apps/**/*.h",
 
 ALLOW_ITER = "lint:allow-unordered-iteration"
 ALLOW_RAND = "lint:allow-nondeterminism"
+ALLOW_ALLOC = "lint:allow-hot-path-alloc"
+
+# Rule 4: files (and, for the simulator, functions) that form the tick
+# hot path. arbitration.cc is hot in its entirety; simulator.cc mixes
+# one-time construction with the tick loop, so only the named tick
+# functions are in scope.
+HOT_PATH_FILE = "src/core/arbitration.cc"
+HOT_PATH_SIM = "src/core/simulator.cc"
+HOT_PATH_SIM_FUNCTIONS = {
+    "enqueue_miss", "do_remap", "serve", "issue_and_serve",
+    "fetch_from_dram", "resolve_waiters", "complete_arrivals",
+    "step", "step_tick", "fast_forward_idle", "serve_hit_run",
+}
+HOT_PATH_ALLOC = [
+    (re.compile(r"(?<![\w:])new\b"),
+     "operator new on the tick hot path: use a pooled structure "
+     "(util/flat_map.h IndexPool) sized at construction"),
+    (re.compile(r"\bstd::(?:multi)?(?:map|set)\s*<"),
+     "node-based std::map/std::set allocates per insert; use the bucketed "
+     "queue / FlatMap structures (DESIGN.md §3d)"),
+    (re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<"),
+     "std::unordered_* allocates per insert; use FlatMap/FlatSet over "
+     "reserved storage"),
+    (re.compile(r"\bstd::(?:deque|list|forward_list)\s*<"),
+     "std::deque/std::list allocate per node; use RingBuffer or an "
+     "intrusive chain over IndexPool"),
+    (re.compile(r"\.\s*(?:push_back|emplace_back|emplace)\s*\("),
+     "container growth on the tick hot path: reserve at construction and "
+     "annotate the line with the reservation that makes it safe"),
+]
+HOT_PATH_SIM_FN_RE = re.compile(
+    r"^[\w:<>,&*\s]*\bSimulator::(?P<name>\w+)\s*\(")
 
 # Rule 2 patterns -> human-readable reason.
 NONDETERMINISM = [
@@ -141,6 +186,52 @@ def lint_unordered_iteration(path: pathlib.Path,
     return findings
 
 
+def hot_path_lines(path: pathlib.Path, lines: list[str]) -> set[int]:
+    """1-based line numbers subject to the hot-path allocation rule."""
+    posix = path.as_posix()
+    if posix.endswith(HOT_PATH_FILE):
+        return set(range(1, len(lines) + 1))
+    if not posix.endswith(HOT_PATH_SIM):
+        return set()
+    # Track the brace extent of each tick-function definition.
+    hot: set[int] = set()
+    in_hot = False
+    depth = 0
+    for i, raw in enumerate(lines, 1):
+        line = strip_noise(raw)
+        if not in_hot:
+            m = HOT_PATH_SIM_FN_RE.match(line)
+            if m and m.group("name") in HOT_PATH_SIM_FUNCTIONS:
+                in_hot = True
+                depth = 0
+        if in_hot:
+            hot.add(i)
+            depth += line.count("{") - line.count("}")
+            if depth <= 0 and "}" in line:
+                in_hot = False
+    return hot
+
+
+def lint_hot_path_allocations(path: pathlib.Path,
+                              lines: list[str]) -> list[Finding]:
+    hot = hot_path_lines(path, lines)
+    if not hot:
+        return []
+    findings = []
+    for i, raw in enumerate(lines, 1):
+        if i not in hot:
+            continue
+        # The allowance may sit on the flagged line or the one above it
+        # (for lines that would overflow the column limit).
+        if ALLOW_ALLOC in raw or (i >= 2 and ALLOW_ALLOC in lines[i - 2]):
+            continue
+        line = strip_noise(raw)
+        for pattern, reason in HOT_PATH_ALLOC:
+            if pattern.search(line):
+                findings.append(Finding(path, i, reason))
+    return findings
+
+
 def lint_simconfig_initializers(root: pathlib.Path) -> list[Finding]:
     config = root / "src" / "core" / "config.h"
     if not config.exists():
@@ -196,6 +287,7 @@ def main() -> int:
         lines = path.read_text().splitlines()
         findings.extend(lint_nondeterminism(path, lines))
         findings.extend(lint_unordered_iteration(path, lines))
+        findings.extend(lint_hot_path_allocations(path, lines))
     findings.extend(lint_simconfig_initializers(root))
 
     for f in findings:
