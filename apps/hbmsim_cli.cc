@@ -5,6 +5,7 @@
 //   compare  run the paper's policy suite on one workload
 //   bounds   offline lower bounds and empirical competitive ratios
 //   analyze  stack-distance profile of workloads or trace files
+//   serve    open-system serving: streamed arrivals against an SLO
 //
 // Workload selection (all subcommands):
 //   --workload sort|quicksort|spgemm|dense|cyclic|uniform|zipf|stream
@@ -18,7 +19,14 @@
 //   --binding any|hashed --row-pages N --shared-pages --fetch-ticks N
 //   --engine tick|fast|auto   execution engine (default $HBMSIM_ENGINE or
 //                             auto; engines are bit-identical — see
-//                             DESIGN.md §3c)
+//                             DESIGN.md §3c; serve requires tick)
+//
+// Serving (serve; also takes the policy flags above):
+//   --tenants N --workers W   N tenant classes (priority class = index),
+//                             W closed-loop workers each
+//   --arrival poisson|onoff --rate R --on-ticks N --off-ticks N
+//   --duration T --max-ticks T --slo T --max-pending N
+//   --request-pages N --request-refs N --request-zipf S
 //
 // Output / execution (run, compare):
 //   --format text|csv|json   json streams one PointResult JSONL line per
@@ -34,6 +42,8 @@
 //       --threads 64 --k 4096
 //   hbmsim_cli bounds --workload spgemm --n 200 --threads 16 --k 660
 //   hbmsim_cli analyze --workload zipf --pages 4096 --length 200000
+//   hbmsim_cli serve --tenants 2 --workers 4 --arrival poisson --rate 0.05
+//       --duration 50000 --slo 64 --policy priority --k 256 --q 2
 #include <cstdint>
 #include <cstdio>
 #include <iostream>
@@ -46,6 +56,7 @@
 #include "exp/sweep.h"
 #include "exp/table.h"
 #include "opt/lower_bound.h"
+#include "serve/serving.h"
 #include "trace/analysis.h"
 #include "trace/trace_io.h"
 #include "util/args.h"
@@ -111,7 +122,7 @@ OutputOptions parse_output_options(const ArgParser& args) {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: hbmsim_cli <run|compare|bounds|analyze> [options]\n"
+      "usage: hbmsim_cli <run|compare|bounds|analyze|serve> [options]\n"
       "       see the header of apps/hbmsim_cli.cc or README.md for the\n"
       "       full option list\n");
   return 2;
@@ -173,10 +184,11 @@ Workload build_workload(const ArgParser& args) {
   return workloads::make_synthetic_workload(threads, opts);
 }
 
-SimConfig build_config(const ArgParser& args, const Workload& workload) {
+/// The machine-side flags (--k/--q/--policy/...), shared by every
+/// subcommand; workload-dependent validation happens in build_config.
+SimConfig build_machine_config(const ArgParser& args,
+                               std::uint64_t default_k) {
   SimConfig c;
-  const std::uint64_t default_k =
-      std::max<std::uint64_t>(8, workload.trace(0).unique_pages());
   c.hbm_slots = static_cast<std::uint64_t>(args.get_int("k", static_cast<std::int64_t>(default_k)));
   c.num_channels = static_cast<std::uint32_t>(args.get_int("q", 1));
   c.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
@@ -222,6 +234,13 @@ SimConfig build_config(const ArgParser& args, const Workload& workload) {
                                             : throw ConfigError(
                                                   "unknown binding '" + binding +
                                                   "'");
+  return c;
+}
+
+SimConfig build_config(const ArgParser& args, const Workload& workload) {
+  const std::uint64_t default_k =
+      std::max<std::uint64_t>(8, workload.trace(0).unique_pages());
+  SimConfig c = build_machine_config(args, default_k);
   // Reject inconsistent configurations here, with the CLI's own error
   // reporting, instead of deep inside the simulator.
   c.validate(static_cast<std::uint32_t>(workload.num_threads()));
@@ -381,6 +400,80 @@ int cmd_analyze(const ArgParser& args) {
   return 0;
 }
 
+int cmd_serve(const ArgParser& args) {
+  // Reject negatives before the unsigned casts below can wrap them into
+  // huge (and validation-passing) values.
+  for (const char* flag : {"tenants", "workers", "duration", "slo",
+                           "max-pending", "request-pages", "request-refs",
+                           "on-ticks", "off-ticks", "max-ticks"}) {
+    if (args.has(flag) && args.get_int(flag, 0) < 0) {
+      throw ConfigError("serve: --" + std::string(flag) +
+                        " must be non-negative");
+    }
+  }
+  const auto tenants = static_cast<std::size_t>(args.get_int("tenants", 2));
+  const auto workers = static_cast<std::uint32_t>(args.get_int("workers", 4));
+  const Tick duration = static_cast<Tick>(args.get_int("duration", 50'000));
+
+  serve::ArrivalSpec arrival;
+  arrival.kind = serve::parse_arrival(args.get("arrival", "poisson"));
+  if (arrival.kind == serve::ArrivalKind::kTrace) {
+    throw ConfigError(
+        "serve: --arrival trace needs a schedule and has no CLI surface yet; "
+        "use poisson or onoff");
+  }
+  arrival.rate = args.get_double("rate", 0.05);
+  arrival.on_ticks = static_cast<Tick>(args.get_int("on-ticks", 1000));
+  arrival.off_ticks = static_cast<Tick>(args.get_int("off-ticks", 1000));
+
+  serve::RequestShape shape;
+  shape.pages = static_cast<LocalPage>(args.get_int("request-pages", 256));
+  shape.refs = static_cast<std::uint32_t>(args.get_int("request-refs", 16));
+  shape.zipf_s = args.get_double("request-zipf", 0.0);
+
+  serve::ServingConfig cfg;
+  for (std::size_t i = 0; i < tenants; ++i) {
+    serve::TenantSpec t;
+    t.name = "tenant" + std::to_string(i);
+    t.workers = workers;
+    t.priority_class = static_cast<std::uint32_t>(i);
+    t.arrival = arrival;
+    t.shape = shape;
+    t.slo_ticks = static_cast<Tick>(args.get_int("slo", 64));
+    t.max_pending = static_cast<std::uint32_t>(args.get_int("max-pending", 64));
+    cfg.tenants.push_back(std::move(t));
+  }
+  cfg.duration = duration;
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  // Default machine: contended at half the per-worker footprints, and
+  // a generous drain window before truncation kicks in.
+  const std::uint64_t default_k = std::max<std::uint64_t>(
+      8, static_cast<std::uint64_t>(tenants) * workers * shape.pages / 2);
+  cfg.sim = build_machine_config(args, default_k);
+  cfg.sim.max_ticks =
+      static_cast<Tick>(args.get_int("max-ticks", static_cast<std::int64_t>(duration * 4)));
+  cfg.sim.open_system = true;
+  cfg.validate();
+
+  const OutputOptions out = parse_output_options(args);
+  if (out.format == Format::kCsv) {
+    throw ConfigError("serve: --format csv is not supported (text|json)");
+  }
+  args.reject_unknown();
+
+  const serve::ServingMetrics m = serve::serve(cfg);
+  if (out.format == Format::kJson) {
+    std::cout << serve::to_json(m) << "\n";
+  } else {
+    std::printf("policy:   %s | tenants %zu x %u workers | duration %llu\n\n",
+                cfg.sim.policy_name().c_str(), tenants, workers,
+                static_cast<unsigned long long>(duration));
+    std::printf("%s", m.summary().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -401,6 +494,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "analyze") {
       return cmd_analyze(args);
+    }
+    if (cmd == "serve") {
+      return cmd_serve(args);
     }
     return usage();
   } catch (const hbmsim::Error& e) {

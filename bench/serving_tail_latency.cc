@@ -1,0 +1,220 @@
+// Open-system serving: throughput–latency curves per arbitration policy
+// (ROADMAP item 3 — the production question behind the paper's §4
+// fairness results: which far-channel policy holds p99 under heavy mixed
+// traffic?).
+//
+// Two tenants share the machine: a latency-critical "interactive" tenant
+// (small cacheable working set, tight SLO, priority class 0) and a
+// throughput-oriented "batch" tenant (large thrashy working set, loose
+// SLO, priority class 1). The sweep crosses arbitration policy ×
+// arrival process (Poisson vs on-off bursty) × offered load ρ, where
+// ρ = 1 matches the machine's worst-case service capacity of q/refs
+// requests per tick. Each point reports aggregate p50/p99/p999 request
+// latency, the SLO-violation rate, and achieved throughput — the
+// throughput–latency curve, one row per operating point.
+//
+// Runs on the parallel experiment engine: --jobs N distributes points
+// across worker threads (results are bit-identical to --jobs 1, as every
+// serving run is a pure function of its ServingConfig); --format json
+// streams one JSONL PointResult per point, with the per-tenant serving
+// metrics spliced in as the "extra" field. The serving harness requires
+// the reference tick engine, so this binary pins it explicitly and the
+// --engine flag has no effect here.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "core/config.h"
+#include "exp/runner.h"
+#include "exp/table.h"
+#include "serve/serving.h"
+#include "stats/histogram.h"
+
+namespace {
+
+using namespace hbmsim;
+using namespace hbmsim::bench;
+
+struct ServingScales {
+  Tick duration;
+  std::uint64_t hbm_slots;
+  std::uint32_t num_channels;
+  std::uint32_t fetch_ticks;
+  std::uint32_t refs_per_request;
+};
+
+ServingScales serving_scales(const Scales& s) {
+  if (s.scale == BenchScale::kPaper) {
+    return ServingScales{/*duration=*/200'000, /*hbm_slots=*/1024,
+                         /*num_channels=*/2, /*fetch_ticks=*/2,
+                         /*refs_per_request=*/8};
+  }
+  return ServingScales{/*duration=*/30'000, /*hbm_slots=*/256,
+                       /*num_channels=*/2, /*fetch_ticks=*/2,
+                       /*refs_per_request=*/8};
+}
+
+SimConfig machine_for(const std::string& policy, const ServingScales& ss) {
+  SimConfig c = SimConfig::fifo(ss.hbm_slots, ss.num_channels);
+  if (policy == "priority") {
+    c = SimConfig::priority(ss.hbm_slots, ss.num_channels);
+  } else if (policy == "dynamic") {
+    c = SimConfig::dynamic_priority(ss.hbm_slots, 10.0, ss.num_channels);
+  } else if (policy == "fr-fcfs") {
+    c.arbitration = ArbitrationKind::kFrFcfs;
+  }
+  c.fetch_ticks = ss.fetch_ticks;
+  // The serving harness needs the reference tick engine (arrivals are
+  // events the fast engine cannot prove idle spans against); pin it so
+  // an inherited HBMSIM_ENGINE=fast cannot invalidate the sweep.
+  c.engine = EngineKind::kTick;
+  return c;
+}
+
+serve::ArrivalSpec arrival_for(serve::ArrivalKind kind, double mean_rate) {
+  serve::ArrivalSpec a;
+  a.kind = kind;
+  if (kind == serve::ArrivalKind::kOnOff) {
+    // Same mean load as the Poisson stream, delivered in bursts: on for
+    // 500 ticks at twice the rate, then silent for 500.
+    a.on_ticks = 500;
+    a.off_ticks = 500;
+    a.rate = mean_rate * 2.0;
+  } else {
+    a.rate = mean_rate;
+  }
+  return a;
+}
+
+/// The full experiment configuration for one operating point — a pure
+/// function of (policy, arrival kind, ρ), so every run is reproducible
+/// from the label alone.
+serve::ServingConfig serving_point(const std::string& policy,
+                                   serve::ArrivalKind kind, double rho,
+                                   const ServingScales& ss) {
+  // Worst-case capacity: q fetch slots per tick, refs fetches per
+  // request; ρ scales the total offered load against it, split evenly
+  // between the tenants.
+  const double capacity =
+      static_cast<double>(ss.num_channels) / ss.refs_per_request;
+  const double per_tenant_rate = rho * capacity / 2.0;
+
+  serve::TenantSpec interactive;
+  interactive.name = "interactive";
+  interactive.workers = 4;
+  interactive.priority_class = 0;
+  interactive.arrival = arrival_for(kind, per_tenant_rate);
+  interactive.shape = serve::RequestShape{/*pages=*/64,
+                                          /*refs=*/ss.refs_per_request,
+                                          /*zipf_s=*/0.9};
+  interactive.slo_ticks = 64;
+  interactive.max_pending = 32;
+
+  serve::TenantSpec batch;
+  batch.name = "batch";
+  batch.workers = 4;
+  batch.priority_class = 1;
+  batch.arrival = arrival_for(kind, per_tenant_rate);
+  batch.shape = serve::RequestShape{/*pages=*/512,
+                                    /*refs=*/ss.refs_per_request,
+                                    /*zipf_s=*/0.0};
+  batch.slo_ticks = 512;
+  batch.max_pending = 32;
+
+  serve::ServingConfig cfg;
+  cfg.tenants = {interactive, batch};
+  cfg.sim = machine_for(policy, ss);
+  cfg.sim.open_system = true;  // honest config echo; the harness forces it
+  cfg.sim.max_ticks = ss.duration * 2;  // bounded drain, then truncate
+  cfg.duration = ss.duration;
+  cfg.seed = 1;
+  return cfg;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions bo = parse_bench_options(argc, argv);
+  const Scales scales = current_scales();
+  const ServingScales ss = serving_scales(scales);
+  banner("Serving: open-system tail latency per arbitration policy", scales,
+         bo);
+
+  const std::vector<std::string> policies = {"fifo", "fr-fcfs", "priority",
+                                             "dynamic"};
+  const std::vector<serve::ArrivalKind> arrivals = {
+      serve::ArrivalKind::kPoisson, serve::ArrivalKind::kOnOff};
+  const std::vector<double> loads = {0.25, 0.5, 0.75, 1.0, 1.3};
+
+  std::vector<exp::ExpPoint> points;
+  std::vector<serve::ServingMetrics> outcomes;
+  for (const std::string& policy : policies) {
+    for (const serve::ArrivalKind kind : arrivals) {
+      for (const double rho : loads) {
+        const serve::ServingConfig cfg = serving_point(policy, kind, rho, ss);
+        exp::ExpPoint p;
+        p.label = "serve " + std::string(serve::to_string(kind)) +
+                  " rho=" + exp::json_double(rho) + " " + policy;
+        p.config = cfg.sim;
+        const std::size_t slot = outcomes.size();
+        // Worker threads write disjoint slots; run_points joins before
+        // the table below reads them.
+        p.execute = [cfg, slot, &outcomes](std::string& extra) {
+          serve::ServingSimulator sim(cfg);
+          const serve::ServingMetrics m = sim.run();
+          outcomes[slot] = m;
+          extra = serve::to_json(m);
+          return m.sim;
+        };
+        points.push_back(std::move(p));
+        outcomes.emplace_back();
+      }
+    }
+  }
+
+  const auto results = exp::run_points(points, bo.runner());
+
+  exp::Table table({"policy", "arrival", "rho", "offered_rpk", "tput_rpk",
+                    "p50", "p99", "p999", "slo_viol%", "rejected",
+                    "truncated"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const exp::PointResult& r = results[i];
+    if (!r.ok) {
+      continue;  // already reported in the JSONL stream
+    }
+    const serve::ServingMetrics& m = outcomes[i];
+    const std::size_t per_policy = arrivals.size() * loads.size();
+    const std::string& policy = policies[i / per_policy];
+    const serve::ArrivalKind kind = arrivals[(i / loads.size()) % arrivals.size()];
+    const double rho = loads[i % loads.size()];
+
+    LogHistogram latency;
+    std::uint64_t violations = 0;
+    std::uint64_t completed = 0;
+    for (const serve::TenantMetrics& t : m.per_tenant) {
+      latency.merge(t.latency_hist);
+      violations += t.slo_violations;
+      completed += t.completed;
+    }
+    const double capacity =
+        static_cast<double>(ss.num_channels) / ss.refs_per_request;
+    table.row() << policy << serve::to_string(kind) << rho
+                << rho * capacity * 1000.0 << m.throughput() * 1000.0
+                << latency.quantile(0.50) << latency.quantile(0.99)
+                << latency.quantile(0.999)
+                << (completed == 0
+                        ? 0.0
+                        : 100.0 * static_cast<double>(violations) /
+                              static_cast<double>(completed))
+                << m.total_rejected()
+                << std::uint64_t{m.sim.truncated ? 1 : 0};
+  }
+  bo.print(table);
+  note(bo,
+       "\nsummary: %zu operating points; under overload (rho > 1) priority "
+       "arbitration should hold the interactive tenant's p99 where FIFO "
+       "lets both tenants' tails grow together\n",
+       results.size());
+  return 0;
+}

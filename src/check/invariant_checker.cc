@@ -103,6 +103,18 @@ void audit_fast_forward(Tick from, Tick to, std::optional<Tick> next_serve_tick,
   }
 }
 
+void audit_arrival_conservation(std::uint64_t arrivals,
+                                std::uint64_t in_service,
+                                std::uint64_t pending, std::uint64_t completed,
+                                std::uint64_t rejected) {
+  HBMSIM_INVARIANT(
+      arrivals == in_service + pending + completed + rejected,
+      make_context("arrival conservation broken: ", arrivals,
+                   " arrivals != ", in_service, " in service + ", pending,
+                   " pending + ", completed, " completed + ", rejected,
+                   " rejected — a request was lost or double-counted"));
+}
+
 InvariantChecker::InvariantChecker(const Simulator& sim) : sim_(sim) {}
 
 void InvariantChecker::on_fast_forward(Tick from, Tick to) {
@@ -149,9 +161,12 @@ void InvariantChecker::audit_thread_states() {
   HBMSIM_INVARIANT(done == sim_.done_threads_,
                    make_context("done-thread counter ", sim_.done_threads_,
                                 " disagrees with ", done, " kDone states"));
+  // Open-system runs retire whole traces and reset next_ref on
+  // injection; the retired total keeps the ledger balanced.
   HBMSIM_INVARIANT(
-      served_refs == sim_.metrics_.response.count(),
-      make_context("reference conservation broken: ", served_refs,
+      sim_.retired_refs_ + served_refs == sim_.metrics_.response.count(),
+      make_context("reference conservation broken: ", sim_.retired_refs_,
+                   " retired + ", served_refs,
                    " refs served by threads but ",
                    sim_.metrics_.response.count(), " response samples"));
 

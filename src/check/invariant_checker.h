@@ -63,6 +63,14 @@ void audit_fast_forward(Tick from, Tick to, std::optional<Tick> next_serve_tick,
                         std::uint64_t remap_period, std::size_t runnable_cores,
                         std::size_t queued_requests);
 
+/// Open-system arrival conservation: every request a serving frontend has
+/// generated must be in exactly one state — being served by a worker,
+/// queued pending admission, completed, or rejected at admission.
+/// Throws InvariantError on violation.
+void audit_arrival_conservation(std::uint64_t arrivals,
+                                std::uint64_t in_service, std::uint64_t pending,
+                                std::uint64_t completed, std::uint64_t rejected);
+
 /// Whole-state audit hooks bound to a live Simulator (friend access).
 class InvariantChecker {
  public:

@@ -217,8 +217,18 @@ struct SimConfig {
   /// Collect per-thread metrics (on by default).
   bool per_thread_metrics = true;
 
-  /// Safety valve: abort if the simulation exceeds this many ticks.
+  /// Safety valve: cut the run off after this many ticks. Exceeding it is
+  /// not an error — the run stops and reports RunMetrics::truncated, so an
+  /// overloaded open-system run still yields its prefix metrics.
   std::uint64_t max_ticks = std::uint64_t{1} << 42;
+
+  /// Open-system serving mode (src/serve/): the Simulator accepts fresh
+  /// request traces on idle workers via inject_trace() and skips empty
+  /// spans via advance_idle(). Arrivals are external events the fast
+  /// engine's idle-span proofs cannot see, so the reference tick engine
+  /// is mandatory: kAuto resolves to kTick and an explicit kFast request
+  /// is rejected by validate().
+  bool open_system = false;
 
   /// Describe the first inconsistency in this configuration for a
   /// workload of `num_threads` cores; empty string when valid. The single
@@ -262,6 +272,11 @@ struct SimConfig {
     }
     if (max_ticks == 0) {
       return "max_ticks must be positive";
+    }
+    if (open_system && engine == EngineKind::kFast) {
+      return "open_system requires the reference tick engine (engine 'tick' "
+             "or 'auto'): injected arrivals are events the fast engine's "
+             "idle-span proofs cannot see";
     }
     return {};
   }

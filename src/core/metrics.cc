@@ -24,6 +24,10 @@ Tick RunMetrics::completion_spread() const noexcept {
 
 std::string RunMetrics::summary() const {
   std::ostringstream os;
+  if (truncated) {
+    os << "TRUNCATED at max_ticks — totals below cover the completed "
+          "prefix only\n";
+  }
   os << "makespan:        " << format_count(makespan) << " ticks\n"
      << "references:      " << format_count(total_refs) << " (hits "
      << format_count(hits) << ", misses " << format_count(misses) << ", hit rate "

@@ -55,6 +55,13 @@ struct RunMetrics {
   /// RunMetrics field excluded from cross-engine equivalence.
   std::uint64_t skipped_ticks = 0;
 
+  /// The run hit SimConfig::max_ticks before every thread finished and
+  /// was cut off gracefully (an overloaded serving run reports instead of
+  /// aborting). On a truncated run makespan reflects the last *completed*
+  /// thread only and the conservation laws checked by
+  /// InvariantChecker::after_run need not hold.
+  bool truncated = false;
+
   /// Response time w over all references of all threads (hits count as 1).
   StreamingStats response;
   /// Log₂-bucketed response-time distribution (tail behaviour).

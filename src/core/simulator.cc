@@ -113,9 +113,13 @@ Simulator::Simulator(const Workload& workload, const SimConfig& config,
   // single-thread workload creates batchable hit runs; in every other
   // regime the fast paths' guards never fire, so the reference engine is
   // chosen to keep step() branch-free.
-  fast_engine_ = config_.engine == EngineKind::kFast ||
-                 (config_.engine == EngineKind::kAuto &&
-                  (config_.fetch_ticks > 1 || p == 1));
+  // Open-system mode always takes the reference engine: arrivals are
+  // external events the fast paths' idle/hit-run proofs cannot see
+  // (validate() already rejected an explicit kFast request).
+  fast_engine_ = !config_.open_system &&
+                 (config_.engine == EngineKind::kFast ||
+                  (config_.engine == EngineKind::kAuto &&
+                   (config_.fetch_ticks > 1 || p == 1)));
 
   if (config_.paranoid) {
 #if HBMSIM_CHECKS_ENABLED
@@ -377,7 +381,12 @@ bool Simulator::step() {
 }
 
 bool Simulator::step_tick() {
-  HBMSIM_CHECK(tick_ < config_.max_ticks, "simulation exceeded max_ticks");
+  if (tick_ >= config_.max_ticks) {
+    // Overload safety valve: stop and report rather than abort, so an
+    // oversubscribed serving run still yields its prefix metrics.
+    metrics_.truncated = true;
+    return false;
+  }
   const bool arrivals_due =
       !in_flight_.empty() && in_flight_.front().serve_tick == tick_;
   if (arrivals_due) {
@@ -507,11 +516,52 @@ bool Simulator::serve_hit_run() {
   return served_any;
 }
 
+void Simulator::inject_trace(ThreadId t, std::shared_ptr<const Trace> trace) {
+  HBMSIM_CHECK(config_.open_system,
+               "inject_trace requires SimConfig::open_system");
+  HBMSIM_CHECK(t < threads_.size(), "inject_trace thread id out of range");
+  HBMSIM_CHECK(trace != nullptr && !trace->empty(),
+               "injected trace must be non-empty");
+  HBMSIM_CHECK(tick_ < config_.max_ticks,
+               "inject_trace on a run already at max_ticks");
+  ThreadContext& ctx = threads_[t];
+  HBMSIM_CHECK(ctx.state == ThreadState::kDone,
+               "inject_trace target must be an idle (done) worker");
+  // The finished trace's references stay counted: the conservation audit
+  // compares retired + in-progress refs against the response samples.
+  retired_refs_ += ctx.next_ref;
+  ctx.trace = std::move(trace);
+  ctx.next_ref = 0;
+  ctx.state = ThreadState::kIssuing;
+  --done_threads_;
+  // Keep the active list in canonical sorted order; the worker issues its
+  // first request at the tick about to execute.
+  const auto pos = std::lower_bound(active_now_.begin(), active_now_.end(), t);
+  HBMSIM_ASSERT(pos == active_now_.end() || *pos != t,
+                "injected worker already on the active list");
+  active_now_.insert(pos, t);
+}
+
+void Simulator::advance_idle(Tick to) {
+  HBMSIM_CHECK(config_.open_system,
+               "advance_idle requires SimConfig::open_system");
+  HBMSIM_CHECK(finished(), "advance_idle with unfinished threads");
+  HBMSIM_CHECK(to >= tick_, "advance_idle cannot move time backwards");
+  const Tick bounded = std::min(to, config_.max_ticks);
+  metrics_.idle_ticks += bounded - tick_;
+  tick_ = bounded;
+  if (to > config_.max_ticks) {
+    metrics_.truncated = true;
+  }
+}
+
 RunMetrics Simulator::run() {
   while (step()) {
   }
   metrics_.evictions = cache_->evictions();
-  if (checker_) {
+  // A truncated run stops mid-flight; after_run's completion and
+  // conservation laws only bind finished runs.
+  if (checker_ && !metrics_.truncated) {
     checker_->after_run();
   }
   return metrics_;

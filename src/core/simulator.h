@@ -83,12 +83,27 @@ class Simulator {
   /// when the simulation was already complete (no tick consumed).
   bool step();
 
-  /// Run to completion and return the collected metrics.
+  /// Run to completion — or to SimConfig::max_ticks, in which case the
+  /// returned metrics carry truncated == true — and return the collected
+  /// metrics.
   RunMetrics run();
 
   [[nodiscard]] bool finished() const noexcept {
     return done_threads_ == threads_.size();
   }
+
+  /// ---- Open-system serving mode (SimConfig::open_system only) ----
+  /// Hand a fresh request trace to an idle worker: the worker must be
+  /// kDone; it re-enters kIssuing and issues the trace's first reference
+  /// at the tick the next step() executes. Used by serve::ServingSimulator
+  /// to turn completed workers back into request servers.
+  void inject_trace(ThreadId t, std::shared_ptr<const Trace> trace);
+
+  /// With every worker idle (finished()), jump the clock forward to
+  /// `to` (clamped to max_ticks; the span counts as idle_ticks). The
+  /// serving driver uses this to skip dead air between request arrivals
+  /// without paying per-tick cost.
+  void advance_idle(Tick to);
 
   /// ---- Introspection (tests, debugging) ----
   [[nodiscard]] Tick now() const noexcept { return tick_; }
@@ -151,6 +166,10 @@ class Simulator {
 
   Tick tick_ = 0;
   std::size_t done_threads_ = 0;
+  /// Open-system mode: references of traces fully served and since
+  /// replaced by inject_trace (their next_ref counters were reset, but
+  /// the response samples remain — conservation audits need the total).
+  std::uint64_t retired_refs_ = 0;
   /// Resolved engine choice (see engine()); fixed at construction.
   bool fast_engine_ = false;
 

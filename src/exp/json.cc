@@ -111,6 +111,7 @@ std::string to_json(const SimConfig& config) {
       .field("fetch_ticks", config.fetch_ticks)
       .field("seed", config.seed)
       .field("shared_pages", config.shared_pages)
+      .field("open_system", config.open_system)
       .field("engine", to_string(config.engine));
   if (config.arbitration == ArbitrationKind::kFrFcfs) {
     o.field("row_pages", config.row_pages);
@@ -130,6 +131,7 @@ std::string to_json(const RunMetrics& m) {
       .field("requeues", m.requeues)
       .field("idle_ticks", m.idle_ticks)
       .field("skipped_ticks", m.skipped_ticks)
+      .field("truncated", m.truncated)
       .field("hit_rate", m.hit_rate())
       .field("mean_response", m.mean_response())
       .field("inconsistency", m.inconsistency())

@@ -25,15 +25,19 @@ PointResult execute_point(const ExpPoint& point) {
   r.config = point.config;
   const auto start = std::chrono::steady_clock::now();
   try {
-    HBMSIM_CHECK(point.make_workload != nullptr,
-                 "experiment point '" + point.label + "' has no workload");
-    const Workload workload = point.make_workload();
-    if (point.make_cache) {
-      Simulator sim(workload, point.config, point.make_cache());
-      r.metrics = sim.run();
+    if (point.execute) {
+      r.metrics = point.execute(r.extra_json);
     } else {
-      Simulator sim(workload, point.config);
-      r.metrics = sim.run();
+      HBMSIM_CHECK(point.make_workload != nullptr,
+                   "experiment point '" + point.label + "' has no workload");
+      const Workload workload = point.make_workload();
+      if (point.make_cache) {
+        Simulator sim(workload, point.config, point.make_cache());
+        r.metrics = sim.run();
+      } else {
+        Simulator sim(workload, point.config);
+        r.metrics = sim.run();
+      }
     }
     r.ok = true;
   } catch (const std::exception& e) {
@@ -100,6 +104,9 @@ std::string to_json(const PointResult& r) {
   o.raw_field("config", to_json(r.config));
   if (r.ok) {
     o.raw_field("metrics", to_json(r.metrics));
+    if (!r.extra_json.empty()) {
+      o.raw_field("extra", r.extra_json);
+    }
     o.field("wall_seconds", r.wall_seconds)
         .field("ticks_per_sec", r.ticks_per_second());
   }

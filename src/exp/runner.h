@@ -45,6 +45,15 @@ struct ExpPoint {
   /// when set, SimConfig::hbm_slots / ::replacement are ignored in favour
   /// of the supplied model, mirroring the Simulator constructor overload.
   std::function<std::unique_ptr<CacheModel>()> make_cache;
+  /// Custom executor for points whose driver owns the Simulator (the
+  /// open-system serving harness). When set it replaces the default
+  /// workload→Simulator→run() path: it must run the point to completion
+  /// and return the machine-level RunMetrics, and may fill `extra` with a
+  /// pre-rendered JSON object to splice into the result line (see
+  /// PointResult::extra_json). `make_workload`/`make_cache` are ignored.
+  /// The runner's contracts still apply: the executor runs inside a
+  /// worker thread and must derive all randomness from the point itself.
+  std::function<RunMetrics(std::string& extra)> execute;
 
   ExpPoint() = default;
   /// Share an already-materialized workload (cheap: traces are shared_ptr).
@@ -63,6 +72,10 @@ struct PointResult {
   double wall_seconds = 0.0;
   bool ok = false;
   std::string error;
+  /// Pre-rendered JSON object from a custom executor (empty otherwise);
+  /// serialized as the "extra" field of the JSONL record. Not part of the
+  /// CSV column set — flat columns stay machine-level.
+  std::string extra_json;
 
   /// Simulated-ticks-per-wall-second throughput (0 when unknown).
   [[nodiscard]] double ticks_per_second() const noexcept {

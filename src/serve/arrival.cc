@@ -1,0 +1,85 @@
+#include "serve/arrival.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/error.h"
+
+namespace hbmsim::serve {
+
+ArrivalKind parse_arrival(std::string_view name) {
+  if (name == "poisson") {
+    return ArrivalKind::kPoisson;
+  }
+  if (name == "onoff") {
+    return ArrivalKind::kOnOff;
+  }
+  if (name == "trace") {
+    return ArrivalKind::kTrace;
+  }
+  throw ConfigError("unknown arrival kind '" + std::string(name) +
+                    "' (poisson|onoff|trace)");
+}
+
+std::string ArrivalSpec::validation_error() const {
+  if (kind == ArrivalKind::kTrace) {
+    for (std::size_t i = 1; i < schedule.size(); ++i) {
+      if (schedule[i] < schedule[i - 1]) {
+        return "arrival schedule must be non-decreasing (entry " +
+               std::to_string(i) + " goes backwards)";
+      }
+    }
+    return {};
+  }
+  if (!(rate > 0.0) || !std::isfinite(rate)) {
+    return "arrival rate must be positive and finite";
+  }
+  if (rate > 1e6) {
+    return "arrival rate above 1e6 requests/tick is not meaningful";
+  }
+  if (kind == ArrivalKind::kOnOff && (on_ticks == 0 || off_ticks == 0)) {
+    return "onoff arrivals need positive on_ticks and off_ticks";
+  }
+  return {};
+}
+
+ArrivalProcess::ArrivalProcess(ArrivalSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), rng_(seed) {
+  if (std::string message = spec_.validation_error(); !message.empty()) {
+    throw ConfigError(std::move(message));
+  }
+  generate_next();
+}
+
+void ArrivalProcess::pop() {
+  HBMSIM_CHECK(next_.has_value(), "pop on an exhausted arrival process");
+  generate_next();
+}
+
+void ArrivalProcess::generate_next() {
+  if (spec_.kind == ArrivalKind::kTrace) {
+    next_ = cursor_ < spec_.schedule.size()
+                ? std::optional<Tick>{spec_.schedule[cursor_++]}
+                : std::nullopt;
+    return;
+  }
+  // Exponential inter-arrival time on the stream's active clock. The
+  // accumulator stays in doubles and only floors on read, so rounding
+  // never drifts the long-run rate.
+  const double u = rng_.uniform_double();
+  clock_ += -std::log1p(-u) / spec_.rate;
+  if (spec_.kind == ArrivalKind::kPoisson) {
+    next_ = static_cast<Tick>(clock_);
+    return;
+  }
+  // kOnOff: clock_ counts accumulated *on-period* time; map it to an
+  // absolute tick by expanding each completed on-period into a full
+  // on+off cycle.
+  const double on = static_cast<double>(spec_.on_ticks);
+  const double cycle = on + static_cast<double>(spec_.off_ticks);
+  const double completed_cycles = std::floor(clock_ / on);
+  const double offset = clock_ - completed_cycles * on;
+  next_ = static_cast<Tick>(completed_cycles * cycle + offset);
+}
+
+}  // namespace hbmsim::serve

@@ -1,0 +1,91 @@
+// Request-arrival processes for the open-system serving mode.
+//
+// An ArrivalProcess is a deterministic cursor over one tenant's request
+// arrival ticks: peek() exposes the next arrival, pop() advances. All
+// randomness flows from the seed handed to the constructor (the serving
+// harness derives per-tenant seeds from ServingConfig::seed via
+// SplitMix64), so a tenant's arrival stream is a pure function of
+// (spec, seed) — independent of machine load, runner --jobs, or the
+// other tenants. Three stream shapes:
+//
+//   kPoisson  memoryless arrivals at `rate` requests per tick
+//             (exponential inter-arrival times, the M/·/· baseline)
+//   kOnOff    bursty traffic: Poisson at `rate` during on-periods of
+//             `on_ticks`, silent during off-periods of `off_ticks` —
+//             the canonical tail-latency stressor
+//   kTrace    an explicit non-decreasing schedule of arrival ticks
+//             (replaying measured production arrival logs)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/types.h"
+#include "util/rng.h"
+
+namespace hbmsim::serve {
+
+enum class ArrivalKind {
+  kPoisson,
+  kOnOff,
+  kTrace,
+};
+
+[[nodiscard]] constexpr const char* to_string(ArrivalKind k) noexcept {
+  switch (k) {
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kOnOff: return "onoff";
+    case ArrivalKind::kTrace: return "trace";
+  }
+  return "?";
+}
+
+/// Parse an arrival-kind name (poisson|onoff|trace); throws ConfigError.
+[[nodiscard]] ArrivalKind parse_arrival(std::string_view name);
+
+/// One tenant's arrival-stream parameters.
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  /// Mean requests per tick while the stream is active (kPoisson: always;
+  /// kOnOff: during on-periods; ignored by kTrace).
+  double rate = 0.01;
+  /// kOnOff: length of each burst / silence period in ticks.
+  Tick on_ticks = 1000;
+  Tick off_ticks = 1000;
+  /// kTrace: explicit arrival ticks, non-decreasing.
+  std::vector<Tick> schedule;
+
+  /// First inconsistency, or empty when valid.
+  [[nodiscard]] std::string validation_error() const;
+};
+
+/// Deterministic cursor over an ArrivalSpec's arrival ticks.
+class ArrivalProcess {
+ public:
+  ArrivalProcess(ArrivalSpec spec, std::uint64_t seed);
+
+  /// The next arrival tick (non-decreasing across pops), or nullopt once
+  /// a kTrace schedule is exhausted (the random kinds never end — the
+  /// serving harness cuts them off at its duration horizon).
+  [[nodiscard]] std::optional<Tick> peek() const noexcept { return next_; }
+
+  /// Consume the current arrival and generate the next.
+  void pop();
+
+ private:
+  void generate_next();
+
+  ArrivalSpec spec_;
+  Xoshiro256StarStar rng_;
+  /// Continuous arrival clock: absolute time for kPoisson, accumulated
+  /// on-period time for kOnOff (mapped to absolute ticks through the
+  /// on/off cycle structure).
+  double clock_ = 0.0;
+  std::size_t cursor_ = 0;  // kTrace position
+  std::optional<Tick> next_;
+};
+
+}  // namespace hbmsim::serve

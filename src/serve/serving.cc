@@ -1,0 +1,375 @@
+#include "serve/serving.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <utility>
+
+#include "check/invariant_checker.h"
+#include "exp/json.h"
+#include "util/error.h"
+#include "util/format.h"
+
+namespace hbmsim::serve {
+
+std::uint32_t ServingConfig::total_workers() const noexcept {
+  std::uint32_t total = 0;
+  for (const TenantSpec& tenant : tenants) {
+    total += tenant.workers;
+  }
+  return total;
+}
+
+std::string ServingConfig::validation_error() const {
+  if (tenants.empty()) {
+    return "serving config needs at least one tenant";
+  }
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const TenantSpec& t = tenants[i];
+    const std::string who =
+        "tenant '" + (t.name.empty() ? std::to_string(i) : t.name) + "' ";
+    if (t.workers == 0) {
+      return who + "needs at least one worker";
+    }
+    if (t.shape.pages == 0) {
+      return who + "needs a positive page namespace (shape.pages)";
+    }
+    if (t.shape.refs == 0) {
+      return who + "needs at least one reference per request (shape.refs)";
+    }
+    if (!(t.shape.zipf_s >= 0.0)) {
+      return who + "needs a non-negative zipf exponent";
+    }
+    if (t.slo_ticks == 0) {
+      return who + "needs a positive SLO (slo_ticks)";
+    }
+    if (std::string message = t.arrival.validation_error(); !message.empty()) {
+      return who + message;
+    }
+  }
+  if (duration == 0) {
+    return "duration must be positive";
+  }
+  if (sim.shared_pages) {
+    return "serving mode does not support shared_pages (workers keep "
+           "disjoint per-request namespaces)";
+  }
+  SimConfig machine = sim;
+  machine.open_system = true;
+  return machine.validation_error(total_workers());
+}
+
+void ServingConfig::validate() const {
+  if (std::string message = validation_error(); !message.empty()) {
+    throw ConfigError(std::move(message));
+  }
+}
+
+std::uint64_t ServingMetrics::total_arrivals() const noexcept {
+  std::uint64_t n = 0;
+  for (const TenantMetrics& t : per_tenant) {
+    n += t.arrivals;
+  }
+  return n;
+}
+
+std::uint64_t ServingMetrics::total_completed() const noexcept {
+  std::uint64_t n = 0;
+  for (const TenantMetrics& t : per_tenant) {
+    n += t.completed;
+  }
+  return n;
+}
+
+std::uint64_t ServingMetrics::total_rejected() const noexcept {
+  std::uint64_t n = 0;
+  for (const TenantMetrics& t : per_tenant) {
+    n += t.rejected;
+  }
+  return n;
+}
+
+double ServingMetrics::throughput() const noexcept {
+  return horizon == 0 ? 0.0
+                      : static_cast<double>(total_completed()) /
+                            static_cast<double>(horizon);
+}
+
+std::string ServingMetrics::summary() const {
+  std::ostringstream os;
+  os << "horizon:         " << format_count(horizon) << " ticks"
+     << (sim.truncated ? " (TRUNCATED at max_ticks)" : "") << "\n"
+     << "requests:        " << format_count(total_arrivals()) << " arrived, "
+     << format_count(total_completed()) << " completed, "
+     << format_count(total_rejected()) << " rejected\n"
+     << "throughput:      " << format_fixed(throughput() * 1000.0, 3)
+     << " requests / kilotick\n";
+  for (const TenantMetrics& t : per_tenant) {
+    os << "  " << t.name << " (class " << t.priority_class << "): "
+       << format_count(t.completed) << " done, p50/p99/p999 "
+       << format_fixed(t.latency_quantile(0.50), 1) << "/"
+       << format_fixed(t.latency_quantile(0.99), 1) << "/"
+       << format_fixed(t.latency_quantile(0.999), 1) << " ticks, "
+       << format_count(t.slo_violations) << " SLO violations\n";
+  }
+  return os.str();
+}
+
+std::string to_json(const ServingMetrics& m) {
+  std::string tenants = "[";
+  for (std::size_t i = 0; i < m.per_tenant.size(); ++i) {
+    const TenantMetrics& t = m.per_tenant[i];
+    exp::JsonObject o;
+    o.field("tenant", t.name)
+        .field("priority_class", t.priority_class)
+        .field("arrivals", t.arrivals)
+        .field("admitted", t.admitted)
+        .field("rejected", t.rejected)
+        .field("completed", t.completed)
+        .field("slo_violations", t.slo_violations)
+        .field("slo_violation_rate", t.slo_violation_rate())
+        .field("mean_latency", t.latency.mean())
+        .field("max_latency", t.latency.count() == 0
+                                  ? std::uint64_t{0}
+                                  : static_cast<std::uint64_t>(t.latency.max()));
+    if (t.latency_hist.total() > 0) {
+      o.field("latency_p50", t.latency_quantile(0.50))
+          .field("latency_p99", t.latency_quantile(0.99))
+          .field("latency_p999", t.latency_quantile(0.999));
+    }
+    if (i > 0) {
+      tenants += ',';
+    }
+    tenants += o.str();
+  }
+  tenants += ']';
+
+  exp::JsonObject o;
+  o.field("horizon", m.horizon)
+      .field("throughput", m.throughput())
+      .field("total_arrivals", m.total_arrivals())
+      .field("total_completed", m.total_completed())
+      .field("total_rejected", m.total_rejected())
+      .raw_field("tenants", tenants);
+  return o.str();
+}
+
+ServingSimulator::ServingSimulator(const ServingConfig& config)
+    : config_(config) {
+  config_.validate();
+  config_.sim.open_system = true;
+
+  // Tenant → rank mapping: the identity π ranks lower thread ids higher,
+  // so worker-id blocks are assigned in ascending priority_class order
+  // (ties broken by declaration order, for determinism).
+  const std::size_t n = config_.tenants.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return config_.tenants[a].priority_class < config_.tenants[b].priority_class;
+  });
+  std::vector<ThreadId> bases(n, 0);
+  ThreadId next_base = 0;
+  for (const std::size_t i : order) {
+    bases[i] = next_base;
+    next_base += config_.tenants[i].workers;
+  }
+
+  // Per-tenant RNG cursors derive from the master seed in declaration
+  // order — independent of the rank mapping, so re-prioritizing tenants
+  // does not perturb their arrival streams or request contents.
+  SplitMix64 seeds(config_.seed);
+  tenants_.reserve(n);
+  metrics_.per_tenant.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    TenantSpec& spec = config_.tenants[i];
+    if (spec.name.empty()) {
+      spec.name = "tenant" + std::to_string(i);
+    }
+    const std::uint64_t arrival_seed = seeds.next();
+    const std::uint64_t gen_seed = seeds.next();
+    TenantRuntime tr{ArrivalProcess(spec.arrival, arrival_seed),
+                     Xoshiro256StarStar(gen_seed),
+                     ZipfSampler(spec.shape.pages, spec.shape.zipf_s),
+                     bases[i],
+                     {},
+                     {},
+                     0,
+                     0};
+    tr.idle.resize(spec.workers);
+    std::iota(tr.idle.begin(), tr.idle.end(), bases[i]);
+    tenants_.push_back(std::move(tr));
+    metrics_.per_tenant[i].name = spec.name;
+    metrics_.per_tenant[i].priority_class = spec.priority_class;
+  }
+
+  // The machine starts empty: one worker thread per tenant slot, each
+  // with an empty trace (kDone until a request is injected).
+  std::vector<std::shared_ptr<const Trace>> traces(
+      config_.total_workers(), std::make_shared<Trace>());
+  workers_.resize(traces.size());
+  sim_ = std::make_unique<Simulator>(Workload(std::move(traces), "serving"),
+                                     config_.sim);
+}
+
+ThreadId ServingSimulator::worker_base(std::size_t tenant) const {
+  HBMSIM_CHECK(tenant < tenants_.size(), "tenant index out of range");
+  return tenants_[tenant].base;
+}
+
+std::optional<Tick> ServingSimulator::next_arrival_tick() const {
+  std::optional<Tick> next;
+  for (const TenantRuntime& tr : tenants_) {
+    const std::optional<Tick> a = tr.arrivals.peek();
+    if (a && *a < config_.duration && (!next || *a < *next)) {
+      next = *a;
+    }
+  }
+  return next;
+}
+
+void ServingSimulator::inject_request(std::uint32_t tenant, ThreadId worker,
+                                      Tick arrival) {
+  TenantRuntime& tr = tenants_[tenant];
+  const TenantSpec& spec = config_.tenants[tenant];
+  std::vector<LocalPage> refs(spec.shape.refs);
+  for (LocalPage& r : refs) {
+    r = static_cast<LocalPage>(tr.zipf(tr.gen));
+  }
+  sim_->inject_trace(worker,
+                     std::make_shared<Trace>(std::move(refs), spec.shape.pages));
+  workers_[worker] = WorkerState{tenant, arrival, true};
+  ++tr.in_service;
+}
+
+void ServingSimulator::deliver_arrivals(Tick now) {
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    TenantRuntime& tr = tenants_[i];
+    TenantMetrics& tm = metrics_.per_tenant[i];
+    const std::uint32_t max_pending = config_.tenants[i].max_pending;
+    for (;;) {
+      const std::optional<Tick> a = tr.arrivals.peek();
+      if (!a || *a >= config_.duration || *a > now) {
+        break;
+      }
+      tr.arrivals.pop();
+      ++tm.arrivals;
+      if (!tr.idle.empty()) {
+        // Refill keeps FIFO order: an idle worker implies nothing pending.
+        HBMSIM_ASSERT(tr.pending_head == tr.pending.size(),
+                      "idle worker with requests still pending");
+        const ThreadId w = tr.idle.front();
+        tr.idle.erase(tr.idle.begin());
+        ++tm.admitted;
+        inject_request(static_cast<std::uint32_t>(i), w, *a);
+      } else if (tr.pending.size() - tr.pending_head < max_pending) {
+        ++tm.admitted;
+        tr.pending.push_back(*a);
+      } else {
+        ++tm.rejected;
+      }
+    }
+  }
+  audit_conservation();
+}
+
+void ServingSimulator::harvest_completions() {
+  const Tick now = sim_->now();
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    WorkerState& ws = workers_[w];
+    if (!ws.busy || sim_->thread_state(static_cast<ThreadId>(w)) !=
+                        Simulator::ThreadState::kDone) {
+      continue;
+    }
+    TenantRuntime& tr = tenants_[ws.tenant];
+    TenantMetrics& tm = metrics_.per_tenant[ws.tenant];
+    // The last reference was served in the tick that just executed
+    // (now - 1), so end-to-end latency — arrival to availability — is
+    // now - arrival; a same-tick single-hit request costs 1.
+    const Tick latency = now - ws.arrival_tick;
+    tm.latency.add(static_cast<double>(latency));
+    tm.latency_hist.add(latency);
+    ++tm.completed;
+    if (latency > config_.tenants[ws.tenant].slo_ticks) {
+      ++tm.slo_violations;
+    }
+    --tr.in_service;
+    ws.busy = false;
+    const auto pos = std::lower_bound(tr.idle.begin(), tr.idle.end(),
+                                      static_cast<ThreadId>(w));
+    tr.idle.insert(pos, static_cast<ThreadId>(w));
+  }
+  // Refill freed workers from the pending queues, oldest request first,
+  // lowest worker id first — provided the run has room for another tick.
+  if (now < config_.sim.max_ticks) {
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+      TenantRuntime& tr = tenants_[i];
+      while (tr.pending_head < tr.pending.size() && !tr.idle.empty()) {
+        const Tick arrival = tr.pending[tr.pending_head++];
+        const ThreadId w = tr.idle.front();
+        tr.idle.erase(tr.idle.begin());
+        inject_request(static_cast<std::uint32_t>(i), w, arrival);
+      }
+      if (tr.pending_head == tr.pending.size()) {
+        tr.pending.clear();
+        tr.pending_head = 0;
+      }
+    }
+  }
+  audit_conservation();
+}
+
+void ServingSimulator::audit_conservation() const {
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    const TenantRuntime& tr = tenants_[i];
+    const TenantMetrics& tm = metrics_.per_tenant[i];
+    check::audit_arrival_conservation(
+        tm.arrivals, tr.in_service, tr.pending.size() - tr.pending_head,
+        tm.completed, tm.rejected);
+  }
+}
+
+ServingMetrics ServingSimulator::run() {
+  HBMSIM_CHECK(!ran_, "ServingSimulator::run may only be called once");
+  ran_ = true;
+  const Tick max_ticks = config_.sim.max_ticks;
+  for (;;) {
+    const Tick now = sim_->now();
+    if (now >= max_ticks) {
+      if (!sim_->finished()) {
+        (void)sim_->step();  // records the truncation in RunMetrics
+      }
+      break;
+    }
+    deliver_arrivals(now);
+    if (sim_->finished()) {
+      // Machine empty: jump to the next arrival, or stop once every
+      // arrival is resolved (the queues drain through harvest, so an
+      // empty machine implies empty pending queues).
+      const std::optional<Tick> next = next_arrival_tick();
+      if (!next) {
+        break;
+      }
+      sim_->advance_idle(*next);
+      if (sim_->now() < *next) {
+        break;  // clamped at max_ticks — truncated
+      }
+      continue;
+    }
+    if (!sim_->step()) {
+      break;  // truncated mid-service
+    }
+    harvest_completions();
+  }
+  metrics_.sim = sim_->metrics();
+  metrics_.sim.evictions = sim_->cache().evictions();
+  metrics_.horizon = sim_->now();
+  return metrics_;
+}
+
+ServingMetrics serve(const ServingConfig& config) {
+  ServingSimulator sim(config);
+  return sim.run();
+}
+
+}  // namespace hbmsim::serve

@@ -1,0 +1,208 @@
+// Open-system serving harness: request arrivals over the closed-system
+// Simulator (ROADMAP item 3 — "which far-channel policy holds p99 under
+// heavy mixed traffic?").
+//
+// The decomposition mirrors a hardware frontend/controller split: the
+// ServingSimulator owns the arrival frontend (per-tenant ArrivalProcess
+// cursors, admission queues, SLO accounting) and drives the unmodified
+// machine model underneath through the SimConfig::open_system API — each
+// tenant gets a block of worker threads, an idle worker is handed a fresh
+// request trace via Simulator::inject_trace, and dead air between
+// arrivals is skipped via Simulator::advance_idle.
+//
+// Tenant → rank mapping: the machine's priority arbitration ranks thread
+// ids through the identity π (lower id = higher rank), so the harness
+// assigns worker-id blocks in ascending TenantSpec::priority_class order.
+// Under kPriority arbitration a latency-critical tenant's misses beat a
+// batch tenant's at the far channel; under kFifo/kFrFcfs the classes are
+// mapped but inert — exactly the policy comparison the serving bench
+// sweeps.
+//
+// Request lifecycle and its conservation law (audited every step through
+// check::audit_arrival_conservation):
+//
+//   arrival ── admitted ──> in service (a worker runs its trace)
+//      │           │              │
+//      │           └─> pending (all workers busy, queue below max_pending)
+//      └─> rejected (queue full)  │
+//                                 └─> completed (last ref served)
+//
+//   arrivals == in_service + pending + completed + rejected
+//
+// Latency of a request is measured from its *arrival* tick (queueing
+// delay included) to the tick after its last reference is served; a
+// request whose latency exceeds TenantSpec::slo_ticks counts as an SLO
+// violation. All run state is a pure function of ServingConfig — runs
+// are bit-identical across repeats and runner --jobs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/metrics.h"
+#include "core/simulator.h"
+#include "core/types.h"
+#include "serve/arrival.h"
+#include "stats/histogram.h"
+#include "stats/streaming.h"
+#include "trace/trace.h"
+#include "util/rng.h"
+
+namespace hbmsim::serve {
+
+/// What one request looks like once admitted: a fresh trace drawn from
+/// the tenant's request-content RNG cursor.
+struct RequestShape {
+  /// Per-worker page namespace size (the tenant's working set).
+  LocalPage pages = 256;
+  /// References per request.
+  std::uint32_t refs = 16;
+  /// Zipf page-popularity exponent; 0 = uniform.
+  double zipf_s = 0.0;
+};
+
+/// One tenant: an arrival stream, a request shape, a worker pool, and an
+/// SLO.
+struct TenantSpec {
+  std::string name;
+  /// Worker threads dedicated to this tenant (its max concurrency).
+  std::uint32_t workers = 4;
+  /// Priority class: lower = more latency-critical. Realized as the
+  /// tenant's position in the machine's arbitration rank space (see the
+  /// header comment).
+  std::uint32_t priority_class = 0;
+  ArrivalSpec arrival;
+  RequestShape shape;
+  /// A request completing in more than this many ticks violates its SLO.
+  Tick slo_ticks = 64;
+  /// Admission queue depth when all workers are busy; 0 rejects
+  /// immediately on saturation.
+  std::uint32_t max_pending = 64;
+};
+
+/// Full open-system experiment configuration.
+struct ServingConfig {
+  std::vector<TenantSpec> tenants;
+  /// Machine configuration. The harness forces open_system on;
+  /// engine must be kTick or kAuto (kFast is rejected — see SimConfig).
+  SimConfig sim;
+  /// Arrival horizon: no arrivals are generated at or after this tick.
+  /// The run then drains in-service requests (so the simulated horizon
+  /// can exceed it) or stops truncated at sim.max_ticks.
+  Tick duration = 100'000;
+  /// Master seed; per-tenant arrival and request-content seeds derive
+  /// from it via SplitMix64.
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] std::uint32_t total_workers() const noexcept;
+  /// First inconsistency, or empty when valid (includes sim's own check).
+  [[nodiscard]] std::string validation_error() const;
+  /// Throws ConfigError when invalid.
+  void validate() const;
+};
+
+/// Per-tenant serving outcomes.
+struct TenantMetrics {
+  std::string name;
+  std::uint32_t priority_class = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t slo_violations = 0;
+  /// End-to-end request latency (arrival → completion, queueing delay
+  /// included), in ticks.
+  StreamingStats latency;
+  LogHistogram latency_hist;
+
+  [[nodiscard]] double latency_quantile(double q) const {
+    return latency_hist.quantile(q);
+  }
+  [[nodiscard]] double slo_violation_rate() const noexcept {
+    return completed == 0 ? 0.0
+                          : static_cast<double>(slo_violations) /
+                                static_cast<double>(completed);
+  }
+};
+
+/// Whole-run serving outcomes.
+struct ServingMetrics {
+  std::vector<TenantMetrics> per_tenant;
+  /// Machine-level metrics of the underlying open-system run.
+  RunMetrics sim;
+  /// Last simulated tick (arrival horizon plus drain; equals
+  /// sim config max_ticks when truncated).
+  Tick horizon = 0;
+
+  [[nodiscard]] std::uint64_t total_arrivals() const noexcept;
+  [[nodiscard]] std::uint64_t total_completed() const noexcept;
+  [[nodiscard]] std::uint64_t total_rejected() const noexcept;
+  /// Completed requests per tick of simulated time.
+  [[nodiscard]] double throughput() const noexcept;
+  /// Multi-line human-readable report.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Serialize serving metrics (per-tenant percentiles included) as one
+/// JSON object, spliced by the exp:: runner into its JSONL records.
+[[nodiscard]] std::string to_json(const ServingMetrics& metrics);
+
+/// Drives one open-system run to completion.
+class ServingSimulator {
+ public:
+  explicit ServingSimulator(const ServingConfig& config);
+
+  /// Run until every arrival is resolved (or sim.max_ticks truncates the
+  /// run) and return the collected metrics. Call at most once.
+  ServingMetrics run();
+
+  /// First worker thread id of tenant `t` (its workers are the
+  /// contiguous block [worker_base, worker_base + workers)).
+  [[nodiscard]] ThreadId worker_base(std::size_t tenant) const;
+
+ private:
+  struct TenantRuntime {
+    ArrivalProcess arrivals;
+    Xoshiro256StarStar gen;  // request-content cursor
+    ZipfSampler zipf;
+    ThreadId base = 0;  // first worker thread id
+    /// Idle workers, ascending thread id (lowest id serves first).
+    std::vector<ThreadId> idle;
+    /// Arrival ticks of admitted-but-unassigned requests, FIFO.
+    std::vector<Tick> pending;
+    std::size_t pending_head = 0;  // index of the oldest pending entry
+    std::uint64_t in_service = 0;
+  };
+  struct WorkerState {
+    std::uint32_t tenant = 0;
+    Tick arrival_tick = 0;
+    bool busy = false;
+  };
+
+  /// Admit every arrival due at `now`: inject onto an idle worker, queue
+  /// below max_pending, or reject.
+  void deliver_arrivals(Tick now);
+  /// Detect workers that finished their trace, record latency/SLO, and
+  /// refill freed workers from the pending queues.
+  void harvest_completions();
+  void inject_request(std::uint32_t tenant, ThreadId worker, Tick arrival);
+  /// Earliest next arrival across tenants, nullopt when all streams are
+  /// past the duration horizon.
+  [[nodiscard]] std::optional<Tick> next_arrival_tick() const;
+  void audit_conservation() const;
+
+  ServingConfig config_;
+  std::vector<TenantRuntime> tenants_;
+  std::vector<WorkerState> workers_;
+  std::unique_ptr<Simulator> sim_;
+  ServingMetrics metrics_;
+  bool ran_ = false;
+};
+
+/// One-shot convenience: run `config` and return the metrics.
+[[nodiscard]] ServingMetrics serve(const ServingConfig& config);
+
+}  // namespace hbmsim::serve

@@ -3,9 +3,14 @@
 // Buckets are powers of two (1, 2, 4, ...), matching the dynamic range of
 // response times: hits are exactly 1 tick, starved requests can wait
 // millions of ticks. Quantiles are estimated by linear interpolation
-// within the containing bucket.
+// within the containing bucket, over the range of values actually
+// observed in that bucket — never past the bucket's representable
+// integers. A distribution whose containing bucket holds a single
+// distinct value therefore reports that value exactly (p99 of an
+// all-hits run is 1.0, not an interpolated 1.98).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <bit>
 #include <cstdint>
@@ -21,13 +26,32 @@ class LogHistogram {
   static constexpr int kBuckets = 64;
 
   void add(std::uint64_t value, std::uint64_t weight = 1) noexcept {
+    if (weight == 0) {
+      return;  // must not widen a bucket's observed range
+    }
     const int b = bucket_of(value);
+    if (counts_[b] == 0) {
+      lo_[b] = hi_[b] = value;
+    } else {
+      lo_[b] = std::min(lo_[b], value);
+      hi_[b] = std::max(hi_[b], value);
+    }
     counts_[b] += weight;
     total_ += weight;
   }
 
   void merge(const LogHistogram& other) noexcept {
     for (int i = 0; i < kBuckets; ++i) {
+      if (other.counts_[i] == 0) {
+        continue;
+      }
+      if (counts_[i] == 0) {
+        lo_[i] = other.lo_[i];
+        hi_[i] = other.hi_[i];
+      } else {
+        lo_[i] = std::min(lo_[i], other.lo_[i]);
+        hi_[i] = std::max(hi_[i], other.hi_[i]);
+      }
       counts_[i] += other.counts_[i];
     }
     total_ += other.total_;
@@ -40,12 +64,26 @@ class LogHistogram {
     return counts_[b];
   }
 
+  /// Smallest / largest value observed in bucket b. Only meaningful when
+  /// bucket_count(b) > 0.
+  [[nodiscard]] std::uint64_t bucket_min(int b) const {
+    HBMSIM_CHECK(b >= 0 && b < kBuckets, "bucket index out of range");
+    return lo_[b];
+  }
+  [[nodiscard]] std::uint64_t bucket_max(int b) const {
+    HBMSIM_CHECK(b >= 0 && b < kBuckets, "bucket index out of range");
+    return hi_[b];
+  }
+
   /// Lower edge of bucket b: values v with floor(log2(max(v,1))) == b.
   [[nodiscard]] static constexpr std::uint64_t bucket_low(int b) noexcept {
     return b == 0 ? 0 : (std::uint64_t{1} << b);
   }
 
-  /// Estimate the q-quantile (q in [0,1]) by interpolating in the bucket.
+  /// Estimate the q-quantile (q in [0,1]) by interpolating across the
+  /// observed value range of the containing bucket. quantile(0) is the
+  /// minimum observed value, quantile(1) the maximum; an empty histogram
+  /// reports 0.
   [[nodiscard]] double quantile(double q) const {
     HBMSIM_CHECK(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
     if (total_ == 0) {
@@ -55,15 +93,18 @@ class LogHistogram {
     double cum = 0.0;
     for (int b = 0; b < kBuckets; ++b) {
       const double c = static_cast<double>(counts_[b]);
-      if (cum + c >= target && c > 0.0) {
+      if (c > 0.0 && cum + c >= target) {
         const double frac = (target - cum) / c;
-        const double lo = static_cast<double>(bucket_low(b));
-        const double hi = static_cast<double>(bucket_low(b + 1));
+        const double lo = static_cast<double>(lo_[b]);
+        const double hi = static_cast<double>(hi_[b]);
         return lo + frac * (hi - lo);
       }
       cum += c;
     }
-    return static_cast<double>(bucket_low(kBuckets - 1));
+    // Unreachable except for floating-point shortfall on astronomically
+    // large totals; the max observed value is the only sane answer.
+    const int b = max_bucket();
+    return b < 0 ? 0.0 : static_cast<double>(hi_[b]);
   }
 
   /// Index of the highest non-empty bucket, or -1 when empty.
@@ -82,6 +123,9 @@ class LogHistogram {
   }
 
   std::array<std::uint64_t, kBuckets> counts_{};
+  // Observed value range per bucket; valid only where counts_[b] > 0.
+  std::array<std::uint64_t, kBuckets> lo_{};
+  std::array<std::uint64_t, kBuckets> hi_{};
   std::uint64_t total_ = 0;
 };
 

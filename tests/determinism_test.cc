@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "core/simulator.h"
+#include "serve/serving.h"
 #include "workloads/synthetic.h"
 
 namespace hbmsim {
@@ -220,6 +221,71 @@ TEST(Determinism, HashedLatencyGoldenHoldsUnderBothEngines) {
   EXPECT_EQ(tick.skipped_ticks, 0u);
   EXPECT_GT(fast.skipped_ticks, 0u);
   EXPECT_LE(fast.skipped_ticks, fast.idle_ticks);
+}
+
+// --- Open-system serving golden ----------------------------------------
+//
+// The serving harness layers arrival streams, admission control, and
+// tenant bookkeeping on top of the simulator; this golden pins the whole
+// stack — injected arrival order, per-tenant RNG cursors, priority-class
+// worker mapping, latency histograms — for a two-tenant Poisson + on-off
+// mix. Closed-system goldens above must be untouched by serving changes.
+
+std::uint64_t serving_fingerprint(const serve::ServingMetrics& m) {
+  std::uint64_t h = mix64(0, m.horizon);
+  for (const serve::TenantMetrics& t : m.per_tenant) {
+    h = mix64(h, t.arrivals);
+    h = mix64(h, t.admitted);
+    h = mix64(h, t.rejected);
+    h = mix64(h, t.completed);
+    h = mix64(h, t.slo_violations);
+    h = mix64(h, t.latency.count());
+    h = mix64(h, std::bit_cast<std::uint64_t>(t.latency.mean()));
+    h = mix64(h, std::bit_cast<std::uint64_t>(t.latency.max()));
+    h = mix64(h, std::bit_cast<std::uint64_t>(t.latency_quantile(0.50)));
+    h = mix64(h, std::bit_cast<std::uint64_t>(t.latency_quantile(0.99)));
+  }
+  return mix64(h, fingerprint(m.sim));
+}
+
+serve::ServingMetrics run_serving_mix() {
+  serve::TenantSpec interactive;
+  interactive.name = "interactive";
+  interactive.workers = 3;
+  interactive.priority_class = 0;
+  interactive.arrival.kind = serve::ArrivalKind::kPoisson;
+  interactive.arrival.rate = 0.02;
+  interactive.shape = serve::RequestShape{/*pages=*/32, /*refs=*/6,
+                                          /*zipf_s=*/0.9};
+  interactive.slo_ticks = 48;
+  interactive.max_pending = 8;
+
+  serve::TenantSpec batch;
+  batch.name = "batch";
+  batch.workers = 3;
+  batch.priority_class = 1;
+  batch.arrival.kind = serve::ArrivalKind::kOnOff;
+  batch.arrival.rate = 0.05;
+  batch.arrival.on_ticks = 400;
+  batch.arrival.off_ticks = 600;
+  batch.shape = serve::RequestShape{/*pages=*/128, /*refs=*/6, /*zipf_s=*/0.0};
+  batch.slo_ticks = 256;
+  batch.max_pending = 8;
+
+  serve::ServingConfig cfg;
+  cfg.tenants = {interactive, batch};
+  cfg.sim = SimConfig::priority(/*k=*/96, /*q=*/2);
+  cfg.sim.fetch_ticks = 2;
+  cfg.sim.max_ticks = 100'000;
+  cfg.duration = 10'000;
+  cfg.seed = 17;
+  return serve::serve(cfg);
+}
+
+TEST(Determinism, OpenSystemServingMatchesGolden) {
+  const serve::ServingMetrics a = run_serving_mix();
+  EXPECT_EQ(serving_fingerprint(a), 56729959203939357ULL);
+  EXPECT_EQ(serving_fingerprint(run_serving_mix()), serving_fingerprint(a));
 }
 
 }  // namespace

@@ -1,0 +1,390 @@
+// Tests for the open-system serving mode: arrival processes, the
+// Simulator's injection/idle-advance surface, arrival conservation,
+// admission control, truncation, priority-class mapping, and run-to-run
+// determinism.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "check/check.h"
+#include "check/invariant_checker.h"
+#include "core/simulator.h"
+#include "exp/json.h"
+#include "exp/runner.h"
+#include "serve/arrival.h"
+#include "serve/serving.h"
+#include "util/error.h"
+
+namespace {
+
+using namespace hbmsim;
+
+// ---------------------------------------------------------------------------
+// Arrival processes
+
+serve::ArrivalSpec poisson(double rate) {
+  serve::ArrivalSpec a;
+  a.kind = serve::ArrivalKind::kPoisson;
+  a.rate = rate;
+  return a;
+}
+
+TEST(ArrivalProcess, PoissonStreamIsDeterministicAndMonotone) {
+  serve::ArrivalProcess a(poisson(0.05), 42);
+  serve::ArrivalProcess b(poisson(0.05), 42);
+  Tick prev = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(a.peek().has_value());
+    ASSERT_EQ(*a.peek(), *b.peek());
+    ASSERT_GE(*a.peek(), prev);
+    prev = *a.peek();
+    a.pop();
+    b.pop();
+  }
+}
+
+TEST(ArrivalProcess, DistinctSeedsGiveDistinctStreams) {
+  serve::ArrivalProcess a(poisson(0.05), 1);
+  serve::ArrivalProcess b(poisson(0.05), 2);
+  bool any_diff = false;
+  for (int i = 0; i < 100 && !any_diff; ++i) {
+    any_diff = *a.peek() != *b.peek();
+    a.pop();
+    b.pop();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ArrivalProcess, PoissonRateMatchesTheMean) {
+  const double rate = 0.1;
+  const Tick horizon = 100'000;
+  serve::ArrivalProcess a(poisson(rate), 7);
+  std::uint64_t count = 0;
+  while (a.peek() && *a.peek() < horizon) {
+    ++count;
+    a.pop();
+  }
+  const double expected = rate * static_cast<double>(horizon);
+  EXPECT_GT(static_cast<double>(count), 0.9 * expected);
+  EXPECT_LT(static_cast<double>(count), 1.1 * expected);
+}
+
+TEST(ArrivalProcess, OnOffArrivalsLandOnlyInOnPeriods) {
+  serve::ArrivalSpec spec;
+  spec.kind = serve::ArrivalKind::kOnOff;
+  spec.rate = 0.2;
+  spec.on_ticks = 100;
+  spec.off_ticks = 900;
+  serve::ArrivalProcess a(spec, 3);
+  Tick prev = 0;
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(a.peek().has_value());
+    const Tick t = *a.peek();
+    ASSERT_GE(t, prev);
+    // Every arrival falls inside an on-period of the 1000-tick cycle.
+    ASSERT_LT(t % 1000, 100u) << "arrival " << t << " in an off-period";
+    prev = t;
+    a.pop();
+  }
+}
+
+TEST(ArrivalProcess, TraceScheduleReplaysExactlyThenEnds) {
+  serve::ArrivalSpec spec;
+  spec.kind = serve::ArrivalKind::kTrace;
+  spec.schedule = {5, 5, 10, 42};
+  serve::ArrivalProcess a(spec, 99);
+  for (const Tick want : spec.schedule) {
+    ASSERT_TRUE(a.peek().has_value());
+    EXPECT_EQ(*a.peek(), want);
+    a.pop();
+  }
+  EXPECT_FALSE(a.peek().has_value());
+}
+
+TEST(ArrivalSpec, ValidationCatchesBadStreams) {
+  serve::ArrivalSpec a = poisson(0.0);
+  EXPECT_FALSE(a.validation_error().empty());
+  a.rate = -1.0;
+  EXPECT_FALSE(a.validation_error().empty());
+  a.rate = 0.5;
+  EXPECT_TRUE(a.validation_error().empty());
+
+  serve::ArrivalSpec onoff;
+  onoff.kind = serve::ArrivalKind::kOnOff;
+  onoff.on_ticks = 0;
+  EXPECT_FALSE(onoff.validation_error().empty());
+
+  serve::ArrivalSpec trace;
+  trace.kind = serve::ArrivalKind::kTrace;
+  trace.schedule = {10, 5};  // decreasing
+  EXPECT_FALSE(trace.validation_error().empty());
+}
+
+TEST(ArrivalSpec, ParseRoundTripsAndRejectsUnknown) {
+  EXPECT_EQ(serve::parse_arrival("poisson"), serve::ArrivalKind::kPoisson);
+  EXPECT_EQ(serve::parse_arrival("onoff"), serve::ArrivalKind::kOnOff);
+  EXPECT_EQ(serve::parse_arrival("trace"), serve::ArrivalKind::kTrace);
+  EXPECT_THROW((void)serve::parse_arrival("bursty"), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Arrival conservation audit
+
+TEST(ArrivalConservation, AcceptsABalancedLedger) {
+  EXPECT_NO_THROW(check::audit_arrival_conservation(10, 2, 3, 4, 1));
+  EXPECT_NO_THROW(check::audit_arrival_conservation(0, 0, 0, 0, 0));
+}
+
+TEST(ArrivalConservation, ThrowsWhenARequestIsLost) {
+  EXPECT_THROW(check::audit_arrival_conservation(10, 2, 3, 4, 0),
+               InvariantError);
+  EXPECT_THROW(check::audit_arrival_conservation(3, 0, 0, 4, 0),
+               InvariantError);
+}
+
+// ---------------------------------------------------------------------------
+// Simulator open-system surface
+
+Workload idle_workers(std::size_t n) {
+  std::vector<std::shared_ptr<const Trace>> traces;
+  for (std::size_t i = 0; i < n; ++i) {
+    traces.push_back(std::make_shared<Trace>(std::vector<LocalPage>{}, 8));
+  }
+  return Workload(std::move(traces), "idle");
+}
+
+SimConfig open_machine() {
+  SimConfig c = SimConfig::fifo(/*hbm_slots=*/64, /*num_channels=*/1);
+  c.open_system = true;
+  return c;
+}
+
+TEST(OpenSystem, InjectTraceRequiresOpenSystemMode) {
+  SimConfig closed = SimConfig::fifo(64, 1);
+  Simulator sim(idle_workers(1), closed);
+  EXPECT_THROW(sim.inject_trace(
+                   0, std::make_shared<Trace>(std::vector<LocalPage>{0, 1}, 8)),
+               Error);
+}
+
+TEST(OpenSystem, AdvanceIdleRequiresOpenSystemMode) {
+  SimConfig closed = SimConfig::fifo(64, 1);
+  Simulator sim(idle_workers(1), closed);
+  EXPECT_THROW(sim.advance_idle(10), Error);
+}
+
+TEST(OpenSystem, FastEngineIsRejectedByValidation) {
+  SimConfig c = open_machine();
+  c.engine = EngineKind::kFast;
+  EXPECT_FALSE(c.validation_error(1).empty());
+  c.engine = EngineKind::kAuto;  // resolves to the tick engine instead
+  EXPECT_TRUE(c.validation_error(1).empty());
+}
+
+TEST(OpenSystem, InjectedTraceRunsToCompletion) {
+  Simulator sim(idle_workers(1), open_machine());
+  ASSERT_TRUE(sim.finished());  // empty traces: born done
+  sim.inject_trace(0,
+                   std::make_shared<Trace>(std::vector<LocalPage>{0, 1, 0}, 8));
+  EXPECT_FALSE(sim.finished());
+  while (sim.step()) {
+  }
+  EXPECT_TRUE(sim.finished());
+  EXPECT_EQ(sim.metrics().response.count(), 3u);
+}
+
+TEST(OpenSystem, InjectingOntoABusyWorkerIsRejected) {
+  Simulator sim(idle_workers(1), open_machine());
+  sim.inject_trace(0, std::make_shared<Trace>(std::vector<LocalPage>{0, 1}, 8));
+  EXPECT_THROW(
+      sim.inject_trace(0, std::make_shared<Trace>(std::vector<LocalPage>{2}, 8)),
+      Error);
+}
+
+TEST(OpenSystem, AdvanceIdleJumpsTheClockAndClampsAtMaxTicks) {
+  SimConfig c = open_machine();
+  c.max_ticks = 1000;
+  Simulator sim(idle_workers(1), c);
+  sim.advance_idle(100);
+  EXPECT_EQ(sim.now(), 100u);
+  EXPECT_EQ(sim.metrics().idle_ticks, 100u);
+  EXPECT_FALSE(sim.metrics().truncated);
+  sim.advance_idle(5000);
+  EXPECT_EQ(sim.now(), 1000u);
+  EXPECT_TRUE(sim.metrics().truncated);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end serving runs
+
+serve::ServingConfig small_serving() {
+  serve::TenantSpec t;
+  t.name = "t0";
+  t.workers = 2;
+  t.arrival = poisson(0.01);
+  t.shape = serve::RequestShape{/*pages=*/16, /*refs=*/4, /*zipf_s=*/0.0};
+  t.slo_ticks = 64;
+  t.max_pending = 8;
+
+  serve::ServingConfig cfg;
+  cfg.tenants = {t};
+  cfg.sim = SimConfig::fifo(/*hbm_slots=*/256, /*num_channels=*/1);
+  cfg.sim.max_ticks = 100'000;
+  cfg.duration = 5'000;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Serving, UnderloadedRunCompletesEveryArrival) {
+  const serve::ServingMetrics m = serve::serve(small_serving());
+  ASSERT_EQ(m.per_tenant.size(), 1u);
+  const serve::TenantMetrics& t = m.per_tenant[0];
+  EXPECT_GT(t.arrivals, 0u);
+  EXPECT_EQ(t.rejected, 0u);
+  EXPECT_EQ(t.completed, t.arrivals);
+  EXPECT_EQ(t.latency.count(), t.completed);
+  EXPECT_EQ(static_cast<std::uint64_t>(t.latency_hist.total()), t.completed);
+  EXPECT_FALSE(m.sim.truncated);
+  // Each request has 4 references, so end-to-end latency is at least 4.
+  EXPECT_GE(t.latency_hist.quantile(0.0), 4.0);
+  EXPECT_GT(m.throughput(), 0.0);
+}
+
+TEST(Serving, OverloadRejectsOnceTheAdmissionQueueFills) {
+  serve::ServingConfig cfg = small_serving();
+  cfg.tenants[0].workers = 1;
+  cfg.tenants[0].max_pending = 2;
+  cfg.tenants[0].arrival = poisson(0.5);  // far beyond one worker's capacity
+  cfg.sim.fetch_ticks = 4;
+  const serve::ServingMetrics m = serve::serve(cfg);
+  const serve::TenantMetrics& t = m.per_tenant[0];
+  EXPECT_GT(t.rejected, 0u);
+  EXPECT_EQ(t.arrivals, t.admitted + t.rejected);
+  EXPECT_EQ(t.completed + t.rejected, t.arrivals)
+      << "drained run must resolve every arrival";
+}
+
+TEST(Serving, TightTickBudgetTruncatesGracefully) {
+  serve::ServingConfig cfg = small_serving();
+  cfg.tenants[0].arrival = poisson(0.5);
+  cfg.sim.max_ticks = 300;  // well inside the 5000-tick arrival horizon
+  const serve::ServingMetrics m = serve::serve(cfg);
+  EXPECT_TRUE(m.sim.truncated);
+  EXPECT_EQ(m.horizon, 300u);
+  // Conservation still holds at the cut: whatever was in flight stays
+  // accounted as in-service, not silently dropped (the run() audit would
+  // have thrown otherwise). Completions can only cover a prefix.
+  const serve::TenantMetrics& t = m.per_tenant[0];
+  EXPECT_LE(t.completed + t.rejected, t.arrivals);
+}
+
+TEST(Serving, SloViolationsAreCountedAgainstTheBudget) {
+  serve::ServingConfig cfg = small_serving();
+  cfg.tenants[0].slo_ticks = 1;  // every 4-reference request must violate
+  const serve::ServingMetrics m = serve::serve(cfg);
+  const serve::TenantMetrics& t = m.per_tenant[0];
+  EXPECT_GT(t.completed, 0u);
+  EXPECT_EQ(t.slo_violations, t.completed);
+  EXPECT_DOUBLE_EQ(t.slo_violation_rate(), 1.0);
+}
+
+TEST(Serving, PriorityClassesMapToAscendingWorkerBlocks) {
+  serve::ServingConfig cfg = small_serving();
+  serve::TenantSpec critical = cfg.tenants[0];
+  critical.name = "critical";
+  critical.workers = 3;
+  critical.priority_class = 0;
+  cfg.tenants[0].name = "background";
+  cfg.tenants[0].priority_class = 7;
+  cfg.tenants.push_back(critical);  // listed after, but higher priority
+
+  serve::ServingSimulator sim(cfg);
+  // Lower thread ids outrank higher ones under the identity priority
+  // map, so the class-0 tenant must own the lowest worker block even
+  // though it is declared second.
+  EXPECT_EQ(sim.worker_base(1), 0u);
+  EXPECT_EQ(sim.worker_base(0), 3u);
+}
+
+TEST(Serving, RepeatRunsAreBitIdentical) {
+  serve::ServingConfig cfg = small_serving();
+  cfg.tenants.push_back(cfg.tenants[0]);
+  cfg.tenants[1].name = "t1";
+  cfg.tenants[1].priority_class = 1;
+  cfg.tenants[1].arrival.kind = serve::ArrivalKind::kOnOff;
+  cfg.tenants[1].arrival.rate = 0.05;
+  cfg.tenants[1].arrival.on_ticks = 200;
+  cfg.tenants[1].arrival.off_ticks = 300;
+  const serve::ServingMetrics a = serve::serve(cfg);
+  const serve::ServingMetrics b = serve::serve(cfg);
+  EXPECT_EQ(serve::to_json(a), serve::to_json(b));
+  EXPECT_EQ(a.sim.makespan, b.sim.makespan);
+  EXPECT_EQ(a.horizon, b.horizon);
+}
+
+TEST(Serving, ValidationRejectsInconsistentConfigs) {
+  serve::ServingConfig cfg = small_serving();
+  cfg.tenants.clear();
+  EXPECT_FALSE(cfg.validation_error().empty());
+
+  cfg = small_serving();
+  cfg.sim.shared_pages = true;
+  EXPECT_FALSE(cfg.validation_error().empty());
+
+  cfg = small_serving();
+  cfg.sim.engine = EngineKind::kFast;
+  EXPECT_FALSE(cfg.validation_error().empty());
+
+  cfg = small_serving();
+  cfg.tenants[0].arrival.rate = 0.0;
+  EXPECT_FALSE(cfg.validation_error().empty());
+
+  cfg = small_serving();
+  cfg.duration = 0;
+  EXPECT_FALSE(cfg.validation_error().empty());
+
+  cfg = small_serving();
+  EXPECT_TRUE(cfg.validation_error().empty());
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+// ---------------------------------------------------------------------------
+// Custom executors through the experiment runner
+
+TEST(Serving, RunsThroughTheExperimentRunnerWithExtraJson) {
+  const serve::ServingConfig cfg = small_serving();
+  std::vector<exp::ExpPoint> points;
+  for (int i = 0; i < 2; ++i) {
+    exp::ExpPoint p;
+    p.label = "serving-" + std::to_string(i);
+    p.config = cfg.sim;
+    p.execute = [cfg](std::string& extra) {
+      const serve::ServingMetrics m = serve::serve(cfg);
+      extra = serve::to_json(m);
+      return m.sim;
+    };
+    points.push_back(std::move(p));
+  }
+  exp::RunnerOptions serial;
+  serial.jobs = 1;
+  exp::RunnerOptions parallel;
+  parallel.jobs = 2;
+  const auto rs = exp::run_points(points, serial);
+  const auto rp = exp::run_points(points, parallel);
+  ASSERT_EQ(rs.size(), 2u);
+  for (std::size_t i = 0; i < rs.size(); ++i) {
+    ASSERT_TRUE(rs[i].ok) << rs[i].error;
+    ASSERT_TRUE(rp[i].ok) << rp[i].error;
+    EXPECT_FALSE(rs[i].extra_json.empty());
+    EXPECT_EQ(rs[i].extra_json, rp[i].extra_json)
+        << "serving points must be bit-identical across --jobs";
+    EXPECT_EQ(exp::to_json(rs[i].metrics), exp::to_json(rp[i].metrics));
+    // The JSONL record embeds the executor's extra object verbatim.
+    EXPECT_NE(exp::to_json(rs[i]).find("\"extra\":{"), std::string::npos);
+  }
+}
+
+}  // namespace

@@ -359,10 +359,27 @@ TEST(SimConfig, RejectsBadParameters) {
   EXPECT_THROW(simulate(Workload{}, SimConfig::fifo(4)), ConfigError);
 }
 
-TEST(SimConfig, MaxTicksGuardFires) {
+TEST(SimConfig, MaxTicksTruncatesGracefully) {
+  // Five distinct pages need ~10 ticks; a 3-tick budget cuts the run
+  // short. That is a truncation, not an error: the metrics cover the
+  // completed prefix and say so.
   SimConfig c = SimConfig::fifo(4);
   c.max_ticks = 3;
-  EXPECT_THROW(simulate(single_thread({0, 1, 2, 3, 4}), c), Error);
+  Simulator sim(single_thread({0, 1, 2, 3, 4}), c);
+  const RunMetrics m = sim.run();
+  EXPECT_TRUE(m.truncated);
+  EXPECT_FALSE(sim.finished());
+  EXPECT_EQ(sim.now(), 3u);
+  EXPECT_LT(m.response.count(), 5u);
+  EXPECT_NE(m.summary().find("TRUNCATED"), std::string::npos);
+}
+
+TEST(SimConfig, RunsWithinBudgetAreNotMarkedTruncated) {
+  SimConfig c = SimConfig::fifo(4);
+  c.max_ticks = 1000;
+  const RunMetrics m = simulate(single_thread({0, 1, 2}), c);
+  EXPECT_FALSE(m.truncated);
+  EXPECT_EQ(m.response.count(), 3u);
 }
 
 TEST(SimConfig, PolicyNames) {

@@ -172,5 +172,125 @@ TEST(LogHistogram, WeightedAdd) {
   EXPECT_EQ(h.bucket_count(2), 10u);
 }
 
+// Regression: an all-hits run (every response exactly 1 tick) must report
+// p99 == 1.0 exactly. The old interpolation walked past the bucket's
+// value range and reported ~1.98.
+TEST(LogHistogram, AllHitsTailQuantilesAreExactlyOne) {
+  LogHistogram h;
+  for (int i = 0; i < 100'000; ++i) {
+    h.add(1);
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.999), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+}
+
+// Any single repeated value is reported exactly at every quantile, even
+// when it sits mid-bucket.
+TEST(LogHistogram, SingleValueDistributionIsExact) {
+  LogHistogram h;
+  h.add(37, 1000);  // bucket 5 spans [32, 64)
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 37.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 37.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 37.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 37.0);
+}
+
+// Regression: quantile(1.0) used to return the *next* bucket's lower
+// edge; it must be the maximum observed value. quantile(0.0) is the
+// minimum observed value.
+TEST(LogHistogram, QuantileEdgesAreObservedExtremes) {
+  LogHistogram h;
+  h.add(3);
+  h.add(100);
+  h.add(700);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 700.0);
+}
+
+// Interpolation never leaves the containing bucket's observed range; in
+// particular the old fallback that returned 2^63 is gone.
+TEST(LogHistogram, QuantileStaysWithinObservedRange) {
+  LogHistogram h;
+  h.add(5, 3);
+  h.add(6, 3);
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LE(v, 6.0);
+  }
+}
+
+TEST(LogHistogram, MergeCombinesObservedRanges) {
+  LogHistogram a;
+  LogHistogram b;
+  a.add(40);   // bucket 5: [32, 64)
+  b.add(33);   // bucket 5 too, lower value
+  b.add(63);   // bucket 5, upper value
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.bucket_min(5), 33u);
+  EXPECT_EQ(a.bucket_max(5), 63u);
+  EXPECT_DOUBLE_EQ(a.quantile(0.0), 33.0);
+  EXPECT_DOUBLE_EQ(a.quantile(1.0), 63.0);
+
+  // Merging into an empty histogram adopts the source ranges verbatim.
+  LogHistogram empty;
+  empty.merge(a);
+  EXPECT_EQ(empty.total(), 3u);
+  EXPECT_EQ(empty.bucket_min(5), 33u);
+  EXPECT_EQ(empty.bucket_max(5), 63u);
+
+  // Merging an empty histogram is a no-op.
+  LogHistogram none;
+  a.merge(none);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.bucket_min(5), 33u);
+}
+
+TEST(LogHistogram, MaxBucketTracksHighestNonEmpty) {
+  LogHistogram h;
+  EXPECT_EQ(h.max_bucket(), -1);
+  h.add(1);
+  EXPECT_EQ(h.max_bucket(), 0);
+  h.add(1'000'000);  // bucket 19: [2^19, 2^20)
+  EXPECT_EQ(h.max_bucket(), 19);
+  h.add(512);
+  EXPECT_EQ(h.max_bucket(), 19);
+}
+
+// Weighted adds accumulate mass without smearing values across bucket
+// boundaries: 1023 and 1024 land in adjacent buckets and keep their
+// exact observed ranges.
+TEST(LogHistogram, WeightedAddNearBucketBoundary) {
+  LogHistogram h;
+  h.add(1023, 50);  // bucket 9: [512, 1024)
+  h.add(1024, 50);  // bucket 10: [1024, 2048)
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.bucket_count(9), 50u);
+  EXPECT_EQ(h.bucket_count(10), 50u);
+  EXPECT_EQ(h.bucket_min(9), 1023u);
+  EXPECT_EQ(h.bucket_max(9), 1023u);
+  EXPECT_EQ(h.bucket_min(10), 1024u);
+  EXPECT_EQ(h.bucket_max(10), 1024u);
+  // The halfway quantile sits at the boundary between the two point
+  // masses; both sides are exact.
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 1023.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 1024.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1024.0);
+}
+
+// Zero-weight adds are ignored entirely — they must not create
+// phantom observed-range entries.
+TEST(LogHistogram, ZeroWeightAddIsIgnored) {
+  LogHistogram h;
+  h.add(999, 0);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.max_bucket(), -1);
+  h.add(4);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+}
+
 }  // namespace
 }  // namespace hbmsim

@@ -34,10 +34,13 @@ lint flags source patterns that historically break that contract:
      construction is fine — annotate the line (or the line above) with
      the allowance comment stating the reservation that makes it safe.
 
-Covers src/, apps/, and bench/: the bench harnesses build workloads and
-configs (including the engine-compare equivalence driver, whose whole
-point is bit-identical metrics), so a nondeterministic seed there breaks
-reproducibility just as surely as one in the simulator core.
+Covers src/ (including the open-system serving frontend in src/serve/,
+whose arrival streams and request content must be pure functions of
+ServingConfig::seed for the serving goldens to hold), apps/, and bench/:
+the bench harnesses build workloads and configs (including the
+engine-compare equivalence driver, whose whole point is bit-identical
+metrics), so a nondeterministic seed there breaks reproducibility just
+as surely as one in the simulator core.
 
 Suppress a deliberate exception with a trailing comment:
     for (auto& kv : stats_) {  // lint:allow-unordered-iteration
