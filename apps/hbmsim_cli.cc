@@ -17,16 +17,24 @@
 //   --policy fifo|fr-fcfs|priority|dynamic|cycle|cycle-reverse|interleave|random
 //   --k SLOTS --q CHANNELS --t-mult M --replacement lru|fifo|clock
 //   --binding any|hashed --row-pages N --shared-pages --fetch-ticks N
-//   --engine tick|fast|auto   execution engine (default $HBMSIM_ENGINE or
+//   --engine tick|fast|event|auto
+//                             execution engine (default $HBMSIM_ENGINE or
 //                             auto; engines are bit-identical — see
-//                             DESIGN.md §3c; serve requires tick)
+//                             DESIGN.md §3c/§3e; serve rejects fast).
+//                             `--engine list` prints the capability table
+//                             and exits.
 //
 // Serving (serve; also takes the policy flags above):
 //   --tenants N --workers W   N tenant classes (priority class = index),
 //                             W closed-loop workers each
-//   --arrival poisson|onoff --rate R --on-ticks N --off-ticks N
+//   --arrival poisson|onoff|trace --rate R --on-ticks N --off-ticks N
+//   --arrival-trace FILE      explicit arrival schedule (implies
+//                             --arrival trace): one non-negative arrival
+//                             tick per line, non-decreasing; blank lines
+//                             and '#' comments are ignored
 //   --duration T --max-ticks T --slo T --max-pending N
 //   --request-pages N --request-refs N --request-zipf S
+//   --starvation-mult M       starved = completion later than M x SLO
 //
 // Output / execution (run, compare):
 //   --format text|csv|json   json streams one PointResult JSONL line per
@@ -44,12 +52,15 @@
 //   hbmsim_cli analyze --workload zipf --pages 4096 --length 200000
 //   hbmsim_cli serve --tenants 2 --workers 4 --arrival poisson --rate 0.05
 //       --duration 50000 --slo 64 --policy priority --k 256 --q 2
+#include <charconv>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
 
+#include "core/engine.h"
 #include "core/simulator.h"
 #include "exp/json.h"
 #include "exp/runner.h"
@@ -400,12 +411,72 @@ int cmd_analyze(const ArgParser& args) {
   return 0;
 }
 
+/// `--engine list`: the capability registry, one row per engine.
+int cmd_engine_list() {
+  std::printf("%-6s  %-11s  %-8s  %-13s  %s\n", "engine", "open-system",
+              "paranoid", "fetch-ticks>1", "summary");
+  for (const EngineCaps& e : engine_registry()) {
+    std::printf("%-6s  %-11s  %-8s  %-13s  %s  [%s]\n", e.name,
+                e.supports_open_system ? "yes" : "no",
+                e.supports_paranoid ? "yes" : "no",
+                e.supports_fetch_ticks ? "yes" : "no", e.summary, e.reference);
+  }
+  return 0;
+}
+
+/// Load an explicit arrival schedule: one non-negative tick per line,
+/// non-decreasing; blank lines and '#' comments are ignored. Errors name
+/// the offending line.
+std::vector<Tick> load_arrival_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw ConfigError("serve: cannot open arrival trace '" + path + "'");
+  }
+  std::vector<Tick> schedule;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) {
+      continue;
+    }
+    const std::size_t last = line.find_last_not_of(" \t\r");
+    const std::string token = line.substr(first, last - first + 1);
+    const std::string where =
+        "serve: arrival trace '" + path + "' line " + std::to_string(lineno);
+    Tick tick = 0;
+    const auto [end, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), tick);
+    if (ec != std::errc{} || end != token.data() + token.size()) {
+      throw ConfigError(where + ": expected a non-negative arrival tick, got '" +
+                        token + "'");
+    }
+    if (!schedule.empty() && tick < schedule.back()) {
+      throw ConfigError(where + ": arrival tick " + std::to_string(tick) +
+                        " is before the previous arrival at " +
+                        std::to_string(schedule.back()) +
+                        " (the schedule must be non-decreasing)");
+    }
+    schedule.push_back(tick);
+  }
+  if (schedule.empty()) {
+    throw ConfigError("serve: arrival trace '" + path +
+                      "' contains no arrivals");
+  }
+  return schedule;
+}
+
 int cmd_serve(const ArgParser& args) {
   // Reject negatives before the unsigned casts below can wrap them into
   // huge (and validation-passing) values.
   for (const char* flag : {"tenants", "workers", "duration", "slo",
                            "max-pending", "request-pages", "request-refs",
-                           "on-ticks", "off-ticks", "max-ticks"}) {
+                           "on-ticks", "off-ticks", "max-ticks",
+                           "starvation-mult"}) {
     if (args.has(flag) && args.get_int(flag, 0) < 0) {
       throw ConfigError("serve: --" + std::string(flag) +
                         " must be non-negative");
@@ -416,11 +487,19 @@ int cmd_serve(const ArgParser& args) {
   const Tick duration = static_cast<Tick>(args.get_int("duration", 50'000));
 
   serve::ArrivalSpec arrival;
-  arrival.kind = serve::parse_arrival(args.get("arrival", "poisson"));
+  arrival.kind = serve::parse_arrival(
+      args.get("arrival", args.has("arrival-trace") ? "trace" : "poisson"));
   if (arrival.kind == serve::ArrivalKind::kTrace) {
-    throw ConfigError(
-        "serve: --arrival trace needs a schedule and has no CLI surface yet; "
-        "use poisson or onoff");
+    const std::string path = args.get("arrival-trace", "");
+    if (path.empty()) {
+      throw ConfigError(
+          "serve: --arrival trace needs a schedule file: --arrival-trace "
+          "<file> (one non-decreasing arrival tick per line)");
+    }
+    arrival.schedule = load_arrival_trace(path);
+  } else if (args.has("arrival-trace")) {
+    throw ConfigError("serve: --arrival-trace requires --arrival trace (got '" +
+                      args.get("arrival", "") + "')");
   }
   arrival.rate = args.get_double("rate", 0.05);
   arrival.on_ticks = static_cast<Tick>(args.get_int("on-ticks", 1000));
@@ -441,6 +520,9 @@ int cmd_serve(const ArgParser& args) {
     t.shape = shape;
     t.slo_ticks = static_cast<Tick>(args.get_int("slo", 64));
     t.max_pending = static_cast<std::uint32_t>(args.get_int("max-pending", 64));
+    t.starvation_multiplier = static_cast<std::uint32_t>(
+        args.get_int("starvation-mult",
+                     static_cast<std::int64_t>(t.starvation_multiplier)));
     cfg.tenants.push_back(std::move(t));
   }
   cfg.duration = duration;
@@ -479,6 +561,9 @@ int cmd_serve(const ArgParser& args) {
 int main(int argc, char** argv) {
   try {
     const ArgParser args(argc, argv);
+    if (args.get("engine", "") == "list") {
+      return cmd_engine_list();
+    }
     if (args.positional().empty()) {
       return usage();
     }

@@ -71,7 +71,8 @@ void audit_queue_order(std::span<const QueuedRequest> entries) {
 
 void audit_fast_forward(Tick from, Tick to, std::optional<Tick> next_serve_tick,
                         std::uint64_t remap_period, std::size_t runnable_cores,
-                        std::size_t queued_requests) {
+                        std::size_t queued_requests,
+                        std::optional<Tick> arrival_horizon) {
   HBMSIM_INVARIANT(to > from, make_context("fast-forward does not advance: ",
                                            from, " -> ", to));
   HBMSIM_INVARIANT(runnable_cores == 0,
@@ -101,6 +102,13 @@ void audit_fast_forward(Tick from, Tick to, std::optional<Tick> next_serve_tick,
                                   " jumps past the remap boundary at tick ",
                                   boundary));
   }
+  if (arrival_horizon.has_value()) {
+    HBMSIM_INVARIANT(to <= *arrival_horizon,
+                     make_context("fast-forward to tick ", to,
+                                  " jumps past the arrival horizon at tick ",
+                                  *arrival_horizon,
+                                  " — the serving driver may inject there"));
+  }
 }
 
 void audit_arrival_conservation(std::uint64_t arrivals,
@@ -123,7 +131,9 @@ void InvariantChecker::on_fast_forward(Tick from, Tick to) {
       sim_.in_flight_.empty()
           ? std::optional<Tick>{}
           : std::optional<Tick>{sim_.in_flight_.front().serve_tick},
-      sim_.config_.remap_period, sim_.active_now_.size(), sim_.queue_size());
+      sim_.config_.remap_period, sim_.active_now_.size(), sim_.queue_size(),
+      sim_.config_.open_system ? std::optional<Tick>{sim_.arrival_horizon_}
+                               : std::nullopt);
   ++fast_forwards_audited_;
 }
 

@@ -52,16 +52,19 @@ void audit_cache_structure(const CacheModel& cache);
 /// Throws InvariantError on violation.
 void audit_queue_order(std::span<const QueuedRequest> entries);
 
-/// Audit one fast-engine jump over [from, to): the span is legal only if
-/// it provably contains no event — it must advance (to > from), no core
-/// may be runnable and no request queued at the origin, a transfer must
-/// be in flight (otherwise the span is a deadlock, not idle time) and
-/// must not arrive before `to`, and (remap_period != 0) the span must
-/// neither start on a remap boundary nor jump past the next one.
+/// Audit one fast/event-engine jump over [from, to): the span is legal
+/// only if it provably contains no event — it must advance (to > from),
+/// no core may be runnable and no request queued at the origin, a
+/// transfer must be in flight (otherwise the span is a deadlock, not
+/// idle time) and must not arrive before `to`, (remap_period != 0) the
+/// span must neither start on a remap boundary nor jump past the next
+/// one, and (open systems) it must not jump past `arrival_horizon` —
+/// the first tick at which the serving driver may inject an arrival.
 /// Throws InvariantError on violation.
 void audit_fast_forward(Tick from, Tick to, std::optional<Tick> next_serve_tick,
                         std::uint64_t remap_period, std::size_t runnable_cores,
-                        std::size_t queued_requests);
+                        std::size_t queued_requests,
+                        std::optional<Tick> arrival_horizon = std::nullopt);
 
 /// Open-system arrival conservation: every request a serving frontend has
 /// generated must be in exactly one state — being served by a worker,

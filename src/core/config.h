@@ -64,21 +64,27 @@ enum class ReplacementKind {
   return "?";
 }
 
-/// Execution engine (DESIGN.md §3c). Both engines compute the same
-/// function of (workload, config) — the fast engine is required to be
-/// bit-identical to the reference tick loop (the differential suite in
-/// tests/simulator_property_test.cc enforces it); the only field allowed
-/// to differ is the RunMetrics::skipped_ticks diagnostic.
+/// Execution engine (DESIGN.md §3c/§3e). Every engine computes the same
+/// function of (workload, config) — the fast and event engines are
+/// required to be bit-identical to the reference tick loop (the
+/// differential suite in tests/simulator_property_test.cc enforces it);
+/// the only field allowed to differ is the RunMetrics::skipped_ticks
+/// diagnostic. Engine capabilities (open-system support, paranoid
+/// support, fetch_ticks support) live in the registry in core/engine.h —
+/// validation consults it instead of hand-rolled per-engine rejections.
 enum class EngineKind {
-  kTick,  ///< reference: execute every tick of the §3.1 loop
-  kFast,  ///< event-driven: jump over provably idle spans, batch hit runs
-  kAuto,  ///< resolve at construction: kFast where it can help, else kTick
+  kTick,   ///< reference: execute every tick of the §3.1 loop
+  kFast,   ///< event-driven: jump over provably idle spans, batch hit runs
+  kEvent,  ///< calendar-queue: schedule state-changing events only, batch
+           ///< per-tick bookkeeping between them (wins on backlog too)
+  kAuto,   ///< resolve at construction via the registry (core/engine.h)
 };
 
 [[nodiscard]] constexpr const char* to_string(EngineKind e) noexcept {
   switch (e) {
     case EngineKind::kTick: return "tick";
     case EngineKind::kFast: return "fast";
+    case EngineKind::kEvent: return "event";
     case EngineKind::kAuto: return "auto";
   }
   return "?";
@@ -93,11 +99,14 @@ enum class EngineKind {
   if (name == "fast") {
     return EngineKind::kFast;
   }
+  if (name == "event") {
+    return EngineKind::kEvent;
+  }
   if (name == "auto") {
     return EngineKind::kAuto;
   }
   throw ConfigError("unknown engine '" + std::string(name) +
-                    "' (tick|fast|auto)");
+                    "' (tick|fast|event|auto)");
 }
 
 /// Which arbitration-queue implementation the Simulator builds. The model
@@ -121,6 +130,15 @@ enum class ArbiterImpl {
   }
   return "?";
 }
+
+struct SimConfig;
+
+/// Engine-capability check for a configuration: the first capability the
+/// requested engine lacks for this config, or empty when compatible.
+/// Defined in core/engine.cc against the engine registry — SimConfig's
+/// validation delegates here instead of hand-rolling per-engine mode
+/// rejections.
+[[nodiscard]] std::string engine_validation_error(const SimConfig& config);
 
 /// Full simulation configuration.
 struct SimConfig {
@@ -176,13 +194,15 @@ struct SimConfig {
   /// test suites run under audit without code changes.
   bool paranoid = default_paranoid();
 
-  /// Execution engine (DESIGN.md §3c). kAuto resolves at Simulator
-  /// construction: the fast engine is selected where it can actually help
-  /// (fetch_ticks > 1, which makes idle spans possible, or a
-  /// single-thread workload, which makes hit-run batching possible); the
-  /// reference tick engine runs otherwise. Defaults to the HBMSIM_ENGINE
-  /// environment variable (tick|fast|auto), so whole bench and test
-  /// suites can switch engines without code changes.
+  /// Execution engine (DESIGN.md §3c/§3e). kAuto resolves at Simulator
+  /// construction via resolve_engine() in core/engine.h: the event engine
+  /// is selected where batching can actually help (open_system,
+  /// fetch_ticks > 1, or a single-thread workload); the reference tick
+  /// engine runs otherwise. The fast engine is never auto-selected — it
+  /// remains an explicit request, kept as the first-generation executable
+  /// spec for idle-span jumping. Defaults to the HBMSIM_ENGINE
+  /// environment variable (tick|fast|event|auto), so whole bench and
+  /// test suites can switch engines without code changes.
   EngineKind engine = default_engine();
 
   /// Arbitration-queue implementation (see ArbiterImpl). Paranoid runs
@@ -224,10 +244,11 @@ struct SimConfig {
 
   /// Open-system serving mode (src/serve/): the Simulator accepts fresh
   /// request traces on idle workers via inject_trace() and skips empty
-  /// spans via advance_idle(). Arrivals are external events the fast
-  /// engine's idle-span proofs cannot see, so the reference tick engine
-  /// is mandatory: kAuto resolves to kTick and an explicit kFast request
-  /// is rejected by validate().
+  /// spans via advance_idle(). Arrivals are external events, so the
+  /// engine must declare supports_open_system in the registry
+  /// (core/engine.h): kAuto resolves to kEvent, whose batching is bounded
+  /// by the arrival horizon, while an explicit kFast request is rejected
+  /// by validate() — its idle-span proofs cannot see arrivals.
   bool open_system = false;
 
   /// Describe the first inconsistency in this configuration for a
@@ -273,10 +294,9 @@ struct SimConfig {
     if (max_ticks == 0) {
       return "max_ticks must be positive";
     }
-    if (open_system && engine == EngineKind::kFast) {
-      return "open_system requires the reference tick engine (engine 'tick' "
-             "or 'auto'): injected arrivals are events the fast engine's "
-             "idle-span proofs cannot see";
+    if (std::string message = engine_validation_error(*this);
+        !message.empty()) {
+      return message;
     }
     return {};
   }

@@ -1,0 +1,137 @@
+#include "core/engine.h"
+
+#include <string>
+
+#include "core/event_engine.h"
+#include "util/error.h"
+
+namespace hbmsim {
+
+namespace {
+
+// One row per engine, kAuto last as a pseudo-entry (it resolves to a
+// concrete engine before construction; its row documents the resolution
+// rule for `hbmsim_cli --engine list`). kFast cannot run open systems:
+// its idle-span and hit-run proofs assume no external arrivals, while
+// the event engine bounds every batch by the arrival horizon.
+constexpr EngineCaps kEngineRegistry[] = {
+    {EngineKind::kTick, "tick",
+     "reference tick loop: executes every tick, the executable spec",
+     /*open_system=*/true, /*paranoid=*/true, /*fetch_ticks=*/true,
+     "DESIGN.md S3"},
+    {EngineKind::kFast, "fast",
+     "jumps provably idle spans, batches single-thread hit runs",
+     /*open_system=*/false, /*paranoid=*/true, /*fetch_ticks=*/true,
+     "DESIGN.md S3c"},
+    {EngineKind::kEvent, "event",
+     "calendar-queue core: O(events) on backlog, arrival-horizon aware",
+     /*open_system=*/true, /*paranoid=*/true, /*fetch_ticks=*/true,
+     "DESIGN.md S3e"},
+    {EngineKind::kAuto, "auto",
+     "resolves at construction: event where batching pays, else tick",
+     /*open_system=*/true, /*paranoid=*/true, /*fetch_ticks=*/true,
+     "core/engine.h"},
+};
+
+}  // namespace
+
+std::span<const EngineCaps> engine_registry() noexcept {
+  return kEngineRegistry;
+}
+
+const EngineCaps& engine_caps(EngineKind kind) noexcept {
+  for (const EngineCaps& caps : kEngineRegistry) {
+    if (caps.kind == kind) {
+      return caps;
+    }
+  }
+  HBMSIM_ASSERT(false, "engine kind missing from registry");
+  return kEngineRegistry[0];
+}
+
+EngineKind resolve_engine(const SimConfig& config,
+                          std::size_t num_threads) noexcept {
+  if (config.engine != EngineKind::kAuto) {
+    return config.engine;
+  }
+  // The event engine's batching can pay in three regimes: open-system
+  // arrivals (idle spans between arrivals), fetch_ticks > 1 (idle spans
+  // while transfers fly), and single-thread workloads (hit runs). In
+  // every other regime its guards never fire, so the reference engine is
+  // chosen to keep step() branch-free.
+  if (config.open_system || config.fetch_ticks > 1 || num_threads == 1) {
+    return EngineKind::kEvent;
+  }
+  return EngineKind::kTick;
+}
+
+std::string engine_validation_error(const SimConfig& config) {
+  if (config.engine == EngineKind::kAuto) {
+    return {};  // resolve_engine() only ever picks a capable engine
+  }
+  const EngineCaps& caps = engine_caps(config.engine);
+  if (config.open_system && !caps.supports_open_system) {
+    return std::string("open_system requires an engine with open-system "
+                       "support (see --engine list): engine '") +
+           caps.name +
+           "' lacks it — injected arrivals are events its idle-span proofs "
+           "cannot see";
+  }
+  if (config.paranoid && !caps.supports_paranoid) {
+    return std::string("paranoid tick audits are unsupported by engine '") +
+           caps.name + "' (see --engine list)";
+  }
+  if (config.fetch_ticks > 1 && !caps.supports_fetch_ticks) {
+    return std::string("fetch_ticks > 1 is unsupported by engine '") +
+           caps.name + "' (see --engine list)";
+  }
+  return {};
+}
+
+std::unique_ptr<Engine> make_engine(EngineKind resolved, Simulator& sim) {
+  switch (resolved) {
+    case EngineKind::kTick:
+      return std::make_unique<TickEngine>(sim);
+    case EngineKind::kFast:
+      return std::make_unique<FastEngine>(sim);
+    case EngineKind::kEvent:
+      return std::make_unique<EventEngine>(sim);
+    case EngineKind::kAuto:
+      break;
+  }
+  HBMSIM_CHECK(false, "make_engine requires a resolved (non-auto) kind");
+  return nullptr;
+}
+
+void Engine::finalize(RunMetrics& metrics) {
+  metrics.evictions = sim_.cache_->evictions();
+}
+
+std::size_t Engine::queue_size() const { return sim_.arbiter_queue_size(); }
+
+Simulator::ThreadState Engine::thread_state(ThreadId t) const {
+  return sim_.threads_[t].state;
+}
+
+bool TickEngine::step() { return sim_.step_tick(); }
+
+const EngineCaps& TickEngine::caps() const noexcept {
+  return engine_caps(EngineKind::kTick);
+}
+
+bool FastEngine::step() {
+  if (sim_.serve_hit_run()) {
+    if (sim_.finished()) {
+      return true;
+    }
+  } else {
+    sim_.fast_forward_idle();
+  }
+  return sim_.step_tick();
+}
+
+const EngineCaps& FastEngine::caps() const noexcept {
+  return engine_caps(EngineKind::kFast);
+}
+
+}  // namespace hbmsim

@@ -1,0 +1,120 @@
+// The Engine interface: how a Simulator advances time (DESIGN.md §3c/§3e).
+//
+// A Simulator owns exactly one Engine, resolved once at construction.
+// Every engine computes the same function of (workload, config) — the
+// differential suite in tests/simulator_property_test.cc and the pinned
+// goldens in tests/determinism_test.cc enforce bit-identical RunMetrics
+// across engines; only the skipped_ticks diagnostic may differ.
+//
+//   TickEngine   the executable spec: one §3.1 tick per step()
+//   FastEngine   first-generation event skipping: jumps provably idle
+//                spans, batches single-thread hit runs (closed system
+//                only — its idle-span proofs cannot see injected
+//                arrivals)
+//   EventEngine  calendar-queue core (core/event_engine.h): schedules
+//                only state-changing events and batches per-tick
+//                bookkeeping between them, so a saturated backlog costs
+//                O(events); arrival injection is an event (the arrival
+//                horizon), so open-system serving sweeps scale too
+//
+// Capabilities live in a registry (EngineCaps) rather than if/else
+// branches: SimConfig validation, kAuto resolution, and the CLI's
+// `--engine list` table all consult the same rows.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "core/simulator.h"
+
+namespace hbmsim {
+
+/// Self-description of one engine: identity plus the configuration
+/// capabilities validation and kAuto resolution query.
+struct EngineCaps {
+  EngineKind kind;
+  const char* name;     ///< parse_engine() spelling
+  const char* summary;  ///< one-line description for --engine list
+  /// Can this engine run SimConfig::open_system (injected arrivals)?
+  bool supports_open_system;
+  /// Can this engine run under SimConfig::paranoid tick audits?
+  bool supports_paranoid;
+  /// Can this engine run fetch_ticks > 1 (multi-tick transfers)?
+  bool supports_fetch_ticks;
+  const char* reference;  ///< where the design is documented
+};
+
+/// All engines, kAuto last (a pseudo-entry describing resolution, so the
+/// CLI table is complete).
+[[nodiscard]] std::span<const EngineCaps> engine_registry() noexcept;
+
+/// Registry row for `kind` (kAuto returns its pseudo-entry).
+[[nodiscard]] const EngineCaps& engine_caps(EngineKind kind) noexcept;
+
+/// Resolve kAuto to a concrete engine for this configuration: the event
+/// engine where batching can pay (open_system arrivals, fetch_ticks > 1
+/// idle spans, or single-thread hit runs), the reference tick engine
+/// otherwise. The fast engine is never auto-selected — it remains an
+/// explicit request, kept as the first-generation executable spec.
+/// Non-kAuto requests return unchanged (validation, not resolution,
+/// rejects incapable explicit choices).
+[[nodiscard]] EngineKind resolve_engine(const SimConfig& config,
+                                        std::size_t num_threads) noexcept;
+
+/// Build the engine for an already-resolved kind. Called by the
+/// Simulator constructor after the cache/checker are finalised (the
+/// event engine inspects both to decide its dense fast path).
+[[nodiscard]] std::unique_ptr<Engine> make_engine(EngineKind resolved,
+                                                  Simulator& sim);
+
+/// How a Simulator advances time. Engines are friends of Simulator and
+/// drive the reference tick machinery (step_tick and the batching
+/// helpers) directly; the base-class defaults describe an engine whose
+/// state lives entirely inside the Simulator.
+class Engine {
+ public:
+  explicit Engine(Simulator& sim) noexcept : sim_(sim) {}
+  virtual ~Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Advance the simulation by at least one executed tick (or one batched
+  /// span ending on an executed-tick boundary). Precondition: the run is
+  /// not finished. Returns false when the run truncated at max_ticks.
+  virtual bool step() = 0;
+
+  /// Fold engine-private state into the final metrics (run() calls this
+  /// once after the step loop). Default: publish the cache's eviction
+  /// count.
+  virtual void finalize(RunMetrics& metrics);
+
+  /// ---- Introspection (Simulator's accessors delegate here, so an
+  /// engine holding state outside the Simulator stays observable) ----
+  [[nodiscard]] virtual std::size_t queue_size() const;
+  [[nodiscard]] virtual Simulator::ThreadState thread_state(ThreadId t) const;
+
+  [[nodiscard]] virtual const EngineCaps& caps() const noexcept = 0;
+
+ protected:
+  Simulator& sim_;
+};
+
+/// The reference engine: every tick of the §3.1 loop, one per step().
+class TickEngine final : public Engine {
+ public:
+  using Engine::Engine;
+  bool step() override;
+  [[nodiscard]] const EngineCaps& caps() const noexcept override;
+};
+
+/// First-generation event skipping (DESIGN.md §3c): jump provably idle
+/// spans, batch single-thread hit runs, execute every other tick through
+/// the reference loop. Closed system only (see registry).
+class FastEngine final : public Engine {
+ public:
+  using Engine::Engine;
+  bool step() override;
+  [[nodiscard]] const EngineCaps& caps() const noexcept override;
+};
+
+}  // namespace hbmsim

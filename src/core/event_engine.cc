@@ -1,0 +1,484 @@
+// The calendar-queue engine (DESIGN.md §3e). This whole file is on the
+// tick hot path for lint_determinism.py rule 4: the dense loop must stay
+// allocation-free in steady state.
+//
+// Dense-path equivalence sketch (full argument in DESIGN.md §3e):
+//
+//   * Intra-tick order. The reference tick completes arrivals in
+//     in-flight ring (fetch) order, then walks the id-sorted active list
+//     serving arrivals and issuing fresh requests. The dense tick does
+//     the same: phase 1 inserts in ring order, phase 2 merges the due
+//     arrivals with the issuer list in global id order, so every cache
+//     touch, Welford add, and queue push happens in the reference order.
+//   * No kFetched at boundaries. With fetch_ticks >= 2 an arrival is
+//     completed and served within one executed tick, so between ticks a
+//     thread is only ever kIssuing, kWaiting, or kDone — exactly the
+//     states the export protocol writes back. fetch_ticks == 1 inserts
+//     at fetch (phase 5) time instead, a different within-tick cache-op
+//     order, and is therefore excluded by the eligibility gate.
+//   * Idle jumps. A tick with no due arrival, no issuer, and an empty
+//     queue does nothing but increment idle_ticks (the reference idle
+//     predicate); the dense loop adds the whole span at once.
+//   * Deferred bookkeeping is exact, not approximate: Welford adds and
+//     histogram increments happen per served reference in the reference
+//     order — only the per-tick scan that finds them is batched away.
+#include "core/event_engine.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+#include "util/error.h"
+
+namespace hbmsim {
+
+namespace {
+/// Executed ticks per dense_step() call. Batching amortises the per-step
+/// virtual dispatch and keeps the hot constants in registers, while
+/// leaving step() granular enough for interleaved drivers: the
+/// tick-boundary differential test still observes consistent state every
+/// at-most-kDenseChunk executed ticks.
+constexpr std::uint32_t kDenseChunk = 64;
+
+/// Best-effort transparent-huge-page backing for a freshly reserved,
+/// not-yet-touched buffer. The dense arrays are touched randomly at
+/// p-scale, where 4 KiB paging makes the TLB walk — not the cache miss —
+/// the dominant per-event cost (and a software prefetch that misses the
+/// TLB is simply dropped, so staging cannot hide it). Must run between
+/// allocation and first touch; alignment trimming or an unsupported
+/// kernel just leaves normal pages behind.
+void advise_huge(void* data, std::size_t bytes) {
+#if defined(__linux__)
+  constexpr std::uintptr_t kHuge = 2u << 20;
+  const auto addr = reinterpret_cast<std::uintptr_t>(data);
+  const std::uintptr_t lo = (addr + kHuge - 1) & ~(kHuge - 1);
+  const std::uintptr_t hi = (addr + bytes) & ~(kHuge - 1);
+  if (hi > lo) {
+    madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_HUGEPAGE);
+  }
+#else
+  (void)data;
+  (void)bytes;
+#endif
+}
+}  // namespace
+
+EventEngine::EventEngine(Simulator& sim) : Engine(sim) {
+  if (dense_eligible()) {
+    densify();
+  }
+}
+
+const EngineCaps& EventEngine::caps() const noexcept {
+  return engine_caps(EngineKind::kEvent);
+}
+
+bool EventEngine::dense_eligible() const {
+  const SimConfig& c = sim_.config_;
+  // The dense loop models exactly one configuration family; everything
+  // else runs the portable layer (still bit-identical, still faster than
+  // the tick loop on idle-heavy and single-thread shapes).
+  if (c.open_system || c.shared_pages || c.paranoid) {
+    return false;
+  }
+  if (c.arbitration != ArbitrationKind::kFifo ||
+      c.channel_binding != ChannelBinding::kAny || c.remap_period != 0) {
+    return false;
+  }
+  if (c.fetch_ticks < 2) {
+    return false;  // F=1 inserts at fetch time — a different intra-tick order
+  }
+  if (c.arbiter_impl != ArbiterImpl::kFast || sim_.checker_ != nullptr) {
+    return false;
+  }
+  const auto* hbm = dynamic_cast<const HbmCache*>(sim_.cache_.get());
+  if (hbm == nullptr || (hbm->replacement() != ReplacementKind::kLru &&
+                         hbm->replacement() != ReplacementKind::kFifo)) {
+    return false;
+  }
+  for (const auto& ctx : sim_.threads_) {
+    if (ctx.trace->size() >= kNil) {
+      return false;  // nref is 32-bit in the dense layout
+    }
+  }
+  return true;
+}
+
+void EventEngine::densify() {
+  const std::size_t p = sim_.threads_.size();
+  const auto& hbm = static_cast<const HbmCache&>(*sim_.cache_);
+  cache_cap_ = hbm.capacity();
+  lru_ = hbm.replacement() == ReplacementKind::kLru;
+  per_thread_ = sim_.config_.per_thread_metrics;
+  histogram_ = sim_.config_.response_histogram;
+  channels_ = sim_.config_.num_channels;
+  fetch_ticks_ = sim_.config_.fetch_ticks;
+
+  // Live mirror nodes are bounded by min(k, p·kSlots): occupancy never
+  // exceeds k, and the slot-overflow bailout caps any thread at kSlots
+  // resident pages. Reserving that bound makes pool growth below safe.
+  nodes_.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(
+      cache_cap_, static_cast<std::uint64_t>(p) * kSlots)));
+  advise_huge(nodes_.data(), nodes_.capacity() * sizeof(Node));
+  threads_.reserve(p);
+  advise_huge(threads_.data(), p * sizeof(DenseThread));
+  threads_.resize(p);
+  for (std::size_t t = 0; t < p; ++t) {
+    const auto& ctx = sim_.threads_[t];
+    DenseThread& dt = threads_[t];
+    dt.refs = ctx.trace->refs().data();
+    dt.reqt = ctx.request_tick;
+    dt.nref = static_cast<std::uint32_t>(ctx.next_ref);
+    dt.len = static_cast<std::uint32_t>(ctx.trace->size());
+    dt.state = ctx.state;
+    dt.nslots = 0;
+  }
+  issuers_.reserve(p);
+  issuers_.assign(sim_.active_now_.begin(), sim_.active_now_.end());
+  issuers_next_.reserve(p);
+  queue_.reserve(p);
+  inflight_.reserve(std::min<std::size_t>(
+      p, static_cast<std::size_t>(channels_) * fetch_ticks_));
+  due_.reserve(channels_);
+  dense_ = true;
+}
+
+bool EventEngine::step() {
+  if (dense_) {
+    switch (dense_step()) {
+      case DenseOutcome::kAdvanced:
+        return true;
+      case DenseOutcome::kHalted:
+        return false;
+      case DenseOutcome::kDeDensified:
+        break;  // state exported at a tick boundary; run this step portably
+    }
+  }
+  // Portable layer: the fast engine's batching, clamped to the arrival
+  // horizon so an open-system step never executes a tick the serving
+  // driver may still inject into.
+  if (sim_.serve_hit_run()) {
+    if (sim_.finished() || sim_.tick_ >= sim_.arrival_horizon_) {
+      return true;
+    }
+  } else if (sim_.fast_forward_idle()) {
+    if (sim_.tick_ >= sim_.arrival_horizon_) {
+      return true;
+    }
+  }
+  return sim_.step_tick();
+}
+
+EventEngine::DenseOutcome EventEngine::dense_step() {
+  Simulator& s = sim_;
+  const Tick max_ticks = s.config_.max_ticks;
+  const std::uint32_t q = channels_;
+  const bool per_thread = per_thread_;
+  for (std::uint32_t budget = kDenseChunk; budget != 0; --budget) {
+    for (;;) {
+      if (s.tick_ >= max_ticks) {
+        s.metrics_.truncated = true;
+        export_state();
+        return DenseOutcome::kHalted;
+      }
+      if ((!inflight_.empty() && inflight_.front().serve_tick == s.tick_) ||
+          !issuers_.empty() || !queue_.empty()) {
+        break;
+      }
+      // Nothing can happen before the next arrival (the run is unfinished —
+      // Simulator::step() guards — so a transfer must be in flight): jump
+      // the whole idle span in one assignment.
+      HBMSIM_CHECK(
+          !inflight_.empty(),
+          "simulator deadlock: unfinished threads but no pending work");
+      const Tick horizon = std::min(inflight_.front().serve_tick, max_ticks);
+      const Tick span = horizon - s.tick_;
+      s.metrics_.idle_ticks += span;
+      s.metrics_.skipped_ticks += span;
+      s.tick_ = horizon;
+    }
+
+    const Tick now = s.tick_;
+    // Phase 0: the arrivals due this tick are a prefix of the in-flight
+    // ring (at most q entries share a serve tick). A thread already at
+    // kSlots resident pages cannot take another mirror entry — bail out to
+    // the portable layer before mutating anything.
+    std::size_t due_n = 0;
+    while (due_n < inflight_.size() && inflight_[due_n].serve_tick == now) {
+      if (threads_[inflight_[due_n].thread].nslots == kSlots) {
+        export_state();
+        return DenseOutcome::kDeDensified;
+      }
+      ++due_n;
+    }
+
+    // Phase 1: complete arrivals — insert in ring (fetch) order, exactly
+    // like complete_arrivals(); same-tick evictions happen here. The page
+    // was frozen into the in-flight entry at fetch time, so no trace read
+    // is needed here.
+    due_.clear();
+    for (std::size_t i = 0; i < due_n; ++i) {
+      const DenseInFlight f = inflight_.front();
+      inflight_.pop_front();
+      mirror_insert(make_global_page(f.thread, f.page));
+      // lint:allow-hot-path-alloc — reserved to q
+      due_.push_back(DueArrival{f.thread, f.page});
+    }
+    // Id-sort the due arrivals (≤ q of them; q == 2 is by far the common
+    // case, so dodge the std::sort call for it).
+    if (due_.size() == 2) {
+      if (due_[1].thread < due_[0].thread) {
+        std::swap(due_[0], due_[1]);
+      }
+    } else if (due_.size() > 2) {
+      std::sort(due_.begin(), due_.end(),
+                [](const DueArrival& a, const DueArrival& b) {
+                  return a.thread < b.thread;
+                });
+    }
+
+    // Phase 2: serve arrivals and issue fresh requests merged in global
+    // thread-id order — the reference loop's sorted active-list walk. An
+    // arrival and an issue for the same thread in one tick is impossible
+    // (the thread was kWaiting), so the merge is a strict interleave.
+    issuers_next_.clear();
+    std::size_t ai = 0;
+    std::size_t ii = 0;
+    const std::size_t ni = issuers_.size();
+    while (ai < due_.size() || ii < ni) {
+      if (ai < due_.size() && (ii >= ni || due_[ai].thread < issuers_[ii])) {
+        const DueArrival a = due_[ai];
+        ++ai;
+        const std::uint32_t node = mirror_find(a.thread, a.page);
+        if (node == kNil) {
+          // Same-tick eviction corner (tiny k): re-queue at the original
+          // request tick, matching the reference kFetched re-queue path.
+          ++s.metrics_.requeues;
+          threads_[a.thread].state = Simulator::ThreadState::kWaiting;
+          // lint:allow-hot-path-alloc — reserved to p
+          queue_.push_back(DenseQueued{a.thread, a.page});
+        } else {
+          serve_dense(a.thread, node);
+        }
+      } else {
+        const ThreadId t = issuers_[ii];
+        ++ii;
+        DenseThread& dt = threads_[t];
+        dt.reqt = now;
+        ++s.metrics_.total_refs;
+        if (per_thread) {
+          ++s.metrics_.per_thread[t].refs;
+        }
+        const LocalPage local = dt.refs[dt.nref];
+        const std::uint32_t node = mirror_find(t, local);
+        if (node != kNil) {
+          ++s.metrics_.hits;
+          if (per_thread) {
+            ++s.metrics_.per_thread[t].hits;
+          }
+          serve_dense(t, node);
+        } else {
+          ++s.metrics_.misses;
+          if (per_thread) {
+            ++s.metrics_.per_thread[t].misses;
+          }
+          dt.state = Simulator::ThreadState::kWaiting;
+          // lint:allow-hot-path-alloc — reserved to p
+          queue_.push_back(DenseQueued{t, local});
+        }
+      }
+    }
+    issuers_.swap(issuers_next_);
+
+    // Phase 3: fetch up to q queued requests; their pages land in F ticks.
+    // The page rode along in the queue entry from the issue tick, so the
+    // fetch reads nothing but the ring itself — no random access at all.
+    for (std::uint32_t c = 0; c < q && !queue_.empty(); ++c) {
+      const DenseQueued r = queue_.front();
+      queue_.pop_front();
+      ++s.metrics_.fetches;
+      // lint:allow-hot-path-alloc — ring reserved to min(p, q·fetch_ticks)
+      inflight_.push_back(DenseInFlight{now + fetch_ticks_, r.thread, r.page});
+    }
+
+    ++s.tick_;
+    if (s.finished()) {
+      export_state();  // leave the Simulator fully consistent for run()
+      return DenseOutcome::kAdvanced;
+    }
+  }
+  return DenseOutcome::kAdvanced;
+}
+
+void EventEngine::serve_dense(ThreadId t, std::uint32_t node) {
+  Simulator& s = sim_;
+  DenseThread& dt = threads_[t];
+  if (lru_) {
+    mirror_touch(node);  // FIFO replacement ignores accesses
+  }
+  const Tick w = s.tick_ - dt.reqt + 1;
+  s.metrics_.response.add(static_cast<double>(w));
+  if (histogram_) {
+    s.metrics_.response_hist.add(w);
+  }
+  if (per_thread_) {
+    s.metrics_.per_thread[t].response.add(static_cast<double>(w));
+  }
+  const std::uint32_t nr = dt.nref + 1;
+  dt.nref = nr;
+  if (nr == dt.len) {
+    dt.state = Simulator::ThreadState::kDone;
+    ++s.done_threads_;
+    if (per_thread_) {
+      s.metrics_.per_thread[t].completion_tick = s.tick_;
+    }
+    s.metrics_.makespan = std::max(s.metrics_.makespan, s.tick_ + 1);
+  } else {
+    dt.state = Simulator::ThreadState::kIssuing;
+    issuers_next_.push_back(t);  // lint:allow-hot-path-alloc — reserved to p
+  }
+}
+
+void EventEngine::export_state() {
+  HBMSIM_ASSERT(dense_, "export from a non-dense engine");
+  dense_ = false;
+  Simulator& s = sim_;
+  const std::size_t p = s.threads_.size();
+  for (std::size_t t = 0; t < p; ++t) {
+    auto& ctx = s.threads_[t];
+    const DenseThread& dt = threads_[t];
+    ctx.next_ref = dt.nref;
+    ctx.request_tick = dt.reqt;
+    ctx.state = dt.state;
+  }
+  s.active_now_.assign(issuers_.begin(), issuers_.end());
+  s.active_next_.clear();
+  issuers_.clear();
+  // Re-materialise the arbitration queue in FIFO order (kAny: one queue).
+  while (!queue_.empty()) {
+    const DenseQueued r = queue_.front();
+    queue_.pop_front();
+    const GlobalPage page = make_global_page(r.thread, r.page);
+    s.queues_[0]->enqueue(QueuedRequest{page, r.thread, threads_[r.thread].reqt});
+  }
+  // Re-materialise the in-flight ring.
+  while (!inflight_.empty()) {
+    const DenseInFlight f = inflight_.front();
+    inflight_.pop_front();
+    const GlobalPage page = make_global_page(f.thread, f.page);
+    // lint:allow-hot-path-alloc — cold export; reserved to min(p, q·F)
+    s.in_flight_.push_back(Simulator::InFlight{f.serve_tick, page, f.thread});
+  }
+  // Replay the mirror into the (still empty) real cache in eviction
+  // order: the replacement policy re-derives the exact recency/insertion
+  // order, and with occupancy <= k no replay insert evicts.
+  for (std::uint32_t n = head_; n != kNil; n = nodes_[n].next) {
+    s.cache_->insert(nodes_[n].page);
+  }
+  evictions_base_ = mirror_evictions_;
+  head_ = kNil;
+  tail_ = kNil;
+  cache_size_ = 0;
+}
+
+void EventEngine::finalize(RunMetrics& metrics) {
+  // Evictions before the export live only in the mirror's counter; any
+  // after a bailout accrue in the real cache.
+  metrics.evictions = evictions_base_ + sim_.cache_->evictions();
+}
+
+std::size_t EventEngine::queue_size() const {
+  return dense_ ? queue_.size() : Engine::queue_size();
+}
+
+Simulator::ThreadState EventEngine::thread_state(ThreadId t) const {
+  return dense_ ? threads_[t].state : Engine::thread_state(t);
+}
+
+void EventEngine::mirror_unlink(std::uint32_t n) noexcept {
+  Node& nd = nodes_[n];
+  if (nd.prev != kNil) {
+    nodes_[nd.prev].next = nd.next;
+  } else {
+    head_ = nd.next;
+  }
+  if (nd.next != kNil) {
+    nodes_[nd.next].prev = nd.prev;
+  } else {
+    tail_ = nd.prev;
+  }
+}
+
+void EventEngine::mirror_append(std::uint32_t n) noexcept {
+  nodes_[n].prev = tail_;
+  nodes_[n].next = kNil;
+  if (tail_ != kNil) {
+    nodes_[tail_].next = n;
+  } else {
+    head_ = n;
+  }
+  tail_ = n;
+}
+
+void EventEngine::mirror_slot_erase(GlobalPage page) noexcept {
+  DenseThread& dt = threads_[page_owner(page)];
+  const LocalPage local = page_local(page);
+  for (std::uint8_t i = 0; i < dt.nslots; ++i) {
+    if (dt.slot_local[i] == local) {
+      dt.slot_local[i] = dt.slot_local[dt.nslots - 1];
+      dt.slot_node[i] = dt.slot_node[dt.nslots - 1];
+      --dt.nslots;
+      return;
+    }
+  }
+  HBMSIM_ASSERT(false, "mirror cache slot index out of sync");
+}
+
+void EventEngine::mirror_insert(GlobalPage page) {
+  std::uint32_t n;
+  if (cache_size_ == cache_cap_) {
+    // At capacity: evict the head (LRU-most / oldest insertion) and reuse
+    // its node — the mirror of HbmCache::insert's pop_victim path.
+    n = head_;
+    mirror_unlink(n);
+    mirror_slot_erase(nodes_[n].page);
+    ++mirror_evictions_;
+    nodes_[n].page = page;
+  } else {
+    // lint:allow-hot-path-alloc — pool reserved to min(k, p·kSlots)
+    nodes_.push_back(Node{page, kNil, kNil});
+    n = static_cast<std::uint32_t>(nodes_.size() - 1);
+    ++cache_size_;
+  }
+  mirror_append(n);
+  DenseThread& dt = threads_[page_owner(page)];
+  HBMSIM_ASSERT(dt.nslots < kSlots,
+                "mirror slot overflow past the bailout check");
+  dt.slot_local[dt.nslots] = page_local(page);
+  dt.slot_node[dt.nslots] = n;
+  ++dt.nslots;
+}
+
+std::uint32_t EventEngine::mirror_find(ThreadId t,
+                                       LocalPage local) const noexcept {
+  const DenseThread& dt = threads_[t];
+  for (std::uint8_t i = 0; i < dt.nslots; ++i) {
+    if (dt.slot_local[i] == local) {
+      return dt.slot_node[i];
+    }
+  }
+  return kNil;
+}
+
+void EventEngine::mirror_touch(std::uint32_t n) noexcept {
+  if (n == tail_) {
+    return;
+  }
+  mirror_unlink(n);
+  mirror_append(n);
+}
+
+}  // namespace hbmsim

@@ -1,0 +1,165 @@
+// EventEngine: the calendar-queue engine (DESIGN.md §3e).
+//
+// Two layers, both bit-identical to the reference tick loop:
+//
+//   portable   the fast engine's idle-span jumps and hit-run batching,
+//              clamped to the open-system arrival horizon — so serving
+//              sweeps scale past the tick loop while arrival injection
+//              stays an event the driver controls.
+//
+//   dense      a backlog fast path for the configuration family where a
+//              tick's effect is a pure function of three small queues:
+//              FIFO arbitration, kAny binding, disjoint pages, no remap,
+//              no paranoid audits, fetch_ticks >= 2, and an HbmCache
+//              under LRU/FIFO replacement. Per-thread state moves into
+//              packed cache-aligned blocks, the cache into an intrusive
+//              mirrored LRU list with per-thread slot indexes (threads
+//              keep at most kSlots pages resident in the regimes the
+//              guards admit), and each executed tick costs O(arrivals +
+//              issuers + q) with zero virtual dispatch, hashing, or
+//              allocation — O(events), not O(ticks × p). Idle gaps with
+//              work only in flight are jumped arithmetically.
+//
+// The dense layer is entered once at construction (tick 0, all state
+// virgin) and exited — state exported back into the Simulator at a tick
+// boundary — on run end, max_ticks truncation, or the rare slot-overflow
+// corner (a thread needing more than kSlots resident pages), after which
+// the portable layer continues the run. Equivalence argument: DESIGN.md
+// §3e; enforced by the differential grid and the dense corner tests in
+// tests/simulator_property_test.cc.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/ring_buffer.h"
+
+namespace hbmsim {
+
+class EventEngine final : public Engine {
+ public:
+  explicit EventEngine(Simulator& sim);
+
+  bool step() override;
+  void finalize(RunMetrics& metrics) override;
+  [[nodiscard]] std::size_t queue_size() const override;
+  [[nodiscard]] Simulator::ThreadState thread_state(ThreadId t) const override;
+  [[nodiscard]] const EngineCaps& caps() const noexcept override;
+
+  /// Whether the dense backlog path is currently driving the run
+  /// (introspection for tests — the export corners need pinning).
+  [[nodiscard]] bool dense_active() const noexcept { return dense_; }
+
+ private:
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  /// Resident pages a thread may hold before the dense path bails out to
+  /// the portable layer. In the regimes the guards admit, a thread's
+  /// resident set is bounded by its in-flight window (its own fetches are
+  /// the only inserts of its pages); 6 covers every workload in the suite
+  /// with slack and keeps the per-thread index in one cache line.
+  static constexpr std::uint8_t kSlots = 6;
+
+  /// Intrusive eviction-order list node (head = next victim).
+  struct Node {
+    GlobalPage page;
+    std::uint32_t prev;
+    std::uint32_t next;
+  };
+  /// Per-thread dense state, packed into one cache-aligned 128-byte
+  /// block: the scalar run state and the thread's resident-page index
+  /// (the mirror cache's replacement for the global hash lookup — a
+  /// contains() probe scans at most kSlots slot entries) sit in two
+  /// adjacent lines. At large p a due arrival lands on a thread untouched
+  /// for thousands of ticks, so packing turns the ~five scattered
+  /// structure-of-arrays misses per arrival into one block miss that the
+  /// adjacent-line prefetcher satisfies in a single 128-byte fetch (a
+  /// 64-byte squeeze — pooled 32-bit trace offsets, narrowed ticks —
+  /// measured slower than this layout on the backlog benchmark).
+  struct alignas(64) DenseThread {
+    const LocalPage* refs;        ///< the thread's trace data
+    Tick reqt;                    ///< request tick of the pending reference
+    std::uint32_t nref;           ///< next reference index
+    std::uint32_t len;            ///< trace length
+    Simulator::ThreadState state;
+    std::uint8_t nslots;  ///< live entries in slot_local/slot_node
+    LocalPage slot_local[kSlots];
+    std::uint32_t slot_node[kSlots];
+  };
+  struct DenseInFlight {
+    Tick serve_tick;
+    ThreadId thread;
+    /// refs[nref], frozen at enqueue time — nref cannot move while the
+    /// thread waits, so neither the fetch nor the arrival needs a random
+    /// trace read.
+    LocalPage page;
+  };
+  /// A queued request: the page rides along from the issue tick (where
+  /// its trace line is hot) so the fetch touches nothing cold.
+  struct DenseQueued {
+    ThreadId thread;
+    LocalPage page;
+  };
+  /// An arrival of the executing tick (scratch, reserved to q).
+  struct DueArrival {
+    ThreadId thread;
+    LocalPage page;
+  };
+
+  enum class DenseOutcome {
+    kAdvanced,     ///< executed one tick (possibly after an idle jump)
+    kHalted,       ///< truncated at max_ticks; state exported
+    kDeDensified,  ///< bailed out at a tick boundary; state exported
+  };
+
+  [[nodiscard]] bool dense_eligible() const;
+  void densify();
+  DenseOutcome dense_step();
+  void serve_dense(ThreadId t, std::uint32_t node);
+  void export_state();
+
+  // ---- mirror cache ----
+  void mirror_unlink(std::uint32_t n) noexcept;
+  void mirror_append(std::uint32_t n) noexcept;
+  void mirror_slot_erase(GlobalPage page) noexcept;
+  void mirror_insert(GlobalPage page);
+  [[nodiscard]] std::uint32_t mirror_find(ThreadId t,
+                                          LocalPage local) const noexcept;
+  void mirror_touch(std::uint32_t n) noexcept;
+
+  bool dense_ = false;
+  bool lru_ = false;           ///< mirror replacement: LRU (touch moves) or FIFO
+  bool per_thread_ = false;    ///< SimConfig::per_thread_metrics
+  bool histogram_ = false;     ///< SimConfig::response_histogram
+  std::uint32_t channels_ = 0;
+  Tick fetch_ticks_ = 0;
+
+  // Mirror cache storage (nodes pooled, free-listed through Node::next).
+  std::vector<Node> nodes_;
+  std::uint32_t free_ = kNil;
+  std::uint32_t head_ = kNil;
+  std::uint32_t tail_ = kNil;
+  std::uint64_t cache_cap_ = 0;
+  std::size_t cache_size_ = 0;
+  std::uint64_t mirror_evictions_ = 0;
+  /// Evictions accrued in the mirror before export; finalize() adds the
+  /// real cache's count on top (portable-phase evictions after a bailout).
+  std::uint64_t evictions_base_ = 0;
+
+  // Packed per-thread state (the Simulator's ThreadContext is synced
+  // only at export).
+  std::vector<DenseThread> threads_;
+
+  /// Threads issuing this tick, id-sorted (mirror of active_now_).
+  std::vector<ThreadId> issuers_;
+  std::vector<ThreadId> issuers_next_;
+  /// FIFO arbitration queue mirror (kAny: one queue); the enqueue tick is
+  /// recomputed from the per-thread state at export.
+  RingBuffer<DenseQueued> queue_;
+  /// In-flight transfers, FIFO by issue tick (≤ q share a serve tick).
+  RingBuffer<DenseInFlight> inflight_;
+  /// Arrivals of the tick being executed (scratch, reserved to q).
+  std::vector<DueArrival> due_;
+};
+
+}  // namespace hbmsim

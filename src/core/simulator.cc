@@ -1,9 +1,11 @@
 #include "core/simulator.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
 
 #include "check/invariant_checker.h"
+#include "core/engine.h"
 #include "check/shadow_arbiter.h"
 #include "check/shadow_cache.h"
 #include "util/error.h"
@@ -108,18 +110,14 @@ Simulator::Simulator(const Workload& workload, const SimConfig& config,
     }
   }
 
-  // Resolve the engine once. kAuto prefers the fast engine only where it
-  // can pay: fetch_ticks > 1 creates skippable idle spans, and a
-  // single-thread workload creates batchable hit runs; in every other
-  // regime the fast paths' guards never fire, so the reference engine is
-  // chosen to keep step() branch-free.
-  // Open-system mode always takes the reference engine: arrivals are
-  // external events the fast paths' idle/hit-run proofs cannot see
-  // (validate() already rejected an explicit kFast request).
-  fast_engine_ = !config_.open_system &&
-                 (config_.engine == EngineKind::kFast ||
-                  (config_.engine == EngineKind::kAuto &&
-                   (config_.fetch_ticks > 1 || p == 1)));
+  // Open systems start with every tick a potential arrival (horizon 0 —
+  // tick-exact until the serving driver raises it); closed systems never
+  // see one, so the batching engines run unclamped.
+  if (config_.open_system) {
+    completions_.reserve(p);
+  } else {
+    arrival_horizon_ = std::numeric_limits<Tick>::max();
+  }
 
   if (config_.paranoid) {
 #if HBMSIM_CHECKS_ENABLED
@@ -137,13 +135,20 @@ Simulator::Simulator(const Workload& workload, const SimConfig& config,
         "-DHBMSIM_CHECKED=ON or CMAKE_BUILD_TYPE=Debug)");
 #endif
   }
+
+  // Resolve and build the engine last: validation already vetoed
+  // incapable explicit requests through the registry, and the event
+  // engine inspects the final cache/checker wiring to decide whether its
+  // dense backlog path applies.
+  resolved_engine_ = resolve_engine(config_, p);
+  engine_impl_ = make_engine(resolved_engine_, *this);
 }
 
 Simulator::~Simulator() = default;
 
 Simulator::ThreadState Simulator::thread_state(ThreadId t) const {
   HBMSIM_CHECK(t < threads_.size(), "thread id out of range");
-  return threads_[t].state;
+  return engine_impl_->thread_state(t);
 }
 
 GlobalPage Simulator::current_page(ThreadId t) const {
@@ -174,6 +179,10 @@ bool Simulator::is_stale(const QueuedRequest& request) const {
 }
 
 std::size_t Simulator::queue_size() const noexcept {
+  return engine_impl_->queue_size();
+}
+
+std::size_t Simulator::arbiter_queue_size() const noexcept {
   std::size_t total = 0;
   for (const auto& q : queues_) {
     total += q->size();
@@ -212,6 +221,10 @@ void Simulator::serve(ThreadId t, ThreadContext& ctx, GlobalPage page) {
   if (ctx.next_ref == ctx.trace->size()) {
     ctx.state = ThreadState::kDone;
     ++done_threads_;
+    if (config_.open_system) {
+      // lint:allow-hot-path-alloc — reserved to p
+      completions_.push_back(Completion{tick_, t});
+    }
     if (config_.per_thread_metrics) {
       metrics_.per_thread[t].completion_tick = tick_;
     }
@@ -368,16 +381,7 @@ bool Simulator::step() {
   if (finished()) {
     return false;
   }
-  if (fast_engine_) {
-    if (serve_hit_run()) {
-      if (finished()) {
-        return true;
-      }
-    } else {
-      fast_forward_idle();
-    }
-  }
-  return step_tick();
+  return engine_impl_->step();
 }
 
 bool Simulator::step_tick() {
@@ -395,8 +399,9 @@ bool Simulator::step_tick() {
   // Liveness: some unfinished thread must be active, queued, or in
   // flight; otherwise a request was lost and the run would spin to
   // max_ticks.
-  HBMSIM_CHECK(!active_now_.empty() || queue_size() > 0 || !in_flight_.empty(),
-               "simulator deadlock: unfinished threads but no pending work");
+  HBMSIM_CHECK(
+      !active_now_.empty() || arbiter_queue_size() > 0 || !in_flight_.empty(),
+      "simulator deadlock: unfinished threads but no pending work");
 
   // Step 1: priority remap.
   const bool remap_due =
@@ -410,7 +415,7 @@ bool Simulator::step_tick() {
   // spans satisfying exactly this predicate (fast_forward_idle), so an
   // executed tick of the fast engine never matches it.
   if (!arrivals_due && !remap_due && active_now_.empty() &&
-      queue_size() == 0) {
+      arbiter_queue_size() == 0) {
     ++metrics_.idle_ticks;
   }
 
@@ -439,7 +444,8 @@ bool Simulator::fast_forward_idle() {
   // DRAM queue (a queued request would issue a fetch every tick), and no
   // remap boundary at tick_ itself (the boundary tick must execute —
   // do_remap mutates priority/RNG state and metrics_.remaps).
-  if (!active_now_.empty() || in_flight_.empty() || queue_size() != 0) {
+  if (!active_now_.empty() || in_flight_.empty() ||
+      arbiter_queue_size() != 0) {
     return false;
   }
   if (config_.remap_period != 0 && tick_ % config_.remap_period == 0) {
@@ -452,6 +458,9 @@ bool Simulator::fast_forward_idle() {
     horizon = std::min(horizon, boundary);
   }
   horizon = std::min(horizon, config_.max_ticks);
+  // Open systems: never jump past a tick where the serving driver may
+  // inject an arrival (the injected worker must issue on that tick).
+  horizon = std::min(horizon, arrival_horizon_);
   if (horizon <= tick_) {
     return false;  // the next event lands on this very tick
   }
@@ -472,7 +481,8 @@ bool Simulator::serve_hit_run() {
   // only serve this core's next reference, so as long as the references
   // hit we replay the reference engine's exact per-tick effects (request
   // accounting, serve(), tick advance) without the step machinery.
-  if (active_now_.size() != 1 || !in_flight_.empty() || queue_size() != 0) {
+  if (active_now_.size() != 1 || !in_flight_.empty() ||
+      arbiter_queue_size() != 0) {
     return false;
   }
   const ThreadId t = active_now_.front();
@@ -481,7 +491,10 @@ bool Simulator::serve_hit_run() {
     return false;
   }
   bool served_any = false;
-  while (tick_ < config_.max_ticks) {
+  // The arrival-horizon bound keeps the run tick-exact where the serving
+  // driver may inject (closed systems: the horizon is effectively
+  // infinite, so the bound is free).
+  while (tick_ < config_.max_ticks && tick_ < arrival_horizon_) {
     if (config_.remap_period != 0 && tick_ % config_.remap_period == 0) {
       break;  // the boundary tick must remap; run it through step_tick
     }
@@ -542,6 +555,13 @@ void Simulator::inject_trace(ThreadId t, std::shared_ptr<const Trace> trace) {
   active_now_.insert(pos, t);
 }
 
+void Simulator::set_arrival_horizon(Tick horizon) {
+  HBMSIM_CHECK(config_.open_system,
+               "set_arrival_horizon requires SimConfig::open_system");
+  HBMSIM_CHECK(horizon >= tick_, "arrival horizon cannot be in the past");
+  arrival_horizon_ = horizon;
+}
+
 void Simulator::advance_idle(Tick to) {
   HBMSIM_CHECK(config_.open_system,
                "advance_idle requires SimConfig::open_system");
@@ -558,7 +578,7 @@ void Simulator::advance_idle(Tick to) {
 RunMetrics Simulator::run() {
   while (step()) {
   }
-  metrics_.evictions = cache_->evictions();
+  engine_impl_->finalize(metrics_);
   // A truncated run stops mid-flight; after_run's completion and
   // conservation laws only bind finished runs.
   if (checker_ && !metrics_.truncated) {

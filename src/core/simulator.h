@@ -18,12 +18,16 @@
 // than O(makespan · p),
 // where idle_ticks counts ticks in which no transfer arrives, no remap
 // fires, no core is runnable, and the DRAM queue is empty — the term that
-// dominates when q << p or fetch_ticks >> 1. The event-driven fast engine
-// (EngineKind::kFast, DESIGN.md §3c) removes it: provably idle spans are
-// jumped in one step to the next event horizon — min(next in-flight
-// serve_tick, next remap boundary t % T == 0, max_ticks) — and
-// single-runnable-thread runs of consecutive HBM hits are batched without
-// the per-tick machinery. Both engines are bit-identical by contract
+// dominates when q << p or fetch_ticks >> 1.
+//
+// How time advances is an Engine (core/engine.h), resolved once at
+// construction: the fast engine (EngineKind::kFast, DESIGN.md §3c) jumps
+// provably idle spans to the next event horizon — min(next in-flight
+// serve_tick, next remap boundary t % T == 0, max_ticks, the open-system
+// arrival horizon) — and batches single-runnable-thread hit runs; the
+// event engine (EngineKind::kEvent, core/event_engine.h, DESIGN.md §3e)
+// additionally runs saturated backlogs in O(events) through a dense
+// mirrored fast path. All engines are bit-identical by contract
 // (tests/simulator_property_test.cc differential suite); only
 // RunMetrics::skipped_ticks may differ.
 //
@@ -52,6 +56,11 @@ namespace check {
 class InvariantChecker;
 }  // namespace check
 
+class Engine;
+class TickEngine;
+class FastEngine;
+class EventEngine;
+
 class Simulator {
  public:
   /// Thread states, exposed for tests and step-by-step inspection.
@@ -77,10 +86,11 @@ class Simulator {
   Simulator& operator=(Simulator&&) = delete;
 
   /// Advance the simulation. Under the tick engine this is exactly one
-  /// tick; under the fast engine one call may cover a whole batched hit
-  /// run or a fast-forwarded idle span plus the event tick that ends it
-  /// (now() always lands on an executed-tick boundary). Returns false
-  /// when the simulation was already complete (no tick consumed).
+  /// tick; under the fast or event engine one call may cover a whole
+  /// batched hit run, a fast-forwarded idle span plus the event tick that
+  /// ends it, or a dense backlog burst (now() always lands on an
+  /// executed-tick boundary). Returns false when the simulation was
+  /// already complete (no tick consumed).
   bool step();
 
   /// Run to completion — or to SimConfig::max_ticks, in which case the
@@ -105,6 +115,29 @@ class Simulator {
   /// without paying per-tick cost.
   void advance_idle(Tick to);
 
+  /// Promise that no trace will be injected at any tick < `horizon`
+  /// (horizon >= now()). This turns arrival injection into an event the
+  /// batching engines can schedule around: idle-span jumps and hit runs
+  /// are clamped to the horizon, and the event engine's step() returns
+  /// control at the horizon tick without executing it, so the serving
+  /// driver can inject first. Defaults to 0 in open systems (every tick
+  /// is a potential arrival — tick-exact stepping) and to "never" in
+  /// closed systems.
+  void set_arrival_horizon(Tick horizon);
+
+  /// One worker finishing its injected trace, recorded by the tick it
+  /// completed on. Buffered so a batched step can deliver several
+  /// completions at once; entries are chronological, id-ascending within
+  /// a tick — exactly the order a per-tick harvest scan would see.
+  struct Completion {
+    Tick tick;
+    ThreadId thread;
+  };
+  [[nodiscard]] const std::vector<Completion>& completions() const noexcept {
+    return completions_;
+  }
+  void clear_completions() noexcept { completions_.clear(); }
+
   /// ---- Introspection (tests, debugging) ----
   [[nodiscard]] Tick now() const noexcept { return tick_; }
   [[nodiscard]] ThreadState thread_state(ThreadId t) const;
@@ -112,13 +145,9 @@ class Simulator {
   [[nodiscard]] const CacheModel& cache() const noexcept { return *cache_; }
   [[nodiscard]] const PriorityMap& priorities() const noexcept { return priorities_; }
   [[nodiscard]] const RunMetrics& metrics() const noexcept { return metrics_; }
-  /// The engine this run resolved to (never kAuto): kAuto picks kFast
-  /// when the config can actually benefit — fetch_ticks > 1 makes idle
-  /// spans possible, a single-thread workload makes hit-run batching
-  /// possible — and the reference tick engine otherwise.
-  [[nodiscard]] EngineKind engine() const noexcept {
-    return fast_engine_ ? EngineKind::kFast : EngineKind::kTick;
-  }
+  /// The engine this run resolved to (never kAuto) — see
+  /// resolve_engine() in core/engine.h for the kAuto rule.
+  [[nodiscard]] EngineKind engine() const noexcept { return resolved_engine_; }
 
  private:
   struct ThreadContext {
@@ -128,18 +157,20 @@ class Simulator {
     ThreadState state = ThreadState::kIssuing;
   };
 
-  /// The reference §3.1 tick body (both engines execute event ticks
+  /// The reference §3.1 tick body (every engine executes event ticks
   /// through it). Precondition: !finished().
   bool step_tick();
-  /// Fast engine: jump tick_ over a provably idle span to the next event
-  /// horizon. Returns false (and skips nothing) unless the span is
+  /// Fast/event engines: jump tick_ over a provably idle span to the next
+  /// event horizon. Returns false (and skips nothing) unless the span is
   /// provably idle: no runnable core, empty DRAM queue, a transfer in
-  /// flight that arrives strictly later, and no remap boundary at tick_.
+  /// flight that arrives strictly later, no remap boundary at tick_, and
+  /// (open systems) no possible arrival before the horizon.
   bool fast_forward_idle();
-  /// Fast engine: with exactly one runnable core and nothing queued or in
-  /// flight, replay its run of consecutive HBM hits in a tight loop (one
-  /// tick each, preserving the exact per-tick metric-update order, so the
-  /// Welford response stats stay bit-identical). Returns whether any
+  /// Fast/event engines: with exactly one runnable core and nothing
+  /// queued or in flight, replay its run of consecutive HBM hits in a
+  /// tight loop (one tick each, preserving the exact per-tick
+  /// metric-update order, so the Welford response stats stay
+  /// bit-identical), stopping at the arrival horizon. Returns whether any
   /// reference was served.
   bool serve_hit_run();
   void do_remap();
@@ -156,6 +187,12 @@ class Simulator {
   /// under ChannelBinding::kAny, or the page's hashed channel queue.
   [[nodiscard]] ArbitrationPolicy& queue_for(GlobalPage page);
 
+  /// Total entries across the arbitration queues. The tick machinery and
+  /// the default Engine introspection use this directly; the public
+  /// queue_size() delegates through the engine so a dense event-engine
+  /// burst reports its mirrored queue instead.
+  [[nodiscard]] std::size_t arbiter_queue_size() const noexcept;
+
   SimConfig config_;
   std::vector<ThreadContext> threads_;
   PriorityMap priorities_;
@@ -171,7 +208,16 @@ class Simulator {
   /// the response samples remain — conservation audits need the total).
   std::uint64_t retired_refs_ = 0;
   /// Resolved engine choice (see engine()); fixed at construction.
-  bool fast_engine_ = false;
+  EngineKind resolved_engine_ = EngineKind::kTick;
+  /// The engine driving step()/run() (core/engine.h); built last in the
+  /// constructor so it can inspect the final cache/checker wiring.
+  std::unique_ptr<Engine> engine_impl_;
+  /// No external arrival is injected at ticks < arrival_horizon_ (see
+  /// set_arrival_horizon). 0 in open systems until the serving driver
+  /// raises it; effectively infinite in closed systems.
+  Tick arrival_horizon_ = 0;
+  /// Open-system completion buffer (see completions()).
+  std::vector<Completion> completions_;
 
   // Threads to consider at step 2/4 of the current tick.
   std::vector<ThreadId> active_now_;
@@ -208,6 +254,12 @@ class Simulator {
   /// Checked builds only (SimConfig::paranoid): audits every tick.
   std::unique_ptr<check::InvariantChecker> checker_;
   friend class check::InvariantChecker;
+  // Engines drive the private tick machinery directly (friendship is not
+  // inherited, so each concrete engine is named).
+  friend class Engine;
+  friend class TickEngine;
+  friend class FastEngine;
+  friend class EventEngine;
 };
 
 /// One-shot convenience: simulate `workload` under `config`.

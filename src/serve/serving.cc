@@ -1,6 +1,7 @@
 #include "serve/serving.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 #include <sstream>
 #include <utility>
@@ -42,6 +43,9 @@ std::string ServingConfig::validation_error() const {
     }
     if (t.slo_ticks == 0) {
       return who + "needs a positive SLO (slo_ticks)";
+    }
+    if (t.starvation_multiplier == 0) {
+      return who + "needs a positive starvation multiplier";
     }
     if (std::string message = t.arrival.validation_error(); !message.empty()) {
       return who + message;
@@ -110,7 +114,9 @@ std::string ServingMetrics::summary() const {
        << format_fixed(t.latency_quantile(0.50), 1) << "/"
        << format_fixed(t.latency_quantile(0.99), 1) << "/"
        << format_fixed(t.latency_quantile(0.999), 1) << " ticks, "
-       << format_count(t.slo_violations) << " SLO violations\n";
+       << format_count(t.slo_violations) << " SLO violations ("
+       << format_count(t.starved) << " starved), max wait "
+       << format_count(t.max_wait) << "\n";
   }
   return os.str();
 }
@@ -128,6 +134,8 @@ std::string to_json(const ServingMetrics& m) {
         .field("completed", t.completed)
         .field("slo_violations", t.slo_violations)
         .field("slo_violation_rate", t.slo_violation_rate())
+        .field("starved", t.starved)
+        .field("max_wait", t.max_wait)
         .field("mean_latency", t.latency.mean())
         .field("max_latency", t.latency.count() == 0
                                   ? std::uint64_t{0}
@@ -232,6 +240,10 @@ void ServingSimulator::inject_request(std::uint32_t tenant, ThreadId worker,
                                       Tick arrival) {
   TenantRuntime& tr = tenants_[tenant];
   const TenantSpec& spec = config_.tenants[tenant];
+  // Queueing delay so far: 0 when injected on arrival, positive when the
+  // request sat in the pending queue for a worker.
+  metrics_.per_tenant[tenant].max_wait =
+      std::max(metrics_.per_tenant[tenant].max_wait, sim_->now() - arrival);
   std::vector<LocalPage> refs(spec.shape.refs);
   for (LocalPage& r : refs) {
     r = static_cast<LocalPage>(tr.zipf(tr.gen));
@@ -275,30 +287,37 @@ void ServingSimulator::deliver_arrivals(Tick now) {
 
 void ServingSimulator::harvest_completions() {
   const Tick now = sim_->now();
-  for (std::size_t w = 0; w < workers_.size(); ++w) {
-    WorkerState& ws = workers_[w];
-    if (!ws.busy || sim_->thread_state(static_cast<ThreadId>(w)) !=
-                        Simulator::ThreadState::kDone) {
-      continue;
-    }
+  // The completion buffer records the tick each worker served its last
+  // reference — a step that batched many ticks (DESIGN.md §3e) still
+  // yields exact per-request latency. Entries are chronological and
+  // id-ascending within a tick, matching the per-step worker scan this
+  // replaces.
+  for (const Simulator::Completion& c : sim_->completions()) {
+    WorkerState& ws = workers_[c.thread];
+    HBMSIM_ASSERT(ws.busy, "completion for a worker with no request");
     TenantRuntime& tr = tenants_[ws.tenant];
     TenantMetrics& tm = metrics_.per_tenant[ws.tenant];
-    // The last reference was served in the tick that just executed
-    // (now - 1), so end-to-end latency — arrival to availability — is
-    // now - arrival; a same-tick single-hit request costs 1.
-    const Tick latency = now - ws.arrival_tick;
+    // The last reference was served in tick c.tick, so end-to-end
+    // latency — arrival to availability — is (c.tick + 1) - arrival; a
+    // same-tick single-hit request costs 1.
+    const Tick latency = c.tick + 1 - ws.arrival_tick;
     tm.latency.add(static_cast<double>(latency));
     tm.latency_hist.add(latency);
     ++tm.completed;
-    if (latency > config_.tenants[ws.tenant].slo_ticks) {
+    const TenantSpec& spec = config_.tenants[ws.tenant];
+    if (latency > spec.slo_ticks) {
       ++tm.slo_violations;
+      if (latency > static_cast<Tick>(spec.starvation_multiplier) *
+                        spec.slo_ticks) {
+        ++tm.starved;
+      }
     }
     --tr.in_service;
     ws.busy = false;
-    const auto pos = std::lower_bound(tr.idle.begin(), tr.idle.end(),
-                                      static_cast<ThreadId>(w));
-    tr.idle.insert(pos, static_cast<ThreadId>(w));
+    const auto pos = std::lower_bound(tr.idle.begin(), tr.idle.end(), c.thread);
+    tr.idle.insert(pos, c.thread);
   }
+  sim_->clear_completions();
   // Refill freed workers from the pending queues, oldest request first,
   // lowest worker id first — provided the run has room for another tick.
   if (now < config_.sim.max_ticks) {
@@ -342,11 +361,11 @@ ServingMetrics ServingSimulator::run() {
       break;
     }
     deliver_arrivals(now);
+    const std::optional<Tick> next = next_arrival_tick();
     if (sim_->finished()) {
       // Machine empty: jump to the next arrival, or stop once every
       // arrival is resolved (the queues drain through harvest, so an
       // empty machine implies empty pending queues).
-      const std::optional<Tick> next = next_arrival_tick();
       if (!next) {
         break;
       }
@@ -356,6 +375,12 @@ ServingMetrics ServingSimulator::run() {
       }
       continue;
     }
+    // Publish how far the engine may run without consulting us again:
+    // arrivals due at `now` are already injected, so the next injection
+    // can only happen at the next arrival tick. A batching engine
+    // (DESIGN.md §3e) advances up to — never past — this horizon.
+    sim_->set_arrival_horizon(next ? *next
+                                   : std::numeric_limits<Tick>::max());
     if (!sim_->step()) {
       break;  // truncated mid-service
     }

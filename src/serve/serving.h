@@ -8,7 +8,13 @@
 // machine model underneath through the SimConfig::open_system API — each
 // tenant gets a block of worker threads, an idle worker is handed a fresh
 // request trace via Simulator::inject_trace, and dead air between
-// arrivals is skipped via Simulator::advance_idle.
+// arrivals is skipped via Simulator::advance_idle. Before every step the
+// harness publishes the next arrival tick via
+// Simulator::set_arrival_horizon, so a batching engine (DESIGN.md §3e)
+// may advance through many ticks per step — completions are then
+// harvested exactly from the simulator's completion buffer
+// (Simulator::completions()), which records the tick each worker
+// finished, not the tick the step returned.
 //
 // Tenant → rank mapping: the machine's priority arbitration ranks thread
 // ids through the identity π (lower id = higher rank), so the harness
@@ -81,13 +87,19 @@ struct TenantSpec {
   /// Admission queue depth when all workers are busy; 0 rejects
   /// immediately on saturation.
   std::uint32_t max_pending = 64;
+  /// Starvation threshold multiplier: a request completing in more than
+  /// starvation_multiplier × slo_ticks counts as starved (see
+  /// TenantMetrics::starved) — the tail beyond "late" that admission
+  /// control and arbitration policy are supposed to bound.
+  std::uint32_t starvation_multiplier = 4;
 };
 
 /// Full open-system experiment configuration.
 struct ServingConfig {
   std::vector<TenantSpec> tenants;
-  /// Machine configuration. The harness forces open_system on;
-  /// engine must be kTick or kAuto (kFast is rejected — see SimConfig).
+  /// Machine configuration. The harness forces open_system on; the
+  /// engine must advertise open-system support in the capability
+  /// registry (kFast is rejected; kAuto resolves to the event engine).
   SimConfig sim;
   /// Arrival horizon: no arrivals are generated at or after this tick.
   /// The run then drains in-service requests (so the simulated horizon
@@ -113,6 +125,13 @@ struct TenantMetrics {
   std::uint64_t rejected = 0;
   std::uint64_t completed = 0;
   std::uint64_t slo_violations = 0;
+  /// Starvation tail: completions whose end-to-end latency exceeded
+  /// starvation_multiplier × slo_ticks (TenantSpec).
+  std::uint64_t starved = 0;
+  /// Longest any admitted request sat in the pending queue before being
+  /// handed to a worker (arrival → injection), in ticks. Queueing delay
+  /// only — a request injected on arrival waits 0.
+  Tick max_wait = 0;
   /// End-to-end request latency (arrival → completion, queueing delay
   /// included), in ticks.
   StreamingStats latency;
@@ -185,8 +204,9 @@ class ServingSimulator {
   /// Admit every arrival due at `now`: inject onto an idle worker, queue
   /// below max_pending, or reject.
   void deliver_arrivals(Tick now);
-  /// Detect workers that finished their trace, record latency/SLO, and
-  /// refill freed workers from the pending queues.
+  /// Drain the simulator's completion buffer — latency/SLO/starvation
+  /// accounting against each completion's recorded tick — and refill
+  /// freed workers from the pending queues.
   void harvest_completions();
   void inject_request(std::uint32_t tenant, ThreadId worker, Tick arrival);
   /// Earliest next arrival across tenants, nullopt when all streams are

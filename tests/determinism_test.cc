@@ -87,11 +87,12 @@ TEST(Determinism, RepeatRunsAreBitIdentical) {
 // pages), in_flight_pages_ (shared pages + fetch_ticks > 1), and the
 // PageMapper/lower-bound maps via the synthetic workloads.
 //
-// Every golden runs under BOTH execution engines (DESIGN.md §3c): the
-// engines are bit-identical by contract, so one pinned value serves both
-// — a fast-engine change that drifts from the reference tick loop fails
-// here exactly like any other determinism break. Note the fingerprint
-// deliberately excludes skipped_ticks, the one engine-dependent field.
+// Every golden runs under ALL execution engines (DESIGN.md §3c, §3e):
+// the engines are bit-identical by contract, so one pinned value serves
+// them all — a fast- or event-engine change that drifts from the
+// reference tick loop fails here exactly like any other determinism
+// break. Note the fingerprint deliberately excludes skipped_ticks, the
+// one engine-dependent field.
 
 std::uint64_t run_fifo_baseline(EngineKind engine,
                                ArbiterImpl impl = ArbiterImpl::kFast) {
@@ -145,12 +146,15 @@ std::uint64_t run_random_arbitration_seeded(EngineKind engine,
 TEST(Determinism, FifoBaselineMatchesGolden) {
   EXPECT_EQ(run_fifo_baseline(EngineKind::kTick), 5478838069903108940ULL);
   EXPECT_EQ(run_fifo_baseline(EngineKind::kFast), 5478838069903108940ULL);
+  EXPECT_EQ(run_fifo_baseline(EngineKind::kEvent), 5478838069903108940ULL);
 }
 
 TEST(Determinism, DynamicPriorityRemapMatchesGolden) {
   EXPECT_EQ(run_dynamic_priority_remap(EngineKind::kTick),
             11901694040812187088ULL);
   EXPECT_EQ(run_dynamic_priority_remap(EngineKind::kFast),
+            11901694040812187088ULL);
+  EXPECT_EQ(run_dynamic_priority_remap(EngineKind::kEvent),
             11901694040812187088ULL);
 }
 
@@ -159,6 +163,8 @@ TEST(Determinism, SharedPagesPiggybackMatchesGolden) {
             16191620588421519683ULL);
   EXPECT_EQ(run_shared_pages_piggyback(EngineKind::kFast),
             16191620588421519683ULL);
+  EXPECT_EQ(run_shared_pages_piggyback(EngineKind::kEvent),
+            16191620588421519683ULL);
 }
 
 TEST(Determinism, FrFcfsHashedChannelsMatchesGolden) {
@@ -166,12 +172,16 @@ TEST(Determinism, FrFcfsHashedChannelsMatchesGolden) {
             3295483707807617535ULL);
   EXPECT_EQ(run_frfcfs_hashed_channels(EngineKind::kFast),
             3295483707807617535ULL);
+  EXPECT_EQ(run_frfcfs_hashed_channels(EngineKind::kEvent),
+            3295483707807617535ULL);
 }
 
 TEST(Determinism, RandomArbitrationSeededMatchesGolden) {
   EXPECT_EQ(run_random_arbitration_seeded(EngineKind::kTick),
             7184237674189686650ULL);
   EXPECT_EQ(run_random_arbitration_seeded(EngineKind::kFast),
+            7184237674189686650ULL);
+  EXPECT_EQ(run_random_arbitration_seeded(EngineKind::kEvent),
             7184237674189686650ULL);
 }
 
@@ -211,16 +221,21 @@ RunMetrics run_hashed_latency(EngineKind engine) {
   return simulate(workload(workloads::SyntheticKind::kUniform, 2), config);
 }
 
-TEST(Determinism, HashedLatencyGoldenHoldsUnderBothEngines) {
+TEST(Determinism, HashedLatencyGoldenHoldsUnderAllEngines) {
   const RunMetrics tick = run_hashed_latency(EngineKind::kTick);
   const RunMetrics fast = run_hashed_latency(EngineKind::kFast);
+  const RunMetrics event = run_hashed_latency(EngineKind::kEvent);
   EXPECT_EQ(fingerprint(tick), 12909710635077109274ULL);
   EXPECT_EQ(fingerprint(fast), 12909710635077109274ULL);
-  // The engines agree on idle time; only the fast engine skips any of it.
+  EXPECT_EQ(fingerprint(event), 12909710635077109274ULL);
+  // The engines agree on idle time; only the batching engines skip any.
   EXPECT_EQ(tick.idle_ticks, fast.idle_ticks);
+  EXPECT_EQ(tick.idle_ticks, event.idle_ticks);
   EXPECT_EQ(tick.skipped_ticks, 0u);
   EXPECT_GT(fast.skipped_ticks, 0u);
+  EXPECT_GT(event.skipped_ticks, 0u);
   EXPECT_LE(fast.skipped_ticks, fast.idle_ticks);
+  EXPECT_LE(event.skipped_ticks, event.idle_ticks);
 }
 
 // --- Open-system serving golden ----------------------------------------

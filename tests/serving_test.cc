@@ -177,10 +177,15 @@ TEST(OpenSystem, AdvanceIdleRequiresOpenSystemMode) {
 }
 
 TEST(OpenSystem, FastEngineIsRejectedByValidation) {
+  // The capability registry drives the rejection: kFast does not
+  // advertise open-system support, kEvent and kTick do, and kAuto
+  // resolves (to the event engine) so it always validates.
   SimConfig c = open_machine();
   c.engine = EngineKind::kFast;
   EXPECT_FALSE(c.validation_error(1).empty());
-  c.engine = EngineKind::kAuto;  // resolves to the tick engine instead
+  c.engine = EngineKind::kEvent;
+  EXPECT_TRUE(c.validation_error(1).empty());
+  c.engine = EngineKind::kAuto;
   EXPECT_TRUE(c.validation_error(1).empty());
 }
 
@@ -325,6 +330,65 @@ TEST(Serving, RepeatRunsAreBitIdentical) {
   EXPECT_EQ(a.horizon, b.horizon);
 }
 
+TEST(Serving, TickAndEventEnginesAreBitIdenticalOpenSystem) {
+  // The whole serving stack — horizon publication, completion-buffer
+  // harvest, latency accounting — must be invisible to the engine
+  // choice: the reference tick engine and the batching event engine
+  // land on byte-identical serialized metrics.
+  serve::ServingConfig cfg = small_serving();
+  cfg.tenants.push_back(cfg.tenants[0]);
+  cfg.tenants[1].name = "t1";
+  cfg.tenants[1].priority_class = 1;
+  cfg.tenants[1].arrival = poisson(0.05);
+  cfg.sim.fetch_ticks = 3;  // real in-flight gaps for the engine to batch
+
+  serve::ServingConfig tick_cfg = cfg;
+  tick_cfg.sim.engine = EngineKind::kTick;
+  serve::ServingConfig event_cfg = cfg;
+  event_cfg.sim.engine = EngineKind::kEvent;
+  const serve::ServingMetrics tick = serve::serve(tick_cfg);
+  const serve::ServingMetrics event = serve::serve(event_cfg);
+  EXPECT_EQ(serve::to_json(tick), serve::to_json(event));
+  EXPECT_EQ(tick.horizon, event.horizon);
+  EXPECT_EQ(tick.sim.makespan, event.sim.makespan);
+  EXPECT_EQ(tick.sim.idle_ticks, event.sim.idle_ticks);
+  // The event engine must actually have batched (else this test proves
+  // nothing); the tick engine by definition never skips.
+  EXPECT_EQ(tick.sim.skipped_ticks, 0u);
+  EXPECT_GT(event.sim.skipped_ticks, 0u);
+}
+
+TEST(Serving, OverloadTracksStarvationAndMaxWait) {
+  // One slow worker, a deep admission queue, and a tight SLO: requests
+  // queue for a long time, so the starvation tail and the max pending
+  // wait must both register.
+  serve::ServingConfig cfg = small_serving();
+  cfg.tenants[0].workers = 1;
+  cfg.tenants[0].max_pending = 32;
+  cfg.tenants[0].arrival = poisson(0.5);
+  cfg.tenants[0].slo_ticks = 8;
+  cfg.tenants[0].starvation_multiplier = 2;
+  cfg.sim.fetch_ticks = 4;
+  const serve::ServingMetrics m = serve::serve(cfg);
+  const serve::TenantMetrics& t = m.per_tenant[0];
+  EXPECT_GT(t.completed, 0u);
+  EXPECT_GT(t.slo_violations, 0u);
+  EXPECT_GT(t.starved, 0u);
+  EXPECT_LE(t.starved, t.slo_violations);
+  EXPECT_GT(t.max_wait, 0u);
+  // max_wait is queueing delay only, so it is bounded by the worst
+  // end-to-end latency.
+  EXPECT_LE(static_cast<double>(t.max_wait), t.latency.max());
+  // Both fields ride along in the serialized record.
+  const std::string json = serve::to_json(m);
+  EXPECT_NE(json.find("\"starved\":"), std::string::npos);
+  EXPECT_NE(json.find("\"max_wait\":"), std::string::npos);
+  // An underloaded run starves nothing and never queues.
+  const serve::ServingMetrics calm = serve::serve(small_serving());
+  EXPECT_EQ(calm.per_tenant[0].starved, 0u);
+  EXPECT_EQ(calm.per_tenant[0].max_wait, 0u);
+}
+
 TEST(Serving, ValidationRejectsInconsistentConfigs) {
   serve::ServingConfig cfg = small_serving();
   cfg.tenants.clear();
@@ -340,6 +404,10 @@ TEST(Serving, ValidationRejectsInconsistentConfigs) {
 
   cfg = small_serving();
   cfg.tenants[0].arrival.rate = 0.0;
+  EXPECT_FALSE(cfg.validation_error().empty());
+
+  cfg = small_serving();
+  cfg.tenants[0].starvation_multiplier = 0;
   EXPECT_FALSE(cfg.validation_error().empty());
 
   cfg = small_serving();

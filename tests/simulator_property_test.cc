@@ -7,12 +7,14 @@
 // parameter grid of policies, thread counts, channel counts and HBM
 // sizes. The remaining tests assert model invariants (conservation,
 // determinism, LRU inclusion, the p·T response bound for Cycle Priority).
-// A second harness proves the event-driven fast engine (DESIGN.md §3c)
+// A second harness proves the fast engine (DESIGN.md §3c) and the
+// calendar-queue event engine (§3e, including its dense backlog layer)
 // bit-identical to the reference tick engine: a randomized grid over
 // (workload family, arbitration, replacement, q, fetch_ticks,
-// remap_period, shared pages, direct-mapped cache) fingerprints both
-// engines' RunMetrics, and step()-interleaving tests pin thread_state()
-// agreement at every event boundary.
+// remap_period, shared pages, direct-mapped cache) fingerprints all
+// engines' RunMetrics, step()-interleaving tests pin thread_state()
+// agreement at every event boundary, and dense corner tests pin the
+// export protocol (requeue, slot overflow, truncation).
 #include <gtest/gtest.h>
 
 #include <bit>
@@ -23,6 +25,8 @@
 #include <vector>
 
 #include "assoc/direct_mapped.h"
+#include "check/check.h"
+#include "core/event_engine.h"
 #include "core/simulator.h"
 #include "stats/streaming.h"
 #include "util/rng.h"
@@ -490,7 +494,8 @@ TEST(SimulatorProperties, TinyCacheStillTerminates) {
 }
 
 // ---------------------------------------------------------------------
-// Differential equivalence: fast engine vs reference tick engine.
+// Differential equivalence: fast and event engines vs the reference
+// tick engine.
 // ---------------------------------------------------------------------
 
 // Order-sensitive fingerprint of every RunMetrics field that takes part
@@ -543,8 +548,10 @@ RunMetrics run_with_engine(const Workload& w, SimConfig cfg, EngineKind engine,
 
 TEST(EngineDifferential, RandomizedGridBitIdentical) {
   // 64 configurations drawn from a fixed seed, spanning every axis the
-  // fast paths interact with. Each runs under both engines; the
-  // fingerprints must match exactly and the idle accounting must agree.
+  // fast paths interact with. Each runs under all three engines (the
+  // event engine's dense layer engages wherever its gates admit the
+  // config); the fingerprints must match exactly and the idle
+  // accounting must agree.
   SplitMix64 rng(0xD1FFE4E17);
   std::uint64_t total_skipped = 0;
   for (int i = 0; i < 64; ++i) {
@@ -605,12 +612,17 @@ TEST(EngineDifferential, RandomizedGridBitIdentical) {
         run_with_engine(w, cfg, EngineKind::kTick, direct_mapped);
     const RunMetrics fast =
         run_with_engine(w, cfg, EngineKind::kFast, direct_mapped);
+    const RunMetrics event =
+        run_with_engine(w, cfg, EngineKind::kEvent, direct_mapped);
 
     EXPECT_EQ(engine_fingerprint(ref), engine_fingerprint(fast));
+    EXPECT_EQ(engine_fingerprint(ref), engine_fingerprint(event));
     EXPECT_EQ(ref.skipped_ticks, 0u);
     EXPECT_EQ(ref.idle_ticks, fast.idle_ticks);
+    EXPECT_EQ(ref.idle_ticks, event.idle_ticks);
     EXPECT_LE(fast.skipped_ticks, fast.idle_ticks);
-    total_skipped += fast.skipped_ticks;
+    EXPECT_LE(event.skipped_ticks, event.idle_ticks);
+    total_skipped += fast.skipped_ticks + event.skipped_ticks;
 
     // The arbiter axis: the map/scan reference structures and the
     // cross-checked shadow wrapper must land on the same fingerprint as
@@ -625,6 +637,12 @@ TEST(EngineDifferential, RandomizedGridBitIdentical) {
     const RunMetrics shadow =
         run_with_engine(w, shadow_cfg, EngineKind::kFast, direct_mapped);
     EXPECT_EQ(engine_fingerprint(ref), engine_fingerprint(shadow));
+    // The shadow arbiter forces the event engine onto its portable layer
+    // (the dense gate requires the production arbiter): a third engine ×
+    // arbiter combination for the price of one run.
+    const RunMetrics event_shadow =
+        run_with_engine(w, shadow_cfg, EngineKind::kEvent, direct_mapped);
+    EXPECT_EQ(engine_fingerprint(ref), engine_fingerprint(event_shadow));
   }
   // The grid must actually exercise the fast path, not vacuously agree.
   EXPECT_GT(total_skipped, 0u);
@@ -704,26 +722,58 @@ TEST(EngineDifferential, MidRunStepsThenRunMatchesFullRun) {
   EXPECT_GT(whole.skipped_ticks, 0u);
 }
 
-TEST(EngineDifferential, AutoResolvesWhereTheFastEngineCanHelp) {
+TEST(EngineRegistry, RowsAreCompleteAndSelfConsistent) {
+  const auto rows = engine_registry();
+  ASSERT_EQ(rows.size(), 4u);  // tick, fast, event + the kAuto pseudo-entry
+  EXPECT_EQ(rows.back().kind, EngineKind::kAuto);
+  for (const EngineCaps& row : rows) {
+    EXPECT_EQ(row.name, to_string(row.kind));
+    EXPECT_EQ(&engine_caps(row.kind), &row);
+    if (row.kind != EngineKind::kAuto) {
+      // Every concrete name must round-trip through the parser.
+      EXPECT_EQ(parse_engine(row.name), row.kind);
+    }
+  }
+  // The capability axes validation queries.
+  EXPECT_FALSE(engine_caps(EngineKind::kFast).supports_open_system);
+  EXPECT_TRUE(engine_caps(EngineKind::kTick).supports_open_system);
+  EXPECT_TRUE(engine_caps(EngineKind::kEvent).supports_open_system);
+}
+
+TEST(EngineRegistry, ValidationConsultsCapabilities) {
+  SimConfig open = SimConfig::fifo(8, 1);
+  open.open_system = true;
+  open.engine = EngineKind::kFast;
+  const std::string message = engine_validation_error(open);
+  EXPECT_NE(message.find("open_system"), std::string::npos);
+  EXPECT_NE(message.find("--engine list"), std::string::npos);
+  open.engine = EngineKind::kEvent;
+  EXPECT_TRUE(engine_validation_error(open).empty());
+  open.engine = EngineKind::kAuto;  // resolution, not validation, decides
+  EXPECT_TRUE(engine_validation_error(open).empty());
+}
+
+TEST(EngineDifferential, AutoResolvesWhereBatchingCanHelp) {
   workloads::SyntheticOptions wopts;
   wopts.num_pages = 16;
   wopts.length = 50;
   wopts.seed = 1;
 
-  // fetch_ticks > 1 → idle spans are possible → fast.
+  // fetch_ticks > 1 → idle spans (and dense backlogs) are possible →
+  // the event engine.
   SimConfig latent = SimConfig::fifo(8, 1);
   latent.fetch_ticks = 4;
   latent.engine = EngineKind::kAuto;
   EXPECT_EQ(Simulator(workloads::make_synthetic_workload(4, wopts), latent)
                 .engine(),
-            EngineKind::kFast);
+            EngineKind::kEvent);
 
-  // Single thread → hit runs are batchable → fast.
+  // Single thread → hit runs are batchable → the event engine.
   SimConfig single = SimConfig::fifo(8, 1);
   single.engine = EngineKind::kAuto;
   EXPECT_EQ(Simulator(workloads::make_synthetic_workload(1, wopts), single)
                 .engine(),
-            EngineKind::kFast);
+            EngineKind::kEvent);
 
   // Unit latency, multiple threads: no skippable tick can exist (a
   // non-empty queue fetches every tick and arrivals land the next),
@@ -740,6 +790,196 @@ TEST(EngineDifferential, AutoResolvesWhereTheFastEngineCanHelp) {
   EXPECT_EQ(Simulator(workloads::make_synthetic_workload(4, wopts), forced)
                 .engine(),
             EngineKind::kFast);
+}
+
+TEST(EngineDifferential, EventStepInterleavingAgreesAtTickBoundaries) {
+  // The event-engine analogue of the trajectory pin above, on a config
+  // the dense backlog layer admits: while dense, thread_state() and
+  // queue_size() are answered from the SoA mirror without exporting, and
+  // must agree with the reference at every executed tick boundary.
+  workloads::SyntheticOptions wopts;
+  wopts.kind = workloads::SyntheticKind::kZipf;
+  wopts.num_pages = 48;
+  wopts.length = 250;
+  wopts.zipf_s = 0.9;
+  wopts.seed = 33;
+  const std::size_t threads = 4;
+  const Workload w = workloads::make_synthetic_workload(threads, wopts);
+
+  SimConfig cfg = SimConfig::fifo(/*k=*/16, /*q=*/2);
+  cfg.fetch_ticks = 3;
+
+  SimConfig tick_cfg = cfg;
+  tick_cfg.engine = EngineKind::kTick;
+  SimConfig event_cfg = cfg;
+  event_cfg.engine = EngineKind::kEvent;
+  Simulator ref(w, tick_cfg);
+  Simulator event(w, event_cfg);
+
+  while (!event.finished()) {
+    ASSERT_TRUE(event.step());
+    while (ref.now() < event.now()) {
+      ASSERT_TRUE(ref.step());
+    }
+    ASSERT_EQ(ref.now(), event.now());
+    for (ThreadId t = 0; t < threads; ++t) {
+      EXPECT_EQ(ref.thread_state(t), event.thread_state(t))
+          << "thread " << t << " diverged at tick " << ref.now();
+    }
+    EXPECT_EQ(ref.queue_size(), event.queue_size());
+    EXPECT_EQ(ref.metrics().total_refs, event.metrics().total_refs);
+    EXPECT_EQ(ref.metrics().hits, event.metrics().hits);
+    EXPECT_EQ(ref.metrics().misses, event.metrics().misses);
+    EXPECT_EQ(ref.metrics().fetches, event.metrics().fetches);
+    EXPECT_EQ(ref.metrics().idle_ticks, event.metrics().idle_ticks);
+  }
+  EXPECT_TRUE(ref.finished());
+  EXPECT_EQ(ref.metrics().makespan, event.metrics().makespan);
+  EXPECT_EQ(ref.metrics().response.count(), event.metrics().response.count());
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(ref.metrics().response.mean()),
+            std::bit_cast<std::uint64_t>(event.metrics().response.mean()));
+}
+
+TEST(EngineDifferential, DenseBacklogStaysDenseAndMatchesReference) {
+  // A saturated channel backlog — the regime the dense layer exists for.
+  // Drive a standalone EventEngine so dense_active() is observable: the
+  // dense layer must carry the run from tick 0 to the finishing tick
+  // boundary (where export_state() hands back a consistent Simulator),
+  // and finalize() must land on the reference fingerprint.
+  workloads::SyntheticOptions wopts;
+  wopts.kind = workloads::SyntheticKind::kUniform;
+  wopts.num_pages = 512;  // >> k: essentially every reference misses
+  wopts.length = 200;
+  wopts.seed = 7;
+  const Workload w = workloads::make_synthetic_workload(8, wopts);
+
+  SimConfig cfg = SimConfig::fifo(/*k=*/16, /*q=*/2);
+  cfg.fetch_ticks = 4;
+  cfg.engine = EngineKind::kTick;  // the sim's own engine stays unused
+
+  Simulator sim(w, cfg);
+  EventEngine ev(sim);
+  ASSERT_TRUE(ev.dense_active());
+  while (!sim.finished()) {
+    ASSERT_TRUE(ev.step());
+    if (!sim.finished()) {
+      EXPECT_TRUE(ev.dense_active());
+    }
+  }
+  // The finishing step exported the dense state back into the Simulator.
+  EXPECT_FALSE(ev.dense_active());
+  RunMetrics dense = sim.metrics();
+  ev.finalize(dense);
+
+  const RunMetrics ref = run_with_engine(w, cfg, EngineKind::kTick, false);
+  EXPECT_EQ(engine_fingerprint(ref), engine_fingerprint(dense));
+  EXPECT_GT(dense.misses, 0u);
+  EXPECT_GT(dense.evictions, 0u);
+}
+
+TEST(EngineDifferential, DenseDeDensifiesOnSlotOverflowAndStaysExact) {
+  // A single thread streaming distinct pages accumulates resident pages
+  // it never touches again; at kSlots the dense layer must bail out at a
+  // tick boundary — before mutating anything — and the portable layer
+  // must finish the run bit-identically.
+  workloads::SyntheticOptions wopts;
+  wopts.kind = workloads::SyntheticKind::kStream;
+  wopts.num_pages = 32;
+  wopts.length = 32;
+  wopts.stream_passes = 1;
+  wopts.seed = 3;
+  const Workload w = workloads::make_synthetic_workload(1, wopts);
+
+  SimConfig cfg = SimConfig::fifo(/*k=*/16, /*q=*/1);
+  cfg.fetch_ticks = 2;
+  cfg.engine = EngineKind::kTick;
+
+  Simulator sim(w, cfg);
+  EventEngine ev(sim);
+  ASSERT_TRUE(ev.dense_active());
+  bool dedensified = false;
+  while (!sim.finished()) {
+    ASSERT_TRUE(ev.step());
+    if (!ev.dense_active() && !sim.finished()) {
+      dedensified = true;
+    }
+  }
+  EXPECT_TRUE(dedensified);
+  RunMetrics got = sim.metrics();
+  ev.finalize(got);
+
+  const RunMetrics ref = run_with_engine(w, cfg, EngineKind::kTick, false);
+  EXPECT_EQ(engine_fingerprint(ref), engine_fingerprint(got));
+}
+
+TEST(EngineDifferential, DenseTruncationExportsConsistentState) {
+  // max_ticks truncation mid-backlog: the dense layer must halt exactly
+  // at the boundary, export, and leave metrics identical to a truncated
+  // reference run.
+  workloads::SyntheticOptions wopts;
+  wopts.kind = workloads::SyntheticKind::kUniform;
+  wopts.num_pages = 256;
+  wopts.length = 400;
+  wopts.seed = 11;
+  const Workload w = workloads::make_synthetic_workload(8, wopts);
+
+  SimConfig cfg = SimConfig::fifo(/*k=*/16, /*q=*/2);
+  cfg.fetch_ticks = 4;
+  cfg.max_ticks = 100;
+
+  const RunMetrics ref = run_with_engine(w, cfg, EngineKind::kTick, false);
+  const RunMetrics event = run_with_engine(w, cfg, EngineKind::kEvent, false);
+  ASSERT_TRUE(ref.truncated);
+  EXPECT_TRUE(event.truncated);
+  EXPECT_EQ(engine_fingerprint(ref), engine_fingerprint(event));
+}
+
+TEST(EngineDifferential, DenseHitHeavyRunsMatchUnderBothReplacements) {
+  // Hot working set inside k: the dense layer serves hits through the
+  // per-thread slot index and (LRU only) touches the mirror list. Both
+  // replacement mirrors must reproduce the reference bit-for-bit.
+  workloads::SyntheticOptions wopts;
+  wopts.kind = workloads::SyntheticKind::kZipf;
+  wopts.num_pages = 12;
+  wopts.length = 300;
+  wopts.zipf_s = 1.2;
+  wopts.seed = 5;
+  const Workload w = workloads::make_synthetic_workload(4, wopts);
+
+  for (const ReplacementKind repl :
+       {ReplacementKind::kLru, ReplacementKind::kFifo}) {
+    SimConfig cfg = SimConfig::fifo(/*k=*/64, /*q=*/2);
+    cfg.fetch_ticks = 2;
+    cfg.replacement = repl;
+    SCOPED_TRACE(to_string(repl));
+    const RunMetrics ref = run_with_engine(w, cfg, EngineKind::kTick, false);
+    const RunMetrics event = run_with_engine(w, cfg, EngineKind::kEvent, false);
+    EXPECT_EQ(engine_fingerprint(ref), engine_fingerprint(event));
+    EXPECT_GT(ref.hits, 0u);
+  }
+}
+
+TEST(EngineDifferential, ParanoidEventRunMatchesReference) {
+  // paranoid forces the dense gate shut; the event engine's portable
+  // layer must run under the full invariant audit (including the
+  // fast-forward span audits) and still match the reference.
+  if (!check::checks_enabled()) {
+    GTEST_SKIP() << "paranoid runs need a checked build";
+  }
+  workloads::SyntheticOptions wopts;
+  wopts.kind = workloads::SyntheticKind::kZipf;
+  wopts.num_pages = 48;
+  wopts.length = 200;
+  wopts.zipf_s = 0.9;
+  wopts.seed = 17;
+  const Workload w = workloads::make_synthetic_workload(4, wopts);
+
+  SimConfig cfg = SimConfig::fifo(/*k=*/16, /*q=*/2);
+  cfg.fetch_ticks = 3;
+  cfg.paranoid = true;
+  const RunMetrics ref = run_with_engine(w, cfg, EngineKind::kTick, false);
+  const RunMetrics event = run_with_engine(w, cfg, EngineKind::kEvent, false);
+  EXPECT_EQ(engine_fingerprint(ref), engine_fingerprint(event));
 }
 
 TEST(EngineDifferential, TickEngineNeverSkips) {

@@ -27,7 +27,8 @@ lint flags source patterns that historically break that contract:
      construction (DESIGN.md §3d); perf_simulator --arbiter-compare
      proves the steady state performs zero allocations. This rule keeps
      that property from regressing by textual review: inside
-     src/core/arbitration.cc (the whole file) and the tick functions of
+     src/core/arbitration.cc and src/core/event_engine.cc (whole files)
+     and the tick functions of
      src/core/simulator.cc it flags `new`, node-based container types
      (std::map/set/list/deque/unordered_*), and container growth calls
      (push_back/emplace_back/emplace). Growth into capacity reserved at
@@ -66,10 +67,11 @@ ALLOW_RAND = "lint:allow-nondeterminism"
 ALLOW_ALLOC = "lint:allow-hot-path-alloc"
 
 # Rule 4: files (and, for the simulator, functions) that form the tick
-# hot path. arbitration.cc is hot in its entirety; simulator.cc mixes
+# hot path. arbitration.cc and the event engine's dense loop
+# (event_engine.cc) are hot in their entirety; simulator.cc mixes
 # one-time construction with the tick loop, so only the named tick
 # functions are in scope.
-HOT_PATH_FILE = "src/core/arbitration.cc"
+HOT_PATH_FILES = ("src/core/arbitration.cc", "src/core/event_engine.cc")
 HOT_PATH_SIM = "src/core/simulator.cc"
 HOT_PATH_SIM_FUNCTIONS = {
     "enqueue_miss", "do_remap", "serve", "issue_and_serve",
@@ -192,7 +194,7 @@ def lint_unordered_iteration(path: pathlib.Path,
 def hot_path_lines(path: pathlib.Path, lines: list[str]) -> set[int]:
     """1-based line numbers subject to the hot-path allocation rule."""
     posix = path.as_posix()
-    if posix.endswith(HOT_PATH_FILE):
+    if posix.endswith(HOT_PATH_FILES):
         return set(range(1, len(lines) + 1))
     if not posix.endswith(HOT_PATH_SIM):
         return set()
