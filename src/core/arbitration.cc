@@ -50,9 +50,9 @@ class FifoArbiter final : public ArbitrationPolicy {
 
   [[nodiscard]] std::vector<QueuedRequest> snapshot() const override {
     std::vector<QueuedRequest> out;
-    out.reserve(queue_.size());  // lint:allow-hot-path-alloc — cold introspection
+    out.reserve(queue_.size());
     for (std::size_t i = 0; i < queue_.size(); ++i) {
-      out.push_back(queue_[i]);  // lint:allow-hot-path-alloc — cold introspection
+      out.push_back(queue_[i]);
     }
     return out;
   }
@@ -144,9 +144,9 @@ class PriorityArbiter final : public ArbitrationPolicy {
 
   [[nodiscard]] std::vector<QueuedRequest> snapshot() const override {
     std::vector<QueuedRequest> out;
-    out.reserve(size_);  // lint:allow-hot-path-alloc — cold introspection
+    out.reserve(size_);
     for (std::uint32_t id = arr_head_; id != kNil; id = pool_[id].arr_next) {
-      out.push_back(pool_[id].req);  // lint:allow-hot-path-alloc — cold introspection
+      out.push_back(pool_[id].req);
     }
     return out;
   }
@@ -315,9 +315,9 @@ class FrFcfsArbiter final : public ArbitrationPolicy {
 
   [[nodiscard]] std::vector<QueuedRequest> snapshot() const override {
     std::vector<QueuedRequest> out;
-    out.reserve(size_);  // lint:allow-hot-path-alloc — cold introspection
+    out.reserve(size_);
     for (std::uint32_t id = arr_head_; id != kNil; id = pool_[id].arr_next) {
-      out.push_back(pool_[id].req);  // lint:allow-hot-path-alloc — cold introspection
+      out.push_back(pool_[id].req);
     }
     return out;
   }

@@ -1,6 +1,6 @@
 // The calendar-queue engine (DESIGN.md §3e). This whole file is on the
-// tick hot path for lint_determinism.py rule 4: the dense loop must stay
-// allocation-free in steady state.
+// tick hot path for hbmlint's hot-path-alloc reachability rule: the
+// dense loop must stay allocation-free in steady state.
 //
 // Dense-path equivalence sketch (full argument in DESIGN.md §3e):
 //

@@ -98,6 +98,7 @@ class ListPolicyBase : public ReplacementPolicy {
       nodes_[n] = Node{page, kNil, kNil};
       return n;
     }
+    // lint:allow-hot-path-alloc — nodes_ reserved to capacity_hint (= k)
     nodes_.push_back(Node{page, kNil, kNil});
     return static_cast<std::uint32_t>(nodes_.size() - 1);
   }
@@ -160,6 +161,7 @@ class ClockPolicy final : public ReplacementPolicy {
   explicit ClockPolicy(std::uint64_t capacity_hint)
       : index_(static_cast<std::size_t>(capacity_hint)) {
     entries_.reserve(capacity_hint);
+    free_slots_.reserve(capacity_hint);
   }
 
   void on_insert(GlobalPage page) override {
@@ -171,6 +173,7 @@ class ClockPolicy final : public ReplacementPolicy {
       entries_[slot] = Entry{page, /*referenced=*/true, /*valid=*/true};
     } else {
       slot = entries_.size();
+      // lint:allow-hot-path-alloc — entries_ reserved to capacity_hint (= k)
       entries_.push_back(Entry{page, true, true});
     }
     index_.insert(page, static_cast<std::uint32_t>(slot));
@@ -251,6 +254,8 @@ class ClockPolicy final : public ReplacementPolicy {
   void evict_slot(std::size_t slot) {
     index_.erase(entries_[slot].page);
     entries_[slot].valid = false;
+    // lint:allow-hot-path-alloc — free_slots_ reserved to capacity_hint:
+    // at most one free slot per entry ever constructed.
     free_slots_.push_back(slot);
     --size_;
   }

@@ -18,7 +18,7 @@ MakespanBounds makespan_lower_bounds(const Workload& workload, std::uint64_t k,
   // round_robin); memoise the Belady pass per trace object. Point lookup
   // only — never iterated, so the pointer-keyed bucket order (which would
   // vary run to run with ASLR) cannot affect the bounds: they accumulate
-  // in thread order (tools/lint_determinism.py keeps it that way).
+  // in thread order (hbmlint's unordered-iteration rule keeps it that way).
   std::unordered_map<const Trace*, std::uint64_t> memo;
   for (std::size_t t = 0; t < workload.num_threads(); ++t) {
     const Trace& trace = workload.trace(t);

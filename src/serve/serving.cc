@@ -206,6 +206,10 @@ ServingSimulator::ServingSimulator(const ServingConfig& config)
                      0};
     tr.idle.resize(spec.workers);
     std::iota(tr.idle.begin(), tr.idle.end(), bases[i]);
+    // Admission bounds the live queue to max_pending and harvest compacts
+    // the consumed prefix, so this reservation makes the steady-state
+    // pending push_back allocation-free.
+    tr.pending.reserve(spec.max_pending);
     tenants_.push_back(std::move(tr));
     metrics_.per_tenant[i].name = spec.name;
     metrics_.per_tenant[i].priority_class = spec.priority_class;
@@ -244,12 +248,17 @@ void ServingSimulator::inject_request(std::uint32_t tenant, ThreadId worker,
   // request sat in the pending queue for a worker.
   metrics_.per_tenant[tenant].max_wait =
       std::max(metrics_.per_tenant[tenant].max_wait, sim_->now() - arrival);
+  // lint:allow-hot-path-alloc — per-request payload: ownership moves into
+  // the injected Trace below, so the buffer cannot be pooled here.
   std::vector<LocalPage> refs(spec.shape.refs);
   for (LocalPage& r : refs) {
     r = static_cast<LocalPage>(tr.zipf(tr.gen));
   }
-  sim_->inject_trace(worker,
-                     std::make_shared<Trace>(std::move(refs), spec.shape.pages));
+  // lint:allow-hot-path-alloc — one Trace per admitted request, by design:
+  // open-system injection materializes request content at admission
+  // (O(refs) per request, not per tick).
+  auto trace = std::make_shared<Trace>(std::move(refs), spec.shape.pages);
+  sim_->inject_trace(worker, std::move(trace));
   workers_[worker] = WorkerState{tenant, arrival, true};
   ++tr.in_service;
 }
@@ -276,6 +285,8 @@ void ServingSimulator::deliver_arrivals(Tick now) {
         inject_request(static_cast<std::uint32_t>(i), w, *a);
       } else if (tr.pending.size() - tr.pending_head < max_pending) {
         ++tm.admitted;
+        // lint:allow-hot-path-alloc — reserved to max_pending: harvest
+        // compacts the consumed prefix, so size never exceeds the bound.
         tr.pending.push_back(*a);
       } else {
         ++tm.rejected;
@@ -329,8 +340,14 @@ void ServingSimulator::harvest_completions() {
         tr.idle.erase(tr.idle.begin());
         inject_request(static_cast<std::uint32_t>(i), w, arrival);
       }
-      if (tr.pending_head == tr.pending.size()) {
-        tr.pending.clear();
+      if (tr.pending_head > 0) {
+        // Compact the consumed prefix in place (no allocation). Without
+        // this, sustained overload grows the dead prefix — and with it
+        // the vector's capacity — without bound, since the admission
+        // check above bounds only size - pending_head.
+        tr.pending.erase(tr.pending.begin(),
+                         tr.pending.begin() +
+                             static_cast<std::ptrdiff_t>(tr.pending_head));
         tr.pending_head = 0;
       }
     }

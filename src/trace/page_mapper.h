@@ -47,8 +47,8 @@ class PageMapper {
   std::vector<LocalPage> refs_;
   // Point lookup only (try_emplace per reference) — never iterated, so
   // bucket order cannot leak into the dense page numbering, which is
-  // assigned strictly in first-touch order (tools/lint_determinism.py
-  // keeps it that way).
+  // assigned strictly in first-touch order (hbmlint's unordered-iteration
+  // rule keeps it that way).
   std::unordered_map<std::uint64_t, LocalPage> next_dense_;
 };
 

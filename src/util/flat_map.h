@@ -170,7 +170,8 @@ class FlatMap {
 /// probing. Used where std::unordered_set would otherwise appear on
 /// simulation paths (e.g. the in-flight page set), so membership
 /// structures on ordering-sensitive code carry no hash-iteration-order
-/// hazard by construction (tools/lint_determinism.py enforces the rest).
+/// hazard by construction (hbmlint's unordered-iteration rule enforces
+/// the rest).
 class FlatSet {
  public:
   explicit FlatSet(std::size_t capacity_hint = 16) : map_(capacity_hint) {}

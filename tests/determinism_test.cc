@@ -6,8 +6,9 @@
 // --jobs settings, and standard-library versions. The golden values
 // below were produced by the reference implementation; any change —
 // including an "innocent" refactor that lets unordered-container bucket
-// order leak into simulation state, which tools/lint_determinism.py
-// exists to prevent — shows up as a fingerprint mismatch. If a change
+// order leak into simulation state, which hbmlint's nondeterminism and
+// unordered-iteration rules exist to prevent — shows up as a
+// fingerprint mismatch. If a change
 // *intentionally* alters simulation behaviour, re-pin the goldens and
 // say so in the commit message.
 #include <gtest/gtest.h>

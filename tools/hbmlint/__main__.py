@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""hbmlint — unified static analysis for the hbmsim sources.
+
+Replaces tools/lint_determinism.py and tools/format_check.py with one
+rule engine: a comment/string/raw-string-aware C++ lexer, a per-TU
+symbol-and-call extractor whose call graph *discovers* the tick hot
+path by reachability (instead of a hand-maintained file list), and
+cross-artifact consistency checks between the EngineCaps registry,
+README, CLI help, and golden-test coverage. See DESIGN.md "Static
+analysis architecture" for the rule table and suppression grammar.
+
+Usage:
+    python3 tools/hbmlint [--root DIR] [--format text|json]
+                          [--json-out FILE] [--sarif-out FILE]
+                          [--list-rules]
+
+Exit status is 1 iff any error-severity finding remains after
+suppressions; warning findings (the `format` rule) are advisory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import engine  # noqa: E402
+import report  # noqa: E402
+from rules import ERROR  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hbmlint", description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="stdout report format (default: text)")
+    parser.add_argument("--json-out", metavar="FILE",
+                        help="also write the JSON report to FILE")
+    parser.add_argument("--sarif-out", metavar="FILE",
+                        help="also write a SARIF 2.1.0 report to FILE")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rid, sev, desc in report.rule_table():
+            print(f"{rid:20s} {sev:8s} {desc}")
+        return 0
+
+    ctx, findings = engine.run(args.root)
+    files_scanned = len(ctx.files(ctx.FORMAT_GLOBS))
+
+    if args.format == "json":
+        print(json.dumps(report.to_json(findings, files_scanned), indent=2))
+    else:
+        print(report.render_text(findings, files_scanned))
+    if args.json_out:
+        report.dump_json(report.to_json(findings, files_scanned),
+                         args.json_out)
+    if args.sarif_out:
+        report.dump_json(report.to_sarif(findings), args.sarif_out)
+
+    return 1 if any(f.severity == ERROR for f in findings) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,270 @@
+"""Lightweight per-TU symbol/call extraction and the project call graph.
+
+This is not a compiler: it is a deliberately conservative textual model,
+good enough to *discover* the tick hot path by reachability instead of
+trusting a hand-maintained file list (the failure mode that motivated
+hbmlint — see DESIGN.md "Static analysis architecture").
+
+Per file (on the lexer's masked text, so strings/comments cannot fake a
+definition):
+
+  * class/struct extents, for attributing in-class definitions;
+  * function definitions — `Qualified::name(...) ... {body}` — with the
+    body's brace extent and the set of callee names mentioned in it;
+  * project-relative `#include "..."` edges.
+
+Call resolution is by callee *name*, restricted to definitions whose
+file is textually reachable from the caller's include closure (a TU can
+only call what it can see). That over-approximates virtual dispatch —
+`cache_->insert(...)` marks every visible `insert` definition hot —
+which is the right direction for a linter: the hot set may be slightly
+too big, never too small for the code the TU actually links against.
+Constructors and destructors are excluded from the hot set: running
+before the steady state, they are exactly where sizing allocations are
+supposed to happen.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+# Identifiers that look like calls but are control flow / operators.
+_KEYWORDS = {
+    "alignas", "alignof", "assert", "case", "catch", "constexpr", "decltype",
+    "defined", "delete", "do", "else", "for", "if", "new", "noexcept",
+    "requires", "return", "sizeof", "static_assert", "switch", "throw",
+    "typeid", "while",
+}
+
+_CLASS_RE = re.compile(
+    r"\b(?:class|struct)\s+([A-Za-z_]\w*)\s*(?:final\s*)?(?::[^{;]*)?\{")
+_FUNC_NAME_RE = re.compile(
+    r"((?:[A-Za-z_]\w*\s*::\s*)*(?:~\s*)?[A-Za-z_]\w*)\s*\(")
+_CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"', re.MULTILINE)
+
+
+def _match_brace(text: str, open_pos: int) -> int:
+    """Index just past the brace matching text[open_pos] ('{'); len() if
+    unbalanced."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        c = text[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+class ClassExtent:
+    def __init__(self, name: str, start: int, end: int):
+        self.name = name
+        self.start = start  # char offset of the opening brace
+        self.end = end      # char offset just past the closing brace
+
+
+class FunctionDef:
+    def __init__(self, qual: str, name: str, cls, path: str,
+                 start_line: int, end_line: int, body_start: int,
+                 body_end: int, is_ctor_dtor: bool):
+        self.qual = qual
+        self.name = name
+        self.cls = cls
+        self.path = path
+        self.start_line = start_line
+        self.end_line = end_line
+        self.body_start = body_start  # char offsets into the masked text
+        self.body_end = body_end
+        self.is_ctor_dtor = is_ctor_dtor
+        self.callees: set = set()
+
+    def __repr__(self):
+        return f"<{self.qual} {self.path}:{self.start_line}>"
+
+
+def _body_start_after_params(masked: str, close_paren: int):
+    """Char offset of the body's '{' for a definition whose parameter list
+    closes at `close_paren`, or None when this is not a definition.
+
+    Accepts the trailing tokens a definition may carry between `)` and
+    `{`: cv/ref qualifiers, noexcept(...), override/final, attributes,
+    and a trailing return type. Anything else (`;`, `=`, `,`, an
+    operator) means declaration/expression, not definition.
+    """
+    i = close_paren + 1
+    n = len(masked)
+    word_re = re.compile(r"(?:const|noexcept|override|final|mutable)\b")
+    while i < n:
+        c = masked[i]
+        if c in " \t\n&":
+            i += 1
+        elif c == "{":
+            return i
+        elif c == "(":  # noexcept(...)
+            depth = 0
+            while i < n:
+                if masked[i] == "(":
+                    depth += 1
+                elif masked[i] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            i += 1
+        elif masked.startswith("[[", i):
+            end = masked.find("]]", i)
+            i = n if end == -1 else end + 2
+        elif masked.startswith("->", i):
+            # Trailing return type: runs to the body brace.
+            end = masked.find("{", i)
+            return None if end == -1 else end
+        else:
+            m = word_re.match(masked, i)
+            if not m:
+                return None
+            i = m.end()
+    return None
+
+
+class FileModel:
+    def __init__(self, rel: str, lexed):
+        self.rel = rel
+        self.lexed = lexed
+        self.includes = _INCLUDE_RE.findall(lexed.text)
+        masked = lexed.masked
+
+        self.classes = []
+        for m in _CLASS_RE.finditer(masked):
+            brace = masked.find("{", m.start())
+            self.classes.append(
+                ClassExtent(m.group(1), brace, _match_brace(masked, brace)))
+
+        self.defs = []
+        for m in _FUNC_NAME_RE.finditer(masked):
+            raw_name = re.sub(r"\s+", "", m.group(1))
+            short = raw_name.split("::")[-1]
+            if short in _KEYWORDS or raw_name.split("::")[0] in _KEYWORDS:
+                continue
+            open_paren = masked.find("(", m.end(1))
+            close = self._balance(masked, open_paren)
+            if close is None:
+                continue
+            body_start = _body_start_after_params(masked, close)
+            if body_start is None:
+                continue
+            body_end = _match_brace(masked, body_start)
+            cls = None
+            if "::" in raw_name:
+                parts = raw_name.split("::")
+                cls, qual = parts[-2], "::".join(parts[-2:])
+            else:
+                for ext in self.classes:
+                    if ext.start < m.start() < ext.end:
+                        cls = ext.name  # innermost wins: extents are nested
+                qual = f"{cls}::{short}" if cls else short
+            is_ctor_dtor = short.startswith("~") or (cls is not None
+                                                     and short == cls)
+            fn = FunctionDef(
+                qual, short, cls, rel,
+                masked.count("\n", 0, m.start()) + 1,
+                masked.count("\n", 0, body_end) + 1,
+                body_start, body_end, is_ctor_dtor)
+            for c in _CALL_RE.finditer(masked, body_start, body_end):
+                name = c.group(1)
+                if name not in _KEYWORDS:
+                    fn.callees.add(name)
+            self.defs.append(fn)
+
+    @staticmethod
+    def _balance(masked: str, open_paren: int):
+        depth = 0
+        for i in range(open_paren, len(masked)):
+            c = masked[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    return i
+        return None
+
+
+class Project:
+    """All modeled files plus include-closure-aware call resolution."""
+
+    def __init__(self, root: pathlib.Path, rel_paths, lex):
+        self.root = root
+        self.files = {}
+        for rel in rel_paths:
+            self.files[rel] = FileModel(rel, lex(rel))
+        self._by_name = {}
+        for fm in self.files.values():
+            for fn in fm.defs:
+                self._by_name.setdefault(fn.name, []).append(fn)
+        self._closures = {}
+
+    def _resolve_include(self, inc: str, includer: str):
+        for candidate in (f"src/{inc}", inc,
+                          str(pathlib.PurePosixPath(includer).parent / inc)):
+            if candidate in self.files:
+                return candidate
+        return None
+
+    def closure(self, rel: str) -> set:
+        """`rel` plus every project file transitively included from it."""
+        cached = self._closures.get(rel)
+        if cached is not None:
+            return cached
+        seen = set()
+        stack = [rel]
+        while stack:
+            cur = stack.pop()
+            if cur in seen or cur not in self.files:
+                continue
+            seen.add(cur)
+            for inc in self.files[cur].includes:
+                resolved = self._resolve_include(inc, cur)
+                if resolved is not None and resolved not in seen:
+                    stack.append(resolved)
+        self._closures[rel] = seen
+        return seen
+
+    def visible_defs(self, caller_path: str, callee_name: str):
+        """Definitions of `callee_name` the TU at caller_path can see: in
+        the same file, in an included header, or in the .cc paired with an
+        included header (cross-TU through its declaration)."""
+        closure = self.closure(caller_path)
+        out = []
+        for fn in self._by_name.get(callee_name, ()):  # insertion order
+            if fn.path in closure:
+                out.append(fn)
+            elif fn.path.endswith(".cc") and fn.path[:-3] + ".h" in closure:
+                out.append(fn)
+        return out
+
+    def reachable(self, seeds, excluded):
+        """BFS the call graph from `seeds` (FunctionDefs), skipping (and
+        never entering) defs in files matching `excluded` and all
+        ctors/dtors. Returns {FunctionDef: via} where via names the caller
+        that first reached it (None for seeds)."""
+        hot = {}
+        work = []
+        for fn in seeds:
+            if fn not in hot:
+                hot[fn] = None
+                work.append(fn)
+        while work:
+            fn = work.pop(0)
+            for name in sorted(fn.callees):
+                for callee in self.visible_defs(fn.path, name):
+                    if callee.is_ctor_dtor or callee in hot:
+                        continue
+                    if any(callee.path.startswith(p) for p in excluded):
+                        continue
+                    hot[callee] = fn
+                    work.append(callee)
+        return hot

@@ -1,0 +1,170 @@
+"""hbmlint engine: file discovery, rule dispatch, suppression accounting.
+
+Suppressions are structured comments:
+
+    // lint:allow-<rule-id> — <reason>
+
+The reason is mandatory. A suppression covers findings of that rule on
+its own line, or on the first code line after the comment block it sits
+in (so a marker trailing the flagged line, on the line above it, or
+opening a multi-line justification comment all work). The engine — not
+the individual rules — matches findings against suppressions, which is
+what makes three classes of marker rot detectable as `suppression`
+findings: an unknown rule id, a missing reason, and a marker that
+suppresses nothing (stale, e.g. because the reachability rule proved
+its line cold).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+from lexer import LexedFile
+from rules import (ERROR, Finding, RULES, SUPPRESSION_RULE_ID)
+
+_SUPPRESS = re.compile(r"lint:allow-([A-Za-z0-9_-]+)")
+_MARKER = "lint:allow-"
+
+
+class Suppression:
+    def __init__(self, path: str, line: int, rule: str, reason: str,
+                 targets):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.reason = reason
+        self.targets = targets  # line numbers this marker covers
+        self.used = False
+
+
+def _targets(lx: LexedFile, line: int) -> frozenset:
+    """Lines covered by a marker at `line`: the line itself plus the
+    first following line that is not comment-only (skipping the rest of
+    the justification comment block the marker may open)."""
+    j = line + 1
+    while (j - 1 < len(lx.masked_lines)
+           and not lx.masked_lines[j - 1].strip()
+           and j in lx.comments_by_line):
+        j += 1
+    return frozenset((line, j))
+
+
+class LintContext:
+    """Lazily lexes and models the tree under `root`; shared by rules."""
+
+    CPP_GLOBS = ("src/**/*.h", "src/**/*.cc", "apps/**/*.h", "apps/**/*.cc",
+                 "bench/**/*.h", "bench/**/*.cc")
+    FORMAT_GLOBS = CPP_GLOBS + ("tests/**/*.h", "tests/**/*.cc",
+                                "examples/**/*.h", "examples/**/*.cpp")
+    GRAPH_GLOBS = ("src/**/*.h", "src/**/*.cc")
+
+    def __init__(self, root):
+        self.root = pathlib.Path(root).resolve()
+        self._lexed = {}
+        self._file_lists = {}
+        self._project = None
+
+    def files(self, globs) -> list:
+        key = tuple(globs)
+        cached = self._file_lists.get(key)
+        if cached is None:
+            found = set()
+            for glob in key:
+                for p in self.root.glob(glob):
+                    if p.is_file():
+                        found.add(p.relative_to(self.root).as_posix())
+            cached = self._file_lists[key] = sorted(found)
+        return cached
+
+    def exists(self, rel: str) -> bool:
+        return (self.root / rel).is_file()
+
+    def read_bytes(self, rel: str) -> bytes:
+        return (self.root / rel).read_bytes()
+
+    def read_text(self, rel: str):
+        if not self.exists(rel):
+            return None
+        return (self.root / rel).read_text(encoding="utf-8",
+                                           errors="replace")
+
+    def lexed(self, rel: str) -> LexedFile:
+        lx = self._lexed.get(rel)
+        if lx is None:
+            lx = self._lexed[rel] = LexedFile(rel, self.read_text(rel))
+        return lx
+
+    def project(self):
+        if self._project is None:
+            from cppmodel import Project
+            self._project = Project(self.root, self.files(self.GRAPH_GLOBS),
+                                    self.lexed)
+        return self._project
+
+
+def collect_suppressions(ctx: LintContext) -> list:
+    sups = []
+    for rel in ctx.files(ctx.CPP_GLOBS):
+        lx = ctx.lexed(rel)
+        for line in sorted(lx.comments_by_line):
+            comment = lx.comments_by_line[line]
+            for m in _SUPPRESS.finditer(comment):
+                tail = comment[m.end():]
+                cut = tail.find(_MARKER)
+                if cut != -1:
+                    tail = tail[:cut]
+                reason = tail.strip().lstrip("—–:-").strip()
+                sups.append(Suppression(rel, line, m.group(1), reason,
+                                        _targets(lx, line)))
+    return sups
+
+
+def run(root) -> tuple:
+    """Run every rule under `root`. Returns (ctx, findings) with findings
+    sorted and suppression-filtered; `suppression` meta-findings included."""
+    ctx = LintContext(root)
+    findings = []
+    for rule in RULES:
+        findings.extend(rule.run(ctx))
+
+    sups = collect_suppressions(ctx)
+    by_key = {}
+    for s in sups:
+        by_key.setdefault((s.path, s.rule), []).append(s)
+
+    kept = []
+    for f in findings:
+        hit = None
+        for s in by_key.get((f.path, f.rule), ()):
+            if f.line in s.targets:
+                hit = s
+                break
+        if hit is not None:
+            hit.used = True
+        else:
+            kept.append(f)
+
+    known = {rule.id for rule in RULES} | {SUPPRESSION_RULE_ID}
+    for s in sups:
+        if s.rule not in known:
+            kept.append(Finding(
+                SUPPRESSION_RULE_ID, ERROR, s.path, s.line,
+                f"suppression names unknown rule 'lint:allow-{s.rule}' "
+                f"(known: {', '.join(sorted(known))})"))
+            continue
+        if not s.reason:
+            kept.append(Finding(
+                SUPPRESSION_RULE_ID, ERROR, s.path, s.line,
+                f"suppression 'lint:allow-{s.rule}' is missing its "
+                "mandatory reason (write `// lint:allow-" + s.rule +
+                " — <why this line is safe>`)"))
+        if not s.used:
+            kept.append(Finding(
+                SUPPRESSION_RULE_ID, ERROR, s.path, s.line,
+                f"stale suppression: no '{s.rule}' finding on the line(s) "
+                "it covers — delete the marker (reachability may have "
+                "proven the line cold)"))
+
+    kept.sort(key=lambda f: f.sort_key())
+    return ctx, kept

@@ -1,0 +1,17 @@
+#include <cstdint>
+
+namespace hbmsim {
+
+constexpr std::uint64_t kBig = 100'000'000ULL;
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  return x ^ (x >> 29) ^ kBig;
+}
+
+const char* schema() {
+  return R"({"seed": "std::mt19937", "note": "// not a comment"})";
+}
+
+}  // namespace hbmsim

@@ -1,0 +1,13 @@
+#pragma once
+
+#include <cstdint>
+
+namespace hbmsim {
+
+struct SimConfig {
+  std::uint32_t pages = 0;
+  std::uint32_t k;
+  bool paranoid = false;
+};
+
+}  // namespace hbmsim

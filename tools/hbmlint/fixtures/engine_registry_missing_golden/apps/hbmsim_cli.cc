@@ -1,0 +1,4 @@
+// Usage:
+//   --engine tick|warp|list
+
+int main() { return 0; }

@@ -1,0 +1,10 @@
+#include "core/engine.h"
+
+namespace hbmsim {
+
+constexpr EngineCaps kEngineRegistry[] = {
+    {EngineKind::kTick, "tick", "reference tick loop"},
+    {EngineKind::kWarp, "warp", "experimental warp-speed engine"},
+};
+
+}  // namespace hbmsim

@@ -1,0 +1,7 @@
+#include <cstdint>
+
+int run_tick_golden() {
+  // EngineKind::kTick is pinned here; warp coverage is deliberately
+  // absent, which the engine-registry rule must flag.
+  return 0;
+}

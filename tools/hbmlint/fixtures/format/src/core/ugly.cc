@@ -1,0 +1,7 @@
+namespace hbmsim {
+
+int ugly() {
+	return 1;
+}  
+
+}  // namespace hbmsim

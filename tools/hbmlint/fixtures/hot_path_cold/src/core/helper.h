@@ -1,0 +1,17 @@
+#pragma once
+
+#include <vector>
+
+namespace hbmsim {
+
+inline std::vector<int>& tick_scratch() {
+  static std::vector<int> scratch;
+  return scratch;
+}
+
+inline int helper_tick() {
+  tick_scratch().push_back(1);
+  return static_cast<int>(tick_scratch().size());
+}
+
+}  // namespace hbmsim

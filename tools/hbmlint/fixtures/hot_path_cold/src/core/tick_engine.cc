@@ -1,0 +1,9 @@
+#include "core/helper.h"
+
+namespace hbmsim {
+
+bool TickEngine::step() { return true; }
+
+int debug_dump() { return helper_tick(); }
+
+}  // namespace hbmsim

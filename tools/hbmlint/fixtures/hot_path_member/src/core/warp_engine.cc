@@ -1,0 +1,13 @@
+#include <map>
+
+namespace hbmsim {
+
+class WarpEngine {
+ public:
+  bool step() { return seen_.empty(); }
+
+ private:
+  std::map<int, int> seen_;
+};
+
+}  // namespace hbmsim

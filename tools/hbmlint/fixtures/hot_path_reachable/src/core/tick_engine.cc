@@ -1,0 +1,7 @@
+#include "core/helper.h"
+
+namespace hbmsim {
+
+bool TickEngine::step() { return helper_tick() > 0; }
+
+}  // namespace hbmsim

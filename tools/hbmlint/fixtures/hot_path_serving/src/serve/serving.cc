@@ -1,0 +1,13 @@
+#include <vector>
+
+namespace hbmsim::serve {
+
+class ServingSimulator {
+ public:
+  void inject_request(int request) { queue_.push_back(request); }
+
+ private:
+  std::vector<int> queue_;
+};
+
+}  // namespace hbmsim::serve

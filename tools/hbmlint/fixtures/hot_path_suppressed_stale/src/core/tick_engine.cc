@@ -1,0 +1,12 @@
+#include <vector>
+
+namespace hbmsim {
+
+bool TickEngine::step() { return true; }
+
+int cold_scratch(std::vector<int>& out) {
+  out.push_back(1);  // lint:allow-hot-path-alloc — reserved by caller
+  return static_cast<int>(out.size());
+}
+
+}  // namespace hbmsim

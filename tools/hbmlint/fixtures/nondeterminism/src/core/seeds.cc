@@ -1,0 +1,14 @@
+#include <random>
+
+namespace hbmsim {
+
+unsigned bad_seed() {
+  std::mt19937 gen(42);
+  return static_cast<unsigned>(gen());
+}
+
+const char* masked_mention() {
+  return "std::random_device appears only inside this string literal";
+}
+
+}  // namespace hbmsim

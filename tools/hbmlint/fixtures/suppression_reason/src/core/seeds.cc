@@ -1,0 +1,14 @@
+#include <random>
+
+namespace hbmsim {
+
+unsigned hw_entropy() {
+  std::random_device rd;  // lint:allow-nondeterminism
+  return rd();
+}
+
+int frob() {
+  return 0;  // lint:allow-frobnicate — imaginary rule
+}
+
+}  // namespace hbmsim

@@ -1,0 +1,17 @@
+#include <unordered_map>
+
+namespace hbmsim {
+
+int sum_values(const std::unordered_map<int, int>& stats) {
+  int total = 0;
+  for (const auto& kv : stats) {
+    total += kv.second;
+  }
+  return total;
+}
+
+int lookup(const std::unordered_map<int, int>& stats, int key) {
+  return stats.count(key) != 0U ? stats.at(key) : 0;
+}
+
+}  // namespace hbmsim

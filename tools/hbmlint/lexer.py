@@ -1,0 +1,136 @@
+"""Comment/string/raw-string-aware C++ lexer for hbmlint.
+
+The rule engine never pattern-matches raw source: every rule sees a
+*masked* view of the file in which the contents of string literals, char
+literals, and comments are replaced by spaces (delimiters are kept so
+column/line geometry is unchanged). This is what lets the rules drop the
+per-rule "strip strings, strip // comments" special-casing the old
+standalone scripts carried, and it is exact where regexes were not:
+block comments spanning lines, raw strings (`R"(...)"`, with optional
+encoding prefixes and custom delimiters) spanning lines, escaped quotes,
+and C++14 digit separators (`100'000`) are all handled.
+
+Comments are collected per line (block comments contribute to every line
+they touch) so the suppression parser can read `lint:allow-*` markers
+without consulting the raw text.
+"""
+
+from __future__ import annotations
+
+
+def _is_raw_string_intro(text: str, quote: int) -> bool:
+    """True when the '"' at `quote` opens a raw string (R", u8R", LR", ...)."""
+    i = quote - 1
+    if i < 0 or text[i] != "R":
+        return False
+    # Optional encoding prefix before the R: u8, u, U, L.
+    j = i - 1
+    if j >= 1 and text[j - 1 : j + 1] == "u8":
+        j -= 2
+    elif j >= 0 and text[j] in "uUL":
+        j -= 1
+    # The prefix must not be the tail of a longer identifier (e.g. FooR").
+    return j < 0 or not (text[j].isalnum() or text[j] == "_")
+
+
+class LexedFile:
+    """One source file: raw text, masked text, and per-line comments."""
+
+    def __init__(self, path: str, text: str):
+        self.path = path
+        self.text = text
+        self.lines = text.splitlines()
+        self.masked = _mask(text, self)
+        self.masked_lines = self.masked.splitlines()
+
+    # comments_by_line is populated by _mask(): 1-based line number ->
+    # concatenated comment text appearing on that line.
+    comments_by_line: dict
+
+
+def _mask(text: str, out: LexedFile) -> str:
+    comments: dict = {}
+    masked = list(text)
+    i = 0
+    n = len(text)
+    line = 1
+
+    def blank(start: int, end: int) -> None:
+        for k in range(start, end):
+            if masked[k] != "\n":
+                masked[k] = " "
+
+    def record_comment(start: int, end: int, start_line: int) -> None:
+        ln = start_line
+        seg_start = start
+        for k in range(start, end + 1):
+            if k == end or text[k] == "\n":
+                frag = text[seg_start:k]
+                if frag.strip():
+                    comments[ln] = comments.get(ln, "") + frag
+                ln += 1
+                seg_start = k + 1
+
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            end = text.find("\n", i)
+            end = n if end == -1 else end
+            record_comment(i, end, line)
+            blank(i, end)
+            i = end
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            end = text.find("*/", i + 2)
+            end = n if end == -1 else end + 2
+            record_comment(i, end, line)
+            blank(i, end)
+            line += text.count("\n", i, end)
+            i = end
+            continue
+        if c == '"':
+            if _is_raw_string_intro(text, i):
+                # R"delim( ... )delim"
+                open_paren = text.find("(", i + 1)
+                if open_paren == -1:
+                    i += 1
+                    continue
+                delim = text[i + 1 : open_paren]
+                closer = ")" + delim + '"'
+                end = text.find(closer, open_paren + 1)
+                end = n if end == -1 else end + len(closer)
+                blank(i + 1, end - 1)
+                line += text.count("\n", i, end)
+                i = end
+                continue
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            blank(i + 1, min(j, n))
+            i = min(j + 1, n)
+            continue
+        if c == "'":
+            # A quote directly after an identifier/number character is a
+            # C++14 digit separator (100'000), not a char literal.
+            if i > 0 and (text[i - 1].isalnum() or text[i - 1] == "_"):
+                i += 1
+                continue
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            blank(i + 1, min(j, n))
+            i = min(j + 1, n)
+            continue
+        i += 1
+
+    out.comments_by_line = comments
+    return "".join(masked)
+
+
+def lex_file(path, rel: str) -> LexedFile:
+    """Lex `path` (a pathlib.Path), reporting it as the relative name `rel`."""
+    return LexedFile(rel, path.read_text(encoding="utf-8", errors="replace"))

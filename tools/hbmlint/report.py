@@ -1,0 +1,98 @@
+"""hbmlint reporters: text, json, and SARIF 2.1.0."""
+
+from __future__ import annotations
+
+import json
+
+from rules import (RULES, SUPPRESSION_RULE_ID,
+                   SUPPRESSION_RULE_DESCRIPTION, ERROR)
+
+TOOL_NAME = "hbmlint"
+TOOL_VERSION = "1.0.0"
+
+
+def rule_table() -> list:
+    rows = [(r.id, r.severity, r.description) for r in RULES]
+    rows.append((SUPPRESSION_RULE_ID, ERROR, SUPPRESSION_RULE_DESCRIPTION))
+    return rows
+
+
+def render_text(findings, files_scanned: int) -> str:
+    lines = []
+    for f in findings:
+        lines.append(f"{f.path}:{f.line}: [{f.severity}] {f.rule}: "
+                     f"{f.message}")
+    errors = sum(1 for f in findings if f.severity == ERROR)
+    warnings = len(findings) - errors
+    if findings:
+        lines.append("")
+        lines.append(f"{TOOL_NAME}: {errors} error(s), {warnings} "
+                     f"warning(s) across {files_scanned} file(s)")
+    else:
+        lines.append(f"{TOOL_NAME}: OK ({files_scanned} files clean, "
+                     f"{len(rule_table())} rules)")
+    return "\n".join(lines)
+
+
+def to_json(findings, files_scanned: int) -> dict:
+    return {
+        "tool": TOOL_NAME,
+        "version": TOOL_VERSION,
+        "files_scanned": files_scanned,
+        "errors": sum(1 for f in findings if f.severity == ERROR),
+        "warnings": sum(1 for f in findings if f.severity != ERROR),
+        "findings": [
+            {"rule": f.rule, "severity": f.severity, "path": f.path,
+             "line": f.line, "message": f.message}
+            for f in findings
+        ],
+    }
+
+
+def to_sarif(findings) -> dict:
+    return {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "version": TOOL_VERSION,
+                    "informationUri":
+                        "https://example.invalid/hbmsim/tools/hbmlint",
+                    "rules": [
+                        {
+                            "id": rid,
+                            "shortDescription": {"text": desc},
+                            "defaultConfiguration": {
+                                "level": "error" if sev == ERROR
+                                else "warning",
+                            },
+                        }
+                        for rid, sev, desc in rule_table()
+                    ],
+                },
+            },
+            "results": [
+                {
+                    "ruleId": f.rule,
+                    "level": "error" if f.severity == ERROR else "warning",
+                    "message": {"text": f.message},
+                    "locations": [{
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": f.path},
+                            "region": {"startLine": max(f.line, 1)},
+                        },
+                    }],
+                }
+                for f in findings
+            ],
+        }],
+    }
+
+
+def dump_json(obj, path) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(obj, fh, indent=2, sort_keys=False)
+        fh.write("\n")

@@ -1,0 +1,459 @@
+"""hbmlint rules.
+
+Each rule is a class with a stable `id` (the token used in
+`lint:allow-<id>` suppressions), a default `severity` (`error` findings
+gate CI, `warning` findings are advisory), and a `run(ctx)` returning
+`Finding`s. Suppression handling is central (engine.py): rules report
+everything they see; the engine drops suppressed findings and flags
+stale or malformed suppressions itself.
+
+The rule table (mirrored in DESIGN.md "Static analysis architecture"):
+
+  id                   severity  what it guards
+  -------------------  --------  ------------------------------------------
+  format               warning   tabs/CRLF/trailing-ws/final-newline basics
+  nondeterminism       error     no nondeterministic seed sources
+  unordered-iteration  error     no iteration over unordered containers
+  config-init          error     every SimConfig field has an initializer
+  hot-path-alloc       error     no allocation reachable from the tick
+                                 hot path (call-graph reachability)
+  engine-registry      error     EngineCaps registry vs README / CLI help /
+                                 golden-test coverage
+  suppression          error     (engine-emitted) malformed or stale
+                                 lint:allow markers
+"""
+
+from __future__ import annotations
+
+import re
+
+ERROR = "error"
+WARNING = "warning"
+
+
+class Finding:
+    def __init__(self, rule: str, severity: str, path: str, line: int,
+                 message: str):
+        self.rule = rule
+        self.severity = severity
+        self.path = path  # repo-relative posix path
+        self.line = line  # 1-based
+        self.message = message
+
+    def sort_key(self):
+        return (self.path, self.line, self.rule, self.message)
+
+
+class Rule:
+    id = "base"
+    severity = ERROR
+    description = ""
+
+    def run(self, ctx):
+        raise NotImplementedError
+
+
+# ---------------------------------------------------------------- format
+
+class FormatRule(Rule):
+    id = "format"
+    severity = WARNING
+    description = ("version-independent formatting basics: no tabs, no "
+                   "trailing whitespace, LF endings, exactly one final "
+                   "newline")
+
+    def run(self, ctx):
+        findings = []
+        for rel in ctx.files(ctx.FORMAT_GLOBS):
+            data = ctx.read_bytes(rel)
+            add = lambda line, msg: findings.append(
+                Finding(self.id, self.severity, rel, line, msg))
+            if not data:
+                add(1, "empty file")
+                continue
+            if b"\r" in data:
+                add(data[:data.index(b"\r")].count(b"\n") + 1,
+                    "CRLF line endings (use LF)")
+            lines = data.split(b"\n")
+            if not data.endswith(b"\n"):
+                add(len(lines), "missing final newline")
+            elif data.endswith(b"\n\n"):
+                add(len(lines), "multiple trailing newlines")
+            for i, line in enumerate(lines, 1):
+                if b"\t" in line:
+                    add(i, "tab character (indent with spaces)")
+                if line != line.rstrip():
+                    add(i, "trailing whitespace")
+        return findings
+
+
+# -------------------------------------------------------- nondeterminism
+
+_NONDET = [
+    (re.compile(r"\bstd::random_device\b"),
+     "std::random_device is nondeterministic; seed SplitMix64 (util/rng.h)"),
+    (re.compile(r"\bstd::mt19937(_64)?\b"),
+     "std::mt19937 state is stdlib-version-dependent; use util/rng.h"),
+    (re.compile(r"(?<![\w:])rand\s*\(\s*\)"),
+     "rand() is stateful and platform-dependent; use util/rng.h"),
+    (re.compile(r"(?<![\w:])srand\s*\("),
+     "srand() seeds hidden global state; use util/rng.h"),
+    (re.compile(r"(?<![\w:])time\s*\(\s*(NULL|nullptr|0)\s*\)"),
+     "time(...) as a seed makes runs unreproducible; take seeds from config"),
+    (re.compile(r"\bstd::chrono::system_clock\b"),
+     "system_clock is wall-clock; use steady_clock for timing, config seeds "
+     "for randomness"),
+]
+
+
+class NondeterminismRule(Rule):
+    id = "nondeterminism"
+    severity = ERROR
+    description = ("no nondeterministic seed sources outside util/rng.h "
+                   "(the one blessed, fully-seed-specified RNG)")
+
+    def run(self, ctx):
+        findings = []
+        for rel in ctx.files(ctx.CPP_GLOBS):
+            if rel.endswith("util/rng.h"):
+                continue
+            lx = ctx.lexed(rel)
+            for i, line in enumerate(lx.masked_lines, 1):
+                for pattern, reason in _NONDET:
+                    if pattern.search(line):
+                        findings.append(
+                            Finding(self.id, self.severity, rel, i, reason))
+        return findings
+
+
+# --------------------------------------------------- unordered-iteration
+
+_UNORDERED_DECL = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s*&?\s*"
+    r"(?P<name>[A-Za-z_]\w*)\s*[;{=(,)]")
+_RANGE_FOR = re.compile(r"\bfor\s*\(.*:\s*(?P<expr>[^)]+)\)")
+
+
+class UnorderedIterationRule(Rule):
+    id = "unordered-iteration"
+    severity = ERROR
+    description = ("no iteration over std::unordered_* containers: bucket "
+                   "order is hash- and libstdc++-version-dependent")
+
+    def run(self, ctx):
+        findings = []
+        for rel in ctx.files(ctx.CPP_GLOBS):
+            lx = ctx.lexed(rel)
+            names = set()
+            for line in lx.masked_lines:
+                for m in _UNORDERED_DECL.finditer(line):
+                    names.add(m.group("name"))
+            for i, line in enumerate(lx.masked_lines, 1):
+                m = _RANGE_FOR.search(line)
+                if m:
+                    expr = m.group("expr").strip()
+                    base = re.sub(r"[.*&()]|->.*$", "",
+                                  expr.split(".")[0]).strip()
+                    if base in names or "unordered_" in expr:
+                        findings.append(Finding(
+                            self.id, self.severity, rel, i,
+                            f"iteration over unordered container '{expr}': "
+                            "bucket order is hash-dependent (copy to a "
+                            "sorted vector, or use FlatMap/FlatSet and "
+                            "document why order is benign)"))
+                for name in names:
+                    if re.search(
+                            rf"\b{re.escape(name)}\s*\.\s*(c?begin|c?end)"
+                            r"\s*\(", line):
+                        findings.append(Finding(
+                            self.id, self.severity, rel, i,
+                            f"iterator over unordered container '{name}': "
+                            "bucket order is hash-dependent"))
+        return findings
+
+
+# ----------------------------------------------------------- config-init
+
+_MEMBER = re.compile(
+    r"^\s*(?!static|using|enum|struct|class|\[\[)"
+    r"(?P<decl>[A-Za-z_][\w:<>,\s*&]*?\s+[A-Za-z_]\w*)\s*"
+    r"(?P<init>=[^;]+|\{[^;]*\})?\s*;")
+
+
+class ConfigInitRule(Rule):
+    id = "config-init"
+    severity = ERROR
+    description = ("every SimConfig field carries an initializer: a "
+                   "default-constructed config must be fully specified")
+
+    def run(self, ctx):
+        rel = "src/core/config.h"
+        if rel not in ctx.files(("src/core/config.h",)):
+            return []  # fixture roots without a config are simply out of scope
+        lx = ctx.lexed(rel)
+        findings = []
+        in_struct = False
+        depth = 0
+        for i, line in enumerate(lx.masked_lines, 1):
+            if not in_struct:
+                if re.search(r"\bstruct\s+SimConfig\b", line):
+                    in_struct = True
+                    depth = line.count("{") - line.count("}")
+                continue
+            depth += line.count("{") - line.count("}")
+            if depth < 0 or (depth == 0 and "};" in line):
+                break
+            if depth > 1:
+                continue  # nested scope (method body)
+            m = _MEMBER.match(line)
+            if not m:
+                continue
+            decl = m.group("decl")
+            if "(" in decl:  # function declaration
+                continue
+            if not m.group("init"):
+                findings.append(Finding(
+                    self.id, self.severity, rel, i,
+                    f"SimConfig field '{decl.split()[-1]}' has no "
+                    "initializer: a default-constructed config must be "
+                    "fully specified"))
+        return findings
+
+
+# -------------------------------------------------------- hot-path-alloc
+
+_ALLOC_PATTERNS = [
+    (re.compile(r"(?<![\w:])new\b"),
+     "operator new on the tick hot path: use a pooled structure "
+     "(util/flat_map.h IndexPool) sized at construction"),
+    (re.compile(r"\bstd::make_(?:shared|unique)\s*<"),
+     "make_shared/make_unique allocates; hot-path objects must be "
+     "constructed (and pooled) before the steady state"),
+    (re.compile(r"\bstd::(?:multi)?(?:map|set)\s*<"),
+     "node-based std::map/std::set allocates per insert; use the bucketed "
+     "queue / FlatMap structures (DESIGN.md §3d)"),
+    (re.compile(r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<"),
+     "std::unordered_* allocates per insert; use FlatMap/FlatSet over "
+     "reserved storage"),
+    (re.compile(r"\bstd::(?:deque|list|forward_list)\s*<"),
+     "std::deque/std::list allocate per node; use RingBuffer or an "
+     "intrusive chain over IndexPool"),
+    (re.compile(r"\.\s*(?:push_back|emplace_back|emplace)\s*\("),
+     "container growth on the tick hot path: reserve at construction and "
+     "annotate the line with the reservation that makes it safe"),
+    (re.compile(r"\.\s*resize\s*\("),
+     "resize on the tick hot path can reallocate: size at construction and "
+     "annotate the line with the bound that makes it safe"),
+    (re.compile(r"\bstd::vector\s*<[^;=()]*>\s+\w+\s*[({]"),
+     "local std::vector constructed on the tick hot path allocates per "
+     "call: hoist it into pooled state sized at construction"),
+]
+_NODE_MEMBER = re.compile(
+    r"\bstd::(?:(?:multi)?(?:map|set)|unordered_(?:map|set|multimap|"
+    r"multiset)|deque|list|forward_list)\s*<")
+
+# Seeds, per DESIGN.md "Static analysis architecture": every engine's
+# step(), the production arbiter mutators, and the serving frontend's
+# per-tick inject/harvest path.
+_ARBITER_SEEDS = {"enqueue", "pop", "on_priorities_changed"}
+_SERVING_SEEDS = {"deliver_arrivals", "harvest_completions",
+                  "inject_request", "next_arrival_tick"}
+# src/check/ holds deliberately-allocating executable specs (shadow
+# arbiters/caches, the invariant checker); src/util/ holds the pooled
+# primitives themselves, whose growth paths are amortized-by-reservation
+# and proven allocation-free dynamically by perf_simulator
+# --arbiter-compare's steady-state allocation probe.
+_EXCLUDED = ("src/check/", "src/util/")
+
+
+def _member_decl_spans(masked: str, ext):
+    """(start, end) spans at brace depth 1 inside a class extent — the
+    member-declaration scope, skipping nested method/struct bodies."""
+    spans = []
+    depth = 0
+    seg_start = None
+    i = ext.start
+    while i < ext.end:
+        c = masked[i]
+        if c == "{":
+            depth += 1
+            if depth == 1:
+                seg_start = i + 1
+            elif depth == 2 and seg_start is not None:
+                spans.append((seg_start, i))
+                seg_start = None
+        elif c == "}":
+            depth -= 1
+            if depth == 1:
+                seg_start = i + 1
+            elif depth == 0:
+                if seg_start is not None:
+                    spans.append((seg_start, i))
+                break
+        i += 1
+    return spans
+
+
+class HotPathAllocRule(Rule):
+    id = "hot-path-alloc"
+    severity = ERROR
+    description = ("zero allocation reachable from the tick hot path, "
+                   "discovered by call-graph reachability from Engine::step "
+                   "/ arbiter mutators / the serving inject-harvest loop")
+
+    @staticmethod
+    def _is_seed(fn):
+        if fn.is_ctor_dtor:
+            return False
+        if fn.name == "step" and fn.cls and fn.cls.endswith("Engine"):
+            return True
+        if (fn.path == "src/core/arbitration.cc"
+                and fn.name in _ARBITER_SEEDS):
+            return True
+        return fn.cls == "ServingSimulator" and fn.name in _SERVING_SEEDS
+
+    def run(self, ctx):
+        project = ctx.project()
+        seeds = [fn for fm in project.files.values() for fn in fm.defs
+                 if self._is_seed(fn)
+                 and not fn.path.startswith(_EXCLUDED)]
+        hot = project.reachable(seeds, _EXCLUDED)
+
+        findings = []
+        for fn in sorted(hot, key=lambda f: (f.path, f.start_line)):
+            via = hot[fn]
+            origin = f"in `{fn.qual}`" + (
+                f", hot via `{via.qual}`" if via else " (hot-path seed)")
+            lx = project.files[fn.path].lexed
+            first = lx.masked.count("\n", 0, fn.body_start) + 1
+            for ln in range(first, min(fn.end_line, len(lx.masked_lines)) + 1):
+                text = lx.masked_lines[ln - 1]
+                for pattern, reason in _ALLOC_PATTERNS:
+                    if pattern.search(text):
+                        findings.append(Finding(
+                            self.id, self.severity, fn.path, ln,
+                            f"{reason} [{origin}]"))
+
+        # Node-container members of classes whose methods are hot: the
+        # container's mutators allocate even if no flagged call appears
+        # in the hot bodies themselves.
+        hot_classes = {fn.cls for fn in hot if fn.cls}
+        seen = set()
+        for rel in sorted(project.files):
+            if rel.startswith(_EXCLUDED):
+                continue
+            fm = project.files[rel]
+            masked = fm.lexed.masked
+            for ext in fm.classes:
+                if ext.name not in hot_classes:
+                    continue
+                for a, b in _member_decl_spans(masked, ext):
+                    for m in _NODE_MEMBER.finditer(masked, a, b):
+                        ln = masked.count("\n", 0, m.start()) + 1
+                        if (rel, ln) in seen:
+                            continue
+                        seen.add((rel, ln))
+                        findings.append(Finding(
+                            self.id, self.severity, rel, ln,
+                            "node-based container member in class "
+                            f"`{ext.name}`, whose methods are on the tick "
+                            "hot path: it allocates per insert"))
+        return findings
+
+
+# ------------------------------------------------------- engine-registry
+
+_REGISTRY_ENTRY = re.compile(r"\{EngineKind::k(\w+),\s*\"(\w+)\"")
+
+
+class EngineRegistryRule(Rule):
+    id = "engine-registry"
+    severity = ERROR
+    description = ("every engine in the EngineCaps registry appears in the "
+                   "README capability table, the --engine CLI help, and the "
+                   "pinned-golden/differential-grid test coverage")
+
+    # kAuto is exempt from golden coverage: it resolves to another
+    # registered engine at construction, so its behavior is pinned
+    # through the engine it resolves to (the capability/resolution tests
+    # in simulator_property_test.cc cover the resolution itself).
+    GOLDEN_EXEMPT = {"Auto"}
+    TEST_ARTIFACTS = ("tests/determinism_test.cc",
+                      "tests/simulator_property_test.cc")
+
+    def run(self, ctx):
+        rel = "src/core/engine.cc"
+        if not ctx.exists(rel):
+            return []
+        text = ctx.lexed(rel).text
+        entries = []
+        for m in _REGISTRY_ENTRY.finditer(text):
+            entries.append((m.group(1), m.group(2),
+                            text.count("\n", 0, m.start()) + 1))
+        findings = []
+        if not entries:
+            return [Finding(self.id, self.severity, rel, 1,
+                            "no EngineCaps registry entries parsed from "
+                            "src/core/engine.cc: the registry moved or "
+                            "changed shape — update hbmlint's "
+                            "engine-registry rule")]
+
+        readme = ctx.read_text("README.md")
+        cli = ctx.read_text("apps/hbmsim_cli.cc")
+        cli_engine_lines = "\n".join(
+            ln for ln in (cli or "").splitlines() if "--engine" in ln)
+        tests = {t: ctx.read_text(t) for t in self.TEST_ARTIFACTS}
+
+        for kind, name, line in entries:
+            if readme is None:
+                findings.append(Finding(
+                    self.id, self.severity, rel, line,
+                    "README.md not found, so the engine capability table "
+                    "cannot be checked"))
+            elif f"| `{name}`" not in readme:
+                findings.append(Finding(
+                    self.id, self.severity, rel, line,
+                    f"engine '{name}' is registered but has no row in the "
+                    "README capability table (| `" + name + "` | ...)"))
+            if cli is None:
+                findings.append(Finding(
+                    self.id, self.severity, rel, line,
+                    "apps/hbmsim_cli.cc not found, so the --engine help "
+                    "text cannot be checked"))
+            elif not re.search(rf"\b{re.escape(name)}\b", cli_engine_lines):
+                findings.append(Finding(
+                    self.id, self.severity, rel, line,
+                    f"engine '{name}' is registered but missing from the "
+                    "--engine help text in apps/hbmsim_cli.cc"))
+            if kind in self.GOLDEN_EXEMPT:
+                continue
+            for t, body in tests.items():
+                if body is None:
+                    findings.append(Finding(
+                        self.id, self.severity, rel, line,
+                        f"{t} not found, so golden coverage for engine "
+                        f"'{name}' cannot be checked"))
+                elif f"EngineKind::k{kind}" not in body:
+                    findings.append(Finding(
+                        self.id, self.severity, rel, line,
+                        f"engine '{name}' is registered but has no "
+                        f"EngineKind::k{kind} coverage in {t}: add it to "
+                        "the pinned goldens / differential grid"))
+        return findings
+
+
+RULES = [
+    FormatRule(),
+    NondeterminismRule(),
+    UnorderedIterationRule(),
+    ConfigInitRule(),
+    HotPathAllocRule(),
+    EngineRegistryRule(),
+]
+
+# The engine-emitted meta rule (see engine.py): malformed/stale
+# suppressions. Listed here so reporters and --list-rules see it.
+SUPPRESSION_RULE_ID = "suppression"
+SUPPRESSION_RULE_DESCRIPTION = (
+    "lint:allow markers must name a known rule, carry a mandatory reason, "
+    "and actually suppress a finding (stale markers are findings)")

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""hbmlint self-test: run the analyzer over each fixture mini-repo and
+compare the (rule, path, line) projection of its findings against the
+fixture's golden expected.json.
+
+Each directory under fixtures/ is an independent root laid out like the
+real repo (src/, apps/, tests/, README.md ...) with an expected.json:
+
+    [{"rule": "hot-path-alloc", "path": "src/core/helper.h", "line": 9}]
+
+Negative fixtures carry an empty list — they must stay clean. Run via
+ctest (hbmlint_selftest) or directly: python3 tools/hbmlint/selftest.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import engine  # noqa: E402
+
+FIXTURES = pathlib.Path(__file__).resolve().parent / "fixtures"
+
+
+def project(findings) -> list:
+    rows = [{"rule": f.rule, "path": f.path, "line": f.line}
+            for f in findings]
+    rows.sort(key=lambda r: (r["path"], r["line"], r["rule"]))
+    return rows
+
+
+def main() -> int:
+    failures = 0
+    ran = 0
+    for fixture in sorted(p for p in FIXTURES.iterdir() if p.is_dir()):
+        golden_path = fixture / "expected.json"
+        if not golden_path.is_file():
+            print(f"FAIL {fixture.name}: missing expected.json")
+            failures += 1
+            continue
+        expected = json.loads(golden_path.read_text())
+        expected.sort(key=lambda r: (r["path"], r["line"], r["rule"]))
+        _, findings = engine.run(fixture)
+        got = project(findings)
+        ran += 1
+        if got == expected:
+            print(f"ok   {fixture.name} ({len(got)} finding(s))")
+            continue
+        failures += 1
+        print(f"FAIL {fixture.name}")
+        for row in expected:
+            if row not in got:
+                print(f"  missing expected: {row}")
+        for i, row in enumerate(got):
+            if row not in expected:
+                msg = findings[i].message if i < len(findings) else ""
+                print(f"  unexpected: {row}  {msg}")
+    if not ran:
+        print("FAIL: no fixtures found")
+        return 1
+    if failures:
+        print(f"\nhbmlint selftest: {failures}/{ran} fixture(s) FAILED")
+        return 1
+    print(f"\nhbmlint selftest: {ran} fixture(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
