@@ -226,49 +226,30 @@ class Stopwatch {
 
 }  // namespace hbmsim::bench
 
-// ---- Countable allocator hook (perf_simulator --arbiter-compare) ---------
+// ---- Countable allocator hook (perf_simulator --arbiter/scale-compare) ---
 //
 // Define HBMSIM_BENCH_COUNT_ALLOCS before including this header to
-// replace the global allocation functions with malloc/free shims that
-// count every operator new. The arbiter micro-benchmarks read the
-// counter before and after the measured phase to prove the tick hot
-// path is steady-state allocation-free (ISSUE: the counter must read 0
-// after warm-up).
+// replace the global allocation functions with the counting shim in
+// util/alloc_shim.h. The arbiter micro-benchmarks read the counter
+// before and after the measured phase to prove the tick hot path is
+// steady-state allocation-free, and the p = 1M scale cases assert a
+// peak-heap-bytes budget on top (ISSUE: the counter must read 0 after
+// warm-up; the streaming run must fit the budget).
 //
 // Replacements are program-wide, so exactly one translation unit per
-// binary may define the macro (perf_simulator.cc does); the functions
-// are deliberately not inline — replacing operator new with an inline
-// definition is ill-formed.
+// binary may define the macro (perf_simulator.cc does).
 #ifdef HBMSIM_BENCH_COUNT_ALLOCS
 
-#include <atomic>
-#include <cstddef>
-#include <new>
+#define HBMSIM_ALLOC_SHIM
+#include "util/alloc_shim.h"
 
 namespace hbmsim::bench {
 
-inline std::atomic<std::uint64_t> g_allocation_count{0};
-
 /// Allocations observed process-wide since start.
 inline std::uint64_t allocation_count() noexcept {
-  return g_allocation_count.load(std::memory_order_relaxed);
-}
-
-inline void* counted_alloc(std::size_t size) {
-  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size == 0 ? 1 : size)) {
-    return p;
-  }
-  throw std::bad_alloc{};
+  return util::alloc_count();
 }
 
 }  // namespace hbmsim::bench
-
-void* operator new(std::size_t size) { return hbmsim::bench::counted_alloc(size); }
-void* operator new[](std::size_t size) { return hbmsim::bench::counted_alloc(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 #endif  // HBMSIM_BENCH_COUNT_ALLOCS

@@ -24,6 +24,15 @@
 // delta after warm-up to be exactly zero. Results are *appended* to the
 // --out file, so BENCH_perf.json accumulates one JSONL row per bench
 // family.
+//
+// Streaming scale mode (DESIGN.md §3f):
+//   perf_simulator --scale-compare [--smoke] [--out=PATH]
+// verifies streaming (TraceCursor) workloads produce bit-identical
+// RunMetrics to their materialized twins under all three engines at
+// overlapping scales, then runs the p = 1M streaming case under the
+// event engine and asserts its peak live-heap bytes (tracked by the same
+// shim) fit an O(p) budget. Appended to the --out file like the arbiter
+// rows.
 #define HBMSIM_BENCH_COUNT_ALLOCS
 #include <benchmark/benchmark.h>
 
@@ -603,11 +612,257 @@ int run_arbiter_compare(bool smoke, const std::string& out_path) {
   return 0;
 }
 
+// ---- Streaming scale comparison (--scale-compare) ------------------------
+//
+// Two claims, each checked mechanically (ISSUE 9):
+//
+//  1. Equivalence — a streaming workload (TraceCursor backends, no stored
+//     reference vectors) produces bit-identical RunMetrics to its
+//     materialized twin under every engine, at scales where both fit.
+//  2. Residency — at p = 1M threads the streaming path fits a hard
+//     peak-heap-bytes budget that is O(p), where the materialized twin
+//     would need p · length · 4 bytes of trace data alone (256 GB for
+//     the case below). The budget binds on the byte-tracking allocation
+//     shim (util/alloc_shim.h) this binary links in.
+
+/// One (streaming, materialized) workload pair plus the config both run
+/// under. The builders are twins by construction: the materialized
+/// makers are `materialize(Cursor(...))` over the same cursors.
+struct ScalePair {
+  std::string name;
+  std::string note;
+  Workload streaming;
+  Workload materialized;
+  SimConfig config;
+};
+
+/// Per-thread uniform synthetic options for the scale cases: 64 local
+/// pages, 64Ki references per thread. Materializing one thread costs
+/// 256 KiB of trace data; materializing the p = 1M workload would cost
+/// 256 GiB. Streaming holds one ~100-byte cursor per thread instead.
+workloads::SyntheticOptions scale_synth_opts() {
+  workloads::SyntheticOptions opts;
+  opts.kind = workloads::SyntheticKind::kUniform;
+  opts.num_pages = 64;
+  opts.length = 65536;
+  opts.seed = 42;
+  return opts;
+}
+
+/// The shared config shape of every scale case: q = 2 channels against a
+/// large population, long-ish transfers, aggregate metrics only, and a
+/// max_ticks horizon so the total work is bounded by the channel count
+/// rather than by p · length.
+SimConfig scale_config(std::uint64_t hbm_slots, Tick max_ticks) {
+  SimConfig c = SimConfig::fifo(hbm_slots, /*q=*/2);
+  c.fetch_ticks = 4;
+  c.per_thread_metrics = false;
+  c.response_histogram = false;
+  c.max_ticks = max_ticks;
+  return c;
+}
+
+/// Overlap case A: the adversarial cyclic scan (one shared source /
+/// one shared trace across p threads).
+ScalePair adversarial_overlap_pair(bool smoke) {
+  const std::size_t p = smoke ? 512 : 4096;
+  const workloads::AdversarialOptions adv{.unique_pages = 64,
+                                          .repetitions = 16};
+  ScalePair pair;
+  pair.name = "overlap_adversarial_4k";
+  pair.note = "p=4096 cyclic all-miss: streaming CyclicSource vs the "
+              "materialized shared trace, all engines";
+  pair.streaming = workloads::make_adversarial_streaming_workload(p, adv);
+  pair.materialized = workloads::make_adversarial_workload(p, adv);
+  pair.config = scale_config(workloads::adversarial_hbm_slots(p, adv, 0.25),
+                             smoke ? Tick{1} << 16 : Tick{1} << 20);
+  return pair;
+}
+
+/// Overlap case B: per-thread seeded uniform synthetic traces — the same
+/// family as the p = 1M residency case, at a scale where the materialized
+/// twin still fits, truncated at the same kind of horizon.
+ScalePair synthetic_overlap_pair(bool smoke) {
+  const std::size_t p = smoke ? 2048 : 16384;
+  workloads::SyntheticOptions opts = scale_synth_opts();
+  opts.length = 1024;  // materialized twin: p traces of 4 KiB each
+  ScalePair pair;
+  pair.name = "overlap_synthetic_16k";
+  pair.note = "p=16k per-thread uniform traces: streaming cursors vs "
+              "materialized vectors, all engines";
+  pair.streaming = workloads::make_streaming_workload(p, opts);
+  pair.materialized = workloads::make_synthetic_workload(p, opts);
+  pair.config = scale_config(/*hbm_slots=*/8 * p, /*max_ticks=*/Tick{1} << 16);
+  return pair;
+}
+
+struct P1mResult {
+  EngineRun run;
+  std::uint64_t peak_bytes = 0;
+  std::uint64_t budget_bytes = 0;
+  std::size_t threads = 0;
+  bool within_budget = true;
+};
+
+/// The p = 1M residency case: build the streaming workload, run it under
+/// the event engine, and record the peak live-heap high-water mark of
+/// the whole episode (workload + simulator + run). The budget is linear
+/// in p — a fixed slack for the process plus a per-thread allowance
+/// covering cursor, SoA slots, dense event-engine state, and queue
+/// entries. A materialized workload cannot fit: its trace data alone is
+/// length · 4 bytes per thread, ~64× the whole per-thread allowance.
+P1mResult run_p1m_case(bool smoke) {
+  P1mResult r;
+  r.threads = smoke ? (std::size_t{1} << 16) : (std::size_t{1} << 20);
+  // Measured 2026-08: ~480 B/thread (cursor + SoA slots + dense thread +
+  // queue entry) plus ~19 MiB of k-proportional cache structures. The
+  // allowance below gives ~40% headroom while staying ~370× under the
+  // materialized twin's 256 GiB of trace data.
+  constexpr std::uint64_t kFixedSlackBytes = std::uint64_t{64} << 20;
+  constexpr std::uint64_t kPerThreadBudgetBytes = 640;
+  r.budget_bytes = kFixedSlackBytes + kPerThreadBudgetBytes * r.threads;
+
+  util::reset_alloc_peak();
+  {
+    const Workload w =
+        workloads::make_streaming_workload(r.threads, scale_synth_opts());
+    SimConfig config = scale_config(/*hbm_slots=*/262144,
+                                    /*max_ticks=*/Tick{1} << 18);
+    config.engine = EngineKind::kEvent;
+    const auto start = std::chrono::steady_clock::now();
+    Simulator sim(w, config);
+    r.run.metrics = sim.run();
+    r.run.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+  }
+  r.peak_bytes = util::alloc_peak_bytes();
+  r.within_budget =
+      !util::alloc_bytes_tracked() || r.peak_bytes <= r.budget_bytes;
+  return r;
+}
+
+int run_scale_compare(bool smoke, const std::string& out_path) {
+  std::vector<ScalePair> pairs;
+  pairs.push_back(adversarial_overlap_pair(smoke));
+  pairs.push_back(synthetic_overlap_pair(smoke));
+
+  bool all_identical = true;
+  std::string rows;
+  const EngineKind engines[] = {EngineKind::kTick, EngineKind::kFast,
+                                EngineKind::kEvent};
+  const char* engine_names[] = {"tick", "fast", "event"};
+  for (const ScalePair& pair : pairs) {
+    bool identical = true;
+    std::string engine_rows;
+    for (std::size_t e = 0; e < 3; ++e) {
+      const EngineRun s = time_engine(pair.streaming, pair.config, engines[e],
+                                      /*repeats=*/1);
+      const EngineRun m = time_engine(pair.materialized, pair.config,
+                                      engines[e], /*repeats=*/1);
+      const bool eq =
+          metrics_fingerprint(s.metrics) == metrics_fingerprint(m.metrics);
+      identical = identical && eq;
+      exp::JsonObject ej;
+      ej.field("engine", engine_names[e])
+          .field("streaming_wall_seconds", s.wall_seconds)
+          .field("materialized_wall_seconds", m.wall_seconds)
+          .field("metrics_identical", eq);
+      if (!engine_rows.empty()) {
+        engine_rows += ',';
+      }
+      engine_rows += ej.str();
+      std::fprintf(stderr,
+                   "%-24s %-5s streaming %8.4fs  materialized %8.4fs  "
+                   "metrics %s\n",
+                   pair.name.c_str(), engine_names[e], s.wall_seconds,
+                   m.wall_seconds, eq ? "identical" : "DIFFER");
+    }
+    all_identical = all_identical && identical;
+
+    exp::JsonObject row;
+    row.field("name", pair.name)
+        .field("note", pair.note)
+        .raw_field("config", exp::to_json(pair.config))
+        .field("threads",
+               static_cast<std::uint64_t>(pair.streaming.num_threads()))
+        .raw_field("engines", "[" + engine_rows + "]")
+        .field("metrics_identical", identical);
+    if (!rows.empty()) {
+      rows += ',';
+    }
+    rows += row.str();
+  }
+
+  const P1mResult p1m = run_p1m_case(smoke);
+  const double refs_per_sec =
+      static_cast<double>(p1m.run.metrics.total_refs) / p1m.run.wall_seconds;
+  {
+    exp::JsonObject row;
+    row.field("name", "p1m_scale")
+        .field("note", "p=1M streaming uniform traces under the event "
+                       "engine, max_ticks horizon; peak live heap must fit "
+                       "an O(p) budget")
+        .field("threads", static_cast<std::uint64_t>(p1m.threads))
+        .field("engine", "event")
+        .field("wall_seconds", p1m.run.wall_seconds)
+        .field("refs_served", p1m.run.metrics.total_refs)
+        .field("refs_per_sec", refs_per_sec)
+        .field("makespan_ticks", p1m.run.metrics.makespan)
+        .field("truncated", p1m.run.metrics.truncated)
+        .field("alloc_bytes_tracked", util::alloc_bytes_tracked())
+        .field("peak_heap_bytes", p1m.peak_bytes)
+        .field("budget_bytes", p1m.budget_bytes)
+        .field("within_budget", p1m.within_budget);
+    rows += ',';
+    rows += row.str();
+  }
+  std::fprintf(stderr,
+               "p1m_scale              p=%zu  %8.4fs  %9.0f refs/s  peak "
+               "%.1f MiB  budget %.1f MiB  %s\n",
+               p1m.threads, p1m.run.wall_seconds, refs_per_sec,
+               static_cast<double>(p1m.peak_bytes) / (1 << 20),
+               static_cast<double>(p1m.budget_bytes) / (1 << 20),
+               p1m.within_budget ? "within budget" : "OVER BUDGET");
+
+  exp::JsonObject report;
+  report.field("bench", "scale_compare")
+      .field("scale", smoke ? "smoke" : "full")
+      .raw_field("cases", "[" + rows + "]")
+      .field("all_metrics_identical", all_identical)
+      .field("p1m_within_budget", p1m.within_budget);
+
+  // Append: BENCH_perf.json is a JSONL perf trajectory.
+  std::ofstream out(out_path, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << report.str() << '\n';
+  std::fprintf(stderr, "appended to %s\n", out_path.c_str());
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "error: streaming and materialized workloads disagree on "
+                 "RunMetrics — the cursor layer broke the equivalence "
+                 "contract\n");
+    return 1;
+  }
+  if (!p1m.within_budget) {
+    std::fprintf(stderr,
+                 "error: the p=1M streaming run exceeded its peak-heap "
+                 "budget — resident memory is no longer O(p)\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool engine_compare = false;
   bool arbiter_compare = false;
+  bool scale_compare = false;
   bool smoke = false;
   std::string out_path = "BENCH_perf.json";
   std::vector<char*> passthrough;
@@ -618,6 +873,8 @@ int main(int argc, char** argv) {
       engine_compare = true;
     } else if (arg == "--arbiter-compare") {
       arbiter_compare = true;
+    } else if (arg == "--scale-compare") {
+      scale_compare = true;
     } else if (arg == "--smoke") {
       smoke = true;
     } else if (arg.rfind("--out=", 0) == 0) {
@@ -631,6 +888,9 @@ int main(int argc, char** argv) {
   }
   if (arbiter_compare) {
     return run_arbiter_compare(smoke, out_path);
+  }
+  if (scale_compare) {
+    return run_scale_compare(smoke, out_path);
   }
   int bench_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&bench_argc, passthrough.data());

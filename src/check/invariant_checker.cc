@@ -10,6 +10,7 @@
 #include "core/simulator.h"
 #include "opt/lower_bound.h"
 #include "trace/trace.h"
+#include "trace/trace_cursor.h"
 
 namespace hbmsim::check {
 
@@ -131,33 +132,39 @@ void InvariantChecker::on_fast_forward(Tick from, Tick to) {
       sim_.in_flight_.empty()
           ? std::optional<Tick>{}
           : std::optional<Tick>{sim_.in_flight_.front().serve_tick},
-      sim_.config_.remap_period, sim_.active_now_.size(), sim_.queue_size(),
+      sim_.config_.remap_period, sim_.runnable_now_.count(), sim_.queue_size(),
       sim_.config_.open_system ? std::optional<Tick>{sim_.arrival_horizon_}
                                : std::nullopt);
   ++fast_forwards_audited_;
 }
 
 void InvariantChecker::audit_thread_states() {
-  const std::size_t p = sim_.threads_.size();
+  const std::size_t p = sim_.state_.size();
   std::size_t issuing = 0;
   std::size_t waiting = 0;
   std::size_t fetched = 0;
   std::size_t done = 0;
   std::uint64_t served_refs = 0;
   for (std::size_t t = 0; t < p; ++t) {
-    const Simulator::ThreadContext& ctx = sim_.threads_[t];
-    HBMSIM_INVARIANT(ctx.next_ref <= ctx.trace->size(),
-                     make_context("core ", t, " served ", ctx.next_ref,
+    const TraceCursor& cursor = *sim_.cursors_[t];
+    HBMSIM_INVARIANT(cursor.pos() <= cursor.size(),
+                     make_context("core ", t, " served ", cursor.pos(),
                                   " refs of a trace of length ",
-                                  ctx.trace->size()));
-    const bool trace_exhausted = ctx.next_ref == ctx.trace->size();
+                                  cursor.size()));
+    const bool trace_exhausted = cursor.exhausted();
     HBMSIM_INVARIANT(
-        (ctx.state == Simulator::ThreadState::kDone) == trace_exhausted,
+        (sim_.state_[t] == Simulator::ThreadState::kDone) == trace_exhausted,
         make_context("core ", t, " state/trace mismatch: served ",
-                     ctx.next_ref, "/", ctx.trace->size(), " refs but is ",
+                     cursor.pos(), "/", cursor.size(), " refs but is ",
                      trace_exhausted ? "not " : "", "done"));
-    served_refs += ctx.next_ref;
-    switch (ctx.state) {
+    if (!trace_exhausted) {
+      HBMSIM_INVARIANT(
+          sim_.current_[t] == cursor.current(),
+          make_context("core ", t, " cached current page ", sim_.current_[t],
+                       " disagrees with its cursor's ", cursor.current()));
+    }
+    served_refs += cursor.pos();
+    switch (sim_.state_[t]) {
       case Simulator::ThreadState::kIssuing: ++issuing; break;
       case Simulator::ThreadState::kWaiting: ++waiting; break;
       case Simulator::ThreadState::kFetched: ++fetched; break;
@@ -180,26 +187,22 @@ void InvariantChecker::audit_thread_states() {
                    " refs served by threads but ",
                    sim_.metrics_.response.count(), " response samples"));
 
-  // The active list holds exactly the issuing and fetched threads, in
-  // canonical (sorted, duplicate-free) core-id order.
-  const std::vector<ThreadId>& active = sim_.active_now_;
-  HBMSIM_INVARIANT(active.size() == issuing + fetched,
-                   make_context("active list has ", active.size(),
-                                " cores but ", issuing + fetched,
-                                " are issuing/fetched"));
-  for (std::size_t i = 0; i < active.size(); ++i) {
-    HBMSIM_INVARIANT(active[i] < p, "active-list core id out of range");
-    const auto state = sim_.threads_[active[i]].state;
+  // The runnable set holds exactly the issuing and fetched threads (a
+  // bitmap is duplicate-free and id-ordered by construction, so only
+  // membership needs auditing).
+  HBMSIM_INVARIANT(sim_.runnable_now_.count() == issuing + fetched,
+                   make_context("runnable set has ",
+                                sim_.runnable_now_.count(), " cores but ",
+                                issuing + fetched, " are issuing/fetched"));
+  sim_.runnable_now_.for_each([&](std::size_t t) {
+    HBMSIM_INVARIANT(t < p, "runnable-set core id out of range");
+    const auto state = sim_.state_[t];
     HBMSIM_INVARIANT(state == Simulator::ThreadState::kIssuing ||
                          state == Simulator::ThreadState::kFetched,
-                     make_context("core ", active[i],
-                                  " on the active list is neither issuing "
+                     make_context("core ", t,
+                                  " in the runnable set is neither issuing "
                                   "nor fetched"));
-    if (i > 0) {
-      HBMSIM_INVARIANT(active[i - 1] < active[i],
-                       "active list not in strict core-id order");
-    }
-  }
+  });
 }
 
 void InvariantChecker::audit_metrics() {
@@ -227,7 +230,7 @@ void InvariantChecker::audit_metrics() {
 }
 
 void InvariantChecker::audit_queues() {
-  const std::size_t p = sim_.threads_.size();
+  const std::size_t p = sim_.state_.size();
   const bool shared = sim_.config_.shared_pages;
   std::vector<std::uint8_t> queued(p, 0);
   std::size_t queued_waiting = 0;
@@ -244,8 +247,7 @@ void InvariantChecker::audit_queues() {
         continue;
       }
       HBMSIM_INVARIANT(
-          sim_.threads_[entry.thread].state ==
-              Simulator::ThreadState::kWaiting,
+          sim_.state_[entry.thread] == Simulator::ThreadState::kWaiting,
           make_context("core ", entry.thread,
                        " is queued for DRAM but not in the waiting state"));
       HBMSIM_INVARIANT(
@@ -269,7 +271,7 @@ void InvariantChecker::audit_queues() {
 
   std::size_t waiting_total = 0;
   for (std::size_t t = 0; t < p; ++t) {
-    if (sim_.threads_[t].state == Simulator::ThreadState::kWaiting) {
+    if (sim_.state_[t] == Simulator::ThreadState::kWaiting) {
       ++waiting_total;
     }
   }
@@ -283,8 +285,7 @@ void InvariantChecker::audit_queues() {
       const Simulator::InFlight& flight = sim_.in_flight_[i];
       HBMSIM_INVARIANT(flight.thread < p, "in-flight core id out of range");
       HBMSIM_INVARIANT(
-          sim_.threads_[flight.thread].state ==
-              Simulator::ThreadState::kWaiting,
+          sim_.state_[flight.thread] == Simulator::ThreadState::kWaiting,
           make_context("core ", flight.thread,
                        " has an in-flight fetch but is not waiting"));
       HBMSIM_INVARIANT(in_flight_seen[flight.thread] == 0,
@@ -305,7 +306,7 @@ void InvariantChecker::audit_queues() {
     // Shared extension: every waiting core is registered as a waiter on
     // its current page, exactly once.
     for (std::size_t t = 0; t < p; ++t) {
-      if (sim_.threads_[t].state != Simulator::ThreadState::kWaiting) {
+      if (sim_.state_[t] != Simulator::ThreadState::kWaiting) {
         continue;
       }
       const GlobalPage page = sim_.current_page(static_cast<ThreadId>(t));
@@ -359,7 +360,7 @@ void InvariantChecker::after_tick() {
 }
 
 void InvariantChecker::after_run() {
-  const std::size_t p = sim_.threads_.size();
+  const std::size_t p = sim_.state_.size();
   HBMSIM_INVARIANT(sim_.finished(), "after_run on an unfinished simulation");
   HBMSIM_INVARIANT(sim_.in_flight_.empty(),
                    "transfers still in flight after completion");
@@ -368,11 +369,11 @@ void InvariantChecker::after_run() {
   Tick longest_trace = 0;
   for (std::size_t t = 0; t < p; ++t) {
     HBMSIM_INVARIANT(
-        sim_.threads_[t].state == Simulator::ThreadState::kDone,
+        sim_.state_[t] == Simulator::ThreadState::kDone,
         make_context("core ", t, " not done after completion"));
-    total_trace_refs += sim_.threads_[t].trace->size();
+    total_trace_refs += sim_.cursors_[t]->size();
     longest_trace = std::max(longest_trace,
-                             static_cast<Tick>(sim_.threads_[t].trace->size()));
+                             static_cast<Tick>(sim_.cursors_[t]->size()));
   }
 
   const RunMetrics& m = sim_.metrics_;
@@ -400,11 +401,15 @@ void InvariantChecker::after_run() {
                      "DRAM queue not empty after completion");
 
     // Offline lower bounds (Belady's MIN per core; §2): no run may beat
-    // the critical path or the channel-congestion bound.
+    // the critical path or the channel-congestion bound. Belady needs
+    // random access, so streamed traces are re-materialized here — an
+    // offline audit, deliberately outside the resident-memory budget the
+    // streaming layer protects.
     std::vector<std::shared_ptr<const Trace>> traces;
     traces.reserve(p);
     for (std::size_t t = 0; t < p; ++t) {
-      traces.push_back(sim_.threads_[t].trace);
+      traces.push_back(
+          std::make_shared<Trace>(materialize(*sim_.cursors_[t])));
     }
     const opt::MakespanBounds bounds = opt::makespan_lower_bounds(
         Workload(std::move(traces)), sim_.cache_->capacity(),

@@ -110,7 +110,7 @@ void Engine::finalize(RunMetrics& metrics) {
 std::size_t Engine::queue_size() const { return sim_.arbiter_queue_size(); }
 
 Simulator::ThreadState Engine::thread_state(ThreadId t) const {
-  return sim_.threads_[t].state;
+  return sim_.state_[t];
 }
 
 bool TickEngine::step() { return sim_.step_tick(); }

@@ -99,16 +99,11 @@ bool EventEngine::dense_eligible() const {
                          hbm->replacement() != ReplacementKind::kFifo)) {
     return false;
   }
-  for (const auto& ctx : sim_.threads_) {
-    if (ctx.trace->size() >= kNil) {
-      return false;  // nref is 32-bit in the dense layout
-    }
-  }
   return true;
 }
 
 void EventEngine::densify() {
-  const std::size_t p = sim_.threads_.size();
+  const std::size_t p = sim_.state_.size();
   const auto& hbm = static_cast<const HbmCache&>(*sim_.cache_);
   cache_cap_ = hbm.capacity();
   lru_ = hbm.replacement() == ReplacementKind::kLru;
@@ -125,19 +120,14 @@ void EventEngine::densify() {
   advise_huge(nodes_.data(), nodes_.capacity() * sizeof(Node));
   threads_.reserve(p);
   advise_huge(threads_.data(), p * sizeof(DenseThread));
-  threads_.resize(p);
-  for (std::size_t t = 0; t < p; ++t) {
-    const auto& ctx = sim_.threads_[t];
-    DenseThread& dt = threads_[t];
-    dt.refs = ctx.trace->refs().data();
-    dt.reqt = ctx.request_tick;
-    dt.nref = static_cast<std::uint32_t>(ctx.next_ref);
-    dt.len = static_cast<std::uint32_t>(ctx.trace->size());
-    dt.state = ctx.state;
-    dt.nslots = 0;
-  }
+  threads_.resize(p);  // value-init: every slot index starts empty
+  // Scalar run state (state_/request_tick_/current_/cursors_) stays in
+  // the Simulator's structure-of-arrays and is mutated in place by the
+  // dense loop; only the issuer list is mirrored out of the bitmap
+  // (ascending for_each == the id-sorted active walk).
   issuers_.reserve(p);
-  issuers_.assign(sim_.active_now_.begin(), sim_.active_now_.end());
+  sim_.runnable_now_.for_each(
+      [&](std::size_t t) { issuers_.push_back(static_cast<ThreadId>(t)); });
   issuers_next_.reserve(p);
   queue_.reserve(p);
   inflight_.reserve(std::min<std::size_t>(
@@ -257,7 +247,7 @@ EventEngine::DenseOutcome EventEngine::dense_step() {
           // Same-tick eviction corner (tiny k): re-queue at the original
           // request tick, matching the reference kFetched re-queue path.
           ++s.metrics_.requeues;
-          threads_[a.thread].state = Simulator::ThreadState::kWaiting;
+          s.state_[a.thread] = Simulator::ThreadState::kWaiting;
           // lint:allow-hot-path-alloc — reserved to p
           queue_.push_back(DenseQueued{a.thread, a.page});
         } else {
@@ -266,13 +256,12 @@ EventEngine::DenseOutcome EventEngine::dense_step() {
       } else {
         const ThreadId t = issuers_[ii];
         ++ii;
-        DenseThread& dt = threads_[t];
-        dt.reqt = now;
+        s.request_tick_[t] = now;
         ++s.metrics_.total_refs;
         if (per_thread) {
           ++s.metrics_.per_thread[t].refs;
         }
-        const LocalPage local = dt.refs[dt.nref];
+        const LocalPage local = s.current_[t];
         const std::uint32_t node = mirror_find(t, local);
         if (node != kNil) {
           ++s.metrics_.hits;
@@ -285,7 +274,7 @@ EventEngine::DenseOutcome EventEngine::dense_step() {
           if (per_thread) {
             ++s.metrics_.per_thread[t].misses;
           }
-          dt.state = Simulator::ThreadState::kWaiting;
+          s.state_[t] = Simulator::ThreadState::kWaiting;
           // lint:allow-hot-path-alloc — reserved to p
           queue_.push_back(DenseQueued{t, local});
         }
@@ -315,11 +304,10 @@ EventEngine::DenseOutcome EventEngine::dense_step() {
 
 void EventEngine::serve_dense(ThreadId t, std::uint32_t node) {
   Simulator& s = sim_;
-  DenseThread& dt = threads_[t];
   if (lru_) {
     mirror_touch(node);  // FIFO replacement ignores accesses
   }
-  const Tick w = s.tick_ - dt.reqt + 1;
+  const Tick w = s.tick_ - s.request_tick_[t] + 1;
   s.metrics_.response.add(static_cast<double>(w));
   if (histogram_) {
     s.metrics_.response_hist.add(w);
@@ -327,17 +315,10 @@ void EventEngine::serve_dense(ThreadId t, std::uint32_t node) {
   if (per_thread_) {
     s.metrics_.per_thread[t].response.add(static_cast<double>(w));
   }
-  const std::uint32_t nr = dt.nref + 1;
-  dt.nref = nr;
-  if (nr == dt.len) {
-    dt.state = Simulator::ThreadState::kDone;
-    ++s.done_threads_;
-    if (per_thread_) {
-      s.metrics_.per_thread[t].completion_tick = s.tick_;
-    }
-    s.metrics_.makespan = std::max(s.metrics_.makespan, s.tick_ + 1);
-  } else {
-    dt.state = Simulator::ThreadState::kIssuing;
+  // Cursor advance, done bookkeeping, and the cached-page refresh are the
+  // reference path's own (retire_reference); only the runnable handover
+  // differs — the dense loop keeps its issuer list instead of a bitmap.
+  if (s.retire_reference(t)) {
     issuers_next_.push_back(t);  // lint:allow-hot-path-alloc — reserved to p
   }
 }
@@ -346,23 +327,21 @@ void EventEngine::export_state() {
   HBMSIM_ASSERT(dense_, "export from a non-dense engine");
   dense_ = false;
   Simulator& s = sim_;
-  const std::size_t p = s.threads_.size();
-  for (std::size_t t = 0; t < p; ++t) {
-    auto& ctx = s.threads_[t];
-    const DenseThread& dt = threads_[t];
-    ctx.next_ref = dt.nref;
-    ctx.request_tick = dt.reqt;
-    ctx.state = dt.state;
+  // Per-thread scalars were mutated in place (structure-of-arrays), so
+  // the only state to write back is the runnable set: the bitmap went
+  // stale the moment the dense loop took over the issuer list.
+  s.runnable_now_.clear_all();
+  for (const ThreadId t : issuers_) {
+    s.runnable_now_.set(t);
   }
-  s.active_now_.assign(issuers_.begin(), issuers_.end());
-  s.active_next_.clear();
   issuers_.clear();
   // Re-materialise the arbitration queue in FIFO order (kAny: one queue).
   while (!queue_.empty()) {
     const DenseQueued r = queue_.front();
     queue_.pop_front();
     const GlobalPage page = make_global_page(r.thread, r.page);
-    s.queues_[0]->enqueue(QueuedRequest{page, r.thread, threads_[r.thread].reqt});
+    s.queues_[0]->enqueue(
+        QueuedRequest{page, r.thread, s.request_tick_[r.thread]});
   }
   // Re-materialise the in-flight ring.
   while (!inflight_.empty()) {
@@ -392,10 +371,6 @@ void EventEngine::finalize(RunMetrics& metrics) {
 
 std::size_t EventEngine::queue_size() const {
   return dense_ ? queue_.size() : Engine::queue_size();
-}
-
-Simulator::ThreadState EventEngine::thread_state(ThreadId t) const {
-  return dense_ ? threads_[t].state : Engine::thread_state(t);
 }
 
 void EventEngine::mirror_unlink(std::uint32_t n) noexcept {

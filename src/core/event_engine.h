@@ -44,7 +44,6 @@ class EventEngine final : public Engine {
   bool step() override;
   void finalize(RunMetrics& metrics) override;
   [[nodiscard]] std::size_t queue_size() const override;
-  [[nodiscard]] Simulator::ThreadState thread_state(ThreadId t) const override;
   [[nodiscard]] const EngineCaps& caps() const noexcept override;
 
   /// Whether the dense backlog path is currently driving the run
@@ -66,22 +65,15 @@ class EventEngine final : public Engine {
     std::uint32_t prev;
     std::uint32_t next;
   };
-  /// Per-thread dense state, packed into one cache-aligned 128-byte
-  /// block: the scalar run state and the thread's resident-page index
-  /// (the mirror cache's replacement for the global hash lookup — a
-  /// contains() probe scans at most kSlots slot entries) sit in two
-  /// adjacent lines. At large p a due arrival lands on a thread untouched
-  /// for thousands of ticks, so packing turns the ~five scattered
-  /// structure-of-arrays misses per arrival into one block miss that the
-  /// adjacent-line prefetcher satisfies in a single 128-byte fetch (a
-  /// 64-byte squeeze — pooled 32-bit trace offsets, narrowed ticks —
-  /// measured slower than this layout on the backlog benchmark).
+  /// Per-thread resident-page index, one cache line per thread: the
+  /// mirror cache's replacement for the global hash lookup — a
+  /// contains() probe scans at most kSlots slot entries. The scalar run
+  /// state (state, request tick, current page, cursor position) lives in
+  /// the Simulator's structure-of-arrays (state_/request_tick_/current_/
+  /// cursors_, DESIGN.md §3f) and is maintained live by the dense loop,
+  /// so export never copies per-thread scalars and the slot index is the
+  /// only dense-private per-thread storage.
   struct alignas(64) DenseThread {
-    const LocalPage* refs;        ///< the thread's trace data
-    Tick reqt;                    ///< request tick of the pending reference
-    std::uint32_t nref;           ///< next reference index
-    std::uint32_t len;            ///< trace length
-    Simulator::ThreadState state;
     std::uint8_t nslots;  ///< live entries in slot_local/slot_node
     LocalPage slot_local[kSlots];
     std::uint32_t slot_node[kSlots];
@@ -89,9 +81,9 @@ class EventEngine final : public Engine {
   struct DenseInFlight {
     Tick serve_tick;
     ThreadId thread;
-    /// refs[nref], frozen at enqueue time — nref cannot move while the
-    /// thread waits, so neither the fetch nor the arrival needs a random
-    /// trace read.
+    /// The thread's current reference, frozen at enqueue time — the
+    /// cursor cannot advance while the thread waits, so neither the
+    /// fetch nor the arrival touches the trace cursor.
     LocalPage page;
   };
   /// A queued request: the page rides along from the issue tick (where
@@ -146,11 +138,11 @@ class EventEngine final : public Engine {
   /// real cache's count on top (portable-phase evictions after a bailout).
   std::uint64_t evictions_base_ = 0;
 
-  // Packed per-thread state (the Simulator's ThreadContext is synced
-  // only at export).
+  // Per-thread resident-page slot indexes (scalar run state lives in
+  // the Simulator's structure-of-arrays and is maintained live).
   std::vector<DenseThread> threads_;
 
-  /// Threads issuing this tick, id-sorted (mirror of active_now_).
+  /// Threads issuing this tick, id-sorted (mirror of runnable_now_).
   std::vector<ThreadId> issuers_;
   std::vector<ThreadId> issuers_next_;
   /// FIFO arbitration queue mirror (kAny: one queue); the enqueue tick is

@@ -83,12 +83,15 @@ Simulator::Simulator(const Workload& workload, const SimConfig& config,
         break;
     }
   }
-  threads_.resize(p);
+  cursors_.resize(p);
+  state_.resize(p, ThreadState::kIssuing);
+  request_tick_.resize(p, 0);
+  current_.resize(p, 0);
   if (config_.per_thread_metrics) {
     metrics_.per_thread.resize(p);
   }
-  active_now_.reserve(p);
-  active_next_.reserve(p);
+  runnable_now_.resize(p);
+  runnable_next_.resize(p);
   // Size the remaining tick-path structures once: a core waits on at
   // most one page and has at most one transfer in flight, so p bounds
   // the waiter table and the in-flight ring alike.
@@ -101,12 +104,13 @@ Simulator::Simulator(const Workload& workload, const SimConfig& config,
         p, std::size_t{config_.num_channels} * config_.fetch_ticks));
   }
   for (std::size_t t = 0; t < p; ++t) {
-    threads_[t].trace = workload.share(t);
-    if (threads_[t].trace->empty()) {
-      threads_[t].state = ThreadState::kDone;
+    cursors_[t] = workload.cursor(t);
+    if (cursors_[t]->empty()) {
+      state_[t] = ThreadState::kDone;
       ++done_threads_;
     } else {
-      active_now_.push_back(static_cast<ThreadId>(t));
+      current_[t] = cursors_[t]->current();
+      runnable_now_.set(t);
     }
   }
 
@@ -147,20 +151,19 @@ Simulator::Simulator(const Workload& workload, const SimConfig& config,
 Simulator::~Simulator() = default;
 
 Simulator::ThreadState Simulator::thread_state(ThreadId t) const {
-  HBMSIM_CHECK(t < threads_.size(), "thread id out of range");
+  HBMSIM_CHECK(t < state_.size(), "thread id out of range");
   return engine_impl_->thread_state(t);
 }
 
 GlobalPage Simulator::current_page(ThreadId t) const {
-  const ThreadContext& ctx = threads_[t];
-  const LocalPage local = (*ctx.trace)[ctx.next_ref];
+  const LocalPage local = current_[t];
   // Disjoint model (Property 1): namespace pages by owning core.
   // Shared extension: one global namespace for all cores.
   return config_.shared_pages ? GlobalPage{local} : make_global_page(t, local);
 }
 
 void Simulator::enqueue_miss(ThreadId t, GlobalPage page, Tick request_tick) {
-  threads_[t].state = ThreadState::kWaiting;
+  state_[t] = ThreadState::kWaiting;
   if (config_.shared_pages) {
     waiters_.add(page, t);
     // A transfer already in flight will satisfy this core on arrival;
@@ -173,8 +176,7 @@ void Simulator::enqueue_miss(ThreadId t, GlobalPage page, Tick request_tick) {
 }
 
 bool Simulator::is_stale(const QueuedRequest& request) const {
-  const ThreadContext& ctx = threads_[request.thread];
-  return ctx.state != ThreadState::kWaiting ||
+  return state_[request.thread] != ThreadState::kWaiting ||
          current_page(request.thread) != request.page;
 }
 
@@ -206,9 +208,9 @@ void Simulator::do_remap() {
   ++metrics_.remaps;
 }
 
-void Simulator::serve(ThreadId t, ThreadContext& ctx, GlobalPage page) {
+void Simulator::serve(ThreadId t, GlobalPage page) {
   cache_->touch(page);
-  const Tick w = tick_ - ctx.request_tick + 1;
+  const Tick w = tick_ - request_tick_[t] + 1;
   metrics_.response.add(static_cast<double>(w));
   if (config_.response_histogram) {
     metrics_.response_hist.add(w);
@@ -216,10 +218,16 @@ void Simulator::serve(ThreadId t, ThreadContext& ctx, GlobalPage page) {
   if (config_.per_thread_metrics) {
     metrics_.per_thread[t].response.add(static_cast<double>(w));
   }
+  if (retire_reference(t)) {
+    runnable_next_.set(t);
+  }
+}
 
-  ++ctx.next_ref;
-  if (ctx.next_ref == ctx.trace->size()) {
-    ctx.state = ThreadState::kDone;
+bool Simulator::retire_reference(ThreadId t) {
+  TraceCursor& cursor = *cursors_[t];
+  cursor.next();
+  if (cursor.exhausted()) {
+    state_[t] = ThreadState::kDone;
     ++done_threads_;
     if (config_.open_system) {
       // lint:allow-hot-path-alloc — reserved to p
@@ -229,21 +237,25 @@ void Simulator::serve(ThreadId t, ThreadContext& ctx, GlobalPage page) {
       metrics_.per_thread[t].completion_tick = tick_;
     }
     metrics_.makespan = std::max(metrics_.makespan, tick_ + 1);
-  } else {
-    ctx.state = ThreadState::kIssuing;
-    active_next_.push_back(t);  // lint:allow-hot-path-alloc — reserved to p
+    return false;
   }
+  current_[t] = cursor.current();
+  state_[t] = ThreadState::kIssuing;
+  return true;
 }
 
 void Simulator::issue_and_serve() {
-  for (const ThreadId t : active_now_) {
-    ThreadContext& ctx = threads_[t];
+  // Destructive ascending walk: each core is popped before its visit, so
+  // the set is empty when the walk ends — the end-of-tick handover is a
+  // plain swap with runnable_next_, no clear or sort.
+  runnable_now_.consume([&](std::size_t i) {
+    const auto t = static_cast<ThreadId>(i);
     const GlobalPage page = current_page(t);
-    switch (ctx.state) {
+    switch (state_[t]) {
       case ThreadState::kIssuing: {
         // Step 2/4: a fresh request — an HBM hit is served this tick
         // (w = 1); a miss joins the DRAM queue.
-        ctx.request_tick = tick_;
+        request_tick_[t] = tick_;
         ++metrics_.total_refs;
         if (config_.per_thread_metrics) {
           ++metrics_.per_thread[t].refs;
@@ -253,7 +265,7 @@ void Simulator::issue_and_serve() {
           if (config_.per_thread_metrics) {
             ++metrics_.per_thread[t].hits;
           }
-          serve(t, ctx, page);
+          serve(t, page);
         } else {
           ++metrics_.misses;
           if (config_.per_thread_metrics) {
@@ -269,10 +281,10 @@ void Simulator::issue_and_serve() {
         // possible in tiny-k corner cases), re-queue at the original
         // request time so response accounting stays truthful.
         if (cache_->contains(page)) {
-          serve(t, ctx, page);
+          serve(t, page);
         } else {
           ++metrics_.requeues;
-          enqueue_miss(t, page, ctx.request_tick);
+          enqueue_miss(t, page, request_tick_[t]);
         }
         break;
       }
@@ -281,7 +293,7 @@ void Simulator::issue_and_serve() {
         HBMSIM_ASSERT(false, "waiting/done thread on active list");
         break;
     }
-  }
+  });
 }
 
 void Simulator::fetch_from_dram() {
@@ -329,24 +341,21 @@ void Simulator::fetch_from_dram() {
     cache_->insert(next->page);
     if (config_.shared_pages) {
       // The fetch satisfies every core waiting on this page.
-      resolve_waiters(next->page, active_next_);
+      resolve_waiters(next->page, runnable_next_);
     } else {
-      ThreadContext& ctx = threads_[next->thread];
-      HBMSIM_ASSERT(ctx.state == ThreadState::kWaiting,
+      HBMSIM_ASSERT(state_[next->thread] == ThreadState::kWaiting,
                     "fetch for non-waiting thread");
-      ctx.state = ThreadState::kFetched;
-      // lint:allow-hot-path-alloc — reserved to p
-      active_next_.push_back(next->thread);
+      state_[next->thread] = ThreadState::kFetched;
+      runnable_next_.set(next->thread);
     }
   }
 }
 
-void Simulator::resolve_waiters(GlobalPage page, std::vector<ThreadId>& out) {
+void Simulator::resolve_waiters(GlobalPage page, HierBitmap& out) {
   const bool had_waiters = waiters_.take(page, [&](ThreadId w) {
-    ThreadContext& ctx = threads_[w];
-    if (ctx.state == ThreadState::kWaiting && current_page(w) == page) {
-      ctx.state = ThreadState::kFetched;
-      out.push_back(w);  // lint:allow-hot-path-alloc — reserved to p
+    if (state_[w] == ThreadState::kWaiting && current_page(w) == page) {
+      state_[w] = ThreadState::kFetched;
+      out.set(w);
     }
   });
   HBMSIM_ASSERT(had_waiters, "fetched page with no waiter list");
@@ -354,26 +363,20 @@ void Simulator::resolve_waiters(GlobalPage page, std::vector<ThreadId>& out) {
 }
 
 void Simulator::complete_arrivals() {
-  bool any = false;
   while (!in_flight_.empty() && in_flight_.front().serve_tick == tick_) {
     const InFlight arrival = in_flight_.front();
     in_flight_.pop_front();
     cache_->insert(arrival.page);
-    any = true;
     if (config_.shared_pages) {
       in_flight_pages_.erase(arrival.page);
-      resolve_waiters(arrival.page, active_now_);
+      resolve_waiters(arrival.page, runnable_now_);
       continue;
     }
-    ThreadContext& ctx = threads_[arrival.thread];
-    HBMSIM_ASSERT(ctx.state == ThreadState::kWaiting,
+    HBMSIM_ASSERT(state_[arrival.thread] == ThreadState::kWaiting,
                   "arrival for non-waiting thread");
-    ctx.state = ThreadState::kFetched;
-    // lint:allow-hot-path-alloc — reserved to p
-    active_now_.push_back(arrival.thread);
-  }
-  if (any) {
-    std::sort(active_now_.begin(), active_now_.end());
+    state_[arrival.thread] = ThreadState::kFetched;
+    // Bitmap insert is order-free: the issue walk is ascending anyway.
+    runnable_now_.set(arrival.thread);
   }
 }
 
@@ -400,7 +403,7 @@ bool Simulator::step_tick() {
   // flight; otherwise a request was lost and the run would spin to
   // max_ticks.
   HBMSIM_CHECK(
-      !active_now_.empty() || arbiter_queue_size() > 0 || !in_flight_.empty(),
+      !runnable_now_.empty() || arbiter_queue_size() > 0 || !in_flight_.empty(),
       "simulator deadlock: unfinished threads but no pending work");
 
   // Step 1: priority remap.
@@ -414,23 +417,22 @@ bool Simulator::step_tick() {
   // tick engine counts these ticks here one by one; the fast engine jumps
   // spans satisfying exactly this predicate (fast_forward_idle), so an
   // executed tick of the fast engine never matches it.
-  if (!arrivals_due && !remap_due && active_now_.empty() &&
+  if (!arrivals_due && !remap_due && runnable_now_.empty() &&
       arbiter_queue_size() == 0) {
     ++metrics_.idle_ticks;
   }
 
-  // Steps 2–4: issue new requests, serve resident pages.
+  // Steps 2–4: issue new requests, serve resident pages. The consume()
+  // walk is ascending by construction — the canonical intra-tick order
+  // (cores processed in id order, so same-tick requests enter the DRAM
+  // queue in core-id order; see header) — and leaves runnable_now_
+  // empty, so the handover below is a plain swap.
   issue_and_serve();
 
   // Step 5 (+3): fetch up to q queued pages, evicting as needed.
   fetch_from_dram();
 
-  active_now_.clear();
-  std::swap(active_now_, active_next_);
-  // Canonical intra-tick order: cores are processed in id order, so
-  // same-tick requests enter the DRAM queue in core-id order. This makes
-  // runs bit-reproducible and exactly specifiable (see header).
-  std::sort(active_now_.begin(), active_now_.end());
+  std::swap(runnable_now_, runnable_next_);
   ++tick_;
   if (checker_) {
     checker_->after_tick();
@@ -444,7 +446,7 @@ bool Simulator::fast_forward_idle() {
   // DRAM queue (a queued request would issue a fetch every tick), and no
   // remap boundary at tick_ itself (the boundary tick must execute —
   // do_remap mutates priority/RNG state and metrics_.remaps).
-  if (!active_now_.empty() || in_flight_.empty() ||
+  if (!runnable_now_.empty() || in_flight_.empty() ||
       arbiter_queue_size() != 0) {
     return false;
   }
@@ -481,13 +483,12 @@ bool Simulator::serve_hit_run() {
   // only serve this core's next reference, so as long as the references
   // hit we replay the reference engine's exact per-tick effects (request
   // accounting, serve(), tick advance) without the step machinery.
-  if (active_now_.size() != 1 || !in_flight_.empty() ||
+  if (runnable_now_.count() != 1 || !in_flight_.empty() ||
       arbiter_queue_size() != 0) {
     return false;
   }
-  const ThreadId t = active_now_.front();
-  ThreadContext& ctx = threads_[t];
-  if (ctx.state != ThreadState::kIssuing) {
+  const auto t = static_cast<ThreadId>(runnable_now_.find_first());
+  if (state_[t] != ThreadState::kIssuing) {
     return false;
   }
   bool served_any = false;
@@ -502,27 +503,27 @@ bool Simulator::serve_hit_run() {
     if (!cache_->contains(page)) {
       break;  // the miss tick enqueues and fetches; run it through step_tick
     }
-    ctx.request_tick = tick_;
+    request_tick_[t] = tick_;
     ++metrics_.total_refs;
     ++metrics_.hits;
     if (config_.per_thread_metrics) {
       ++metrics_.per_thread[t].refs;
       ++metrics_.per_thread[t].hits;
     }
-    serve(t, ctx, page);
+    serve(t, page);
     served_any = true;
-    if (ctx.state == ThreadState::kDone) {
-      active_now_.clear();
+    if (state_[t] == ThreadState::kDone) {
+      runnable_now_.clear(t);
     } else {
-      // serve() re-listed t on active_next_; it simply stays the sole
-      // entry of active_now_ for the next iteration.
-      active_next_.clear();
+      // serve() marked t runnable for the next tick; it simply stays the
+      // sole member of runnable_now_ for the next iteration.
+      runnable_next_.clear(t);
     }
     ++tick_;
     if (checker_) {
       checker_->after_tick();
     }
-    if (ctx.state == ThreadState::kDone) {
+    if (state_[t] == ThreadState::kDone) {
       break;
     }
   }
@@ -532,27 +533,27 @@ bool Simulator::serve_hit_run() {
 void Simulator::inject_trace(ThreadId t, std::shared_ptr<const Trace> trace) {
   HBMSIM_CHECK(config_.open_system,
                "inject_trace requires SimConfig::open_system");
-  HBMSIM_CHECK(t < threads_.size(), "inject_trace thread id out of range");
+  HBMSIM_CHECK(t < state_.size(), "inject_trace thread id out of range");
   HBMSIM_CHECK(trace != nullptr && !trace->empty(),
                "injected trace must be non-empty");
   HBMSIM_CHECK(tick_ < config_.max_ticks,
                "inject_trace on a run already at max_ticks");
-  ThreadContext& ctx = threads_[t];
-  HBMSIM_CHECK(ctx.state == ThreadState::kDone,
+  HBMSIM_CHECK(state_[t] == ThreadState::kDone,
                "inject_trace target must be an idle (done) worker");
   // The finished trace's references stay counted: the conservation audit
   // compares retired + in-progress refs against the response samples.
-  retired_refs_ += ctx.next_ref;
-  ctx.trace = std::move(trace);
-  ctx.next_ref = 0;
-  ctx.state = ThreadState::kIssuing;
+  retired_refs_ += cursors_[t]->pos();
+  // lint:allow-hot-path-alloc — one cursor per injected request; the
+  // driver allocated the trace it wraps in the same breath
+  cursors_[t] = std::make_unique<VectorTraceCursor>(std::move(trace));
+  current_[t] = cursors_[t]->current();
+  state_[t] = ThreadState::kIssuing;
   --done_threads_;
-  // Keep the active list in canonical sorted order; the worker issues its
-  // first request at the tick about to execute.
-  const auto pos = std::lower_bound(active_now_.begin(), active_now_.end(), t);
-  HBMSIM_ASSERT(pos == active_now_.end() || *pos != t,
+  // The worker issues its first request at the tick about to execute;
+  // the bitmap keeps the runnable set in canonical id order by itself.
+  HBMSIM_ASSERT(!runnable_now_.test(t),
                 "injected worker already on the active list");
-  active_now_.insert(pos, t);
+  runnable_now_.set(t);
 }
 
 void Simulator::set_arrival_horizon(Tick horizon) {

@@ -47,6 +47,7 @@
 #include "core/types.h"
 #include "core/waiter_table.h"
 #include "trace/trace.h"
+#include "trace/trace_cursor.h"
 #include "util/flat_map.h"
 #include "util/ring_buffer.h"
 
@@ -99,7 +100,7 @@ class Simulator {
   RunMetrics run();
 
   [[nodiscard]] bool finished() const noexcept {
-    return done_threads_ == threads_.size();
+    return done_threads_ == state_.size();
   }
 
   /// ---- Open-system serving mode (SimConfig::open_system only) ----
@@ -150,13 +151,6 @@ class Simulator {
   [[nodiscard]] EngineKind engine() const noexcept { return resolved_engine_; }
 
  private:
-  struct ThreadContext {
-    std::shared_ptr<const Trace> trace;  // shared so a temporary Workload is safe
-    std::size_t next_ref = 0;       // index of the current request in trace
-    Tick request_tick = 0;          // when the current request was issued
-    ThreadState state = ThreadState::kIssuing;
-  };
-
   /// The reference §3.1 tick body (every engine executes event ticks
   /// through it). Precondition: !finished().
   bool step_tick();
@@ -176,7 +170,11 @@ class Simulator {
   void do_remap();
   void issue_and_serve();
   void fetch_from_dram();
-  void serve(ThreadId t, ThreadContext& ctx, GlobalPage page);
+  void serve(ThreadId t, GlobalPage page);
+  /// Advance core `t` past its just-served reference: cursor step, done/
+  /// completion bookkeeping, cached-page refresh. Returns whether the
+  /// core still has a reference to issue (false == it just finished).
+  bool retire_reference(ThreadId t);
   void enqueue_miss(ThreadId t, GlobalPage page, Tick request_tick);
   /// Shared-pages mode: a queue entry is stale if its thread has already
   /// been satisfied by another core's fetch of the same page.
@@ -194,7 +192,17 @@ class Simulator {
   [[nodiscard]] std::size_t arbiter_queue_size() const noexcept;
 
   SimConfig config_;
-  std::vector<ThreadContext> threads_;
+  // Per-core run state, structure-of-arrays (DESIGN.md §3f): the tick
+  // loop touches exactly the array it needs — the issue walk streams
+  // state_/current_, the serve path request_tick_ — instead of dragging
+  // a whole per-thread struct (cursor pointer included) through the
+  // cache per visit. Indexed by ThreadId; all sized once to p.
+  std::vector<std::unique_ptr<TraceCursor>> cursors_;  ///< reference streams
+  std::vector<ThreadState> state_;
+  std::vector<Tick> request_tick_;  ///< issue tick of the current request
+  /// cursors_[t]->current(), cached so the hot issue path is an array
+  /// load, not a virtual call. Refreshed by retire_reference().
+  std::vector<LocalPage> current_;
   PriorityMap priorities_;
   /// One queue (kAny) or one per channel (kHashed).
   std::vector<std::unique_ptr<ArbitrationPolicy>> queues_;
@@ -219,9 +227,13 @@ class Simulator {
   /// Open-system completion buffer (see completions()).
   std::vector<Completion> completions_;
 
-  // Threads to consider at step 2/4 of the current tick.
-  std::vector<ThreadId> active_now_;
-  std::vector<ThreadId> active_next_;
+  // Cores to consider at step 2/4 of the current tick (kIssuing and
+  // kFetched states), as hierarchical bitmaps: set() is an O(1) sorted
+  // insert and the per-tick walk (HierBitmap::consume) visits only
+  // runnable cores, so a tick costs O(runnable + q) — no O(p) clear,
+  // sort, or scan anywhere in the loop (DESIGN.md §3f).
+  HierBitmap runnable_now_;
+  HierBitmap runnable_next_;
 
   // shared_pages only: cores waiting on each in-flight page. Pooled
   // chains over a FlatMap, sized to p at construction — point lookups
@@ -248,8 +260,8 @@ class Simulator {
   FlatSet in_flight_pages_;
   void complete_arrivals();
   /// shared_pages: flip every core waiting on `page` to kFetched,
-  /// appending them to `out` (the active list of the serving tick).
-  void resolve_waiters(GlobalPage page, std::vector<ThreadId>& out);
+  /// marking them in `out` (the runnable set of the serving tick).
+  void resolve_waiters(GlobalPage page, HierBitmap& out);
 
   /// Checked builds only (SimConfig::paranoid): audits every tick.
   std::unique_ptr<check::InvariantChecker> checker_;

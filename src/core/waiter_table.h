@@ -3,16 +3,22 @@
 //
 // Replaces std::unordered_map<GlobalPage, std::vector<ThreadId>> on the
 // tick hot path: an open-addressed FlatMap from page to an intrusive
-// chain of pooled waiter nodes. Chains append at the tail, so waiters
-// come back in registration order — the same order the vector gave —
-// and resolving a page releases its nodes to the pool instead of
-// destroying a vector. Sized once from SimConfig (at most p cores can
-// wait), the steady-state add/resolve cycle performs no allocations.
+// chain threaded through a structure-of-arrays successor table. A core
+// waits on at most one page at a time, so the core id itself is the
+// node handle — next_[t] is the next waiter after core t in its chain —
+// and the per-thread state is a single flat uint32 array (4 bytes per
+// core, DESIGN.md §3f) instead of pooled {thread, next} nodes. Chains
+// append at the tail, so waiters come back in registration order — the
+// same order the vector gave. Sized once from SimConfig (at most p
+// cores can wait), the steady-state add/resolve cycle performs no
+// allocations.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/types.h"
+#include "util/error.h"
 #include "util/flat_map.h"
 
 namespace hbmsim {
@@ -23,22 +29,24 @@ class WaiterTable {
     reserve(capacity_hint);
   }
 
-  /// Pre-size for `n` concurrently waiting cores (and thus at most `n`
-  /// pages with waiters).
+  /// Pre-size for `n` cores (and thus at most `n` pages with waiters).
   void reserve(std::size_t n) {
     chains_.reserve(n);
-    pool_.reserve(n);
+    if (n > next_.size()) {
+      next_.resize(n, kNil);
+    }
   }
 
   /// Register `thread` as waiting on `page` (appended in call order).
+  /// A core may wait on at most one page at a time.
   void add(GlobalPage page, ThreadId thread) {
-    const std::uint32_t id = pool_.acquire();
-    pool_[id] = Node{thread, kNil};
+    HBMSIM_ASSERT(thread < next_.size(), "waiter thread out of range");
+    next_[thread] = kNil;
     if (Chain* chain = chains_.find(page)) {
-      pool_[chain->tail].next = id;
-      chain->tail = id;
+      next_[chain->tail] = thread;
+      chain->tail = thread;
     } else {
-      chains_.insert(page, Chain{id, id});
+      chains_.insert(page, Chain{thread, thread});
     }
   }
 
@@ -56,26 +64,26 @@ class WaiterTable {
     if (chain == nullptr) {
       return;
     }
-    for (std::uint32_t id = chain->head; id != kNil; id = pool_[id].next) {
-      fn(pool_[id].thread);
+    for (std::uint32_t t = chain->head; t != kNil; t = next_[t]) {
+      fn(static_cast<ThreadId>(t));
     }
   }
 
-  /// Visit `page`'s waiters in registration order, then drop the entry
-  /// (nodes return to the pool). Returns whether the page had waiters.
+  /// Visit `page`'s waiters in registration order, then drop the entry.
+  /// Returns whether the page had waiters.
   template <typename Fn>
   bool take(GlobalPage page, Fn&& fn) {
     const Chain* chain = chains_.find(page);
     if (chain == nullptr) {
       return false;
     }
-    std::uint32_t id = chain->head;
+    std::uint32_t t = chain->head;
     chains_.erase(page);
-    while (id != kNil) {
-      const Node node = pool_[id];
-      pool_.release(id);
-      fn(node.thread);
-      id = node.next;
+    while (t != kNil) {
+      const std::uint32_t succ = next_[t];
+      next_[t] = kNil;
+      fn(static_cast<ThreadId>(t));
+      t = succ;
     }
     return true;
   }
@@ -83,17 +91,16 @@ class WaiterTable {
  private:
   static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
 
-  struct Node {
-    ThreadId thread;
-    std::uint32_t next;
-  };
   struct Chain {
     std::uint32_t head;
     std::uint32_t tail;
   };
 
   FlatMap<Chain> chains_;
-  IndexPool<Node> pool_;
+  /// next_[t]: the waiter after core t in its page's chain (kNil at the
+  /// tail or when t is not waiting). Indexed by ThreadId — the SoA twin
+  /// of the simulator's per-thread arrays.
+  std::vector<std::uint32_t> next_;
 };
 
 }  // namespace hbmsim

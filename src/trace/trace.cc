@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 #include <vector>
+
+#include "trace/trace_cursor.h"
 
 namespace hbmsim {
 
@@ -43,19 +46,47 @@ Trace Trace::coalesced() const {
   return Trace(std::move(out), num_pages_);
 }
 
+namespace {
+
+std::vector<std::shared_ptr<const TraceSource>> wrap_traces(
+    std::vector<std::shared_ptr<const Trace>> traces) {
+  std::vector<std::shared_ptr<const TraceSource>> sources;
+  sources.reserve(traces.size());
+  for (auto& t : traces) {
+    HBMSIM_CHECK(t != nullptr, "workload trace must not be null");
+    sources.push_back(std::make_shared<MaterializedSource>(std::move(t)));
+  }
+  return sources;
+}
+
+}  // namespace
+
 Workload::Workload(std::vector<std::shared_ptr<const Trace>> traces,
                    std::string name)
-    : traces_(std::move(traces)), name_(std::move(name)) {
-  for (const auto& t : traces_) {
-    HBMSIM_CHECK(t != nullptr, "workload trace must not be null");
+    : Workload(wrap_traces(std::move(traces)), std::move(name)) {}
+
+Workload::Workload(std::vector<std::shared_ptr<const TraceSource>> sources,
+                   std::string name)
+    : sources_(std::move(sources)), name_(std::move(name)) {
+  for (const auto& s : sources_) {
+    HBMSIM_CHECK(s != nullptr, "workload source must not be null");
   }
 }
 
 Workload Workload::replicate(std::shared_ptr<const Trace> trace,
                              std::size_t num_threads, std::string name) {
   HBMSIM_CHECK(trace != nullptr, "workload trace must not be null");
-  std::vector<std::shared_ptr<const Trace>> traces(num_threads, std::move(trace));
-  return Workload(std::move(traces), std::move(name));
+  return replicate(std::shared_ptr<const TraceSource>(
+                       std::make_shared<MaterializedSource>(std::move(trace))),
+                   num_threads, std::move(name));
+}
+
+Workload Workload::replicate(std::shared_ptr<const TraceSource> source,
+                             std::size_t num_threads, std::string name) {
+  HBMSIM_CHECK(source != nullptr, "workload source must not be null");
+  std::vector<std::shared_ptr<const TraceSource>> sources(num_threads,
+                                                          std::move(source));
+  return Workload(std::move(sources), std::move(name));
 }
 
 Workload Workload::round_robin(std::vector<std::shared_ptr<const Trace>> pool,
@@ -69,18 +100,56 @@ Workload Workload::round_robin(std::vector<std::shared_ptr<const Trace>> pool,
   return Workload(std::move(traces), std::move(name));
 }
 
+const Trace& Workload::trace(std::size_t thread) const {
+  HBMSIM_CHECK(thread < sources_.size(), "thread index out of range");
+  const std::shared_ptr<const Trace> backing = sources_[thread]->trace();
+  HBMSIM_CHECK(backing != nullptr,
+               "trace() on a streaming workload source (random access needs "
+               "a materialized trace; walk cursor() instead)");
+  return *backing;
+}
+
+std::shared_ptr<const Trace> Workload::share(std::size_t thread) const {
+  HBMSIM_CHECK(thread < sources_.size(), "thread index out of range");
+  std::shared_ptr<const Trace> backing = sources_[thread]->trace();
+  HBMSIM_CHECK(backing != nullptr,
+               "share() on a streaming workload source (random access needs "
+               "a materialized trace; walk cursor() instead)");
+  return backing;
+}
+
+const std::shared_ptr<const TraceSource>& Workload::source(
+    std::size_t thread) const {
+  HBMSIM_CHECK(thread < sources_.size(), "thread index out of range");
+  return sources_[thread];
+}
+
+std::unique_ptr<TraceCursor> Workload::cursor(std::size_t thread) const {
+  HBMSIM_CHECK(thread < sources_.size(), "thread index out of range");
+  return sources_[thread]->cursor();
+}
+
+bool Workload::streaming() const noexcept {
+  for (const auto& s : sources_) {
+    if (s->trace() == nullptr) {
+      return true;
+    }
+  }
+  return false;
+}
+
 std::uint64_t Workload::total_refs() const noexcept {
   std::uint64_t total = 0;
-  for (const auto& t : traces_) {
-    total += t->size();
+  for (const auto& s : sources_) {
+    total += s->size();
   }
   return total;
 }
 
 std::uint64_t Workload::total_unique_pages() const {
   std::uint64_t total = 0;
-  for (const auto& t : traces_) {
-    total += t->unique_pages();
+  for (const auto& s : sources_) {
+    total += materialize_shared(*s)->unique_pages();
   }
   return total;
 }

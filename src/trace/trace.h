@@ -55,14 +55,26 @@ class Trace {
   LocalPage num_pages_ = 0;
 };
 
-/// A multi-core workload: one trace per core. Traces are shared_ptr so p
-/// cores replaying the same program do not multiply memory by p.
+class TraceCursor;
+class TraceSource;
+
+/// A multi-core workload: one reference sequence per core, held as
+/// TraceSources (trace/trace_cursor.h). Sources are shared_ptr so p
+/// cores replaying the same program do not multiply memory by p. A
+/// source may be materialized (wrapping a Trace — the historical form,
+/// still what every random-access consumer sees) or generative
+/// (streaming — O(1) memory per thread, the p = 1M form); the simulator
+/// walks either through cursor().
 class Workload {
  public:
   Workload() = default;
 
-  /// One distinct trace per thread.
+  /// One distinct trace per thread (each wrapped in a MaterializedSource).
   explicit Workload(std::vector<std::shared_ptr<const Trace>> traces,
+                    std::string name = {});
+
+  /// One source per thread (materialized or streaming).
+  explicit Workload(std::vector<std::shared_ptr<const TraceSource>> sources,
                     std::string name = {});
 
   /// All p threads replay the same trace (disjointness still holds because
@@ -70,33 +82,51 @@ class Workload {
   static Workload replicate(std::shared_ptr<const Trace> trace,
                             std::size_t num_threads, std::string name = {});
 
+  /// All p threads walk the same source through independent cursors —
+  /// the p = 1M form: one source object, p cursor states.
+  static Workload replicate(std::shared_ptr<const TraceSource> source,
+                            std::size_t num_threads, std::string name = {});
+
   /// Threads round-robin over a pool of distinct traces — the paper's
   /// "same program with different randomness" at bounded memory.
   static Workload round_robin(std::vector<std::shared_ptr<const Trace>> pool,
                               std::size_t num_threads, std::string name = {});
 
-  [[nodiscard]] std::size_t num_threads() const noexcept { return traces_.size(); }
-  [[nodiscard]] const Trace& trace(std::size_t thread) const {
-    HBMSIM_CHECK(thread < traces_.size(), "thread index out of range");
-    return *traces_[thread];
+  [[nodiscard]] std::size_t num_threads() const noexcept {
+    return sources_.size();
   }
-  /// Shared ownership of a thread's trace (lets consumers outlive the
-  /// Workload object itself).
-  [[nodiscard]] std::shared_ptr<const Trace> share(std::size_t thread) const {
-    HBMSIM_CHECK(thread < traces_.size(), "thread index out of range");
-    return traces_[thread];
-  }
+
+  /// A thread's materialized trace. Requires a materialized-backed
+  /// source (HBMSIM_CHECK otherwise): random-access consumers — the
+  /// brute-force reference simulator, Belady bounds, trace analysis —
+  /// keep their exact semantics, and a streaming workload reaching one
+  /// of them by accident fails loudly instead of silently materializing
+  /// gigabytes.
+  [[nodiscard]] const Trace& trace(std::size_t thread) const;
+  /// Shared ownership of a thread's materialized trace (lets consumers
+  /// outlive the Workload object itself). Materialized-backed only.
+  [[nodiscard]] std::shared_ptr<const Trace> share(std::size_t thread) const;
+
+  /// A thread's source (always available).
+  [[nodiscard]] const std::shared_ptr<const TraceSource>& source(
+      std::size_t thread) const;
+  /// A fresh cursor at position 0 of a thread's sequence.
+  [[nodiscard]] std::unique_ptr<TraceCursor> cursor(std::size_t thread) const;
+  /// True when any source lacks a materialized backing trace.
+  [[nodiscard]] bool streaming() const noexcept;
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
   /// Total references across all threads.
   [[nodiscard]] std::uint64_t total_refs() const noexcept;
 
   /// Total distinct (thread, page) pairs — the union of all cores' page
-  /// sets under model disjointness.
+  /// sets under model disjointness. Streaming sources are materialized
+  /// transiently to count (a cold-path analysis helper, not for p = 1M).
   [[nodiscard]] std::uint64_t total_unique_pages() const;
 
  private:
-  std::vector<std::shared_ptr<const Trace>> traces_;
+  std::vector<std::shared_ptr<const TraceSource>> sources_;
   std::string name_;
 };
 

@@ -1,0 +1,28 @@
+#include "trace/trace_cursor.h"
+
+#include <utility>
+#include <vector>
+
+namespace hbmsim {
+
+Trace materialize(const TraceCursor& cursor) {
+  const std::unique_ptr<TraceCursor> walker = cursor.clone();
+  walker->rewind();
+  std::vector<LocalPage> refs;
+  refs.reserve(walker->size());
+  while (!walker->exhausted()) {
+    refs.push_back(walker->current());
+    walker->next();
+  }
+  return Trace(std::move(refs), cursor.num_pages());
+}
+
+std::shared_ptr<const Trace> materialize_shared(const TraceSource& source) {
+  if (auto backing = source.trace()) {
+    return backing;
+  }
+  const std::unique_ptr<TraceCursor> walker = source.cursor();
+  return std::make_shared<Trace>(materialize(*walker));
+}
+
+}  // namespace hbmsim

@@ -1,0 +1,179 @@
+// Streaming trace access: cursors generate one reference at a time.
+//
+// A materialized Trace costs O(length) resident memory per distinct
+// trace; at p = 1M threads that caps honest experiments long before the
+// q << p regime the paper studies becomes interesting. A TraceCursor is
+// the lazy alternative: O(1) state per thread (a seeded RNG plus a
+// position), producing exactly the same reference sequence the
+// materialized generators in src/workloads/ would have stored — the
+// generators themselves are implemented by materializing a cursor, so
+// the equality is by construction, not by parallel maintenance.
+//
+// The sequence generators draw a data-dependent number of RNG values per
+// reference (Lemire rejection in Xoshiro256StarStar::uniform, Hörmann–
+// Derflinger rejection-inversion in ZipfSampler), so cursors are
+// forward-only: random access would need a materialized prefix. The two
+// recovery operations every consumer needs are supported exactly:
+//
+//   * rewind()  — back to position 0 by re-seeding (the shadow/paranoid
+//     layers re-walk traces after a run; Belady lower bounds need the
+//     full sequence);
+//   * clone()   — a full state copy at the current position (the event
+//     engine freezes pages at issue time; differential tests fork
+//     cursors mid-run).
+//
+// TraceCursor::next() is a hot-path-alloc seed in tools/hbmlint: a
+// cursor advances once per served reference, so neither next() nor any
+// generate() override may allocate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "trace/trace.h"
+#include "util/error.h"
+
+namespace hbmsim {
+
+/// One core's reference sequence, revealed one position at a time.
+class TraceCursor {
+ public:
+  virtual ~TraceCursor() = default;
+
+  /// Total references in the sequence (fixed at construction).
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  /// Page-id bound: every generated reference is < num_pages().
+  [[nodiscard]] LocalPage num_pages() const noexcept { return num_pages_; }
+  /// Index of the current (not yet retired) reference, in [0, size()].
+  [[nodiscard]] std::uint64_t pos() const noexcept { return pos_; }
+  /// pos() == size(): every reference has been retired; current() is
+  /// no longer valid.
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == size_; }
+
+  /// The reference at pos(). Cached — repeated calls are loads, not
+  /// generator draws.
+  [[nodiscard]] LocalPage current() const noexcept {
+    HBMSIM_ASSERT(!exhausted(), "current() on an exhausted cursor");
+    return current_;
+  }
+
+  /// Retire the current reference and generate the next (if any).
+  void next() {
+    HBMSIM_ASSERT(!exhausted(), "next() on an exhausted cursor");
+    ++pos_;
+    if (pos_ < size_) {
+      current_ = generate();
+    }
+  }
+
+  /// Back to position 0, replaying the identical sequence.
+  void rewind() {
+    reset();
+    pos_ = 0;
+    if (size_ > 0) {
+      current_ = generate();
+    }
+  }
+
+  /// Deep copy preserving the exact position and generator state: the
+  /// clone and the original produce identical suffixes independently.
+  [[nodiscard]] virtual std::unique_ptr<TraceCursor> clone() const = 0;
+
+ protected:
+  TraceCursor(std::uint64_t size, LocalPage num_pages)
+      : size_(size), num_pages_(num_pages) {}
+  TraceCursor(const TraceCursor&) = default;
+  TraceCursor& operator=(const TraceCursor&) = default;
+
+  /// Produce the reference at pos() (called once per position, in
+  /// order; pos() < size() is guaranteed). Must not allocate.
+  [[nodiscard]] virtual LocalPage generate() = 0;
+  /// Return the generator to its start-of-sequence state.
+  virtual void reset() = 0;
+
+ private:
+  std::uint64_t size_;
+  LocalPage num_pages_;
+  std::uint64_t pos_ = 0;
+  LocalPage current_ = 0;
+};
+
+/// Cursor over a materialized Trace (shared ownership, so a temporary
+/// Workload or an injected open-system trace stays alive).
+class VectorTraceCursor final : public TraceCursor {
+ public:
+  explicit VectorTraceCursor(std::shared_ptr<const Trace> trace)
+      : TraceCursor(trace->size(), trace->num_pages()), trace_(std::move(trace)) {
+    rewind();
+  }
+
+  [[nodiscard]] std::unique_ptr<TraceCursor> clone() const override {
+    return std::make_unique<VectorTraceCursor>(*this);
+  }
+
+ protected:
+  [[nodiscard]] LocalPage generate() override { return (*trace_)[pos()]; }
+  void reset() override {}
+
+ private:
+  std::shared_ptr<const Trace> trace_;
+};
+
+/// Factory for per-thread cursors: what a Workload actually bundles.
+/// A source is immutable and shareable; each cursor() call returns an
+/// independent walker over the same sequence.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  [[nodiscard]] virtual std::uint64_t size() const = 0;
+  [[nodiscard]] virtual LocalPage num_pages() const = 0;
+  [[nodiscard]] virtual std::unique_ptr<TraceCursor> cursor() const = 0;
+
+  /// The backing materialized Trace, or nullptr for generative sources.
+  /// Consumers that need random access (Belady lower bounds, the
+  /// brute-force reference simulator, trace analysis) go through this;
+  /// Workload::trace() checks it so materialized-only call sites keep
+  /// their exact semantics.
+  [[nodiscard]] virtual std::shared_ptr<const Trace> trace() const {
+    return nullptr;
+  }
+};
+
+/// TraceSource over a materialized Trace.
+class MaterializedSource final : public TraceSource {
+ public:
+  explicit MaterializedSource(std::shared_ptr<const Trace> trace)
+      : trace_(std::move(trace)) {
+    HBMSIM_CHECK(trace_ != nullptr, "materialized source needs a trace");
+  }
+
+  [[nodiscard]] std::uint64_t size() const override { return trace_->size(); }
+  [[nodiscard]] LocalPage num_pages() const override {
+    return trace_->num_pages();
+  }
+  [[nodiscard]] std::unique_ptr<TraceCursor> cursor() const override {
+    return std::make_unique<VectorTraceCursor>(trace_);
+  }
+  [[nodiscard]] std::shared_ptr<const Trace> trace() const override {
+    return trace_;
+  }
+
+ private:
+  std::shared_ptr<const Trace> trace_;
+};
+
+/// Materialize a cursor's full sequence into a Trace (from position 0,
+/// regardless of where `cursor` currently stands; `cursor` itself is
+/// not disturbed). The single bridge between the streaming and
+/// materialized worlds: workload generators build their vectors through
+/// it, and the paranoid checker re-materializes streamed traces for the
+/// offline Belady bound.
+[[nodiscard]] Trace materialize(const TraceCursor& cursor);
+
+/// Materialize a source, reusing its backing trace when it has one.
+[[nodiscard]] std::shared_ptr<const Trace> materialize_shared(
+    const TraceSource& source);
+
+}  // namespace hbmsim

@@ -1,0 +1,196 @@
+// Global allocation accounting: a counting replacement for the global
+// allocation functions, used to *prove* memory claims instead of
+// asserting them in prose.
+//
+//   * count — every operator new, for steady-state allocation-freedom
+//     checks (the tick hot path must not allocate after warm-up);
+//   * bytes/peak — live heap bytes and their high-water mark, for the
+//     resident-memory budgets of the p = 1M streaming cases
+//     (bench/perf_simulator --scale-compare, tests/memory_accounting_test):
+//     a materialized million-thread workload blows the budget, a
+//     streaming one must not.
+//
+// Replacing the global allocation functions is program-wide, so exactly
+// one translation unit per binary defines HBMSIM_ALLOC_SHIM before
+// including this header; every other TU may include it (or not) and
+// still read the counters through the accessors below. The replacement
+// functions are deliberately not inline — replacing operator new with an
+// inline definition is ill-formed.
+//
+// Byte accounting needs the allocation size at free time. C++14 sized
+// delete is not guaranteed for every path, so sizes come from
+// malloc_usable_size (glibc; both malloc and aligned_alloc pointers).
+// On other platforms the shim still counts allocations but reports zero
+// bytes — bytes_tracked() tells budget asserts whether to bind.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#define HBMSIM_ALLOC_SHIM_HAS_BYTES 1
+#else
+#define HBMSIM_ALLOC_SHIM_HAS_BYTES 0
+#endif
+
+namespace hbmsim::util {
+
+namespace alloc_detail {
+inline std::atomic<std::uint64_t> g_count{0};
+inline std::atomic<std::uint64_t> g_bytes{0};
+inline std::atomic<std::uint64_t> g_peak{0};
+}  // namespace alloc_detail
+
+/// Whether byte/peak accounting is live on this platform (the count is
+/// always tracked when the shim TU is linked in).
+[[nodiscard]] constexpr bool alloc_bytes_tracked() noexcept {
+  return HBMSIM_ALLOC_SHIM_HAS_BYTES != 0;
+}
+
+/// Allocations observed process-wide since start.
+[[nodiscard]] inline std::uint64_t alloc_count() noexcept {
+  return alloc_detail::g_count.load(std::memory_order_relaxed);
+}
+
+/// Live heap bytes right now (usable sizes, so slightly above the
+/// requested totals).
+[[nodiscard]] inline std::uint64_t alloc_bytes() noexcept {
+  return alloc_detail::g_bytes.load(std::memory_order_relaxed);
+}
+
+/// High-water mark of alloc_bytes() since start (or the last reset).
+[[nodiscard]] inline std::uint64_t alloc_peak_bytes() noexcept {
+  return alloc_detail::g_peak.load(std::memory_order_relaxed);
+}
+
+/// Restart the high-water mark from the current live total, so a
+/// measured phase's peak is not masked by earlier setup spikes.
+inline void reset_alloc_peak() noexcept {
+  alloc_detail::g_peak.store(alloc_detail::g_bytes.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+}
+
+namespace alloc_detail {
+
+inline void on_alloc(void* p, std::size_t requested) noexcept {
+  g_count.fetch_add(1, std::memory_order_relaxed);
+#if HBMSIM_ALLOC_SHIM_HAS_BYTES
+  const std::uint64_t n = malloc_usable_size(p);
+#else
+  (void)p;
+  const std::uint64_t n = 0;
+  (void)requested;
+#endif
+  (void)requested;
+  const std::uint64_t now =
+      g_bytes.fetch_add(n, std::memory_order_relaxed) + n;
+  std::uint64_t peak = g_peak.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !g_peak.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+inline void on_free(void* p) noexcept {
+#if HBMSIM_ALLOC_SHIM_HAS_BYTES
+  if (p != nullptr) {
+    g_bytes.fetch_sub(malloc_usable_size(p), std::memory_order_relaxed);
+  }
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace alloc_detail
+}  // namespace hbmsim::util
+
+#ifdef HBMSIM_ALLOC_SHIM
+
+#include <new>
+
+namespace hbmsim::util::alloc_detail {
+
+inline void* counted_alloc(std::size_t size) {
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) {
+    throw std::bad_alloc{};
+  }
+  on_alloc(p, size);
+  return p;
+}
+
+inline void* counted_alloc_aligned(std::size_t size, std::align_val_t al) {
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const auto align = static_cast<std::size_t>(al);
+  const std::size_t padded = (size + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, padded == 0 ? align : padded);
+  if (p == nullptr) {
+    throw std::bad_alloc{};
+  }
+  on_alloc(p, size);
+  return p;
+}
+
+inline void counted_free(void* p) noexcept {
+  on_free(p);
+  std::free(p);
+}
+
+}  // namespace hbmsim::util::alloc_detail
+
+void* operator new(std::size_t size) {
+  return hbmsim::util::alloc_detail::counted_alloc(size);
+}
+void* operator new[](std::size_t size) {
+  return hbmsim::util::alloc_detail::counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t al) {
+  return hbmsim::util::alloc_detail::counted_alloc_aligned(size, al);
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return hbmsim::util::alloc_detail::counted_alloc_aligned(size, al);
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return hbmsim::util::alloc_detail::counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return hbmsim::util::alloc_detail::counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void operator delete(void* p) noexcept { hbmsim::util::alloc_detail::counted_free(p); }
+void operator delete[](void* p) noexcept { hbmsim::util::alloc_detail::counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept {
+  hbmsim::util::alloc_detail::counted_free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  hbmsim::util::alloc_detail::counted_free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  hbmsim::util::alloc_detail::counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  hbmsim::util::alloc_detail::counted_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  hbmsim::util::alloc_detail::counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  hbmsim::util::alloc_detail::counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  hbmsim::util::alloc_detail::counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  hbmsim::util::alloc_detail::counted_free(p);
+}
+
+#endif  // HBMSIM_ALLOC_SHIM

@@ -270,6 +270,168 @@ class Bitmap {
   std::vector<std::uint64_t> words_;
 };
 
+/// HierBitmap: a hierarchical bit set — each summary level keeps one bit
+/// per 64-bit word of the level below, topped off at a single word — so
+/// membership updates cost O(levels) word operations and ordered
+/// traversal costs O(set bits · levels), independent of the universe
+/// size. The simulator's runnable-core sets use it in place of sorted
+/// ThreadId vectors: set() is an O(1) sorted insert (no per-tick sort),
+/// and the per-tick "who can issue" walk (consume()) visits only
+/// runnable cores — the last O(p) term in the tick loop at p = 1M.
+/// Two levels cover p = 4096; four cover p = 2^24.
+///
+/// find_first()/find_next() are hot-path-alloc seeds in tools/hbmlint
+/// (the scan runs once per served reference); like the rest of this
+/// header they never allocate after resize().
+class HierBitmap {
+ public:
+  static constexpr std::size_t npos = ~std::size_t{0};
+
+  explicit HierBitmap(std::size_t bits = 0) { resize(bits); }
+
+  /// Resize to `bits` bits, all cleared.
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    count_ = 0;
+    levels_.clear();
+    std::size_t words = std::max<std::size_t>((bits + 63) / 64, 1);
+    levels_.emplace_back(words, 0);
+    while (levels_.back().size() > 1) {
+      words = (levels_.back().size() + 63) / 64;
+      levels_.emplace_back(words, 0);
+    }
+  }
+
+  [[nodiscard]] std::size_t bits() const noexcept { return bits_; }
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] bool any() const noexcept { return count_ != 0; }
+
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    HBMSIM_ASSERT(i < bits_, "bitmap index out of range");
+    return (levels_[0][i >> 6] >> (i & 63)) & 1;
+  }
+
+  /// Idempotent insert: O(levels), stopping at the first summary level
+  /// already marked.
+  void set(std::size_t i) noexcept {
+    HBMSIM_ASSERT(i < bits_, "bitmap index out of range");
+    std::size_t idx = i;
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+      std::uint64_t& w = levels_[l][idx >> 6];
+      const std::uint64_t bit = std::uint64_t{1} << (idx & 63);
+      if ((w & bit) != 0) {
+        if (l == 0) {
+          return;  // already a member
+        }
+        break;  // summaries above are already marked
+      }
+      w |= bit;
+      idx >>= 6;
+    }
+    ++count_;
+  }
+
+  /// Idempotent erase: O(levels), clearing summary bits only for words
+  /// that became empty.
+  void clear(std::size_t i) noexcept {
+    HBMSIM_ASSERT(i < bits_, "bitmap index out of range");
+    std::size_t idx = i;
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+      std::uint64_t& w = levels_[l][idx >> 6];
+      const std::uint64_t bit = std::uint64_t{1} << (idx & 63);
+      if (l == 0) {
+        if ((w & bit) == 0) {
+          return;  // not a member
+        }
+        --count_;
+      }
+      w &= ~bit;
+      if (w != 0) {
+        break;  // word still populated; summaries above stay set
+      }
+      idx >>= 6;
+    }
+  }
+
+  void clear_all() noexcept {
+    for (auto& level : levels_) {
+      std::fill(level.begin(), level.end(), std::uint64_t{0});
+    }
+    count_ = 0;
+  }
+
+  /// Lowest member, or npos when empty: one countr_zero per level.
+  [[nodiscard]] std::size_t find_first() const noexcept {
+    if (count_ == 0) {
+      return npos;
+    }
+    std::size_t idx = 0;
+    for (std::size_t l = levels_.size(); l-- > 0;) {
+      idx = idx * 64 +
+            static_cast<std::size_t>(std::countr_zero(levels_[l][idx]));
+    }
+    return idx;
+  }
+
+  /// Lowest member strictly greater than `i`, or npos: ascend to the
+  /// first level with a set bit after `i` in its word, then descend
+  /// taking the lowest set bit of each child word.
+  [[nodiscard]] std::size_t find_next(std::size_t i) const noexcept {
+    HBMSIM_ASSERT(i < bits_, "bitmap index out of range");
+    std::size_t idx = i;
+    std::size_t l = 0;
+    for (;;) {
+      const std::size_t word = idx >> 6;
+      const unsigned off = idx & 63;
+      const std::uint64_t above =
+          off == 63 ? 0
+                    : levels_[l][word] & (~std::uint64_t{0} << (off + 1));
+      if (above != 0) {
+        idx = word * 64 + static_cast<std::size_t>(std::countr_zero(above));
+        break;
+      }
+      if (++l == levels_.size()) {
+        return npos;
+      }
+      idx = word;
+    }
+    while (l-- > 0) {
+      idx = idx * 64 +
+            static_cast<std::size_t>(std::countr_zero(levels_[l][idx]));
+    }
+    return idx;
+  }
+
+  /// Visit every member in ascending order (const traversal).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = find_first(); i != npos; i = find_next(i)) {
+      fn(i);
+    }
+  }
+
+  /// Pop members in ascending order, clearing each before visiting it,
+  /// until the set is empty — the tick loop's destructive scan (`fn` may
+  /// re-insert into *another* set while iterating; re-inserting into
+  /// this one extends the scan, which callers here never do).
+  template <typename Fn>
+  void consume(Fn&& fn) {
+    while (count_ != 0) {
+      const std::size_t i = find_first();
+      clear(i);
+      fn(i);
+    }
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::size_t count_ = 0;
+  /// levels_[0] is the member bits; levels_[l][w] bit b summarizes
+  /// levels_[l-1] word w*64+b. The top level is always a single word.
+  std::vector<std::vector<std::uint64_t>> levels_;
+};
+
 /// IndexPool: a slab of T addressed by 32-bit handles with a LIFO
 /// freelist. Intrusive linked structures (the arbitration queues, the
 /// waiter chains) store handles instead of pointers: half the size, no

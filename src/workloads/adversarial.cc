@@ -7,23 +7,36 @@
 
 namespace hbmsim::workloads {
 
-Trace make_cyclic_trace(const AdversarialOptions& opts) {
+CyclicCursor::CyclicCursor(const AdversarialOptions& opts)
+    : TraceCursor(
+          static_cast<std::uint64_t>(opts.unique_pages) * opts.repetitions,
+          opts.unique_pages),
+      unique_pages_(opts.unique_pages) {
   HBMSIM_CHECK(opts.unique_pages > 0, "need at least one page");
   HBMSIM_CHECK(opts.repetitions > 0, "need at least one repetition");
-  std::vector<LocalPage> refs;
-  refs.reserve(static_cast<std::size_t>(opts.unique_pages) * opts.repetitions);
-  for (std::uint32_t rep = 0; rep < opts.repetitions; ++rep) {
-    for (std::uint32_t page = 0; page < opts.unique_pages; ++page) {
-      refs.push_back(page);
-    }
-  }
-  return Trace(std::move(refs), opts.unique_pages);
+  rewind();
+}
+
+CyclicSource::CyclicSource(const AdversarialOptions& opts) : opts_(opts) {
+  HBMSIM_CHECK(opts.unique_pages > 0, "need at least one page");
+  HBMSIM_CHECK(opts.repetitions > 0, "need at least one repetition");
+}
+
+Trace make_cyclic_trace(const AdversarialOptions& opts) {
+  return materialize(CyclicCursor(opts));
 }
 
 Workload make_adversarial_workload(std::size_t num_threads,
                                    const AdversarialOptions& opts) {
   auto trace = std::make_shared<Trace>(make_cyclic_trace(opts));
   return Workload::replicate(std::move(trace), num_threads, "adversarial-cyclic");
+}
+
+Workload make_adversarial_streaming_workload(std::size_t num_threads,
+                                             const AdversarialOptions& opts) {
+  return Workload::replicate(
+      std::shared_ptr<const TraceSource>(std::make_shared<CyclicSource>(opts)),
+      num_threads, "adversarial-cyclic-streaming");
 }
 
 std::uint64_t adversarial_hbm_slots(std::size_t num_threads,

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "trace/trace.h"
+#include "trace/trace_cursor.h"
 
 namespace hbmsim::workloads {
 
@@ -27,6 +28,53 @@ struct AdversarialOptions {
 /// p threads all running the cyclic scan (disjoint page namespaces).
 [[nodiscard]] Workload make_adversarial_workload(std::size_t num_threads,
                                                  const AdversarialOptions& opts = {});
+
+/// Streaming cursor over the cyclic scan: position i references page
+/// i mod U — pure arithmetic, no stored trace. The p = 1M scale cases
+/// replicate one CyclicSource across all threads: one source object
+/// plus p O(1) cursor states, where the materialized equivalent would
+/// store U·R references.
+class CyclicCursor final : public TraceCursor {
+ public:
+  explicit CyclicCursor(const AdversarialOptions& opts);
+
+  [[nodiscard]] std::unique_ptr<TraceCursor> clone() const override {
+    return std::make_unique<CyclicCursor>(*this);
+  }
+
+ protected:
+  [[nodiscard]] LocalPage generate() override {
+    return static_cast<LocalPage>(pos() % unique_pages_);
+  }
+  void reset() override {}
+
+ private:
+  std::uint32_t unique_pages_;
+};
+
+/// TraceSource producing CyclicCursors.
+class CyclicSource final : public TraceSource {
+ public:
+  explicit CyclicSource(const AdversarialOptions& opts);
+
+  [[nodiscard]] std::uint64_t size() const override {
+    return static_cast<std::uint64_t>(opts_.unique_pages) * opts_.repetitions;
+  }
+  [[nodiscard]] LocalPage num_pages() const override {
+    return opts_.unique_pages;
+  }
+  [[nodiscard]] std::unique_ptr<TraceCursor> cursor() const override {
+    return std::make_unique<CyclicCursor>(opts_);
+  }
+
+ private:
+  AdversarialOptions opts_;
+};
+
+/// Streaming twin of make_adversarial_workload: identical sequences,
+/// one shared source instead of one shared materialized trace.
+[[nodiscard]] Workload make_adversarial_streaming_workload(
+    std::size_t num_threads, const AdversarialOptions& opts = {});
 
 /// The paper's Figure 3 HBM size: enough memory for `fraction` of all the
 /// unique pages across all threads (¼ in the paper).

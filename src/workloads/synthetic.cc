@@ -9,67 +9,100 @@
 namespace hbmsim::workloads {
 namespace {
 
-Trace generate(const SyntheticOptions& opts, std::uint64_t seed) {
+// Sequence length for one thread: kStream sweeps num_pages per pass,
+// every other kind is the configured length. Also the single validation
+// point for the generator parameters, so cursors and materialized makers
+// reject the same inputs.
+std::uint64_t synthetic_length(const SyntheticOptions& opts) {
+  HBMSIM_CHECK(opts.num_pages > 0, "need at least one page");
   switch (opts.kind) {
     case SyntheticKind::kUniform:
-      return make_uniform_trace(opts.num_pages, opts.length, seed);
     case SyntheticKind::kZipf:
-      return make_zipf_trace(opts.num_pages, opts.length, opts.zipf_s, seed);
-    case SyntheticKind::kStream:
-      return make_stream_trace(opts.num_pages, opts.stream_passes);
     case SyntheticKind::kStrided:
-      return make_strided_trace(opts.num_pages, opts.length, opts.stride);
+      return opts.length;
+    case SyntheticKind::kStream:
+      HBMSIM_CHECK(opts.stream_passes > 0, "empty stream trace");
+      return static_cast<std::uint64_t>(opts.num_pages) * opts.stream_passes;
   }
   throw ConfigError("unknown synthetic workload kind");
 }
 
 }  // namespace
 
+SyntheticCursor::SyntheticCursor(const SyntheticOptions& opts,
+                                 std::uint64_t seed)
+    : TraceCursor(synthetic_length(opts), opts.num_pages),
+      opts_(opts),
+      seed_(seed),
+      rng_(seed) {
+  if (opts_.kind == SyntheticKind::kZipf) {
+    zipf_.emplace(opts_.num_pages, opts_.zipf_s);
+  }
+  rewind();
+}
+
+LocalPage SyntheticCursor::generate() {
+  switch (opts_.kind) {
+    case SyntheticKind::kUniform:
+      return static_cast<LocalPage>(rng_.uniform(opts_.num_pages));
+    case SyntheticKind::kZipf:
+      return static_cast<LocalPage>((*zipf_)(rng_));
+    case SyntheticKind::kStream:
+      return static_cast<LocalPage>(pos() % opts_.num_pages);
+    case SyntheticKind::kStrided: {
+      const auto r = static_cast<LocalPage>(stride_acc_ % opts_.num_pages);
+      stride_acc_ += opts_.stride;
+      return r;
+    }
+  }
+  HBMSIM_ASSERT(false, "unknown synthetic workload kind");
+  return 0;
+}
+
+void SyntheticCursor::reset() {
+  rng_ = Xoshiro256StarStar(seed_);
+  stride_acc_ = 0;
+}
+
+SyntheticSource::SyntheticSource(const SyntheticOptions& opts,
+                                 std::uint64_t seed)
+    : opts_(opts), seed_(seed), length_(synthetic_length(opts)) {}
+
 Trace make_uniform_trace(std::uint32_t num_pages, std::size_t length,
                          std::uint64_t seed) {
-  HBMSIM_CHECK(num_pages > 0, "need at least one page");
-  Xoshiro256StarStar rng(seed);
-  std::vector<LocalPage> refs(length);
-  for (auto& r : refs) {
-    r = static_cast<LocalPage>(rng.uniform(num_pages));
-  }
-  return Trace(std::move(refs), num_pages);
+  SyntheticOptions o;
+  o.kind = SyntheticKind::kUniform;
+  o.num_pages = num_pages;
+  o.length = length;
+  return materialize(SyntheticCursor(o, seed));
 }
 
 Trace make_zipf_trace(std::uint32_t num_pages, std::size_t length, double s,
                       std::uint64_t seed) {
-  HBMSIM_CHECK(num_pages > 0, "need at least one page");
-  Xoshiro256StarStar rng(seed);
-  const ZipfSampler zipf(num_pages, s);
-  std::vector<LocalPage> refs(length);
-  for (auto& r : refs) {
-    r = static_cast<LocalPage>(zipf(rng));
-  }
-  return Trace(std::move(refs), num_pages);
+  SyntheticOptions o;
+  o.kind = SyntheticKind::kZipf;
+  o.num_pages = num_pages;
+  o.length = length;
+  o.zipf_s = s;
+  return materialize(SyntheticCursor(o, seed));
 }
 
 Trace make_stream_trace(std::uint32_t num_pages, std::uint32_t passes) {
-  HBMSIM_CHECK(num_pages > 0 && passes > 0, "empty stream trace");
-  std::vector<LocalPage> refs;
-  refs.reserve(static_cast<std::size_t>(num_pages) * passes);
-  for (std::uint32_t pass = 0; pass < passes; ++pass) {
-    for (std::uint32_t p = 0; p < num_pages; ++p) {
-      refs.push_back(p);
-    }
-  }
-  return Trace(std::move(refs), num_pages);
+  SyntheticOptions o;
+  o.kind = SyntheticKind::kStream;
+  o.num_pages = num_pages;
+  o.stream_passes = passes;
+  return materialize(SyntheticCursor(o, /*seed=*/1));
 }
 
 Trace make_strided_trace(std::uint32_t num_pages, std::size_t length,
                          std::uint32_t stride) {
-  HBMSIM_CHECK(num_pages > 0, "need at least one page");
-  std::vector<LocalPage> refs(length);
-  std::uint64_t pos = 0;
-  for (auto& r : refs) {
-    r = static_cast<LocalPage>(pos % num_pages);
-    pos += stride;
-  }
-  return Trace(std::move(refs), num_pages);
+  SyntheticOptions o;
+  o.kind = SyntheticKind::kStrided;
+  o.num_pages = num_pages;
+  o.length = length;
+  o.stride = stride;
+  return materialize(SyntheticCursor(o, /*seed=*/1));
 }
 
 Workload make_synthetic_workload(std::size_t num_threads,
@@ -77,32 +110,66 @@ Workload make_synthetic_workload(std::size_t num_threads,
   std::vector<std::shared_ptr<const Trace>> traces;
   traces.reserve(num_threads);
   for (std::size_t t = 0; t < num_threads; ++t) {
-    traces.push_back(std::make_shared<Trace>(
-        generate(opts, opts.seed + t * 0x9E3779B97F4A7C15ULL)));
+    traces.push_back(std::make_shared<Trace>(materialize(
+        SyntheticCursor(opts, opts.seed + t * 0x9E3779B97F4A7C15ULL))));
   }
   return Workload(std::move(traces), "synthetic");
 }
 
+Workload make_streaming_workload(std::size_t num_threads,
+                                 const SyntheticOptions& opts) {
+  std::vector<std::shared_ptr<const TraceSource>> sources;
+  sources.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    sources.push_back(std::make_shared<SyntheticSource>(
+        opts, opts.seed + t * 0x9E3779B97F4A7C15ULL));
+  }
+  return Workload(std::move(sources), "synthetic-streaming");
+}
+
+namespace {
+
+SyntheticOptions ramped(const SyntheticOptions& opts, std::size_t t,
+                        std::size_t num_threads, double min_fraction) {
+  HBMSIM_CHECK(min_fraction > 0.0 && min_fraction <= 1.0,
+               "min_fraction must be in (0,1]");
+  const double ramp =
+      num_threads == 1
+          ? 1.0
+          : min_fraction + (1.0 - min_fraction) * static_cast<double>(t) /
+                               static_cast<double>(num_threads - 1);
+  SyntheticOptions o = opts;
+  o.length = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(opts.length) * ramp));
+  return o;
+}
+
+}  // namespace
+
 Workload make_imbalanced_workload(std::size_t num_threads,
                                   const SyntheticOptions& opts,
                                   double min_fraction) {
-  HBMSIM_CHECK(min_fraction > 0.0 && min_fraction <= 1.0,
-               "min_fraction must be in (0,1]");
   std::vector<std::shared_ptr<const Trace>> traces;
   traces.reserve(num_threads);
   for (std::size_t t = 0; t < num_threads; ++t) {
-    const double ramp =
-        num_threads == 1
-            ? 1.0
-            : min_fraction + (1.0 - min_fraction) * static_cast<double>(t) /
-                                 static_cast<double>(num_threads - 1);
-    SyntheticOptions o = opts;
-    o.length = std::max<std::size_t>(
-        1, static_cast<std::size_t>(static_cast<double>(opts.length) * ramp));
-    traces.push_back(std::make_shared<Trace>(
-        generate(o, opts.seed + t * 0x9E3779B97F4A7C15ULL)));
+    traces.push_back(std::make_shared<Trace>(materialize(
+        SyntheticCursor(ramped(opts, t, num_threads, min_fraction),
+                        opts.seed + t * 0x9E3779B97F4A7C15ULL))));
   }
   return Workload(std::move(traces), "synthetic-imbalanced");
+}
+
+Workload make_imbalanced_streaming_workload(std::size_t num_threads,
+                                            const SyntheticOptions& opts,
+                                            double min_fraction) {
+  std::vector<std::shared_ptr<const TraceSource>> sources;
+  sources.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    sources.push_back(std::make_shared<SyntheticSource>(
+        ramped(opts, t, num_threads, min_fraction),
+        opts.seed + t * 0x9E3779B97F4A7C15ULL));
+  }
+  return Workload(std::move(sources), "synthetic-imbalanced-streaming");
 }
 
 }  // namespace hbmsim::workloads

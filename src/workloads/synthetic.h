@@ -2,12 +2,23 @@
 // "distribution of work across the cores" sweep: uniform random, Zipfian,
 // sequential streaming, and strided access, plus helpers for building
 // imbalanced multi-thread workloads.
+//
+// Every generator exists in two forms over one implementation: the
+// materialized makers below produce a Trace by walking a SyntheticCursor
+// to completion, and make_streaming_workload() hands the same cursors to
+// the simulator directly (O(1) memory per thread — the p = 1M form).
+// The reference sequences are identical by construction; the pinned
+// goldens in tests/determinism_test.cc and the streaming-vs-materialized
+// differential grid hold both forms to it.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "trace/trace.h"
+#include "trace/trace_cursor.h"
+#include "util/rng.h"
 
 namespace hbmsim::workloads {
 
@@ -41,6 +52,59 @@ struct SyntheticOptions {
 
 [[nodiscard]] Workload make_synthetic_workload(std::size_t num_threads,
                                                const SyntheticOptions& opts);
+
+/// Streaming cursor over any SyntheticKind: a seeded Xoshiro (via
+/// SplitMix64 expansion) plus a position, generating the exact sequence
+/// the materialized makers store. Forward-only (uniform and Zipf draw a
+/// data-dependent number of RNG values per reference); rewind re-seeds.
+class SyntheticCursor final : public TraceCursor {
+ public:
+  SyntheticCursor(const SyntheticOptions& opts, std::uint64_t seed);
+
+  [[nodiscard]] std::unique_ptr<TraceCursor> clone() const override {
+    return std::make_unique<SyntheticCursor>(*this);
+  }
+
+ protected:
+  [[nodiscard]] LocalPage generate() override;
+  void reset() override;
+
+ private:
+  SyntheticOptions opts_;
+  std::uint64_t seed_;
+  Xoshiro256StarStar rng_;
+  std::optional<ZipfSampler> zipf_;
+  std::uint64_t stride_acc_ = 0;
+};
+
+/// TraceSource producing SyntheticCursors for one (options, seed) pair.
+class SyntheticSource final : public TraceSource {
+ public:
+  SyntheticSource(const SyntheticOptions& opts, std::uint64_t seed);
+
+  [[nodiscard]] std::uint64_t size() const override { return length_; }
+  [[nodiscard]] LocalPage num_pages() const override {
+    return opts_.num_pages;
+  }
+  [[nodiscard]] std::unique_ptr<TraceCursor> cursor() const override {
+    return std::make_unique<SyntheticCursor>(opts_, seed_);
+  }
+
+ private:
+  SyntheticOptions opts_;
+  std::uint64_t seed_;
+  std::uint64_t length_;
+};
+
+/// Streaming twin of make_synthetic_workload: identical per-thread seed
+/// derivation and reference sequences, but O(1) memory per thread.
+[[nodiscard]] Workload make_streaming_workload(std::size_t num_threads,
+                                               const SyntheticOptions& opts);
+
+/// Streaming twin of make_imbalanced_workload (same length ramp).
+[[nodiscard]] Workload make_imbalanced_streaming_workload(
+    std::size_t num_threads, const SyntheticOptions& opts,
+    double min_fraction = 0.1);
 
 /// Imbalanced variant: thread i's trace is truncated to
 /// length · (min_fraction + (1 - min_fraction) · i / (p-1)), so the work

@@ -207,6 +207,47 @@ TEST(Determinism, GoldensHoldUnderReferenceAndShadowArbiters) {
   }
 }
 
+// --- Streaming-source golden -------------------------------------------
+//
+// The same workload family as the goldens above, but served through
+// TraceCursors (trace/trace_cursor.h) instead of materialized vectors:
+// per-thread seeded Zipf cursors generating references on demand. The
+// streaming path must land on one pinned value under EngineKind::kTick,
+// EngineKind::kFast, and EngineKind::kEvent alike — a cursor whose RNG
+// consumption drifts from the materialized makers fails here first.
+
+std::uint64_t run_streaming_zipf(EngineKind engine) {
+  workloads::SyntheticOptions opts;
+  opts.kind = workloads::SyntheticKind::kZipf;
+  opts.num_pages = 128;
+  opts.length = 2000;
+  opts.zipf_s = 0.9;
+  opts.seed = 7;
+  const Workload w = workloads::make_streaming_workload(5, opts);
+  SimConfig config = SimConfig::priority(/*k=*/48, /*q=*/2);
+  config.fetch_ticks = 3;
+  config.engine = engine;
+  return fingerprint(simulate(w, config));
+}
+
+TEST(Determinism, StreamingSourceMatchesGolden) {
+  EXPECT_EQ(run_streaming_zipf(EngineKind::kTick), 330166413182213772ULL);
+  EXPECT_EQ(run_streaming_zipf(EngineKind::kFast), 330166413182213772ULL);
+  EXPECT_EQ(run_streaming_zipf(EngineKind::kEvent), 330166413182213772ULL);
+  // And the materialized twin of the same (options, seeds) must land on
+  // the very same value — the two forms are one sequence by contract.
+  workloads::SyntheticOptions opts;
+  opts.kind = workloads::SyntheticKind::kZipf;
+  opts.num_pages = 128;
+  opts.length = 2000;
+  opts.zipf_s = 0.9;
+  opts.seed = 7;
+  const Workload materialized = workloads::make_synthetic_workload(5, opts);
+  SimConfig config = SimConfig::priority(/*k=*/48, /*q=*/2);
+  config.fetch_ticks = 3;
+  EXPECT_EQ(fingerprint(simulate(materialized, config)), 330166413182213772ULL);
+}
+
 // --- Fast-forward golden: long transfers over hashed channels ----------
 //
 // fetch_ticks = 4 with only two cores drains the DRAM queue while

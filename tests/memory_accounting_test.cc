@@ -1,0 +1,170 @@
+// Memory-accounting tests: the byte-tracking allocation shim
+// (util/alloc_shim.h) and the O(p) residency claim it enforces.
+//
+// This binary defines HBMSIM_ALLOC_SHIM, replacing the global allocation
+// functions with the counting shim — the same configuration
+// bench/perf_simulator uses for its --scale-compare budget. Three
+// claims:
+//
+//   1. the shim itself observes allocations, live bytes, and the peak
+//      high-water mark correctly;
+//   2. a p = 1M streaming workload plus its simulator fits a hard O(p)
+//      peak-bytes budget in the default build (the tentpole's residency
+//      guarantee, asserted in CI, not just in a bench run);
+//   3. negatively: deliberately materializing a large trace is *caught*
+//      by the shim — the byte counter visibly registers the O(refs)
+//      spike a streaming twin avoids.
+//
+// On non-glibc platforms malloc_usable_size is unavailable; the shim
+// still counts allocations but reports zero bytes, and the byte-budget
+// tests skip (alloc_bytes_tracked() is the gate).
+#define HBMSIM_ALLOC_SHIM
+#include "util/alloc_shim.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/simulator.h"
+#include "trace/trace_cursor.h"
+#include "workloads/synthetic.h"
+
+namespace hbmsim {
+namespace {
+
+using util::alloc_bytes;
+using util::alloc_bytes_tracked;
+using util::alloc_count;
+using util::alloc_peak_bytes;
+using util::reset_alloc_peak;
+
+// --- The shim itself ---------------------------------------------------
+
+TEST(AllocShim, CountsAndBytesTrackAllocations) {
+  const std::uint64_t count_before = alloc_count();
+  const std::uint64_t bytes_before = alloc_bytes();
+  {
+    auto block = std::make_unique<std::uint64_t[]>(1024);  // 8 KiB
+    EXPECT_GT(alloc_count(), count_before);
+    if (alloc_bytes_tracked()) {
+      EXPECT_GE(alloc_bytes(), bytes_before + 8192);
+    }
+  }
+  if (alloc_bytes_tracked()) {
+    // Freeing returns the bytes; counts are monotone.
+    EXPECT_LT(alloc_bytes(), bytes_before + 8192);
+  }
+}
+
+TEST(AllocShim, PeakRecordsHighWaterMarkAcrossReset) {
+  if (!alloc_bytes_tracked()) {
+    GTEST_SKIP() << "byte accounting needs malloc_usable_size (glibc)";
+  }
+  reset_alloc_peak();
+  const std::uint64_t baseline = alloc_peak_bytes();
+  {
+    const std::vector<std::uint64_t> spike(1 << 16);  // 512 KiB live
+    EXPECT_GE(alloc_peak_bytes(), baseline + (std::uint64_t{1} << 19));
+  }
+  // The spike is gone but the peak remembers it…
+  EXPECT_GE(alloc_peak_bytes(), baseline + (std::uint64_t{1} << 19));
+  // …until a reset rebases it on the (now lower) live total.
+  reset_alloc_peak();
+  EXPECT_LT(alloc_peak_bytes(), baseline + (std::uint64_t{1} << 19));
+}
+
+TEST(AllocShim, AlignedAllocationsAreAccounted) {
+  if (!alloc_bytes_tracked()) {
+    GTEST_SKIP() << "byte accounting needs malloc_usable_size (glibc)";
+  }
+  struct alignas(64) Wide {
+    unsigned char data[64];
+  };
+  const std::uint64_t bytes_before = alloc_bytes();
+  {
+    std::vector<Wide> v(256);  // 16 KiB through the aligned-new path
+    EXPECT_GE(alloc_bytes(), bytes_before + 256 * sizeof(Wide));
+  }
+  EXPECT_LT(alloc_bytes(), bytes_before + 256 * sizeof(Wide));
+}
+
+// --- The p = 1M residency budget (default build) -----------------------
+
+TEST(MemoryAccounting, MillionThreadStreamingRunFitsPeakBudget) {
+  if (!alloc_bytes_tracked()) {
+    GTEST_SKIP() << "byte accounting needs malloc_usable_size (glibc)";
+  }
+  // The perf_simulator --scale-compare p1m_scale case, in-test: p = 1M
+  // streaming threads, dense event engine, max_ticks horizon. The
+  // budget mirrors the bench (64 MiB fixed + 640 B per thread, ~40%
+  // above the measured ~480 B/thread) — O(p), where materializing the
+  // same workload would need p · length · 4 B = 256 GiB of trace data.
+  const std::size_t p = std::size_t{1} << 20;
+  constexpr std::uint64_t kBudgetBytes =
+      (std::uint64_t{64} << 20) + 640 * (std::uint64_t{1} << 20);
+  reset_alloc_peak();
+  RunMetrics metrics;
+  {
+    workloads::SyntheticOptions opts;
+    opts.kind = workloads::SyntheticKind::kUniform;
+    opts.num_pages = 64;
+    opts.length = 65536;
+    opts.seed = 42;
+    const Workload w = workloads::make_streaming_workload(p, opts);
+    SimConfig config = SimConfig::fifo(/*k=*/262144, /*q=*/2);
+    config.fetch_ticks = 4;
+    config.per_thread_metrics = false;
+    config.response_histogram = false;
+    config.max_ticks = Tick{1} << 18;
+    config.engine = EngineKind::kEvent;
+    Simulator sim(w, config);
+    metrics = sim.run();
+  }
+  EXPECT_TRUE(metrics.truncated);
+  EXPECT_GT(metrics.total_refs, 0u);
+  EXPECT_LE(alloc_peak_bytes(), kBudgetBytes)
+      << "p=1M streaming residency regressed: peak "
+      << (alloc_peak_bytes() >> 20) << " MiB against a "
+      << (kBudgetBytes >> 20) << " MiB budget";
+}
+
+// --- Negative control: materialization is caught -----------------------
+
+TEST(MemoryAccounting, ShimCatchesDeliberateMaterialization) {
+  if (!alloc_bytes_tracked()) {
+    GTEST_SKIP() << "byte accounting needs malloc_usable_size (glibc)";
+  }
+  workloads::SyntheticOptions opts;
+  opts.kind = workloads::SyntheticKind::kUniform;
+  opts.num_pages = 64;
+  opts.length = 1 << 20;  // 1M refs → ≥ 4 MiB of trace data
+  opts.seed = 7;
+
+  // Streaming: one cursor, O(1) bytes regardless of length.
+  reset_alloc_peak();
+  const std::uint64_t before_streaming = alloc_bytes();
+  {
+    const workloads::SyntheticSource source(opts, opts.seed);
+    const auto cursor = source.cursor();
+    EXPECT_EQ(cursor->size(), std::uint64_t{1} << 20);
+    EXPECT_LE(alloc_peak_bytes(), before_streaming + 4096)
+        << "a streaming cursor must not allocate O(length) state";
+  }
+
+  // Materialized: the very same sequence, now stored — the shim must
+  // register the O(refs) spike (4 B per reference, at least).
+  reset_alloc_peak();
+  const std::uint64_t before_materialized = alloc_bytes();
+  {
+    const Trace trace = materialize(workloads::SyntheticCursor(opts, opts.seed));
+    EXPECT_EQ(trace.size(), std::uint64_t{1} << 20);
+    EXPECT_GE(alloc_peak_bytes(),
+              before_materialized + trace.size() * sizeof(LocalPage))
+        << "the shim failed to observe a materialized trace";
+  }
+}
+
+}  // namespace
+}  // namespace hbmsim

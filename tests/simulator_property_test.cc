@@ -11,8 +11,8 @@
 // calendar-queue event engine (§3e, including its dense backlog layer)
 // bit-identical to the reference tick engine: a randomized grid over
 // (workload family, arbitration, replacement, q, fetch_ticks,
-// remap_period, shared pages, direct-mapped cache) fingerprints all
-// engines' RunMetrics, step()-interleaving tests pin thread_state()
+// remap_period, shared pages, direct-mapped cache, streaming vs
+// materialized trace source) fingerprints all engines' RunMetrics, step()-interleaving tests pin thread_state()
 // agreement at every event boundary, and dense corner tests pin the
 // export protocol (requeue, slot overflow, truncation).
 #include <gtest/gtest.h>
@@ -617,6 +617,18 @@ TEST(EngineDifferential, RandomizedGridBitIdentical) {
 
     EXPECT_EQ(engine_fingerprint(ref), engine_fingerprint(fast));
     EXPECT_EQ(engine_fingerprint(ref), engine_fingerprint(event));
+
+    // The streaming trace axis: the same workload served by TraceCursors
+    // instead of materialized vectors (identical sequences by
+    // construction — trace/trace_cursor.h) must land on the reference
+    // fingerprint under every engine.
+    const Workload sw = workloads::make_streaming_workload(threads, wopts);
+    for (const EngineKind engine :
+         {EngineKind::kTick, EngineKind::kFast, EngineKind::kEvent}) {
+      const RunMetrics streamed = run_with_engine(sw, cfg, engine, direct_mapped);
+      EXPECT_EQ(engine_fingerprint(ref), engine_fingerprint(streamed))
+          << "streaming source diverged under " << to_string(engine);
+    }
     EXPECT_EQ(ref.skipped_ticks, 0u);
     EXPECT_EQ(ref.idle_ticks, fast.idle_ticks);
     EXPECT_EQ(ref.idle_ticks, event.idle_ticks);

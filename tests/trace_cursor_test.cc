@@ -1,0 +1,298 @@
+// Unit tests for trace/trace_cursor.h: the streaming trace layer.
+//
+// The contract under test (DESIGN.md §3f): every cursor backend
+// generates exactly the sequence its materialized maker stores (equality
+// is by construction — the makers call materialize() over the same
+// cursors — so these tests pin the walking semantics: current()/next()
+// stepping, rewind() re-seeding, clone() state copies, exhaustion), and
+// a Workload served through cursors is observationally identical to its
+// materialized twin under simulate(), including at max_ticks truncation.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/simulator.h"
+#include "trace/trace.h"
+#include "trace/trace_cursor.h"
+#include "workloads/adversarial.h"
+#include "workloads/synthetic.h"
+
+namespace hbmsim {
+namespace {
+
+/// Walk a fresh clone of `cursor` from wherever it stands to exhaustion.
+std::vector<LocalPage> walk_remainder(const TraceCursor& cursor) {
+  const std::unique_ptr<TraceCursor> c = cursor.clone();
+  std::vector<LocalPage> out;
+  while (!c->exhausted()) {
+    out.push_back(c->current());
+    c->next();
+  }
+  return out;
+}
+
+/// Walk `cursor` itself, in place, from position 0 (rewinding first).
+std::vector<LocalPage> walk_all(TraceCursor& cursor) {
+  cursor.rewind();
+  std::vector<LocalPage> out;
+  while (!cursor.exhausted()) {
+    out.push_back(cursor.current());
+    cursor.next();
+  }
+  return out;
+}
+
+std::vector<workloads::SyntheticOptions> all_synthetic_kinds() {
+  workloads::SyntheticOptions base;
+  base.num_pages = 32;
+  base.length = 200;
+  base.zipf_s = 0.9;
+  base.stream_passes = 3;
+  base.stride = 7;
+  std::vector<workloads::SyntheticOptions> kinds;
+  for (const auto kind :
+       {workloads::SyntheticKind::kUniform, workloads::SyntheticKind::kZipf,
+        workloads::SyntheticKind::kStream, workloads::SyntheticKind::kStrided}) {
+    workloads::SyntheticOptions o = base;
+    o.kind = kind;
+    kinds.push_back(o);
+  }
+  return kinds;
+}
+
+// --- Sequence equality per backend -------------------------------------
+
+TEST(TraceCursor, VectorCursorWalksItsTrace) {
+  const auto trace = std::make_shared<Trace>(Trace({3, 1, 4, 1, 5, 9, 2, 6}));
+  VectorTraceCursor cursor(trace);
+  EXPECT_EQ(cursor.size(), trace->size());
+  EXPECT_EQ(cursor.num_pages(), trace->num_pages());
+  for (std::size_t i = 0; i < trace->size(); ++i) {
+    ASSERT_FALSE(cursor.exhausted());
+    EXPECT_EQ(cursor.pos(), i);
+    EXPECT_EQ(cursor.current(), (*trace)[i]);
+    EXPECT_EQ(cursor.current(), (*trace)[i]) << "current() must be repeatable";
+    cursor.next();
+  }
+  EXPECT_TRUE(cursor.exhausted());
+  EXPECT_EQ(cursor.pos(), cursor.size());
+}
+
+TEST(TraceCursor, SyntheticCursorMatchesMaterializedMakers) {
+  for (const workloads::SyntheticOptions& opts : all_synthetic_kinds()) {
+    SCOPED_TRACE(static_cast<int>(opts.kind));
+    const std::uint64_t seed = opts.kind == workloads::SyntheticKind::kUniform ||
+                                       opts.kind == workloads::SyntheticKind::kZipf
+                                   ? 77
+                                   : 1;  // stream/strided makers fix seed = 1
+    workloads::SyntheticCursor cursor(opts, seed);
+    Trace expected;
+    switch (opts.kind) {
+      case workloads::SyntheticKind::kUniform:
+        expected = workloads::make_uniform_trace(opts.num_pages, opts.length, seed);
+        break;
+      case workloads::SyntheticKind::kZipf:
+        expected = workloads::make_zipf_trace(opts.num_pages, opts.length,
+                                              opts.zipf_s, seed);
+        break;
+      case workloads::SyntheticKind::kStream:
+        expected = workloads::make_stream_trace(opts.num_pages, opts.stream_passes);
+        break;
+      case workloads::SyntheticKind::kStrided:
+        expected = workloads::make_strided_trace(opts.num_pages, opts.length,
+                                                 opts.stride);
+        break;
+    }
+    EXPECT_EQ(Trace(walk_all(cursor), cursor.num_pages()), expected);
+  }
+}
+
+TEST(TraceCursor, CyclicCursorMatchesMaterializedMaker) {
+  const workloads::AdversarialOptions opts{.unique_pages = 16, .repetitions = 5};
+  workloads::CyclicCursor cursor(opts);
+  const Trace expected = workloads::make_cyclic_trace(opts);
+  EXPECT_EQ(Trace(walk_all(cursor), cursor.num_pages()), expected);
+}
+
+TEST(TraceCursor, SourcesHandOutIndependentEqualCursors) {
+  workloads::SyntheticOptions opts = all_synthetic_kinds()[1];  // zipf
+  const workloads::SyntheticSource source(opts, 5);
+  const auto a = source.cursor();
+  const auto b = source.cursor();
+  // Interleave the walks: independent generator state, same sequence.
+  while (!a->exhausted()) {
+    ASSERT_FALSE(b->exhausted());
+    EXPECT_EQ(a->current(), b->current());
+    a->next();
+    b->next();
+  }
+  EXPECT_TRUE(b->exhausted());
+}
+
+// --- Rewind and clone determinism --------------------------------------
+
+TEST(TraceCursor, RewindReplaysIdenticalSequence) {
+  for (const workloads::SyntheticOptions& opts : all_synthetic_kinds()) {
+    SCOPED_TRACE(static_cast<int>(opts.kind));
+    workloads::SyntheticCursor cursor(opts, 123);
+    const std::vector<LocalPage> first = walk_all(cursor);
+    // Leave the cursor mid-sequence before rewinding again.
+    cursor.rewind();
+    for (int i = 0; i < 17; ++i) {
+      cursor.next();
+    }
+    EXPECT_EQ(walk_all(cursor), first);
+  }
+}
+
+TEST(TraceCursor, CloneForksIndependentIdenticalSuffixes) {
+  for (const workloads::SyntheticOptions& opts : all_synthetic_kinds()) {
+    SCOPED_TRACE(static_cast<int>(opts.kind));
+    workloads::SyntheticCursor cursor(opts, 9);
+    for (int i = 0; i < 41; ++i) {
+      cursor.next();
+    }
+    const std::unique_ptr<TraceCursor> fork = cursor.clone();
+    EXPECT_EQ(fork->pos(), cursor.pos());
+    EXPECT_EQ(fork->current(), cursor.current());
+    // Drain the original first: the fork must be unaffected, then
+    // reproduce the very same suffix.
+    const std::vector<LocalPage> suffix = walk_remainder(cursor);
+    while (!cursor.exhausted()) {
+      cursor.next();
+    }
+    EXPECT_EQ(walk_remainder(*fork), suffix);
+  }
+}
+
+TEST(TraceCursor, MaterializeCoversFullSequenceWithoutDisturbingCursor) {
+  workloads::SyntheticOptions opts = all_synthetic_kinds()[0];  // uniform
+  workloads::SyntheticCursor cursor(opts, 31);
+  const std::vector<LocalPage> full = walk_all(cursor);
+  cursor.rewind();
+  for (int i = 0; i < 50; ++i) {
+    cursor.next();
+  }
+  const std::uint64_t pos_before = cursor.pos();
+  const LocalPage current_before = cursor.current();
+  const Trace materialized = materialize(cursor);
+  EXPECT_EQ(cursor.pos(), pos_before);
+  EXPECT_EQ(cursor.current(), current_before);
+  EXPECT_EQ(materialized, Trace(full, cursor.num_pages()));
+}
+
+// --- Exhaustion semantics ----------------------------------------------
+
+TEST(TraceCursor, EmptyTraceIsBornExhausted) {
+  VectorTraceCursor cursor(std::make_shared<Trace>());
+  EXPECT_TRUE(cursor.empty());
+  EXPECT_TRUE(cursor.exhausted());
+  EXPECT_EQ(cursor.pos(), 0u);
+  cursor.rewind();  // rewinding an empty cursor is a no-op, not an error
+  EXPECT_TRUE(cursor.exhausted());
+}
+
+TEST(TraceCursor, ExhaustedCursorRecoversViaRewind) {
+  const workloads::AdversarialOptions opts{.unique_pages = 4, .repetitions = 2};
+  workloads::CyclicCursor cursor(opts);
+  const std::vector<LocalPage> first = walk_all(cursor);
+  EXPECT_TRUE(cursor.exhausted());
+  EXPECT_EQ(walk_all(cursor), first);
+}
+
+// --- Streaming workloads under the simulator ---------------------------
+
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  std::uint64_t z = h;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fingerprint(const RunMetrics& m) {
+  std::uint64_t h = 0;
+  h = mix64(h, m.makespan);
+  h = mix64(h, m.total_refs);
+  h = mix64(h, m.hits);
+  h = mix64(h, m.misses);
+  h = mix64(h, m.fetches);
+  h = mix64(h, m.response.count());
+  h = mix64(h, std::bit_cast<std::uint64_t>(m.response.mean()));
+  h = mix64(h, std::bit_cast<std::uint64_t>(m.response.max()));
+  for (const auto& pt : m.per_thread) {
+    h = mix64(h, pt.refs);
+    h = mix64(h, pt.hits);
+    h = mix64(h, pt.completion_tick);
+  }
+  return h;
+}
+
+TEST(TraceCursor, StreamingWorkloadMatchesMaterializedAcrossSeedsAndThreads) {
+  // Fuzz the equivalence over seeds × thread counts × kinds: the
+  // simulator cannot tell a streaming workload from its materialized
+  // twin, down to the full metrics fingerprint.
+  for (const workloads::SyntheticKind kind :
+       {workloads::SyntheticKind::kUniform, workloads::SyntheticKind::kZipf}) {
+    for (const std::uint64_t seed : {1ULL, 42ULL, 0xDEADBEEFULL}) {
+      for (const std::size_t threads : {1u, 2u, 5u, 9u}) {
+        workloads::SyntheticOptions opts;
+        opts.kind = kind;
+        opts.num_pages = 48;
+        opts.length = 300;
+        opts.zipf_s = 0.9;
+        opts.seed = seed;
+        SCOPED_TRACE("kind=" + std::to_string(static_cast<int>(kind)) +
+                     " seed=" + std::to_string(seed) +
+                     " threads=" + std::to_string(threads));
+        const Workload streaming = workloads::make_streaming_workload(threads, opts);
+        const Workload materialized =
+            workloads::make_synthetic_workload(threads, opts);
+        EXPECT_TRUE(streaming.streaming());
+        EXPECT_FALSE(materialized.streaming());
+        SimConfig config = SimConfig::fifo(/*k=*/24, /*q=*/2);
+        config.fetch_ticks = 2;
+        EXPECT_EQ(fingerprint(simulate(streaming, config)),
+                  fingerprint(simulate(materialized, config)));
+      }
+    }
+  }
+}
+
+TEST(TraceCursor, TruncationLeavesStreamingAndMaterializedIdentical) {
+  // max_ticks cuts the run mid-flight: cursors freeze mid-sequence, and
+  // the truncated metrics must still match the materialized twin exactly.
+  workloads::SyntheticOptions opts;
+  opts.kind = workloads::SyntheticKind::kUniform;
+  opts.num_pages = 256;  // >> k: heavy missing, deep backlog at the cut
+  opts.length = 500;
+  opts.seed = 13;
+  const Workload streaming = workloads::make_streaming_workload(6, opts);
+  const Workload materialized = workloads::make_synthetic_workload(6, opts);
+  SimConfig config = SimConfig::fifo(/*k=*/16, /*q=*/2);
+  config.fetch_ticks = 4;
+  config.max_ticks = 120;
+  const RunMetrics s = simulate(streaming, config);
+  const RunMetrics m = simulate(materialized, config);
+  ASSERT_TRUE(s.truncated);
+  ASSERT_TRUE(m.truncated);
+  EXPECT_EQ(fingerprint(s), fingerprint(m));
+}
+
+TEST(TraceCursor, StreamingWorkloadRefusesRandomAccess) {
+  workloads::SyntheticOptions opts;
+  opts.num_pages = 8;
+  opts.length = 10;
+  const Workload streaming = workloads::make_streaming_workload(2, opts);
+  EXPECT_THROW((void)streaming.trace(0), Error);
+  EXPECT_THROW((void)streaming.share(0), Error);
+  // cursor() and source() are the streaming-safe accessors.
+  EXPECT_EQ(streaming.cursor(0)->size(), 10u);
+  EXPECT_EQ(streaming.source(1)->num_pages(), 8u);
+}
+
+}  // namespace
+}  // namespace hbmsim

@@ -5,6 +5,7 @@
 
 #include "core/types.h"
 #include "trace/trace.h"
+#include "trace/trace_cursor.h"
 #include "util/error.h"
 
 namespace hbmsim {
@@ -87,7 +88,9 @@ TEST(Workload, RoundRobinCyclesPool) {
 TEST(Workload, RejectsNullTrace) {
   std::vector<std::shared_ptr<const Trace>> traces{nullptr};
   EXPECT_THROW(Workload w(std::move(traces)), Error);
-  EXPECT_THROW(Workload::replicate(nullptr, 3), Error);
+  EXPECT_THROW(Workload::replicate(std::shared_ptr<const Trace>{}, 3), Error);
+  EXPECT_THROW(Workload::replicate(std::shared_ptr<const TraceSource>{}, 3),
+               Error);
 }
 
 TEST(Workload, RoundRobinRejectsEmptyPool) {

@@ -1,0 +1,20 @@
+#include <vector>
+
+namespace hbmsim {
+
+class StreamCursor {
+ public:
+  void next();
+  int generate();
+
+ private:
+  std::vector<int> history_;
+};
+
+void StreamCursor::next() {
+  history_.push_back(generate());
+}
+
+int StreamCursor::generate() { return history_.empty() ? 0 : history_.back(); }
+
+}  // namespace hbmsim

@@ -253,8 +253,10 @@ _NODE_MEMBER = re.compile(
     r"multiset)|deque|list|forward_list)\s*<")
 
 # Seeds, per DESIGN.md "Static analysis architecture": every engine's
-# step(), the production arbiter mutators, and the serving frontend's
-# per-tick inject/harvest path.
+# step(), the production arbiter mutators, the serving frontend's
+# per-tick inject/harvest path, trace-cursor advancement (one next() per
+# served reference — TraceCursor subclasses must generate without
+# allocating), and the hierarchical runnable-bitmap scan.
 _ARBITER_SEEDS = {"enqueue", "pop", "on_priorities_changed"}
 _SERVING_SEEDS = {"deliver_arrivals", "harvest_completions",
                   "inject_request", "next_arrival_tick"}
@@ -307,6 +309,11 @@ class HotPathAllocRule(Rule):
             return False
         if fn.name == "step" and fn.cls and fn.cls.endswith("Engine"):
             return True
+        if (fn.name in ("next", "generate") and fn.cls
+                and fn.cls.endswith("Cursor")):
+            return True
+        if fn.cls == "HierBitmap" and fn.name in ("find_first", "find_next"):
+            return True
         if (fn.path == "src/core/arbitration.cc"
                 and fn.name in _ARBITER_SEEDS):
             return True
@@ -314,9 +321,14 @@ class HotPathAllocRule(Rule):
 
     def run(self, ctx):
         project = ctx.project()
+        # HierBitmap seeds pierce the src/util/ exclusion: the per-tick
+        # runnable scan lives there, and its own body must stay
+        # allocation-free even though BFS still never expands into the
+        # rest of util's amortized-growth primitives.
         seeds = [fn for fm in project.files.values() for fn in fm.defs
                  if self._is_seed(fn)
-                 and not fn.path.startswith(_EXCLUDED)]
+                 and (not fn.path.startswith(_EXCLUDED)
+                      or fn.cls == "HierBitmap")]
         hot = project.reachable(seeds, _EXCLUDED)
 
         findings = []
