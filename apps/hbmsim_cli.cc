@@ -12,11 +12,22 @@
 //              (or --trace FILE to replay a captured trace on every core)
 //   --threads P --elements N --n N --density D --pages N --length N
 //   --zipf-s S --reps R --seed S --distinct D
+//   --streaming               generate references on the fly (O(1) memory
+//                             per thread) instead of materializing traces;
+//                             cyclic/uniform/zipf/stream only — identical
+//                             reference sequences either way
 //
 // Policy selection (run):
-//   --policy fifo|fr-fcfs|priority|dynamic|cycle|cycle-reverse|interleave|random
+//   --policy fifo|fr-fcfs|priority|dynamic|cycle|cycle-reverse|interleave|
+//            random|adaptive
 //   --k SLOTS --q CHANNELS --t-mult M --replacement lru|fifo|clock
 //   --binding any|hashed --row-pages N --shared-pages --fetch-ticks N
+//   --adaptive-high N --adaptive-low N
+//                             adaptive arbitration: switch FIFO -> Priority
+//                             when the queue depth reaches N at an epoch
+//                             boundary, back once it drains to the low
+//                             mark (defaults 4q / q; epoch = the --t-mult
+//                             remap period)
 //   --engine tick|fast|event|auto
 //                             execution engine (default $HBMSIM_ENGINE or
 //                             auto; engines are bit-identical — see
@@ -143,14 +154,23 @@ Workload build_workload(const ArgParser& args) {
   const auto threads = static_cast<std::size_t>(args.get_int("threads", 16));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   const auto distinct = static_cast<std::size_t>(args.get_int("distinct", 4));
+  const bool streaming = args.get_flag("streaming");
+  const auto reject_streaming = [&](const std::string& kind) {
+    if (streaming) {
+      throw ConfigError("--streaming supports cyclic|uniform|zipf|stream, not '" +
+                        kind + "' (those workloads are inherently materialized)");
+    }
+  };
 
   if (args.has("trace")) {
+    reject_streaming("trace file");
     auto trace = std::make_shared<Trace>(load_trace(args.get("trace", "")));
     return Workload::replicate(std::move(trace), threads, "file");
   }
 
   const std::string kind = args.get("workload", "sort");
   if (kind == "sort" || kind == "quicksort") {
+    reject_streaming(kind);
     workloads::SortTraceOptions opts;
     opts.num_elements = static_cast<std::size_t>(args.get_int("elements", 20'000));
     opts.algo = kind == "quicksort" ? workloads::SortAlgo::kQuickSort
@@ -159,6 +179,7 @@ Workload build_workload(const ArgParser& args) {
     return workloads::make_sort_workload(threads, opts, distinct);
   }
   if (kind == "spgemm") {
+    reject_streaming(kind);
     workloads::SpgemmOptions opts;
     opts.rows = opts.cols = static_cast<std::uint32_t>(args.get_int("n", 200));
     opts.density = args.get_double("density", 0.10);
@@ -166,16 +187,18 @@ Workload build_workload(const ArgParser& args) {
     return workloads::make_spgemm_workload(threads, opts, distinct);
   }
   if (kind == "dense") {
+    reject_streaming(kind);
     workloads::DenseMmOptions opts;
     opts.n = static_cast<std::uint32_t>(args.get_int("n", 96));
     opts.seed = seed;
     return workloads::make_dense_mm_workload(threads, opts, distinct);
   }
   if (kind == "cyclic") {
-    return workloads::make_adversarial_workload(
-        threads,
-        {static_cast<std::uint32_t>(args.get_int("pages", 256)),
-         static_cast<std::uint32_t>(args.get_int("reps", 100))});
+    const workloads::AdversarialOptions opts{
+        static_cast<std::uint32_t>(args.get_int("pages", 256)),
+        static_cast<std::uint32_t>(args.get_int("reps", 100))};
+    return streaming ? workloads::make_adversarial_streaming_workload(threads, opts)
+                     : workloads::make_adversarial_workload(threads, opts);
   }
   workloads::SyntheticOptions opts;
   opts.num_pages = static_cast<std::uint32_t>(args.get_int("pages", 1024));
@@ -192,7 +215,8 @@ Workload build_workload(const ArgParser& args) {
   } else {
     throw ConfigError("unknown workload '" + kind + "'");
   }
-  return workloads::make_synthetic_workload(threads, opts);
+  return streaming ? workloads::make_streaming_workload(threads, opts)
+                   : workloads::make_synthetic_workload(threads, opts);
 }
 
 /// The machine-side flags (--k/--q/--policy/...), shared by every
@@ -221,6 +245,15 @@ SimConfig build_machine_config(const ArgParser& args,
     c.arbitration = ArbitrationKind::kRandom;
   } else if (policy == "priority") {
     c.arbitration = ArbitrationKind::kPriority;
+  } else if (policy == "adaptive") {
+    c.arbitration = ArbitrationKind::kAdaptive;
+    // The remap period doubles as the epoch length (DESIGN.md §3g); the
+    // hysteresis marks default to SimConfig::adaptive()'s 4q / q band.
+    c.remap_period = SimConfig::period_from_multiplier(c.hbm_slots, t_mult);
+    c.adaptive_high_depth = static_cast<std::uint32_t>(
+        args.get_int("adaptive-high", 4 * c.num_channels));
+    c.adaptive_low_depth = static_cast<std::uint32_t>(
+        args.get_int("adaptive-low", c.num_channels));
   } else if (policy == "dynamic" || policy == "cycle" ||
              policy == "cycle-reverse" || policy == "interleave") {
     c.arbitration = ArbitrationKind::kPriority;
@@ -249,8 +282,11 @@ SimConfig build_machine_config(const ArgParser& args,
 }
 
 SimConfig build_config(const ArgParser& args, const Workload& workload) {
-  const std::uint64_t default_k =
-      std::max<std::uint64_t>(8, workload.trace(0).unique_pages());
+  // Streaming sources have no materialized trace to profile; their page-id
+  // bound is the equivalent default (identical for the synthetic kinds).
+  const std::uint64_t default_k = std::max<std::uint64_t>(
+      8, workload.streaming() ? workload.source(0)->num_pages()
+                              : workload.trace(0).unique_pages());
   SimConfig c = build_machine_config(args, default_k);
   // Reject inconsistent configurations here, with the CLI's own error
   // reporting, instead of deep inside the simulator.
@@ -333,6 +369,8 @@ int cmd_compare(const ArgParser& args) {
     c.arbitration = ArbitrationKind::kFifo;
     c.remap_scheme = RemapScheme::kNone;
     c.remap_period = 0;
+    c.adaptive_high_depth = 0;
+    c.adaptive_low_depth = 0;
     configs.push_back(c);
     c.arbitration = ArbitrationKind::kFrFcfs;
     configs.push_back(c);
@@ -343,6 +381,18 @@ int cmd_compare(const ArgParser& args) {
         base.hbm_slots, args.get_double("t-mult", 10.0));
     configs.push_back(c);
     c.remap_scheme = RemapScheme::kCycle;
+    configs.push_back(c);
+    // The hybrid policy rides along; keep any user-tuned thresholds from
+    // --policy adaptive, else the 4q / q defaults.
+    c.arbitration = ArbitrationKind::kAdaptive;
+    c.remap_scheme = RemapScheme::kNone;
+    if (base.arbitration == ArbitrationKind::kAdaptive) {
+      c.adaptive_high_depth = base.adaptive_high_depth;
+      c.adaptive_low_depth = base.adaptive_low_depth;
+    } else {
+      c.adaptive_high_depth = 4 * base.num_channels;
+      c.adaptive_low_depth = base.num_channels;
+    }
     configs.push_back(c);
   }
 
@@ -413,13 +463,14 @@ int cmd_analyze(const ArgParser& args) {
 
 /// `--engine list`: the capability registry, one row per engine.
 int cmd_engine_list() {
-  std::printf("%-6s  %-11s  %-8s  %-13s  %s\n", "engine", "open-system",
-              "paranoid", "fetch-ticks>1", "summary");
+  std::printf("%-6s  %-11s  %-8s  %-13s  %-8s  %s\n", "engine", "open-system",
+              "paranoid", "fetch-ticks>1", "adaptive", "summary");
   for (const EngineCaps& e : engine_registry()) {
-    std::printf("%-6s  %-11s  %-8s  %-13s  %s  [%s]\n", e.name,
+    std::printf("%-6s  %-11s  %-8s  %-13s  %-8s  %s  [%s]\n", e.name,
                 e.supports_open_system ? "yes" : "no",
                 e.supports_paranoid ? "yes" : "no",
-                e.supports_fetch_ticks ? "yes" : "no", e.summary, e.reference);
+                e.supports_fetch_ticks ? "yes" : "no",
+                e.supports_adaptive ? "yes" : "no", e.summary, e.reference);
   }
   return 0;
 }

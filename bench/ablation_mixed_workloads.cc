@@ -3,11 +3,22 @@
 // interesting to see how Cycle Priority behaves on different
 // distributions of work").
 //
-// Half the cores replay sort traces, a quarter SpGEMM traces, a quarter
-// long sequential streams. The quantities of interest are the makespan,
-// the completion-time spread across the *classes*, and max response —
-// Cycle Priority's deterministic rotation can pin an unlucky thread
-// behind the heavy class, which Dynamic Priority's random shuffles avoid.
+// Part 1 — heterogeneous classes: half the cores replay sort traces, a
+// quarter SpGEMM traces, a quarter long sequential streams. The
+// quantities of interest are the makespan, the completion-time spread
+// across the *classes*, and max response — Cycle Priority's
+// deterministic rotation can pin an unlucky thread behind the heavy
+// class, which Dynamic Priority's random shuffles avoid.
+//
+// Part 2 — phased bursts: every core runs a deep cyclic scan (FIFO's
+// adversarial case, §3.2) followed by a moderate zipf phase. This is the
+// regime the adaptive FIFO↔Priority arbiter (DESIGN.md §3g) is built
+// for: engage Priority while the burst backlog is deep, return to FIFO
+// as it drains. The verdict gate requires adaptive — with thresholds
+// tuned by the closed-form predictor, not by hand — to beat FIFO on
+// makespan and mean response AND to beat static Priority on starvation
+// (max response) and inconsistency; each parent fails one half. The
+// binary exits nonzero if the hybrid loses either half.
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -15,6 +26,8 @@
 #include "common.h"
 #include "core/simulator.h"
 #include "exp/sweep.h"
+#include "opt/predictor/predictor.h"
+#include "workloads/adversarial.h"
 #include "workloads/synthetic.h"
 
 namespace {
@@ -41,6 +54,42 @@ Workload mixed_workload(const Scales& scales, std::size_t p) {
     }
   }
   return Workload(std::move(traces), "mixed");
+}
+
+/// One phased trace: a cyclic burst (thrashes any share-sized cache)
+/// followed by a zipf tail with real locality.
+Trace phased_trace(std::uint32_t cyc_pages, std::uint32_t reps,
+                   std::uint32_t zipf_pages, std::size_t zipf_len,
+                   std::uint64_t seed) {
+  const Trace cyc = workloads::make_cyclic_trace({cyc_pages, reps});
+  const Trace zipf = workloads::make_zipf_trace(zipf_pages, zipf_len,
+                                                /*s=*/0.8, seed);
+  std::vector<LocalPage> refs(cyc.refs().begin(), cyc.refs().end());
+  refs.insert(refs.end(), zipf.refs().begin(), zipf.refs().end());
+  return Trace(std::move(refs));
+}
+
+struct PhasedCase {
+  Workload workload;
+  std::uint64_t hbm_slots = 0;
+};
+
+PhasedCase phased_workload(const Scales& scales, std::size_t p) {
+  const bool paper = scales.scale == BenchScale::kPaper;
+  const std::uint32_t cyc_pages = paper ? 256 : 96;
+  const std::uint32_t reps = paper ? 20 : 6;
+  const std::uint32_t zipf_pages = paper ? 1024 : 256;
+  const std::size_t zipf_len = paper ? 20'000 : 1'500;
+  std::vector<std::shared_ptr<const Trace>> traces;
+  traces.reserve(p);
+  for (std::size_t t = 0; t < p; ++t) {
+    traces.push_back(std::make_shared<Trace>(
+        phased_trace(cyc_pages, reps, zipf_pages, zipf_len, 100 + t)));
+  }
+  PhasedCase c{Workload(std::move(traces), "phased-burst"), 0};
+  // The paper's Figure 3 sizing: HBM holds 1/4 of the burst footprint.
+  c.hbm_slots = static_cast<std::uint64_t>(p) * cyc_pages / 4;
+  return c;
 }
 
 }  // namespace
@@ -82,6 +131,66 @@ int main(int argc, char** argv) {
        "\nreading guide: with unequal work, compare cycle vs dynamic "
        "max_response — the paper predicts mild starvation for the "
        "deterministic rotation and robustness for the random one.\n");
+
+  // ---- Part 2: phased bursts and the adaptive arbiter -------------------
+  const PhasedCase phased = phased_workload(scales, p);
+  note(bo,
+       "\nphased bursts: cyclic scan then zipf tail per core; p=%zu, "
+       "k=%llu (1/4 of the burst footprint)\n",
+       p, static_cast<unsigned long long>(phased.hbm_slots));
+
+  // Thresholds come from the predictor, not from hand-tuning: the
+  // screening model's own steady-state backlog estimate sets the
+  // hysteresis band (opt/predictor).
+  const opt::WorkloadSummary summary =
+      opt::WorkloadSummary::summarize(phased.workload);
+  const opt::AdaptiveThresholds tuned = opt::tune_adaptive_thresholds(
+      summary, SimConfig::fifo(phased.hbm_slots));
+  note(bo, "predictor-tuned thresholds: high=%u low=%u\n\n", tuned.high_depth,
+       tuned.low_depth);
+
+  std::vector<SimConfig> phased_configs;
+  phased_configs.push_back(SimConfig::fifo(phased.hbm_slots));
+  phased_configs.push_back(SimConfig::priority(phased.hbm_slots));
+  phased_configs.push_back(SimConfig::adaptive(phased.hbm_slots,
+                                               /*t_mult=*/0.5, /*q=*/1,
+                                               tuned.high_depth,
+                                               tuned.low_depth));
+
+  const auto phased_results =
+      exp::run_policies(phased.workload, phased_configs, bo.runner());
+  exp::Table pt({"policy", "makespan", "mean_resp", "p99_resp", "max_resp",
+                 "inconsistency"});
+  for (const auto& r : phased_results) {
+    pt.row() << r.policy << r.metrics.makespan << r.metrics.mean_response()
+             << r.metrics.response_quantile(0.99)
+             << static_cast<std::uint64_t>(r.metrics.max_response())
+             << r.metrics.inconsistency();
+  }
+  bo.print(pt);
+
+  const RunMetrics& fifo = phased_results[0].metrics;
+  const RunMetrics& prio = phased_results[1].metrics;
+  const RunMetrics& adap = phased_results[2].metrics;
+  const bool beats_fifo = adap.makespan < fifo.makespan &&
+                          adap.mean_response() < fifo.mean_response();
+  const bool beats_priority = adap.max_response() < prio.max_response() &&
+                              adap.inconsistency() < prio.inconsistency();
+  note(bo,
+       "\nverdict: adaptive vs fifo — makespan %.2fx, mean_resp %.2fx "
+       "(%s); vs priority — max_resp %.2fx, inconsistency %.2fx (%s)\n",
+       static_cast<double>(adap.makespan) / static_cast<double>(fifo.makespan),
+       adap.mean_response() / fifo.mean_response(),
+       beats_fifo ? "beats" : "LOSES",
+       static_cast<double>(adap.max_response()) /
+           static_cast<double>(prio.max_response()),
+       adap.inconsistency() / prio.inconsistency(),
+       beats_priority ? "beats" : "LOSES");
+
   note(bo, "total wall time: %.1fs\n", watch.seconds());
+  if (!beats_fifo || !beats_priority) {
+    note(bo, "error: the adaptive arbiter failed to beat a static parent\n");
+    return 1;
+  }
   return 0;
 }

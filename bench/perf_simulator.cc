@@ -25,6 +25,16 @@
 // --out file, so BENCH_perf.json accumulates one JSONL row per bench
 // family.
 //
+// Predictor screening mode (DESIGN.md §9):
+//   perf_simulator --predictor-compare [--smoke] [--out=PATH]
+// runs a >= 1k-point design-space grid (policies × q × F × k × p) twice:
+// full simulation, then hybrid fidelity (closed-form predictor screens
+// the grid, only the predicted frontier plus a seeded audit sample is
+// simulated). Verifies the hybrid's simulated points are bit-identical
+// to the full run's, gates the audited model-vs-sim error on pinned
+// per-policy-family tolerances, and requires a >= 20x wall-clock win for
+// the hybrid pass (full mode only). Appended to the --out file.
+//
 // Streaming scale mode (DESIGN.md §3f):
 //   perf_simulator --scale-compare [--smoke] [--out=PATH]
 // verifies streaming (TraceCursor) workloads produce bit-identical
@@ -51,6 +61,9 @@
 #include "core/hbm_cache.h"
 #include "core/simulator.h"
 #include "exp/json.h"
+#include "exp/runner.h"
+#include "exp/sweep.h"
+#include "opt/predictor/predictor.h"
 #include "workloads/adversarial.h"
 #include "workloads/sort_trace.h"
 #include "workloads/synthetic.h"
@@ -857,12 +870,240 @@ int run_scale_compare(bool smoke, const std::string& out_path) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Predictor screening mode: hybrid multi-fidelity sweep vs full simulation.
+
+/// Pinned audit tolerances (relative error vs the simulator). The model
+/// is tight for order-insensitive arbitration; static Priority's staged
+/// completion — finished high-rank threads free shared LRU capacity, so
+/// real miss counts fall over the run — makes it a conservative upper
+/// bound there (DESIGN.md §9), hence the looser family pin.
+constexpr double kAuditMakespanTol = 0.35;
+constexpr double kAuditMakespanTolPriority = 1.0;
+constexpr double kAuditMeanResponseTol = 0.50;
+constexpr double kAuditMeanResponseTolPriority = 2.0;
+constexpr double kMinHybridSpeedup = 20.0;
+
+bool priority_family(ArbitrationKind kind) {
+  return kind == ArbitrationKind::kPriority ||
+         kind == ArbitrationKind::kAdaptive;
+}
+
+/// The ≥1k-point design-space grid: p × k × (policy, q, F). Streaming
+/// zipf workloads keep build() cheap; every config rides the auto engine.
+exp::SweepSpec predictor_grid(bool smoke) {
+  exp::SweepSpec spec("predictor");
+  const std::size_t length = smoke ? 2'000 : 10'000;
+  spec.workload([length](std::size_t p) {
+    workloads::SyntheticOptions o;
+    o.kind = workloads::SyntheticKind::kZipf;
+    o.num_pages = 1024;
+    o.length = length;
+    o.zipf_s = 0.9;
+    return workloads::make_streaming_workload(p, o);
+  });
+  spec.threads(smoke ? std::vector<std::size_t>{8}
+                     : std::vector<std::size_t>{8, 16});
+  std::vector<std::uint64_t> sizes;
+  const std::size_t n_sizes = smoke ? 4 : 32;
+  for (std::size_t i = 0; i < n_sizes; ++i) {
+    sizes.push_back(64 + (4096 - 64) * i / (n_sizes - 1));
+  }
+  spec.hbm_sizes(sizes);
+  const std::vector<std::uint32_t> qs = smoke ? std::vector<std::uint32_t>{1, 2}
+                                              : std::vector<std::uint32_t>{1, 2, 4};
+  const std::vector<std::uint32_t> fs = smoke ? std::vector<std::uint32_t>{1}
+                                              : std::vector<std::uint32_t>{1, 4};
+  const std::pair<const char*, ArbitrationKind> policies[] = {
+      {"fifo", ArbitrationKind::kFifo},
+      {"priority", ArbitrationKind::kPriority},
+      {"random", ArbitrationKind::kRandom},
+  };
+  for (const std::uint32_t q : qs) {
+    for (const std::uint32_t f : fs) {
+      for (const auto& [pol_name, pol] : policies) {
+        const std::string name = std::string(pol_name) +
+                                 " q=" + std::to_string(q) +
+                                 " F=" + std::to_string(f);
+        spec.config(name, [pol, q, f](std::uint64_t k) {
+          SimConfig c;
+          c.hbm_slots = k;
+          c.num_channels = q;
+          c.fetch_ticks = f;
+          c.arbitration = pol;
+          c.per_thread_metrics = false;
+          c.response_histogram = false;
+          return c;
+        });
+      }
+    }
+  }
+  return spec;
+}
+
+int run_predictor_compare(bool smoke, const std::string& out_path) {
+  exp::SweepSpec spec = predictor_grid(smoke);
+  exp::RunnerOptions ropts;
+  ropts.jobs = 1;
+
+  // Pass 1: the historical path — simulate every grid point.
+  const auto full_start = std::chrono::steady_clock::now();
+  const std::vector<exp::PointResult> full = spec.run(ropts);
+  const double full_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    full_start)
+          .count();
+
+  // Pass 2: hybrid fidelity over the same grid.
+  exp::FidelityOptions fopts;
+  fopts.fidelity = exp::Fidelity::kHybrid;
+  fopts.top_k = smoke ? 4 : 16;
+  fopts.audit = smoke ? 4 : 16;
+  spec.fidelity(fopts);
+  const auto hybrid_start = std::chrono::steady_clock::now();
+  const exp::SweepSpec::FidelityOutcome hybrid =
+      spec.run_fidelity(fopts, ropts);
+  const double hybrid_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    hybrid_start)
+          .count();
+
+  bool all_ok = true;
+  for (const exp::PointResult& r : full) {
+    all_ok = all_ok && r.ok;
+  }
+
+  // The hybrid's simulated points must be bit-identical to the full run's
+  // — same point, same runner, same seeds (the determinism contract).
+  bool identical = true;
+  std::string audit_rows;
+  double worst_mk_plain = 0.0, worst_mk_priority = 0.0;
+  double worst_mr_plain = 0.0, worst_mr_priority = 0.0;
+  for (const std::size_t i : hybrid.simulated) {
+    const exp::PointResult& h = hybrid.results[i];
+    const exp::PointResult& f = full[i];
+    all_ok = all_ok && h.ok;
+    if (!h.ok || !f.ok) {
+      continue;
+    }
+    identical = identical && metrics_fingerprint(h.metrics) ==
+                                 metrics_fingerprint(f.metrics);
+    const opt::Prediction& pred = hybrid.predictions[i];
+    const double sim_mk = static_cast<double>(h.metrics.makespan);
+    const double sim_mr = h.metrics.mean_response();
+    const double err_mk =
+        sim_mk > 0.0 ? std::abs(pred.makespan - sim_mk) / sim_mk : 0.0;
+    const double err_mr =
+        sim_mr > 0.0 ? std::abs(pred.mean_response - sim_mr) / sim_mr : 0.0;
+    const bool priority = priority_family(h.config.arbitration);
+    (priority ? worst_mk_priority : worst_mk_plain) =
+        std::max(priority ? worst_mk_priority : worst_mk_plain, err_mk);
+    (priority ? worst_mr_priority : worst_mr_plain) =
+        std::max(priority ? worst_mr_priority : worst_mr_plain, err_mr);
+    exp::JsonObject row;
+    row.field("label", h.label)
+        .field("arbitration", to_string(h.config.arbitration))
+        .field("predicted_makespan", pred.makespan)
+        .field("sim_makespan", h.metrics.makespan)
+        .field("makespan_rel_error", err_mk)
+        .field("predicted_mean_response", pred.mean_response)
+        .field("sim_mean_response", sim_mr)
+        .field("mean_response_rel_error", err_mr);
+    if (!audit_rows.empty()) {
+      audit_rows += ',';
+    }
+    audit_rows += row.str();
+  }
+
+  const double speedup =
+      hybrid_seconds > 0.0 ? full_seconds / hybrid_seconds : 0.0;
+  const bool within_tolerance = worst_mk_plain <= kAuditMakespanTol &&
+                                worst_mk_priority <= kAuditMakespanTolPriority &&
+                                worst_mr_plain <= kAuditMeanResponseTol &&
+                                worst_mr_priority <= kAuditMeanResponseTolPriority;
+  const bool speedup_ok = smoke || speedup >= kMinHybridSpeedup;
+  const bool grid_ok = smoke || full.size() >= 1000;
+
+  std::fprintf(stderr,
+               "predictor_compare      %zu points  full %8.3fs  hybrid "
+               "%8.3fs (screen %.4fs, %zu simulated)  speedup %.1fx\n",
+               full.size(), full_seconds, hybrid_seconds,
+               hybrid.screen_seconds, hybrid.simulated.size(), speedup);
+  std::fprintf(stderr,
+               "  audited rel error: makespan %.3f (order-insensitive) / "
+               "%.3f (priority family)  mean_response %.3f / %.3f\n",
+               worst_mk_plain, worst_mk_priority, worst_mr_plain,
+               worst_mr_priority);
+
+  exp::JsonObject report;
+  report.field("bench", "predictor_compare")
+      .field("scale", smoke ? "smoke" : "full")
+      .field("grid_points", static_cast<std::uint64_t>(full.size()))
+      .field("simulated_points",
+             static_cast<std::uint64_t>(hybrid.simulated.size()))
+      .field("full_sim_seconds", full_seconds)
+      .field("hybrid_seconds", hybrid_seconds)
+      .field("screen_seconds", hybrid.screen_seconds)
+      .field("speedup", speedup)
+      .field("simulated_bit_identical", identical)
+      .field("worst_makespan_error", worst_mk_plain)
+      .field("worst_makespan_error_priority", worst_mk_priority)
+      .field("worst_mean_response_error", worst_mr_plain)
+      .field("worst_mean_response_error_priority", worst_mr_priority)
+      .field("makespan_tolerance", kAuditMakespanTol)
+      .field("makespan_tolerance_priority", kAuditMakespanTolPriority)
+      .field("mean_response_tolerance", kAuditMeanResponseTol)
+      .field("mean_response_tolerance_priority", kAuditMeanResponseTolPriority)
+      .raw_field("audited", "[" + audit_rows + "]")
+      .field("within_tolerance", within_tolerance)
+      .field("pass", all_ok && identical && within_tolerance && speedup_ok &&
+                         grid_ok);
+
+  // Append: BENCH_perf.json is a JSONL perf trajectory.
+  std::ofstream out(out_path, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << report.str() << '\n';
+  std::fprintf(stderr, "appended to %s\n", out_path.c_str());
+
+  if (!all_ok) {
+    std::fprintf(stderr, "error: a grid point failed to simulate\n");
+    return 1;
+  }
+  if (!identical) {
+    std::fprintf(stderr,
+                 "error: hybrid-simulated points are not bit-identical to "
+                 "the full-simulation run\n");
+    return 1;
+  }
+  if (!within_tolerance) {
+    std::fprintf(stderr,
+                 "error: audited model-vs-sim error exceeds the pinned "
+                 "tolerance\n");
+    return 1;
+  }
+  if (!speedup_ok) {
+    std::fprintf(stderr, "error: hybrid speedup %.1fx below the %.0fx gate\n",
+                 speedup, kMinHybridSpeedup);
+    return 1;
+  }
+  if (!grid_ok) {
+    std::fprintf(stderr, "error: grid has %zu points, need >= 1000\n",
+                 full.size());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool engine_compare = false;
   bool arbiter_compare = false;
   bool scale_compare = false;
+  bool predictor_compare = false;
   bool smoke = false;
   std::string out_path = "BENCH_perf.json";
   std::vector<char*> passthrough;
@@ -875,6 +1116,8 @@ int main(int argc, char** argv) {
       arbiter_compare = true;
     } else if (arg == "--scale-compare") {
       scale_compare = true;
+    } else if (arg == "--predictor-compare") {
+      predictor_compare = true;
     } else if (arg == "--smoke") {
       smoke = true;
     } else if (arg.rfind("--out=", 0) == 0) {
@@ -891,6 +1134,9 @@ int main(int argc, char** argv) {
   }
   if (scale_compare) {
     return run_scale_compare(smoke, out_path);
+  }
+  if (predictor_compare) {
+    return run_predictor_compare(smoke, out_path);
   }
   int bench_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&bench_argc, passthrough.data());

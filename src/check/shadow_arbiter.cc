@@ -214,6 +214,66 @@ class ReferenceFrFcfsArbiter final : public ArbitrationPolicy {
   std::vector<QueuedRequest> queue_;
 };
 
+/// Adaptive FIFO↔Priority on a flat arrival-order vector: FIFO mode pops
+/// the front; Priority mode does a linear scan for the best (rank,
+/// arrival) pair. Obviously equivalent to the policy definition — the
+/// mode hysteresis is the only logic shared with the production arbiter.
+class ReferenceAdaptiveArbiter final : public ArbitrationPolicy {
+ public:
+  ReferenceAdaptiveArbiter(const PriorityMap* priorities,
+                           std::uint32_t high_depth, std::uint32_t low_depth)
+      : priorities_(priorities), high_depth_(high_depth),
+        low_depth_(low_depth) {
+    HBMSIM_CHECK(priorities_ != nullptr,
+                 "adaptive arbitration requires a PriorityMap");
+  }
+
+  void enqueue(const QueuedRequest& request) override {
+    queue_.push_back(request);  // arrival order
+  }
+
+  std::optional<QueuedRequest> pop(std::uint32_t /*channel*/) override {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    std::size_t pick = 0;
+    if (!fifo_mode_) {
+      for (std::size_t i = 1; i < queue_.size(); ++i) {
+        // Strictly-less keeps arrival order among equal ranks (only
+        // possible under shared_pages' stale entries).
+        if (priorities_->priority_of(queue_[i].thread) <
+            priorities_->priority_of(queue_[pick].thread)) {
+          pick = i;
+        }
+      }
+    }
+    QueuedRequest r = queue_[pick];
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+    return r;
+  }
+
+  [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+
+  [[nodiscard]] std::vector<QueuedRequest> snapshot() const override {
+    return queue_;
+  }
+
+  void on_epoch(std::size_t queue_depth) override {
+    if (queue_depth >= high_depth_) {
+      fifo_mode_ = false;
+    } else if (queue_depth <= low_depth_) {
+      fifo_mode_ = true;
+    }
+  }
+
+ private:
+  const PriorityMap* priorities_;
+  std::uint32_t high_depth_;
+  std::uint32_t low_depth_;
+  bool fifo_mode_ = true;
+  std::vector<QueuedRequest> queue_;
+};
+
 [[nodiscard]] std::vector<QueuedRequest> sorted(
     std::vector<QueuedRequest> entries) {
   std::sort(entries.begin(), entries.end(),
@@ -233,7 +293,8 @@ class ReferenceFrFcfsArbiter final : public ArbitrationPolicy {
 
 std::unique_ptr<ArbitrationPolicy> make_reference_arbiter(
     ArbitrationKind kind, const PriorityMap* priorities, std::uint64_t seed,
-    std::uint32_t num_channels, std::uint32_t row_pages) {
+    std::uint32_t num_channels, std::uint32_t row_pages,
+    std::uint32_t adaptive_high, std::uint32_t adaptive_low) {
   switch (kind) {
     case ArbitrationKind::kFifo:
       return std::make_unique<ReferenceFifoArbiter>();
@@ -243,6 +304,10 @@ std::unique_ptr<ArbitrationPolicy> make_reference_arbiter(
       return std::make_unique<ReferenceRandomArbiter>(seed);
     case ArbitrationKind::kFrFcfs:
       return std::make_unique<ReferenceFrFcfsArbiter>(num_channels, row_pages);
+    case ArbitrationKind::kAdaptive:
+      return std::make_unique<ReferenceAdaptiveArbiter>(priorities,
+                                                        adaptive_high,
+                                                        adaptive_low);
   }
   throw ConfigError("unknown arbitration kind");
 }
@@ -294,6 +359,15 @@ std::optional<QueuedRequest> ShadowedArbiter::pop(std::uint32_t channel) {
 std::size_t ShadowedArbiter::size() const {
   check_sizes();
   return inner_->size();
+}
+
+void ShadowedArbiter::on_epoch(std::size_t queue_depth) {
+  inner_->on_epoch(queue_depth);
+  reference_->on_epoch(queue_depth);
+  // A mode switch must neither lose nor reorder requests: both queues
+  // preserve arrival order, so the snapshots must still agree exactly.
+  HBMSIM_INVARIANT(inner_->snapshot() == reference_->snapshot(),
+                   "arbiter divergence: snapshots differ after an epoch");
 }
 
 void ShadowedArbiter::on_priorities_changed() {

@@ -33,7 +33,8 @@ namespace hbmsim::check {
 /// contract as ArbitrationPolicy::make.
 [[nodiscard]] std::unique_ptr<ArbitrationPolicy> make_reference_arbiter(
     ArbitrationKind kind, const PriorityMap* priorities, std::uint64_t seed,
-    std::uint32_t num_channels = 1, std::uint32_t row_pages = 4);
+    std::uint32_t num_channels = 1, std::uint32_t row_pages = 4,
+    std::uint32_t adaptive_high = 1, std::uint32_t adaptive_low = 0);
 
 class ShadowedArbiter final : public ArbitrationPolicy {
  public:
@@ -47,6 +48,7 @@ class ShadowedArbiter final : public ArbitrationPolicy {
   std::optional<QueuedRequest> pop(std::uint32_t channel) override;
   [[nodiscard]] std::size_t size() const override;
   void on_priorities_changed() override;
+  void on_epoch(std::size_t queue_depth) override;
   [[nodiscard]] std::vector<QueuedRequest> snapshot() const override;
   [[nodiscard]] bool snapshot_in_arrival_order() const override;
 

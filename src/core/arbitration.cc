@@ -75,7 +75,7 @@ class FifoArbiter final : public ArbitrationPolicy {
 /// walk: O(n) with zero allocations, where the tree rebuild was
 /// O(n log n) with n node allocations — and Dynamic/Cycle Priority
 /// performs that remap every T ticks.
-class PriorityArbiter final : public ArbitrationPolicy {
+class PriorityArbiter : public ArbitrationPolicy {
  public:
   PriorityArbiter(const PriorityMap* priorities, std::size_t expected_requests)
       : priorities_(priorities) {
@@ -151,7 +151,7 @@ class PriorityArbiter final : public ArbitrationPolicy {
     return out;
   }
 
- private:
+ protected:
   struct Node {
     QueuedRequest req;
     std::uint32_t bucket_next;
@@ -200,6 +200,78 @@ class PriorityArbiter final : public ArbitrationPolicy {
   std::uint32_t arr_head_ = kNil;
   std::uint32_t arr_tail_ = kNil;
   std::size_t size_ = 0;
+};
+
+/// Adaptive FIFO↔Priority arbitration (ROADMAP item 5, HAPPY-style):
+/// serve in arrival order while the queue is shallow — FIFO's tail
+/// behaviour is fair and its makespan matches Priority's when contention
+/// is light — and switch to static priority order when an epoch boundary
+/// observes a deep backlog, where FIFO is Ω(p)-competitive (§3) but
+/// Priority lets high-rank threads finish and release far-channel
+/// bandwidth. Hysteresis (high/low thresholds) keeps the mode stable
+/// between epochs.
+///
+/// Structurally this is the PriorityArbiter unchanged: the intrusive
+/// arrival list *is* the FIFO order, and the globally oldest request
+/// always heads its own rank bucket (buckets append in arrival order),
+/// so a FIFO-mode pop unlinks the arrival head from its bucket head in
+/// O(1) — no second queue, no migration on a mode switch, and both modes
+/// stay allocation-free.
+class AdaptiveArbiter final : public PriorityArbiter {
+ public:
+  AdaptiveArbiter(const PriorityMap* priorities, std::size_t expected_requests,
+                  std::uint32_t high_depth, std::uint32_t low_depth)
+      : PriorityArbiter(priorities, expected_requests),
+        high_depth_(high_depth),
+        low_depth_(low_depth) {
+    HBMSIM_CHECK(high_depth_ >= 1,
+                 "adaptive arbitration requires adaptive_high_depth >= 1");
+    HBMSIM_CHECK(low_depth_ <= high_depth_,
+                 "adaptive_low_depth must not exceed adaptive_high_depth");
+  }
+
+  std::optional<QueuedRequest> pop(std::uint32_t channel) override {
+    if (!fifo_mode_) {
+      return PriorityArbiter::pop(channel);
+    }
+    if (size_ == 0) {
+      return std::nullopt;
+    }
+    const std::uint32_t id = arr_head_;
+    const QueuedRequest r = pool_[id].req;
+    // The globally oldest request is also the oldest in its rank bucket
+    // (buckets append in arrival order), so it heads its own chain and
+    // the bucket-side unlink is O(1).
+    const std::uint32_t rank = priorities_->priority_of(r.thread);
+    Chain& bucket = buckets_[rank];
+    HBMSIM_ASSERT(bucket.head == id,
+                  "FIFO-mode pop target does not head its rank bucket");
+    bucket.head = pool_[id].bucket_next;
+    if (bucket.head == kNil) {
+      bucket.tail = kNil;
+      nonempty_.clear(rank);
+    }
+    unlink_arrival(id);
+    pool_.release(id);
+    --size_;
+    return r;
+  }
+
+  void on_epoch(std::size_t queue_depth) override {
+    // Hysteresis: depths inside the (low, high) band keep the current
+    // mode, so a backlog oscillating around one threshold cannot flap
+    // the service order every epoch.
+    if (queue_depth >= high_depth_) {
+      fifo_mode_ = false;
+    } else if (queue_depth <= low_depth_) {
+      fifo_mode_ = true;
+    }
+  }
+
+ private:
+  std::uint32_t high_depth_;
+  std::uint32_t low_depth_;
+  bool fifo_mode_ = true;  // start as the hardware status quo
 };
 
 /// Uniformly random selection among waiting requests — the T → 1 limit of
@@ -381,7 +453,8 @@ class FrFcfsArbiter final : public ArbitrationPolicy {
 std::unique_ptr<ArbitrationPolicy> ArbitrationPolicy::make(
     ArbitrationKind kind, const PriorityMap* priorities, std::uint64_t seed,
     std::uint32_t num_channels, std::uint32_t row_pages,
-    std::size_t expected_requests) {
+    std::size_t expected_requests, std::uint32_t adaptive_high,
+    std::uint32_t adaptive_low) {
   switch (kind) {
     case ArbitrationKind::kFifo:
       return std::make_unique<FifoArbiter>(expected_requests);
@@ -392,6 +465,9 @@ std::unique_ptr<ArbitrationPolicy> ArbitrationPolicy::make(
     case ArbitrationKind::kFrFcfs:
       return std::make_unique<FrFcfsArbiter>(num_channels, row_pages,
                                              expected_requests);
+    case ArbitrationKind::kAdaptive:
+      return std::make_unique<AdaptiveArbiter>(priorities, expected_requests,
+                                               adaptive_high, adaptive_low);
   }
   throw ConfigError("unknown arbitration kind");
 }

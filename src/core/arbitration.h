@@ -45,6 +45,15 @@ class ArbitrationPolicy {
   /// re-rank queued requests. Default: nothing to do.
   virtual void on_priorities_changed() {}
 
+  /// Epoch boundary for adaptive policies (ArbitrationKind::kAdaptive):
+  /// the Simulator reports the total backlog across all queues every
+  /// remap_period ticks, and the arbiter may switch its service order in
+  /// response. Runs on the hot path when remap_period is small, so
+  /// implementations must not allocate. Default: nothing to do.
+  virtual void on_epoch(std::size_t queue_depth) {
+    static_cast<void>(queue_depth);
+  }
+
   /// All waiting requests, in arrival (enqueue) order where the policy
   /// preserves it — see snapshot_in_arrival_order(). Introspection for
   /// the invariant checker and tests — O(size log size) worst case, not
@@ -57,15 +66,18 @@ class ArbitrationPolicy {
   [[nodiscard]] virtual bool snapshot_in_arrival_order() const { return true; }
 
   /// Factory. `priorities` must outlive the policy and is only required
-  /// for kPriority arbitration; `num_channels` and `row_pages` only
-  /// matter for kFrFcfs. `expected_requests` pre-sizes the policy's node
+  /// for kPriority/kAdaptive arbitration; `num_channels` and `row_pages`
+  /// only matter for kFrFcfs; `adaptive_high`/`adaptive_low` are the
+  /// kAdaptive hysteresis thresholds (SimConfig::adaptive_high_depth /
+  /// adaptive_low_depth). `expected_requests` pre-sizes the policy's node
   /// pool / index so a queue that never exceeds it allocates nothing
   /// after construction (the Simulator passes p — the queue holds at
   /// most one live request per thread).
   [[nodiscard]] static std::unique_ptr<ArbitrationPolicy> make(
       ArbitrationKind kind, const PriorityMap* priorities, std::uint64_t seed,
       std::uint32_t num_channels = 1, std::uint32_t row_pages = 4,
-      std::size_t expected_requests = 0);
+      std::size_t expected_requests = 0, std::uint32_t adaptive_high = 1,
+      std::uint32_t adaptive_low = 0);
 };
 
 /// Channel a page is bound to under ChannelBinding::kHashed. Exposed so

@@ -21,6 +21,11 @@ enum class ArbitrationKind {
   kFrFcfs,    ///< first-ready FCFS: row hits first, then oldest (§1.3 —
               ///< "first-ready first-come-first-served", the FCFS variant
               ///< KNL's DRAM controller is believed to implement)
+  kAdaptive,  ///< hybrid FIFO↔Priority: every remap_period ticks the
+              ///< arbiter observes the queue depth and switches mode by
+              ///< hysteresis (adaptive_high_depth / adaptive_low_depth) —
+              ///< the HAPPY-style policy from ROADMAP item 5, thresholds
+              ///< tunable by opt/predictor
 };
 
 [[nodiscard]] constexpr const char* to_string(ArbitrationKind k) noexcept {
@@ -29,6 +34,7 @@ enum class ArbitrationKind {
     case ArbitrationKind::kPriority: return "priority";
     case ArbitrationKind::kRandom: return "random";
     case ArbitrationKind::kFrFcfs: return "fr-fcfs";
+    case ArbitrationKind::kAdaptive: return "adaptive";
   }
   return "?";
 }
@@ -169,8 +175,20 @@ struct SimConfig {
 
   /// Remap period T in ticks (the paper reports T as a multiple of k;
   /// callers typically set remap_period = multiplier * hbm_slots).
-  /// 0 disables remapping.
+  /// 0 disables remapping. kAdaptive arbitration reuses this as its
+  /// epoch length — the boundary tick is when the arbiter re-reads the
+  /// queue depth — so it must be positive there.
   std::uint64_t remap_period = 0;
+
+  /// kAdaptive only: switch to Priority mode when the observed queue
+  /// depth at an epoch boundary reaches this many requests. Must be ≥ 1
+  /// (and ≥ adaptive_low_depth) under kAdaptive; must stay 0 elsewhere.
+  std::uint32_t adaptive_high_depth = 0;
+
+  /// kAdaptive only: switch back to FIFO mode when the observed queue
+  /// depth at an epoch boundary has drained to at most this many
+  /// requests. The gap to adaptive_high_depth is the hysteresis band.
+  std::uint32_t adaptive_low_depth = 0;
 
   /// Seed for Dynamic Priority's permutations and kRandom arbitration.
   std::uint64_t seed = 1;
@@ -284,6 +302,25 @@ struct SimConfig {
     if (arbitration == ArbitrationKind::kFrFcfs && row_pages == 0) {
       return "FR-FCFS requires a positive row size (row_pages)";
     }
+    if (arbitration == ArbitrationKind::kAdaptive) {
+      if (remap_period == 0) {
+        return "adaptive arbitration requires a positive epoch length "
+               "(remap_period)";
+      }
+      if (adaptive_high_depth == 0) {
+        return "adaptive arbitration requires adaptive_high_depth >= 1 "
+               "(the Priority-mode trigger)";
+      }
+      if (adaptive_low_depth > adaptive_high_depth) {
+        return "adaptive_low_depth (" + std::to_string(adaptive_low_depth) +
+               ") must not exceed adaptive_high_depth (" +
+               std::to_string(adaptive_high_depth) + ")";
+      }
+    } else if (adaptive_high_depth != 0 || adaptive_low_depth != 0) {
+      return std::string("adaptive depth thresholds only apply to adaptive "
+                         "arbitration (arbitration is '") +
+             to_string(arbitration) + "')";
+    }
     if (fetch_ticks == 0) {
       return "fetch_ticks must be at least 1";
     }
@@ -347,6 +384,24 @@ struct SimConfig {
     return c;
   }
 
+  /// Adaptive FIFO↔Priority arbitration: every `t_mult * k` ticks the
+  /// arbiter re-reads the queue depth and switches by hysteresis. The
+  /// default thresholds (4q / q) bracket the depth at which queueing
+  /// delay starts to dominate a q-channel system; opt/predictor's
+  /// tune_adaptive_thresholds() derives workload-specific ones.
+  static SimConfig adaptive(std::uint64_t k, double t_mult, std::uint32_t q = 1,
+                            std::uint32_t high_depth = 0,
+                            std::uint32_t low_depth = 0) {
+    SimConfig c;
+    c.hbm_slots = k;
+    c.num_channels = q;
+    c.arbitration = ArbitrationKind::kAdaptive;
+    c.remap_period = period_from_multiplier(k, t_mult);
+    c.adaptive_high_depth = high_depth != 0 ? high_depth : 4 * q;
+    c.adaptive_low_depth = low_depth != 0 ? low_depth : q;
+    return c;
+  }
+
   /// Convert the paper's "T as a multiple of k" convention to ticks.
   static std::uint64_t period_from_multiplier(std::uint64_t k, double t_mult) {
     HBMSIM_CHECK(t_mult > 0.0, "remap period multiplier must be positive");
@@ -363,6 +418,10 @@ struct SimConfig {
         return "random";
       case ArbitrationKind::kFrFcfs:
         return "fr-fcfs(row=" + std::to_string(row_pages) + ")";
+      case ArbitrationKind::kAdaptive:
+        return "adaptive(T=" + std::to_string(remap_period) +
+               ",hi=" + std::to_string(adaptive_high_depth) +
+               ",lo=" + std::to_string(adaptive_low_depth) + ")";
       case ArbitrationKind::kPriority:
         break;
     }

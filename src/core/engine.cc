@@ -13,24 +13,27 @@ namespace {
 // concrete engine before construction; its row documents the resolution
 // rule for `hbmsim_cli --engine list`). kFast cannot run open systems:
 // its idle-span and hit-run proofs assume no external arrivals, while
-// the event engine bounds every batch by the arrival horizon.
+// the event engine bounds every batch by the arrival horizon. kFast is
+// also frozen out of adaptive arbitration: it is kept as the first-
+// generation executable spec, and the epoch hook postdates the audit of
+// its span proofs — tick and event run kAdaptive bit-identically.
 constexpr EngineCaps kEngineRegistry[] = {
     {EngineKind::kTick, "tick",
      "reference tick loop: executes every tick, the executable spec",
      /*open_system=*/true, /*paranoid=*/true, /*fetch_ticks=*/true,
-     "DESIGN.md S3"},
+     /*adaptive=*/true, "DESIGN.md S3"},
     {EngineKind::kFast, "fast",
      "jumps provably idle spans, batches single-thread hit runs",
      /*open_system=*/false, /*paranoid=*/true, /*fetch_ticks=*/true,
-     "DESIGN.md S3c"},
+     /*adaptive=*/false, "DESIGN.md S3c"},
     {EngineKind::kEvent, "event",
      "calendar-queue core: O(events) on backlog, arrival-horizon aware",
      /*open_system=*/true, /*paranoid=*/true, /*fetch_ticks=*/true,
-     "DESIGN.md S3e"},
+     /*adaptive=*/true, "DESIGN.md S3e"},
     {EngineKind::kAuto, "auto",
      "resolves at construction: event where batching pays, else tick",
      /*open_system=*/true, /*paranoid=*/true, /*fetch_ticks=*/true,
-     "core/engine.h"},
+     /*adaptive=*/true, "core/engine.h"},
 };
 
 }  // namespace
@@ -84,6 +87,13 @@ std::string engine_validation_error(const SimConfig& config) {
   if (config.fetch_ticks > 1 && !caps.supports_fetch_ticks) {
     return std::string("fetch_ticks > 1 is unsupported by engine '") +
            caps.name + "' (see --engine list)";
+  }
+  if (config.arbitration == ArbitrationKind::kAdaptive &&
+      !caps.supports_adaptive) {
+    return std::string("adaptive arbitration is unsupported by engine '") +
+           caps.name +
+           "' (see --engine list) — the engine predates the epoch hook and "
+           "its support matrix is frozen";
   }
   return {};
 }

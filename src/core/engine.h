@@ -41,6 +41,8 @@ struct EngineCaps {
   bool supports_paranoid;
   /// Can this engine run fetch_ticks > 1 (multi-tick transfers)?
   bool supports_fetch_ticks;
+  /// Can this engine run ArbitrationKind::kAdaptive (epoch hooks)?
+  bool supports_adaptive;
   const char* reference;  ///< where the design is documented
 };
 

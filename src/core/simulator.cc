@@ -62,13 +62,17 @@ Simulator::Simulator(const Workload& workload, const SimConfig& config,
     auto fast = [&] {
       return ArbitrationPolicy::make(config_.arbitration, &priorities_,
                                      config_.seed + i, channels_per_queue,
-                                     config_.row_pages, p);
+                                     config_.row_pages, p,
+                                     config_.adaptive_high_depth,
+                                     config_.adaptive_low_depth);
     };
     auto reference = [&] {
       return check::make_reference_arbiter(config_.arbitration, &priorities_,
                                            config_.seed + i,
                                            channels_per_queue,
-                                           config_.row_pages);
+                                           config_.row_pages,
+                                           config_.adaptive_high_depth,
+                                           config_.adaptive_low_depth);
     };
     switch (arbiter_impl) {
       case ArbiterImpl::kFast:
@@ -200,7 +204,15 @@ ArbitrationPolicy& Simulator::queue_for(GlobalPage page) {
 }
 
 void Simulator::do_remap() {
-  if (priorities_.remap()) {
+  if (config_.arbitration == ArbitrationKind::kAdaptive) {
+    // Adaptive epoch: every queue observes the same total backlog, so
+    // under hashed binding all queues switch mode together — the mode is
+    // a property of the system load, not of one channel's queue.
+    const std::size_t depth = arbiter_queue_size();
+    for (auto& q : queues_) {
+      q->on_epoch(depth);
+    }
+  } else if (priorities_.remap()) {
     for (auto& q : queues_) {
       q->on_priorities_changed();
     }

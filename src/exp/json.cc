@@ -116,6 +116,10 @@ std::string to_json(const SimConfig& config) {
   if (config.arbitration == ArbitrationKind::kFrFcfs) {
     o.field("row_pages", config.row_pages);
   }
+  if (config.arbitration == ArbitrationKind::kAdaptive) {
+    o.field("adaptive_high_depth", config.adaptive_high_depth)
+        .field("adaptive_low_depth", config.adaptive_low_depth);
+  }
   return o.str();
 }
 

@@ -1,10 +1,39 @@
 #include "exp/sweep.h"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
 #include <utility>
 
+#include "exp/json.h"
 #include "util/error.h"
 
 namespace hbmsim::exp {
+
+namespace {
+
+/// SplitMix64: the audit sampler. Small, seedable, and ours — the subset
+/// must not depend on the standard library's distribution details.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Relative error |model - sim| / sim; NaN when the reference is zero or
+/// either side is non-finite (renders as null downstream, never inf).
+double rel_error(double model, double sim) {
+  if (!std::isfinite(model) || !std::isfinite(sim) || sim == 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return std::abs(model - sim) / sim;
+}
+
+}  // namespace
 
 SweepSpec& SweepSpec::workload(Workload w) {
   factory_ = [w = std::move(w)](std::size_t) { return w; };
@@ -34,6 +63,33 @@ SweepSpec& SweepSpec::config(std::string name, ConfigFactory factory) {
 SweepSpec& SweepSpec::config(std::string name, SimConfig fixed) {
   configs_.push_back({std::move(name), [fixed](std::uint64_t) { return fixed; }});
   return *this;
+}
+
+SweepSpec& SweepSpec::fidelity(FidelityOptions opts) {
+  fidelity_ = opts;
+  return *this;
+}
+
+std::string_view to_string(Fidelity fidelity) noexcept {
+  switch (fidelity) {
+    case Fidelity::kSim: return "sim";
+    case Fidelity::kModel: return "model";
+    case Fidelity::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+bool parse_fidelity(std::string_view name, Fidelity& out) noexcept {
+  if (name == "sim") {
+    out = Fidelity::kSim;
+  } else if (name == "model") {
+    out = Fidelity::kModel;
+  } else if (name == "hybrid") {
+    out = Fidelity::kHybrid;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 std::vector<ExpPoint> SweepSpec::build() const {
@@ -72,7 +128,150 @@ std::vector<ExpPoint> SweepSpec::build() const {
 }
 
 std::vector<PointResult> SweepSpec::run(const RunnerOptions& opts) const {
-  return run_points(build(), opts);
+  if (fidelity_.fidelity == Fidelity::kSim) {
+    return run_points(build(), opts);
+  }
+  return run_fidelity(fidelity_, opts).results;
+}
+
+SweepSpec::FidelityOutcome SweepSpec::run_fidelity(
+    const FidelityOptions& fopts, const RunnerOptions& opts) const {
+  FidelityOutcome out;
+  std::vector<ExpPoint> points = build();
+  const std::size_t n = points.size();
+
+  // Serial screening pass: one Mattson summary per distinct workload
+  // (points of one thread count share trace sources, so the cache keys on
+  // the first source's identity), then a microsecond predict() per point.
+  // Serial on purpose — the hybrid subset selection below must not depend
+  // on opts.jobs.
+  const auto screen_start = std::chrono::steady_clock::now();
+  out.predictions.resize(n);
+  const auto empty_summary = std::make_shared<opt::WorkloadSummary>();
+  std::unordered_map<const TraceSource*,
+                     std::shared_ptr<const opt::WorkloadSummary>>
+      summaries;
+  for (std::size_t i = 0; i < n; ++i) {
+    HBMSIM_CHECK(points[i].make_workload != nullptr,
+                 "fidelity sweeps need plain workload points");
+    const Workload workload = points[i].make_workload();
+    std::shared_ptr<const opt::WorkloadSummary> summary = empty_summary;
+    if (workload.num_threads() > 0) {
+      auto& slot = summaries[workload.source(0).get()];
+      if (slot == nullptr) {
+        slot = std::make_shared<opt::WorkloadSummary>(
+            opt::WorkloadSummary::summarize(workload));
+      }
+      summary = slot;
+    }
+    out.predictions[i] = opt::predict(*summary, points[i].config);
+  }
+  out.screen_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    screen_start)
+          .count();
+
+  // Pick the simulated subset.
+  std::vector<char> reason(n, 0);  // 0 = model-only, 1 = frontier, 2 = audit
+  if (fopts.fidelity == Fidelity::kSim) {
+    std::fill(reason.begin(), reason.end(), 1);
+  } else if (fopts.fidelity == Fidelity::kHybrid) {
+    // Frontier: the top_k best (lowest) predicted makespans. NaN ranks
+    // last; ties break by input order, so the subset is stable.
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      order[i] = i;
+    }
+    const auto rank = [&](std::size_t i) {
+      const double v = out.predictions[i].makespan;
+      return std::isfinite(v) ? v : std::numeric_limits<double>::infinity();
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return rank(a) < rank(b);
+                     });
+    const std::size_t frontier = std::min(fopts.top_k, n);
+    for (std::size_t i = 0; i < frontier; ++i) {
+      reason[order[i]] = 1;
+    }
+    // Audit: sample uniformly (without replacement) from the rest via a
+    // partial Fisher-Yates on the leftover indices.
+    std::vector<std::size_t> rest;
+    rest.reserve(n - frontier);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (reason[i] == 0) {
+        rest.push_back(i);
+      }
+    }
+    std::uint64_t rng = fopts.audit_seed;
+    const std::size_t audits = std::min(fopts.audit, rest.size());
+    for (std::size_t i = 0; i < audits; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(
+                                    splitmix64(rng) % (rest.size() - i));
+      std::swap(rest[i], rest[j]);
+      reason[rest[i]] = 2;
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (reason[i] != 0) {
+      out.simulated.push_back(i);
+    }
+  }
+
+  // Simulate the subset through the shared runner (bit-identical at any
+  // --jobs); JSONL is emitted below instead, so every grid point — model
+  // and sim alike — lands in the stream in input order with its extras.
+  std::vector<ExpPoint> selected;
+  selected.reserve(out.simulated.size());
+  for (const std::size_t i : out.simulated) {
+    selected.push_back(points[i]);
+  }
+  RunnerOptions inner = opts;
+  inner.jsonl = nullptr;
+  std::vector<PointResult> simulated = run_points(selected, inner);
+
+  // Merge: simulated points get real metrics plus model-vs-sim error;
+  // screened-out points report the prediction alone.
+  out.results.resize(n);
+  std::size_t next_sim = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const opt::Prediction& pred = out.predictions[i];
+    if (reason[i] != 0) {
+      out.results[i] = std::move(simulated[next_sim++]);
+      JsonObject extra;
+      extra.field("fidelity", "sim")
+          .field("selected", reason[i] == 1 ? "frontier" : "audit")
+          .raw_field("prediction", opt::to_json(pred));
+      if (out.results[i].ok) {
+        JsonObject err;
+        err.field("makespan",
+                  rel_error(pred.makespan,
+                            static_cast<double>(out.results[i].metrics.makespan)))
+            .field("mean_response",
+                   rel_error(pred.mean_response,
+                             out.results[i].metrics.mean_response()));
+        extra.raw_field("model_error", err.str());
+      }
+      out.results[i].extra_json = extra.str();
+    } else {
+      PointResult& r = out.results[i];
+      r.label = points[i].label;
+      r.config = points[i].config;
+      r.ok = true;
+      JsonObject extra;
+      extra.field("fidelity", "model")
+          .raw_field("prediction", opt::to_json(pred));
+      r.extra_json = extra.str();
+    }
+    if (opts.jsonl != nullptr) {
+      *opts.jsonl << to_json(out.results[i]) << '\n';
+    }
+  }
+  if (opts.jsonl != nullptr) {
+    opts.jsonl->flush();
+  }
+  return out;
 }
 
 std::vector<PolicyResult> run_policies(const Workload& workload,

@@ -7,6 +7,12 @@
 // ratio_sweep() are thin wrappers over the same path, so a sweep behaves
 // identically — bit-for-bit — whether it runs serially or on N worker
 // threads.
+//
+// Sweeps also carry a fidelity axis (Fidelity / FidelityOptions): `sim`
+// simulates every point, `model` evaluates only the closed-form
+// predictor (opt/predictor), and `hybrid` screens the full grid with the
+// predictor and simulates just the predicted frontier plus a seeded
+// audit sample, reporting model-vs-sim error per simulated point.
 #pragma once
 
 #include <cmath>
@@ -14,15 +20,42 @@
 #include <functional>
 #include <limits>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/config.h"
 #include "core/metrics.h"
 #include "core/simulator.h"
 #include "exp/runner.h"
+#include "opt/predictor/predictor.h"
 #include "trace/trace.h"
 
 namespace hbmsim::exp {
+
+/// How each point of a sweep grid is evaluated.
+enum class Fidelity {
+  kSim,     ///< simulate every point (the historical default)
+  kModel,   ///< closed-form predictor only — no simulation at all
+  kHybrid,  ///< predictor screens the grid; simulate top-k + audit sample
+};
+
+/// Render as "sim" / "model" / "hybrid"; parse_fidelity returns false on
+/// an unknown name and leaves `out` untouched.
+[[nodiscard]] std::string_view to_string(Fidelity fidelity) noexcept;
+[[nodiscard]] bool parse_fidelity(std::string_view name, Fidelity& out) noexcept;
+
+/// Multi-fidelity knobs. The hybrid screen ranks the whole grid by
+/// predicted makespan (ascending — the model's "interesting frontier"),
+/// simulates the `top_k` best plus `audit` further points sampled
+/// uniformly from the rest with a fixed-seed generator. Selection happens
+/// on the serial screening pass, so the simulated subset — and therefore
+/// every simulated RunMetrics — is identical at any --jobs level.
+struct FidelityOptions {
+  Fidelity fidelity = Fidelity::kSim;
+  std::size_t top_k = 16;  ///< hybrid: simulate the k best predicted points
+  std::size_t audit = 8;   ///< hybrid: extra random audit points
+  std::uint64_t audit_seed = 0x9e3779b97f4a7c15ull;
+};
 
 /// A (thread count → workload) factory, used by thread-count sweeps.
 using WorkloadFactory = std::function<Workload(std::size_t num_threads)>;
@@ -63,13 +96,38 @@ class SweepSpec {
   SweepSpec& config(std::string name, ConfigFactory factory);
   /// Fixed config (ignores the k axis).
   SweepSpec& config(std::string name, SimConfig fixed);
+  /// Evaluation fidelity for run(); defaults to Fidelity::kSim.
+  SweepSpec& fidelity(FidelityOptions opts);
 
   /// Materialize the cross product. Workload factories run here (serially,
   /// once per thread count); simulation happens later, in run_points.
   [[nodiscard]] std::vector<ExpPoint> build() const;
 
-  /// build() + run_points() in one step.
+  /// build() + run_points() in one step, honouring the fidelity axis.
+  /// Model/hybrid results carry the prediction (and, for simulated hybrid
+  /// points, the model-vs-sim error) in PointResult::extra_json.
   [[nodiscard]] std::vector<PointResult> run(const RunnerOptions& opts = {}) const;
+
+  /// Outcome of a model or hybrid run, for callers that need structure
+  /// beyond the JSONL extras (the predictor-compare bench, the tests).
+  struct FidelityOutcome {
+    /// All grid points in input order. Simulated points carry real
+    /// RunMetrics; model-only points have ok=true, zero metrics, and the
+    /// prediction in extra_json (`"fidelity":"model"`).
+    std::vector<PointResult> results;
+    /// Indices (into results) of the points that were simulated.
+    std::vector<std::size_t> simulated;
+    /// The closed-form prediction for every point, in input order.
+    std::vector<opt::Prediction> predictions;
+    /// Wall-clock seconds spent on the serial screening pass.
+    double screen_seconds = 0.0;
+  };
+
+  /// Model/hybrid execution path (run() delegates here). Also valid for
+  /// Fidelity::kSim, where it simulates everything and predictions stay
+  /// attached for comparison.
+  [[nodiscard]] FidelityOutcome run_fidelity(const FidelityOptions& fopts,
+                                             const RunnerOptions& opts = {}) const;
 
  private:
   struct NamedConfig {
@@ -81,6 +139,7 @@ class SweepSpec {
   std::vector<std::size_t> thread_counts_;
   std::vector<std::uint64_t> hbm_sizes_;
   std::vector<NamedConfig> configs_;
+  FidelityOptions fidelity_;
 };
 
 /// One simulated configuration with its outcome.

@@ -1,0 +1,201 @@
+#include "opt/predictor/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "exp/json.h"
+#include "trace/trace_cursor.h"
+
+namespace hbmsim::opt {
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+WorkloadSummary WorkloadSummary::summarize(const Workload& workload) {
+  WorkloadSummary s;
+  const std::size_t p = workload.num_threads();
+  s.thread_refs.reserve(p);
+  s.curve_of.reserve(p);
+  // Dedup by source identity: replicate(p) shares one TraceSource, and
+  // round_robin cycles a small pool, so the linear scan stays tiny even
+  // when p is large.
+  std::vector<const TraceSource*> seen;
+  for (std::size_t t = 0; t < p; ++t) {
+    const std::shared_ptr<const TraceSource>& source = workload.source(t);
+    s.thread_refs.push_back(source->size());
+    s.total_refs += source->size();
+    std::size_t index = seen.size();
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+      if (seen[i] == source.get()) {
+        index = i;
+        break;
+      }
+    }
+    if (index == seen.size()) {
+      seen.push_back(source.get());
+      s.curves.push_back(compute_miss_curve(*materialize_shared(*source)));
+    }
+    s.curve_of.push_back(index);
+  }
+  return s;
+}
+
+bool Prediction::valid() const noexcept { return std::isfinite(makespan); }
+
+Prediction predict(const WorkloadSummary& summary, const SimConfig& config) {
+  Prediction out;
+  const std::size_t p = summary.num_threads();
+  if (p == 0 || summary.total_refs == 0 || config.hbm_slots == 0 ||
+      config.num_channels == 0) {
+    // Degenerate input: no work or no capacity. NaN (not inf) end to
+    // end, so the JSON/CSV renderers emit null / "n/a".
+    out.makespan = kNan;
+    out.mean_response = kNan;
+    out.p50_response = kNan;
+    out.p99_response = kNan;
+    out.far_utilization = kNan;
+    out.miss_ratio = kNan;
+    out.queue_wait = kNan;
+    return out;
+  }
+
+  // Per-thread HBM share: the shared LRU cache splits k evenly across
+  // symmetric competitors (validity region: DESIGN.md §9). A share of 0
+  // (p > k) predicts full thrash, which is what the simulator shows too.
+  const std::uint64_t share = config.hbm_slots / p;
+
+  // Pass 1: per-thread miss volumes from the Mattson curves.
+  double total_misses = 0.0;
+  double missing_refs = 0.0;  // refs issued by threads that ever miss
+  double missing_threads = 0.0;
+  for (std::size_t t = 0; t < p; ++t) {
+    const double n = static_cast<double>(summary.thread_refs[t]);
+    const double m = summary.miss_ratio(t, share);
+    if (m > 0.0 && n > 0.0) {
+      total_misses += m * n;
+      missing_refs += n;
+      missing_threads += 1.0;
+    }
+  }
+  const double refs = static_cast<double>(summary.total_refs);
+  const double mix = total_misses / refs;  // aggregate miss ratio
+  const double fetch = static_cast<double>(config.fetch_ticks);
+  const double q = static_cast<double>(config.num_channels);
+
+  // Far-channel queue wait W via approximate MVA (Schweitzer) over a
+  // closed network: N customers (the threads that miss at all), each
+  // cycling think-time Z — the hits between consecutive misses plus the
+  // pipelined transfer — against a q-server station of unit service (a
+  // channel pops one request per tick). See DESIGN.md §9 for the mapping
+  // onto the §3.1 tick semantics.
+  double wait = 0.0;
+  if (total_misses > 0.0) {
+    const double n_cust = missing_threads;
+    const double miss_share = total_misses / missing_refs;
+    const double think = fetch + (1.0 - miss_share) / miss_share;
+    double queued = 0.0;  // station population estimate
+    for (int iter = 0; iter < 256; ++iter) {
+      const double seen_ahead = queued * (n_cust - 1.0) / n_cust;
+      const double residence =
+          1.0 + (1.0 / q) * std::max(0.0, seen_ahead - (q - 1.0));
+      const double next = n_cust / (think + residence) * residence;
+      const double delta = next - queued;
+      queued = next;
+      if (std::abs(delta) < 1e-10) {
+        break;
+      }
+    }
+    const double seen_ahead = queued * (n_cust - 1.0) / n_cust;
+    wait = (1.0 / q) * std::max(0.0, seen_ahead - (q - 1.0));
+  }
+
+  // Pass 2: per-thread completion times. A hit costs 1 tick; a miss
+  // costs 1 + wait + fetch (issue-to-reissue, §3.1: enqueue at t, pop at
+  // t + wait, serve at t + wait + fetch). The channel bound M/q floors
+  // the result — q fetches per tick is a hard ceiling.
+  double slowest = 0.0;
+  for (std::size_t t = 0; t < p; ++t) {
+    const double n = static_cast<double>(summary.thread_refs[t]);
+    const double m = summary.miss_ratio(t, share);
+    slowest = std::max(slowest, n + m * n * (wait + fetch));
+  }
+  out.makespan = std::max(slowest, total_misses / q);
+  out.mean_response = 1.0 + mix * (wait + fetch);
+  // Response quantiles from the hit/miss mixture, modelling the queue
+  // wait as exponential with mean `wait` (advisory — the error-bound
+  // suite pins makespan and mean_response, not the tail shape).
+  const auto quantile = [&](double alpha) {
+    if (mix <= 0.0 || alpha <= 1.0 - mix) {
+      return 1.0;
+    }
+    const double beta = (alpha - (1.0 - mix)) / mix;
+    const double tail = wait > 0.0 ? -wait * std::log(1.0 - beta) : 0.0;
+    return 1.0 + fetch + tail;
+  };
+  out.p50_response = quantile(0.50);
+  out.p99_response = quantile(0.99);
+  out.far_utilization = std::min(1.0, total_misses / (q * out.makespan));
+  out.miss_ratio = mix;
+  out.queue_wait = wait;
+  return out;
+}
+
+std::string to_json(const Prediction& prediction) {
+  exp::JsonObject o;
+  o.field("makespan", prediction.makespan)
+      .field("mean_response", prediction.mean_response)
+      .field("p50_response", prediction.p50_response)
+      .field("p99_response", prediction.p99_response)
+      .field("far_utilization", prediction.far_utilization)
+      .field("miss_ratio", prediction.miss_ratio)
+      .field("queue_wait", prediction.queue_wait);
+  return o.str();
+}
+
+AdaptiveThresholds tune_adaptive_thresholds(const WorkloadSummary& summary,
+                                            const SimConfig& config) {
+  const std::uint32_t q = std::max<std::uint32_t>(1, config.num_channels);
+  // Fallback: the SimConfig::adaptive() defaults (4q / q).
+  AdaptiveThresholds t{4 * q, q};
+  const Prediction pred = predict(summary, config);
+  if (!pred.valid() || !(pred.queue_wait > 0.0) || !(pred.makespan > 0.0)) {
+    return t;
+  }
+  // Little's law on the model's own fixed point: steady-state backlog =
+  // miss throughput × mean queue wait. Engage Priority when the observed
+  // depth runs well above that steady state (the regime where FIFO's
+  // Ω(p) competitiveness bites), release once it drains toward the
+  // uncontended band.
+  const double throughput = pred.miss_ratio *
+                            static_cast<double>(summary.total_refs) /
+                            pred.makespan;
+  const double backlog = throughput * pred.queue_wait;
+  // A closed system can never queue more than its missing threads (one
+  // outstanding miss each), and near saturation the AMVA backlog sits at
+  // that ceiling — a 1.5x margin would then put the mark above every
+  // reachable depth and the policy would never engage. Cap at 3/4 of the
+  // missing population so saturated phases trip it reliably.
+  const std::uint64_t share = config.hbm_slots / summary.num_threads();
+  double n_missing = 0.0;
+  for (std::size_t i = 0; i < summary.num_threads(); ++i) {
+    if (summary.thread_refs[i] > 0 && summary.miss_ratio(i, share) > 0.0) {
+      n_missing += 1.0;
+    }
+  }
+  const double cap = std::max(2.0 * q, std::ceil(0.75 * n_missing));
+  const double high =
+      std::max(2.0 * q, std::min(std::ceil(1.5 * backlog), cap));
+  t.high_depth = static_cast<std::uint32_t>(
+      std::min(high, 4.0 * 1024.0 * 1024.0 * 1024.0));
+  // Half-depth release: a wide band (release near empty) holds Priority
+  // mode through light phases and inherits its starvation; a half-band
+  // returns to FIFO as soon as the burst is genuinely draining.
+  t.low_depth = std::max(q, t.high_depth / 2);
+  return t;
+}
+
+}  // namespace hbmsim::opt

@@ -1,0 +1,98 @@
+// Closed-form performance model (ROADMAP item 5; DESIGN.md §9).
+//
+// Predicts makespan, response times, and far-channel utilization for a
+// (workload, SimConfig) pair without running the simulator, in the
+// style of Salkhordeh et al.'s analytical hybrid-memory model (arXiv
+// 1903.10067): per-thread miss ratios come from Mattson miss-ratio
+// curves (trace/analysis.h) evaluated at each thread's share of the HBM,
+// and far-channel queueing delay comes from a Schweitzer-style
+// approximate mean-value-analysis fixed point over a closed network of p
+// customers and q channel servers. A prediction costs microseconds, so
+// design-space sweeps of thousands of points screen in milliseconds —
+// the simulator then audits only the interesting frontier (see
+// exp/sweep.h's multi-fidelity modes).
+//
+// The model is deliberately arbitration-blind for throughput: every
+// work-conserving policy serves the same fetch count through the same q
+// channels, so makespan and mean response agree across FIFO, Priority,
+// Random, and FR-FCFS to within the model's own error (the error-bound
+// suite in tests/predictor_test.cc pins the tolerance across all of
+// them). What arbitration does change — per-thread fairness and tail
+// shape under pathological (adversarial/cyclic) footprints — is exactly
+// where the model's validity region ends; see DESIGN.md §9.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "trace/analysis.h"
+#include "trace/trace.h"
+
+namespace hbmsim::opt {
+
+/// Per-workload model inputs, computed once (Mattson analysis is
+/// O(n log n) per distinct trace) and reused across every config of a
+/// sweep. Distinct traces are deduplicated by source identity, so a
+/// replicate(p) workload pays for one curve, not p.
+struct WorkloadSummary {
+  std::uint64_t total_refs = 0;
+  std::vector<std::uint64_t> thread_refs;  ///< n_t per thread
+  std::vector<std::size_t> curve_of;       ///< thread → index into curves
+  std::vector<MissCurve> curves;           ///< one per distinct trace
+
+  [[nodiscard]] std::size_t num_threads() const noexcept {
+    return thread_refs.size();
+  }
+
+  /// Thread t's predicted LRU miss ratio with a k-slot cache share.
+  [[nodiscard]] double miss_ratio(std::size_t thread,
+                                  std::uint64_t k) const noexcept {
+    return curves[curve_of[thread]].miss_ratio_at(k);
+  }
+
+  /// Build the summary: streaming sources are materialized transiently
+  /// for the Mattson pass (cold path; not for p = 1M workloads).
+  [[nodiscard]] static WorkloadSummary summarize(const Workload& workload);
+};
+
+/// Model outputs, all in ticks (utilization and miss_ratio in [0, 1]).
+/// Degenerate inputs — zero threads, zero refs, zero HBM capacity, zero
+/// channels — yield NaN throughout, which the JSON/CSV renderers emit as
+/// null / "n/a" (never inf): see to_json below and exp::csv_double.
+struct Prediction {
+  double makespan = 0.0;
+  double mean_response = 0.0;
+  double p50_response = 0.0;
+  double p99_response = 0.0;
+  double far_utilization = 0.0;  ///< fetches per channel-tick
+  double miss_ratio = 0.0;       ///< aggregate predicted miss ratio
+  double queue_wait = 0.0;       ///< mean ticks a miss waits for a channel
+
+  [[nodiscard]] bool valid() const noexcept;
+};
+
+/// Evaluate the closed-form model. Allocation-free and O(p): this is the
+/// multi-fidelity sweep's inner loop (thousands of calls per screen).
+[[nodiscard]] Prediction predict(const WorkloadSummary& summary,
+                                 const SimConfig& config);
+
+/// JSON object for a prediction; non-finite fields render as null.
+[[nodiscard]] std::string to_json(const Prediction& prediction);
+
+/// Adaptive-arbitration thresholds derived from the predicted
+/// steady-state backlog (SimConfig::adaptive_high_depth / low_depth):
+/// switch to Priority when the queue runs well above the predicted
+/// steady state, back to FIFO once it drains toward the uncontended
+/// regime. Falls back to the 4q/q defaults when the model predicts no
+/// contention (or is invalid for this input).
+struct AdaptiveThresholds {
+  std::uint32_t high_depth = 0;
+  std::uint32_t low_depth = 0;
+};
+
+[[nodiscard]] AdaptiveThresholds tune_adaptive_thresholds(
+    const WorkloadSummary& summary, const SimConfig& config);
+
+}  // namespace hbmsim::opt

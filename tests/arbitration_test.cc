@@ -85,6 +85,67 @@ TEST(PriorityArbiter, RequiresPriorityMap) {
                Error);
 }
 
+// --- Adaptive FIFO↔Priority arbitration (DESIGN.md §3g) ----------------
+
+std::unique_ptr<ArbitrationPolicy> adaptive_arbiter(const PriorityMap* pm,
+                                                    std::uint32_t high,
+                                                    std::uint32_t low) {
+  return ArbitrationPolicy::make(ArbitrationKind::kAdaptive, pm, 1,
+                                 /*num_channels=*/1, /*row_pages=*/4,
+                                 /*expected_requests=*/0, high, low);
+}
+
+TEST(AdaptiveArbiter, StartsInFifoMode) {
+  PriorityMap pm(4, RemapScheme::kNone, 1);  // identity: thread 0 first
+  auto q = adaptive_arbiter(&pm, /*high=*/3, /*low=*/1);
+  q->enqueue(req(3, 0));  // lowest priority arrives first
+  q->enqueue(req(0, 1));
+  EXPECT_EQ(q->pop()->thread, 3u) << "no epoch yet: arrival order";
+  EXPECT_EQ(q->pop()->thread, 0u);
+}
+
+TEST(AdaptiveArbiter, DeepEpochSwitchesToPriorityOrder) {
+  PriorityMap pm(4, RemapScheme::kNone, 1);
+  auto q = adaptive_arbiter(&pm, /*high=*/3, /*low=*/1);
+  q->enqueue(req(3, 0));
+  q->enqueue(req(2, 1));
+  q->enqueue(req(0, 2));
+  q->on_epoch(q->size());  // depth 3 >= high → engage Priority
+  EXPECT_EQ(q->pop()->thread, 0u) << "priority order after deep epoch";
+  EXPECT_EQ(q->pop()->thread, 2u);
+  EXPECT_EQ(q->pop()->thread, 3u);
+}
+
+TEST(AdaptiveArbiter, HysteresisBandKeepsCurrentMode) {
+  PriorityMap pm(4, RemapScheme::kNone, 1);
+  auto q = adaptive_arbiter(&pm, /*high=*/3, /*low=*/1);
+  q->enqueue(req(3, 0));
+  q->enqueue(req(0, 1));
+  q->on_epoch(2);  // inside (low, high): still FIFO
+  EXPECT_EQ(q->pop()->thread, 3u);
+  q->on_epoch(3);  // engage Priority
+  q->enqueue(req(2, 2));
+  EXPECT_EQ(q->pop()->thread, 0u);
+  q->on_epoch(2);  // inside the band again: stays Priority
+  q->enqueue(req(1, 3));
+  EXPECT_EQ(q->pop()->thread, 1u) << "band must not flap the mode";
+}
+
+TEST(AdaptiveArbiter, DrainedEpochReleasesBackToFifo) {
+  PriorityMap pm(4, RemapScheme::kNone, 1);
+  auto q = adaptive_arbiter(&pm, /*high=*/2, /*low=*/1);
+  q->on_epoch(2);  // Priority mode
+  q->on_epoch(1);  // drained to low → back to FIFO
+  q->enqueue(req(3, 0));
+  q->enqueue(req(0, 1));
+  EXPECT_EQ(q->pop()->thread, 3u) << "arrival order after release";
+}
+
+TEST(AdaptiveArbiter, RequiresPriorityMap) {
+  EXPECT_THROW(ArbitrationPolicy::make(ArbitrationKind::kAdaptive, nullptr, 1),
+               Error);
+}
+
 TEST(RandomArbiter, DrainsEveryRequestExactlyOnce) {
   auto q = ArbitrationPolicy::make(ArbitrationKind::kRandom, nullptr, 99);
   for (ThreadId t = 0; t < 20; ++t) {
@@ -317,13 +378,18 @@ TEST_P(ArbiterFuzz, MatchesReferenceUnderRandomOps) {
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     PriorityMap pm(kThreads, fc.remaps ? RemapScheme::kDynamic
                                        : RemapScheme::kNone, seed);
-    const PriorityMap* priorities =
-        fc.kind == ArbitrationKind::kPriority ? &pm : nullptr;
+    const PriorityMap* priorities = fc.kind == ArbitrationKind::kPriority ||
+                                            fc.kind == ArbitrationKind::kAdaptive
+                                        ? &pm
+                                        : nullptr;
     auto fast = ArbitrationPolicy::make(fc.kind, priorities, seed, kChannels,
                                         /*row_pages=*/4,
-                                        /*expected_requests=*/kThreads);
+                                        /*expected_requests=*/kThreads,
+                                        /*adaptive_high=*/4, /*adaptive_low=*/2);
     auto ref = check::make_reference_arbiter(fc.kind, priorities, seed,
-                                             kChannels, /*row_pages=*/4);
+                                             kChannels, /*row_pages=*/4,
+                                             /*adaptive_high=*/4,
+                                             /*adaptive_low=*/2);
     Xoshiro256StarStar rng(seed * 977);
     Tick tick = 0;
     for (int op = 0; op < 2000; ++op) {
@@ -338,6 +404,11 @@ TEST_P(ArbiterFuzz, MatchesReferenceUnderRandomOps) {
         pm.remap();
         fast->on_priorities_changed();
         ref->on_priorities_changed();
+      } else if (fc.kind == ArbitrationKind::kAdaptive && r % 100 >= 90) {
+        // Epoch boundary: both sides observe the same backlog, so their
+        // FIFO↔Priority mode transitions stay in lock step.
+        fast->on_epoch(fast->size());
+        ref->on_epoch(ref->size());
       } else {
         const auto channel = static_cast<std::uint32_t>(r / 100 % kChannels);
         const auto got = fast->pop(channel);
@@ -365,7 +436,9 @@ INSTANTIATE_TEST_SUITE_P(
                       FuzzCase{ArbitrationKind::kPriority, false},
                       FuzzCase{ArbitrationKind::kPriority, true},
                       FuzzCase{ArbitrationKind::kRandom, false},
-                      FuzzCase{ArbitrationKind::kFrFcfs, false}),
+                      FuzzCase{ArbitrationKind::kFrFcfs, false},
+                      FuzzCase{ArbitrationKind::kAdaptive, false},
+                      FuzzCase{ArbitrationKind::kAdaptive, true}),
     [](const ::testing::TestParamInfo<FuzzCase>& fuzz_info) {
       std::string name = to_string(fuzz_info.param.kind);
       std::replace(name.begin(), name.end(), '-', '_');

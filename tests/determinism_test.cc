@@ -16,6 +16,7 @@
 #include <bit>
 #include <cstdint>
 
+#include "core/engine.h"
 #include "core/simulator.h"
 #include "serve/serving.h"
 #include "workloads/synthetic.h"
@@ -204,6 +205,48 @@ TEST(Determinism, GoldensHoldUnderReferenceAndShadowArbiters) {
               3295483707807617535ULL);
     EXPECT_EQ(run_random_arbitration_seeded(EngineKind::kTick, impl),
               7184237674189686650ULL);
+  }
+}
+
+// --- Adaptive arbitration golden ---------------------------------------
+//
+// Six zipf threads against one channel saturate the far queue (backlog
+// reaches the high mark), then drain through the tail — so the run
+// crosses the FIFO→Priority threshold and releases again, pinning both
+// mode transitions and the epoch cadence. The support matrix comes from
+// the engine registry: every engine that advertises supports_adaptive
+// must land on the same fingerprint, and every engine that does not must
+// reject the config up front (EngineCaps validation), not silently run
+// without the epoch hook.
+
+std::uint64_t run_adaptive_hysteresis(EngineKind engine,
+                                      ArbiterImpl impl = ArbiterImpl::kFast) {
+  SimConfig config = SimConfig::adaptive(/*k=*/64, /*t_mult=*/0.5, /*q=*/1,
+                                         /*high_depth=*/4, /*low_depth=*/1);
+  config.engine = engine;
+  config.arbiter_impl = impl;
+  return fingerprint(
+      simulate(workload(workloads::SyntheticKind::kZipf, 6), config));
+}
+
+TEST(Determinism, AdaptiveArbitrationMatchesGoldenPerEngineCaps) {
+  constexpr std::uint64_t kGolden = 2586575101352326687ULL;
+  for (const EngineCaps& caps : engine_registry()) {
+    SCOPED_TRACE(caps.name);
+    if (caps.supports_adaptive) {
+      EXPECT_EQ(run_adaptive_hysteresis(caps.kind), kGolden);
+    } else {
+      EXPECT_THROW(run_adaptive_hysteresis(caps.kind), Error);
+    }
+  }
+}
+
+TEST(Determinism, AdaptiveGoldenHoldsUnderReferenceAndShadowArbiters) {
+  for (const ArbiterImpl impl : {ArbiterImpl::kReference,
+                                 ArbiterImpl::kShadow}) {
+    SCOPED_TRACE(to_string(impl));
+    EXPECT_EQ(run_adaptive_hysteresis(EngineKind::kTick, impl),
+              2586575101352326687ULL);
   }
 }
 

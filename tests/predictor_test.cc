@@ -1,0 +1,303 @@
+// Tests for the closed-form performance model (opt/predictor) and the
+// multi-fidelity sweep modes built on it (exp/sweep.h):
+//
+//  - the error-bound suite: model-vs-simulator relative error pinned
+//    across a 128-config grid spanning arbitration policies × channel
+//    counts × fetch latencies × HBM capacities (= miss-ratio regimes),
+//    with a separate, looser pin for the priority family where staged
+//    completion makes the symmetric-share model a conservative upper
+//    bound (DESIGN.md §9);
+//  - the degenerate-input contract: zero refs / capacity / channels
+//    yield NaN internally and render as JSON null and CSV "n/a" — never
+//    "inf" or "nan" — end to end through the sweep JSONL writer;
+//  - jobs-independence: a hybrid sweep selects the same simulated subset
+//    and produces bit-identical metrics and extras at any --jobs level;
+//  - tune_adaptive_thresholds invariants.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/simulator.h"
+#include "exp/json.h"
+#include "exp/runner.h"
+#include "exp/sweep.h"
+#include "opt/predictor/predictor.h"
+#include "workloads/synthetic.h"
+
+namespace hbmsim {
+namespace {
+
+Workload workload(workloads::SyntheticKind kind, std::size_t threads) {
+  workloads::SyntheticOptions opts;
+  opts.kind = kind;
+  opts.num_pages = 128;
+  opts.length = 2000;
+  opts.zipf_s = 0.9;
+  opts.seed = 7;
+  return workloads::make_synthetic_workload(threads, opts);
+}
+
+double rel_error(double model, double sim) {
+  return std::abs(model - sim) / sim;
+}
+
+// --- Error-bound suite -------------------------------------------------
+
+TEST(PredictorErrorBounds, GridStaysWithinPinnedTolerance) {
+  // Pinned tolerances. The model is arbitration-blind, so for the
+  // order-insensitive policies (FIFO, Random, FR-FCFS) it tracks the
+  // simulator closely; static Priority lets high-rank threads finish
+  // early and release shared LRU capacity, a feedback the symmetric
+  // model cannot see, so its predictions are a conservative upper bound
+  // with a wider band (DESIGN.md §9 "validity region").
+  constexpr double kMakespanTol = 0.25;
+  constexpr double kMeanResponseTol = 0.40;
+  constexpr double kMakespanTolPriority = 0.90;
+  constexpr double kMeanResponseTolPriority = 1.60;
+
+  struct PolicyCase {
+    const char* name;
+    ArbitrationKind kind;
+  };
+  const std::vector<PolicyCase> policies = {
+      {"fifo", ArbitrationKind::kFifo},
+      {"priority", ArbitrationKind::kPriority},
+      {"random", ArbitrationKind::kRandom},
+      {"fr-fcfs", ArbitrationKind::kFrFcfs},
+  };
+  const std::vector<workloads::SyntheticKind> kinds = {
+      workloads::SyntheticKind::kZipf, workloads::SyntheticKind::kUniform};
+  const std::vector<std::uint64_t> capacities = {32, 64, 128, 256};
+  const std::vector<std::uint32_t> channels = {1, 2};
+  const std::vector<std::uint32_t> fetches = {1, 4};
+
+  std::size_t evaluated = 0;
+  double worst_makespan = 0.0, worst_mean = 0.0;          // order-insensitive
+  double worst_makespan_prio = 0.0, worst_mean_prio = 0.0;
+  for (const auto kind : kinds) {
+    const Workload w = workload(kind, 8);
+    const opt::WorkloadSummary summary = opt::WorkloadSummary::summarize(w);
+    for (const auto k : capacities) {
+      for (const auto q : channels) {
+        for (const auto fetch : fetches) {
+          for (const auto& policy : policies) {
+            SimConfig config = policy.kind == ArbitrationKind::kPriority
+                                   ? SimConfig::priority(k, q)
+                                   : SimConfig::fifo(k, q);
+            config.arbitration = policy.kind;
+            config.fetch_ticks = fetch;
+            SCOPED_TRACE(::testing::Message()
+                         << policy.name << " k=" << k << " q=" << q
+                         << " F=" << fetch << " kind=" << static_cast<int>(kind));
+
+            const opt::Prediction pred = opt::predict(summary, config);
+            ASSERT_TRUE(pred.valid());
+            const RunMetrics metrics = simulate(w, config);
+            ASSERT_GT(metrics.makespan, 0u);
+
+            const double em = rel_error(pred.makespan,
+                                        static_cast<double>(metrics.makespan));
+            const double er =
+                rel_error(pred.mean_response, metrics.mean_response());
+            const bool prio = policy.kind == ArbitrationKind::kPriority;
+            EXPECT_LE(em, prio ? kMakespanTolPriority : kMakespanTol);
+            EXPECT_LE(er, prio ? kMeanResponseTolPriority : kMeanResponseTol);
+            (prio ? worst_makespan_prio : worst_makespan) =
+                std::max(prio ? worst_makespan_prio : worst_makespan, em);
+            (prio ? worst_mean_prio : worst_mean) =
+                std::max(prio ? worst_mean_prio : worst_mean, er);
+            ++evaluated;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GE(evaluated, 64u) << "the error-bound grid shrank below spec";
+  RecordProperty("worst_makespan_rel_error", worst_makespan);
+  RecordProperty("worst_mean_response_rel_error", worst_mean);
+  RecordProperty("worst_makespan_rel_error_priority", worst_makespan_prio);
+  RecordProperty("worst_mean_response_rel_error_priority", worst_mean_prio);
+}
+
+// --- Degenerate inputs: null / "n/a", never inf ------------------------
+
+void expect_all_null(const opt::Prediction& pred) {
+  EXPECT_FALSE(pred.valid());
+  const std::string json = opt::to_json(pred);
+  EXPECT_NE(json.find("null"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+}
+
+TEST(Predictor, ZeroCapacityOrChannelsPredictsNullNotInf) {
+  const Workload w = workload(workloads::SyntheticKind::kZipf, 4);
+  const opt::WorkloadSummary summary = opt::WorkloadSummary::summarize(w);
+
+  SimConfig no_capacity = SimConfig::fifo(64);
+  no_capacity.hbm_slots = 0;  // division hazard: share = k/p
+  expect_all_null(opt::predict(summary, no_capacity));
+
+  SimConfig no_channels = SimConfig::fifo(64);
+  no_channels.num_channels = 0;  // division hazard: M/q channel bound
+  expect_all_null(opt::predict(summary, no_channels));
+}
+
+TEST(Predictor, EmptyWorkloadPredictsNullNotInf) {
+  const Workload empty(std::vector<std::shared_ptr<const Trace>>{}, "empty");
+  const opt::WorkloadSummary summary = opt::WorkloadSummary::summarize(empty);
+  EXPECT_EQ(summary.total_refs, 0u);
+  expect_all_null(opt::predict(summary, SimConfig::fifo(64)));
+}
+
+TEST(Predictor, ModelFidelityJsonlRendersNullForDegenerateConfig) {
+  // End to end through the sweep writer: a model-fidelity sweep over a
+  // zero-capacity config must emit JSON null inside the prediction
+  // object, and no "inf"/"nan" anywhere in the line.
+  SimConfig degenerate = SimConfig::fifo(64);
+  degenerate.hbm_slots = 0;
+  std::ostringstream jsonl;
+  exp::RunnerOptions opts;
+  opts.jsonl = &jsonl;
+  const auto results = exp::SweepSpec("degenerate")
+                           .workload(workload(workloads::SyntheticKind::kZipf, 2))
+                           .config("no-capacity", degenerate)
+                           .fidelity({exp::Fidelity::kModel})
+                           .run(opts);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ok);
+  const std::string line = jsonl.str();
+  EXPECT_NE(line.find("\"fidelity\":\"model\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"makespan\":null"), std::string::npos) << line;
+  EXPECT_EQ(line.find("inf"), std::string::npos) << line;
+  EXPECT_EQ(line.find("nan"), std::string::npos) << line;
+}
+
+TEST(Predictor, CsvRendersNonFiniteAsNa) {
+  EXPECT_EQ(exp::json_double(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(exp::json_double(std::numeric_limits<double>::infinity()), "null");
+  // A point with no recorded responses has NaN response statistics; the
+  // flat CSV row must say "n/a", not print a non-finite literal.
+  exp::PointResult empty;
+  empty.label = "empty";
+  empty.config = SimConfig::fifo(8);
+  empty.ok = true;
+  const std::string row = exp::to_csv_row(empty);
+  EXPECT_NE(row.find("n/a"), std::string::npos) << row;
+  EXPECT_EQ(row.find("inf"), std::string::npos) << row;
+  EXPECT_EQ(row.find("nan"), std::string::npos) << row;
+}
+
+// --- Hybrid sweeps are jobs-independent --------------------------------
+
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  std::uint64_t z = h;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t metrics_fingerprint(const RunMetrics& m) {
+  std::uint64_t h = 0;
+  h = mix64(h, m.makespan);
+  h = mix64(h, m.hits);
+  h = mix64(h, m.misses);
+  h = mix64(h, m.requeues);
+  h = mix64(h, m.response.count());
+  h = mix64(h, std::bit_cast<std::uint64_t>(m.response.mean()));
+  h = mix64(h, std::bit_cast<std::uint64_t>(m.response.max()));
+  return h;
+}
+
+exp::SweepSpec hybrid_grid() {
+  exp::SweepSpec spec("hybrid-identity");
+  spec.workload([](std::size_t p) {
+        return workload(workloads::SyntheticKind::kZipf, p);
+      })
+      .threads({4})
+      .hbm_sizes({16, 24, 32, 48, 64, 96, 128, 192, 256, 320, 384, 448, 512,
+                  640, 768, 1024})
+      .config("fifo", [](std::uint64_t k) { return SimConfig::fifo(k); })
+      .config("priority", [](std::uint64_t k) { return SimConfig::priority(k); });
+  return spec;
+}
+
+TEST(HybridSweep, SimulatedSubsetAndResultsAreJobsIndependent) {
+  const exp::SweepSpec spec = hybrid_grid();
+  exp::FidelityOptions fopts;
+  fopts.fidelity = exp::Fidelity::kHybrid;
+  fopts.top_k = 4;
+  fopts.audit = 4;
+
+  exp::RunnerOptions serial, parallel;
+  serial.jobs = 1;
+  parallel.jobs = 4;
+  const auto a = spec.run_fidelity(fopts, serial);
+  const auto b = spec.run_fidelity(fopts, parallel);
+
+  ASSERT_EQ(a.results.size(), 32u);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  // Selection happens on the serial screening pass, so the simulated
+  // subset is identical — not merely equivalent — across jobs levels.
+  EXPECT_EQ(a.simulated, b.simulated);
+  EXPECT_EQ(a.simulated.size(), fopts.top_k + fopts.audit);
+  ASSERT_EQ(a.predictions.size(), b.predictions.size());
+  for (std::size_t i = 0; i < a.predictions.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.predictions[i].makespan),
+              std::bit_cast<std::uint64_t>(b.predictions[i].makespan));
+  }
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    SCOPED_TRACE(a.results[i].label);
+    EXPECT_EQ(a.results[i].label, b.results[i].label);
+    EXPECT_EQ(a.results[i].ok, b.results[i].ok);
+    EXPECT_EQ(a.results[i].extra_json, b.results[i].extra_json);
+    EXPECT_EQ(metrics_fingerprint(a.results[i].metrics),
+              metrics_fingerprint(b.results[i].metrics));
+  }
+  // Simulated points carry the model-vs-sim audit; screened-out points
+  // carry the prediction alone.
+  for (const std::size_t i : a.simulated) {
+    EXPECT_NE(a.results[i].extra_json.find("\"model_error\""),
+              std::string::npos);
+  }
+  std::size_t model_only = 0;
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    if (a.results[i].extra_json.find("\"fidelity\":\"model\"") !=
+        std::string::npos) {
+      ++model_only;
+    }
+  }
+  EXPECT_EQ(model_only, a.results.size() - a.simulated.size());
+}
+
+// --- Threshold tuning invariants ---------------------------------------
+
+TEST(TuneAdaptiveThresholds, ContendedWorkloadYieldsOrderedBand) {
+  const Workload w = workload(workloads::SyntheticKind::kZipf, 8);
+  const opt::WorkloadSummary summary = opt::WorkloadSummary::summarize(w);
+  const SimConfig config = SimConfig::fifo(/*k=*/64, /*q=*/2);
+  const opt::AdaptiveThresholds t = opt::tune_adaptive_thresholds(summary, config);
+  EXPECT_GE(t.high_depth, 2u * config.num_channels);
+  EXPECT_GE(t.low_depth, config.num_channels);
+  EXPECT_LE(t.low_depth, t.high_depth);
+  // The high mark must stay reachable: a closed system queues at most
+  // one outstanding miss per thread.
+  EXPECT_LE(t.high_depth, summary.num_threads());
+}
+
+TEST(TuneAdaptiveThresholds, DegenerateInputFallsBackToDefaults) {
+  const Workload empty(std::vector<std::shared_ptr<const Trace>>{}, "empty");
+  const opt::WorkloadSummary summary = opt::WorkloadSummary::summarize(empty);
+  const SimConfig config = SimConfig::fifo(/*k=*/64, /*q=*/3);
+  const opt::AdaptiveThresholds t = opt::tune_adaptive_thresholds(summary, config);
+  EXPECT_EQ(t.high_depth, 4u * config.num_channels);
+  EXPECT_EQ(t.low_depth, config.num_channels);
+}
+
+}  // namespace
+}  // namespace hbmsim

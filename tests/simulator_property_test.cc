@@ -185,7 +185,8 @@ BruteResult brute_force(const Workload& w, const SimConfig& cfg) {
             break;
           }
           case ArbitrationKind::kRandom:
-            break;  // not modelled by the reference
+          case ArbitrationKind::kAdaptive:
+            break;  // not modelled by this oracle (check/ covers them)
         }
         if (better) {
           best = j;

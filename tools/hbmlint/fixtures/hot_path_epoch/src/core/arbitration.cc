@@ -1,0 +1,17 @@
+#include <vector>
+
+namespace hbmsim {
+
+class AdaptiveArbiter {
+ public:
+  void on_epoch(unsigned depth) {
+    history_.push_back(depth);
+    mode_ = depth >= 4 ? 1 : mode_;
+  }
+
+ private:
+  std::vector<unsigned> history_;
+  int mode_ = 0;
+};
+
+}  // namespace hbmsim

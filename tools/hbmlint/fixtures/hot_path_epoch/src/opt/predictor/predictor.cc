@@ -1,0 +1,24 @@
+namespace hbmsim::opt {
+
+double quantile(const double* curve, unsigned n);
+
+double predict(const double* curve, unsigned n) {
+  double acc = 0.0;
+  for (unsigned i = 0; i < n; ++i) {
+    acc += curve[i];
+  }
+  return acc + quantile(curve, n);
+}
+
+double quantile(const double* curve, unsigned n) {
+  double* scratch = new double[n];
+  double top = 0.0;
+  for (unsigned i = 0; i < n; ++i) {
+    scratch[i] = curve[i];
+    top = scratch[i] > top ? scratch[i] : top;
+  }
+  delete[] scratch;
+  return top;
+}
+
+}  // namespace hbmsim::opt

@@ -253,11 +253,15 @@ _NODE_MEMBER = re.compile(
     r"multiset)|deque|list|forward_list)\s*<")
 
 # Seeds, per DESIGN.md "Static analysis architecture": every engine's
-# step(), the production arbiter mutators, the serving frontend's
-# per-tick inject/harvest path, trace-cursor advancement (one next() per
-# served reference — TraceCursor subclasses must generate without
-# allocating), and the hierarchical runnable-bitmap scan.
-_ARBITER_SEEDS = {"enqueue", "pop", "on_priorities_changed"}
+# step(), the production arbiter mutators (including the adaptive
+# arbiter's per-epoch mode hook, which runs every remap_period ticks),
+# the serving frontend's per-tick inject/harvest path, trace-cursor
+# advancement (one next() per served reference — TraceCursor subclasses
+# must generate without allocating), the hierarchical runnable-bitmap
+# scan, and the closed-form predictor's screening loop (opt/predictor:
+# predict() runs thousands of times per multi-fidelity sweep and is
+# documented allocation-free).
+_ARBITER_SEEDS = {"enqueue", "pop", "on_priorities_changed", "on_epoch"}
 _SERVING_SEEDS = {"deliver_arrivals", "harvest_completions",
                   "inject_request", "next_arrival_tick"}
 # src/check/ holds deliberately-allocating executable specs (shadow
@@ -316,6 +320,9 @@ class HotPathAllocRule(Rule):
             return True
         if (fn.path == "src/core/arbitration.cc"
                 and fn.name in _ARBITER_SEEDS):
+            return True
+        if (fn.path == "src/opt/predictor/predictor.cc"
+                and fn.name == "predict"):
             return True
         return fn.cls == "ServingSimulator" and fn.name in _SERVING_SEEDS
 
